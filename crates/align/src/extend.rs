@@ -1,0 +1,349 @@
+//! Seed extensions: ungapped X-drop and banded gapped X-drop.
+//!
+//! Both Mendel (§V-B: anchors are "incrementally extended until the
+//! extension deteriorates the score") and BLAST grow short seed matches
+//! into longer high-scoring pairs. The ungapped extension walks the
+//! diagonal in both directions, keeping the best prefix/suffix and
+//! stopping once the running score drops more than `x_drop` below the
+//! best seen. The gapped extension runs an affine-gap DP restricted to a
+//! band of `band` diagonals either side of the anchor diagonal — the
+//! paper's `l` query parameter ("gapped alignment band width").
+
+use crate::alignment::GapPenalties;
+use mendel_seq::ScoringMatrix;
+
+/// Result of an ungapped diagonal extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UngappedExtension {
+    /// Query range `[query_start, query_end)` of the extended segment.
+    pub query_start: usize,
+    /// Exclusive end in the query.
+    pub query_end: usize,
+    /// Subject range start (the diagonal offset is constant).
+    pub subject_start: usize,
+    /// Exclusive end in the subject.
+    pub subject_end: usize,
+    /// Ungapped segment score.
+    pub score: i32,
+}
+
+impl UngappedExtension {
+    /// The diagonal (subject_start − query_start) this segment lies on.
+    #[inline]
+    pub fn diagonal(&self) -> i64 {
+        self.subject_start as i64 - self.query_start as i64
+    }
+
+    /// Segment length in residues.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.query_end - self.query_start
+    }
+
+    /// True when the extension is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Extend an exact or inexact seed `query[q..q+len)` / `subject[s..s+len)`
+/// in both directions along the diagonal with X-drop termination.
+///
+/// # Panics
+/// Panics if the seed ranges fall outside the sequences.
+pub fn extend_ungapped(
+    query: &[u8],
+    subject: &[u8],
+    q_start: usize,
+    s_start: usize,
+    seed_len: usize,
+    matrix: &ScoringMatrix,
+    x_drop: i32,
+) -> UngappedExtension {
+    assert!(q_start + seed_len <= query.len(), "seed exceeds query");
+    assert!(s_start + seed_len <= subject.len(), "seed exceeds subject");
+    assert!(seed_len > 0, "seed must be non-empty");
+    assert!(x_drop >= 0, "x_drop must be non-negative");
+
+    let seed_score: i32 = (0..seed_len)
+        .map(|k| matrix.score(query[q_start + k], subject[s_start + k]))
+        .sum();
+
+    // Right extension.
+    let mut best_right = 0i32;
+    let mut right = 0usize; // residues beyond the seed
+    let mut run = 0i32;
+    let mut k = 0usize;
+    while q_start + seed_len + k < query.len() && s_start + seed_len + k < subject.len() {
+        run += matrix.score(query[q_start + seed_len + k], subject[s_start + seed_len + k]);
+        k += 1;
+        if run > best_right {
+            best_right = run;
+            right = k;
+        } else if best_right - run > x_drop {
+            break;
+        }
+    }
+
+    // Left extension.
+    let mut best_left = 0i32;
+    let mut left = 0usize;
+    run = 0;
+    k = 0;
+    while q_start > k && s_start > k {
+        run += matrix.score(query[q_start - 1 - k], subject[s_start - 1 - k]);
+        k += 1;
+        if run > best_left {
+            best_left = run;
+            left = k;
+        } else if best_left - run > x_drop {
+            break;
+        }
+    }
+
+    UngappedExtension {
+        query_start: q_start - left,
+        query_end: q_start + seed_len + right,
+        subject_start: s_start - left,
+        subject_end: s_start + seed_len + right,
+        score: seed_score + best_left + best_right,
+    }
+}
+
+/// Result of a banded gapped extension: endpoints and score only (the
+/// full traceback is rarely needed at this stage; callers wanting ops run
+/// [`crate::local::smith_waterman`] on the found ranges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GappedExtension {
+    /// Query range of the gapped alignment.
+    pub query_start: usize,
+    /// Exclusive query end.
+    pub query_end: usize,
+    /// Subject range of the gapped alignment.
+    pub subject_start: usize,
+    /// Exclusive subject end.
+    pub subject_end: usize,
+    /// Gapped alignment score.
+    pub score: i32,
+}
+
+/// Gapped extension from an anchor midpoint `(q_mid, s_mid)` in both
+/// directions, restricted to `band` diagonals either side of the anchor
+/// diagonal (the paper's `l`). Uses affine gaps and X-drop termination
+/// per DP row.
+pub fn extend_gapped_banded(
+    query: &[u8],
+    subject: &[u8],
+    q_mid: usize,
+    s_mid: usize,
+    matrix: &ScoringMatrix,
+    gaps: GapPenalties,
+    band: usize,
+    x_drop: i32,
+) -> GappedExtension {
+    assert!(q_mid <= query.len() && s_mid <= subject.len(), "anchor outside sequences");
+    // Forward half: align query[q_mid..] vs subject[s_mid..] anchored at
+    // (0,0). Backward half: the same on reversed prefixes.
+    let (fw_score, fw_q, fw_s) =
+        banded_half(&query[q_mid..], &subject[s_mid..], matrix, gaps, band, x_drop);
+    let rq: Vec<u8> = query[..q_mid].iter().rev().copied().collect();
+    let rs: Vec<u8> = subject[..s_mid].iter().rev().copied().collect();
+    let (bw_score, bw_q, bw_s) = banded_half(&rq, &rs, matrix, gaps, band, x_drop);
+    GappedExtension {
+        query_start: q_mid - bw_q,
+        query_end: q_mid + fw_q,
+        subject_start: s_mid - bw_s,
+        subject_end: s_mid + fw_s,
+        score: fw_score + bw_score,
+    }
+}
+
+/// One direction of the banded extension: global-anchored DP from (0,0)
+/// over `a` × `b`, keeping cells within `band` of the main diagonal,
+/// X-dropping rows, and returning the best (score, a-extent, b-extent).
+fn banded_half(
+    a: &[u8],
+    b: &[u8],
+    matrix: &ScoringMatrix,
+    gaps: GapPenalties,
+    band: usize,
+    x_drop: i32,
+) -> (i32, usize, usize) {
+    const NEG: i32 = i32::MIN / 4;
+    let n = b.len();
+    if a.is_empty() || n == 0 {
+        return (0, 0, 0);
+    }
+    // Row-major DP with columns clamped to [i-band, i+band].
+    let mut h_prev: Vec<i32> = vec![NEG; n + 1];
+    let mut f: Vec<i32> = vec![NEG; n + 1];
+    h_prev[0] = 0;
+    // Row 0: leading gap in `a` (delete run) within the band.
+    for j in 1..=n.min(band) {
+        h_prev[j] = -gaps.cost(j);
+    }
+    let mut best = 0i32;
+    let mut best_at = (0usize, 0usize);
+
+    for i in 1..=a.len() {
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(n);
+        if lo > hi {
+            break;
+        }
+        let mut h_row: Vec<i32> = vec![NEG; n + 1];
+        if lo == 1 {
+            // Column 0 inside band: leading gap in `b` (insert run).
+            h_row[0] = if i <= band { -gaps.cost(i) } else { NEG };
+        }
+        let mut e = NEG;
+        let mut row_best = NEG;
+        for j in lo..=hi {
+            let open_from = if j >= 1 { h_row[j - 1] } else { NEG };
+            e = (e - gaps.extend).max(saturating(open_from, -gaps.cost(1)));
+            f[j] = (f[j] - gaps.extend).max(saturating(h_prev[j], -gaps.cost(1)));
+            let diag = saturating(h_prev[j - 1], matrix.score(a[i - 1], b[j - 1]));
+            let v = diag.max(e).max(f[j]);
+            h_row[j] = v;
+            row_best = row_best.max(v);
+            if v > best {
+                best = v;
+                best_at = (i, j);
+            }
+        }
+        if best - row_best > x_drop {
+            break;
+        }
+        h_prev = h_row;
+    }
+    (best.max(0), if best > 0 { best_at.0 } else { 0 }, if best > 0 { best_at.1 } else { 0 })
+}
+
+#[inline]
+fn saturating(base: i32, delta: i32) -> i32 {
+    const NEG: i32 = i32::MIN / 4;
+    if base <= NEG {
+        NEG
+    } else {
+        base + delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mendel_seq::Alphabet;
+
+    fn dna(s: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode_seq(s).unwrap()
+    }
+
+    fn m() -> ScoringMatrix {
+        ScoringMatrix::dna(2, -3)
+    }
+
+    const GAPS: GapPenalties = GapPenalties { open: 5, extend: 2 };
+
+    #[test]
+    fn ungapped_extends_both_directions() {
+        let q = dna(b"AAAACGTACGTAAAA");
+        let s = dna(b"AAAACGTACGTAAAA");
+        // Seed at the middle 3 bases.
+        let ext = extend_ungapped(&q, &s, 6, 6, 3, &m(), 10);
+        assert_eq!(ext.query_start, 0);
+        assert_eq!(ext.query_end, 15);
+        assert_eq!(ext.score, 30);
+        assert_eq!(ext.diagonal(), 0);
+    }
+
+    #[test]
+    fn ungapped_stops_at_mismatch_wall() {
+        // Identical core flanked by garbage on the subject side.
+        let q = dna(b"CCCCCACGTACGTCCCCC");
+        let s = dna(b"GGGGGACGTACGTGGGGG");
+        let ext = extend_ungapped(&q, &s, 5, 5, 8, &m(), 4);
+        assert_eq!(ext.query_start, 5, "left wall");
+        assert_eq!(ext.query_end, 13, "right wall");
+        assert_eq!(ext.score, 16);
+    }
+
+    #[test]
+    fn ungapped_climbs_through_small_dips() {
+        // One mismatch inside a long identical run: x_drop=10 bridges it.
+        let q = dna(b"ACGTACGTACGTACGT");
+        let mut s = q.clone();
+        s[12] = (s[12] + 1) % 4;
+        let ext = extend_ungapped(&q, &s, 0, 0, 4, &m(), 10);
+        assert_eq!(ext.query_end, 16, "should extend past the dip");
+        assert_eq!(ext.score, 15 * 2 - 3);
+    }
+
+    #[test]
+    fn ungapped_respects_offsets() {
+        let q = dna(b"ACGTACGT");
+        let s = dna(b"TTACGTACGTTT");
+        let ext = extend_ungapped(&q, &s, 0, 2, 4, &m(), 5);
+        assert_eq!(ext.diagonal(), 2);
+        assert_eq!(ext.query_end - ext.query_start, 8);
+        assert_eq!(ext.score, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed exceeds query")]
+    fn ungapped_panics_on_bad_seed() {
+        let q = dna(b"ACG");
+        extend_ungapped(&q, &q, 2, 0, 5, &m(), 5);
+    }
+
+    #[test]
+    fn gapped_bridges_an_indel() {
+        // Subject = query with 2 bases missing in the middle; the ungapped
+        // extension cannot cross, the banded gapped one can.
+        let q = dna(b"ACGTACGTAAGGCCTTACGT");
+        let s = dna(b"ACGTACGTGGCCTTACGT"); // "AA" removed at 8
+        let anchored = extend_gapped_banded(&q, &s, 4, 4, &m(), GAPS, 4, 20);
+        assert_eq!(anchored.query_start, 0);
+        assert_eq!(anchored.query_end, 20);
+        assert_eq!(anchored.subject_end, 18);
+        // 18 matched columns * 2 - gap cost (5 + 2*2)
+        assert_eq!(anchored.score, 36 - 9);
+    }
+
+    #[test]
+    fn gapped_score_matches_smith_waterman_when_band_is_wide() {
+        use crate::local::smith_waterman_score;
+        let q = dna(b"ACGTAACCGGTTACGTACGT");
+        let s = dna(b"ACGTACCGGTTTACGTAGT");
+        let sw = smith_waterman_score(&q, &s, &m(), GAPS);
+        // Anchor on the exact common prefix; a huge band makes the banded
+        // extension equivalent to unrestricted gapped extension from (0,0).
+        let ge = extend_gapped_banded(&q, &s, 0, 0, &m(), GAPS, 64, 1000);
+        assert!(ge.score <= sw, "anchored extension cannot beat free SW");
+        assert!(ge.score >= sw - 4, "wide band should be near SW ({} vs {sw})", ge.score);
+    }
+
+    #[test]
+    fn gapped_empty_sides_are_safe() {
+        let q = dna(b"ACGT");
+        let ge = extend_gapped_banded(&q, &q, 0, 0, &m(), GAPS, 4, 10);
+        assert_eq!(ge.query_start, 0);
+        assert_eq!(ge.query_end, 4);
+        assert_eq!(ge.score, 8);
+        let ge_end = extend_gapped_banded(&q, &q, 4, 4, &m(), GAPS, 4, 10);
+        assert_eq!(ge_end.score, 8, "backward half must cover the prefix");
+        assert_eq!(ge_end.query_start, 0);
+    }
+
+    #[test]
+    fn narrow_band_blocks_large_indels() {
+        // 4-base indel: bridging costs 5+2·4=13 and buys 10 matches (+20),
+        // so a band ≥ 4 takes the gap while a band of 2 cannot reach it.
+        let q = dna(b"ACGTACGTAAAAGGCCTTACGT");
+        let s = dna(b"ACGTACGTGGCCTTACGT"); // "AAAA" removed after position 8
+        let narrow = extend_gapped_banded(&q, &s, 4, 4, &m(), GAPS, 2, 30);
+        let wide = extend_gapped_banded(&q, &s, 4, 4, &m(), GAPS, 16, 30);
+        assert_eq!(narrow.score, 16, "narrow band sees only the exact prefix");
+        assert_eq!(wide.score, 18 * 2 - GAPS.cost(4), "wide band bridges the indel");
+    }
+}

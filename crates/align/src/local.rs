@@ -1,0 +1,288 @@
+//! Smith–Waterman local alignment with affine gaps (Gotoh's algorithm).
+
+use crate::alignment::{push_op, AlignOp, Alignment, GapPenalties};
+use mendel_seq::ScoringMatrix;
+
+/// Which DP matrix a traceback cell came from.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Stop,
+    Diag,
+    Up,   // gap in subject (query residue consumed) — Insert
+    Left, // gap in query (subject residue consumed) — Delete
+}
+
+/// Locally align `query` against `subject` (both encoded), returning the
+/// best-scoring local alignment, or `None` when no pairing scores above
+/// zero (e.g. two completely unrelated single residues).
+///
+/// Memory is `O(m·n)` for the traceback; use
+/// [`smith_waterman_score`] when only the score is needed.
+pub fn smith_waterman(
+    query: &[u8],
+    subject: &[u8],
+    matrix: &ScoringMatrix,
+    gaps: GapPenalties,
+) -> Option<Alignment> {
+    let (m, n) = (query.len(), subject.len());
+    if m == 0 || n == 0 {
+        return None;
+    }
+    let w = n + 1;
+    const NEG: i32 = i32::MIN / 4;
+    // h = best score ending at (i,j); e = best ending with gap in query
+    // (Left); f = best ending with gap in subject (Up).
+    let mut h = vec![0i32; (m + 1) * w];
+    let mut e = vec![NEG; (m + 1) * w];
+    let mut f = vec![NEG; (m + 1) * w];
+    let mut from = vec![State::Stop; (m + 1) * w];
+
+    let mut best = 0i32;
+    let mut best_at = (0usize, 0usize);
+
+    for i in 1..=m {
+        for j in 1..=n {
+            let idx = i * w + j;
+            e[idx] = (e[idx - 1] - gaps.extend).max(h[idx - 1] - gaps.cost(1));
+            f[idx] = (f[idx - w] - gaps.extend).max(h[idx - w] - gaps.cost(1));
+            let diag = h[idx - w - 1] + matrix.score(query[i - 1], subject[j - 1]);
+            let mut v = 0;
+            let mut s = State::Stop;
+            if diag > v {
+                v = diag;
+                s = State::Diag;
+            }
+            if e[idx] > v {
+                v = e[idx];
+                s = State::Left;
+            }
+            if f[idx] > v {
+                v = f[idx];
+                s = State::Up;
+            }
+            h[idx] = v;
+            from[idx] = s;
+            if v > best {
+                best = v;
+                best_at = (i, j);
+            }
+        }
+    }
+
+    if best <= 0 {
+        return None;
+    }
+
+    // Traceback. When stepping into a gap state we walk the full gap run by
+    // re-deriving how long the run must have been (standard Gotoh
+    // traceback: follow E/F chains while extension was optimal).
+    let (mut i, mut j) = best_at;
+    let mut ops_rev: Vec<AlignOp> = Vec::new();
+    loop {
+        let idx = i * w + j;
+        match from[idx] {
+            State::Stop => break,
+            State::Diag => {
+                push_op_rev(&mut ops_rev, AlignOp::Diagonal(1));
+                i -= 1;
+                j -= 1;
+            }
+            State::Left => {
+                // Gap in query: consume subject residues while the E-chain
+                // says the gap was extended.
+                let mut run = 1u32;
+                let mut jj = j;
+                while e[i * w + jj] == e[i * w + jj - 1] - gaps.extend
+                    && e[i * w + jj] != h[i * w + jj - 1] - gaps.cost(1)
+                {
+                    run += 1;
+                    jj -= 1;
+                }
+                push_op_rev(&mut ops_rev, AlignOp::Delete(run));
+                j = jj - 1;
+            }
+            State::Up => {
+                let mut run = 1u32;
+                let mut ii = i;
+                while f[ii * w + j] == f[(ii - 1) * w + j] - gaps.extend
+                    && f[ii * w + j] != h[(ii - 1) * w + j] - gaps.cost(1)
+                {
+                    run += 1;
+                    ii -= 1;
+                }
+                push_op_rev(&mut ops_rev, AlignOp::Insert(run));
+                i = ii - 1;
+            }
+        }
+    }
+
+    let mut ops = Vec::with_capacity(ops_rev.len());
+    for op in ops_rev.into_iter().rev() {
+        push_op(&mut ops, op);
+    }
+    let aln = Alignment {
+        query_start: i,
+        query_end: best_at.0,
+        subject_start: j,
+        subject_end: best_at.1,
+        score: best,
+        ops,
+    };
+    debug_assert!(aln.is_consistent());
+    Some(aln)
+}
+
+fn push_op_rev(ops: &mut Vec<AlignOp>, op: AlignOp) {
+    // During reverse traceback we only need raw pushes; merging happens on
+    // the forward pass.
+    ops.push(op);
+}
+
+/// Score-only Smith–Waterman in `O(n)` memory — used by benchmarks and the
+/// brute-force oracles in tests.
+pub fn smith_waterman_score(
+    query: &[u8],
+    subject: &[u8],
+    matrix: &ScoringMatrix,
+    gaps: GapPenalties,
+) -> i32 {
+    let n = subject.len();
+    if query.is_empty() || n == 0 {
+        return 0;
+    }
+    const NEG: i32 = i32::MIN / 4;
+    let mut h_prev = vec![0i32; n + 1];
+    let mut f = vec![NEG; n + 1];
+    let mut best = 0i32;
+    for &q in query {
+        let mut h_diag = h_prev[0]; // H[i-1][j-1]
+        let mut h_cur = 0i32; // H[i][j-1] starts as column 0 = 0
+        let mut e = NEG;
+        for j in 1..=n {
+            e = (e - gaps.extend).max(h_cur - gaps.cost(1));
+            f[j] = (f[j] - gaps.extend).max(h_prev[j] - gaps.cost(1));
+            let diag = h_diag + matrix.score(q, subject[j - 1]);
+            let v = 0.max(diag).max(e).max(f[j]);
+            h_diag = h_prev[j];
+            h_prev[j - 1] = h_cur;
+            h_cur = v;
+            best = best.max(v);
+        }
+        h_prev[n] = h_cur;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mendel_seq::Alphabet;
+
+    fn dna(s: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode_seq(s).unwrap()
+    }
+
+    fn prot(s: &[u8]) -> Vec<u8> {
+        Alphabet::Protein.encode_seq(s).unwrap()
+    }
+
+    fn dna_matrix() -> ScoringMatrix {
+        ScoringMatrix::dna(2, -3)
+    }
+
+    const GAPS: GapPenalties = GapPenalties { open: 5, extend: 2 };
+
+    #[test]
+    fn identical_sequences_align_fully() {
+        let q = dna(b"ACGTACGT");
+        let a = smith_waterman(&q, &q, &dna_matrix(), GAPS).unwrap();
+        assert_eq!(a.score, 16);
+        assert_eq!(a.query_start, 0);
+        assert_eq!(a.query_end, 8);
+        assert_eq!(a.cigar(), "8M");
+        assert_eq!(a.identity(&q, &q), 1.0);
+    }
+
+    #[test]
+    fn finds_embedded_local_match() {
+        let q = dna(b"ACGTACGT");
+        let s = dna(b"TTTTTACGTACGTTTTT");
+        let a = smith_waterman(&q, &s, &dna_matrix(), GAPS).unwrap();
+        assert_eq!(a.score, 16);
+        assert_eq!(a.subject_start, 5);
+        assert_eq!(a.subject_end, 13);
+    }
+
+    #[test]
+    fn alignment_with_gap() {
+        // subject is query with 2 bases deleted in the middle; a long match
+        // either side makes bridging the gap worthwhile.
+        let q = dna(b"ACGTACGTAAGGCCTT");
+        let s = dna(b"ACGTACGTGGCCTT"); // "AA" removed
+        let a = smith_waterman(&q, &s, &dna_matrix(), GAPS).unwrap();
+        assert!(a.cigar().contains('I'), "expected insert op, got {}", a.cigar());
+        assert!(a.is_consistent());
+        // 14 matched columns (28) minus one gap of length 2 (5+2*2=9)
+        assert_eq!(a.score, 28 - 9);
+    }
+
+    #[test]
+    fn no_alignment_for_unrelated_single_bases() {
+        let a = smith_waterman(&dna(b"A"), &dna(b"C"), &dna_matrix(), GAPS);
+        assert!(a.is_none());
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert!(smith_waterman(&[], &dna(b"ACGT"), &dna_matrix(), GAPS).is_none());
+        assert!(smith_waterman(&dna(b"ACGT"), &[], &dna_matrix(), GAPS).is_none());
+    }
+
+    #[test]
+    fn protein_alignment_uses_blosum() {
+        let m = ScoringMatrix::blosum62();
+        let q = prot(b"WWWW");
+        let a = smith_waterman(&q, &q, &m, GapPenalties::BLASTP_DEFAULT).unwrap();
+        assert_eq!(a.score, 44);
+    }
+
+    #[test]
+    fn score_only_matches_traceback_score() {
+        let q = dna(b"ACGTACGTAAGGCCTT");
+        let s = dna(b"ACGGTACTGGCCTTAC");
+        let full = smith_waterman(&q, &s, &dna_matrix(), GAPS).map(|a| a.score).unwrap_or(0);
+        let fast = smith_waterman_score(&q, &s, &dna_matrix(), GAPS);
+        assert_eq!(full, fast);
+    }
+
+    #[test]
+    fn traceback_alignment_score_is_recomputable() {
+        // Recompute the score from the ops and verify it matches.
+        let m = dna_matrix();
+        let q = dna(b"ACGTAACCGGTTACGT");
+        let s = dna(b"ACGTACCGGTTTACGT");
+        let a = smith_waterman(&q, &s, &m, GAPS).unwrap();
+        let (mut qi, mut si) = (a.query_start, a.subject_start);
+        let mut score = 0i32;
+        for op in &a.ops {
+            match *op {
+                AlignOp::Diagonal(c) => {
+                    for k in 0..c as usize {
+                        score += m.score(q[qi + k], s[si + k]);
+                    }
+                    qi += c as usize;
+                    si += c as usize;
+                }
+                AlignOp::Insert(c) => {
+                    score -= GAPS.cost(c as usize);
+                    qi += c as usize;
+                }
+                AlignOp::Delete(c) => {
+                    score -= GAPS.cost(c as usize);
+                    si += c as usize;
+                }
+            }
+        }
+        assert_eq!(score, a.score, "ops: {}", a.cigar());
+    }
+}

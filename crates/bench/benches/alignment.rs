@@ -1,0 +1,81 @@
+//! Criterion microbenchmarks for the alignment substrate: Smith–Waterman,
+//! ungapped X-drop extension, banded gapped extension, and the
+//! Karlin–Altschul solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mendel_align::karlin::solve_ungapped_background;
+use mendel_align::local::smith_waterman_score;
+use mendel_align::{extend_gapped_banded, extend_ungapped, smith_waterman, GapPenalties};
+use mendel_seq::gen::{mutate_to_identity, random_sequence};
+use mendel_seq::{Alphabet, ScoringMatrix};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn pair(len: usize, identity: f64) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(len as u64);
+    let a = random_sequence(Alphabet::Protein, len, &mut rng);
+    let b = mutate_to_identity(Alphabet::Protein, &a, identity, &mut rng).unwrap();
+    (a, b)
+}
+
+fn bench_smith_waterman(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smith_waterman");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let m = ScoringMatrix::blosum62();
+    for len in [128usize, 512] {
+        let (a, b) = pair(len, 0.7);
+        g.bench_with_input(BenchmarkId::new("traceback", len), &len, |bch, _| {
+            bch.iter(|| black_box(smith_waterman(&a, &b, &m, GapPenalties::BLASTP_DEFAULT)))
+        });
+        g.bench_with_input(BenchmarkId::new("score_only", len), &len, |bch, _| {
+            bch.iter(|| black_box(smith_waterman_score(&a, &b, &m, GapPenalties::BLASTP_DEFAULT)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extension");
+    g.sample_size(30).measurement_time(Duration::from_secs(3));
+    let m = ScoringMatrix::blosum62();
+    let (a, b) = pair(2000, 0.8);
+    g.bench_function("ungapped_xdrop", |bch| {
+        bch.iter(|| black_box(extend_ungapped(&a, &b, 1000, 1000, 16, &m, 18)))
+    });
+    for band in [8usize, 24, 64] {
+        g.bench_with_input(BenchmarkId::new("gapped_banded", band), &band, |bch, &band| {
+            bch.iter(|| {
+                black_box(extend_gapped_banded(
+                    &a,
+                    &b,
+                    1000,
+                    1000,
+                    &m,
+                    GapPenalties::BLASTP_DEFAULT,
+                    band,
+                    38,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_karlin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("karlin");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    let blosum = ScoringMatrix::blosum62();
+    g.bench_function("solve_blosum62", |b| {
+        b.iter(|| black_box(solve_ungapped_background(&blosum).unwrap()))
+    });
+    let dna = ScoringMatrix::dna(2, -3);
+    g.bench_function("solve_dna", |b| {
+        b.iter(|| black_box(solve_ungapped_background(&dna).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_smith_waterman, bench_extensions, bench_karlin);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion end-to-end benchmarks: the Mendel query pipeline against
+//! the BLAST baseline on the same database, plus indexing. These are the
+//! statistical companions to the figure binaries (which sweep the full
+//! parameter ranges of the paper's evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mendel::{ClusterConfig, MendelCluster, QueryParams};
+use mendel_bench::{protein_db, query_set};
+use mendel_blast::{Blast, BlastParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_engines(c: &mut Criterion) {
+    let db = protein_db(150_000);
+    let queries = query_set(&db, 4, 500, 0.85);
+
+    let mut g = c.benchmark_group("index");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("mendel_cluster_build", |b| {
+        b.iter(|| {
+            black_box(
+                MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap(),
+            )
+        })
+    });
+    g.bench_function("blast_index_build", |b| {
+        b.iter(|| black_box(Blast::new(db.clone(), BlastParams::protein())))
+    });
+    g.finish();
+
+    let cluster = MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap();
+    let blast = Blast::new(db.clone(), BlastParams::protein());
+    let params = QueryParams::protein();
+
+    let mut g = c.benchmark_group("query_500res");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("mendel", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(cluster.query(&q.query.residues, &params).unwrap());
+            }
+        })
+    });
+    g.bench_function("blast", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(blast.search(&q.query.residues));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion microbenchmarks for the hashing tier: SHA-1 throughput,
+//! vp-prefix hashing (exact and with tolerance), and the wire codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mendel::MetricKind;
+use mendel_bench::{protein_db, DB_SEED};
+use mendel_dht::sha1::{sha1, sha1_u64};
+use mendel_net::codec::{Decode, Encode};
+use mendel_vptree::VpPrefixTree;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    g.sample_size(30).measurement_time(Duration::from_secs(3));
+    for size in [8usize, 64, 4096] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| black_box(sha1(data)))
+        });
+    }
+    g.bench_function("placement_key", |b| {
+        let key = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        b.iter(|| black_box(sha1_u64(&key)))
+    });
+    g.finish();
+}
+
+fn bench_prefix_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vp_prefix_hash");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    let db = protein_db(100_000);
+    let windows: Vec<Vec<u8>> = db
+        .iter()
+        .flat_map(|s| s.residues.windows(16).step_by(64).map(|w| w.to_vec()).collect::<Vec<_>>())
+        .collect();
+    let sample: Vec<Vec<u8>> = windows.iter().take(2048).cloned().collect();
+    for depth in [3usize, 6, 10] {
+        let tree =
+            VpPrefixTree::build(sample.clone(), MetricKind::MendelBlosum62.instantiate(), depth, DB_SEED);
+        g.bench_with_input(BenchmarkId::new("exact", depth), &tree, |b, tree| {
+            b.iter(|| {
+                for w in windows.iter().take(256) {
+                    black_box(tree.hash(w));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("tolerance", depth), &tree, |b, tree| {
+            b.iter(|| {
+                for w in windows.iter().take(256) {
+                    black_box(tree.hash_with_tolerance(w, 4.0));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    g.sample_size(30).measurement_time(Duration::from_secs(3));
+    let payload: Vec<(u32, Vec<u8>)> =
+        (0..256u32).map(|i| (i, vec![i as u8; 24])).collect();
+    g.bench_function("encode_256_blocks", |b| {
+        b.iter(|| black_box(payload.to_bytes()))
+    });
+    let bytes = payload.to_bytes();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("decode_256_blocks", |b| {
+        b.iter(|| black_box(Vec::<(u32, Vec<u8>)>::from_bytes(&bytes).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sha1, bench_prefix_hash, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks for the vp-tree: bulk build, exact vs
+//! budgeted k-NN, leaf-bucket sizing (the §III-D(1) optimization), and
+//! dynamic insertion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mendel::MetricKind;
+use mendel_bench::protein_db;
+use mendel_vptree::{DynamicVpTree, VpTree};
+use std::hint::black_box;
+use std::time::Duration;
+
+const BLOCK_LEN: usize = 16;
+
+fn windows(residues: usize) -> Vec<Vec<u8>> {
+    protein_db(residues)
+        .iter()
+        .flat_map(|s| {
+            s.residues.windows(BLOCK_LEN).step_by(4).map(|w| w.to_vec()).collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vptree_build");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for size in [4_096usize, 16_384] {
+        let pts: Vec<Vec<u8>> = windows(400_000).into_iter().take(size).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(size), &pts, |b, pts| {
+            b.iter(|| {
+                VpTree::build(
+                    black_box(pts.clone()),
+                    MetricKind::MendelBlosum62.instantiate(),
+                    32,
+                    7,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vptree_knn");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    let pts = windows(400_000);
+    let probes: Vec<Vec<u8>> = pts.iter().step_by(pts.len() / 8).cloned().collect();
+    let tree = VpTree::build(pts, MetricKind::MendelBlosum62.instantiate(), 32, 7);
+    g.bench_function("exact", |b| {
+        b.iter(|| {
+            for p in &probes {
+                black_box(tree.knn(p, 8));
+            }
+        })
+    });
+    for budget in [512usize, 4096] {
+        g.bench_with_input(BenchmarkId::new("budget", budget), &budget, |b, &budget| {
+            b.iter(|| {
+                for p in &probes {
+                    black_box(tree.knn_with_budget(p, 8, budget));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bucket_sizes(c: &mut Criterion) {
+    // §III-D(1): leaf buckets vs single-element leaves.
+    let mut g = c.benchmark_group("vptree_bucket_size");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let pts: Vec<Vec<u8>> = windows(200_000).into_iter().take(8_192).collect();
+    let probes: Vec<Vec<u8>> = pts.iter().step_by(1024).cloned().collect();
+    for bucket in [1usize, 8, 32, 128] {
+        let tree =
+            VpTree::build(pts.clone(), MetricKind::MendelBlosum62.instantiate(), bucket, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(bucket), &tree, |b, tree| {
+            b.iter(|| {
+                for p in &probes {
+                    black_box(tree.knn_with_budget(p, 8, 4096));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dynamic_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vptree_dynamic");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let pts: Vec<Vec<u8>> = windows(100_000).into_iter().take(4_096).collect();
+    g.bench_function("insert_one_by_one", |b| {
+        b.iter(|| {
+            let mut t = DynamicVpTree::new(MetricKind::MendelBlosum62.instantiate(), 32, 7);
+            for p in pts.iter().cloned() {
+                t.insert(black_box(p));
+            }
+            t
+        })
+    });
+    g.bench_function("insert_batch", |b| {
+        b.iter(|| {
+            let mut t = DynamicVpTree::new(MetricKind::MendelBlosum62.instantiate(), 32, 7);
+            t.insert_batch(black_box(pts.clone()));
+            t
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_knn, bench_bucket_sizes, bench_dynamic_insert);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 6c — average turnaround vs cluster size.
+//!
+//! The paper indexes `nr` over clusters of varying sizes and measures
+//! the `e_coli` query set's average turnaround on each: "Figure 6c shows
+//! a sufficient scalability with respect to the size of the cluster" —
+//! adding nodes reduces turnaround, sublinearly.
+//!
+//! ```sh
+//! cargo run --release -p mendel-bench --bin fig6c_scalability
+//! ```
+
+use mendel_bench::{bench_params, cluster_with, figure_header, mean_duration, ms, protein_db, query_set};
+
+const NODE_COUNTS: [usize; 6] = [5, 10, 20, 30, 40, 50];
+const DB_RESIDUES: usize = 1_000_000;
+const QUERIES: usize = 5;
+
+fn main() {
+    figure_header(
+        "Figure 6c",
+        "avg turnaround vs cluster size (nodes), fixed database + query set",
+    );
+    let db = protein_db(DB_RESIDUES);
+    let queries = query_set(&db, QUERIES, 1000, 0.85);
+    let params = bench_params();
+    println!("database: {} residues; {} queries of 1000 residues\n", db.total_residues(), QUERIES);
+    println!("{:>7} | {:>7} | {:>16} | {:>13}", "nodes", "groups", "Mendel avg (ms)", "index (s)");
+    println!("{}", "-".repeat(52));
+
+    let mut series = Vec::new();
+    for nodes in NODE_COUNTS {
+        let groups = (nodes / 5).max(1);
+        let cluster = cluster_with(&db, nodes, groups);
+        let times: Vec<_> = queries
+            .iter()
+            .map(|q| cluster.query(&q.query.residues, &params).expect("valid").turnaround())
+            .collect();
+        let m = mean_duration(&times);
+        println!(
+            "{nodes:>7} | {groups:>7} | {:>16} | {:>13.2}",
+            ms(m),
+            cluster.index_elapsed().as_secs_f64()
+        );
+        series.push(m);
+    }
+    let speedup = series[0].as_secs_f64() / series.last().unwrap().as_secs_f64();
+    println!("\n5 -> 50 nodes speedup: {speedup:.2}x");
+    println!(
+        "paper shape: turnaround decreases as nodes are added -> {}",
+        if speedup > 1.5 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}

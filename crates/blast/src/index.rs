@@ -1,0 +1,152 @@
+//! The database word index: packed word → postings of (sequence, offset).
+//!
+//! BLAST preprocesses the database once; queries then look up their
+//! (neighbourhood-expanded) words. The index is a flat `Vec` of postings
+//! bucketed by word code — cache-friendly and constant-time per lookup.
+
+use crate::word::{pack_word, WordSpec};
+use mendel_seq::{SeqId, SeqStore};
+
+/// One occurrence of a word in the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Sequence containing the word.
+    pub seq: SeqId,
+    /// Offset of the word's first residue.
+    pub offset: u32,
+}
+
+/// Word → postings index over a sequence database.
+#[derive(Debug)]
+pub struct WordIndex {
+    spec: WordSpec,
+    /// CSR layout: `starts[w]..starts[w+1]` slices `postings`.
+    starts: Vec<u32>,
+    postings: Vec<Posting>,
+}
+
+impl WordIndex {
+    /// Index every canonical k-window of every sequence in `db`.
+    pub fn build(db: &SeqStore, spec: WordSpec) -> Self {
+        // Pass 1: count per-word occurrences.
+        let domain = spec.domain() as usize;
+        let mut counts = vec![0u32; domain + 1];
+        let add_words = |residues: &[u8], mut f: Box<dyn FnMut(u32, u32) + '_>| {
+            if residues.len() < spec.k {
+                return;
+            }
+            for i in 0..=residues.len() - spec.k {
+                if let Some(w) = pack_word(spec, &residues[i..i + spec.k]) {
+                    f(w, i as u32);
+                }
+            }
+        };
+        for s in db.iter() {
+            add_words(&s.residues, Box::new(|w, _| counts[w as usize + 1] += 1));
+        }
+        // Prefix-sum into CSR starts.
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let starts = counts;
+        // Pass 2: fill postings.
+        let mut cursors = starts.clone();
+        let mut postings =
+            vec![Posting { seq: SeqId(0), offset: 0 }; *starts.last().unwrap() as usize];
+        for s in db.iter() {
+            let id = s.id;
+            add_words(
+                &s.residues,
+                Box::new(|w, off| {
+                    let slot = cursors[w as usize];
+                    postings[slot as usize] = Posting { seq: id, offset: off };
+                    cursors[w as usize] += 1;
+                }),
+            );
+        }
+        WordIndex { spec, starts, postings }
+    }
+
+    /// The word shape this index was built with.
+    #[inline]
+    pub fn spec(&self) -> WordSpec {
+        self.spec
+    }
+
+    /// Postings of a packed word code.
+    #[inline]
+    pub fn lookup(&self, word: u32) -> &[Posting] {
+        let lo = self.starts[word as usize] as usize;
+        let hi = self.starts[word as usize + 1] as usize;
+        &self.postings[lo..hi]
+    }
+
+    /// Total postings stored.
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// True when the database contributed no words.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mendel_seq::{Alphabet, Sequence};
+
+    fn store(seqs: &[&[u8]]) -> SeqStore {
+        let mut st = SeqStore::new();
+        for (i, s) in seqs.iter().enumerate() {
+            st.insert(Sequence::from_ascii(format!("s{i}"), Alphabet::Dna, s).unwrap());
+        }
+        st
+    }
+
+    fn spec2() -> WordSpec {
+        WordSpec::new(2, 4)
+    }
+
+    #[test]
+    fn index_finds_all_occurrences() {
+        let db = store(&[b"ACGACG", b"TACG"]);
+        let idx = WordIndex::build(&db, spec2());
+        let ac = pack_word(spec2(), &Alphabet::Dna.encode_seq(b"AC").unwrap()).unwrap();
+        let hits = idx.lookup(ac);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0], Posting { seq: SeqId(0), offset: 0 });
+        assert_eq!(hits[1], Posting { seq: SeqId(0), offset: 3 });
+        assert_eq!(hits[2], Posting { seq: SeqId(1), offset: 1 });
+    }
+
+    #[test]
+    fn absent_word_has_no_postings() {
+        let db = store(&[b"AAAA"]);
+        let idx = WordIndex::build(&db, spec2());
+        let gt = pack_word(spec2(), &Alphabet::Dna.encode_seq(b"GT").unwrap()).unwrap();
+        assert!(idx.lookup(gt).is_empty());
+    }
+
+    #[test]
+    fn wildcard_windows_are_not_indexed() {
+        let db = store(&[b"ANA"]); // N is non-canonical
+        let idx = WordIndex::build(&db, spec2());
+        assert!(idx.is_empty(), "both windows touch N");
+    }
+
+    #[test]
+    fn short_sequences_contribute_nothing() {
+        let db = store(&[b"A"]);
+        let idx = WordIndex::build(&db, spec2());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn total_postings_counts_windows() {
+        let db = store(&[b"ACGT", b"ACGT"]);
+        let idx = WordIndex::build(&db, spec2());
+        assert_eq!(idx.len(), 6); // 3 windows per sequence
+    }
+}

@@ -1,0 +1,28 @@
+//! # mendel-blast — the BLAST baseline, from scratch
+//!
+//! Every performance figure in the paper compares Mendel against NCBI
+//! BLAST (§VI ran BLAST+ 2.2.31). This crate re-implements the BLAST
+//! algorithm (Altschul et al. 1990; gapped extensions per Altschul et
+//! al. 1997) so the comparison runs inside one process and one I/O stack:
+//!
+//! * [`word`] — query tokenization into k-letter words, packed word
+//!   codes, and *neighbourhood* word generation (protein words scoring
+//!   ≥ T against a query word),
+//! * [`index`] — the database word index (word → postings of
+//!   (sequence, offset)),
+//! * [`search`] — the full pipeline: seed lookup, two-hit filtering on
+//!   diagonals, ungapped X-drop extension, gapped extension for HSPs
+//!   above the trigger, E-value ranking.
+//!
+//! The single-machine, whole-database character of this pipeline is the
+//! point: "Because BLAST requires, to some extent, a complete search when
+//! looking for exact matches, large numbers of sequences result in poor
+//! running times" (§II-B1) — the benches reproduce exactly that contrast.
+
+pub mod index;
+pub mod search;
+pub mod word;
+
+pub use index::WordIndex;
+pub use search::{Blast, BlastHit, BlastParams};
+pub use word::{neighborhood, pack_word, WordSpec};

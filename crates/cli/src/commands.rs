@@ -1,0 +1,389 @@
+//! Command implementations. Every command is a function from parsed
+//! [`Args`] to a rendered `String` (so tests assert on output without a
+//! subprocess); `run` dispatches and does the file I/O.
+
+use crate::args::{ArgError, Args};
+use bytes::Bytes;
+use mendel::{snapshot, ClusterConfig, MendelCluster, MendelError, MetricKind, QueryParams};
+use mendel_net::LatencyModel;
+use mendel_seq::gen::{MutationModel, NrLikeSpec};
+use mendel_seq::{parse_fasta_sequences, write_fasta, Alphabet, SeqError, SeqStore};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Top-level CLI failures.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/validation failed.
+    Args(ArgError),
+    /// The subcommand does not exist.
+    UnknownCommand(String),
+    /// File I/O failed.
+    Io(String, std::io::Error),
+    /// A sequence-layer failure.
+    Seq(SeqError),
+    /// A framework failure.
+    Mendel(MendelError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command {c:?}; try `mendel help`"),
+            CliError::Io(path, e) => write!(f, "{path}: {e}"),
+            CliError::Seq(e) => write!(f, "{e}"),
+            CliError::Mendel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<SeqError> for CliError {
+    fn from(e: SeqError) -> Self {
+        CliError::Seq(e)
+    }
+}
+
+impl From<MendelError> for CliError {
+    fn from(e: MendelError) -> Self {
+        CliError::Mendel(e)
+    }
+}
+
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Io(path.into(), e))
+}
+
+fn write_file(path: &str, contents: &[u8]) -> Result<(), CliError> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| CliError::Io(path.into(), e))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| CliError::Io(path.into(), e))
+}
+
+fn alphabet_of(args: &Args) -> Alphabet {
+    if args.flag("dna") {
+        Alphabet::Dna
+    } else {
+        Alphabet::Protein
+    }
+}
+
+fn load_db(path: &str, alphabet: Alphabet) -> Result<Arc<SeqStore>, CliError> {
+    let text = read(path)?;
+    let mut store = SeqStore::new();
+    for s in parse_fasta_sequences(&text, alphabet)? {
+        store.insert(s);
+    }
+    Ok(Arc::new(store))
+}
+
+fn cluster_config(args: &Args, alphabet: Alphabet) -> Result<ClusterConfig, CliError> {
+    let base = if alphabet == Alphabet::Dna {
+        ClusterConfig {
+            alphabet: Alphabet::Dna,
+            metric: MetricKind::Hamming,
+            ..ClusterConfig::paper_testbed_protein()
+        }
+    } else {
+        ClusterConfig::paper_testbed_protein()
+    };
+    Ok(ClusterConfig {
+        nodes: args.get_parsed("nodes", base.nodes, "integer")?,
+        groups: args.get_parsed("groups", base.groups, "integer")?,
+        block_len: args.get_parsed("block-len", base.block_len, "integer")?,
+        replication: args.get_parsed("replication", base.replication, "integer")?,
+        seed: args.get_parsed("seed", base.seed, "integer")?,
+        ..base
+    })
+}
+
+fn query_params(args: &Args, alphabet: Alphabet) -> Result<QueryParams, CliError> {
+    let base = if alphabet == Alphabet::Dna { QueryParams::dna() } else { QueryParams::protein() };
+    Ok(QueryParams {
+        k: args.get_parsed("step", base.k, "integer")?,
+        n: args.get_parsed("nn", base.n, "integer")?,
+        i: args.get_parsed("identity", base.i, "number")?,
+        c: args.get_parsed("cscore", base.c, "number")?,
+        l: args.get_parsed("band", base.l, "integer")?,
+        e: args.get_parsed("evalue", base.e, "number")?,
+        ..base
+    })
+}
+
+/// `mendel generate` — write a synthetic `nr`-like FASTA database.
+pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let alphabet = alphabet_of(args);
+    let spec = NrLikeSpec {
+        alphabet,
+        families: args.get_parsed("families", 64, "integer")?,
+        members_per_family: args.get_parsed("members", 4, "integer")?,
+        length_range: (
+            args.get_parsed("min-len", 200, "integer")?,
+            args.get_parsed("max-len", 600, "integer")?,
+        ),
+        family_divergence: MutationModel::with_indels(
+            args.get_parsed("divergence", 0.10, "number")?,
+            0.01,
+        ),
+        seed: args.get_parsed("seed", 0x4d454e44, "integer")?,
+    };
+    let db = spec.generate()?;
+    let fasta = write_fasta(db.iter(), 70);
+    let out = args.require("out")?;
+    write_file(out, fasta.as_bytes())?;
+    Ok(format!(
+        "wrote {} sequences / {} residues to {out}\n",
+        db.len(),
+        db.total_residues()
+    ))
+}
+
+/// `mendel index` — index a FASTA database into a snapshot file.
+pub fn cmd_index(args: &Args) -> Result<String, CliError> {
+    let alphabet = alphabet_of(args);
+    let db = load_db(args.require("db")?, alphabet)?;
+    let config = cluster_config(args, alphabet)?;
+    let cluster = MendelCluster::build(config, db)?;
+    let bytes = snapshot::save(&cluster)?;
+    let out = args.require("out")?;
+    write_file(out, &bytes)?;
+    Ok(format!(
+        "indexed {} blocks over {} nodes / {} groups in {:?}; snapshot {} KiB -> {out}\n",
+        cluster.total_blocks(),
+        cluster.config().nodes,
+        cluster.config().groups,
+        cluster.index_elapsed(),
+        bytes.len() / 1024
+    ))
+}
+
+/// `mendel query` — run FASTA queries against a snapshot.
+pub fn cmd_query(args: &Args) -> Result<String, CliError> {
+    let index_path = args.require("index")?;
+    let raw = std::fs::read(index_path).map_err(|e| CliError::Io(index_path.into(), e))?;
+    // Peek the snapshot's alphabet via a restore; the db must be encoded
+    // with the same alphabet, so try protein first, then DNA.
+    let (cluster, alphabet) = {
+        let try_restore = |alpha: Alphabet| -> Result<MendelCluster, CliError> {
+            let db = load_db(args.require("db")?, alpha)?;
+            snapshot::restore(&Bytes::from(raw.clone()), db, LatencyModel::lan())
+                .map_err(CliError::from)
+        };
+        match try_restore(Alphabet::Protein) {
+            Ok(c) if c.config().alphabet == Alphabet::Protein => (c, Alphabet::Protein),
+            _ => (try_restore(Alphabet::Dna)?, Alphabet::Dna),
+        }
+    };
+    let params = query_params(args, alphabet)?;
+    let top = args.get_parsed("top", 5usize, "integer")?;
+    let queries = parse_fasta_sequences(&read(args.require("query")?)?, alphabet)?;
+    let mut out = String::new();
+    for q in &queries {
+        let report = cluster.query(&q.residues, &params)?;
+        writeln!(
+            out,
+            "query {} ({} residues): {} hits, simulated turnaround {:?}",
+            q.name,
+            q.len(),
+            report.hits.len(),
+            report.turnaround()
+        )
+        .unwrap();
+        for hit in report.hits.iter().take(top) {
+            let name = cluster
+                .db()
+                .get(hit.subject)
+                .map(|s| s.name.clone())
+                .unwrap_or_else(|| hit.subject.to_string());
+            writeln!(
+                out,
+                "  {name:<20} score {:>6}  bits {:>8.1}  E {:>10.2e}  id {:>5.1}%  q[{}..{}] s[{}..{}]",
+                hit.score,
+                hit.bits,
+                hit.evalue,
+                hit.identity * 100.0,
+                hit.query_start,
+                hit.query_end,
+                hit.subject_start,
+                hit.subject_end
+            )
+            .unwrap();
+        }
+    }
+    Ok(out)
+}
+
+/// `mendel blast` — run the BLAST baseline over a FASTA database.
+pub fn cmd_blast(args: &Args) -> Result<String, CliError> {
+    use mendel_blast::{Blast, BlastParams};
+    let alphabet = alphabet_of(args);
+    let db = load_db(args.require("db")?, alphabet)?;
+    let mut params =
+        if alphabet == Alphabet::Dna { BlastParams::dna() } else { BlastParams::protein() };
+    params.evalue_cutoff = args.get_parsed("evalue", params.evalue_cutoff, "number")?;
+    let blast = Blast::new(db.clone(), params);
+    let top = args.get_parsed("top", 5usize, "integer")?;
+    let queries = parse_fasta_sequences(&read(args.require("query")?)?, alphabet)?;
+    let mut out = String::new();
+    for q in &queries {
+        let hits = blast.search(&q.residues);
+        writeln!(out, "query {} ({} residues): {} hits", q.name, q.len(), hits.len()).unwrap();
+        for hit in hits.iter().take(top) {
+            let name = db.get(hit.subject).map(|s| s.name.clone()).unwrap_or_default();
+            writeln!(
+                out,
+                "  {name:<20} score {:>6}  bits {:>8.1}  E {:>10.2e}  id {:>5.1}%",
+                hit.score,
+                hit.bits,
+                hit.evalue,
+                hit.identity * 100.0
+            )
+            .unwrap();
+        }
+    }
+    Ok(out)
+}
+
+/// `mendel info` — describe a snapshot.
+pub fn cmd_info(args: &Args) -> Result<String, CliError> {
+    let index_path = args.require("index")?;
+    let raw = std::fs::read(index_path).map_err(|e| CliError::Io(index_path.into(), e))?;
+    let db = load_db(args.require("db")?, Alphabet::Protein)
+        .or_else(|_| load_db(args.require("db")?, Alphabet::Dna))?;
+    let cluster = snapshot::restore(&Bytes::from(raw), db, LatencyModel::lan())?;
+    let cfg = cluster.config();
+    let report = cluster.load_report();
+    Ok(format!(
+        "snapshot: {:?} cluster, {} nodes / {} groups, block length {}, replication {}\n\
+         blocks: {} ({} bytes payload), load spread {:.3} pp\n",
+        cfg.alphabet,
+        cfg.nodes,
+        cfg.groups,
+        cfg.block_len,
+        cfg.replication,
+        cluster.total_blocks(),
+        report.total(),
+        report.spread_pct()
+    ))
+}
+
+/// Dispatch a raw argv (without program name) to its command.
+pub fn run(tokens: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(tokens)?;
+    match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "index" => cmd_index(&args),
+        "query" => cmd_query(&args),
+        "blast" => cmd_blast(&args),
+        "info" => cmd_info(&args),
+        "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
+        other => Err(CliError::UnknownCommand(other.into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mendel-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&toks("help")).unwrap();
+        assert!(out.contains("mendel generate"));
+        assert!(out.contains("mendel query"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(matches!(
+            run(&toks("frobnicate")),
+            Err(CliError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn generate_index_query_roundtrip() {
+        let fasta = tmp("db.fasta");
+        let snap = tmp("db.mendel");
+        let qf = tmp("q.fasta");
+
+        let out = run(&toks(&format!(
+            "generate --out {fasta} --families 10 --members 2 --min-len 120 --max-len 200 --seed 5"
+        )))
+        .unwrap();
+        assert!(out.contains("20 sequences"), "{out}");
+
+        let out = run(&toks(&format!(
+            "index --db {fasta} --out {snap} --nodes 6 --groups 2"
+        )))
+        .unwrap();
+        assert!(out.contains("indexed"), "{out}");
+
+        // Query with the first database sequence itself.
+        let text = std::fs::read_to_string(&fasta).unwrap();
+        let first_record: String = {
+            let mut lines = text.lines();
+            let header = lines.next().unwrap().to_string();
+            let body: Vec<&str> =
+                lines.take_while(|l| !l.starts_with('>')).collect();
+            format!("{header}\n{}\n", body.join("\n"))
+        };
+        std::fs::write(&qf, first_record).unwrap();
+        let out = run(&toks(&format!(
+            "query --index {snap} --db {fasta} --query {qf} --top 3"
+        )))
+        .unwrap();
+        assert!(out.contains("fam0_m0"), "self-hit expected:\n{out}");
+
+        let out = run(&toks(&format!("info --index {snap} --db {fasta}"))).unwrap();
+        assert!(out.contains("6 nodes"), "{out}");
+    }
+
+    #[test]
+    fn blast_command_runs() {
+        let fasta = tmp("bdb.fasta");
+        let qf = tmp("bq.fasta");
+        run(&toks(&format!(
+            "generate --out {fasta} --families 6 --members 2 --min-len 100 --max-len 150 --seed 9"
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&fasta).unwrap();
+        let first: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        std::fs::write(&qf, first).unwrap();
+        let out = run(&toks(&format!("blast --db {fasta} --query {qf}"))).unwrap();
+        assert!(out.contains("hits"), "{out}");
+    }
+
+    #[test]
+    fn missing_files_report_path() {
+        let err = run(&toks("index --db /nonexistent.fasta --out /tmp/x")).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent.fasta"));
+    }
+
+    #[test]
+    fn missing_required_option_reports_key() {
+        let err = run(&toks("generate")).unwrap_err();
+        assert!(err.to_string().contains("--out"));
+    }
+}

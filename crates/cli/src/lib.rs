@@ -1,0 +1,36 @@
+//! # mendel-cli — the `mendel` command-line tool
+//!
+//! ```text
+//! mendel generate --out db.fasta [--families 64] [--members 4] [--dna] [--seed 7]
+//! mendel index    --db db.fasta --out db.mendel [--nodes 50] [--groups 10] [--dna] ...
+//! mendel query    --index db.mendel --db db.fasta --query q.fasta [--evalue 10] ...
+//! mendel blast    --db db.fasta --query q.fasta [--dna]
+//! mendel info     --index db.mendel --db db.fasta
+//! mendel help
+//! ```
+//!
+//! The library half holds all the logic (testable without spawning a
+//! process); `main.rs` is a thin shim.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{run, CliError};
+
+/// Usage text for `mendel help` and errors.
+pub const USAGE: &str = "\
+mendel — distributed similarity search over sequencing data (IPDPS'16 reproduction)
+
+USAGE:
+  mendel generate --out <fasta> [--families N] [--members N] [--min-len N]
+                  [--max-len N] [--divergence F] [--seed N] [--dna]
+  mendel index    --db <fasta> --out <snapshot> [--nodes N] [--groups N]
+                  [--block-len N] [--replication N] [--seed N] [--dna]
+  mendel query    --index <snapshot> --db <fasta> --query <fasta>
+                  [--evalue F] [--nn N] [--identity F] [--cscore F]
+                  [--step N] [--band N] [--top N]
+  mendel blast    --db <fasta> --query <fasta> [--evalue F] [--top N] [--dna]
+  mendel info     --index <snapshot> --db <fasta>
+  mendel help
+";

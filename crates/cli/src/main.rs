@@ -1,0 +1,13 @@
+//! Thin binary shim over [`mendel_cli::run`].
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    match mendel_cli::run(&tokens) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", mendel_cli::USAGE);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Property tests for the CLI argument parser: it must never panic and
+//! must be total over arbitrary token streams.
+
+use mendel_cli::{ArgError, Args};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary token streams parse or fail cleanly — never panic.
+    #[test]
+    fn parser_is_total(tokens in proptest::collection::vec("[-a-zA-Z0-9._/]{0,12}", 0..10)) {
+        let toks: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        let _ = Args::parse(&toks);
+    }
+
+    /// Well-formed option lists always parse and are fully retrievable.
+    #[test]
+    fn well_formed_options_roundtrip(
+        pairs in proptest::collection::vec(("[a-z]{1,8}", "[a-zA-Z0-9._/]{1,12}"), 0..6)
+    ) {
+        let mut toks = vec!["cmd".to_string()];
+        for (k, v) in &pairs {
+            toks.push(format!("--{k}"));
+            toks.push(v.clone());
+        }
+        let args = Args::parse(&toks).unwrap();
+        prop_assert_eq!(&args.command, "cmd");
+        for (k, v) in &pairs {
+            // Later duplicates win; assert the key resolves to *some*
+            // supplied value.
+            let got = args.get(k).expect("key must be present");
+            prop_assert!(pairs.iter().any(|(pk, pv)| pk == k && pv == got), "{k}={v}");
+        }
+    }
+
+    /// A dangling `--key` at the end is always MissingValue, never a panic
+    /// or silent success.
+    #[test]
+    fn dangling_key_is_clean_error(key in "[a-ce-z]{1,8}") {
+        // (avoid 'd' prefix colliding with the --dna flag namespace)
+        prop_assume!(!["dna", "protein", "exact", "verbose"].contains(&key.as_str()));
+        let toks = vec!["cmd".to_string(), format!("--{key}")];
+        prop_assert_eq!(Args::parse(&toks), Err(ArgError::MissingValue(key.to_string())));
+    }
+}

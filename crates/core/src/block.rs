@@ -1,0 +1,188 @@
+//! Inverted-index blocks (§V-A1).
+//!
+//! "Segments of the sequence are created from the input data. The
+//! sequences are iterated with a k-length sliding window producing L−k
+//! segments per sequence. These segments, called inverted index blocks,
+//! are the basic unit of computation and storage in the system." Each
+//! block carries its provenance metadata — sequence id and start — from
+//! which its previous/next neighbour references follow (the windows
+//! overlap with step one).
+
+use mendel_dht::store::StoredBytes;
+use mendel_net::codec::{Decode, DecodeError, Encode};
+use mendel_seq::{SeqId, Sequence};
+use serde::{Deserialize, Serialize};
+
+/// The globally unique key of a block: (sequence, start offset). Its
+/// byte form feeds the second-tier SHA-1 placement hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockKey {
+    /// Owning sequence.
+    pub seq: SeqId,
+    /// Start offset of the window.
+    pub start: u32,
+}
+
+impl BlockKey {
+    /// Stable byte form for hashing.
+    pub fn as_bytes(&self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[..4].copy_from_slice(&self.seq.0.to_le_bytes());
+        b[4..].copy_from_slice(&self.start.to_le_bytes());
+        b
+    }
+}
+
+/// One inverted-index block: a fixed-length window of residue codes plus
+/// provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Owning sequence.
+    pub seq: SeqId,
+    /// Start offset of this window within the sequence.
+    pub start: u32,
+    /// The window's residue codes (length = the cluster's block length).
+    pub window: Vec<u8>,
+}
+
+impl Block {
+    /// This block's placement key.
+    #[inline]
+    pub fn key(&self) -> BlockKey {
+        BlockKey { seq: self.seq, start: self.start }
+    }
+
+    /// Key of the previous overlapping block, if any (§V-A1: blocks keep
+    /// "references to the previous/next blocks").
+    pub fn prev_key(&self) -> Option<BlockKey> {
+        (self.start > 0).then(|| BlockKey { seq: self.seq, start: self.start - 1 })
+    }
+
+    /// Key of the next overlapping block given the owning sequence's
+    /// length, if any.
+    pub fn next_key(&self, seq_len: usize) -> Option<BlockKey> {
+        (self.start as usize + self.window.len() < seq_len)
+            .then(|| BlockKey { seq: self.seq, start: self.start + 1 })
+    }
+}
+
+impl StoredBytes for Block {
+    fn stored_bytes(&self) -> usize {
+        self.window.len() + std::mem::size_of::<SeqId>() + std::mem::size_of::<u32>()
+    }
+}
+
+impl Encode for Block {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        self.seq.0.encode(buf);
+        self.start.encode(buf);
+        self.window.encode(buf);
+    }
+}
+
+impl Decode for Block {
+    fn decode(buf: &mut bytes::Bytes) -> Result<Self, DecodeError> {
+        Ok(Block {
+            seq: SeqId(u32::decode(buf)?),
+            start: u32::decode(buf)?,
+            window: Vec::<u8>::decode(buf)?,
+        })
+    }
+}
+
+/// Phase 1 of indexing: fragment `seq` into its inverted-index blocks
+/// with a step-one sliding window of length `block_len`. A sequence
+/// shorter than the window yields no blocks.
+pub fn make_blocks(seq: &Sequence, block_len: usize) -> Vec<Block> {
+    assert!(block_len >= 1, "block length must be positive");
+    if seq.len() < block_len {
+        return Vec::new();
+    }
+    (0..=seq.len() - block_len)
+        .map(|start| Block {
+            seq: seq.id,
+            start: start as u32,
+            window: seq.residues[start..start + block_len].to_vec(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mendel_seq::Alphabet;
+
+    fn seq(ascii: &[u8]) -> Sequence {
+        let mut s = Sequence::from_ascii("t", Alphabet::Dna, ascii).unwrap();
+        s.id = SeqId(7);
+        s
+    }
+
+    #[test]
+    fn block_count_is_l_minus_k_plus_one() {
+        // (The paper says "L − k segments"; a step-one window over L
+        // residues yields L − k + 1 — we take the inclusive count.)
+        let blocks = make_blocks(&seq(b"ACGTACGT"), 5);
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[0].window.len(), 5);
+        assert_eq!(blocks[0].start, 0);
+        assert_eq!(blocks[3].start, 3);
+    }
+
+    #[test]
+    fn blocks_reassemble_the_sequence() {
+        let s = seq(b"ACGTACGTAC");
+        let blocks = make_blocks(&s, 4);
+        // First block plus every block's last residue reconstructs s.
+        let mut rebuilt = blocks[0].window.clone();
+        for b in &blocks[1..] {
+            rebuilt.push(*b.window.last().unwrap());
+        }
+        assert_eq!(rebuilt, s.residues);
+    }
+
+    #[test]
+    fn short_sequence_yields_nothing() {
+        assert!(make_blocks(&seq(b"ACG"), 5).is_empty());
+        assert_eq!(make_blocks(&seq(b"ACGTA"), 5).len(), 1);
+    }
+
+    #[test]
+    fn neighbor_keys() {
+        let s = seq(b"ACGTACGT"); // len 8
+        let blocks = make_blocks(&s, 5); // starts 0..=3
+        assert_eq!(blocks[0].prev_key(), None);
+        assert_eq!(blocks[1].prev_key(), Some(BlockKey { seq: SeqId(7), start: 0 }));
+        assert_eq!(blocks[3].next_key(8), None);
+        assert_eq!(blocks[2].next_key(8), Some(BlockKey { seq: SeqId(7), start: 3 }));
+    }
+
+    #[test]
+    fn key_bytes_are_unique_per_block() {
+        let s = seq(b"ACGTACGT");
+        let blocks = make_blocks(&s, 4);
+        let mut keys: Vec<[u8; 8]> = blocks.iter().map(|b| b.key().as_bytes()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), blocks.len());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let b = Block { seq: SeqId(3), start: 17, window: vec![1, 2, 3, 4] };
+        let bytes = b.to_bytes();
+        assert_eq!(Block::from_bytes(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn stored_bytes_reflects_window() {
+        let b = Block { seq: SeqId(0), start: 0, window: vec![0; 20] };
+        assert_eq!(b.stored_bytes(), 20 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "block length")]
+    fn zero_block_len_rejected() {
+        make_blocks(&seq(b"ACGT"), 0);
+    }
+}

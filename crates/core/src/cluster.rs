@@ -1,0 +1,1158 @@
+//! The Mendel cluster façade: two-tier indexing (§V-A), the distributed
+//! query pipeline (§V-B), the simulated cluster clock (DESIGN.md §3),
+//! fault tolerance and elasticity (§VII-B extensions).
+
+use crate::block::make_blocks;
+use crate::config::ClusterConfig;
+use crate::error::MendelError;
+use crate::metric::BlockMetric;
+use crate::node::{DbCell, StorageNode};
+use crate::params::QueryParams;
+use crate::query::{identity, subquery_offsets};
+use crate::report::{MendelHit, QueryReport, QueryStats, StageTimings};
+use mendel_align::hsp::{bin_by_subject, merge_overlapping};
+use mendel_align::karlin::solve_ungapped_background;
+use mendel_align::{extend_gapped_banded, Hsp, KarlinParams};
+use mendel_dht::{FlatPlacement, GroupId, LoadReport, NodeId, Topology};
+use mendel_net::latency::parallel_max;
+use mendel_net::NodeSpeed;
+use mendel_seq::{Alphabet, ScoringMatrix, SeqStore};
+use mendel_vptree::{GroupAssignment, VpPrefixTree};
+use parking_lot::RwLock;
+use rayon::prelude::*;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Estimated wire size of one anchor (subject id, two ranges, score).
+const HSP_WIRE_BYTES: usize = 28;
+/// Fixed per-message header overhead charged by the cost model.
+const MSG_OVERHEAD_BYTES: usize = 64;
+/// At most this many anchors per subject enter the gapped stage (the
+/// strongest first); bounds worst-case finalize cost on repetitive data.
+const MAX_GAPPED_ANCHORS_PER_SUBJECT: usize = 16;
+
+/// A running Mendel cluster over an indexed reference database.
+pub struct MendelCluster {
+    config: ClusterConfig,
+    topology: RwLock<Topology>,
+    prefix: VpPrefixTree<Vec<u8>, BlockMetric>,
+    assignment: GroupAssignment,
+    placement: FlatPlacement,
+    nodes: RwLock<Vec<Arc<RwLock<StorageNode>>>>,
+    failed: RwLock<HashSet<NodeId>>,
+    db: DbCell,
+    karlin: KarlinParams,
+    index_elapsed: Duration,
+}
+
+impl MendelCluster {
+    /// Build a cluster: construct the vp-prefix hash from a deterministic
+    /// sample of the data (§III-F), then run the three-phase indexing
+    /// pipeline (§V-A) over every sequence in `db`.
+    pub fn build(config: ClusterConfig, db: Arc<SeqStore>) -> Result<Self, MendelError> {
+        config.validate()?;
+        let started = Instant::now();
+        let metric = config.metric.instantiate();
+
+        // Prefix-tree sample: an even stride over all windows.
+        let sample = Self::sample_windows(&db, config.block_len, config.prefix_sample);
+        if sample.is_empty() {
+            return Err(MendelError::Config(format!(
+                "no sequence in the database is >= the block length {}",
+                config.block_len
+            )));
+        }
+        let prefix = VpPrefixTree::build(sample, metric.clone(), config.prefix_depth, config.seed);
+        let assignment = GroupAssignment::new(prefix.num_buckets(), config.groups);
+        let topology = Topology::new(config.nodes, config.groups);
+        let placement = FlatPlacement::with_replication(config.replication);
+
+        let db: DbCell = Arc::new(RwLock::new(db));
+        let nodes: Vec<Arc<RwLock<StorageNode>>> = (0..config.nodes)
+            .map(|i| {
+                Arc::new(RwLock::new(StorageNode::new(
+                    metric.clone(),
+                    config.bucket_capacity,
+                    db.clone(),
+                    config.alphabet,
+                    config.seed ^ (i as u64 + 1),
+                )))
+            })
+            .collect();
+
+        let karlin = Self::default_karlin(config.alphabet);
+        let cluster = MendelCluster {
+            config,
+            topology: RwLock::new(topology),
+            prefix,
+            assignment,
+            placement,
+            nodes: RwLock::new(nodes),
+            failed: RwLock::new(HashSet::new()),
+            db,
+            karlin,
+            index_elapsed: Duration::ZERO,
+        };
+        cluster.index_all()?;
+        Ok(MendelCluster { index_elapsed: started.elapsed(), ..cluster })
+    }
+
+    fn default_karlin(alphabet: Alphabet) -> KarlinParams {
+        match alphabet {
+            Alphabet::Protein => KarlinParams::BLOSUM62_GAPPED_11_1,
+            Alphabet::Dna => solve_ungapped_background(&ScoringMatrix::dna(2, -3))
+                .expect("+2/-3 is a valid scoring system"),
+        }
+    }
+
+    /// Deterministic even-stride sample of block windows across the
+    /// whole database.
+    fn sample_windows(db: &SeqStore, block_len: usize, want: usize) -> Vec<Vec<u8>> {
+        let total: usize = db
+            .iter()
+            .map(|s| s.len().saturating_sub(block_len - 1))
+            .sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let stride = (total / want.max(1)).max(1);
+        let mut out = Vec::with_capacity(want + 1);
+        let mut counter = 0usize;
+        for s in db.iter() {
+            if s.len() < block_len {
+                continue;
+            }
+            for start in 0..=s.len() - block_len {
+                if counter % stride == 0 {
+                    out.push(s.residues[start..start + block_len].to_vec());
+                }
+                counter += 1;
+            }
+        }
+        out
+    }
+
+    /// Phases 1–3 of indexing for the whole database: block creation,
+    /// vp-prefix dispersion to groups, SHA-1 placement within groups,
+    /// then parallel per-node local vp-tree builds.
+    fn index_all(&self) -> Result<(), MendelError> {
+        let topo = self.topology.read();
+        let db = self.db.read().clone();
+        // Route blocks to per-node batches (parallel over sequences, then
+        // merged; routing is hashing-dominated).
+        let per_seq: Vec<Vec<(NodeId, crate::block::Block)>> = db
+            .iter()
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|s| {
+                let mut routed = Vec::new();
+                for b in make_blocks(s, self.config.block_len) {
+                    let g = self.group_of_window(&b.window);
+                    for node in self.placement.replicas(&topo, g, &b.key().as_bytes()) {
+                        routed.push((node, b.clone()));
+                    }
+                }
+                routed
+            })
+            .collect();
+
+        let mut batches: Vec<Vec<crate::block::Block>> = vec![Vec::new(); self.config.nodes];
+        for routed in per_seq {
+            for (node, b) in routed {
+                batches[node.0 as usize].push(b);
+            }
+        }
+        drop(topo);
+
+        let nodes = self.nodes.read();
+        batches.into_par_iter().enumerate().for_each(|(i, batch)| {
+            if !batch.is_empty() {
+                nodes[i].write().insert_blocks(batch);
+            }
+        });
+        Ok(())
+    }
+
+    /// First-tier hash: window → vp-prefix bucket → group.
+    fn group_of_window(&self, window: &[u8]) -> GroupId {
+        let prefix = self.prefix.hash(&window.to_vec());
+        GroupId(self.assignment.group_of_bucket(self.prefix.bucket_index(prefix)) as u16)
+    }
+
+    /// All groups a subquery window routes to under tolerance τ (§V-B:
+    /// "multiple groups can be selected ... if the path branches").
+    pub(crate) fn groups_of_window(&self, window: &[u8], tolerance: f32) -> Vec<GroupId> {
+        let mut groups: Vec<GroupId> = self
+            .prefix
+            .hash_with_tolerance(&window.to_vec(), tolerance)
+            .into_iter()
+            .map(|p| {
+                GroupId(self.assignment.group_of_bucket(self.prefix.bucket_index(p)) as u16)
+            })
+            .collect();
+        groups.sort_unstable();
+        groups.dedup();
+        groups
+    }
+
+    /// Resolve the Table I `M` parameter to a scoring matrix, checking it
+    /// fits the cluster's alphabet.
+    pub(crate) fn resolve_matrix(&self, name: &str) -> Result<ScoringMatrix, MendelError> {
+        let matrix = if name.eq_ignore_ascii_case("BLOSUM62") {
+            ScoringMatrix::blosum62()
+        } else if let Some(spec) = name.strip_prefix("DNA(") {
+            let spec = spec.strip_suffix(')').ok_or_else(|| {
+                MendelError::Params(format!("malformed matrix name {name:?}"))
+            })?;
+            let (m, mm) = spec.split_once('/').ok_or_else(|| {
+                MendelError::Params(format!("malformed DNA matrix {name:?}"))
+            })?;
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<i32>()
+                    .map_err(|_| MendelError::Params(format!("bad score in {name:?}")))
+            };
+            ScoringMatrix::dna(parse(m)?, parse(mm)?)
+        } else {
+            return Err(MendelError::Params(format!("unknown scoring matrix {name:?}")));
+        };
+        if matrix.alphabet != self.config.alphabet {
+            return Err(MendelError::Params(format!(
+                "matrix {name:?} is for {:?}, cluster indexes {:?}",
+                matrix.alphabet, self.config.alphabet
+            )));
+        }
+        Ok(matrix)
+    }
+
+    /// Live (non-failed) members of a group.
+    fn live_members(&self, topo: &Topology, g: GroupId) -> Vec<NodeId> {
+        let failed = self.failed.read();
+        topo.group_members(g).iter().copied().filter(|n| !failed.contains(n)).collect()
+    }
+
+    fn speed_of(&self, topo: &Topology, node: NodeId) -> NodeSpeed {
+        topo.node_speed(node).unwrap_or(NodeSpeed::HP_DL160)
+    }
+
+    /// Evaluate `query` from the default entry point (node 0).
+    pub fn query(&self, query: &[u8], params: &QueryParams) -> Result<QueryReport, MendelError> {
+        let entry = self
+            .topology
+            .read()
+            .nodes()
+            .next()
+            .ok_or(MendelError::Config("cluster has no live nodes".into()))?;
+        self.query_from(entry, query, params)
+    }
+
+    /// Evaluate `query` entering the system at `entry` (§V-B: "any node
+    /// in the cluster can perform as a query's entry point and generates
+    /// identical results").
+    pub fn query_from(
+        &self,
+        entry: NodeId,
+        query: &[u8],
+        params: &QueryParams,
+    ) -> Result<QueryReport, MendelError> {
+        params.validate()?;
+        if query.len() < self.config.block_len {
+            return Err(MendelError::Query(format!(
+                "query ({} residues) is shorter than the block length ({})",
+                query.len(),
+                self.config.block_len
+            )));
+        }
+        let matrix = self.resolve_matrix(&params.m)?;
+        let topo = self.topology.read().clone();
+        if topo.node_group(entry).is_none() || self.failed.read().contains(&entry) {
+            return Err(MendelError::NoSuchNode(entry));
+        }
+        let entry_speed = self.speed_of(&topo, entry);
+        let latency = self.config.latency;
+        let block_len = self.config.block_len;
+        let mut stats = QueryStats::default();
+
+        // ---- Stage 1: decompose + vp-prefix routing at the entry node.
+        let t = Instant::now();
+        let offsets = subquery_offsets(query.len(), block_len, params.k);
+        stats.subqueries = offsets.len();
+        let mut group_offsets: BTreeMap<GroupId, Vec<usize>> = BTreeMap::new();
+        for &off in &offsets {
+            for g in self.groups_of_window(&query[off..off + block_len], params.group_tolerance)
+            {
+                group_offsets.entry(g).or_default().push(off);
+            }
+        }
+        let decompose = entry_speed.scale(t.elapsed());
+        stats.groups_contacted = group_offsets.len();
+
+        // ---- Stage 2: scatter query to group entry points.
+        let query_msg_bytes = query.len() + MSG_OVERHEAD_BYTES;
+        let scatter = latency.fanout(query_msg_bytes, group_offsets.len());
+        stats.messages += group_offsets.len();
+        stats.bytes += query_msg_bytes * group_offsets.len();
+
+        // ---- Stage 3: per-group evaluation (parallel; the slowest group
+        //      bounds the phase).
+        struct GroupOutcome {
+            anchors: Vec<Hsp>,
+            sim: Duration,
+            nodes: usize,
+            candidates: usize,
+            messages: usize,
+            bytes: usize,
+        }
+        let nodes_guard = self.nodes.read();
+        let group_list: Vec<(GroupId, Vec<usize>)> = group_offsets.into_iter().collect();
+        let outcomes: Vec<GroupOutcome> = group_list
+            .par_iter()
+            .map(|(g, offs)| {
+                let members = self.live_members(&topo, *g);
+                if members.is_empty() {
+                    return GroupOutcome {
+                        anchors: Vec::new(),
+                        sim: Duration::ZERO,
+                        nodes: 0,
+                        candidates: 0,
+                        messages: 0,
+                        bytes: 0,
+                    };
+                }
+                // Group entry point replicates to the other members.
+                let replicate = latency.fanout(query_msg_bytes, members.len() - 1);
+                let per_member: Vec<(Vec<Hsp>, Duration, usize)> = members
+                    .par_iter()
+                    .map(|&m| {
+                        let node = nodes_guard[m.0 as usize].read();
+                        let t = Instant::now();
+                        let out = node.local_search_many(query, offs, block_len, params, &matrix);
+                        (out.anchors, self.speed_of(&topo, m).scale(t.elapsed()), out.candidates)
+                    })
+                    .collect();
+                let node_phase = parallel_max(per_member.iter().map(|(_, d, _)| *d));
+                let candidates = per_member.iter().map(|(_, _, c)| c).sum();
+                let all: Vec<Hsp> =
+                    per_member.into_iter().flat_map(|(a, _, _)| a).collect();
+                // Members ship their anchor sets to the group entry point;
+                // the gather serializes on the entry point's downlink.
+                let anchor_bytes: usize =
+                    all.len() * HSP_WIRE_BYTES + MSG_OVERHEAD_BYTES * (members.len() - 1);
+                let gather_in = latency.transfer(anchor_bytes);
+                let t = Instant::now();
+                let merged = merge_overlapping(all);
+                let gep = members[0];
+                let merge_time = self.speed_of(&topo, gep).scale(t.elapsed());
+                GroupOutcome {
+                    nodes: members.len(),
+                    candidates,
+                    messages: (members.len() - 1) * 2,
+                    bytes: query_msg_bytes * (members.len() - 1) + anchor_bytes,
+                    sim: replicate + node_phase + gather_in + merge_time,
+                    anchors: merged,
+                }
+            })
+            .collect();
+        drop(nodes_guard);
+
+        let group_phase = parallel_max(outcomes.iter().map(|o| o.sim));
+        for o in &outcomes {
+            stats.nodes_contacted += o.nodes;
+            stats.candidates += o.candidates;
+            stats.messages += o.messages;
+            stats.bytes += o.bytes;
+        }
+
+        // ---- Stage 4: group entry points send merged anchors up.
+        let up_bytes: usize = outcomes
+            .iter()
+            .map(|o| o.anchors.len() * HSP_WIRE_BYTES + MSG_OVERHEAD_BYTES)
+            .sum();
+        let gather = latency.transfer(up_bytes);
+        stats.messages += outcomes.len();
+        stats.bytes += up_bytes;
+
+        // ---- Stage 5: system-level merge, gapped extension, ranking.
+        let t = Instant::now();
+        let all: Vec<Hsp> = outcomes.into_iter().flat_map(|o| o.anchors).collect();
+        let merged = merge_overlapping(all);
+        stats.anchors = merged.len();
+        let hits = self.finalize(query, merged, params, &matrix);
+        let finalize = entry_speed.scale(t.elapsed());
+
+        Ok(QueryReport {
+            hits,
+            timings: StageTimings { decompose, scatter, group_phase, gather, finalize },
+            stats,
+        })
+    }
+
+    /// §V-B final stage: bin anchors by subject, run banded gapped
+    /// extensions for anchors whose normalized score clears `S`, score,
+    /// filter by `E`, rank.
+    pub(crate) fn finalize(
+        &self,
+        query: &[u8],
+        anchors: Vec<Hsp>,
+        params: &QueryParams,
+        matrix: &ScoringMatrix,
+    ) -> Vec<MendelHit> {
+        let db = self.db.read().clone();
+        let db_residues = db.total_residues();
+        let mut hits: Vec<MendelHit> = Vec::new();
+        for (subject_id, mut bin) in bin_by_subject(anchors) {
+            let subject = match db.get(mendel_seq::SeqId(subject_id)) {
+                Some(s) => &s.residues,
+                None => continue,
+            };
+            bin.sort_unstable_by_key(|a| std::cmp::Reverse(a.score));
+            let mut best: Option<MendelHit> = None;
+            for a in bin.iter().take(MAX_GAPPED_ANCHORS_PER_SUBJECT) {
+                let anchor_identity = identity(
+                    &query[a.query_start..a.query_end],
+                    &subject[a.subject_start..a.subject_start + a.len()],
+                );
+                let (score, qr, sr) = if self.karlin.bit_score(a.score) >= params.s {
+                    let q_mid = (a.query_start + a.query_end) / 2;
+                    let s_mid = a.subject_start + (q_mid - a.query_start);
+                    let g = extend_gapped_banded(
+                        query,
+                        subject,
+                        q_mid,
+                        s_mid,
+                        matrix,
+                        params.gaps,
+                        params.l,
+                        params.x_drop_gapped,
+                    );
+                    (
+                        g.score.max(a.score),
+                        (g.query_start, g.query_end),
+                        (g.subject_start, g.subject_end),
+                    )
+                } else {
+                    (
+                        a.score,
+                        (a.query_start, a.query_end),
+                        (a.subject_start, a.subject_end()),
+                    )
+                };
+                let evalue = self.karlin.evalue(score, query.len(), db_residues);
+                let hit = MendelHit {
+                    subject: mendel_seq::SeqId(subject_id),
+                    score,
+                    bits: self.karlin.bit_score(score),
+                    evalue,
+                    query_start: qr.0,
+                    query_end: qr.1,
+                    subject_start: sr.0,
+                    subject_end: sr.1,
+                    identity: anchor_identity,
+                };
+                if best.as_ref().map_or(true, |b| hit.score > b.score) {
+                    best = Some(hit);
+                }
+            }
+            if let Some(h) = best {
+                if h.evalue <= params.e {
+                    hits.push(h);
+                }
+            }
+        }
+        hits.sort_by(|a, b| {
+            a.evalue
+                .total_cmp(&b.evalue)
+                .then(b.score.cmp(&a.score))
+                .then(a.subject.cmp(&b.subject))
+        });
+        hits
+    }
+
+    // ---- Fault tolerance (§VII-B) -------------------------------------
+
+    /// Inject a node failure: the node stops serving queries. With
+    /// `replication ≥ 2`, its blocks remain reachable on replicas.
+    pub fn fail_node(&self, node: NodeId) -> Result<(), MendelError> {
+        if self.topology.read().node_group(node).is_none() {
+            return Err(MendelError::NoSuchNode(node));
+        }
+        self.failed.write().insert(node);
+        Ok(())
+    }
+
+    /// Recover a previously failed node (its data never left).
+    pub fn recover_node(&self, node: NodeId) {
+        self.failed.write().remove(&node);
+    }
+
+    /// Currently failed nodes.
+    pub fn failed_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.failed.read().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    // ---- Elasticity (§VII-B) ------------------------------------------
+
+    /// Scale out: add a storage node to the smallest group and rebalance
+    /// that group's blocks over its new membership.
+    pub fn add_node(&self) -> NodeId {
+        let mut topo = self.topology.write();
+        let idx = topo.id_space();
+        let (id, g) = topo.join(NodeSpeed::paper_mix(idx));
+        self.nodes.write().push(Arc::new(RwLock::new(StorageNode::new(
+            self.config.metric.instantiate(),
+            self.config.bucket_capacity,
+            self.db.clone(),
+            self.config.alphabet,
+            self.config.seed ^ (idx as u64 + 1),
+        ))));
+        let topo_snapshot = topo.clone();
+        drop(topo);
+        self.rebalance_group(&topo_snapshot, g);
+        id
+    }
+
+    /// Re-place every block of group `g` under the current membership.
+    fn rebalance_group(&self, topo: &Topology, g: GroupId) {
+        let members = self.live_members(topo, g);
+        let nodes = self.nodes.read();
+        // Collect unique blocks held by the group.
+        let mut unique: BTreeMap<crate::block::BlockKey, crate::block::Block> = BTreeMap::new();
+        for &m in &members {
+            for b in nodes[m.0 as usize].read().blocks() {
+                unique.insert(b.key(), b);
+            }
+        }
+        // Rebuild members empty, then re-place.
+        for &m in &members {
+            *nodes[m.0 as usize].write() = StorageNode::new(
+                self.config.metric.instantiate(),
+                self.config.bucket_capacity,
+                self.db.clone(),
+                self.config.alphabet,
+                self.config.seed ^ (m.0 as u64 + 1),
+            );
+        }
+        let mut batches: BTreeMap<NodeId, Vec<crate::block::Block>> = BTreeMap::new();
+        for (key, block) in unique {
+            for node in self.placement.replicas(topo, g, &key.as_bytes()) {
+                batches.entry(node).or_default().push(block.clone());
+            }
+        }
+        batches.into_par_iter().for_each(|(node, batch)| {
+            nodes[node.0 as usize].write().insert_blocks(batch);
+        });
+    }
+
+    // ---- Introspection --------------------------------------------------
+
+    /// Per-node stored bytes (the Fig. 5 measurement).
+    pub fn load_report(&self) -> LoadReport {
+        let topo = self.topology.read();
+        let nodes = self.nodes.read();
+        LoadReport::new(
+            topo.nodes()
+                .map(|n| (n, nodes[n.0 as usize].read().stored_bytes()))
+                .collect(),
+        )
+    }
+
+    /// Total blocks stored cluster-wide (replicas counted).
+    pub fn total_blocks(&self) -> usize {
+        let topo = self.topology.read();
+        let nodes = self.nodes.read();
+        topo.nodes().map(|n| nodes[n.0 as usize].read().block_count()).sum()
+    }
+
+    /// Wall-clock spent building + indexing.
+    pub fn index_elapsed(&self) -> Duration {
+        self.index_elapsed
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// A snapshot of the current topology.
+    pub fn topology(&self) -> Topology {
+        self.topology.read().clone()
+    }
+
+    /// The current reference database snapshot (append-only; grows via
+    /// [`Self::insert_sequences`]).
+    pub fn db(&self) -> Arc<SeqStore> {
+        self.db.read().clone()
+    }
+
+    /// Incremental ingest (research challenge #1: "the collection of
+    /// reference sequences ... continues to grow rapidly"): append
+    /// sequences to the reference store and run the three-phase §V-A
+    /// indexing pipeline for just their blocks. Node-local vp-trees take
+    /// the batched §III-D insertion path. The vp-prefix hash function is
+    /// *not* rebuilt — it was fixed at cluster construction, exactly so
+    /// that placement stays stable under growth.
+    pub fn insert_sequences(
+        &self,
+        seqs: Vec<mendel_seq::Sequence>,
+    ) -> Result<Vec<mendel_seq::SeqId>, MendelError> {
+        if seqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        for s in &seqs {
+            if s.alphabet != self.config.alphabet {
+                return Err(MendelError::Config(format!(
+                    "sequence {} is {:?}, cluster indexes {:?}",
+                    s.name, s.alphabet, self.config.alphabet
+                )));
+            }
+        }
+        // Append under the write lock (clone-on-write keeps readers
+        // lock-free on their own snapshots).
+        let (ids, new_seqs) = {
+            let mut guard = self.db.write();
+            let mut extended = (**guard).clone();
+            let ids = extended.insert_batch(seqs);
+            let arc = Arc::new(extended);
+            *guard = arc.clone();
+            (ids.clone(), ids.into_iter().map(|id| arc.get(id).unwrap().clone()).collect::<Vec<_>>())
+        };
+        // Route and insert the new blocks.
+        let topo = self.topology.read();
+        let mut batches: BTreeMap<NodeId, Vec<crate::block::Block>> = BTreeMap::new();
+        for s in &new_seqs {
+            for b in make_blocks(s, self.config.block_len) {
+                let g = self.group_of_window(&b.window);
+                for node in self.placement.replicas(&topo, g, &b.key().as_bytes()) {
+                    batches.entry(node).or_default().push(b.clone());
+                }
+            }
+        }
+        drop(topo);
+        let nodes = self.nodes.read();
+        batches.into_par_iter().for_each(|(node, batch)| {
+            nodes[node.0 as usize].write().insert_blocks(batch);
+        });
+        Ok(ids)
+    }
+
+    /// Materialize the full alignment behind a reported hit: run
+    /// Smith–Waterman with traceback over the hit's ranges (padded by
+    /// the band width) and return the operations, ready for
+    /// [`mendel_align::Alignment::pretty`]. Hits carry only endpoints and
+    /// scores (that is all the wire ships); this reconstructs the rest
+    /// on demand.
+    pub fn align_hit(
+        &self,
+        query: &[u8],
+        hit: &MendelHit,
+        params: &QueryParams,
+    ) -> Result<mendel_align::Alignment, MendelError> {
+        let matrix = self.resolve_matrix(&params.m)?;
+        let db = self.db.read().clone();
+        let subject = &db
+            .get(hit.subject)
+            .ok_or(MendelError::Query(format!("unknown subject {}", hit.subject)))?
+            .residues;
+        let pad = params.l;
+        let qs = hit.query_start.saturating_sub(pad);
+        let qe = (hit.query_end + pad).min(query.len());
+        let ss = hit.subject_start.saturating_sub(pad);
+        let se = (hit.subject_end + pad).min(subject.len());
+        let mut aln = mendel_align::smith_waterman(
+            &query[qs..qe],
+            &subject[ss..se],
+            &matrix,
+            params.gaps,
+        )
+        .ok_or(MendelError::Query("hit region does not align".into()))?;
+        // Re-anchor the local coordinates to the full sequences.
+        aln.query_start += qs;
+        aln.query_end += qs;
+        aln.subject_start += ss;
+        aln.subject_end += ss;
+        Ok(aln)
+    }
+
+    /// blastx-style translated query: translate an encoded DNA query in
+    /// all six reading frames and evaluate each against this protein
+    /// cluster (research challenge #3: "support both DNA and protein
+    /// sequence data"). Returns `(frame, hit)` pairs ranked by ascending
+    /// E-value; frames 0–2 are forward, 3–5 the reverse complement.
+    pub fn query_translated(
+        &self,
+        dna_query: &[u8],
+        params: &QueryParams,
+    ) -> Result<Vec<(usize, MendelHit)>, MendelError> {
+        if self.config.alphabet != Alphabet::Protein {
+            return Err(MendelError::Query(
+                "translated queries need a protein cluster".into(),
+            ));
+        }
+        let frames = mendel_seq::six_frames(dna_query);
+        let mut out: Vec<(usize, MendelHit)> = Vec::new();
+        for (f, q) in frames.iter().enumerate() {
+            if q.len() < self.config.block_len {
+                continue; // frame too short to decompose
+            }
+            let report = self.query(q, params)?;
+            out.extend(report.hits.into_iter().map(|h| (f, h)));
+        }
+        out.sort_by(|a, b| {
+            a.1.evalue
+                .total_cmp(&b.1.evalue)
+                .then(b.1.score.cmp(&a.1.score))
+                .then(a.1.subject.cmp(&b.1.subject))
+                .then(a.0.cmp(&b.0))
+        });
+        Ok(out)
+    }
+
+    /// Evaluate many queries in parallel (rayon), each from the default
+    /// entry point.
+    pub fn query_many(
+        &self,
+        queries: &[Vec<u8>],
+        params: &QueryParams,
+    ) -> Vec<Result<QueryReport, MendelError>> {
+        queries.par_iter().map(|q| self.query(q, params)).collect()
+    }
+
+    /// The cluster's Karlin–Altschul statistics.
+    pub fn karlin(&self) -> KarlinParams {
+        self.karlin
+    }
+
+    /// Run a node-local search directly against one node's state (the
+    /// wire-mode data plane; see [`crate::wire`]).
+    pub(crate) fn node_local_search(
+        &self,
+        node: NodeId,
+        query: &[u8],
+        offsets: &[usize],
+        params: &QueryParams,
+        matrix: &ScoringMatrix,
+    ) -> Vec<Hsp> {
+        let nodes = self.nodes.read();
+        match nodes.get(node.0 as usize) {
+            Some(n) => {
+                n.read()
+                    .local_search_many(query, offsets, self.config.block_len, params, matrix)
+                    .anchors
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// All blocks currently held by `node` (snapshot path).
+    pub(crate) fn node_blocks(&self, node: NodeId) -> Vec<crate::block::Block> {
+        self.nodes.read()[node.0 as usize].read().blocks()
+    }
+
+    /// Restore-path helper: bulk-load pre-routed blocks directly onto a
+    /// node, bypassing the hash pipeline (see [`crate::snapshot`]).
+    pub(crate) fn load_node_blocks(&self, node: NodeId, blocks: Vec<crate::block::Block>) {
+        let nodes = self.nodes.read();
+        nodes[node.0 as usize].write().insert_blocks(blocks);
+    }
+
+    /// Restore-path constructor: build the cluster skeleton (prefix tree,
+    /// topology, empty nodes) without routing any data.
+    pub(crate) fn build_empty(
+        config: ClusterConfig,
+        db: Arc<SeqStore>,
+    ) -> Result<Self, MendelError> {
+        config.validate()?;
+        let metric = config.metric.instantiate();
+        let sample = Self::sample_windows(&db, config.block_len, config.prefix_sample);
+        if sample.is_empty() {
+            return Err(MendelError::Config("database has no indexable sequence".into()));
+        }
+        let prefix = VpPrefixTree::build(sample, metric.clone(), config.prefix_depth, config.seed);
+        let assignment = GroupAssignment::new(prefix.num_buckets(), config.groups);
+        let topology = Topology::new(config.nodes, config.groups);
+        let db: DbCell = Arc::new(RwLock::new(db));
+        let nodes = (0..config.nodes)
+            .map(|i| {
+                Arc::new(RwLock::new(StorageNode::new(
+                    metric.clone(),
+                    config.bucket_capacity,
+                    db.clone(),
+                    config.alphabet,
+                    config.seed ^ (i as u64 + 1),
+                )))
+            })
+            .collect();
+        let karlin = Self::default_karlin(config.alphabet);
+        Ok(MendelCluster {
+            config,
+            topology: RwLock::new(topology),
+            prefix,
+            assignment,
+            placement: FlatPlacement::with_replication(1),
+            nodes: RwLock::new(nodes),
+            failed: RwLock::new(HashSet::new()),
+            db,
+            karlin,
+            index_elapsed: Duration::ZERO,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mendel_seq::gen::{NrLikeSpec, QuerySetSpec};
+    use mendel_seq::SeqId;
+
+    fn small_db() -> Arc<SeqStore> {
+        Arc::new(
+            NrLikeSpec {
+                families: 12,
+                members_per_family: 2,
+                length_range: (120, 240),
+                seed: 0xC1,
+                ..Default::default()
+            }
+            .generate()
+            .unwrap(),
+        )
+    }
+
+    fn small_cluster(db: &Arc<SeqStore>) -> MendelCluster {
+        MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap()
+    }
+
+    #[test]
+    fn build_indexes_every_block() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let expect: usize =
+            db.iter().map(|s| s.len() - c.config().block_len + 1).sum();
+        assert_eq!(c.total_blocks(), expect);
+    }
+
+    #[test]
+    fn self_query_ranks_source_first() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let q = db.get(SeqId(5)).unwrap().residues.clone();
+        let r = c.query(&q, &QueryParams::protein()).unwrap();
+        assert_eq!(r.best().unwrap().subject, SeqId(5));
+        assert!(r.best().unwrap().evalue < 1e-20);
+        assert!(r.best().unwrap().identity > 0.99);
+    }
+
+    #[test]
+    fn mutated_query_finds_source() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let qs = QuerySetSpec { count: 5, length: 100, identity: 0.8, seed: 2 }
+            .generate(&db)
+            .unwrap();
+        for q in &qs {
+            let r = c.query(&q.query.residues, &QueryParams::protein()).unwrap();
+            assert!(
+                r.hits.iter().any(|h| h.subject == q.source),
+                "80%-identity query must find its source"
+            );
+        }
+    }
+
+    #[test]
+    fn entry_point_symmetry() {
+        // §V-B: "any node in the cluster can perform as a query's entry
+        // point and generates identical results."
+        let db = small_db();
+        let c = small_cluster(&db);
+        let q = db.get(SeqId(3)).unwrap().residues.clone();
+        let params = QueryParams::protein();
+        let baseline = c.query_from(NodeId(0), &q, &params).unwrap();
+        for n in 1..c.config().nodes as u16 {
+            let r = c.query_from(NodeId(n), &q, &params).unwrap();
+            assert_eq!(r.hits, baseline.hits, "entry {n}");
+        }
+    }
+
+    #[test]
+    fn timings_are_positive_and_stats_populated() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let q = db.get(SeqId(0)).unwrap().residues.clone();
+        let r = c.query(&q, &QueryParams::protein()).unwrap();
+        assert!(r.turnaround() > Duration::ZERO);
+        assert!(r.stats.subqueries > 0);
+        assert!(r.stats.groups_contacted >= 1);
+        assert!(r.stats.nodes_contacted >= 1);
+        assert!(r.stats.messages > 0);
+        assert!(r.stats.bytes > 0);
+    }
+
+    #[test]
+    fn too_short_query_is_rejected() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let err = c.query(&[0u8; 4], &QueryParams::protein()).unwrap_err();
+        assert!(matches!(err, MendelError::Query(_)));
+    }
+
+    #[test]
+    fn wrong_matrix_is_rejected() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let q = db.get(SeqId(0)).unwrap().residues.clone();
+        let mut params = QueryParams::protein();
+        params.m = "DNA(+2/-3)".into();
+        assert!(matches!(
+            c.query(&q, &params).unwrap_err(),
+            MendelError::Params(_)
+        ));
+        params.m = "NOSUCH".into();
+        assert!(c.query(&q, &params).is_err());
+    }
+
+    #[test]
+    fn unknown_entry_node_is_rejected() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let q = db.get(SeqId(0)).unwrap().residues.clone();
+        assert!(matches!(
+            c.query_from(NodeId(99), &q, &QueryParams::protein()).unwrap_err(),
+            MendelError::NoSuchNode(_)
+        ));
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let report = c.load_report();
+        assert_eq!(report.total() as usize, c.total_blocks() * (16 + 8));
+        // 6 nodes → ideal share 16.7%; two-tier hashing should stay sane.
+        assert!(report.spread_pct() < 25.0, "spread {}", report.spread_pct());
+    }
+
+    #[test]
+    fn failover_with_replication_preserves_results() {
+        let db = small_db();
+        let mut cfg = ClusterConfig::small_protein();
+        cfg.replication = 2;
+        let c = MendelCluster::build(cfg, db.clone()).unwrap();
+        let q = db.get(SeqId(7)).unwrap().residues.clone();
+        let params = QueryParams::protein();
+        let before = c.query(&q, &params).unwrap();
+        // Fail one node in each group.
+        c.fail_node(NodeId(0)).unwrap();
+        c.fail_node(NodeId(3)).unwrap();
+        let after = c.query_from(NodeId(1), &q, &params).unwrap();
+        assert_eq!(
+            after.best().unwrap().subject,
+            before.best().unwrap().subject,
+            "replication must mask the failures"
+        );
+        c.recover_node(NodeId(0));
+        assert_eq!(c.failed_nodes(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn failed_entry_node_is_rejected() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        c.fail_node(NodeId(2)).unwrap();
+        let q = db.get(SeqId(0)).unwrap().residues.clone();
+        assert!(c.query_from(NodeId(2), &q, &QueryParams::protein()).is_err());
+    }
+
+    #[test]
+    fn scale_out_preserves_block_population_and_results() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let blocks_before = c.total_blocks();
+        let q = db.get(SeqId(4)).unwrap().residues.clone();
+        let params = QueryParams::protein();
+        let before = c.query(&q, &params).unwrap();
+        let new = c.add_node();
+        assert_eq!(c.topology().num_nodes(), 7);
+        assert_eq!(c.total_blocks(), blocks_before, "rebalance must not lose blocks");
+        // The new node actually received data.
+        let report = c.load_report();
+        let new_share = report
+            .per_node
+            .iter()
+            .find(|(n, _)| *n == new)
+            .map(|(_, b)| *b)
+            .unwrap();
+        assert!(new_share > 0, "new node must take over some blocks");
+        let after = c.query(&q, &params).unwrap();
+        assert_eq!(after.hits, before.hits, "rebalancing must not change results");
+    }
+
+    #[test]
+    fn dna_cluster_end_to_end() {
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(9);
+        let mut st = SeqStore::new();
+        for i in 0..8 {
+            let codes = mendel_seq::gen::random_sequence(Alphabet::Dna, 400, &mut rng);
+            st.insert(mendel_seq::Sequence::from_codes(
+                format!("d{i}"),
+                Alphabet::Dna,
+                codes,
+            ));
+        }
+        let db = Arc::new(st);
+        let c = MendelCluster::build(ClusterConfig::small_dna(), db.clone()).unwrap();
+        let q = db.get(SeqId(3)).unwrap().residues[50..250].to_vec();
+        let r = c.query(&q, &QueryParams::dna()).unwrap();
+        assert_eq!(r.best().unwrap().subject, SeqId(3));
+    }
+
+    #[test]
+    fn insert_sequences_makes_new_data_searchable() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let blocks_before = c.total_blocks();
+        // A brand-new family, absent from the original database.
+        let extra = NrLikeSpec {
+            families: 2,
+            members_per_family: 2,
+            length_range: (150, 200),
+            seed: 0xFEED,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let new_seqs: Vec<_> = extra.iter().cloned().collect();
+        let ids = c.insert_sequences(new_seqs.clone()).unwrap();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[0], SeqId(db.len() as u32), "ids continue after the base store");
+        assert!(c.total_blocks() > blocks_before);
+        // The new sequences are now findable.
+        let q = new_seqs[1].residues.clone();
+        let r = c.query(&q, &QueryParams::protein()).unwrap();
+        assert_eq!(r.best().unwrap().subject, ids[1]);
+        // ...and old data still is.
+        let old = db.get(SeqId(2)).unwrap().residues.clone();
+        let r = c.query(&old, &QueryParams::protein()).unwrap();
+        assert_eq!(r.best().unwrap().subject, SeqId(2));
+    }
+
+    #[test]
+    fn insert_sequences_rejects_wrong_alphabet() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let dna = mendel_seq::Sequence::from_ascii("d", Alphabet::Dna, b"ACGTACGT").unwrap();
+        assert!(matches!(
+            c.insert_sequences(vec![dna]),
+            Err(MendelError::Config(_))
+        ));
+        assert!(c.insert_sequences(vec![]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn align_hit_reconstructs_a_consistent_alignment() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let params = QueryParams::protein();
+        let qs = QuerySetSpec { count: 3, length: 120, identity: 0.85, seed: 8 }
+            .generate(&db)
+            .unwrap();
+        for q in &qs {
+            let report = c.query(&q.query.residues, &params).unwrap();
+            let hit = report.best().expect("85% query hits");
+            let aln = c.align_hit(&q.query.residues, hit, &params).unwrap();
+            assert!(aln.is_consistent());
+            assert!(aln.score >= hit.score, "traceback SW can only refine upward");
+            let subject = &db.get(hit.subject).unwrap().residues;
+            let id = aln.identity(&q.query.residues, subject);
+            assert!(id > 0.7, "identity {id} too low for an 85% query");
+            // The rendered view is well-formed (three equal-length lines).
+            let pretty = aln.pretty(Alphabet::Protein, &q.query.residues, subject);
+            let lines: Vec<&str> = pretty.lines().collect();
+            assert_eq!(lines.len(), 3);
+            assert_eq!(lines[0].len(), lines[2].len());
+        }
+        // Unknown subject errors.
+        let bogus = MendelHit { subject: SeqId(9999), ..report_hit(&c, &db) };
+        assert!(c.align_hit(&qs[0].query.residues, &bogus, &params).is_err());
+    }
+
+    fn report_hit(c: &MendelCluster, db: &Arc<SeqStore>) -> MendelHit {
+        let q = db.get(SeqId(0)).unwrap().residues.clone();
+        c.query(&q, &QueryParams::protein()).unwrap().hits[0].clone()
+    }
+
+    #[test]
+    fn explain_mentions_every_stage() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let q = db.get(SeqId(1)).unwrap().residues.clone();
+        let r = c.query(&q, &QueryParams::protein()).unwrap();
+        let text = r.explain();
+        for needle in ["decompose", "scatter", "group phase", "gather", "finalize", "messages"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn translated_query_finds_the_coding_protein() {
+        use mendel_seq::translate::translate_codon;
+        let db = small_db();
+        let c = small_cluster(&db);
+        let target = db.get(SeqId(4)).unwrap();
+        let mut dna: Vec<u8> = Vec::new();
+        'aa: for &aa in target.residues.iter().take(100) {
+            for code in 0..64u8 {
+                let (c0, c1, c2) = (code / 16, (code / 4) % 4, code % 4);
+                if translate_codon(c0, c1, c2) == aa {
+                    dna.extend_from_slice(&[c0, c1, c2]);
+                    continue 'aa;
+                }
+            }
+            unreachable!();
+        }
+        let hits = c.query_translated(&dna, &QueryParams::protein()).unwrap();
+        assert_eq!(hits[0].1.subject, SeqId(4));
+        assert_eq!(hits[0].0, 0);
+        // DNA clusters refuse translated queries.
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(1);
+        let mut st = SeqStore::new();
+        st.insert(mendel_seq::Sequence::from_codes(
+            "g",
+            Alphabet::Dna,
+            mendel_seq::gen::random_sequence(Alphabet::Dna, 200, &mut rng),
+        ));
+        let dna_cluster =
+            MendelCluster::build(ClusterConfig::small_dna(), Arc::new(st)).unwrap();
+        assert!(dna_cluster.query_translated(&dna, &QueryParams::protein()).is_err());
+    }
+
+    #[test]
+    fn query_many_matches_individual_queries() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let params = QueryParams::protein();
+        let queries: Vec<Vec<u8>> =
+            (0..4).map(|i| db.get(SeqId(i)).unwrap().residues.clone()).collect();
+        let batch = c.query_many(&queries, &params);
+        for (q, r) in queries.iter().zip(batch) {
+            assert_eq!(r.unwrap().hits, c.query(q, &params).unwrap().hits);
+        }
+    }
+
+    #[test]
+    fn group_tolerance_expands_fanout() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let q = db.get(SeqId(6)).unwrap().residues.clone();
+        let mut tight = QueryParams::protein();
+        tight.group_tolerance = 0.0;
+        let mut wide = QueryParams::protein();
+        wide.group_tolerance = 1e6;
+        let rt = c.query(&q, &tight).unwrap();
+        let rw = c.query(&q, &wide).unwrap();
+        assert!(rw.stats.groups_contacted >= rt.stats.groups_contacted);
+        assert_eq!(rw.stats.groups_contacted, c.config().groups);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types of the Mendel framework.
+
+use std::fmt;
+
+/// Errors surfaced by cluster construction, indexing, and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MendelError {
+    /// Invalid cluster configuration.
+    Config(String),
+    /// Invalid query parameters (Table I constraints).
+    Params(String),
+    /// The query is unusable (too short for the block length, wrong
+    /// alphabet, empty...).
+    Query(String),
+    /// A sequence-layer failure (FASTA, encoding...).
+    Seq(mendel_seq::SeqError),
+    /// A snapshot failed to decode.
+    Snapshot(String),
+    /// The addressed node does not exist or has left the cluster.
+    NoSuchNode(mendel_dht::NodeId),
+}
+
+impl fmt::Display for MendelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MendelError::Config(m) => write!(f, "invalid cluster config: {m}"),
+            MendelError::Params(m) => write!(f, "invalid query parameters: {m}"),
+            MendelError::Query(m) => write!(f, "invalid query: {m}"),
+            MendelError::Seq(e) => write!(f, "sequence error: {e}"),
+            MendelError::Snapshot(m) => write!(f, "snapshot error: {m}"),
+            MendelError::NoSuchNode(n) => write!(f, "no such node: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for MendelError {}
+
+impl From<mendel_seq::SeqError> for MendelError {
+    fn from(e: mendel_seq::SeqError) -> Self {
+        MendelError::Seq(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MendelError::Config("x".into()).to_string().contains("config"));
+        assert!(MendelError::NoSuchNode(mendel_dht::NodeId(3)).to_string().contains("n3"));
+    }
+
+    #[test]
+    fn seq_error_converts() {
+        let e: MendelError = mendel_seq::SeqError::EmptySequence.into();
+        assert!(matches!(e, MendelError::Seq(_)));
+    }
+}

@@ -1,0 +1,283 @@
+//! The storage node: block store + local vp-tree + node-local query
+//! evaluation (§V-A3 and the first half of §V-B).
+//!
+//! "Once an inverted index block reaches its destination storage node
+//! within its storage group, it will be indexed in a regular local
+//! vp-tree ... implemented using dynamic update balancing. This
+//! memory-resident NNS structure serves as a starting point for queries
+//! to find high similarity segments."
+//!
+//! For anchor extension a node reads neighbouring sequence content
+//! through a shared [`SeqStore`] handle. In a wire deployment those reads
+//! are O(1) zero-hop block fetches (every block's location is computable
+//! from its key); the shared handle models that path without shipping
+//! bytes — see DESIGN.md §3.
+
+use crate::block::Block;
+use crate::metric::BlockMetric;
+use crate::params::QueryParams;
+use crate::query::{c_score, identity};
+use mendel_align::{extend_ungapped, Hsp};
+use mendel_dht::store::BlockStore;
+use mendel_seq::{Alphabet, ScoringMatrix, SeqStore};
+use mendel_vptree::DynamicVpTree;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Shared, swappable handle on the reference store: nodes read the
+/// current snapshot; [`crate::MendelCluster::insert_sequences`] swaps in
+/// an extended one.
+pub type DbCell = Arc<RwLock<Arc<SeqStore>>>;
+
+/// One storage node's state.
+pub struct StorageNode {
+    store: BlockStore<Block>,
+    tree: DynamicVpTree<Vec<u8>, BlockMetric>,
+    /// Read path to sequence content for anchor extension (models the
+    /// zero-hop block-fetch path; see module docs).
+    db: DbCell,
+    alphabet: Alphabet,
+}
+
+/// Result of evaluating one subquery against one node: surviving,
+/// extended anchors plus the candidate count inspected.
+#[derive(Debug, Clone, Default)]
+pub struct LocalSearchOutput {
+    /// Extended anchors (ungapped HSPs).
+    pub anchors: Vec<Hsp>,
+    /// k-NN candidates inspected before filtering.
+    pub candidates: usize,
+}
+
+impl StorageNode {
+    /// An empty node.
+    pub fn new(
+        metric: BlockMetric,
+        bucket_capacity: usize,
+        db: DbCell,
+        alphabet: Alphabet,
+        seed: u64,
+    ) -> Self {
+        StorageNode {
+            store: BlockStore::new(),
+            tree: DynamicVpTree::new(metric, bucket_capacity, seed),
+            db,
+            alphabet,
+        }
+    }
+
+    /// Phase 3 of indexing: store a batch of blocks and index their
+    /// windows in the local vp-tree. Tree point indices equal block-store
+    /// refs (both are append-only and fed in lockstep).
+    pub fn insert_blocks(&mut self, blocks: Vec<Block>) {
+        let windows: Vec<Vec<u8>> = blocks.iter().map(|b| b.window.clone()).collect();
+        for b in blocks {
+            self.store.push(b);
+        }
+        self.tree.insert_batch(windows);
+        debug_assert_eq!(self.store.len(), self.tree.len());
+    }
+
+    /// Number of blocks held.
+    pub fn block_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Bytes of block payload held (the Fig. 5 load measurement).
+    pub fn stored_bytes(&self) -> u64 {
+        self.store.bytes()
+    }
+
+    /// All blocks (snapshot/rebalance path).
+    pub fn blocks(&self) -> Vec<Block> {
+        self.store.iter().map(|(_, b)| b.clone()).collect()
+    }
+
+    /// Evaluate a batch of subquery windows against this node (§V-B):
+    ///
+    /// 1. vp-tree k-NN for the `n` nearest blocks per subquery,
+    /// 2. percent-identity and c-score filtering,
+    /// 3. ungapped anchor extension through neighbouring content, with
+    ///    per-diagonal coverage tracking so consecutive subqueries that
+    ///    land inside an already-extended anchor do not re-extend it
+    ///    (the group stage merges overlapping anchors anyway; recomputing
+    ///    them would only burn node time).
+    ///
+    /// `query` is the *full* query; each subquery window starts at an
+    /// `offsets` entry and has the cluster's block length.
+    pub fn local_search_many(
+        &self,
+        query: &[u8],
+        offsets: &[usize],
+        block_len: usize,
+        params: &QueryParams,
+        matrix: &ScoringMatrix,
+    ) -> LocalSearchOutput {
+        let positive = (self.alphabet == Alphabet::Protein).then_some(matrix);
+        let db = self.db.read().clone();
+        let mut out = LocalSearchOutput::default();
+        // (subject, diagonal) → query range already covered by an anchor.
+        let mut covered: std::collections::HashMap<(u32, i64), (usize, usize)> =
+            std::collections::HashMap::new();
+        for &offset in offsets {
+            let window = &query[offset..offset + block_len];
+            let neighbors =
+                self.tree.knn_with_budget(&window.to_vec(), params.n, params.search_budget);
+            out.candidates += neighbors.len();
+            for nb in neighbors {
+                let block =
+                    self.store.get(mendel_dht::BlockRef(nb.index)).expect("tree/store sync");
+                // §V-B candidate measures.
+                if identity(window, &block.window) < params.i {
+                    continue;
+                }
+                if c_score(window, &block.window, positive) < params.c {
+                    continue;
+                }
+                let diag = block.start as i64 - offset as i64;
+                if let Some(&(cs, ce)) = covered.get(&(block.seq.0, diag)) {
+                    if offset >= cs && offset + block_len <= ce {
+                        continue; // inside an anchor we already extended
+                    }
+                }
+                // Anchor extension through neighbouring blocks' content.
+                let subject = &db
+                    .get(block.seq)
+                    .expect("block references an indexed sequence")
+                    .residues;
+                let ext = extend_ungapped(
+                    query,
+                    subject,
+                    offset,
+                    block.start as usize,
+                    block_len,
+                    matrix,
+                    params.x_drop_ungapped,
+                );
+                covered
+                    .entry((block.seq.0, diag))
+                    .and_modify(|(cs, ce)| {
+                        *cs = (*cs).min(ext.query_start);
+                        *ce = (*ce).max(ext.query_end);
+                    })
+                    .or_insert((ext.query_start, ext.query_end));
+                if ext.score < params.min_anchor_score {
+                    continue; // a chance neighbour, not a seed (§V-B threshold)
+                }
+                out.anchors.push(Hsp {
+                    subject_id: block.seq.0,
+                    query_start: ext.query_start,
+                    query_end: ext.query_end,
+                    subject_start: ext.subject_start,
+                    score: ext.score,
+                });
+            }
+        }
+        // A block and its replicas (or overlapping k-NN results) can
+        // extend to the same segment; dedupe exact duplicates here so the
+        // group stage merges real information.
+        out.anchors.sort_unstable_by_key(|h| {
+            (h.subject_id, h.diagonal(), h.query_start, h.query_end, h.score)
+        });
+        out.anchors.dedup();
+        out
+    }
+
+    /// Single-subquery convenience wrapper over [`Self::local_search_many`].
+    pub fn local_search(
+        &self,
+        query: &[u8],
+        offset: usize,
+        block_len: usize,
+        params: &QueryParams,
+        matrix: &ScoringMatrix,
+    ) -> LocalSearchOutput {
+        self.local_search_many(query, &[offset], block_len, params, matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::make_blocks;
+    use mendel_seq::gen::NrLikeSpec;
+    use mendel_seq::SeqId;
+
+    fn test_db() -> Arc<SeqStore> {
+        Arc::new(
+            NrLikeSpec {
+                families: 6,
+                members_per_family: 2,
+                length_range: (100, 160),
+                seed: 0x0DE,
+                ..Default::default()
+            }
+            .generate()
+            .unwrap(),
+        )
+    }
+
+    fn loaded_node(db: &Arc<SeqStore>) -> StorageNode {
+        let mut node = StorageNode::new(
+            BlockMetric::mendel_blosum62(),
+            16,
+            Arc::new(RwLock::new(db.clone())),
+            Alphabet::Protein,
+            1,
+        );
+        for s in db.iter() {
+            node.insert_blocks(make_blocks(s, 16));
+        }
+        node
+    }
+
+    #[test]
+    fn insert_keeps_store_and_tree_in_sync() {
+        let db = test_db();
+        let node = loaded_node(&db);
+        assert!(node.block_count() > 0);
+        assert!(node.stored_bytes() > 0);
+    }
+
+    #[test]
+    fn self_subquery_finds_its_own_block() {
+        let db = test_db();
+        let node = loaded_node(&db);
+        let q = db.get(SeqId(2)).unwrap().residues.clone();
+        let out = node.local_search(&q, 0, 16, &QueryParams::protein(), &ScoringMatrix::blosum62());
+        assert!(out.candidates > 0);
+        assert!(
+            out.anchors.iter().any(|a| a.subject_id == 2),
+            "exact block must anchor: {:?}",
+            out.anchors
+        );
+        // The exact self-anchor should extend across the whole sequence.
+        let best = out.anchors.iter().filter(|a| a.subject_id == 2).max_by_key(|a| a.score).unwrap();
+        assert_eq!(best.query_start, 0);
+        assert_eq!(best.query_end, q.len());
+    }
+
+    #[test]
+    fn strict_identity_threshold_filters_everything_foreign() {
+        let db = test_db();
+        let node = loaded_node(&db);
+        let q = db.get(SeqId(0)).unwrap().residues.clone();
+        let mut params = QueryParams::protein();
+        params.i = 1.0; // only exact windows survive
+        let out = node.local_search(&q, 0, 16, &params, &ScoringMatrix::blosum62());
+        for a in &out.anchors {
+            assert_eq!(a.subject_id, 0, "only the source sequence has exact windows");
+        }
+    }
+
+    #[test]
+    fn anchors_are_deduplicated() {
+        let db = test_db();
+        let node = loaded_node(&db);
+        let q = db.get(SeqId(1)).unwrap().residues.clone();
+        let out = node.local_search(&q, 0, 16, &QueryParams::protein(), &ScoringMatrix::blosum62());
+        let mut seen = out.anchors.clone();
+        seen.dedup();
+        assert_eq!(seen.len(), out.anchors.len());
+    }
+}

@@ -1,0 +1,140 @@
+//! Query-side primitives (§V-B): subquery decomposition, the
+//! consecutivity score, and candidate filtering.
+
+use mendel_seq::ScoringMatrix;
+
+/// Decompose a query into subquery offsets: windows of `block_len`
+/// stepping by `step` ("in larger intervals of size k ... to reduce the
+//  amplification of the subqueries"), plus a final window flush with the
+/// query's end so the tail is always covered.
+pub fn subquery_offsets(query_len: usize, block_len: usize, step: usize) -> Vec<usize> {
+    assert!(block_len >= 1 && step >= 1);
+    if query_len < block_len {
+        return Vec::new();
+    }
+    let last = query_len - block_len;
+    let mut offsets: Vec<usize> = (0..=last).step_by(step).collect();
+    if *offsets.last().expect("at least offset 0") != last {
+        offsets.push(last);
+    }
+    offsets
+}
+
+/// Positions of a candidate window that count as "matches" for the
+/// consecutivity score: identical residues always; for proteins,
+/// "substitutions to which the BLOSUM62 matrix gives a positive score
+/// are considered as successive" (§V-B).
+fn match_mask(query_win: &[u8], cand_win: &[u8], positive: Option<&ScoringMatrix>) -> Vec<bool> {
+    debug_assert_eq!(query_win.len(), cand_win.len());
+    query_win
+        .iter()
+        .zip(cand_win)
+        .map(|(&q, &c)| q == c || positive.is_some_and(|m| m.score(q, c) > 0))
+        .collect()
+}
+
+/// The consecutivity score (c-score): "calculates from the existing
+/// matches the percent of those matches that are in succession" — the
+/// fraction of matching positions that have an adjacent matching
+/// position. 0 when nothing matches.
+pub fn c_score(query_win: &[u8], cand_win: &[u8], positive: Option<&ScoringMatrix>) -> f32 {
+    let mask = match_mask(query_win, cand_win, positive);
+    let total = mask.iter().filter(|&&m| m).count();
+    if total == 0 {
+        return 0.0;
+    }
+    let successive = mask
+        .iter()
+        .enumerate()
+        .filter(|&(i, &m)| {
+            m && ((i > 0 && mask[i - 1]) || (i + 1 < mask.len() && mask[i + 1]))
+        })
+        .count();
+    successive as f32 / total as f32
+}
+
+/// Percent identity between two equal-length windows (the §V-B candidate
+/// measure, `1 − hamming/length`).
+pub fn identity(query_win: &[u8], cand_win: &[u8]) -> f32 {
+    debug_assert_eq!(query_win.len(), cand_win.len());
+    if query_win.is_empty() {
+        return 0.0;
+    }
+    let same = query_win.iter().zip(cand_win).filter(|(a, b)| a == b).count();
+    same as f32 / query_win.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mendel_seq::Alphabet;
+
+    #[test]
+    fn offsets_cover_query_with_step() {
+        assert_eq!(subquery_offsets(20, 8, 8), vec![0, 8, 12]);
+        assert_eq!(subquery_offsets(24, 8, 8), vec![0, 8, 16]);
+        assert_eq!(subquery_offsets(8, 8, 8), vec![0]);
+        assert_eq!(subquery_offsets(9, 8, 8), vec![0, 1]);
+    }
+
+    #[test]
+    fn offsets_empty_when_query_too_short() {
+        assert!(subquery_offsets(5, 8, 4).is_empty());
+    }
+
+    #[test]
+    fn offsets_step_one_is_every_position() {
+        assert_eq!(subquery_offsets(10, 8, 1), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tail_window_always_lands_on_query_end() {
+        for (len, bl, step) in [(100, 16, 7), (33, 8, 8), (50, 10, 13)] {
+            let offs = subquery_offsets(len, bl, step);
+            assert_eq!(*offs.last().unwrap(), len - bl, "len {len} bl {bl} step {step}");
+        }
+    }
+
+    #[test]
+    fn identity_counts_exact_positions() {
+        assert_eq!(identity(&[1, 2, 3, 4], &[1, 2, 9, 4]), 0.75);
+        assert_eq!(identity(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn c_score_perfect_match_is_one() {
+        assert_eq!(c_score(&[1, 2, 3, 4], &[1, 2, 3, 4], None), 1.0);
+    }
+
+    #[test]
+    fn c_score_isolated_matches_score_zero() {
+        // Matches at positions 0 and 2 with a mismatch between: neither
+        // has an adjacent match.
+        assert_eq!(c_score(&[1, 2, 3, 4], &[1, 9, 3, 9], None), 0.0);
+    }
+
+    #[test]
+    fn c_score_mixed_runs() {
+        // Mask: T T F T — matches 3, successive (0,1) = 2/3.
+        let c = c_score(&[1, 2, 3, 4], &[1, 2, 9, 4], None);
+        assert!((c - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn c_score_no_matches_is_zero() {
+        assert_eq!(c_score(&[1, 1], &[2, 2], None), 0.0);
+    }
+
+    #[test]
+    fn c_score_counts_positive_substitutions_for_protein() {
+        let m = ScoringMatrix::blosum62();
+        let e = |c| Alphabet::Protein.encode(c).unwrap();
+        // L/I scores +2 (positive): with the matrix the pair is a "match",
+        // without it the run breaks.
+        let q = [e(b'W'), e(b'L'), e(b'W')];
+        let c_with = c_score(&q, &[e(b'W'), e(b'I'), e(b'W')], Some(&m));
+        let c_without = c_score(&q, &[e(b'W'), e(b'I'), e(b'W')], None);
+        assert_eq!(c_with, 1.0);
+        assert_eq!(c_without, 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Query results and the simulated-clock report.
+
+use mendel_seq::SeqId;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// One reported alignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MendelHit {
+    /// Subject (reference) sequence.
+    pub subject: SeqId,
+    /// Final raw score (gapped where a gapped extension was attempted).
+    pub score: i32,
+    /// Bit score under the cluster's Karlin–Altschul parameters.
+    pub bits: f64,
+    /// Expectation value against the indexed database.
+    pub evalue: f64,
+    /// Query range of the reported alignment.
+    pub query_start: usize,
+    /// Exclusive query end.
+    pub query_end: usize,
+    /// Subject range of the reported alignment.
+    pub subject_start: usize,
+    /// Exclusive subject end.
+    pub subject_end: usize,
+    /// Percent identity over the seeding anchor.
+    pub identity: f32,
+}
+
+/// Simulated wall-clock of each pipeline stage (§V-B's stages, timed
+/// under the DESIGN.md cluster-clock model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Query decomposition + vp-prefix hashing at the system entry point.
+    pub decompose: Duration,
+    /// Entry point → group entry points (network).
+    pub scatter: Duration,
+    /// Slowest group: replication to members, node-local NNS + filtering
+    /// + anchor extension, gather to the group entry point, group-level
+    /// merge.
+    pub group_phase: Duration,
+    /// Group entry points → system entry point (network).
+    pub gather: Duration,
+    /// System-level merge, gapped extension, scoring, ranking.
+    pub finalize: Duration,
+}
+
+impl StageTimings {
+    /// End-to-end simulated turnaround.
+    pub fn total(&self) -> Duration {
+        self.decompose + self.scatter + self.group_phase + self.gather + self.finalize
+    }
+}
+
+/// Work counters for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Subqueries produced by the sliding window.
+    pub subqueries: usize,
+    /// Groups the query fanned out to.
+    pub groups_contacted: usize,
+    /// Storage nodes that evaluated at least one subquery.
+    pub nodes_contacted: usize,
+    /// k-NN candidates inspected before filtering.
+    pub candidates: usize,
+    /// Anchors surviving identity/c-score filtering and extension.
+    pub anchors: usize,
+    /// Simulated network messages.
+    pub messages: usize,
+    /// Simulated network payload bytes.
+    pub bytes: usize,
+}
+
+/// Everything a query returns: ranked hits, the simulated turnaround,
+/// and work counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReport {
+    /// Ranked alignments (ascending E-value).
+    pub hits: Vec<MendelHit>,
+    /// Per-stage simulated timings.
+    pub timings: StageTimings,
+    /// Work counters.
+    pub stats: QueryStats,
+}
+
+impl QueryReport {
+    /// End-to-end simulated turnaround.
+    pub fn turnaround(&self) -> Duration {
+        self.timings.total()
+    }
+
+    /// The best hit, if any.
+    pub fn best(&self) -> Option<&MendelHit> {
+        self.hits.first()
+    }
+
+    /// A human-readable breakdown of where the query's time and work
+    /// went (an EXPLAIN for the §V-B pipeline).
+    pub fn explain(&self) -> String {
+        let t = &self.timings;
+        let s = &self.stats;
+        format!(
+            "pipeline ({:?} total):\n\
+             \x20 decompose+route   {:?}\n\
+             \x20 scatter to groups {:?}   ({} groups)\n\
+             \x20 group phase       {:?}   ({} nodes, {} candidates -> {} anchors)\n\
+             \x20 gather            {:?}\n\
+             \x20 finalize+rank     {:?}   ({} hits)\n\
+             traffic: {} messages, {} bytes; {} subqueries\n",
+            t.total(),
+            t.decompose,
+            t.scatter,
+            s.groups_contacted,
+            t.group_phase,
+            s.nodes_contacted,
+            s.candidates,
+            s.anchors,
+            t.gather,
+            t.finalize,
+            self.hits.len(),
+            s.messages,
+            s.bytes,
+            s.subqueries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_total_sums_components() {
+        let t = StageTimings {
+            decompose: Duration::from_millis(1),
+            scatter: Duration::from_millis(2),
+            group_phase: Duration::from_millis(3),
+            gather: Duration::from_millis(4),
+            finalize: Duration::from_millis(5),
+        };
+        assert_eq!(t.total(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn report_accessors() {
+        let hit = MendelHit {
+            subject: SeqId(1),
+            score: 10,
+            bits: 5.0,
+            evalue: 0.1,
+            query_start: 0,
+            query_end: 4,
+            subject_start: 0,
+            subject_end: 4,
+            identity: 1.0,
+        };
+        let r = QueryReport {
+            hits: vec![hit.clone()],
+            timings: StageTimings::default(),
+            stats: QueryStats::default(),
+        };
+        assert_eq!(r.best(), Some(&hit));
+        assert_eq!(r.turnaround(), Duration::ZERO);
+    }
+}

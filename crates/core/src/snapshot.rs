@@ -1,0 +1,217 @@
+//! Pre-indexed dataset snapshots (§VII-B future work, implemented).
+//!
+//! "Adding the ability to save pre-indexed data for popular large
+//! datasets ... for various cluster sizes would save researchers a lot of
+//! time." A snapshot captures the cluster geometry and every node's
+//! routed block set in the workspace wire format (`mendel-net` codec), so
+//! a restore skips the entire hash-and-route pipeline — only the cheap
+//! node-local vp-tree builds rerun.
+
+use crate::block::Block;
+use crate::cluster::MendelCluster;
+use crate::config::{ClusterConfig, MetricKind};
+use crate::error::MendelError;
+use bytes::{Bytes, BytesMut};
+use mendel_dht::NodeId;
+use mendel_net::codec::{Decode, Encode};
+use mendel_net::LatencyModel;
+use mendel_seq::{Alphabet, SeqStore};
+use std::sync::Arc;
+
+const MAGIC: u32 = 0x4d53_4e50; // "MSNP"
+const VERSION: u8 = 1;
+
+fn alphabet_tag(a: Alphabet) -> u8 {
+    match a {
+        Alphabet::Dna => 0,
+        Alphabet::Protein => 1,
+    }
+}
+
+fn alphabet_from(tag: u8) -> Result<Alphabet, MendelError> {
+    match tag {
+        0 => Ok(Alphabet::Dna),
+        1 => Ok(Alphabet::Protein),
+        t => Err(MendelError::Snapshot(format!("bad alphabet tag {t}"))),
+    }
+}
+
+fn metric_tag(m: MetricKind) -> u8 {
+    match m {
+        MetricKind::Hamming => 0,
+        MetricKind::MendelBlosum62 => 1,
+        MetricKind::MendelBlosum62Repaired => 2,
+    }
+}
+
+fn metric_from(tag: u8) -> Result<MetricKind, MendelError> {
+    match tag {
+        0 => Ok(MetricKind::Hamming),
+        1 => Ok(MetricKind::MendelBlosum62),
+        2 => Ok(MetricKind::MendelBlosum62Repaired),
+        t => Err(MendelError::Snapshot(format!("bad metric tag {t}"))),
+    }
+}
+
+/// Serialize a cluster's geometry and routed blocks.
+///
+/// Only clusters with their original membership can be saved (a snapshot
+/// of a scaled/failed topology would not restore into
+/// `Topology::new(nodes, groups)`).
+pub fn save(cluster: &MendelCluster) -> Result<Bytes, MendelError> {
+    let cfg = cluster.config();
+    let topo = cluster.topology();
+    if topo.num_nodes() != cfg.nodes || topo.id_space() != cfg.nodes {
+        return Err(MendelError::Snapshot(
+            "cannot snapshot a cluster whose membership changed; re-index instead".into(),
+        ));
+    }
+    let mut buf = BytesMut::new();
+    MAGIC.encode(&mut buf);
+    VERSION.encode(&mut buf);
+    (cfg.nodes as u16).encode(&mut buf);
+    (cfg.groups as u16).encode(&mut buf);
+    cfg.block_len.encode(&mut buf);
+    cfg.bucket_capacity.encode(&mut buf);
+    cfg.prefix_depth.encode(&mut buf);
+    cfg.prefix_sample.encode(&mut buf);
+    cfg.replication.encode(&mut buf);
+    cfg.seed.encode(&mut buf);
+    alphabet_tag(cfg.alphabet).encode(&mut buf);
+    metric_tag(cfg.metric).encode(&mut buf);
+    for node in topo.nodes() {
+        let blocks = cluster.node_blocks(node);
+        blocks.encode(&mut buf);
+    }
+    Ok(buf.freeze())
+}
+
+/// Rebuild a cluster from a snapshot over the same reference database.
+/// The prefix tree is rebuilt deterministically from the recorded seed,
+/// so query routing is identical to the saved cluster's.
+pub fn restore(
+    bytes: &Bytes,
+    db: Arc<SeqStore>,
+    latency: LatencyModel,
+) -> Result<MendelCluster, MendelError> {
+    let mut buf = bytes.clone();
+    let bad = |e: mendel_net::DecodeError| MendelError::Snapshot(e.to_string());
+    if u32::decode(&mut buf).map_err(bad)? != MAGIC {
+        return Err(MendelError::Snapshot("bad magic".into()));
+    }
+    let version = u8::decode(&mut buf).map_err(bad)?;
+    if version != VERSION {
+        return Err(MendelError::Snapshot(format!("unsupported version {version}")));
+    }
+    let nodes = u16::decode(&mut buf).map_err(bad)? as usize;
+    let groups = u16::decode(&mut buf).map_err(bad)? as usize;
+    let block_len = usize::decode(&mut buf).map_err(bad)?;
+    let bucket_capacity = usize::decode(&mut buf).map_err(bad)?;
+    let prefix_depth = usize::decode(&mut buf).map_err(bad)?;
+    let prefix_sample = usize::decode(&mut buf).map_err(bad)?;
+    let replication = usize::decode(&mut buf).map_err(bad)?;
+    let seed = u64::decode(&mut buf).map_err(bad)?;
+    let alphabet = alphabet_from(u8::decode(&mut buf).map_err(bad)?)?;
+    let metric = metric_from(u8::decode(&mut buf).map_err(bad)?)?;
+    let config = ClusterConfig {
+        nodes,
+        groups,
+        alphabet,
+        metric,
+        block_len,
+        bucket_capacity,
+        prefix_depth,
+        prefix_sample,
+        replication,
+        latency,
+        seed,
+    };
+    let cluster = MendelCluster::build_empty(config, db)?;
+    for n in 0..nodes {
+        let blocks = Vec::<Block>::decode(&mut buf).map_err(bad)?;
+        cluster.load_node_blocks(NodeId(n as u16), blocks);
+    }
+    if !buf.is_empty() {
+        return Err(MendelError::Snapshot(format!(
+            "{} trailing bytes after node data",
+            buf.len()
+        )));
+    }
+    Ok(cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::QueryParams;
+    use mendel_seq::gen::NrLikeSpec;
+    use mendel_seq::SeqId;
+
+    fn db() -> Arc<SeqStore> {
+        Arc::new(
+            NrLikeSpec {
+                families: 8,
+                members_per_family: 2,
+                length_range: (100, 180),
+                seed: 0x5A,
+                ..Default::default()
+            }
+            .generate()
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_results() {
+        let db = db();
+        let original =
+            MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap();
+        let bytes = save(&original).unwrap();
+        let restored = restore(&bytes, db.clone(), LatencyModel::lan()).unwrap();
+        assert_eq!(restored.total_blocks(), original.total_blocks());
+        let q = db.get(SeqId(4)).unwrap().residues.clone();
+        let params = QueryParams::protein();
+        assert_eq!(
+            restored.query(&q, &params).unwrap().hits,
+            original.query(&q, &params).unwrap().hits,
+        );
+    }
+
+    #[test]
+    fn snapshot_of_scaled_cluster_is_refused() {
+        let db = db();
+        let c = MendelCluster::build(ClusterConfig::small_protein(), db).unwrap();
+        c.add_node();
+        assert!(matches!(save(&c), Err(MendelError::Snapshot(_))));
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let db = db();
+        let c = MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap();
+        let bytes = save(&c).unwrap();
+        // Bad magic.
+        let mut bad = bytes.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(restore(&Bytes::from(bad), db.clone(), LatencyModel::lan()).is_err());
+        // Truncated.
+        let short = bytes.slice(0..bytes.len() / 2);
+        assert!(restore(&short, db.clone(), LatencyModel::lan()).is_err());
+        // Trailing garbage.
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert!(restore(&Bytes::from(long), db, LatencyModel::lan()).is_err());
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let db = db();
+        let c = MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap();
+        let mut bytes = save(&c).unwrap().to_vec();
+        bytes[4] = 99; // version byte follows the 4-byte magic
+        assert!(matches!(
+            restore(&Bytes::from(bytes), db, LatencyModel::lan()),
+            Err(MendelError::Snapshot(_))
+        ));
+    }
+}

@@ -1,0 +1,442 @@
+//! Wire-mode query execution: the §V-B pipeline over real message
+//! passing.
+//!
+//! [`crate::MendelCluster::query`] computes the distributed pipeline
+//! in-process (with a simulated cluster clock). This module runs the
+//! *same* pipeline the way a deployment would: one thread per storage
+//! node, every node owning only its endpoint, and every subquery and
+//! anchor crossing node boundaries as encoded bytes over
+//! `mendel-net` mailboxes:
+//!
+//! ```text
+//! client ──GroupQuery──▶ group entry point ──NodeQuery──▶ members
+//!        ◀──merged anchors──            ◀──anchor sets──
+//! ```
+//!
+//! The client (system entry point) performs decomposition/routing and
+//! the final §V-B aggregation + gapped extension, exactly like the
+//! in-process path — so the two paths must return identical hits, which
+//! the tests assert.
+//!
+//! Scope: one query in flight per [`WireCluster`]. A group entry point
+//! awaiting member responses does not re-enter to serve another group
+//! query (correlation spaces would need per-query partitioning); issue
+//! concurrent queries through multiple `WireCluster`s or the in-process
+//! [`MendelCluster::query_many`].
+
+use crate::cluster::MendelCluster;
+use crate::error::MendelError;
+use crate::params::QueryParams;
+use crate::report::MendelHit;
+use bytes::{Bytes, BytesMut};
+use mendel_align::Hsp;
+use mendel_dht::{GroupId, NodeId};
+use mendel_net::codec::{Decode, DecodeError, Encode};
+use mendel_net::mailbox::{Endpoint, Network};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const TAG_NODE_QUERY: u8 = 1;
+const TAG_GROUP_QUERY: u8 = 2;
+const TAG_SHUTDOWN: u8 = 3;
+
+/// Default per-request deadline.
+const RPC_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The subset of [`QueryParams`] a storage node needs, in wire form.
+#[derive(Debug, Clone, PartialEq)]
+struct WireParams {
+    n: usize,
+    i: f32,
+    c: f32,
+    m: String,
+    x_drop_ungapped: i32,
+    min_anchor_score: i32,
+    search_budget: usize,
+}
+
+impl WireParams {
+    fn of(p: &QueryParams) -> Self {
+        WireParams {
+            n: p.n,
+            i: p.i,
+            c: p.c,
+            m: p.m.clone(),
+            x_drop_ungapped: p.x_drop_ungapped,
+            min_anchor_score: p.min_anchor_score,
+            search_budget: p.search_budget,
+        }
+    }
+
+    fn to_query_params(&self) -> QueryParams {
+        QueryParams {
+            n: self.n,
+            i: self.i,
+            c: self.c,
+            m: self.m.clone(),
+            x_drop_ungapped: self.x_drop_ungapped,
+            min_anchor_score: self.min_anchor_score,
+            search_budget: self.search_budget,
+            ..QueryParams::protein()
+        }
+    }
+}
+
+impl Encode for WireParams {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.n.encode(buf);
+        self.i.encode(buf);
+        self.c.encode(buf);
+        self.m.encode(buf);
+        self.x_drop_ungapped.encode(buf);
+        self.min_anchor_score.encode(buf);
+        self.search_budget.encode(buf);
+    }
+}
+
+impl Decode for WireParams {
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(WireParams {
+            n: usize::decode(buf)?,
+            i: f32::decode(buf)?,
+            c: f32::decode(buf)?,
+            m: String::decode(buf)?,
+            x_drop_ungapped: i32::decode(buf)?,
+            min_anchor_score: i32::decode(buf)?,
+            search_budget: usize::decode(buf)?,
+        })
+    }
+}
+
+/// A subquery batch request (either tier).
+#[derive(Debug, Clone, PartialEq)]
+struct QueryMsg {
+    tag: u8,
+    query: Vec<u8>,
+    offsets: Vec<usize>,
+    params: WireParams,
+}
+
+impl Encode for QueryMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.tag.encode(buf);
+        self.query.encode(buf);
+        self.offsets.encode(buf);
+        self.params.encode(buf);
+    }
+}
+
+impl Decode for QueryMsg {
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(QueryMsg {
+            tag: u8::decode(buf)?,
+            query: Vec::decode(buf)?,
+            offsets: Vec::decode(buf)?,
+            params: WireParams::decode(buf)?,
+        })
+    }
+}
+
+fn encode_hsps(hsps: &[Hsp]) -> Bytes {
+    let mut buf = BytesMut::new();
+    (hsps.len() as u32).encode(&mut buf);
+    for h in hsps {
+        h.subject_id.encode(&mut buf);
+        h.query_start.encode(&mut buf);
+        h.query_end.encode(&mut buf);
+        h.subject_start.encode(&mut buf);
+        h.score.encode(&mut buf);
+    }
+    buf.freeze()
+}
+
+fn decode_hsps(bytes: &Bytes) -> Result<Vec<Hsp>, DecodeError> {
+    let mut buf = bytes.clone();
+    let n = u32::decode(&mut buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(Hsp {
+            subject_id: u32::decode(&mut buf)?,
+            query_start: usize::decode(&mut buf)?,
+            query_end: usize::decode(&mut buf)?,
+            subject_start: usize::decode(&mut buf)?,
+            score: i32::decode(&mut buf)?,
+        });
+    }
+    Ok(out)
+}
+
+/// A cluster whose storage nodes run as threads and communicate only
+/// through encoded messages. Wraps an indexed [`MendelCluster`] (the
+/// control plane: routing tables and node-local state); all data-plane
+/// traffic is real bytes on the [`Network`].
+pub struct WireCluster {
+    cluster: Arc<MendelCluster>,
+    network: Network,
+    client: Endpoint,
+    /// Node address = NodeId.0 + 1 (the client takes address 0).
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WireCluster {
+    /// Spawn one serving thread per live node of `cluster`.
+    pub fn serve(cluster: Arc<MendelCluster>) -> Self {
+        let network = Network::new();
+        let client = network.join();
+        debug_assert_eq!(client.addr().0, 0);
+        let topo = cluster.topology();
+        let mut handles = Vec::new();
+        for node in topo.nodes() {
+            let endpoint = network.join();
+            debug_assert_eq!(endpoint.addr().0, node.0 + 1);
+            let cluster = cluster.clone();
+            let topo = topo.clone();
+            handles.push(std::thread::spawn(move || {
+                node_loop(cluster, topo, node, endpoint);
+            }));
+        }
+        WireCluster { cluster, network, client, handles }
+    }
+
+    /// Total messages sent on the wire so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.network.stats().messages()
+    }
+
+    /// Total payload bytes sent on the wire so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.network.stats().bytes()
+    }
+
+    /// Evaluate a query over the wire. Routing happens at the client
+    /// (the system entry point), per-group evaluation at the group entry
+    /// points, node-local search on each member's thread. Returns the
+    /// same ranked hits as [`MendelCluster::query`].
+    pub fn query(
+        &self,
+        query: &[u8],
+        params: &QueryParams,
+    ) -> Result<Vec<MendelHit>, MendelError> {
+        params.validate()?;
+        let block_len = self.cluster.config().block_len;
+        if query.len() < block_len {
+            return Err(MendelError::Query("query shorter than block length".into()));
+        }
+        // Resolve early so bad params fail before any traffic.
+        let matrix = self.cluster.resolve_matrix(&params.m)?;
+        let topo = self.cluster.topology();
+
+        // Stage 1: decompose + route (system entry point).
+        let offsets = crate::query::subquery_offsets(query.len(), block_len, params.k);
+        let mut group_offsets: HashMap<GroupId, Vec<usize>> = HashMap::new();
+        for &off in &offsets {
+            for g in self
+                .cluster
+                .groups_of_window(&query[off..off + block_len], params.group_tolerance)
+            {
+                group_offsets.entry(g).or_default().push(off);
+            }
+        }
+
+        // Stage 2+3: scatter GroupQuery to each group entry point.
+        let wire_params = WireParams::of(params);
+        let mut pending: HashMap<u64, GroupId> = HashMap::new();
+        let mut corr = 1u64;
+        for (g, offs) in &group_offsets {
+            let members = topo.group_members(*g);
+            if members.is_empty() {
+                continue;
+            }
+            let gep = members[0];
+            let msg = QueryMsg {
+                tag: TAG_GROUP_QUERY,
+                query: query.to_vec(),
+                offsets: offs.clone(),
+                params: wire_params.clone(),
+            };
+            self.client
+                .send(mendel_net::NodeAddr(gep.0 + 1), corr, msg.to_bytes());
+            pending.insert(corr, *g);
+            corr += 1;
+        }
+
+        // Stage 4: gather merged anchor sets.
+        let mut anchors: Vec<Hsp> = Vec::new();
+        while !pending.is_empty() {
+            let env = self
+                .client
+                .recv_timeout(RPC_TIMEOUT)
+                .map_err(|e| MendelError::Query(format!("wire gather failed: {e}")))?;
+            if pending.remove(&env.correlation).is_some() {
+                anchors.extend(
+                    decode_hsps(&env.payload)
+                        .map_err(|e| MendelError::Snapshot(e.to_string()))?,
+                );
+            }
+        }
+
+        // Stage 5: system-level merge + gapped extension + ranking,
+        // identical to the in-process path.
+        let merged = mendel_align::hsp::merge_overlapping(anchors);
+        Ok(self.cluster.finalize(query, merged, params, &matrix))
+    }
+}
+
+impl Drop for WireCluster {
+    fn drop(&mut self) {
+        // Broadcast shutdown and join every node thread.
+        let mut buf = BytesMut::new();
+        TAG_SHUTDOWN.encode(&mut buf);
+        let payload = buf.freeze();
+        for h in 1..=self.handles.len() as u16 {
+            self.client.send(mendel_net::NodeAddr(h), 0, payload.clone());
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The per-node serving loop.
+fn node_loop(
+    cluster: Arc<MendelCluster>,
+    topo: mendel_dht::Topology,
+    me: NodeId,
+    endpoint: Endpoint,
+) {
+    while let Ok(env) = endpoint.recv() {
+        let Some(&tag) = env.payload.first() else { continue };
+        match tag {
+            TAG_SHUTDOWN => break,
+            TAG_NODE_QUERY => {
+                let Ok(msg) = QueryMsg::from_bytes(&env.payload) else { continue };
+                let anchors = eval_local(&cluster, me, &msg);
+                endpoint.send(env.from, env.correlation, encode_hsps(&anchors));
+            }
+            TAG_GROUP_QUERY => {
+                let Ok(msg) = QueryMsg::from_bytes(&env.payload) else { continue };
+                // I am this group's entry point: replicate to the other
+                // members, evaluate my own share, gather, merge, reply.
+                let g = topo.node_group(me).expect("serving node is a member");
+                let peers: Vec<NodeId> = topo
+                    .group_members(g)
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != me)
+                    .collect();
+                let sub = QueryMsg { tag: TAG_NODE_QUERY, ..msg.clone() };
+                let sub_bytes = sub.to_bytes();
+                let mut pending = std::collections::HashSet::new();
+                for (i, peer) in peers.iter().enumerate() {
+                    let corr = 1_000_000 + i as u64;
+                    endpoint.send(mendel_net::NodeAddr(peer.0 + 1), corr, sub_bytes.clone());
+                    pending.insert(corr);
+                }
+                let mut anchors = eval_local(&cluster, me, &msg);
+                while !pending.is_empty() {
+                    match endpoint.recv_timeout(RPC_TIMEOUT) {
+                        Ok(resp) if pending.remove(&resp.correlation) => {
+                            if let Ok(more) = decode_hsps(&resp.payload) {
+                                anchors.extend(more);
+                            }
+                        }
+                        Ok(_) => {} // stray message; single query in flight
+                        Err(_) => break,
+                    }
+                }
+                // First aggregation stage (§V-B): merge overlapping
+                // anchors on the same diagonal at the group entry point.
+                let merged = mendel_align::hsp::merge_overlapping(anchors);
+                endpoint.send(env.from, env.correlation, encode_hsps(&merged));
+            }
+            _ => {}
+        }
+    }
+}
+
+fn eval_local(cluster: &MendelCluster, me: NodeId, msg: &QueryMsg) -> Vec<Hsp> {
+    let params = msg.params.to_query_params();
+    let Ok(matrix) = cluster.resolve_matrix(&params.m) else {
+        return Vec::new();
+    };
+    cluster.node_local_search(me, &msg.query, &msg.offsets, &params, &matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use mendel_seq::gen::{NrLikeSpec, QuerySetSpec};
+    use mendel_seq::SeqId;
+
+    fn cluster() -> Arc<MendelCluster> {
+        let db = Arc::new(
+            NrLikeSpec {
+                families: 10,
+                members_per_family: 2,
+                length_range: (120, 220),
+                seed: 0x31,
+                ..Default::default()
+            }
+            .generate()
+            .unwrap(),
+        );
+        Arc::new(MendelCluster::build(ClusterConfig::small_protein(), db).unwrap())
+    }
+
+    #[test]
+    fn wire_results_match_in_process() {
+        let cluster = cluster();
+        let wire = WireCluster::serve(cluster.clone());
+        let params = QueryParams::protein();
+        for id in [0u32, 5, 13] {
+            let q = cluster.db().get(SeqId(id)).unwrap().residues.clone();
+            let in_process = cluster.query(&q, &params).unwrap().hits;
+            let over_wire = wire.query(&q, &params).unwrap();
+            assert_eq!(over_wire, in_process, "wire and in-process must agree on seq {id}");
+        }
+    }
+
+    #[test]
+    fn wire_traffic_is_accounted() {
+        let cluster = cluster();
+        let wire = WireCluster::serve(cluster.clone());
+        let q = cluster.db().get(SeqId(2)).unwrap().residues.clone();
+        let _ = wire.query(&q, &QueryParams::protein()).unwrap();
+        assert!(wire.messages_sent() > 0, "a query must send messages");
+        assert!(wire.bytes_sent() > q.len() as u64, "payloads include the query");
+    }
+
+    #[test]
+    fn wire_finds_mutated_sources() {
+        let cluster = cluster();
+        let wire = WireCluster::serve(cluster.clone());
+        let queries = QuerySetSpec { count: 4, length: 100, identity: 0.85, seed: 3 }
+            .generate(&cluster.db())
+            .unwrap();
+        for q in &queries {
+            let hits = wire.query(&q.query.residues, &QueryParams::protein()).unwrap();
+            assert!(hits.iter().any(|h| h.subject == q.source));
+        }
+    }
+
+    #[test]
+    fn wire_rejects_bad_queries() {
+        let cluster = cluster();
+        let wire = WireCluster::serve(cluster.clone());
+        assert!(wire.query(&[0u8; 3], &QueryParams::protein()).is_err());
+        let mut bad = QueryParams::protein();
+        bad.n = 0;
+        let q = cluster.db().get(SeqId(0)).unwrap().residues.clone();
+        assert!(wire.query(&q, &bad).is_err());
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads() {
+        let cluster = cluster();
+        let wire = WireCluster::serve(cluster.clone());
+        drop(wire); // must not hang
+    }
+}

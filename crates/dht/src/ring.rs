@@ -1,0 +1,215 @@
+//! Consistent-hash ring placement with virtual nodes — an alternative
+//! second-tier placement.
+//!
+//! [`crate::FlatPlacement`] hashes `key mod |group|`, which balances
+//! perfectly but remaps almost every block when the group's membership
+//! changes (the cluster's rebalance pays for that). A consistent-hash
+//! ring (Karger et al.; the placement Dynamo and Cassandra — the paper's
+//! §IV-A references — actually use) positions each member at many
+//! pseudo-random *virtual node* points on a 64-bit ring and assigns a
+//! key to the first member clockwise of its hash: adding a member moves
+//! only ≈ 1/(n+1) of the keys. Both placements are exposed so the
+//! trade-off is measurable (see the `placement_movement` tests).
+
+use crate::sha1::sha1_u64;
+use crate::topology::{GroupId, NodeId, Topology};
+
+/// Consistent-hash placement over each group's members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsistentRing {
+    /// Virtual nodes per member; more vnodes = tighter balance at
+    /// proportionally higher ring-construction cost.
+    pub vnodes: usize,
+    /// Distinct members per key (primary first).
+    pub replication: usize,
+}
+
+impl ConsistentRing {
+    /// A ring with the given virtual-node count and no replication.
+    pub fn new(vnodes: usize) -> Self {
+        assert!(vnodes >= 1, "at least one virtual node per member");
+        ConsistentRing { vnodes, replication: 1 }
+    }
+
+    /// A ring storing each key on `replication` distinct members.
+    pub fn with_replication(vnodes: usize, replication: usize) -> Self {
+        assert!(vnodes >= 1, "at least one virtual node per member");
+        assert!(replication >= 1, "replication factor must be at least 1");
+        ConsistentRing { vnodes, replication }
+    }
+
+    /// Precompute the ring for one group; use for bulk placement (the
+    /// per-call convenience methods rebuild it every time).
+    pub fn view(&self, topo: &Topology, g: GroupId) -> RingView {
+        RingView {
+            ring: self.ring(topo, g),
+            replication: self.replication,
+            members: topo.group_members(g).len(),
+        }
+    }
+
+    /// The ring for one group: sorted `(position, member)` points. Built
+    /// deterministically from member ids, so every caller sees the same
+    /// ring without coordination (zero-hop, like the rest of the DHT).
+    fn ring(&self, topo: &Topology, g: GroupId) -> Vec<(u64, NodeId)> {
+        let mut ring: Vec<(u64, NodeId)> = Vec::new();
+        for &member in topo.group_members(g) {
+            for v in 0..self.vnodes {
+                let mut token = [0u8; 4];
+                token[..2].copy_from_slice(&member.0.to_le_bytes());
+                token[2..].copy_from_slice(&(v as u16).to_le_bytes());
+                ring.push((sha1_u64(&token), member));
+            }
+        }
+        ring.sort_unstable();
+        ring
+    }
+
+    /// The primary member for `key` within group `g`.
+    pub fn primary(&self, topo: &Topology, g: GroupId, key: &[u8]) -> Option<NodeId> {
+        self.replicas(topo, g, key).into_iter().next()
+    }
+
+    /// All replica members for `key` (primary first): walk clockwise from
+    /// the key's hash collecting distinct members.
+    pub fn replicas(&self, topo: &Topology, g: GroupId, key: &[u8]) -> Vec<NodeId> {
+        self.view(topo, g).replicas(key)
+    }
+}
+
+/// A precomputed group ring: O(log points) placement per key.
+#[derive(Debug, Clone)]
+pub struct RingView {
+    ring: Vec<(u64, NodeId)>,
+    replication: usize,
+    members: usize,
+}
+
+impl RingView {
+    /// The primary member for `key`.
+    pub fn primary(&self, key: &[u8]) -> Option<NodeId> {
+        self.replicas(key).into_iter().next()
+    }
+
+    /// All replica members for `key` (primary first).
+    pub fn replicas(&self, key: &[u8]) -> Vec<NodeId> {
+        if self.ring.is_empty() {
+            return Vec::new();
+        }
+        let h = sha1_u64(key);
+        let start = self.ring.partition_point(|&(pos, _)| pos < h);
+        let want = self.replication.min(self.members);
+        let mut out: Vec<NodeId> = Vec::with_capacity(want);
+        for i in 0..self.ring.len() {
+            let (_, member) = self.ring[(start + i) % self.ring.len()];
+            if !out.contains(&member) {
+                out.push(member);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::FlatPlacement;
+
+    fn keys(n: usize) -> Vec<[u8; 4]> {
+        (0..n as u32).map(|i| i.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_in_group() {
+        let topo = Topology::new(10, 2);
+        let ring = ConsistentRing::new(64);
+        for key in keys(50) {
+            let a = ring.primary(&topo, GroupId(1), &key).unwrap();
+            let b = ring.primary(&topo, GroupId(1), &key).unwrap();
+            assert_eq!(a, b);
+            assert!(topo.group_members(GroupId(1)).contains(&a));
+        }
+    }
+
+    #[test]
+    fn balance_improves_with_vnodes() {
+        let topo = Topology::new(5, 1);
+        let spread = |vnodes: usize| -> f64 {
+            let view = ConsistentRing::new(vnodes).view(&topo, GroupId(0));
+            let mut counts = [0usize; 5];
+            for key in keys(20_000) {
+                counts[view.primary(&key).unwrap().0 as usize] += 1;
+            }
+            let max = *counts.iter().max().unwrap() as f64;
+            let min = *counts.iter().min().unwrap() as f64;
+            max / min
+        };
+        let coarse = spread(4);
+        let fine = spread(128);
+        assert!(fine < coarse, "128 vnodes ({fine:.2}) must beat 4 ({coarse:.2})");
+        assert!(fine < 1.5, "fine ring should balance within 50% ({fine:.2})");
+    }
+
+    #[test]
+    fn ring_moves_few_keys_on_join_flat_moves_many() {
+        // The classic consistent-hashing property, measured head-to-head.
+        let mut topo = Topology::new(5, 1);
+        let ring = ConsistentRing::new(64);
+        let flat = FlatPlacement::new();
+        let ks = keys(5_000);
+        let before_view = ring.view(&topo, GroupId(0));
+        let ring_before: Vec<NodeId> =
+            ks.iter().map(|k| before_view.primary(k).unwrap()).collect();
+        let flat_before: Vec<NodeId> =
+            ks.iter().map(|k| flat.primary(&topo, GroupId(0), k).unwrap()).collect();
+        topo.join(mendel_net::NodeSpeed::HP_DL160);
+        let after_view = ring.view(&topo, GroupId(0));
+        let ring_moved = ks
+            .iter()
+            .zip(&ring_before)
+            .filter(|(k, &before)| after_view.primary(*k).unwrap() != before)
+            .count() as f64
+            / ks.len() as f64;
+        let flat_moved = ks
+            .iter()
+            .zip(&flat_before)
+            .filter(|(k, &before)| flat.primary(&topo, GroupId(0), *k).unwrap() != before)
+            .count() as f64
+            / ks.len() as f64;
+        // Ideal ring movement is 1/6 ≈ 0.167; mod-N movement ≈ 5/6.
+        assert!(ring_moved < 0.30, "ring moved {ring_moved:.2}");
+        assert!(flat_moved > 0.60, "flat moved only {flat_moved:.2}");
+        assert!(ring_moved < flat_moved / 2.0);
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_clamped() {
+        let topo = Topology::new(6, 2);
+        let ring = ConsistentRing::with_replication(32, 3);
+        let reps = ring.replicas(&topo, GroupId(0), b"key");
+        assert_eq!(reps.len(), 3);
+        let mut d = reps.clone();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), 3);
+        let big = ConsistentRing::with_replication(32, 10);
+        assert_eq!(big.replicas(&topo, GroupId(0), b"key").len(), 3, "clamped to group size");
+    }
+
+    #[test]
+    fn empty_group_yields_nothing() {
+        let mut topo = Topology::new(2, 2);
+        topo.leave(NodeId(0));
+        let ring = ConsistentRing::new(8);
+        assert!(ring.primary(&topo, GroupId(0), b"x").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual node")]
+    fn zero_vnodes_rejected() {
+        ConsistentRing::new(0);
+    }
+}

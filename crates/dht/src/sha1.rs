@@ -1,0 +1,213 @@
+//! SHA-1, implemented from scratch (FIPS 180-1).
+//!
+//! The paper's second-tier placement uses "a tried-and-true flat hashing
+//! scheme, SHA-1, to disperse the blocks within a group" (§V-A2). Only
+//! uniformity matters here — SHA-1's cryptographic retirement is
+//! irrelevant to load balancing — so a dependency-free 80-round
+//! implementation suffices. Validated against the FIPS test vectors.
+
+/// Streaming SHA-1 state.
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    h: [u32; 5],
+    /// Bytes processed so far (for the length suffix).
+    len: u64,
+    /// Partial block buffer.
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Fresh hash state.
+    pub fn new() -> Self {
+        Sha1 {
+            h: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.compress(block.try_into().expect("64-byte split"));
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finish and produce the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 8-byte big-endian bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Write the length directly into the buffer tail and compress.
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; 20];
+        for (i, word) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 of `data`.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut s = Sha1::new();
+    s.update(data);
+    s.finalize()
+}
+
+/// The first 8 digest bytes as a big-endian u64 — the placement key used
+/// by [`crate::placement`].
+pub fn sha1_u64(data: &[u8]) -> u64 {
+    let d = sha1(data);
+    u64::from_be_bytes(d[..8].try_into().expect("digest has 20 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vector_empty() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn fips_vector_two_blocks() {
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn fips_vector_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&sha1(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn quick_brown_fox() {
+        assert_eq!(
+            hex(&sha1(b"The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_at_all_split_points() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let want = sha1(&data);
+        for split in [0usize, 1, 55, 56, 63, 64, 65, 127, 128, 199, 200] {
+            let mut s = Sha1::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(s.finalize(), want, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn length_boundary_paddings() {
+        // 55, 56, 63, 64 bytes hit all padding branches.
+        for n in [55usize, 56, 63, 64, 119, 120] {
+            let data = vec![0x5Au8; n];
+            let mut s = Sha1::new();
+            for b in &data {
+                s.update(std::slice::from_ref(b));
+            }
+            assert_eq!(s.finalize(), sha1(&data), "length {n}");
+        }
+    }
+
+    #[test]
+    fn u64_prefix_is_big_endian_digest_head() {
+        let d = sha1(b"abc");
+        assert_eq!(sha1_u64(b"abc"), u64::from_be_bytes(d[..8].try_into().unwrap()));
+    }
+
+    #[test]
+    fn u64_values_look_uniform() {
+        // Crude uniformity check: bucket 10k hashed integers into 16 bins.
+        let mut bins = [0usize; 16];
+        for i in 0..10_000u32 {
+            bins[(sha1_u64(&i.to_le_bytes()) % 16) as usize] += 1;
+        }
+        let (min, max) = (bins.iter().min().unwrap(), bins.iter().max().unwrap());
+        assert!(max - min < 200, "bins too skewed: {bins:?}");
+    }
+}

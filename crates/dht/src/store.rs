@@ -1,0 +1,142 @@
+//! Per-node block stores with byte-level load accounting.
+//!
+//! A [`BlockStore`] is the storage-node-side container for whatever the
+//! framework stores (Mendel instantiates it with inverted-index blocks).
+//! It hands out stable [`BlockRef`]s and tracks stored bytes so the
+//! load-balance experiments (Fig. 5) can measure per-node data share.
+
+use serde::{Deserialize, Serialize};
+
+/// Stable reference to a block within one node's store.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct BlockRef(pub u32);
+
+/// Something storable: reports its payload size for load accounting.
+pub trait StoredBytes {
+    /// Approximate stored size in bytes.
+    fn stored_bytes(&self) -> usize;
+}
+
+impl StoredBytes for Vec<u8> {
+    fn stored_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+/// An append-only block container with byte accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockStore<B> {
+    blocks: Vec<B>,
+    bytes: u64,
+}
+
+impl<B: StoredBytes> BlockStore<B> {
+    /// An empty store.
+    pub fn new() -> Self {
+        BlockStore { blocks: Vec::new(), bytes: 0 }
+    }
+
+    /// Append a block, returning its reference.
+    pub fn push(&mut self, block: B) -> BlockRef {
+        self.bytes += block.stored_bytes() as u64;
+        self.blocks.push(block);
+        BlockRef(self.blocks.len() as u32 - 1)
+    }
+
+    /// Append many blocks, returning their references in order.
+    pub fn push_batch(&mut self, blocks: impl IntoIterator<Item = B>) -> Vec<BlockRef> {
+        blocks.into_iter().map(|b| self.push(b)).collect()
+    }
+
+    /// Fetch a block.
+    #[inline]
+    pub fn get(&self, r: BlockRef) -> Option<&B> {
+        self.blocks.get(r.0 as usize)
+    }
+
+    /// Number of stored blocks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when nothing is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total payload bytes stored (the Fig. 5 measurement unit).
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Iterate over `(ref, block)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockRef, &B)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockRef(i as u32), b))
+    }
+
+    /// Drain the store, returning all blocks (used for scale-out handoff).
+    pub fn drain(&mut self) -> Vec<B> {
+        self.bytes = 0;
+        std::mem::take(&mut self.blocks)
+    }
+}
+
+impl<B: StoredBytes> Default for BlockStore<B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut s = BlockStore::new();
+        let r = s.push(vec![1u8, 2, 3]);
+        assert_eq!(r, BlockRef(0));
+        assert_eq!(s.get(r), Some(&vec![1u8, 2, 3]));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.bytes(), 3);
+    }
+
+    #[test]
+    fn refs_are_stable_and_sequential() {
+        let mut s = BlockStore::new();
+        let refs = s.push_batch(vec![vec![0u8; 4], vec![0u8; 6]]);
+        assert_eq!(refs, vec![BlockRef(0), BlockRef(1)]);
+        assert_eq!(s.bytes(), 10);
+    }
+
+    #[test]
+    fn missing_ref_is_none() {
+        let s: BlockStore<Vec<u8>> = BlockStore::new();
+        assert!(s.get(BlockRef(0)).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_pairs_in_order() {
+        let mut s = BlockStore::new();
+        s.push(vec![1u8]);
+        s.push(vec![2u8]);
+        let pairs: Vec<(u32, u8)> = s.iter().map(|(r, b)| (r.0, b[0])).collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn drain_empties_and_resets_accounting() {
+        let mut s = BlockStore::new();
+        s.push(vec![9u8; 100]);
+        let blocks = s.drain();
+        assert_eq!(blocks.len(), 1);
+        assert!(s.is_empty());
+        assert_eq!(s.bytes(), 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Cluster topology: node groups, zero-hop routing state, elastic
+//! membership (§IV-C).
+//!
+//! "Each storage node within the system is placed in a group. The size
+//! and quantity of groups are a user-configurable parameter." Every node
+//! (and the client façade) holds the full topology — that is what makes
+//! the DHT *zero-hop*: any request routes directly to its destination.
+
+use mendel_net::NodeSpeed;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a storage node within the cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u16);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a node group.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct GroupId(pub u16);
+
+impl std::fmt::Display for GroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Full cluster membership: which nodes exist, which group each belongs
+/// to, and each node's hardware speed class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    groups: Vec<Vec<NodeId>>,
+    /// Per-node speed factor, indexed by `NodeId.0`; `None` marks a node
+    /// that left the cluster (ids are never reused).
+    speeds: Vec<Option<NodeSpeed>>,
+}
+
+impl Topology {
+    /// Build a topology of `nodes` storage nodes spread over `groups`
+    /// groups (contiguous split, like the paper's 50 nodes in groups of
+    /// five). Speeds follow the paper's heterogeneous 50/50 mix.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ groups ≤ nodes`.
+    pub fn new(nodes: usize, groups: usize) -> Self {
+        assert!(groups >= 1, "at least one group");
+        assert!(groups <= nodes, "more groups ({groups}) than nodes ({nodes})");
+        assert!(nodes <= u16::MAX as usize, "node id space is u16");
+        let mut g: Vec<Vec<NodeId>> = vec![Vec::new(); groups];
+        for n in 0..nodes {
+            g[n * groups / nodes].push(NodeId(n as u16));
+        }
+        let speeds = (0..nodes).map(|n| Some(NodeSpeed::paper_mix(n))).collect();
+        Topology { groups: g, speeds }
+    }
+
+    /// The paper's testbed: 50 nodes in 10 groups of 5.
+    pub fn paper_testbed() -> Self {
+        Self::new(50, 10)
+    }
+
+    /// Number of live nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.speeds.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of node ids ever allocated (live + departed).
+    pub fn id_space(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Live members of group `g`.
+    pub fn group_members(&self, g: GroupId) -> &[NodeId] {
+        &self.groups[g.0 as usize]
+    }
+
+    /// The group a node belongs to, or `None` for departed/unknown nodes.
+    pub fn node_group(&self, node: NodeId) -> Option<GroupId> {
+        self.groups
+            .iter()
+            .position(|members| members.contains(&node))
+            .map(|g| GroupId(g as u16))
+    }
+
+    /// Speed factor of a live node.
+    pub fn node_speed(&self, node: NodeId) -> Option<NodeSpeed> {
+        self.speeds.get(node.0 as usize).copied().flatten()
+    }
+
+    /// Iterate over all live node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.groups.iter().flatten().copied()
+    }
+
+    /// Iterate over all group ids.
+    pub fn group_ids(&self) -> impl Iterator<Item = GroupId> {
+        (0..self.groups.len() as u16).map(GroupId)
+    }
+
+    /// Elastic scale-out: add a node to the smallest group ("commodity
+    /// hardware can be added incrementally", §I). Returns the new id and
+    /// its group.
+    pub fn join(&mut self, speed: NodeSpeed) -> (NodeId, GroupId) {
+        assert!(self.speeds.len() < u16::MAX as usize, "node id space exhausted");
+        let id = NodeId(self.speeds.len() as u16);
+        self.speeds.push(Some(speed));
+        let g = self
+            .groups
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, members)| members.len())
+            .map(|(i, _)| i)
+            .expect("at least one group");
+        self.groups[g].push(id);
+        (id, GroupId(g as u16))
+    }
+
+    /// Remove a node (failure or decommission). Returns its former group,
+    /// or `None` if it was not a live member.
+    pub fn leave(&mut self, node: NodeId) -> Option<GroupId> {
+        let g = self.node_group(node)?;
+        self.groups[g.0 as usize].retain(|&n| n != node);
+        self.speeds[node.0 as usize] = None;
+        Some(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_is_50_nodes_10_groups_of_5() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.num_nodes(), 50);
+        assert_eq!(t.num_groups(), 10);
+        for g in t.group_ids() {
+            assert_eq!(t.group_members(g).len(), 5, "group {g}");
+        }
+    }
+
+    #[test]
+    fn contiguous_assignment() {
+        let t = Topology::new(6, 2);
+        assert_eq!(t.group_members(GroupId(0)), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(t.group_members(GroupId(1)), &[NodeId(3), NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn uneven_split_spreads_remainder() {
+        let t = Topology::new(7, 3);
+        let sizes: Vec<usize> = t.group_ids().map(|g| t.group_members(g).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 7);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3), "{sizes:?}");
+    }
+
+    #[test]
+    fn node_group_lookup() {
+        let t = Topology::new(10, 5);
+        assert_eq!(t.node_group(NodeId(0)), Some(GroupId(0)));
+        assert_eq!(t.node_group(NodeId(9)), Some(GroupId(4)));
+        assert_eq!(t.node_group(NodeId(10)), None);
+    }
+
+    #[test]
+    fn speeds_follow_paper_mix() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.node_speed(NodeId(0)), Some(NodeSpeed::HP_DL160));
+        assert_eq!(t.node_speed(NodeId(1)), Some(NodeSpeed::SUNFIRE_X4100));
+    }
+
+    #[test]
+    fn join_targets_smallest_group() {
+        let mut t = Topology::new(7, 3); // sizes 3,2,2 (contiguous split: 0-2,3-4,5-6)
+        let sizes: Vec<usize> = t.group_ids().map(|g| t.group_members(g).len()).collect();
+        let smallest = sizes.iter().copied().min().unwrap();
+        let (id, g) = t.join(NodeSpeed::HP_DL160);
+        assert_eq!(id, NodeId(7));
+        assert_eq!(t.group_members(g).len(), smallest + 1);
+        assert_eq!(t.num_nodes(), 8);
+    }
+
+    #[test]
+    fn leave_removes_membership_but_not_id() {
+        let mut t = Topology::new(4, 2);
+        assert_eq!(t.leave(NodeId(1)), Some(GroupId(0)));
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.node_group(NodeId(1)), None);
+        assert_eq!(t.node_speed(NodeId(1)), None);
+        assert_eq!(t.leave(NodeId(1)), None, "double-leave is a no-op");
+        // Ids are never reused.
+        let (id, _) = t.join(NodeSpeed::HP_DL160);
+        assert_eq!(id, NodeId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "more groups")]
+    fn more_groups_than_nodes_rejected() {
+        Topology::new(2, 3);
+    }
+
+    #[test]
+    fn nodes_iterator_covers_everyone() {
+        let t = Topology::new(12, 4);
+        let mut ids: Vec<u16> = t.nodes().map(|n| n.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..12).collect::<Vec<u16>>());
+    }
+}

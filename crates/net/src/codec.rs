@@ -1,0 +1,378 @@
+//! A compact little-endian binary wire format, implemented from scratch.
+//!
+//! `serde` alone defines no byte representation and the approved
+//! dependency list carries no format crate, so this module provides one:
+//! fixed-width little-endian integers, IEEE-754 floats, and
+//! length-prefixed (`u32`) byte strings and collections. The encoded
+//! sizes are what [`crate::latency::LatencyModel`] charges bandwidth for,
+//! so every message the DHT sends has a defensible on-wire cost.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes remained than the type required.
+    UnexpectedEof {
+        /// Bytes needed by the read.
+        needed: usize,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// A tag byte did not name a known variant.
+    BadTag(u8),
+    /// A length prefix exceeded the sanity limit.
+    LengthOverflow(u64),
+    /// Bytes declared as UTF-8 were not.
+    BadUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected EOF: needed {needed} bytes, {remaining} remain")
+            }
+            DecodeError::BadTag(t) => write!(f, "unknown variant tag {t}"),
+            DecodeError::LengthOverflow(n) => write!(f, "length prefix {n} exceeds limit"),
+            DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Maximum element count a length prefix may declare (64 Mi) — guards
+/// against corrupt frames allocating unbounded memory.
+pub const MAX_LEN: u64 = 64 * 1024 * 1024;
+
+/// Types that can write themselves to a wire buffer.
+pub trait Encode {
+    /// Append this value's encoding to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Convenience: encode into a fresh frozen buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Number of bytes [`Self::encode`] will write. The default encodes
+    /// into a scratch buffer; hot types may override with arithmetic.
+    fn encoded_len(&self) -> usize {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+}
+
+/// Types that can read themselves back from a wire buffer.
+pub trait Decode: Sized {
+    /// Consume this value's encoding from the front of `buf`.
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError>;
+
+    /// Convenience: decode from a full frame, requiring it be consumed
+    /// exactly.
+    fn from_bytes(bytes: &Bytes) -> Result<Self, DecodeError> {
+        let mut b = bytes.clone();
+        let v = Self::decode(&mut b)?;
+        if !b.is_empty() {
+            return Err(DecodeError::UnexpectedEof { needed: 0, remaining: b.len() });
+        }
+        Ok(v)
+    }
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::UnexpectedEof { needed: n, remaining: buf.remaining() })
+    } else {
+        Ok(())
+    }
+}
+
+macro_rules! impl_int {
+    ($ty:ty, $put:ident, $get:ident, $n:expr) => {
+        impl Encode for $ty {
+            #[inline]
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+            #[inline]
+            fn encoded_len(&self) -> usize {
+                $n
+            }
+        }
+        impl Decode for $ty {
+            #[inline]
+            fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+                need(buf, $n)?;
+                Ok(buf.$get())
+            }
+        }
+    };
+}
+
+impl_int!(u8, put_u8, get_u8, 1);
+impl_int!(u16, put_u16_le, get_u16_le, 2);
+impl_int!(u32, put_u32_le, get_u32_le, 4);
+impl_int!(u64, put_u64_le, get_u64_le, 8);
+impl_int!(i32, put_i32_le, get_i32_le, 4);
+impl_int!(i64, put_i64_le, get_i64_le, 8);
+impl_int!(f32, put_f32_le, get_f32_le, 4);
+impl_int!(f64, put_f64_le, get_f64_le, 8);
+
+impl Encode for bool {
+    #[inline]
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+    #[inline]
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for bool {
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+impl Encode for usize {
+    /// usize travels as u64 for cross-platform stability.
+    #[inline]
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self as u64);
+    }
+    #[inline]
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Decode for usize {
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let v = u64::decode(buf)?;
+        usize::try_from(v).map_err(|_| DecodeError::LengthOverflow(v))
+    }
+}
+
+fn encode_len(len: usize, buf: &mut BytesMut) {
+    debug_assert!((len as u64) <= MAX_LEN, "collection too large for the wire");
+    buf.put_u32_le(len as u32);
+}
+
+fn decode_len(buf: &mut Bytes) -> Result<usize, DecodeError> {
+    let n = u32::decode(buf)? as u64;
+    if n > MAX_LEN {
+        return Err(DecodeError::LengthOverflow(n));
+    }
+    Ok(n as usize)
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        encode_len(self.len(), buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let n = decode_len(buf)?;
+        // Reserve conservatively: a corrupt frame cannot make us allocate
+        // more than the bytes it actually carries would justify.
+        let mut v = Vec::with_capacity(n.min(buf.remaining().max(16)));
+        for _ in 0..n {
+            v.push(T::decode(buf)?);
+        }
+        Ok(v)
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        encode_len(self.len(), buf);
+        buf.put_slice(self.as_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl Decode for String {
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let n = decode_len(buf)?;
+        need(buf, n)?;
+        let raw = buf.copy_to_bytes(n);
+        String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+}
+
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), v.encoded_len(), "encoded_len must match actual bytes");
+        let back = T::from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xBEEFu16);
+        roundtrip(0xDEADBEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i32);
+        roundtrip(i64::MIN);
+        roundtrip(3.5f32);
+        roundtrip(-0.25f64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(123456usize);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let b = 0x0102_0304u32.to_bytes();
+        assert_eq!(&b[..], &[0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn collection_roundtrips() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip("hello mendel".to_string());
+        roundtrip(String::new());
+        roundtrip(Some(7u16));
+        roundtrip(None::<u16>);
+        roundtrip((1u8, 2u32));
+        roundtrip((1u8, "x".to_string(), vec![9u64]));
+        roundtrip(vec![vec![1u8, 2], vec![], vec![3]]);
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let bytes = 0xDEADBEEFu32.to_bytes();
+        let mut short = bytes.slice(0..2);
+        assert!(matches!(
+            u32::decode(&mut short),
+            Err(DecodeError::UnexpectedEof { needed: 4, remaining: 2 })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected_by_from_bytes() {
+        let mut buf = BytesMut::new();
+        7u32.encode(&mut buf);
+        buf.put_u8(0xFF);
+        let err = u32::from_bytes(&buf.freeze()).unwrap_err();
+        assert!(matches!(err, DecodeError::UnexpectedEof { remaining: 1, .. }));
+    }
+
+    #[test]
+    fn bad_bool_tag_rejected() {
+        let bytes = Bytes::from_static(&[2u8]);
+        assert_eq!(bool::from_bytes(&bytes), Err(DecodeError::BadTag(2)));
+    }
+
+    #[test]
+    fn bad_option_tag_rejected() {
+        let bytes = Bytes::from_static(&[9u8]);
+        assert_eq!(Option::<u8>::from_bytes(&bytes), Err(DecodeError::BadTag(9)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        assert!(matches!(
+            Vec::<u8>::from_bytes(&buf.freeze()),
+            Err(DecodeError::LengthOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_length_does_not_overallocate() {
+        // Claims 1M elements but carries none: must error, not OOM.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1_000_000);
+        assert!(Vec::<u64>::from_bytes(&buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        encode_len(2, &mut buf);
+        buf.put_slice(&[0xFF, 0xFE]);
+        assert_eq!(String::from_bytes(&buf.freeze()), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn nested_structures_measure_sizes() {
+        let v = vec!["ab".to_string(), "c".to_string()];
+        // 4 (outer len) + (4+2) + (4+1)
+        assert_eq!(v.encoded_len(), 15);
+    }
+}

@@ -1,0 +1,205 @@
+//! A timeout-based failure detector over mailboxes.
+//!
+//! The paper's §VII-B names fault tolerance as key future work; masking
+//! a failure (replication, `mendel`'s failover) first requires
+//! *detecting* it. This module provides the classic building block: every
+//! node periodically beats to a monitor; the monitor suspects any node
+//! silent for longer than `timeout`. Suspicion is unreliable by nature
+//! (a slow node looks dead) — callers treat it as a hint to route around,
+//! never as ground truth, which is exactly how `fail_node`/`recover_node`
+//! are shaped.
+
+use crate::mailbox::{Endpoint, NodeAddr};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Correlation id marking heartbeat envelopes.
+pub const HEARTBEAT_CORRELATION: u64 = u64::MAX;
+
+/// Monitor-side state: who beat when, and the silence threshold.
+#[derive(Debug)]
+pub struct HeartbeatMonitor {
+    last_seen: HashMap<NodeAddr, Instant>,
+    timeout: Duration,
+}
+
+impl HeartbeatMonitor {
+    /// A monitor suspecting nodes silent for `timeout`.
+    pub fn new(timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "timeout must be positive");
+        HeartbeatMonitor { last_seen: HashMap::new(), timeout }
+    }
+
+    /// Record a beat from `from` at time `now`.
+    pub fn observe_at(&mut self, from: NodeAddr, now: Instant) {
+        self.last_seen.insert(from, now);
+    }
+
+    /// Record a beat from `from` now.
+    pub fn observe(&mut self, from: NodeAddr) {
+        self.observe_at(from, Instant::now());
+    }
+
+    /// Drain an endpoint's pending heartbeats into the monitor. Returns
+    /// how many were absorbed; non-heartbeat envelopes are *not*
+    /// consumed-silently — they are returned to the caller.
+    pub fn drain(&mut self, endpoint: &Endpoint) -> (usize, Vec<crate::mailbox::Envelope>) {
+        let mut beats = 0;
+        let mut other = Vec::new();
+        while let Some(env) = endpoint.try_recv() {
+            if env.correlation == HEARTBEAT_CORRELATION {
+                self.observe(env.from);
+                beats += 1;
+            } else {
+                other.push(env);
+            }
+        }
+        (beats, other)
+    }
+
+    /// Nodes the monitor has ever seen that have been silent past the
+    /// threshold as of `now`, ascending by address.
+    pub fn suspects_at(&self, now: Instant) -> Vec<NodeAddr> {
+        let mut out: Vec<NodeAddr> = self
+            .last_seen
+            .iter()
+            .filter(|(_, &seen)| now.duration_since(seen) > self.timeout)
+            .map(|(&addr, _)| addr)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Current suspects.
+    pub fn suspects(&self) -> Vec<NodeAddr> {
+        self.suspects_at(Instant::now())
+    }
+
+    /// Nodes currently considered alive, ascending.
+    pub fn alive(&self) -> Vec<NodeAddr> {
+        let now = Instant::now();
+        let mut out: Vec<NodeAddr> = self
+            .last_seen
+            .iter()
+            .filter(|(_, &seen)| now.duration_since(seen) <= self.timeout)
+            .map(|(&addr, _)| addr)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Node-side loop: beat to `monitor` every `period` until `stop` is set.
+/// Run on the node's own thread; returns the number of beats sent.
+pub fn beat_until_stopped(
+    endpoint: &Endpoint,
+    monitor: NodeAddr,
+    period: Duration,
+    stop: &Arc<AtomicBool>,
+) -> usize {
+    let mut sent = 0;
+    while !stop.load(Ordering::Relaxed) {
+        endpoint.send(monitor, HEARTBEAT_CORRELATION, Bytes::new());
+        sent += 1;
+        std::thread::sleep(period);
+    }
+    sent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mailbox::Network;
+
+    #[test]
+    fn fresh_beats_are_alive_stale_are_suspect() {
+        let mut m = HeartbeatMonitor::new(Duration::from_millis(100));
+        let t0 = Instant::now();
+        m.observe_at(NodeAddr(1), t0);
+        m.observe_at(NodeAddr(2), t0);
+        assert!(m.suspects_at(t0 + Duration::from_millis(50)).is_empty());
+        m.observe_at(NodeAddr(2), t0 + Duration::from_millis(120));
+        let suspects = m.suspects_at(t0 + Duration::from_millis(150));
+        assert_eq!(suspects, vec![NodeAddr(1)], "only the silent node is suspected");
+    }
+
+    #[test]
+    fn revival_clears_suspicion() {
+        let mut m = HeartbeatMonitor::new(Duration::from_millis(50));
+        let t0 = Instant::now();
+        m.observe_at(NodeAddr(7), t0);
+        assert_eq!(m.suspects_at(t0 + Duration::from_millis(100)), vec![NodeAddr(7)]);
+        m.observe_at(NodeAddr(7), t0 + Duration::from_millis(100));
+        assert!(m.suspects_at(t0 + Duration::from_millis(120)).is_empty());
+    }
+
+    #[test]
+    fn unknown_nodes_are_never_suspected() {
+        let m = HeartbeatMonitor::new(Duration::from_millis(10));
+        assert!(m.suspects().is_empty());
+        assert!(m.alive().is_empty());
+    }
+
+    #[test]
+    fn drain_separates_beats_from_payload_traffic() {
+        let net = Network::new();
+        let monitor_ep = net.join();
+        let node = net.join();
+        node.send(monitor_ep.addr(), HEARTBEAT_CORRELATION, Bytes::new());
+        node.send(monitor_ep.addr(), 42, Bytes::from_static(b"data"));
+        node.send(monitor_ep.addr(), HEARTBEAT_CORRELATION, Bytes::new());
+        let mut m = HeartbeatMonitor::new(Duration::from_secs(1));
+        let (beats, other) = m.drain(&monitor_ep);
+        assert_eq!(beats, 2);
+        assert_eq!(other.len(), 1);
+        assert_eq!(other[0].correlation, 42);
+        assert_eq!(m.alive(), vec![node.addr()]);
+    }
+
+    #[test]
+    fn end_to_end_crash_detection_with_threads() {
+        let net = Network::new();
+        let monitor_ep = net.join();
+        let monitor_addr = monitor_ep.addr();
+        let period = Duration::from_millis(5);
+
+        // Two beaters; one will "crash" (stop beating) early.
+        let stop_healthy = Arc::new(AtomicBool::new(false));
+        let stop_crasher = Arc::new(AtomicBool::new(false));
+        let healthy_ep = net.join();
+        let crasher_ep = net.join();
+        let healthy_addr = healthy_ep.addr();
+        let crasher_addr = crasher_ep.addr();
+        let sh = stop_healthy.clone();
+        let h1 = std::thread::spawn(move || beat_until_stopped(&healthy_ep, monitor_addr, period, &sh));
+        let sc = stop_crasher.clone();
+        let h2 = std::thread::spawn(move || beat_until_stopped(&crasher_ep, monitor_addr, period, &sc));
+
+        let mut monitor = HeartbeatMonitor::new(Duration::from_millis(60));
+        // Let both beat, then crash one.
+        std::thread::sleep(Duration::from_millis(30));
+        monitor.drain(&monitor_ep);
+        assert!(monitor.suspects().is_empty(), "both nodes healthy at start");
+        stop_crasher.store(true, Ordering::Relaxed);
+        // Wait past the timeout, keep draining the healthy node's beats.
+        for _ in 0..6 {
+            std::thread::sleep(Duration::from_millis(25));
+            monitor.drain(&monitor_ep);
+        }
+        let suspects = monitor.suspects();
+        assert_eq!(suspects, vec![crasher_addr], "exactly the crashed node is suspected");
+        assert!(monitor.alive().contains(&healthy_addr));
+        stop_healthy.store(true, Ordering::Relaxed);
+        assert!(h1.join().unwrap() > 0);
+        assert!(h2.join().unwrap() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout must be positive")]
+    fn zero_timeout_rejected() {
+        HeartbeatMonitor::new(Duration::ZERO);
+    }
+}

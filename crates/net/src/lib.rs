@@ -1,0 +1,31 @@
+//! # mendel-net — in-process message-passing substrate
+//!
+//! The paper evaluates Mendel on a 50-node LAN cluster. This crate is the
+//! repository's stand-in for that network (DESIGN.md §3): storage nodes
+//! run in one process but talk exclusively through typed, *byte-encoded*
+//! messages over per-node mailboxes, so the code paths exercised are the
+//! ones a wire deployment would run.
+//!
+//! * [`codec`] — a compact little-endian binary wire format
+//!   ([`codec::Encode`]/[`codec::Decode`]) implemented from scratch; the
+//!   byte counts it produces feed the latency model,
+//! * [`mailbox`] — a [`mailbox::Network`] of unbounded per-node channels
+//!   with [`mailbox::Endpoint`] handles and global traffic accounting,
+//! * [`latency`] — the simulated LAN cost model: per-message base latency,
+//!   per-byte transfer cost, per-node speed factors for the heterogeneous
+//!   cluster, and [`latency::SimSpan`] for composing serial/parallel
+//!   simulated timelines,
+//! * [`rpc`] — correlation-id request/response and scatter/gather on top
+//!   of the mailboxes.
+
+pub mod codec;
+pub mod heartbeat;
+pub mod latency;
+pub mod mailbox;
+pub mod rpc;
+
+pub use codec::{Decode, DecodeError, Encode};
+pub use heartbeat::HeartbeatMonitor;
+pub use latency::{LatencyModel, NodeSpeed, SimSpan};
+pub use mailbox::{Endpoint, Envelope, Network, NetworkStats, NodeAddr, RecvError};
+pub use rpc::{RpcClient, RpcError};

@@ -1,0 +1,307 @@
+//! Per-node mailboxes over crossbeam channels, with traffic accounting.
+//!
+//! A [`Network`] registers one unbounded channel per node address; an
+//! [`Endpoint`] is a node's handle for sending to any peer and receiving
+//! its own mail. All payloads are pre-encoded [`bytes::Bytes`] frames —
+//! nodes exchange *bytes*, not references, so the in-process cluster
+//! cannot accidentally share memory the way a real deployment could not.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Address of a node within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeAddr(pub u16);
+
+impl std::fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// One delivered message: source, destination, correlation id, payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender address.
+    pub from: NodeAddr,
+    /// Destination address.
+    pub to: NodeAddr,
+    /// Correlation id linking requests to responses.
+    pub correlation: u64,
+    /// Encoded message body.
+    pub payload: Bytes,
+}
+
+/// Errors returned by [`Endpoint::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// The network was dropped while waiting.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "receive timed out"),
+            RecvError::Disconnected => write!(f, "network disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Aggregate traffic counters for a network.
+#[derive(Debug, Default)]
+pub struct NetworkStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl NetworkStats {
+    /// Total envelopes sent since creation.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent since creation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+struct Shared {
+    senders: RwLock<Vec<Sender<Envelope>>>,
+    stats: NetworkStats,
+}
+
+/// A registry of node mailboxes. Cloning shares the same network.
+#[derive(Clone)]
+pub struct Network {
+    shared: Arc<Shared>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Network {
+            shared: Arc::new(Shared {
+                senders: RwLock::new(Vec::new()),
+                stats: NetworkStats::default(),
+            }),
+        }
+    }
+
+    /// Register the next node, returning its endpoint. Addresses are
+    /// assigned densely from 0.
+    pub fn join(&self) -> Endpoint {
+        let (tx, rx) = unbounded();
+        let mut senders = self.shared.senders.write();
+        let addr = NodeAddr(senders.len() as u16);
+        senders.push(tx);
+        Endpoint { addr, rx, network: self.clone() }
+    }
+
+    /// Register `n` nodes at once.
+    pub fn join_many(&self, n: usize) -> Vec<Endpoint> {
+        (0..n).map(|_| self.join()).collect()
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.shared.senders.read().len()
+    }
+
+    /// True when no node has joined.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.shared.stats
+    }
+
+    /// Deliver an envelope to its destination mailbox. Returns `false` if
+    /// the destination does not exist (a "dead letter").
+    pub fn send(&self, env: Envelope) -> bool {
+        let senders = self.shared.senders.read();
+        match senders.get(env.to.0 as usize) {
+            Some(tx) => {
+                self.shared.stats.record(env.payload.len());
+                tx.send(env).is_ok()
+            }
+            None => false,
+        }
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A node's handle on the network: its address, its inbox, and a sender
+/// to every peer.
+pub struct Endpoint {
+    addr: NodeAddr,
+    rx: Receiver<Envelope>,
+    network: Network,
+}
+
+impl Endpoint {
+    /// This endpoint's address.
+    #[inline]
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// The owning network (for fan-out helpers and stats).
+    #[inline]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Send `payload` to `to` under `correlation`. Returns `false` on a
+    /// dead letter.
+    pub fn send(&self, to: NodeAddr, correlation: u64, payload: Bytes) -> bool {
+        self.network.send(Envelope { from: self.addr, to, correlation, payload })
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<Envelope, RecvError> {
+        self.rx.recv().map_err(|_| RecvError::Disconnected)
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => RecvError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive; `None` when the inbox is empty.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        match self.rx.try_recv() {
+            Ok(env) => Some(env),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Number of messages waiting in the inbox.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn addresses_are_dense() {
+        let net = Network::new();
+        let eps = net.join_many(3);
+        let addrs: Vec<u16> = eps.iter().map(|e| e.addr().0).collect();
+        assert_eq!(addrs, vec![0, 1, 2]);
+        assert_eq!(net.len(), 3);
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let net = Network::new();
+        let a = net.join();
+        let b = net.join();
+        assert!(a.send(b.addr(), 7, Bytes::from_static(b"hi")));
+        let env = b.recv().unwrap();
+        assert_eq!(env.from, a.addr());
+        assert_eq!(env.correlation, 7);
+        assert_eq!(&env.payload[..], b"hi");
+    }
+
+    #[test]
+    fn dead_letter_returns_false() {
+        let net = Network::new();
+        let a = net.join();
+        assert!(!a.send(NodeAddr(99), 0, Bytes::new()));
+        assert_eq!(net.stats().messages(), 0, "dead letters are not counted");
+    }
+
+    #[test]
+    fn self_send_works() {
+        let net = Network::new();
+        let a = net.join();
+        assert!(a.send(a.addr(), 1, Bytes::from_static(b"loop")));
+        assert_eq!(a.recv().unwrap().payload, Bytes::from_static(b"loop"));
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let net = Network::new();
+        let a = net.join();
+        let b = net.join();
+        a.send(b.addr(), 0, Bytes::from_static(b"12345"));
+        a.send(b.addr(), 0, Bytes::from_static(b"678"));
+        assert_eq!(net.stats().messages(), 2);
+        assert_eq!(net.stats().bytes(), 8);
+    }
+
+    #[test]
+    fn try_recv_and_pending() {
+        let net = Network::new();
+        let a = net.join();
+        assert!(a.try_recv().is_none());
+        a.send(a.addr(), 0, Bytes::new());
+        assert_eq!(a.pending(), 1);
+        assert!(a.try_recv().is_some());
+        assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let net = Network::new();
+        let a = net.join();
+        let err = a.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvError::Timeout);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let net = Network::new();
+        let a = net.join();
+        let b = net.join();
+        let b_addr = b.addr();
+        let handle = thread::spawn(move || {
+            let env = b.recv().unwrap();
+            u64::from_le_bytes(env.payload[..8].try_into().unwrap())
+        });
+        a.send(b_addr, 0, Bytes::copy_from_slice(&42u64.to_le_bytes()));
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn fifo_per_sender() {
+        let net = Network::new();
+        let a = net.join();
+        let b = net.join();
+        for i in 0..10u8 {
+            a.send(b.addr(), i as u64, Bytes::new());
+        }
+        for i in 0..10u64 {
+            assert_eq!(b.recv().unwrap().correlation, i);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Correlation-id request/response and scatter/gather over mailboxes.
+//!
+//! Mendel's query evaluation is a two-level scatter/gather: the system
+//! entry point scatters subqueries to group entry points, each group
+//! entry point scatters to its members, and results gather back up
+//! (§V-B). This module provides that pattern over [`crate::mailbox`]:
+//! requests carry fresh correlation ids, responses are matched by id, and
+//! out-of-order arrivals are parked until asked for.
+
+use crate::codec::{Decode, Encode};
+use crate::mailbox::{Endpoint, Envelope, NodeAddr, RecvError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// RPC failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The response did not arrive in time.
+    Timeout,
+    /// The network shut down while waiting.
+    Disconnected,
+    /// The destination address is not registered.
+    DeadLetter(NodeAddr),
+    /// The response payload failed to decode.
+    Decode(String),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Timeout => write!(f, "rpc timed out"),
+            RpcError::Disconnected => write!(f, "network disconnected"),
+            RpcError::DeadLetter(a) => write!(f, "no such node: {a}"),
+            RpcError::Decode(e) => write!(f, "response decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// Request/response client wrapping an [`Endpoint`].
+pub struct RpcClient {
+    endpoint: Endpoint,
+    next_correlation: AtomicU64,
+    /// Responses that arrived while we were waiting for a different id.
+    parked: parking_lot::Mutex<HashMap<u64, Envelope>>,
+}
+
+impl RpcClient {
+    /// Wrap an endpoint.
+    pub fn new(endpoint: Endpoint) -> Self {
+        RpcClient {
+            endpoint,
+            next_correlation: AtomicU64::new(1),
+            parked: parking_lot::Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// This client's node address.
+    pub fn addr(&self) -> NodeAddr {
+        self.endpoint.addr()
+    }
+
+    /// Borrow the wrapped endpoint (e.g. to serve incoming requests).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Allocate a fresh correlation id.
+    pub fn fresh_correlation(&self) -> u64 {
+        self.next_correlation.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Fire a request and block for its matching response.
+    pub fn call<Req: Encode, Resp: Decode>(
+        &self,
+        to: NodeAddr,
+        request: &Req,
+        timeout: Duration,
+    ) -> Result<Resp, RpcError> {
+        let corr = self.fresh_correlation();
+        if !self.endpoint.send(to, corr, request.to_bytes()) {
+            return Err(RpcError::DeadLetter(to));
+        }
+        let env = self.wait_for(corr, timeout)?;
+        Resp::from_bytes(&env.payload).map_err(|e| RpcError::Decode(e.to_string()))
+    }
+
+    /// Scatter `request` to every address in `peers`, then gather one
+    /// response per peer (any arrival order). Results come back in
+    /// `peers` order.
+    pub fn scatter_gather<Req: Encode, Resp: Decode>(
+        &self,
+        peers: &[NodeAddr],
+        request: &Req,
+        timeout: Duration,
+    ) -> Result<Vec<Resp>, RpcError> {
+        let payload = request.to_bytes();
+        let mut correlations = Vec::with_capacity(peers.len());
+        for &peer in peers {
+            let corr = self.fresh_correlation();
+            if !self.endpoint.send(peer, corr, payload.clone()) {
+                return Err(RpcError::DeadLetter(peer));
+            }
+            correlations.push(corr);
+        }
+        let deadline = Instant::now() + timeout;
+        correlations
+            .into_iter()
+            .map(|corr| {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                let env = self.wait_for(corr, remaining)?;
+                Resp::from_bytes(&env.payload).map_err(|e| RpcError::Decode(e.to_string()))
+            })
+            .collect()
+    }
+
+    /// Wait for the envelope with `correlation`, parking others.
+    fn wait_for(&self, correlation: u64, timeout: Duration) -> Result<Envelope, RpcError> {
+        if let Some(env) = self.parked.lock().remove(&correlation) {
+            return Ok(env);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RpcError::Timeout);
+            }
+            match self.endpoint.recv_timeout(remaining) {
+                Ok(env) if env.correlation == correlation => return Ok(env),
+                Ok(env) => {
+                    self.parked.lock().insert(env.correlation, env);
+                }
+                Err(RecvError::Timeout) => return Err(RpcError::Timeout),
+                Err(RecvError::Disconnected) => return Err(RpcError::Disconnected),
+            }
+        }
+    }
+}
+
+/// Serve requests on `endpoint`: receive one envelope, apply `handler` to
+/// its decoded payload, reply with the encoded result to the sender under
+/// the same correlation id. Returns `Ok(true)` after serving one request,
+/// `Ok(false)` on timeout.
+pub fn serve_one<Req: Decode, Resp: Encode>(
+    endpoint: &Endpoint,
+    timeout: Duration,
+    handler: impl FnOnce(NodeAddr, Req) -> Resp,
+) -> Result<bool, RpcError> {
+    match endpoint.recv_timeout(timeout) {
+        Ok(env) => {
+            let req =
+                Req::from_bytes(&env.payload).map_err(|e| RpcError::Decode(e.to_string()))?;
+            let resp = handler(env.from, req);
+            endpoint.send(env.from, env.correlation, resp.to_bytes());
+            Ok(true)
+        }
+        Err(RecvError::Timeout) => Ok(false),
+        Err(RecvError::Disconnected) => Err(RpcError::Disconnected),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mailbox::Network;
+    use std::thread;
+
+    const T: Duration = Duration::from_secs(2);
+
+    #[test]
+    fn simple_call_roundtrip() {
+        let net = Network::new();
+        let client = RpcClient::new(net.join());
+        let server = net.join();
+        let server_addr = server.addr();
+        let h = thread::spawn(move || {
+            serve_one::<u32, u32>(&server, T, |_, x| x * 2).unwrap();
+        });
+        let resp: u32 = client.call(server_addr, &21u32, T).unwrap();
+        assert_eq!(resp, 42);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn call_to_unknown_node_is_dead_letter() {
+        let net = Network::new();
+        let client = RpcClient::new(net.join());
+        let err = client.call::<u32, u32>(NodeAddr(77), &1, T).unwrap_err();
+        assert_eq!(err, RpcError::DeadLetter(NodeAddr(77)));
+    }
+
+    #[test]
+    fn call_times_out_without_server() {
+        let net = Network::new();
+        let client = RpcClient::new(net.join());
+        let silent = net.join(); // exists but never answers
+        let err = client
+            .call::<u32, u32>(silent.addr(), &1, Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+    }
+
+    #[test]
+    fn scatter_gather_collects_in_peer_order() {
+        let net = Network::new();
+        let client = RpcClient::new(net.join());
+        let servers: Vec<_> = net.join_many(4);
+        let peers: Vec<NodeAddr> = servers.iter().map(|s| s.addr()).collect();
+        let handles: Vec<_> = servers
+            .into_iter()
+            .map(|s| {
+                thread::spawn(move || {
+                    let my_id = s.addr().0 as u32;
+                    serve_one::<u32, u32>(&s, T, move |_, x| x + my_id * 100).unwrap();
+                })
+            })
+            .collect();
+        let out: Vec<u32> = client.scatter_gather(&peers, &7u32, T).unwrap();
+        assert_eq!(out, vec![107, 207, 307, 407]);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn out_of_order_responses_are_parked() {
+        let net = Network::new();
+        let client = RpcClient::new(net.join());
+        let client_addr = client.addr();
+        let server = net.join();
+        let server_addr = server.addr();
+        // Server receives two requests, answers them in reverse order.
+        let h = thread::spawn(move || {
+            let e1 = server.recv().unwrap();
+            let e2 = server.recv().unwrap();
+            server.send(client_addr, e2.correlation, e2.payload);
+            server.send(client_addr, e1.correlation, e1.payload);
+        });
+        // Two outstanding calls by hand: send both, then wait for the first.
+        let c1 = client.fresh_correlation();
+        let c2 = client.fresh_correlation();
+        client.endpoint().send(server_addr, c1, 11u32.to_bytes());
+        client.endpoint().send(server_addr, c2, 22u32.to_bytes());
+        let r1 = client.wait_for(c1, T).unwrap();
+        let r2 = client.wait_for(c2, T).unwrap();
+        assert_eq!(u32::from_bytes(&r1.payload).unwrap(), 11);
+        assert_eq!(u32::from_bytes(&r2.payload).unwrap(), 22);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn decode_failure_is_reported() {
+        let net = Network::new();
+        let client = RpcClient::new(net.join());
+        let server = net.join();
+        let server_addr = server.addr();
+        let h = thread::spawn(move || {
+            let env = server.recv().unwrap();
+            // Reply with one byte; the client expects a u32.
+            server.send(env.from, env.correlation, bytes::Bytes::from_static(&[1]));
+        });
+        let err = client.call::<u32, u32>(server_addr, &5, T).unwrap_err();
+        assert!(matches!(err, RpcError::Decode(_)), "{err:?}");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn serve_one_times_out_quietly() {
+        let net = Network::new();
+        let server = net.join();
+        let served =
+            serve_one::<u32, u32>(&server, Duration::from_millis(10), |_, x| x).unwrap();
+        assert!(!served);
+    }
+}

@@ -1,0 +1,366 @@
+//! Metric-space distance functions over sequence windows (§III-B of the
+//! paper).
+//!
+//! The vp-tree needs a *metric*: non-negative, zero-iff-equal, symmetric,
+//! triangle inequality. For DNA, Hamming distance qualifies directly. For
+//! proteins, the paper derives a per-residue distance matrix from BLOSUM62:
+//!
+//! ```text
+//! M[i][j] = B[i][j] - B[i][i]      (taken as an absolute value)
+//! ```
+//!
+//! which zeroes the diagonal and preserves the relative penalty gradient of
+//! mismatches. As published, this transform is neither symmetric nor
+//! guaranteed to satisfy the triangle inequality, so this module provides:
+//!
+//! * [`MatrixDistance::mendel`] — the paper's transform, symmetrised by
+//!   taking the mean of the two one-sided values (the minimal change that
+//!   restores symmetry without altering the diagonal);
+//! * [`MatrixDistance::repair_metric`] — an all-pairs shortest-path closure
+//!   that additionally enforces the triangle inequality (see DESIGN.md;
+//!   quantified by the `ablation_metric` bench).
+//!
+//! Window distances compose per-residue distances with an L1 sum, which
+//! preserves all metric axioms.
+
+use crate::alphabet::Alphabet;
+use crate::error::SeqError;
+use crate::matrix::ScoringMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A distance function over values of type `T`.
+///
+/// Implementations used with the vp-tree should satisfy the metric axioms;
+/// see [`MatrixDistance::is_metric`] for a checker.
+pub trait Metric<T: ?Sized>: Send + Sync {
+    /// Distance between `a` and `b`. Must be non-negative and symmetric.
+    fn dist(&self, a: &T, b: &T) -> f32;
+}
+
+/// Hamming distance over equal-length encoded windows — the paper's DNA
+/// metric. Counts positions whose residue codes differ.
+///
+/// # Panics
+/// Panics if the windows have different lengths; Mendel only ever compares
+/// same-length inverted-index blocks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hamming;
+
+impl Hamming {
+    /// Hamming distance as an integer count.
+    #[inline]
+    pub fn count(a: &[u8], b: &[u8]) -> usize {
+        assert_eq!(a.len(), b.len(), "Hamming distance requires equal lengths");
+        a.iter().zip(b).filter(|(x, y)| x != y).count()
+    }
+}
+
+impl Metric<[u8]> for Hamming {
+    #[inline]
+    fn dist(&self, a: &[u8], b: &[u8]) -> f32 {
+        Hamming::count(a, b) as f32
+    }
+}
+
+/// A per-residue distance table derived from a scoring matrix, composed
+/// over windows with an L1 sum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixDistance {
+    /// Name recording provenance, e.g. `"mendel(BLOSUM62)"`.
+    pub name: String,
+    /// Alphabet whose codes index the table.
+    pub alphabet: Alphabet,
+    n: usize,
+    d: Vec<f32>,
+}
+
+impl MatrixDistance {
+    /// The paper's transform (§III-B): `M[i][j] = |B[i][j] − B[j][j]|`
+    /// applied to the lower triangle and mirrored, so the matrix is
+    /// symmetric with a zero diagonal.
+    ///
+    /// Ambiguity codes (`B`, `Z`, `X`, `*`) are given the distance of the
+    /// worst canonical pair so unknown residues never look artificially
+    /// close to anything.
+    pub fn mendel(b: &ScoringMatrix) -> Self {
+        let k = b.alphabet.canonical_size();
+        let n = b.alphabet.size();
+        let mut d = vec![0.0f32; n * n];
+        let mut worst = 0.0f32;
+        for i in 0..k {
+            for j in 0..k {
+                if i == j {
+                    continue;
+                }
+                // One-sided transforms relative to each diagonal; average to
+                // symmetrise (B is symmetric, so the two sides differ only
+                // through the diagonals B[i][i] vs B[j][j]).
+                let via_j = (b.score(i as u8, j as u8) - b.score(j as u8, j as u8)).abs() as f32;
+                let via_i = (b.score(i as u8, j as u8) - b.score(i as u8, i as u8)).abs() as f32;
+                let v = 0.5 * (via_i + via_j);
+                d[i * n + j] = v;
+                worst = worst.max(v);
+            }
+        }
+        // Ambiguity codes: maximally distant from everything, including
+        // themselves distance 0 only when identical codes compare.
+        for i in 0..n {
+            for j in 0..n {
+                if (i >= k || j >= k) && i != j {
+                    d[i * n + j] = worst;
+                }
+            }
+        }
+        MatrixDistance { name: format!("mendel({})", b.name), alphabet: b.alphabet, n, d }
+    }
+
+    /// Unit distance table: 0 on the diagonal, 1 elsewhere (Hamming as a
+    /// `MatrixDistance`, useful for tests and DNA).
+    pub fn unit(alphabet: Alphabet) -> Self {
+        let n = alphabet.size();
+        let mut d = vec![1.0f32; n * n];
+        for i in 0..n {
+            d[i * n + i] = 0.0;
+        }
+        MatrixDistance { name: "unit".into(), alphabet, n, d }
+    }
+
+    /// Per-residue distance between codes `a` and `b`.
+    #[inline]
+    pub fn residue_dist(&self, a: u8, b: u8) -> f32 {
+        debug_assert!((a as usize) < self.n && (b as usize) < self.n);
+        self.d[a as usize * self.n + b as usize]
+    }
+
+    /// Enforce the triangle inequality by closing the table under
+    /// shortest paths (Floyd–Warshall over residues). Returns a new table;
+    /// distances can only shrink, and the diagonal stays zero.
+    pub fn repair_metric(&self) -> Self {
+        let n = self.n;
+        let mut d = self.d.clone();
+        for mid in 0..n {
+            for i in 0..n {
+                let dim = d[i * n + mid];
+                for j in 0..n {
+                    let via = dim + d[mid * n + j];
+                    if via < d[i * n + j] {
+                        d[i * n + j] = via;
+                    }
+                }
+            }
+        }
+        MatrixDistance { name: format!("repaired({})", self.name), ..MatrixDistance { d, ..self.clone() } }
+    }
+
+    /// Check all four metric axioms over the residue table. Returns the
+    /// first violation found, or `None` if the table is a true metric.
+    pub fn metric_violation(&self) -> Option<MetricViolation> {
+        let n = self.n as u8;
+        for i in 0..n {
+            if self.residue_dist(i, i) != 0.0 {
+                return Some(MetricViolation::NonZeroDiagonal(i));
+            }
+            for j in 0..n {
+                let dij = self.residue_dist(i, j);
+                if dij < 0.0 {
+                    return Some(MetricViolation::Negative(i, j));
+                }
+                if dij != self.residue_dist(j, i) {
+                    return Some(MetricViolation::Asymmetric(i, j));
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                for via in 0..n {
+                    let direct = self.residue_dist(i, j);
+                    let detour = self.residue_dist(i, via) + self.residue_dist(via, j);
+                    if direct > detour + 1e-6 {
+                        return Some(MetricViolation::Triangle(i, via, j));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// True when the residue table satisfies every metric axiom.
+    pub fn is_metric(&self) -> bool {
+        self.metric_violation().is_none()
+    }
+
+    /// Largest per-residue distance in the table.
+    pub fn max_residue_dist(&self) -> f32 {
+        self.d.iter().copied().fold(0.0, f32::max)
+    }
+}
+
+/// A concrete metric-axiom violation, reported by
+/// [`MatrixDistance::metric_violation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricViolation {
+    /// `d(i,i) != 0`.
+    NonZeroDiagonal(u8),
+    /// `d(i,j) < 0`.
+    Negative(u8, u8),
+    /// `d(i,j) != d(j,i)`.
+    Asymmetric(u8, u8),
+    /// `d(i,k) > d(i,j) + d(j,k)` for the recorded `(i, j, k)`.
+    Triangle(u8, u8, u8),
+}
+
+impl Metric<[u8]> for MatrixDistance {
+    /// L1 composition over a window.
+    ///
+    /// # Panics
+    /// Panics if the windows have different lengths.
+    #[inline]
+    fn dist(&self, a: &[u8], b: &[u8]) -> f32 {
+        assert_eq!(a.len(), b.len(), "window distance requires equal lengths");
+        a.iter().zip(b).map(|(&x, &y)| self.residue_dist(x, y)).sum()
+    }
+}
+
+/// Distance over *owned* windows (`Vec<u8>` points in a vp-tree), delegating
+/// to an inner `[u8]` metric. Blanket-bridges the slice metrics above to the
+/// owned block type the DHT stores.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockDistance<M> {
+    /// The underlying per-window metric.
+    pub inner: M,
+}
+
+impl<M: Metric<[u8]>> BlockDistance<M> {
+    /// Wrap a slice metric for use over owned blocks.
+    pub fn new(inner: M) -> Self {
+        BlockDistance { inner }
+    }
+}
+
+impl<M: Metric<[u8]>> Metric<Vec<u8>> for BlockDistance<M> {
+    #[inline]
+    fn dist(&self, a: &Vec<u8>, b: &Vec<u8>) -> f32 {
+        self.inner.dist(a, b)
+    }
+}
+
+/// Percent identity between two equal-length windows: the fraction of
+/// positions with identical residue codes (§V-B's first candidate measure).
+pub fn percent_identity(a: &[u8], b: &[u8]) -> Result<f32, SeqError> {
+    if a.len() != b.len() {
+        return Err(SeqError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    if a.is_empty() {
+        return Err(SeqError::EmptySequence);
+    }
+    let matches = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    Ok(matches as f32 / a.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        Alphabet::Protein.encode_seq(s).unwrap()
+    }
+
+    #[test]
+    fn hamming_counts_mismatches() {
+        assert_eq!(Hamming::count(b"\x00\x01\x02", b"\x00\x02\x02"), 1);
+        assert_eq!(Hamming.dist(b"\x00\x01".as_slice(), b"\x02\x03".as_slice()), 2.0);
+        assert_eq!(Hamming.dist(b"".as_slice(), b"".as_slice()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_panics_on_length_mismatch() {
+        Hamming::count(b"AA", b"A");
+    }
+
+    #[test]
+    fn mendel_matrix_zero_diagonal_and_symmetry() {
+        let m = MatrixDistance::mendel(&ScoringMatrix::blosum62());
+        for i in 0..24u8 {
+            assert_eq!(m.residue_dist(i, i), 0.0, "diagonal {i}");
+            for j in 0..24u8 {
+                assert_eq!(m.residue_dist(i, j), m.residue_dist(j, i));
+                assert!(m.residue_dist(i, j) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mendel_matrix_preserves_penalty_gradient() {
+        // L→I is a conservative substitution (BLOSUM62 +2); L→D is harsh
+        // (−4). The distance must order them the same way.
+        let m = MatrixDistance::mendel(&ScoringMatrix::blosum62());
+        let e = |c| Alphabet::Protein.encode(c).unwrap();
+        assert!(
+            m.residue_dist(e(b'L'), e(b'I')) < m.residue_dist(e(b'L'), e(b'D')),
+            "conservative substitutions must be closer"
+        );
+    }
+
+    #[test]
+    fn mendel_matrix_wildcards_are_far() {
+        let m = MatrixDistance::mendel(&ScoringMatrix::blosum62());
+        let x = Alphabet::Protein.encode(b'X').unwrap();
+        let a = Alphabet::Protein.encode(b'A').unwrap();
+        assert_eq!(m.residue_dist(x, a), m.max_residue_dist());
+    }
+
+    #[test]
+    fn paper_matrix_violates_triangle_but_repair_fixes_it() {
+        // This is the documented deviation: the published transform is not
+        // quite a metric; the shortest-path closure is.
+        let m = MatrixDistance::mendel(&ScoringMatrix::blosum62());
+        let r = m.repair_metric();
+        assert!(r.is_metric(), "repaired table must satisfy all axioms");
+        // Repair can only shrink distances.
+        for i in 0..24u8 {
+            for j in 0..24u8 {
+                assert!(r.residue_dist(i, j) <= m.residue_dist(i, j) + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_distance_matches_hamming() {
+        let u = MatrixDistance::unit(Alphabet::Dna);
+        assert!(u.is_metric());
+        let a = Alphabet::Dna.encode_seq(b"ACGT").unwrap();
+        let b = Alphabet::Dna.encode_seq(b"AGGT").unwrap();
+        assert_eq!(u.dist(&a[..], &b[..]), Hamming.dist(&a[..], &b[..]));
+    }
+
+    #[test]
+    fn window_distance_is_l1_sum() {
+        let m = MatrixDistance::mendel(&ScoringMatrix::blosum62());
+        let a = enc(b"LW");
+        let b = enc(b"IV");
+        let expect = m.residue_dist(a[0], b[0]) + m.residue_dist(a[1], b[1]);
+        assert_eq!(m.dist(&a[..], &b[..]), expect);
+    }
+
+    #[test]
+    fn block_distance_bridges_vec_points() {
+        let bd = BlockDistance::new(Hamming);
+        assert_eq!(bd.dist(&vec![0u8, 1], &vec![1u8, 1]), 1.0);
+    }
+
+    #[test]
+    fn percent_identity_basics() {
+        assert_eq!(percent_identity(b"\x00\x01", b"\x00\x01").unwrap(), 1.0);
+        assert_eq!(percent_identity(b"\x00\x01", b"\x00\x02").unwrap(), 0.5);
+        assert!(percent_identity(b"", b"").is_err());
+        assert!(percent_identity(b"\x00", b"\x00\x01").is_err());
+    }
+
+    #[test]
+    fn metric_violation_reports_diagonal() {
+        let mut u = MatrixDistance::unit(Alphabet::Dna);
+        u.d[0] = 0.5;
+        assert_eq!(u.metric_violation(), Some(MetricViolation::NonZeroDiagonal(0)));
+    }
+}

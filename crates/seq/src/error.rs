@@ -1,0 +1,77 @@
+//! Error types for the sequence substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing, encoding, or generating sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqError {
+    /// A byte that is not a member of the target alphabet.
+    InvalidResidue {
+        /// The offending byte.
+        byte: u8,
+        /// Zero-based position within the input.
+        position: usize,
+    },
+    /// Malformed FASTA input.
+    Fasta(String),
+    /// Malformed scoring-matrix text.
+    Matrix(String),
+    /// An operation was given an empty sequence where one or more residues
+    /// are required.
+    EmptySequence,
+    /// Two inputs that must have equal lengths did not.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// A generator or store was configured inconsistently.
+    Config(String),
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::InvalidResidue { byte, position } => write!(
+                f,
+                "invalid residue byte 0x{byte:02x} ({}) at position {position}",
+                char::from(*byte)
+            ),
+            SeqError::Fasta(msg) => write!(f, "FASTA parse error: {msg}"),
+            SeqError::Matrix(msg) => write!(f, "scoring-matrix parse error: {msg}"),
+            SeqError::EmptySequence => write!(f, "operation requires a non-empty sequence"),
+            SeqError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            SeqError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_residue_shows_byte_and_position() {
+        let e = SeqError::InvalidResidue { byte: b'!', position: 7 };
+        let s = e.to_string();
+        assert!(s.contains("0x21"), "{s}");
+        assert!(s.contains("position 7"), "{s}");
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = SeqError::LengthMismatch { left: 3, right: 9 };
+        assert_eq!(e.to_string(), "length mismatch: 3 vs 9");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(SeqError::EmptySequence);
+        assert!(e.to_string().contains("non-empty"));
+    }
+}

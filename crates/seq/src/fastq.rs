@@ -1,0 +1,153 @@
+//! FASTQ parsing — the format next-generation sequencers actually emit
+//! (the paper's §I-A motivation: "Next-generation sequencers are capable
+//! of producing large quantities of sequence data").
+//!
+//! Supports the standard 4-line record form with Phred+33 qualities,
+//! plus quality-based 3' trimming, the usual first preprocessing step
+//! before reads are mapped.
+
+use crate::alphabet::Alphabet;
+use crate::error::SeqError;
+use crate::seq::Sequence;
+use serde::{Deserialize, Serialize};
+
+/// One FASTQ read: name, raw bases, per-base Phred quality scores.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FastqRecord {
+    /// Read identifier (after `@`, first token).
+    pub name: String,
+    /// Raw base characters (unencoded; may contain `N`).
+    pub bases: Vec<u8>,
+    /// Phred quality scores (already offset-corrected, so 0–93).
+    pub quality: Vec<u8>,
+}
+
+impl FastqRecord {
+    /// Mean Phred quality of the read (0 for an empty read).
+    pub fn mean_quality(&self) -> f64 {
+        if self.quality.is_empty() {
+            return 0.0;
+        }
+        self.quality.iter().map(|&q| q as f64).sum::<f64>() / self.quality.len() as f64
+    }
+
+    /// Trim the 3' end at the first position where quality drops below
+    /// `min_q`, returning the kept prefix length.
+    pub fn trim_tail(&mut self, min_q: u8) -> usize {
+        let keep = self.quality.iter().position(|&q| q < min_q).unwrap_or(self.quality.len());
+        self.bases.truncate(keep);
+        self.quality.truncate(keep);
+        keep
+    }
+
+    /// Encode the bases into a [`Sequence`] under `alphabet`.
+    pub fn into_sequence(self, alphabet: Alphabet) -> Result<Sequence, SeqError> {
+        Sequence::from_ascii(self.name, alphabet, &self.bases)
+    }
+}
+
+/// Parse FASTQ text (strict 4-line records, `+` separator, Phred+33).
+pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, SeqError> {
+    let mut out = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((lineno, header)) = lines.next() {
+        if header.trim().is_empty() {
+            continue;
+        }
+        let name = header
+            .strip_prefix('@')
+            .ok_or_else(|| SeqError::Fasta(format!("line {}: expected '@' header", lineno + 1)))?
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_string();
+        if name.is_empty() {
+            return Err(SeqError::Fasta(format!("line {}: empty read name", lineno + 1)));
+        }
+        let (_, bases) = lines
+            .next()
+            .ok_or_else(|| SeqError::Fasta(format!("read {name}: missing sequence line")))?;
+        let (_, sep) = lines
+            .next()
+            .ok_or_else(|| SeqError::Fasta(format!("read {name}: missing '+' line")))?;
+        if !sep.starts_with('+') {
+            return Err(SeqError::Fasta(format!("read {name}: expected '+' separator")));
+        }
+        let (_, qual) = lines
+            .next()
+            .ok_or_else(|| SeqError::Fasta(format!("read {name}: missing quality line")))?;
+        if qual.len() != bases.len() {
+            return Err(SeqError::Fasta(format!(
+                "read {name}: {} bases but {} quality values",
+                bases.len(),
+                qual.len()
+            )));
+        }
+        let quality: Vec<u8> = qual
+            .bytes()
+            .map(|b| {
+                b.checked_sub(33)
+                    .ok_or_else(|| SeqError::Fasta(format!("read {name}: quality below '!'")))
+            })
+            .collect::<Result<_, _>>()?;
+        out.push(FastqRecord { name, bases: bases.as_bytes().to_vec(), quality });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "@read1 some description\nACGTN\n+\nIIII!\n@read2\nGGCC\n+read2\nFFFF\n";
+
+    #[test]
+    fn parses_records_and_qualities() {
+        let reads = parse_fastq(SAMPLE).unwrap();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].name, "read1");
+        assert_eq!(reads[0].bases, b"ACGTN");
+        assert_eq!(reads[0].quality, vec![40, 40, 40, 40, 0]);
+        assert_eq!(reads[1].quality, vec![37; 4]);
+    }
+
+    #[test]
+    fn mean_quality() {
+        let reads = parse_fastq(SAMPLE).unwrap();
+        assert!((reads[0].mean_quality() - 32.0).abs() < 1e-9);
+        let empty = FastqRecord { name: "e".into(), bases: vec![], quality: vec![] };
+        assert_eq!(empty.mean_quality(), 0.0);
+    }
+
+    #[test]
+    fn trim_tail_cuts_at_first_low_quality() {
+        let mut r = parse_fastq(SAMPLE).unwrap().remove(0);
+        let kept = r.trim_tail(10);
+        assert_eq!(kept, 4);
+        assert_eq!(r.bases, b"ACGT");
+        assert_eq!(r.quality.len(), 4);
+    }
+
+    #[test]
+    fn into_sequence_encodes() {
+        let r = parse_fastq(SAMPLE).unwrap().remove(0);
+        let s = r.into_sequence(Alphabet::Dna).unwrap();
+        assert_eq!(s.to_ascii(), "ACGTN");
+    }
+
+    #[test]
+    fn malformed_records_error() {
+        assert!(parse_fastq("ACGT\n").is_err(), "missing @");
+        assert!(parse_fastq("@r\nACGT\n").is_err(), "truncated");
+        assert!(parse_fastq("@r\nACGT\nX\nIIII\n").is_err(), "bad separator");
+        assert!(parse_fastq("@r\nACGT\n+\nII\n").is_err(), "length mismatch");
+        assert!(parse_fastq("@\nA\n+\nI\n").is_err(), "empty name");
+        assert!(parse_fastq("@r\nA\n+\n\x20\n").is_err(), "quality below '!'");
+    }
+
+    #[test]
+    fn blank_lines_between_records_are_tolerated() {
+        let text = "@a\nAC\n+\nII\n\n@b\nGT\n+\nII\n";
+        assert_eq!(parse_fastq(text).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! # mendel-seq — sequence substrate for the Mendel framework
+//!
+//! This crate provides everything Mendel (IPDPS 2016) needs to talk about
+//! biological sequences:
+//!
+//! * [`Alphabet`] — DNA and protein alphabets with compact residue codes,
+//! * [`Sequence`] / [`SeqStore`] — encoded sequences and an id-addressed store,
+//! * [`fasta`] — FASTA parsing and writing,
+//! * [`matrix`] — alignment scoring matrices (BLOSUM62, DNA match/mismatch,
+//!   NCBI-format parser),
+//! * [`dist`] — metric-space distance functions: Hamming for DNA and the
+//!   Mendel distance matrix derived from BLOSUM62 (§III-B of the paper),
+//!   with an optional *metric repair* that restores the triangle inequality,
+//! * [`gen`] — deterministic synthetic dataset generators standing in for
+//!   NCBI `nr` and the `s_aureus` / `e_coli` query sets,
+//! * [`stats`] — residue composition statistics (Swiss-Prot background
+//!   frequencies, entropy, composition counting).
+//!
+//! Everything is deterministic under a caller-supplied RNG so experiments
+//! reproduce bit-for-bit.
+
+pub mod alphabet;
+pub mod dist;
+pub mod error;
+pub mod fasta;
+pub mod fastq;
+pub mod gen;
+pub mod matrix;
+pub mod pack;
+pub mod seq;
+pub mod stats;
+pub mod translate;
+
+pub use alphabet::Alphabet;
+pub use dist::{BlockDistance, Hamming, MatrixDistance, Metric};
+pub use error::SeqError;
+pub use fasta::{parse_fasta, parse_fasta_sequences, write_fasta, FastaRecord};
+pub use fastq::{parse_fastq, FastqRecord};
+pub use matrix::ScoringMatrix;
+pub use pack::PackedDna;
+pub use seq::{SeqId, SeqStore, Sequence};
+pub use translate::{reverse_complement, six_frames, translate};

@@ -1,0 +1,165 @@
+//! Bit-packed DNA storage (2 bits/base, UCSC `.2bit`-style).
+//!
+//! A *storage* framework for sequencing data should not spend a byte per
+//! base: canonical DNA fits in 2 bits, with the rare ambiguous bases
+//! (`N` and friends) kept in an exception list — exactly the layout of
+//! the venerable `.2bit` format. A 4 Gbp genome shrinks from 4 GiB to
+//! 1 GiB plus a few kilobytes of exceptions.
+
+use serde::{Deserialize, Serialize};
+
+/// A DNA sequence packed at 2 bits per base, ambiguity codes kept aside.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedDna {
+    /// Base pairs, 4 per byte, first base in the low bits.
+    data: Vec<u8>,
+    /// Number of bases.
+    len: usize,
+    /// `(position, code)` for every non-canonical base, ascending.
+    exceptions: Vec<(u32, u8)>,
+}
+
+impl PackedDna {
+    /// Pack encoded DNA (codes 0–3 canonical, anything else goes to the
+    /// exception list).
+    pub fn pack(codes: &[u8]) -> Self {
+        let mut data = vec![0u8; codes.len().div_ceil(4)];
+        let mut exceptions = Vec::new();
+        for (i, &c) in codes.iter().enumerate() {
+            let two_bit = if c < 4 {
+                c
+            } else {
+                exceptions.push((i as u32, c));
+                0 // placeholder bits under an exception
+            };
+            data[i / 4] |= two_bit << ((i % 4) * 2);
+        }
+        PackedDna { data, len: codes.len(), exceptions }
+    }
+
+    /// Unpack to residue codes.
+    pub fn unpack(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = (0..self.len)
+            .map(|i| (self.data[i / 4] >> ((i % 4) * 2)) & 0b11)
+            .collect();
+        for &(pos, code) in &self.exceptions {
+            out[pos as usize] = code;
+        }
+        out
+    }
+
+    /// Random access to one base.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> u8 {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        if let Ok(e) = self.exceptions.binary_search_by_key(&(i as u32), |&(p, _)| p) {
+            return self.exceptions[e].1;
+        }
+        (self.data[i / 4] >> ((i % 4) * 2)) & 0b11
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for an empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes this packing occupies (payload + exceptions), for storage
+    /// accounting.
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len() + self.exceptions.len() * 5
+    }
+
+    /// Number of ambiguous bases recorded.
+    pub fn exception_count(&self) -> usize {
+        self.exceptions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{Alphabet, DNA_N};
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode_seq(s).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_canonical() {
+        let codes = enc(b"ACGTACGTTGCA");
+        let p = PackedDna::pack(&codes);
+        assert_eq!(p.unpack(), codes);
+        assert_eq!(p.exception_count(), 0);
+        assert_eq!(p.packed_bytes(), 3);
+    }
+
+    #[test]
+    fn roundtrip_with_ambiguity() {
+        let codes = enc(b"ACGNNTACN");
+        let p = PackedDna::pack(&codes);
+        assert_eq!(p.unpack(), codes);
+        assert_eq!(p.exception_count(), 3);
+    }
+
+    #[test]
+    fn random_access_matches_unpack() {
+        let codes = enc(b"ACGTNAGCTNNA");
+        let p = PackedDna::pack(&codes);
+        for (i, &c) in codes.iter().enumerate() {
+            assert_eq!(p.get(i), c, "base {i}");
+        }
+    }
+
+    #[test]
+    fn odd_lengths_and_empty() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 9] {
+            let codes = vec![2u8; n];
+            let p = PackedDna::pack(&codes);
+            assert_eq!(p.len(), n);
+            assert_eq!(p.unpack(), codes);
+            assert_eq!(p.is_empty(), n == 0);
+        }
+    }
+
+    #[test]
+    fn compression_ratio_is_four_to_one() {
+        let codes = vec![1u8; 4096];
+        let p = PackedDna::pack(&codes);
+        assert_eq!(p.packed_bytes(), 1024);
+    }
+
+    #[test]
+    fn n_heavy_sequences_still_roundtrip() {
+        let codes = vec![DNA_N; 100];
+        let p = PackedDna::pack(&codes);
+        assert_eq!(p.unpack(), codes);
+        assert_eq!(p.exception_count(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        PackedDna::pack(&[0, 1]).get(2);
+    }
+
+    #[test]
+    fn property_roundtrip_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        for _ in 0..50 {
+            let n = rng.random_range(0..200);
+            let codes: Vec<u8> = (0..n)
+                .map(|_| if rng.random_bool(0.05) { DNA_N } else { rng.random_range(0..4) })
+                .collect();
+            let p = PackedDna::pack(&codes);
+            assert_eq!(p.unpack(), codes);
+        }
+    }
+}

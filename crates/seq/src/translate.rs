@@ -1,0 +1,231 @@
+//! DNA ↔ protein bridging: reverse complement, the standard genetic
+//! code, and six-frame translation.
+//!
+//! The paper's research challenge #3: "The queries we consider need to
+//! support both DNA and protein sequence data." Translation lets DNA
+//! reads (e.g. the metagenomics scenario) be searched against a protein
+//! cluster, blastx-style.
+
+use crate::alphabet::{Alphabet, DNA_N, PROTEIN_X};
+use crate::error::SeqError;
+
+/// Complement of one DNA residue code (`A↔T`, `C↔G`, `N→N`).
+#[inline]
+pub fn complement(code: u8) -> u8 {
+    match code {
+        0 => 3, // A -> T
+        1 => 2, // C -> G
+        2 => 1, // G -> C
+        3 => 0, // T -> A
+        _ => DNA_N,
+    }
+}
+
+/// Reverse complement of an encoded DNA sequence.
+pub fn reverse_complement(dna: &[u8]) -> Vec<u8> {
+    dna.iter().rev().map(|&c| complement(c)).collect()
+}
+
+/// The standard genetic code over *encoded* bases (A=0 C=1 G=2 T=3),
+/// indexed `b0*16 + b1*4 + b2`, yielding ASCII amino-acid letters
+/// (`*` = stop).
+const CODON_TABLE: [u8; 64] = {
+    // Rows: first base A,C,G,T; within a row: second base A,C,G,T; then
+    // third base A,C,G,T. Layout follows the standard code table.
+    *b"KNKN\
+       TTTT\
+       RSRS\
+       IIMI\
+       QHQH\
+       PPPP\
+       RRRR\
+       LLLL\
+       EDED\
+       AAAA\
+       GGGG\
+       VVVV\
+       *Y*Y\
+       SSSS\
+       *CWC\
+       LFLF"
+};
+
+/// Translate one codon of encoded bases to an encoded amino acid.
+/// Any ambiguous base yields `X`.
+#[inline]
+pub fn translate_codon(b0: u8, b1: u8, b2: u8) -> u8 {
+    if b0 > 3 || b1 > 3 || b2 > 3 {
+        return PROTEIN_X;
+    }
+    let ascii = CODON_TABLE[(b0 as usize) * 16 + (b1 as usize) * 4 + b2 as usize];
+    Alphabet::Protein.encode(ascii).expect("codon table holds valid residues")
+}
+
+/// Translate an encoded DNA sequence in reading frame `frame` (0, 1, 2).
+/// Trailing partial codons are dropped; stops appear as `*`.
+pub fn translate(dna: &[u8], frame: usize) -> Result<Vec<u8>, SeqError> {
+    if frame > 2 {
+        return Err(SeqError::Config(format!("frame {frame} not in 0..=2")));
+    }
+    Ok(dna
+        .get(frame..)
+        .unwrap_or(&[])
+        .chunks_exact(3)
+        .map(|c| translate_codon(c[0], c[1], c[2]))
+        .collect())
+}
+
+/// All six reading frames: `[+0, +1, +2, -0, -1, -2]` (the minus frames
+/// translate the reverse complement).
+pub fn six_frames(dna: &[u8]) -> [Vec<u8>; 6] {
+    let rc = reverse_complement(dna);
+    [
+        translate(dna, 0).expect("frame 0 valid"),
+        translate(dna, 1).expect("frame 1 valid"),
+        translate(dna, 2).expect("frame 2 valid"),
+        translate(&rc, 0).expect("frame 0 valid"),
+        translate(&rc, 1).expect("frame 1 valid"),
+        translate(&rc, 2).expect("frame 2 valid"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dna(s: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode_seq(s).unwrap()
+    }
+
+    fn prot(codes: &[u8]) -> String {
+        Alphabet::Protein.decode_seq(codes)
+    }
+
+    #[test]
+    fn canonical_codons() {
+        // Spot-check well-known codons across the table's rows.
+        let check = |codon: &[u8], aa: u8| {
+            let c = dna(codon);
+            assert_eq!(
+                Alphabet::Protein.decode(translate_codon(c[0], c[1], c[2])),
+                aa,
+                "codon {}",
+                std::str::from_utf8(codon).unwrap()
+            );
+        };
+        check(b"ATG", b'M');
+        check(b"TGG", b'W');
+        check(b"TTT", b'F');
+        check(b"TTA", b'L');
+        check(b"TAA", b'*');
+        check(b"TAG", b'*');
+        check(b"TGA", b'*');
+        check(b"GGG", b'G');
+        check(b"AAA", b'K');
+        check(b"GAT", b'D');
+        check(b"CAT", b'H');
+        check(b"TGC", b'C');
+        check(b"CGA", b'R');
+        check(b"AGC", b'S');
+        check(b"CCC", b'P');
+        check(b"ACG", b'T');
+        check(b"GTA", b'V');
+        check(b"ATA", b'I');
+        check(b"CAA", b'Q');
+        check(b"AAC", b'N');
+        check(b"GAA", b'E');
+        check(b"TAC", b'Y');
+        check(b"GCT", b'A');
+    }
+
+    #[test]
+    fn every_codon_translates_to_a_valid_residue() {
+        for b0 in 0..4u8 {
+            for b1 in 0..4u8 {
+                for b2 in 0..4u8 {
+                    let aa = translate_codon(b0, b1, b2);
+                    assert!((aa as usize) < Alphabet::Protein.size());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codon_usage_is_consistent_with_degeneracy() {
+        // The standard code has exactly 3 stop codons and 61 sense codons,
+        // with Leu/Ser/Arg six-fold degenerate and Met/Trp unique.
+        let mut counts = [0usize; 24];
+        for i in 0..64u8 {
+            counts[translate_codon(i / 16, (i / 4) % 4, i % 4) as usize] += 1;
+        }
+        let count_of = |aa: u8| counts[Alphabet::Protein.encode(aa).unwrap() as usize];
+        assert_eq!(count_of(b'*'), 3);
+        assert_eq!(count_of(b'M'), 1);
+        assert_eq!(count_of(b'W'), 1);
+        assert_eq!(count_of(b'L'), 6);
+        assert_eq!(count_of(b'S'), 6);
+        assert_eq!(count_of(b'R'), 6);
+        assert_eq!(count_of(b'I'), 3);
+        assert_eq!(counts.iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn ambiguous_bases_become_x() {
+        let c = dna(b"ANG");
+        assert_eq!(
+            Alphabet::Protein.decode(translate_codon(c[0], c[1], c[2])),
+            b'X'
+        );
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let d = dna(b"ACGTNACG");
+        assert_eq!(reverse_complement(&reverse_complement(&d)), d);
+        assert_eq!(Alphabet::Dna.decode_seq(&reverse_complement(&dna(b"ACGT"))), "ACGT");
+        assert_eq!(Alphabet::Dna.decode_seq(&reverse_complement(&dna(b"AACG"))), "CGTT");
+    }
+
+    #[test]
+    fn frames_beyond_the_sequence_yield_nothing() {
+        // Regression: frame offsets past the end must not panic.
+        assert!(translate(&[], 1).unwrap().is_empty());
+        assert!(translate(&[0], 2).unwrap().is_empty());
+        assert!(six_frames(&[]).iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn translate_frames_and_partial_codons() {
+        // ATGGCT = Met-Ala; frame 1 drops the leading A: TGG CT -> W.
+        let d = dna(b"ATGGCT");
+        assert_eq!(prot(&translate(&d, 0).unwrap()), "MA");
+        assert_eq!(prot(&translate(&d, 1).unwrap()), "W");
+        assert_eq!(prot(&translate(&d, 2).unwrap()), "G");
+        assert!(translate(&d, 3).is_err());
+    }
+
+    #[test]
+    fn six_frames_shape() {
+        let d = dna(b"ATGGCTTGGTAA"); // MAW*
+        let frames = six_frames(&d);
+        assert_eq!(prot(&frames[0]), "MAW*");
+        assert_eq!(frames[0].len(), 4);
+        assert_eq!(frames[1].len(), 3);
+        assert_eq!(frames[3].len(), 4);
+        // The reverse strand of a stop-terminated ORF starts with the
+        // reverse complement of TAA = TTA = L.
+        assert_eq!(prot(&frames[3]).as_bytes()[0], b'L');
+    }
+
+    #[test]
+    fn orf_roundtrip_through_protein_search_shapes() {
+        // Translating a random ORF and searching its protein should make
+        // sense dimensionally: len/3 residues.
+        use crate::gen::random_sequence;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let d = random_sequence(Alphabet::Dna, 300, &mut rng);
+        let p = translate(&d, 0).unwrap();
+        assert_eq!(p.len(), 100);
+    }
+}

@@ -1,0 +1,399 @@
+//! The vantage-point *prefix* tree LSH (§III-E/F).
+//!
+//! A full vp-tree over a voluminous dataset cannot serve as a hash
+//! function ("maintaining a vp-tree for the entire dataset at this scale
+//! is non-trivial"), so the paper builds a *depth-limited* vp-tree over a
+//! sample of the data and uses root-to-node binary path prefixes as the
+//! hash value: the root's prefix is 1, a left step shifts in a 0, a right
+//! step shifts in a 1. Traversal stops at a cutoff depth threshold — "the
+//! depth of the threshold effectively determines the resolution of
+//! similarity that each group maintains" (Fig. 2) — and similar inputs
+//! collide into the same bucket, which the two-tier DHT maps onto a node
+//! group.
+//!
+//! Queries carry a tolerance τ: when a query ball straddles a partition
+//! boundary (`|d − μ| ≤ τ`) the traversal follows *both* children and the
+//! query is replicated to every group reached (§V-B).
+
+use mendel_seq::Metric;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One internal vertex of the prefix tree: a vantage point and its μ.
+#[derive(Debug, Clone)]
+struct PrefixNode<P> {
+    vantage: P,
+    radius: f32,
+}
+
+/// A depth-limited vp-tree used as a locality-sensitive hash function.
+#[derive(Debug)]
+pub struct VpPrefixTree<P, M> {
+    metric: M,
+    depth: usize,
+    /// Complete binary tree in heap order: node `i` has children `2i+1`,
+    /// `2i+2`; there are `2^depth − 1` internal vertices.
+    nodes: Vec<PrefixNode<P>>,
+}
+
+impl<P: Clone, M: Metric<P>> VpPrefixTree<P, M> {
+    /// Build the hash tree from a `sample` of the data. `depth` is the
+    /// cutoff threshold; the tree hashes into `2^depth` buckets.
+    ///
+    /// # Panics
+    /// Panics if the sample is empty or `depth == 0`.
+    pub fn build(sample: Vec<P>, metric: M, depth: usize, seed: u64) -> Self {
+        assert!(depth >= 1, "depth threshold must be at least 1");
+        assert!(!sample.is_empty(), "prefix tree needs a non-empty sample");
+        let n_nodes = (1usize << depth) - 1;
+        let fallback = sample[0].clone();
+        let mut nodes: Vec<Option<PrefixNode<P>>> = vec![None; n_nodes];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut tree = VpPrefixTree { metric, depth, nodes: Vec::new() };
+        tree.build_rec(0, sample, &fallback, &mut nodes, &mut rng);
+        tree.nodes = nodes
+            .into_iter()
+            .map(|n| n.expect("every heap slot is filled by build_rec"))
+            .collect();
+        tree
+    }
+
+    fn build_rec(
+        &self,
+        node: usize,
+        mut items: Vec<P>,
+        fallback: &P,
+        out: &mut Vec<Option<PrefixNode<P>>>,
+        rng: &mut ChaCha8Rng,
+    ) {
+        if node >= out.len() {
+            return;
+        }
+        if items.is_empty() {
+            // Starved branch (duplicate-heavy samples): route everything
+            // left with an infinite radius so hashing stays total.
+            out[node] = Some(PrefixNode { vantage: fallback.clone(), radius: f32::INFINITY });
+            self.build_rec(2 * node + 1, Vec::new(), fallback, out, rng);
+            self.build_rec(2 * node + 2, Vec::new(), fallback, out, rng);
+            return;
+        }
+        // Random vantage from the sample (the spread heuristic matters
+        // little at the coarse resolutions used for group hashing).
+        let v_idx = rng.random_range(0..items.len());
+        let vantage = items.swap_remove(v_idx);
+        let mut dists: Vec<(P, f32)> = items
+            .into_iter()
+            .map(|p| {
+                let d = self.metric.dist(&vantage, &p);
+                (p, d)
+            })
+            .collect();
+        let radius = if dists.is_empty() {
+            0.0
+        } else {
+            let mid = (dists.len() - 1) / 2;
+            dists.select_nth_unstable_by(mid, |a, b| a.1.total_cmp(&b.1));
+            dists[mid].1
+        };
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        for (p, d) in dists {
+            if d <= radius {
+                left.push(p);
+            } else {
+                right.push(p);
+            }
+        }
+        out[node] = Some(PrefixNode { vantage, radius });
+        self.build_rec(2 * node + 1, left, fallback, out, rng);
+        self.build_rec(2 * node + 2, right, fallback, out, rng);
+    }
+
+    /// Cutoff depth threshold.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of hash buckets (`2^depth`).
+    #[inline]
+    pub fn num_buckets(&self) -> usize {
+        1 << self.depth
+    }
+
+    /// Hash a point to its path prefix. The prefix always has the top bit
+    /// at position `depth` (root's 1), so distinct depths never collide.
+    pub fn hash(&self, point: &P) -> u64 {
+        let mut prefix = 1u64;
+        let mut node = 0usize;
+        for _ in 0..self.depth {
+            let pn = &self.nodes[node];
+            let d = self.metric.dist(point, &pn.vantage);
+            if d <= pn.radius {
+                prefix <<= 1;
+                node = 2 * node + 1;
+            } else {
+                prefix = (prefix << 1) | 1;
+                node = 2 * node + 2;
+            }
+        }
+        prefix
+    }
+
+    /// Hash with tolerance: whenever the query ball of radius `tau`
+    /// straddles a vertex's boundary (`|d − μ| ≤ τ`) both children are
+    /// followed. Returns the sorted, de-duplicated set of reachable
+    /// prefixes (always at least one).
+    pub fn hash_with_tolerance(&self, point: &P, tau: f32) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.hash_tol_rec(0, 1, 0, point, tau, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn hash_tol_rec(
+        &self,
+        node: usize,
+        prefix: u64,
+        level: usize,
+        point: &P,
+        tau: f32,
+        out: &mut Vec<u64>,
+    ) {
+        if level == self.depth {
+            out.push(prefix);
+            return;
+        }
+        let pn = &self.nodes[node];
+        let d = self.metric.dist(point, &pn.vantage);
+        let go_left = d <= pn.radius + tau;
+        let go_right = d + tau > pn.radius;
+        if go_left {
+            self.hash_tol_rec(2 * node + 1, prefix << 1, level + 1, point, tau, out);
+        }
+        if go_right || !go_left {
+            self.hash_tol_rec(2 * node + 2, (prefix << 1) | 1, level + 1, point, tau, out);
+        }
+    }
+
+    /// Convert a depth-level prefix to a dense bucket index in
+    /// `[0, 2^depth)`.
+    #[inline]
+    pub fn bucket_index(&self, prefix: u64) -> usize {
+        debug_assert_eq!(
+            prefix >> self.depth,
+            1,
+            "prefix {prefix:#b} is not at depth {}",
+            self.depth
+        );
+        (prefix as usize) - (1usize << self.depth)
+    }
+}
+
+/// Maps hash buckets onto a fixed set of node groups. Contiguous prefix
+/// ranges map to the same group, preserving what path locality the prefix
+/// carries (§IV-C: "The size and quantity of groups are a
+/// user-configurable parameter").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupAssignment {
+    buckets: usize,
+    groups: usize,
+}
+
+impl GroupAssignment {
+    /// Assignment of `buckets` hash buckets onto `groups` groups.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ groups ≤ buckets`.
+    pub fn new(buckets: usize, groups: usize) -> Self {
+        assert!(groups >= 1, "at least one group");
+        assert!(groups <= buckets, "more groups ({groups}) than buckets ({buckets})");
+        GroupAssignment { buckets, groups }
+    }
+
+    /// Group of a dense bucket index.
+    #[inline]
+    pub fn group_of_bucket(&self, bucket: usize) -> usize {
+        debug_assert!(bucket < self.buckets);
+        bucket * self.groups / self.buckets
+    }
+
+    /// Number of groups.
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn num_buckets(&self) -> usize {
+        self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mendel_seq::{BlockDistance, Hamming};
+    use rand::Rng;
+
+    type Tree = VpPrefixTree<Vec<u8>, BlockDistance<Hamming>>;
+
+    fn random_points(n: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..len).map(|_| rng.random_range(0..20u8)).collect())
+            .collect()
+    }
+
+    fn build(depth: usize, seed: u64) -> (Tree, Vec<Vec<u8>>) {
+        let sample = random_points(1000, 16, seed);
+        (VpPrefixTree::build(sample.clone(), BlockDistance::new(Hamming), depth, seed), sample)
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        let (t, sample) = build(4, 1);
+        for p in sample.iter().take(100) {
+            let h1 = t.hash(p);
+            let h2 = t.hash(p);
+            assert_eq!(h1, h2);
+            assert_eq!(h1 >> 4, 1, "top bit at depth position");
+            assert!(t.bucket_index(h1) < t.num_buckets());
+        }
+    }
+
+    #[test]
+    fn identical_points_always_collide() {
+        let (t, _) = build(5, 2);
+        let p = random_points(1, 16, 3).pop().unwrap();
+        assert_eq!(t.hash(&p), t.hash(&p.clone()));
+    }
+
+    #[test]
+    fn similar_points_collide_more_than_dissimilar() {
+        // The LSH property (§III-E): near neighbours should land in the
+        // same bucket far more often than random pairs.
+        let (t, _) = build(4, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut near_hits = 0;
+        let mut far_hits = 0;
+        const TRIALS: usize = 300;
+        for _ in 0..TRIALS {
+            let p: Vec<u8> = (0..16).map(|_| rng.random_range(0..20u8)).collect();
+            // 1-substitution neighbour.
+            let mut near = p.clone();
+            let pos = rng.random_range(0..16);
+            near[pos] = (near[pos] + 1 + rng.random_range(0..18u8)) % 20;
+            // Unrelated point.
+            let far: Vec<u8> = (0..16).map(|_| rng.random_range(0..20u8)).collect();
+            if t.hash(&p) == t.hash(&near) {
+                near_hits += 1;
+            }
+            if t.hash(&p) == t.hash(&far) {
+                far_hits += 1;
+            }
+        }
+        assert!(
+            near_hits > far_hits + TRIALS / 10,
+            "near collisions ({near_hits}) must clearly exceed far ({far_hits})"
+        );
+    }
+
+    #[test]
+    fn deeper_threshold_means_finer_resolution() {
+        // Fig. 2: the depth threshold sets the similarity resolution —
+        // deeper trees spread the same data across more buckets.
+        let sample = random_points(2000, 16, 6);
+        let shallow =
+            VpPrefixTree::build(sample.clone(), BlockDistance::new(Hamming), 2, 6);
+        let deep = VpPrefixTree::build(sample.clone(), BlockDistance::new(Hamming), 6, 6);
+        let count_distinct = |t: &Tree| {
+            let mut set = std::collections::HashSet::new();
+            for p in sample.iter() {
+                set.insert(t.hash(p));
+            }
+            set.len()
+        };
+        assert!(count_distinct(&deep) > count_distinct(&shallow));
+        assert!(count_distinct(&shallow) <= 4);
+    }
+
+    #[test]
+    fn tolerance_zero_matches_plain_hash() {
+        let (t, sample) = build(5, 7);
+        for p in sample.iter().take(50) {
+            assert_eq!(t.hash_with_tolerance(p, 0.0), vec![t.hash(p)]);
+        }
+    }
+
+    #[test]
+    fn tolerance_fanout_is_superset_and_grows() {
+        let (t, sample) = build(5, 8);
+        for p in sample.iter().take(50) {
+            let exact = t.hash(p);
+            let small = t.hash_with_tolerance(p, 2.0);
+            let large = t.hash_with_tolerance(p, 8.0);
+            assert!(small.contains(&exact));
+            assert!(small.iter().all(|h| large.contains(h)), "fanout must be monotone in τ");
+        }
+        let total: usize = sample.iter().take(50).map(|p| t.hash_with_tolerance(p, 8.0).len()).sum();
+        assert!(total > 50, "a large τ must branch somewhere");
+    }
+
+    #[test]
+    fn infinite_tolerance_reaches_every_bucket() {
+        let (t, sample) = build(3, 9);
+        let all = t.hash_with_tolerance(&sample[0], f32::INFINITY);
+        assert_eq!(all.len(), t.num_buckets());
+    }
+
+    #[test]
+    fn duplicate_sample_still_hashes_totally() {
+        let sample = vec![vec![7u8; 8]; 64];
+        let t: Tree = VpPrefixTree::build(sample, BlockDistance::new(Hamming), 4, 10);
+        let h = t.hash(&vec![7u8; 8]);
+        assert!(t.bucket_index(h) < 16);
+        let other = t.hash(&vec![3u8; 8]);
+        assert!(t.bucket_index(other) < 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty sample")]
+    fn empty_sample_rejected() {
+        let _: Tree = VpPrefixTree::build(vec![], BlockDistance::new(Hamming), 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth threshold")]
+    fn zero_depth_rejected() {
+        let _: Tree =
+            VpPrefixTree::build(vec![vec![0u8]], BlockDistance::new(Hamming), 0, 0);
+    }
+
+    #[test]
+    fn group_assignment_covers_all_groups_evenly() {
+        let ga = GroupAssignment::new(64, 10);
+        let mut counts = vec![0usize; 10];
+        for b in 0..64 {
+            counts[ga.group_of_bucket(b)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c >= 6 && c <= 7), "{counts:?}");
+    }
+
+    #[test]
+    fn group_assignment_is_monotone() {
+        // Contiguous buckets map to contiguous groups, preserving prefix
+        // locality.
+        let ga = GroupAssignment::new(32, 8);
+        for b in 1..32 {
+            assert!(ga.group_of_bucket(b) >= ga.group_of_bucket(b - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more groups")]
+    fn too_many_groups_rejected() {
+        GroupAssignment::new(4, 8);
+    }
+}

@@ -1,0 +1,758 @@
+//! The bulk-built vantage-point tree (§III-A/C/D).
+//!
+//! A binary metric-space partitioning tree: each internal vertex holds a
+//! vantage point and a radius μ covering roughly half of its elements
+//! (those within μ go left, the rest right). Both §III-D optimizations
+//! are implemented:
+//!
+//! 1. **leaf buckets** — leaves hold up to `bucket_capacity` elements,
+//!    shrinking the vertex count dramatically for large collections;
+//! 2. **subtree bounds** — every internal vertex stores the `[min, max]`
+//!    distance band of each child's elements as seen from its vantage
+//!    point, giving the search a tighter prune than μ alone.
+
+use crate::knn::{KnnHeap, Neighbor};
+use mendel_seq::Metric;
+use rand::seq::index::sample;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Sentinel for "no node".
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// Arena node of a vp-tree.
+#[derive(Debug, Clone)]
+pub(crate) enum Node {
+    /// Internal vertex: vantage element, radius μ, children, and the
+    /// distance bounds of each child's elements from the vantage point.
+    Internal {
+        /// Index of the vantage element in the point arena.
+        vantage: u32,
+        /// Partition radius μ: left elements satisfy `d ≤ μ`, right `d ≥ μ`.
+        radius: f32,
+        /// Left ("near") child node index.
+        left: u32,
+        /// Right ("far") child node index.
+        right: u32,
+        /// `[min, max]` distances of left-subtree elements to `vantage`.
+        left_bounds: (f32, f32),
+        /// `[min, max]` distances of right-subtree elements to `vantage`.
+        right_bounds: (f32, f32),
+    },
+    /// Leaf vertex holding a bucket of element indices.
+    Leaf {
+        /// Indices into the point arena.
+        bucket: Vec<u32>,
+    },
+}
+
+/// Owned intermediate node used by the parallel builder before arena
+/// flattening.
+enum BuildNode {
+    Leaf {
+        bucket: Vec<u32>,
+    },
+    Internal {
+        vantage: u32,
+        radius: f32,
+        left: Option<Box<BuildNode>>,
+        right: Option<Box<BuildNode>>,
+        left_bounds: (f32, f32),
+        right_bounds: (f32, f32),
+    },
+}
+
+/// A bulk-built vantage-point tree over points of type `P` under metric `M`.
+#[derive(Debug)]
+pub struct VpTree<P, M> {
+    pub(crate) metric: M,
+    pub(crate) points: Vec<P>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: u32,
+    pub(crate) bucket_capacity: usize,
+    pub(crate) seed: u64,
+}
+
+/// Structural statistics, used by balance tests and the ablation benches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VpTreeStats {
+    /// Total elements indexed.
+    pub points: usize,
+    /// Number of internal vertices.
+    pub internal_nodes: usize,
+    /// Number of leaf vertices.
+    pub leaves: usize,
+    /// Maximum root-to-leaf depth (root = 0; empty tree = 0).
+    pub max_depth: usize,
+    /// Minimum root-to-leaf depth.
+    pub min_depth: usize,
+    /// Mean leaf-bucket occupancy.
+    pub mean_bucket_fill: f64,
+}
+
+impl<P, M: Metric<P>> VpTree<P, M> {
+    /// Build a tree over `points` with the given leaf-bucket capacity.
+    /// `seed` drives vantage-point sampling; the same inputs always build
+    /// the same tree.
+    pub fn build(points: Vec<P>, metric: M, bucket_capacity: usize, seed: u64) -> Self {
+        assert!(bucket_capacity >= 1, "bucket capacity must be at least 1");
+        let mut tree = VpTree {
+            metric,
+            points,
+            nodes: Vec::new(),
+            root: NIL,
+            bucket_capacity,
+            seed,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut items: Vec<u32> = (0..tree.points.len() as u32).collect();
+        tree.root = tree.build_rec(&mut items, &mut rng);
+        tree
+    }
+
+    /// Recursively build the subtree over `items`, returning its node index.
+    pub(crate) fn build_rec(&mut self, items: &mut [u32], rng: &mut impl Rng) -> u32 {
+        if items.is_empty() {
+            return NIL;
+        }
+        if items.len() <= self.bucket_capacity {
+            self.nodes.push(Node::Leaf { bucket: items.to_vec() });
+            return (self.nodes.len() - 1) as u32;
+        }
+        let v_pos = self.pick_vantage(items, rng);
+        items.swap(0, v_pos);
+        let vantage = items[0];
+        let rest = &mut items[1..];
+
+        // Distances of the remaining elements to the vantage point.
+        let mut dists: Vec<(u32, f32)> = rest
+            .iter()
+            .map(|&i| {
+                (i, self.metric.dist(&self.points[vantage as usize], &self.points[i as usize]))
+            })
+            .collect();
+        // Median split: the radius must "encompass roughly half of the data
+        // points in order to maintain a balanced vp-tree" (§III-A).
+        let mid = (dists.len() - 1) / 2;
+        dists.select_nth_unstable_by(mid, |a, b| a.1.total_cmp(&b.1));
+        let mut radius = dists[mid].1;
+        // Left: d ≤ μ. Right: d > μ. Ties beyond the median spill left, so
+        // rebalance pure-tie splits by count to avoid degenerate recursion.
+        let mut left: Vec<(u32, f32)> = Vec::with_capacity(mid + 1);
+        let mut right: Vec<(u32, f32)> = Vec::with_capacity(dists.len() - mid);
+        for &(i, d) in dists.iter() {
+            if d <= radius {
+                left.push((i, d));
+            } else {
+                right.push((i, d));
+            }
+        }
+        if right.is_empty() && left.len() > self.bucket_capacity {
+            // The upper half of the distances ties the median, so `d > μ`
+            // selected nothing. Lower μ to the largest distance *below*
+            // the tie so the boundary points go right — keeping descent
+            // deterministic for equal inputs. Only when every element is
+            // exactly equidistant is an arbitrary count split unavoidable.
+            let maxd = radius;
+            let below = left.iter().map(|&(_, d)| d).filter(|&d| d < maxd).fold(
+                f32::NEG_INFINITY,
+                f32::max,
+            );
+            if below.is_finite() {
+                radius = below;
+                right = left.iter().copied().filter(|&(_, d)| d > radius).collect();
+                left.retain(|&(_, d)| d <= radius);
+            } else {
+                let half = left.len() / 2;
+                right = left.split_off(half);
+            }
+        }
+
+        let bounds = |side: &[(u32, f32)]| -> (f32, f32) {
+            side.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &(_, d)| {
+                (lo.min(d), hi.max(d))
+            })
+        };
+        let left_bounds = bounds(&left);
+        let right_bounds = bounds(&right);
+
+        let mut left_items: Vec<u32> = left.into_iter().map(|(i, _)| i).collect();
+        let mut right_items: Vec<u32> = right.into_iter().map(|(i, _)| i).collect();
+        let left_node = self.build_rec(&mut left_items, rng);
+        let right_node = self.build_rec(&mut right_items, rng);
+        self.nodes.push(Node::Internal {
+            vantage,
+            radius,
+            left: left_node,
+            right: right_node,
+            left_bounds,
+            right_bounds,
+        });
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Yianilos' spread heuristic: sample a few candidates, estimate each
+    /// one's distance spread against a random subset, keep the widest.
+    fn pick_vantage(&self, items: &[u32], rng: &mut impl Rng) -> usize {
+        const CANDIDATES: usize = 5;
+        const PROBES: usize = 12;
+        if items.len() <= 2 {
+            return 0;
+        }
+        let n_cand = CANDIDATES.min(items.len());
+        let n_probe = PROBES.min(items.len());
+        let cands = sample(rng, items.len(), n_cand);
+        let probes: Vec<usize> = sample(rng, items.len(), n_probe).into_iter().collect();
+        let mut best = (0usize, f32::NEG_INFINITY);
+        for c in cands {
+            let cp = &self.points[items[c] as usize];
+            let ds: Vec<f32> = probes
+                .iter()
+                .map(|&p| self.metric.dist(cp, &self.points[items[p] as usize]))
+                .collect();
+            let mean = ds.iter().sum::<f32>() / ds.len() as f32;
+            let var = ds.iter().map(|d| (d - mean) * (d - mean)).sum::<f32>() / ds.len() as f32;
+            if var > best.1 {
+                best = (c, var);
+            }
+        }
+        best.0
+    }
+
+    /// Build in parallel with rayon: partitions recurse concurrently via
+    /// `rayon::join` into boxed subtrees, which are then flattened into
+    /// the arena. Produces the same *kind* of tree as [`Self::build`]
+    /// (median-balanced, bucketed, bounded) but not bit-identical — each
+    /// branch derives its own RNG stream so construction is
+    /// deterministic *and* independent of the scheduler.
+    pub fn build_parallel(points: Vec<P>, metric: M, bucket_capacity: usize, seed: u64) -> Self
+    where
+        P: Send + Sync,
+        M: Sync,
+    {
+        assert!(bucket_capacity >= 1, "bucket capacity must be at least 1");
+        let mut tree = VpTree {
+            metric,
+            points,
+            nodes: Vec::new(),
+            root: NIL,
+            bucket_capacity,
+            seed,
+        };
+        let mut items: Vec<u32> = (0..tree.points.len() as u32).collect();
+        let boxed = tree.build_boxed(&mut items, seed);
+        tree.root = tree.flatten(boxed);
+        tree
+    }
+
+    /// Parallel recursive construction into an owned subtree.
+    fn build_boxed(&self, items: &mut [u32], branch_seed: u64) -> Option<Box<BuildNode>>
+    where
+        P: Send + Sync,
+        M: Sync,
+    {
+        if items.is_empty() {
+            return None;
+        }
+        if items.len() <= self.bucket_capacity {
+            return Some(Box::new(BuildNode::Leaf { bucket: items.to_vec() }));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(branch_seed);
+        let v_pos = self.pick_vantage(items, &mut rng);
+        items.swap(0, v_pos);
+        let vantage = items[0];
+        let rest = &items[1..];
+        let mut dists: Vec<(u32, f32)> = rest
+            .iter()
+            .map(|&i| {
+                (i, self.metric.dist(&self.points[vantage as usize], &self.points[i as usize]))
+            })
+            .collect();
+        let mid = (dists.len() - 1) / 2;
+        dists.select_nth_unstable_by(mid, |a, b| a.1.total_cmp(&b.1));
+        let mut radius = dists[mid].1;
+        let (mut left, mut right): (Vec<(u32, f32)>, Vec<(u32, f32)>) =
+            dists.into_iter().partition(|&(_, d)| d <= radius);
+        if right.is_empty() && left.len() > self.bucket_capacity {
+            let below = left
+                .iter()
+                .map(|&(_, d)| d)
+                .filter(|&d| d < radius)
+                .fold(f32::NEG_INFINITY, f32::max);
+            if below.is_finite() {
+                radius = below;
+                right = left.iter().copied().filter(|&(_, d)| d > radius).collect();
+                left.retain(|&(_, d)| d <= radius);
+            } else {
+                let half = left.len() / 2;
+                right = left.split_off(half);
+            }
+        }
+        let bounds = |side: &[(u32, f32)]| -> (f32, f32) {
+            side.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &(_, d)| {
+                (lo.min(d), hi.max(d))
+            })
+        };
+        let left_bounds = bounds(&left);
+        let right_bounds = bounds(&right);
+        let mut left_items: Vec<u32> = left.into_iter().map(|(i, _)| i).collect();
+        let mut right_items: Vec<u32> = right.into_iter().map(|(i, _)| i).collect();
+        // Splitmix-style per-branch seed derivation keeps the tree
+        // independent of scheduling.
+        let ls = branch_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let rs = branch_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(2);
+        const PAR_THRESHOLD: usize = 1024;
+        let (l, r) = if left_items.len() + right_items.len() >= PAR_THRESHOLD {
+            rayon::join(
+                || self.build_boxed(&mut left_items, ls),
+                || self.build_boxed(&mut right_items, rs),
+            )
+        } else {
+            (self.build_boxed(&mut left_items, ls), self.build_boxed(&mut right_items, rs))
+        };
+        Some(Box::new(BuildNode::Internal {
+            vantage,
+            radius,
+            left: l,
+            right: r,
+            left_bounds,
+            right_bounds,
+        }))
+    }
+
+    /// Flatten a boxed subtree into the arena, returning its node index.
+    fn flatten(&mut self, node: Option<Box<BuildNode>>) -> u32 {
+        match node {
+            None => NIL,
+            Some(b) => match *b {
+                BuildNode::Leaf { bucket } => {
+                    self.nodes.push(Node::Leaf { bucket });
+                    (self.nodes.len() - 1) as u32
+                }
+                BuildNode::Internal {
+                    vantage,
+                    radius,
+                    left,
+                    right,
+                    left_bounds,
+                    right_bounds,
+                } => {
+                    let l = self.flatten(left);
+                    let r = self.flatten(right);
+                    self.nodes.push(Node::Internal {
+                        vantage,
+                        radius,
+                        left: l,
+                        right: r,
+                        left_bounds,
+                        right_bounds,
+                    });
+                    (self.nodes.len() - 1) as u32
+                }
+            },
+        }
+    }
+
+    /// Number of indexed elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the tree indexes nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed point at arena index `i` (as returned in [`Neighbor`]).
+    #[inline]
+    pub fn point(&self, i: u32) -> &P {
+        &self.points[i as usize]
+    }
+
+    /// All points, in arena order.
+    #[inline]
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// The `n` nearest neighbours of `query`, sorted by ascending distance
+    /// (§III-C's single root-to-leaf style traversal with shrinking τ).
+    pub fn knn(&self, query: &P, n: usize) -> Vec<Neighbor> {
+        self.knn_with_budget(query, n, usize::MAX)
+    }
+
+    /// k-NN with a *visit budget*: the traversal follows the normal
+    /// near-side-first order but stops once `budget` distance
+    /// evaluations have been spent.
+    ///
+    /// Why this exists: the paper claims O(log n) average searches, but
+    /// for short sequence windows pairwise distances concentrate (random
+    /// 16-residue windows all sit within a few σ of the mean), so the τ
+    /// prune almost never fires and exact k-NN degenerates to a full
+    /// scan. Near-first traversal reaches genuinely similar blocks in
+    /// the first few hundred visits; the budget caps the exhaustive tail
+    /// that could only ever return chance neighbours. `usize::MAX` gives
+    /// the exact search. The sensitivity cost of finite budgets is
+    /// measured in the Fig. 6d harness (see EXPERIMENTS.md).
+    pub fn knn_with_budget(&self, query: &P, n: usize, budget: usize) -> Vec<Neighbor> {
+        if self.root == NIL || n == 0 || budget == 0 {
+            return Vec::new();
+        }
+        let mut heap = KnnHeap::new(n);
+        let mut budget = budget;
+        self.search_rec(self.root, query, &mut heap, &mut budget);
+        heap.into_sorted()
+    }
+
+    /// All neighbours within distance `radius` of `query`, sorted by
+    /// ascending distance.
+    pub fn range(&self, query: &P, radius: f32) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        if self.root != NIL {
+            self.range_rec(self.root, query, radius, &mut out);
+        }
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.index.cmp(&b.index)));
+        out
+    }
+
+    fn search_rec(&self, node: u32, query: &P, heap: &mut KnnHeap, budget: &mut usize) {
+        if *budget == 0 {
+            return;
+        }
+        match &self.nodes[node as usize] {
+            Node::Leaf { bucket } => {
+                for &i in bucket {
+                    if *budget == 0 {
+                        return;
+                    }
+                    *budget -= 1;
+                    heap.offer(i, self.metric.dist(query, &self.points[i as usize]));
+                }
+            }
+            Node::Internal { vantage, radius, left, right, left_bounds, right_bounds } => {
+                let d = self.metric.dist(query, &self.points[*vantage as usize]);
+                *budget -= 1;
+                heap.offer(*vantage, d);
+                // Visit the likelier side first so τ shrinks early (and so
+                // a finite budget is spent where matches actually live).
+                let (first, second, fb, sb) = if d <= *radius {
+                    (*left, *right, *left_bounds, *right_bounds)
+                } else {
+                    (*right, *left, *right_bounds, *left_bounds)
+                };
+                if first != NIL && Self::band_intersects(d, heap.tau(), fb) {
+                    self.search_rec(first, query, heap, budget);
+                }
+                if second != NIL && Self::band_intersects(d, heap.tau(), sb) {
+                    self.search_rec(second, query, heap, budget);
+                }
+            }
+        }
+    }
+
+    /// §III-D bound prune: the child can contain a result only if the query
+    /// ball `[d−τ, d+τ]` intersects the child's distance band `[lo, hi]`
+    /// as seen from the vantage point.
+    #[inline]
+    fn band_intersects(d: f32, tau: f32, (lo, hi): (f32, f32)) -> bool {
+        if tau.is_infinite() {
+            return true;
+        }
+        d - tau <= hi && d + tau >= lo
+    }
+
+    fn range_rec(&self, node: u32, query: &P, radius: f32, out: &mut Vec<Neighbor>) {
+        match &self.nodes[node as usize] {
+            Node::Leaf { bucket } => {
+                for &i in bucket {
+                    let d = self.metric.dist(query, &self.points[i as usize]);
+                    if d <= radius {
+                        out.push(Neighbor { index: i, dist: d });
+                    }
+                }
+            }
+            Node::Internal { vantage, left, right, left_bounds, right_bounds, .. } => {
+                let d = self.metric.dist(query, &self.points[*vantage as usize]);
+                if d <= radius {
+                    out.push(Neighbor { index: *vantage, dist: d });
+                }
+                if *left != NIL && Self::band_intersects(d, radius, *left_bounds) {
+                    self.range_rec(*left, query, radius, out);
+                }
+                if *right != NIL && Self::band_intersects(d, radius, *right_bounds) {
+                    self.range_rec(*right, query, radius, out);
+                }
+            }
+        }
+    }
+
+    /// Structural statistics (depth, balance, bucket fill).
+    pub fn stats(&self) -> VpTreeStats {
+        let mut s = VpTreeStats {
+            points: self.points.len(),
+            internal_nodes: 0,
+            leaves: 0,
+            max_depth: 0,
+            min_depth: usize::MAX,
+            mean_bucket_fill: 0.0,
+        };
+        let mut fill = 0usize;
+        if self.root != NIL {
+            self.stats_rec(self.root, 0, &mut s, &mut fill);
+        }
+        if s.leaves > 0 {
+            s.mean_bucket_fill = fill as f64 / s.leaves as f64;
+        } else {
+            s.min_depth = 0;
+        }
+        s
+    }
+
+    fn stats_rec(&self, node: u32, depth: usize, s: &mut VpTreeStats, fill: &mut usize) {
+        match &self.nodes[node as usize] {
+            Node::Leaf { bucket } => {
+                s.leaves += 1;
+                s.max_depth = s.max_depth.max(depth);
+                s.min_depth = s.min_depth.min(depth);
+                *fill += bucket.len();
+            }
+            Node::Internal { left, right, .. } => {
+                s.internal_nodes += 1;
+                if *left != NIL {
+                    self.stats_rec(*left, depth + 1, s, fill);
+                }
+                if *right != NIL {
+                    self.stats_rec(*right, depth + 1, s, fill);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::brute_force_knn;
+    use mendel_seq::{BlockDistance, Hamming};
+
+    type Tree = VpTree<Vec<u8>, BlockDistance<Hamming>>;
+
+    fn random_points(n: usize, len: usize, alphabet: u8, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..len).map(|_| rng.random_range(0..alphabet)).collect())
+            .collect()
+    }
+
+    fn build(points: Vec<Vec<u8>>, bucket: usize) -> Tree {
+        VpTree::build(points, BlockDistance::new(Hamming), bucket, 42)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = build(vec![], 4);
+        assert!(t.is_empty());
+        assert!(t.knn(&vec![0u8; 4], 3).is_empty());
+        assert!(t.range(&vec![0u8; 4], 10.0).is_empty());
+        assert_eq!(t.stats().points, 0);
+    }
+
+    #[test]
+    fn single_point() {
+        let t = build(vec![vec![1, 2, 3]], 4);
+        let nn = t.knn(&vec![1, 2, 4], 1);
+        assert_eq!(nn.len(), 1);
+        assert_eq!(nn[0].dist, 1.0);
+    }
+
+    #[test]
+    fn knn_matches_brute_force_on_random_data() {
+        let points = random_points(500, 12, 4, 7);
+        let t = build(points.clone(), 8);
+        let metric = BlockDistance::new(Hamming);
+        let queries = random_points(25, 12, 4, 8);
+        for q in &queries {
+            let got = t.knn(q, 5);
+            let want = brute_force_knn(&points, &metric, q, 5);
+            let gd: Vec<f32> = got.iter().map(|n| n.dist).collect();
+            let wd: Vec<f32> = want.iter().map(|n| n.dist).collect();
+            assert_eq!(gd, wd, "distances must match the oracle");
+        }
+    }
+
+    #[test]
+    fn knn_exact_match_is_found_first() {
+        let points = random_points(300, 10, 4, 9);
+        let needle = points[137].clone();
+        let t = build(points, 16);
+        let nn = t.knn(&needle, 1);
+        assert_eq!(nn[0].dist, 0.0);
+        assert_eq!(t.point(nn[0].index), &needle);
+    }
+
+    #[test]
+    fn range_search_matches_filter() {
+        let points = random_points(400, 8, 4, 10);
+        let t = build(points.clone(), 8);
+        let metric = BlockDistance::new(Hamming);
+        let q = random_points(1, 8, 4, 11).pop().unwrap();
+        for radius in [0.0, 1.0, 3.0, 8.0] {
+            let got: Vec<u32> = t.range(&q, radius).iter().map(|n| n.index).collect();
+            let mut want: Vec<u32> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| metric.dist(&q, p) <= radius)
+                .map(|(i, _)| i as u32)
+                .collect();
+            let mut got_sorted = got.clone();
+            got_sorted.sort();
+            want.sort();
+            assert_eq!(got_sorted, want, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_construction() {
+        let mut points = vec![vec![1u8, 1, 1]; 100];
+        points.extend(random_points(50, 3, 4, 12));
+        let t = build(points.clone(), 4);
+        assert_eq!(t.len(), 150);
+        let nn = t.knn(&vec![1u8, 1, 1], 3);
+        assert!(nn.iter().all(|n| n.dist == 0.0), "duplicates are all at distance 0");
+    }
+
+    #[test]
+    fn knn_returns_fewer_when_tree_is_small() {
+        let t = build(random_points(3, 6, 4, 13), 2);
+        assert_eq!(t.knn(&vec![0u8; 6], 10).len(), 3);
+    }
+
+    #[test]
+    fn bulk_tree_is_balanced() {
+        // §III-A: median splits keep the tree logarithmic.
+        let t = build(random_points(4096, 10, 20, 14), 8);
+        let s = t.stats();
+        // Integer distances tie heavily, so splits skew a little past the
+        // perfect log2(4096/8) = 9; allow ~2x.
+        assert!(s.max_depth <= 18, "max depth {} too deep for 4096/8", s.max_depth);
+        assert!(s.mean_bucket_fill >= 2.0, "buckets nearly empty: {}", s.mean_bucket_fill);
+    }
+
+    #[test]
+    fn buckets_reduce_node_count() {
+        // §III-D(1): "Adding large buckets ... vastly reduces the total
+        // number of vertices".
+        let points = random_points(2000, 10, 4, 15);
+        let small = build(points.clone(), 1);
+        let large = build(points, 32);
+        let (ss, ls) = (small.stats(), large.stats());
+        assert!(
+            ls.internal_nodes + ls.leaves < (ss.internal_nodes + ss.leaves) / 4,
+            "bucketed tree should be much smaller: {ls:?} vs {ss:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let points = random_points(256, 8, 4, 16);
+        let a = build(points.clone(), 8);
+        let b = build(points, 8);
+        let q = vec![0u8; 8];
+        let na: Vec<u32> = a.knn(&q, 7).iter().map(|n| n.index).collect();
+        let nb: Vec<u32> = b.knn(&q, 7).iter().map(|n| n.index).collect();
+        assert_eq!(na, nb);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket capacity")]
+    fn zero_bucket_capacity_rejected() {
+        build(vec![], 0);
+    }
+
+    #[test]
+    fn parallel_build_answers_exactly() {
+        let points = random_points(3000, 10, 20, 30);
+        let metric = BlockDistance::new(Hamming);
+        let par = VpTree::build_parallel(points.clone(), metric, 16, 7);
+        let metric = BlockDistance::new(Hamming);
+        for q in random_points(15, 10, 20, 31) {
+            let got: Vec<f32> = par.knn(&q, 6).iter().map(|n| n.dist).collect();
+            let want: Vec<f32> =
+                crate::knn::brute_force_knn(par.points(), &metric, &q, 6)
+                    .iter()
+                    .map(|n| n.dist)
+                    .collect();
+            assert_eq!(got, want, "parallel build must stay exact");
+        }
+        let s = par.stats();
+        assert_eq!(s.points, 3000);
+        assert!(s.max_depth <= 20, "parallel build stays balanced: {}", s.max_depth);
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic() {
+        let points = random_points(2000, 8, 4, 32);
+        let a = VpTree::build_parallel(points.clone(), BlockDistance::new(Hamming), 8, 5);
+        let b = VpTree::build_parallel(points, BlockDistance::new(Hamming), 8, 5);
+        let q = vec![1u8; 8];
+        let na: Vec<u32> = a.knn(&q, 9).iter().map(|n| n.index).collect();
+        let nb: Vec<u32> = b.knn(&q, 9).iter().map(|n| n.index).collect();
+        assert_eq!(na, nb, "scheduler must not influence the tree");
+    }
+
+    #[test]
+    fn parallel_build_empty_and_tiny() {
+        let empty: VpTree<Vec<u8>, _> =
+            VpTree::build_parallel(vec![], BlockDistance::new(Hamming), 4, 1);
+        assert!(empty.is_empty());
+        let one = VpTree::build_parallel(vec![vec![1u8, 2]], BlockDistance::new(Hamming), 4, 1);
+        assert_eq!(one.knn(&vec![1u8, 2], 1)[0].dist, 0.0);
+    }
+
+    #[test]
+    fn unbounded_budget_equals_exact_knn() {
+        let points = random_points(600, 10, 4, 20);
+        let t = build(points, 8);
+        for q in random_points(10, 10, 4, 21) {
+            let exact: Vec<f32> = t.knn(&q, 5).iter().map(|n| n.dist).collect();
+            let budgeted: Vec<f32> =
+                t.knn_with_budget(&q, 5, usize::MAX).iter().map(|n| n.dist).collect();
+            assert_eq!(exact, budgeted);
+        }
+    }
+
+    #[test]
+    fn budget_caps_work_but_near_first_order_finds_exact_matches() {
+        // 4096 points, budget 256: the near-first descent must still land
+        // on an indexed duplicate of the query.
+        let points = random_points(4096, 12, 20, 22);
+        let needle = points[2048].clone();
+        let t = build(points, 16);
+        let nn = t.knn_with_budget(&needle, 1, 256);
+        assert_eq!(nn[0].dist, 0.0, "exact match must be inside the first 256 visits");
+    }
+
+    #[test]
+    fn zero_budget_returns_nothing() {
+        let t = build(random_points(64, 8, 4, 23), 8);
+        assert!(t.knn_with_budget(&vec![0u8; 8], 3, 0).is_empty());
+    }
+
+    #[test]
+    fn budgeted_results_are_a_prefix_quality_subset() {
+        // Budgeted distances can only be >= the exact ones, element-wise.
+        let points = random_points(2000, 10, 20, 24);
+        let t = build(points, 8);
+        for q in random_points(8, 10, 20, 25) {
+            let exact: Vec<f32> = t.knn(&q, 4).iter().map(|n| n.dist).collect();
+            let approx: Vec<f32> =
+                t.knn_with_budget(&q, 4, 128).iter().map(|n| n.dist).collect();
+            for (e, a) in exact.iter().zip(&approx) {
+                assert!(a >= e, "approx {a} better than exact {e}?");
+            }
+        }
+    }
+}

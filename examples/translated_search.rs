@@ -1,0 +1,99 @@
+//! Translated (blastx-style) search: DNA reads against a protein cluster.
+//!
+//! The paper's research challenge #3 — "the queries we consider need to
+//! support both DNA and protein sequence data" — taken to its practical
+//! conclusion: environmental DNA reads are translated in all six reading
+//! frames and searched against the protein reference, so coding regions
+//! are identified even though the database and the sample use different
+//! alphabets.
+//!
+//! ```sh
+//! cargo run --release --example translated_search
+//! ```
+
+use mendel_suite::core::{ClusterConfig, MendelCluster, QueryParams};
+use mendel_suite::seq::gen::NrLikeSpec;
+use mendel_suite::seq::translate::translate_codon;
+use mendel_suite::seq::{reverse_complement, SeqId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Back-translate a protein into one of its coding DNA sequences,
+/// choosing codons uniformly among the synonyms.
+fn back_translate(protein: &[u8], rng: &mut impl Rng) -> Vec<u8> {
+    let mut dna = Vec::with_capacity(protein.len() * 3);
+    for &aa in protein {
+        let choices: Vec<(u8, u8, u8)> = (0..64u8)
+            .map(|c| (c / 16, (c / 4) % 4, c % 4))
+            .filter(|&(a, b, c)| translate_codon(a, b, c) == aa)
+            .collect();
+        let &(a, b, c) = &choices[rng.random_range(0..choices.len())];
+        dna.extend_from_slice(&[a, b, c]);
+    }
+    dna
+}
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB1A57);
+
+    // Protein reference database.
+    let db = Arc::new(
+        NrLikeSpec {
+            families: 48,
+            members_per_family: 2,
+            length_range: (200, 400),
+            ..Default::default()
+        }
+        .generate()
+        .expect("valid spec"),
+    );
+    let cluster = MendelCluster::build(ClusterConfig::small_protein(), db.clone())
+        .expect("valid config");
+    println!(
+        "protein reference: {} sequences; cluster indexed {} blocks\n",
+        db.len(),
+        cluster.total_blocks()
+    );
+
+    // Simulated coding DNA reads: back-translate fragments of known
+    // proteins, half of them on the reverse strand.
+    let params = QueryParams::protein();
+    let mut correct = 0usize;
+    let mut frames_seen = [0usize; 6];
+    const READS: usize = 12;
+    for r in 0..READS {
+        let source = SeqId((r * 7 % db.len()) as u32);
+        let protein = db.get(source).unwrap();
+        let start = rng.random_range(0..protein.len() - 80);
+        let fragment = &protein.residues[start..start + 80];
+        let mut dna = back_translate(fragment, &mut rng);
+        let minus_strand = r % 2 == 1;
+        if minus_strand {
+            dna = reverse_complement(&dna);
+        }
+        let hits = cluster.query_translated(&dna, &params).expect("valid query");
+        match hits.first() {
+            Some((frame, hit)) if hit.subject == source => {
+                correct += 1;
+                frames_seen[*frame] += 1;
+                println!(
+                    "read {r:>2} ({} strand, 240 bp) -> {} via frame {frame} (E = {:.1e})",
+                    if minus_strand { "minus" } else { "plus " },
+                    db.get(hit.subject).unwrap().name,
+                    hit.evalue
+                );
+                assert_eq!(
+                    *frame >= 3,
+                    minus_strand,
+                    "strand must be recovered from the winning frame"
+                );
+            }
+            other => println!("read {r:>2} missed: {other:?}"),
+        }
+    }
+    println!("\n{correct}/{READS} reads mapped to their coding protein");
+    println!("winning frames: {frames_seen:?} (0-2 forward, 3-5 reverse)");
+    assert_eq!(correct, READS, "every noiseless coding read must map");
+    println!("\nOK: six-frame translated search recovers protein and strand.");
+}

@@ -1,0 +1,10 @@
+//! Workspace façade crate: re-exports the entire Mendel stack so examples
+//! and integration tests can `use mendel_suite::...` a single dependency.
+
+pub use mendel as core;
+pub use mendel_align as align;
+pub use mendel_blast as blast;
+pub use mendel_dht as dht;
+pub use mendel_net as net;
+pub use mendel_seq as seq;
+pub use mendel_vptree as vptree;

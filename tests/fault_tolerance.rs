@@ -1,0 +1,183 @@
+//! Fault-tolerance and elasticity integration tests (the §VII-B
+//! extensions this reproduction implements).
+
+use mendel_suite::core::{ClusterConfig, MendelCluster, MendelError, QueryParams};
+use mendel_suite::dht::NodeId;
+use mendel_suite::seq::gen::NrLikeSpec;
+use mendel_suite::seq::{SeqId, SeqStore};
+use std::sync::Arc;
+
+fn db(seed: u64) -> Arc<SeqStore> {
+    Arc::new(
+        NrLikeSpec {
+            families: 16,
+            members_per_family: 2,
+            length_range: (150, 300),
+            seed,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap(),
+    )
+}
+
+fn replicated_cluster(db: &Arc<SeqStore>, replication: usize) -> MendelCluster {
+    let cfg = ClusterConfig {
+        nodes: 8,
+        groups: 2,
+        replication,
+        ..ClusterConfig::small_protein()
+    };
+    MendelCluster::build(cfg, db.clone()).unwrap()
+}
+
+#[test]
+fn replication_multiplies_stored_blocks() {
+    let db = db(1);
+    let single = replicated_cluster(&db, 1);
+    let double = replicated_cluster(&db, 2);
+    assert_eq!(double.total_blocks(), 2 * single.total_blocks());
+}
+
+#[test]
+fn single_failure_per_group_is_masked_with_replication_two() {
+    let db = db(2);
+    let cluster = replicated_cluster(&db, 2);
+    let params = QueryParams::protein();
+    let queries: Vec<Vec<u8>> =
+        (0..6).map(|i| db.get(SeqId(i * 5)).unwrap().residues.clone()).collect();
+    let baselines: Vec<_> = queries
+        .iter()
+        .map(|q| cluster.query(q, &params).unwrap().best().unwrap().subject)
+        .collect();
+
+    cluster.fail_node(NodeId(1)).unwrap();
+    cluster.fail_node(NodeId(5)).unwrap();
+    for (q, baseline) in queries.iter().zip(&baselines) {
+        let best = cluster.query_from(NodeId(0), q, &params).unwrap().best().unwrap().subject;
+        assert_eq!(best, *baseline, "failures must be invisible behind replicas");
+    }
+}
+
+#[test]
+fn unreplicated_cluster_degrades_but_does_not_error() {
+    let db = db(3);
+    let cluster = replicated_cluster(&db, 1);
+    let params = QueryParams::protein();
+    cluster.fail_node(NodeId(2)).unwrap();
+    cluster.fail_node(NodeId(6)).unwrap();
+    // Queries still run; some hits may be lost (blocks on failed nodes).
+    for i in 0..4u32 {
+        let q = db.get(SeqId(i)).unwrap().residues.clone();
+        let _ = cluster.query_from(NodeId(0), &q, &params).unwrap();
+    }
+}
+
+#[test]
+fn recovery_restores_full_results() {
+    let db = db(4);
+    let cluster = replicated_cluster(&db, 1);
+    let params = QueryParams::protein();
+    let q = db.get(SeqId(8)).unwrap().residues.clone();
+    let before = cluster.query(&q, &params).unwrap().hits;
+    cluster.fail_node(NodeId(3)).unwrap();
+    cluster.recover_node(NodeId(3));
+    let after = cluster.query(&q, &params).unwrap().hits;
+    assert_eq!(before, after, "recovery must restore exact pre-failure results");
+}
+
+#[test]
+fn failing_everything_in_a_group_yields_empty_group_results() {
+    let db = db(5);
+    let cluster = replicated_cluster(&db, 2);
+    let params = QueryParams::protein();
+    // Kill group 0 entirely (nodes 0..4); queries entering at group 1
+    // still run and answer from group 1's blocks only.
+    for n in 0..4u16 {
+        cluster.fail_node(NodeId(n)).unwrap();
+    }
+    let q = db.get(SeqId(1)).unwrap().residues.clone();
+    let report = cluster.query_from(NodeId(4), &q, &params).unwrap();
+    assert!(
+        report.stats.nodes_contacted <= 4,
+        "only group 1's nodes can serve ({} contacted)",
+        report.stats.nodes_contacted
+    );
+}
+
+#[test]
+fn failing_unknown_node_errors() {
+    let db = db(6);
+    let cluster = replicated_cluster(&db, 1);
+    assert!(matches!(
+        cluster.fail_node(NodeId(200)),
+        Err(MendelError::NoSuchNode(_))
+    ));
+}
+
+#[test]
+fn repeated_scale_out_keeps_results_stable() {
+    let db = db(7);
+    let cluster = replicated_cluster(&db, 1);
+    let params = QueryParams::protein();
+    let q = db.get(SeqId(12)).unwrap().residues.clone();
+    let baseline = cluster.query(&q, &params).unwrap().hits;
+    let blocks = cluster.total_blocks();
+    for _ in 0..3 {
+        cluster.add_node();
+        assert_eq!(cluster.total_blocks(), blocks, "rebalance must conserve blocks");
+        assert_eq!(cluster.query(&q, &params).unwrap().hits, baseline);
+    }
+    assert_eq!(cluster.topology().num_nodes(), 11);
+}
+
+#[test]
+fn heartbeat_suspicion_drives_failover() {
+    // Wire the net-layer failure detector to the cluster's failover: a
+    // node that stops beating gets suspected, the cluster routes around
+    // it, and queries keep answering (replication 2 masks the loss).
+    use mendel_suite::net::{HeartbeatMonitor, NodeAddr};
+    use std::time::{Duration, Instant};
+
+    let db = db(9);
+    let cluster = replicated_cluster(&db, 2);
+    let params = QueryParams::protein();
+    let q = db.get(SeqId(3)).unwrap().residues.clone();
+    let baseline = cluster.query(&q, &params).unwrap().best().unwrap().subject;
+
+    // Simulated beat history: node 2 went silent 200 ms ago.
+    let mut monitor = HeartbeatMonitor::new(Duration::from_millis(100));
+    let now = Instant::now();
+    for n in 0..8u16 {
+        let when = if n == 2 { now - Duration::from_millis(200) } else { now };
+        monitor.observe_at(NodeAddr(n), when);
+    }
+    let suspects = monitor.suspects_at(now);
+    assert_eq!(suspects, vec![NodeAddr(2)]);
+
+    // Act on the suspicion.
+    for s in &suspects {
+        cluster.fail_node(NodeId(s.0)).unwrap();
+    }
+    let masked = cluster.query_from(NodeId(0), &q, &params).unwrap().best().unwrap().subject;
+    assert_eq!(masked, baseline, "suspected node's data must be served by replicas");
+
+    // The node beats again: clear the suspicion and recover.
+    monitor.observe(NodeAddr(2));
+    assert!(monitor.suspects().is_empty());
+    cluster.recover_node(NodeId(2));
+    assert!(cluster.failed_nodes().is_empty());
+}
+
+#[test]
+fn scale_out_actually_moves_load() {
+    let db = db(8);
+    let cluster = replicated_cluster(&db, 1);
+    let before = cluster.load_report();
+    let new = cluster.add_node();
+    let after = cluster.load_report();
+    let new_bytes =
+        after.per_node.iter().find(|(n, _)| *n == new).map(|(_, b)| *b).unwrap();
+    assert!(new_bytes > 0, "new node must hold data");
+    assert_eq!(after.total(), before.total(), "no data created or lost");
+}

@@ -1,0 +1,100 @@
+//! Cross-crate property tests (proptest): invariants that must hold for
+//! arbitrary inputs, spanning the block pipeline, the DHT placement, and
+//! the query engine.
+
+use mendel_suite::core::{make_blocks, ClusterConfig, MendelCluster, QueryParams};
+use mendel_suite::dht::{FlatPlacement, GroupId, Topology};
+use mendel_suite::seq::gen::NrLikeSpec;
+use mendel_suite::seq::{Alphabet, SeqId, Sequence};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocks of any sequence reassemble the sequence exactly.
+    #[test]
+    fn blocks_reassemble_any_sequence(
+        residues in proptest::collection::vec(0u8..20, 16..200),
+        block_len in 4usize..16,
+    ) {
+        let mut s = Sequence::from_codes("p", Alphabet::Protein, residues.clone());
+        s.id = SeqId(1);
+        let blocks = make_blocks(&s, block_len);
+        prop_assert_eq!(blocks.len(), residues.len() - block_len + 1);
+        let mut rebuilt = blocks[0].window.clone();
+        for b in &blocks[1..] {
+            rebuilt.push(*b.window.last().unwrap());
+        }
+        prop_assert_eq!(rebuilt, residues);
+        // Neighbour references chain the blocks completely.
+        for (i, b) in blocks.iter().enumerate() {
+            prop_assert_eq!(b.prev_key().is_some(), i > 0);
+            prop_assert_eq!(b.next_key(s.len()).is_some(), i + 1 < blocks.len());
+        }
+    }
+
+    /// Flat placement always lands inside the requested group and is
+    /// deterministic, for any key and any viable topology.
+    #[test]
+    fn placement_is_total_and_deterministic(
+        key in proptest::collection::vec(any::<u8>(), 0..64),
+        nodes in 1usize..64,
+        replication in 1usize..5,
+    ) {
+        let groups = (nodes / 4).max(1);
+        let topo = Topology::new(nodes, groups);
+        let placement = FlatPlacement::with_replication(replication);
+        for g in 0..groups as u16 {
+            let reps = placement.replicas(&topo, GroupId(g), &key);
+            prop_assert!(!reps.is_empty());
+            prop_assert_eq!(reps.clone(), placement.replicas(&topo, GroupId(g), &key));
+            let members = topo.group_members(GroupId(g));
+            for r in &reps {
+                prop_assert!(members.contains(r));
+            }
+            let mut dedup = reps.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), reps.len(), "replicas must be distinct");
+        }
+    }
+}
+
+proptest! {
+    // Cluster-level properties are expensive; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Query results are deterministic and ranked by ascending E-value
+    /// for arbitrary (valid) Table I parameter settings.
+    #[test]
+    fn queries_are_deterministic_and_ranked(
+        n in 2usize..12,
+        k in 4usize..16,
+        i in 0.2f32..0.8,
+        seed in 0u64..4,
+    ) {
+        let db = Arc::new(NrLikeSpec {
+            families: 8,
+            members_per_family: 2,
+            length_range: (120, 220),
+            seed: 0x77 + seed,
+            ..Default::default()
+        }.generate().unwrap());
+        let cluster = MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap();
+        let params = QueryParams { n, k, i, ..QueryParams::protein() };
+        let q = db.get(SeqId(3)).unwrap().residues.clone();
+        let a = cluster.query(&q, &params).unwrap();
+        let b = cluster.query(&q, &params).unwrap();
+        prop_assert_eq!(&a.hits, &b.hits);
+        for w in a.hits.windows(2) {
+            prop_assert!(w[0].evalue <= w[1].evalue, "hits must be sorted by E-value");
+        }
+        for h in &a.hits {
+            prop_assert!(h.evalue <= params.e);
+            prop_assert!(h.query_end <= q.len());
+            let subject = db.get(h.subject).unwrap();
+            prop_assert!(h.subject_end <= subject.len());
+        }
+    }
+}
