@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Offline CI gate for the Mendel workspace. Run from the repo root:
+#
+#   ./ci.sh          # full gate
+#   ./ci.sh quick    # skip the release build and strict-invariants pass
+#
+# Every step works without network access; steps whose tool is absent
+# from the toolchain (rustfmt, clippy) are skipped with a notice rather
+# than failing the gate.
+set -u
+
+cd "$(dirname "$0")"
+
+MODE="${1:-full}"
+FAILED=0
+
+step() {
+    echo
+    echo "==> $1"
+    shift
+    if "$@"; then
+        echo "    ok"
+    else
+        echo "    FAILED: $*"
+        FAILED=1
+    fi
+}
+
+# 1. Formatting. The tree is kept rustfmt-clean; drift fails the gate.
+if cargo fmt --version >/dev/null 2>&1; then
+    step "cargo fmt --check" cargo fmt --check
+else
+    echo "==> rustfmt unavailable; skipping format check"
+fi
+
+# 2. Source audit: no new panics / std::sync locks / stray prints /
+#    unjustified allows versus audit-baseline.txt (see DESIGN.md §8.1).
+step "mendel-audit lint" cargo run -q -p mendel-audit -- lint
+
+# 3. Clippy with the workspace lint table ([workspace.lints.clippy]).
+if cargo clippy --version >/dev/null 2>&1; then
+    step "cargo clippy" cargo clippy --workspace --all-targets -q
+else
+    echo "==> clippy unavailable; skipping lint check"
+fi
+
+# 4. Tier-1 verify (ROADMAP.md): release build + default test suite.
+if [ "$MODE" != "quick" ]; then
+    step "cargo build --release" cargo build --release -q
+fi
+step "cargo test" cargo test -q
+
+# 5. Structural invariant checkers asserted at every mutation site
+#    (see DESIGN.md §8.2).
+if [ "$MODE" != "quick" ]; then
+    step "cargo test --features strict-invariants" \
+        cargo test --workspace --features strict-invariants -q
+fi
+
+echo
+if [ "$FAILED" -ne 0 ]; then
+    echo "CI gate FAILED"
+    exit 1
+fi
+echo "CI gate passed"

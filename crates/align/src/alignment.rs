@@ -15,7 +15,10 @@ pub struct GapPenalties {
 
 impl GapPenalties {
     /// BLAST's protein default: 11/1.
-    pub const BLASTP_DEFAULT: GapPenalties = GapPenalties { open: 11, extend: 1 };
+    pub const BLASTP_DEFAULT: GapPenalties = GapPenalties {
+        open: 11,
+        extend: 1,
+    };
     /// BLAST's nucleotide default: 5/2.
     pub const BLASTN_DEFAULT: GapPenalties = GapPenalties { open: 5, extend: 2 };
 
@@ -165,8 +168,7 @@ impl Alignment {
                 AlignOp::Delete(c) => sspan += c as usize,
             }
         }
-        self.query_start + qspan == self.query_end
-            && self.subject_start + sspan == self.subject_end
+        self.query_start + qspan == self.query_end && self.subject_start + sspan == self.subject_end
     }
 }
 

@@ -76,7 +76,10 @@ pub fn extend_ungapped(
     let mut run = 0i32;
     let mut k = 0usize;
     while q_start + seed_len + k < query.len() && s_start + seed_len + k < subject.len() {
-        run += matrix.score(query[q_start + seed_len + k], subject[s_start + seed_len + k]);
+        run += matrix.score(
+            query[q_start + seed_len + k],
+            subject[s_start + seed_len + k],
+        );
         k += 1;
         if run > best_right {
             best_right = run;
@@ -142,11 +145,20 @@ pub fn extend_gapped_banded(
     band: usize,
     x_drop: i32,
 ) -> GappedExtension {
-    assert!(q_mid <= query.len() && s_mid <= subject.len(), "anchor outside sequences");
+    assert!(
+        q_mid <= query.len() && s_mid <= subject.len(),
+        "anchor outside sequences"
+    );
     // Forward half: align query[q_mid..] vs subject[s_mid..] anchored at
     // (0,0). Backward half: the same on reversed prefixes.
-    let (fw_score, fw_q, fw_s) =
-        banded_half(&query[q_mid..], &subject[s_mid..], matrix, gaps, band, x_drop);
+    let (fw_score, fw_q, fw_s) = banded_half(
+        &query[q_mid..],
+        &subject[s_mid..],
+        matrix,
+        gaps,
+        band,
+        x_drop,
+    );
     let rq: Vec<u8> = query[..q_mid].iter().rev().copied().collect();
     let rs: Vec<u8> = subject[..s_mid].iter().rev().copied().collect();
     let (bw_score, bw_q, bw_s) = banded_half(&rq, &rs, matrix, gaps, band, x_drop);
@@ -217,7 +229,11 @@ fn banded_half(
         }
         h_prev = h_row;
     }
-    (best.max(0), if best > 0 { best_at.0 } else { 0 }, if best > 0 { best_at.1 } else { 0 })
+    (
+        best.max(0),
+        if best > 0 { best_at.0 } else { 0 },
+        if best > 0 { best_at.1 } else { 0 },
+    )
 }
 
 #[inline]
@@ -320,7 +336,11 @@ mod tests {
         // extension equivalent to unrestricted gapped extension from (0,0).
         let ge = extend_gapped_banded(&q, &s, 0, 0, &m(), GAPS, 64, 1000);
         assert!(ge.score <= sw, "anchored extension cannot beat free SW");
-        assert!(ge.score >= sw - 4, "wide band should be near SW ({} vs {sw})", ge.score);
+        assert!(
+            ge.score >= sw - 4,
+            "wide band should be near SW ({} vs {sw})",
+            ge.score
+        );
     }
 
     #[test]
@@ -344,6 +364,10 @@ mod tests {
         let narrow = extend_gapped_banded(&q, &s, 4, 4, &m(), GAPS, 2, 30);
         let wide = extend_gapped_banded(&q, &s, 4, 4, &m(), GAPS, 16, 30);
         assert_eq!(narrow.score, 16, "narrow band sees only the exact prefix");
-        assert_eq!(wide.score, 18 * 2 - GAPS.cost(4), "wide band bridges the indel");
+        assert_eq!(
+            wide.score,
+            18 * 2 - GAPS.cost(4),
+            "wide band bridges the indel"
+        );
     }
 }

@@ -147,7 +147,12 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(inserts, vec![2], "expected one insert run of 2, got {}", a.cigar());
+        assert_eq!(
+            inserts,
+            vec![2],
+            "expected one insert run of 2, got {}",
+            a.cigar()
+        );
     }
 
     #[test]

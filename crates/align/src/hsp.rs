@@ -108,7 +108,13 @@ mod tests {
     use super::*;
 
     fn hsp(subject_id: u32, qs: usize, qe: usize, ss: usize, score: i32) -> Hsp {
-        Hsp { subject_id, query_start: qs, query_end: qe, subject_start: ss, score }
+        Hsp {
+            subject_id,
+            query_start: qs,
+            query_end: qe,
+            subject_start: ss,
+            score,
+        }
     }
 
     #[test]
@@ -122,9 +128,18 @@ mod tests {
     fn overlap_requires_same_subject_and_diagonal() {
         let a = hsp(0, 0, 10, 0, 5);
         assert!(a.overlaps_on_diagonal(&hsp(0, 5, 15, 5, 5)));
-        assert!(!a.overlaps_on_diagonal(&hsp(1, 5, 15, 5, 5)), "different subject");
-        assert!(!a.overlaps_on_diagonal(&hsp(0, 5, 15, 6, 5)), "different diagonal");
-        assert!(!a.overlaps_on_diagonal(&hsp(0, 11, 15, 11, 5)), "disjoint ranges");
+        assert!(
+            !a.overlaps_on_diagonal(&hsp(1, 5, 15, 5, 5)),
+            "different subject"
+        );
+        assert!(
+            !a.overlaps_on_diagonal(&hsp(0, 5, 15, 6, 5)),
+            "different diagonal"
+        );
+        assert!(
+            !a.overlaps_on_diagonal(&hsp(0, 11, 15, 11, 5)),
+            "disjoint ranges"
+        );
     }
 
     #[test]

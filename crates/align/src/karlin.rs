@@ -37,13 +37,19 @@ pub struct KarlinParams {
 impl KarlinParams {
     /// Published ungapped BLOSUM62 constants (Robinson–Robinson
     /// composition; BLAST's `ungappedParams` for blastp).
-    pub const BLOSUM62_UNGAPPED: KarlinParams =
-        KarlinParams { lambda: 0.3176, k: 0.134, h: 0.4012 };
+    pub const BLOSUM62_UNGAPPED: KarlinParams = KarlinParams {
+        lambda: 0.3176,
+        k: 0.134,
+        h: 0.4012,
+    };
 
     /// Published gapped BLOSUM62 constants for gap open 11 / extend 1
     /// (BLAST's default blastp configuration).
-    pub const BLOSUM62_GAPPED_11_1: KarlinParams =
-        KarlinParams { lambda: 0.267, k: 0.041, h: 0.14 };
+    pub const BLOSUM62_GAPPED_11_1: KarlinParams = KarlinParams {
+        lambda: 0.267,
+        k: 0.041,
+        h: 0.14,
+    };
 
     /// Bit score of a raw score under these parameters.
     pub fn bit_score(&self, raw: i32) -> f64 {
@@ -83,7 +89,10 @@ impl std::fmt::Display for KarlinError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             KarlinError::NonNegativeDrift => {
-                write!(f, "expected score is non-negative; scoring system is invalid")
+                write!(
+                    f,
+                    "expected score is non-negative; scoring system is invalid"
+                )
             }
             KarlinError::NoPositiveScore => write!(f, "no positive score in the matrix"),
             KarlinError::NoConvergence => write!(f, "lambda iteration failed to converge"),
@@ -310,7 +319,11 @@ mod tests {
         // Match probability 1/4 ⇒ 0.25·e^λ + 0.75·e^(−λ) = 1 ⇒ e^λ = 3.
         let m = ScoringMatrix::dna(1, -1);
         let p = solve_ungapped_background(&m).unwrap();
-        assert!((p.lambda - 3.0f64.ln()).abs() < 1e-6, "lambda = {}", p.lambda);
+        assert!(
+            (p.lambda - 3.0f64.ln()).abs() < 1e-6,
+            "lambda = {}",
+            p.lambda
+        );
     }
 
     #[test]

@@ -220,7 +220,11 @@ mod tests {
         let q = dna(b"ACGTACGTAAGGCCTT");
         let s = dna(b"ACGTACGTGGCCTT"); // "AA" removed
         let a = smith_waterman(&q, &s, &dna_matrix(), GAPS).unwrap();
-        assert!(a.cigar().contains('I'), "expected insert op, got {}", a.cigar());
+        assert!(
+            a.cigar().contains('I'),
+            "expected insert op, got {}",
+            a.cigar()
+        );
         assert!(a.is_consistent());
         // 14 matched columns (28) minus one gap of length 2 (5+2*2=9)
         assert_eq!(a.score, 28 - 9);
@@ -250,7 +254,9 @@ mod tests {
     fn score_only_matches_traceback_score() {
         let q = dna(b"ACGTACGTAAGGCCTT");
         let s = dna(b"ACGGTACTGGCCTTAC");
-        let full = smith_waterman(&q, &s, &dna_matrix(), GAPS).map(|a| a.score).unwrap_or(0);
+        let full = smith_waterman(&q, &s, &dna_matrix(), GAPS)
+            .map(|a| a.score)
+            .unwrap_or(0);
         let fast = smith_waterman_score(&q, &s, &dna_matrix(), GAPS);
         assert_eq!(full, fast);
     }

@@ -1,0 +1,223 @@
+//! The violation baseline: a checked-in snapshot of pre-existing
+//! violations, so the lint gate fails only on *new* ones while the
+//! backlog burns down over time.
+//!
+//! Entries are keyed `(file, rule) → count` rather than by line number,
+//! so unrelated edits that shift lines do not churn the baseline.
+
+use crate::lint::{Rule, Violation};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Violation counts keyed by `(workspace-relative file, rule)`.
+pub type Counts = BTreeMap<(String, Rule), usize>;
+
+/// Aggregate a violation list into baseline counts.
+pub fn to_counts(violations: &[Violation]) -> Counts {
+    let mut counts = Counts::new();
+    for v in violations {
+        *counts.entry((v.file.clone(), v.rule)).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Serialize counts in the baseline file format.
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# mendel-audit baseline: pre-existing violations tolerated by `mendel-audit lint`.\n\
+         # One line per (file, rule): <path>\\t<rule>\\t<count>. Shrink it, never grow it.\n\
+         # Regenerate with: cargo run -p mendel-audit -- baseline --write\n",
+    );
+    for ((file, rule), count) in counts {
+        let _ = writeln!(out, "{file}\t{rule}\t{count}");
+    }
+    out
+}
+
+/// Parse the baseline file format. Unknown rules or malformed lines are
+/// errors: a typo in the baseline must not silently admit violations.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let entry = (|| {
+            let file = parts.next()?;
+            let rule = Rule::from_name(parts.next()?)?;
+            let count: usize = parts.next()?.parse().ok()?;
+            if parts.next().is_some() {
+                return None;
+            }
+            Some(((file.to_string(), rule), count))
+        })();
+        match entry {
+            Some((key, count)) => {
+                if counts.insert(key.clone(), count).is_some() {
+                    return Err(format!(
+                        "baseline line {}: duplicate entry for {} / {}",
+                        no + 1,
+                        key.0,
+                        key.1
+                    ));
+                }
+            }
+            None => {
+                return Err(format!(
+                    "baseline line {}: expected `<path>\\t<rule>\\t<count>`, got `{line}`",
+                    no + 1
+                ))
+            }
+        }
+    }
+    Ok(counts)
+}
+
+/// Result of diffing a scan against the baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Violations in groups that exceed their baseline allowance. Each
+    /// entry carries the whole group (`violations`) plus how many of
+    /// them are beyond the allowance.
+    pub regressions: Vec<Regression>,
+    /// Baseline entries whose allowance exceeds what the scan found;
+    /// the baseline can be tightened.
+    pub stale: Vec<(String, Rule, usize, usize)>,
+}
+
+/// One `(file, rule)` group over its allowance.
+#[derive(Debug)]
+pub struct Regression {
+    /// The file the group belongs to.
+    pub file: String,
+    /// The rule the group violates.
+    pub rule: Rule,
+    /// Violations allowed by the baseline for this group.
+    pub allowed: usize,
+    /// Every current violation in the group, in line order.
+    pub violations: Vec<Violation>,
+}
+
+/// Compare current violations against baseline allowances.
+pub fn diff(current: &[Violation], baseline: &Counts) -> Diff {
+    let mut groups: BTreeMap<(String, Rule), Vec<Violation>> = BTreeMap::new();
+    for v in current {
+        groups
+            .entry((v.file.clone(), v.rule))
+            .or_default()
+            .push(v.clone());
+    }
+    let mut out = Diff::default();
+    for ((file, rule), violations) in &groups {
+        let allowed = baseline.get(&(file.clone(), *rule)).copied().unwrap_or(0);
+        if violations.len() > allowed {
+            out.regressions.push(Regression {
+                file: file.clone(),
+                rule: *rule,
+                allowed,
+                violations: violations.clone(),
+            });
+        }
+    }
+    for ((file, rule), &allowed) in baseline {
+        let found = groups.get(&(file.clone(), *rule)).map_or(0, Vec::len);
+        if found < allowed {
+            out.stale.push((file.clone(), *rule, allowed, found));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(file: &str, line: usize, rule: Rule) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            rule,
+            excerpt: String::from("x.unwrap()"),
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let violations = vec![
+            violation("crates/a/src/lib.rs", 3, Rule::Unwrap),
+            violation("crates/a/src/lib.rs", 9, Rule::Unwrap),
+            violation("crates/b/src/lib.rs", 1, Rule::Println),
+        ];
+        let counts = to_counts(&violations);
+        let parsed = parse(&render(&counts)).expect("roundtrip parses");
+        assert_eq!(parsed, counts);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse("crates/a/src/lib.rs\tunwrap\tnot-a-number").is_err());
+        assert!(parse("crates/a/src/lib.rs\tno-such-rule\t3").is_err());
+        assert!(parse("just-one-field").is_err());
+        assert!(parse("crates/a/src/lib.rs\tunwrap\t1\textra").is_err());
+    }
+
+    #[test]
+    fn duplicate_entries_are_rejected() {
+        let text = "crates/a/src/lib.rs\tunwrap\t1\ncrates/a/src/lib.rs\tunwrap\t2\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn new_violation_in_clean_file_is_a_regression() {
+        let current = vec![violation("crates/a/src/lib.rs", 5, Rule::Panic)];
+        let d = diff(&current, &Counts::new());
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].allowed, 0);
+        assert!(d.stale.is_empty());
+    }
+
+    #[test]
+    fn violations_within_allowance_pass() {
+        let current = vec![
+            violation("crates/a/src/lib.rs", 5, Rule::Unwrap),
+            violation("crates/a/src/lib.rs", 8, Rule::Unwrap),
+        ];
+        let mut baseline = Counts::new();
+        baseline.insert(("crates/a/src/lib.rs".into(), Rule::Unwrap), 2);
+        let d = diff(&current, &baseline);
+        assert!(d.regressions.is_empty());
+        assert!(d.stale.is_empty());
+    }
+
+    #[test]
+    fn exceeding_allowance_reports_the_group() {
+        let current = vec![
+            violation("crates/a/src/lib.rs", 5, Rule::Unwrap),
+            violation("crates/a/src/lib.rs", 8, Rule::Unwrap),
+            violation("crates/a/src/lib.rs", 13, Rule::Unwrap),
+        ];
+        let mut baseline = Counts::new();
+        baseline.insert(("crates/a/src/lib.rs".into(), Rule::Unwrap), 2);
+        let d = diff(&current, &baseline);
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].violations.len(), 3);
+        assert_eq!(d.regressions[0].allowed, 2);
+    }
+
+    #[test]
+    fn fixed_violations_surface_as_stale() {
+        let mut baseline = Counts::new();
+        baseline.insert(("crates/a/src/lib.rs".into(), Rule::Unwrap), 4);
+        let d = diff(
+            &[violation("crates/a/src/lib.rs", 5, Rule::Unwrap)],
+            &baseline,
+        );
+        assert!(d.regressions.is_empty());
+        assert_eq!(
+            d.stale,
+            vec![("crates/a/src/lib.rs".into(), Rule::Unwrap, 4, 1)]
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! `mendel-audit`: a from-scratch, zero-dependency source auditor for
+//! the Mendel workspace.
+//!
+//! Two halves:
+//!
+//! 1. **Lint pass** (this crate): walks `crates/*/src/**/*.rs`, runs a
+//!    token-level scanner over sanitized source, and diffs the findings
+//!    against the checked-in `audit-baseline.txt`. CI fails only on NEW
+//!    violations, so the pre-existing backlog can burn down gradually
+//!    without blocking unrelated work.
+//! 2. **Structural invariant checkers** (in the data-structure crates,
+//!    behind the `strict-invariants` feature): deep `check_invariants`
+//!    methods on the vp-tree, DHT topology, and block store, asserted at
+//!    mutation sites and exercised by the property suites.
+//!
+//! Run `cargo run -p mendel-audit -- lint` from anywhere in the
+//! workspace; see `DESIGN.md` § "Invariants & static analysis".
+
+pub mod baseline;
+pub mod lint;
+pub mod sanitize;
+
+pub use baseline::{
+    diff, parse as parse_baseline, render as render_baseline, to_counts, Counts, Diff,
+};
+pub use lint::{scan_source, Rule, Violation};
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collect every `.rs` file under `crates/*/src`, sorted, as paths
+/// relative to `root` (`/`-separated regardless of platform).
+pub fn workspace_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    for f in &mut files {
+        if let Ok(rel) = f.strip_prefix(root) {
+            *f = rel.to_path_buf();
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan the whole workspace under `root`; violations carry
+/// workspace-relative `/`-separated paths.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    for rel in workspace_rs_files(root)? {
+        let source = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        violations.extend(scan_source(&rel_str, &source));
+    }
+    Ok(violations)
+}
+
+/// Render a human-readable report for a baseline diff. Returns `None`
+/// when there is nothing to say (no regressions, no stale entries).
+pub fn render_report(d: &Diff) -> Option<String> {
+    if d.regressions.is_empty() && d.stale.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    if !d.regressions.is_empty() {
+        let total_over: usize = d
+            .regressions
+            .iter()
+            .map(|r| r.violations.len() - r.allowed)
+            .sum();
+        let _ = writeln!(
+            out,
+            "error: {} new violation(s) beyond the baseline\n",
+            total_over
+        );
+        for r in &d.regressions {
+            let _ = writeln!(
+                out,
+                "{} / {}: found {}, baseline allows {} — {}",
+                r.file,
+                r.rule,
+                r.violations.len(),
+                r.allowed,
+                r.rule.description()
+            );
+            for v in &r.violations {
+                let _ = writeln!(out, "  {}:{}: {}", v.file, v.line, v.excerpt);
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "Fix the new violation(s), or — only for pre-existing debt being\n\
+             catalogued — regenerate: cargo run -p mendel-audit -- baseline --write"
+        );
+    }
+    if !d.stale.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nnote: baseline is stale (violations were fixed — tighten it with\n\
+             `cargo run -p mendel-audit -- baseline --write`):"
+        );
+        for (file, rule, allowed, found) in &d.stale {
+            let _ = writeln!(out, "  {file} / {rule}: baseline {allowed}, found {found}");
+        }
+    }
+    Some(out)
+}
+
+/// Seed a one-file workspace containing known violations into a fresh
+/// temp directory, scan it, and verify every expected rule fires with a
+/// usable report. Returns the report text on success.
+///
+/// This is the lint's own end-to-end self-test: it proves the gate
+/// actually fails (with file/line context) when a violation is
+/// introduced, independent of the real tree being clean.
+pub fn self_test() -> Result<String, String> {
+    let root = std::env::temp_dir().join(format!("mendel-audit-selftest-{}", std::process::id()));
+    let result = self_test_in(&root);
+    let _ = fs::remove_dir_all(&root);
+    result
+}
+
+fn self_test_in(root: &Path) -> Result<String, String> {
+    let src_dir = root.join("crates/seeded/src");
+    fs::create_dir_all(&src_dir).map_err(|e| format!("self-test setup: {e}"))?;
+    let seeded = "\
+use std::sync::Mutex;
+
+#[allow(dead_code)]
+fn seeded(o: Option<u8>) -> u8 {
+    println!(\"side effect\");
+    let v = o.unwrap();
+    if v == 0 {
+        panic!(\"boom\");
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        None::<u8>.unwrap();
+    }
+}
+";
+    fs::write(src_dir.join("lib.rs"), seeded).map_err(|e| format!("self-test setup: {e}"))?;
+
+    let violations = scan_workspace(root).map_err(|e| format!("self-test scan: {e}"))?;
+    let expected = [
+        Rule::StdSyncLock,
+        Rule::AllowWithoutReason,
+        Rule::Println,
+        Rule::Unwrap,
+        Rule::Panic,
+    ];
+    for rule in expected {
+        if !violations.iter().any(|v| v.rule == rule) {
+            return Err(format!(
+                "self-test: seeded `{rule}` violation was not detected"
+            ));
+        }
+    }
+    if violations.iter().any(|v| v.line > 10) {
+        return Err("self-test: a violation leaked out of the non-test region".into());
+    }
+
+    let d = diff(&violations, &Counts::new());
+    let report = render_report(&d).ok_or("self-test: no report for seeded violations")?;
+    if !report.contains("crates/seeded/src/lib.rs:6") {
+        return Err(format!(
+            "self-test: report lacks file:line context for the seeded unwrap:\n{report}"
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_test_passes() {
+        let report = self_test().expect("self-test succeeds");
+        assert!(report.contains("new violation(s) beyond the baseline"));
+    }
+
+    #[test]
+    fn scan_workspace_on_real_tree_is_baseline_clean() {
+        // The audit must agree with its own checked-in baseline — this
+        // is the same check `mendel-audit lint` performs in CI.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let violations = scan_workspace(&root).expect("scan workspace");
+        let baseline_text =
+            std::fs::read_to_string(root.join("audit-baseline.txt")).expect("read baseline");
+        let baseline = parse_baseline(&baseline_text).expect("parse baseline");
+        let d = diff(&violations, &baseline);
+        assert!(
+            d.regressions.is_empty(),
+            "{}",
+            render_report(&d).unwrap_or_default()
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! CLI for the workspace source auditor.
+//!
+//! ```text
+//! mendel-audit lint     [--root DIR] [--baseline FILE]   # gate: fail on NEW violations
+//! mendel-audit baseline [--root DIR] [--baseline FILE] [--write]
+//! mendel-audit self-test
+//! ```
+
+// This binary's purpose is terminal output: reports go to stderr,
+// rendered baselines to stdout (so they can be redirected).
+#![allow(clippy::print_stdout)]
+
+use mendel_audit::{
+    diff, parse_baseline, render_baseline, render_report, scan_workspace, self_test, to_counts,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: mendel-audit <lint|baseline|self-test> [--root DIR] [--baseline FILE] [--write]";
+
+struct Options {
+    root: PathBuf,
+    baseline: PathBuf,
+    write: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    // Default root: the workspace this binary was built from, so
+    // `cargo run -p mendel-audit -- lint` works from any directory.
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    root.pop();
+    root.pop();
+    let mut baseline = None;
+    let mut write = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?));
+            }
+            "--write" => write = true,
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    let baseline = baseline.unwrap_or_else(|| root.join("audit-baseline.txt"));
+    Ok(Options {
+        root,
+        baseline,
+        write,
+    })
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = args.split_first().ok_or_else(|| USAGE.to_string())?;
+    match command.as_str() {
+        "lint" => {
+            let opts = parse_args(rest)?;
+            let violations = scan_workspace(&opts.root)
+                .map_err(|e| format!("scanning {}: {e}", opts.root.display()))?;
+            let baseline_text = match std::fs::read_to_string(&opts.baseline) {
+                Ok(text) => text,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+                Err(e) => return Err(format!("reading {}: {e}", opts.baseline.display())),
+            };
+            let baseline = parse_baseline(&baseline_text)?;
+            let d = diff(&violations, &baseline);
+            let gate_fails = !d.regressions.is_empty();
+            match render_report(&d) {
+                Some(report) => eprintln!("{report}"),
+                None => eprintln!(
+                    "audit clean: {} file-level allowance(s) in baseline, no new violations",
+                    baseline.len()
+                ),
+            }
+            Ok(if gate_fails {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "baseline" => {
+            let opts = parse_args(rest)?;
+            let violations = scan_workspace(&opts.root)
+                .map_err(|e| format!("scanning {}: {e}", opts.root.display()))?;
+            let rendered = render_baseline(&to_counts(&violations));
+            if opts.write {
+                std::fs::write(&opts.baseline, &rendered)
+                    .map_err(|e| format!("writing {}: {e}", opts.baseline.display()))?;
+                eprintln!(
+                    "wrote {} ({} violations across {} groups)",
+                    opts.baseline.display(),
+                    violations.len(),
+                    to_counts(&violations).len()
+                );
+            } else {
+                print!("{rendered}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "self-test" => {
+            let report = self_test()?;
+            eprintln!("self-test ok: seeded violations detected and reported:\n");
+            eprintln!("{report}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("mendel-audit: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

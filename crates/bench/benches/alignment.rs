@@ -30,7 +30,14 @@ fn bench_smith_waterman(c: &mut Criterion) {
             bch.iter(|| black_box(smith_waterman(&a, &b, &m, GapPenalties::BLASTP_DEFAULT)))
         });
         g.bench_with_input(BenchmarkId::new("score_only", len), &len, |bch, _| {
-            bch.iter(|| black_box(smith_waterman_score(&a, &b, &m, GapPenalties::BLASTP_DEFAULT)))
+            bch.iter(|| {
+                black_box(smith_waterman_score(
+                    &a,
+                    &b,
+                    &m,
+                    GapPenalties::BLASTP_DEFAULT,
+                ))
+            })
         });
     }
     g.finish();
@@ -45,20 +52,24 @@ fn bench_extensions(c: &mut Criterion) {
         bch.iter(|| black_box(extend_ungapped(&a, &b, 1000, 1000, 16, &m, 18)))
     });
     for band in [8usize, 24, 64] {
-        g.bench_with_input(BenchmarkId::new("gapped_banded", band), &band, |bch, &band| {
-            bch.iter(|| {
-                black_box(extend_gapped_banded(
-                    &a,
-                    &b,
-                    1000,
-                    1000,
-                    &m,
-                    GapPenalties::BLASTP_DEFAULT,
-                    band,
-                    38,
-                ))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("gapped_banded", band),
+            &band,
+            |bch, &band| {
+                bch.iter(|| {
+                    black_box(extend_gapped_banded(
+                        &a,
+                        &b,
+                        1000,
+                        1000,
+                        &m,
+                        GapPenalties::BLASTP_DEFAULT,
+                        band,
+                        38,
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -77,5 +88,10 @@ fn bench_karlin(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_smith_waterman, bench_extensions, bench_karlin);
+criterion_group!(
+    benches,
+    bench_smith_waterman,
+    bench_extensions,
+    bench_karlin
+);
 criterion_main!(benches);

@@ -18,9 +18,7 @@ fn bench_engines(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(5));
     g.bench_function("mendel_cluster_build", |b| {
         b.iter(|| {
-            black_box(
-                MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap(),
-            )
+            black_box(MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap())
         })
     });
     g.bench_function("blast_index_build", |b| {

@@ -33,12 +33,22 @@ fn bench_prefix_hash(c: &mut Criterion) {
     let db = protein_db(100_000);
     let windows: Vec<Vec<u8>> = db
         .iter()
-        .flat_map(|s| s.residues.windows(16).step_by(64).map(|w| w.to_vec()).collect::<Vec<_>>())
+        .flat_map(|s| {
+            s.residues
+                .windows(16)
+                .step_by(64)
+                .map(|w| w.to_vec())
+                .collect::<Vec<_>>()
+        })
         .collect();
     let sample: Vec<Vec<u8>> = windows.iter().take(2048).cloned().collect();
     for depth in [3usize, 6, 10] {
-        let tree =
-            VpPrefixTree::build(sample.clone(), MetricKind::MendelBlosum62.instantiate(), depth, DB_SEED);
+        let tree = VpPrefixTree::build(
+            sample.clone(),
+            MetricKind::MendelBlosum62.instantiate(),
+            depth,
+            DB_SEED,
+        );
         g.bench_with_input(BenchmarkId::new("exact", depth), &tree, |b, tree| {
             b.iter(|| {
                 for w in windows.iter().take(256) {
@@ -60,8 +70,7 @@ fn bench_prefix_hash(c: &mut Criterion) {
 fn bench_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire_codec");
     g.sample_size(30).measurement_time(Duration::from_secs(3));
-    let payload: Vec<(u32, Vec<u8>)> =
-        (0..256u32).map(|i| (i, vec![i as u8; 24])).collect();
+    let payload: Vec<(u32, Vec<u8>)> = (0..256u32).map(|i| (i, vec![i as u8; 24])).collect();
     g.bench_function("encode_256_blocks", |b| {
         b.iter(|| black_box(payload.to_bytes()))
     });

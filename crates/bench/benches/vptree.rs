@@ -15,7 +15,11 @@ fn windows(residues: usize) -> Vec<Vec<u8>> {
     protein_db(residues)
         .iter()
         .flat_map(|s| {
-            s.residues.windows(BLOCK_LEN).step_by(4).map(|w| w.to_vec()).collect::<Vec<_>>()
+            s.residues
+                .windows(BLOCK_LEN)
+                .step_by(4)
+                .map(|w| w.to_vec())
+                .collect::<Vec<_>>()
         })
         .collect()
 }
@@ -71,8 +75,12 @@ fn bench_bucket_sizes(c: &mut Criterion) {
     let pts: Vec<Vec<u8>> = windows(200_000).into_iter().take(8_192).collect();
     let probes: Vec<Vec<u8>> = pts.iter().step_by(1024).cloned().collect();
     for bucket in [1usize, 8, 32, 128] {
-        let tree =
-            VpTree::build(pts.clone(), MetricKind::MendelBlosum62.instantiate(), bucket, 7);
+        let tree = VpTree::build(
+            pts.clone(),
+            MetricKind::MendelBlosum62.instantiate(),
+            bucket,
+            7,
+        );
         g.bench_with_input(BenchmarkId::from_parameter(bucket), &tree, |b, tree| {
             b.iter(|| {
                 for p in &probes {
@@ -107,5 +115,11 @@ fn bench_dynamic_insert(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_build, bench_knn, bench_bucket_sizes, bench_dynamic_insert);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_knn,
+    bench_bucket_sizes,
+    bench_dynamic_insert
+);
 criterion_main!(benches);

@@ -10,6 +10,9 @@
 //! cargo run --release -p mendel-bench --bin ablation_batch_insert
 //! ```
 
+// Benchmark reports go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use mendel::MetricKind;
 use mendel_bench::{figure_header, protein_db};
 use mendel_vptree::DynamicVpTree;
@@ -27,11 +30,19 @@ fn main() {
     let windows: Vec<Vec<u8>> = db
         .iter()
         .flat_map(|s| {
-            s.residues.windows(BLOCK_LEN).step_by(3).map(|w| w.to_vec()).collect::<Vec<_>>()
+            s.residues
+                .windows(BLOCK_LEN)
+                .step_by(3)
+                .map(|w| w.to_vec())
+                .collect::<Vec<_>>()
         })
         .collect();
     let queries: Vec<Vec<u8>> = windows.iter().step_by(997).cloned().collect();
-    println!("{} blocks, {} probe queries\n", windows.len(), queries.len());
+    println!(
+        "{} blocks, {} probe queries\n",
+        windows.len(),
+        queries.len()
+    );
 
     println!(
         "{:>16} | {:>10} | {:>9} | {:>9} | {:>12} | {:>10}",

@@ -11,6 +11,9 @@
 //! cargo run --release -p mendel-bench --bin ablation_budget
 //! ```
 
+// Benchmark reports go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use mendel::{ClusterConfig, MendelCluster, QueryParams};
 use mendel_bench::{figure_header, protein_db, query_set};
 use std::time::Instant;
@@ -44,7 +47,9 @@ fn main() {
         let mut candidates = 0usize;
         let mut sim_total = std::time::Duration::ZERO;
         for q in &queries {
-            let r = cluster.query(&q.query.residues, &params).expect("valid query");
+            let r = cluster
+                .query(&q.query.residues, &params)
+                .expect("valid query");
             if r.hits.iter().any(|h| h.subject == q.source) {
                 found += 1;
             }
@@ -52,7 +57,11 @@ fn main() {
             sim_total += r.turnaround();
         }
         let _ = t.elapsed();
-        let label = if budget == usize::MAX { "exact".to_string() } else { budget.to_string() };
+        let label = if budget == usize::MAX {
+            "exact".to_string()
+        } else {
+            budget.to_string()
+        };
         println!(
             "{label:>10} | {:>7}/{:<2} | {:>16.2} | {:>12}",
             found,

@@ -13,6 +13,9 @@
 //! cargo run --release -p mendel-bench --bin ablation_depth
 //! ```
 
+// Benchmark reports go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use mendel::MetricKind;
 use mendel_bench::{figure_header, protein_db, DB_SEED};
 use mendel_seq::gen::mutate_to_identity;
@@ -34,11 +37,19 @@ fn main() {
     let windows: Vec<Vec<u8>> = db
         .iter()
         .flat_map(|s| {
-            s.residues.windows(BLOCK_LEN).step_by(11).map(|w| w.to_vec()).collect::<Vec<_>>()
+            s.residues
+                .windows(BLOCK_LEN)
+                .step_by(11)
+                .map(|w| w.to_vec())
+                .collect::<Vec<_>>()
         })
         .collect();
     let sample: Vec<Vec<u8>> = windows.iter().step_by(7).cloned().take(4096).collect();
-    println!("{} windows, {} sampled for tree construction\n", windows.len(), sample.len());
+    println!(
+        "{} windows, {} sampled for tree construction\n",
+        windows.len(),
+        sample.len()
+    );
 
     let mut rng = ChaCha8Rng::seed_from_u64(0xDE);
     let mutants: Vec<(usize, Vec<u8>)> = (0..500)
@@ -75,8 +86,10 @@ fn main() {
         // Group spread (percentage points of total), over the *intended*
         // 10 groups — unaddressable groups count as empty.
         let total: u64 = group_bytes.iter().sum();
-        let mut shares: Vec<f64> =
-            group_bytes.iter().map(|&b| 100.0 * b as f64 / total as f64).collect();
+        let mut shares: Vec<f64> = group_bytes
+            .iter()
+            .map(|&b| 100.0 * b as f64 / total as f64)
+            .collect();
         shares.resize(GROUPS, 0.0);
         let spread = shares.iter().copied().fold(f64::MIN, f64::max)
             - shares.iter().copied().fold(f64::MAX, f64::min);
@@ -89,7 +102,8 @@ fn main() {
         let tol_hits = mutants
             .iter()
             .filter(|(idx, m)| {
-                tree.hash_with_tolerance(m, 8.0).contains(&tree.hash(&windows[*idx]))
+                tree.hash_with_tolerance(m, 8.0)
+                    .contains(&tree.hash(&windows[*idx]))
             })
             .count();
 

@@ -14,6 +14,9 @@
 //! cargo run --release -p mendel-bench --bin ablation_group_hash
 //! ```
 
+// Benchmark reports go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use mendel::{make_blocks, MetricKind};
 use mendel_bench::{figure_header, protein_db, query_set, DB_SEED};
 use mendel_dht::{FlatPlacement, GroupId, LoadReport, NodeId, Topology};
@@ -78,10 +81,20 @@ fn main() {
         }
     }
 
-    let flat_report =
-        LoadReport::new(flat_load.iter().enumerate().map(|(i, &b)| (NodeId(i as u16), b)).collect());
-    let vp_report =
-        LoadReport::new(vp_load.iter().enumerate().map(|(i, &b)| (NodeId(i as u16), b)).collect());
+    let flat_report = LoadReport::new(
+        flat_load
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (NodeId(i as u16), b))
+            .collect(),
+    );
+    let vp_report = LoadReport::new(
+        vp_load
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (NodeId(i as u16), b))
+            .collect(),
+    );
 
     // Parallelism probe: for each query, how many distinct nodes of the
     // routed group hold blocks similar to the query's windows?
@@ -100,7 +113,10 @@ fn main() {
         let mut v: std::collections::HashMap<GroupId, std::collections::HashSet<NodeId>> =
             Default::default();
         for start in q.source_start..q.source_start + 400 - BLOCK_LEN {
-            let key = mendel::BlockKey { seq: src.id, start: start as u32 };
+            let key = mendel::BlockKey {
+                seq: src.id,
+                start: start as u32,
+            };
             let window = src.residues[start..start + BLOCK_LEN].to_vec();
             let g = group_of(&window);
             if let Some(n) = flat_node_of.get(&key) {

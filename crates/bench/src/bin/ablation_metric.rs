@@ -11,6 +11,9 @@
 //! cargo run --release -p mendel-bench --bin ablation_metric
 //! ```
 
+// Benchmark reports go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use mendel::{ClusterConfig, MendelCluster, MetricKind, QueryParams};
 use mendel_bench::{figure_header, protein_db, query_set};
 use mendel_seq::Metric;
@@ -28,7 +31,11 @@ fn main() {
     let windows: Vec<Vec<u8>> = db
         .iter()
         .flat_map(|s| {
-            s.residues.windows(BLOCK_LEN).step_by(5).map(|w| w.to_vec()).collect::<Vec<_>>()
+            s.residues
+                .windows(BLOCK_LEN)
+                .step_by(5)
+                .map(|w| w.to_vec())
+                .collect::<Vec<_>>()
         })
         .collect();
     let probes: Vec<Vec<u8>> = windows.iter().step_by(1501).cloned().collect();
@@ -39,7 +46,10 @@ fn main() {
         "metric", "kNN agree", "knn (µs)", "recall", "query (ms)"
     );
     println!("{}", "-".repeat(82));
-    for kind in [MetricKind::MendelBlosum62, MetricKind::MendelBlosum62Repaired] {
+    for kind in [
+        MetricKind::MendelBlosum62,
+        MetricKind::MendelBlosum62Repaired,
+    ] {
         let metric = kind.instantiate();
         // Exactness vs brute force (exact search, no budget).
         let tree = VpTree::build(windows.clone(), metric.clone(), 32, 7);
@@ -48,15 +58,24 @@ fn main() {
         let t = Instant::now();
         for p in &probes {
             let got: Vec<f32> = tree.knn(p, 8).iter().map(|n| n.dist).collect();
-            let want: Vec<f32> =
-                brute_force_knn(&windows, &metric, p, 8).iter().map(|n| n.dist).collect();
+            let want: Vec<f32> = brute_force_knn(&windows, &metric, p, 8)
+                .iter()
+                .map(|n| n.dist)
+                .collect();
             total += want.len();
-            agree += got.iter().zip(&want).filter(|(a, b)| (*a - *b).abs() < 1e-5).count();
+            agree += got
+                .iter()
+                .zip(&want)
+                .filter(|(a, b)| (*a - *b).abs() < 1e-5)
+                .count();
         }
         let knn_us = t.elapsed().as_secs_f64() * 1e6 / probes.len() as f64;
 
         // End-to-end recall + latency on a small cluster.
-        let cfg = ClusterConfig { metric: kind, ..ClusterConfig::small_protein() };
+        let cfg = ClusterConfig {
+            metric: kind,
+            ..ClusterConfig::small_protein()
+        };
         let cluster = MendelCluster::build(cfg, db.clone()).expect("valid config");
         let queries = query_set(&db, 10, 300, 0.75);
         let params = QueryParams::protein();

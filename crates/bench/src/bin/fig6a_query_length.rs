@@ -13,10 +13,13 @@
 //! cargo run --release -p mendel-bench --bin fig6a_query_length
 //! ```
 
+// Benchmark reports go to stdout by design.
+#![allow(clippy::print_stdout)]
+
+use mendel::{ClusterConfig, MendelCluster};
 use mendel_bench::{bench_params, figure_header, mean_duration, ms, DB_SEED, QUERY_SEED};
 use mendel_blast::{Blast, BlastParams};
 use mendel_seq::gen::{NrLikeSpec, QuerySetSpec};
-use mendel::{ClusterConfig, MendelCluster};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -41,11 +44,19 @@ fn main() {
         .generate()
         .expect("valid spec"),
     );
-    println!("database: {} sequences / {} residues", db.len(), db.total_residues());
+    println!(
+        "database: {} sequences / {} residues",
+        db.len(),
+        db.total_residues()
+    );
 
     let cluster = MendelCluster::build(ClusterConfig::paper_testbed_protein(), db.clone())
         .expect("valid config");
-    println!("Mendel: indexed {} blocks in {:?}", cluster.total_blocks(), cluster.index_elapsed());
+    println!(
+        "Mendel: indexed {} blocks in {:?}",
+        cluster.total_blocks(),
+        cluster.index_elapsed()
+    );
     let blast = Blast::new(db.clone(), BlastParams::protein());
 
     println!(
@@ -73,7 +84,12 @@ fn main() {
         params.k = (len / 64).max(8);
         let mendel_times: Vec<_> = queries
             .iter()
-            .map(|q| cluster.query(&q.query.residues, &params).expect("valid query").turnaround())
+            .map(|q| {
+                cluster
+                    .query(&q.query.residues, &params)
+                    .expect("valid query")
+                    .turnaround()
+            })
             .collect();
         let blast_times: Vec<_> = queries
             .iter()
@@ -93,11 +109,13 @@ fn main() {
     let mendel_growth =
         mendel_series.last().unwrap().as_secs_f64() / mendel_series[0].as_secs_f64();
     let blast_growth = blast_series.last().unwrap().as_secs_f64() / blast_series[0].as_secs_f64();
-    println!(
-        "\n500->3000 growth factor: Mendel {mendel_growth:.2}x vs BLAST {blast_growth:.2}x"
-    );
+    println!("\n500->3000 growth factor: Mendel {mendel_growth:.2}x vs BLAST {blast_growth:.2}x");
     println!(
         "paper shape: Mendel ~flat, BLAST grows -> {}",
-        if mendel_growth < blast_growth { "REPRODUCED" } else { "NOT reproduced" }
+        if mendel_growth < blast_growth {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

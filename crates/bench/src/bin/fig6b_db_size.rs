@@ -10,6 +10,9 @@
 //! cargo run --release -p mendel-bench --bin fig6b_db_size
 //! ```
 
+// Benchmark reports go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use mendel_bench::{bench_params, figure_header, mean_duration, ms, paper_cluster, protein_db};
 use mendel_blast::{Blast, BlastParams};
 use mendel_seq::gen::QuerySetSpec;
@@ -47,7 +50,12 @@ fn main() {
 
         let mendel_times: Vec<_> = queries
             .iter()
-            .map(|q| cluster.query(&q.query.residues, &params).expect("valid").turnaround())
+            .map(|q| {
+                cluster
+                    .query(&q.query.residues, &params)
+                    .expect("valid")
+                    .turnaround()
+            })
             .collect();
         let blast_times: Vec<_> = queries
             .iter()
@@ -77,6 +85,10 @@ fn main() {
     );
     println!(
         "paper shape: Mendel ~constant, BLAST degrades with volume -> {}",
-        if mendel_growth < blast_growth { "REPRODUCED" } else { "NOT reproduced" }
+        if mendel_growth < blast_growth {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

@@ -9,7 +9,12 @@
 //! cargo run --release -p mendel-bench --bin fig6c_scalability
 //! ```
 
-use mendel_bench::{bench_params, cluster_with, figure_header, mean_duration, ms, protein_db, query_set};
+// Benchmark reports go to stdout by design.
+#![allow(clippy::print_stdout)]
+
+use mendel_bench::{
+    bench_params, cluster_with, figure_header, mean_duration, ms, protein_db, query_set,
+};
 
 const NODE_COUNTS: [usize; 6] = [5, 10, 20, 30, 40, 50];
 const DB_RESIDUES: usize = 1_000_000;
@@ -23,8 +28,15 @@ fn main() {
     let db = protein_db(DB_RESIDUES);
     let queries = query_set(&db, QUERIES, 1000, 0.85);
     let params = bench_params();
-    println!("database: {} residues; {} queries of 1000 residues\n", db.total_residues(), QUERIES);
-    println!("{:>7} | {:>7} | {:>16} | {:>13}", "nodes", "groups", "Mendel avg (ms)", "index (s)");
+    println!(
+        "database: {} residues; {} queries of 1000 residues\n",
+        db.total_residues(),
+        QUERIES
+    );
+    println!(
+        "{:>7} | {:>7} | {:>16} | {:>13}",
+        "nodes", "groups", "Mendel avg (ms)", "index (s)"
+    );
     println!("{}", "-".repeat(52));
 
     let mut series = Vec::new();
@@ -33,7 +45,12 @@ fn main() {
         let cluster = cluster_with(&db, nodes, groups);
         let times: Vec<_> = queries
             .iter()
-            .map(|q| cluster.query(&q.query.residues, &params).expect("valid").turnaround())
+            .map(|q| {
+                cluster
+                    .query(&q.query.residues, &params)
+                    .expect("valid")
+                    .turnaround()
+            })
             .collect();
         let m = mean_duration(&times);
         println!(
@@ -47,6 +64,10 @@ fn main() {
     println!("\n5 -> 50 nodes speedup: {speedup:.2}x");
     println!(
         "paper shape: turnaround decreases as nodes are added -> {}",
-        if speedup > 1.5 { "REPRODUCED" } else { "NOT reproduced" }
+        if speedup > 1.5 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

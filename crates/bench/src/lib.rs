@@ -57,10 +57,20 @@ pub fn cluster_with(db: &Arc<SeqStore>, nodes: usize, groups: usize) -> MendelCl
 
 /// An `s_aureus`-style query set: fragments of database sequences at the
 /// given identity.
-pub fn query_set(db: &Arc<SeqStore>, count: usize, length: usize, identity: f64) -> Vec<QueryRecord> {
-    QuerySetSpec { count, length, identity, seed: QUERY_SEED }
-        .generate(db)
-        .expect("database holds long enough sequences")
+pub fn query_set(
+    db: &Arc<SeqStore>,
+    count: usize,
+    length: usize,
+    identity: f64,
+) -> Vec<QueryRecord> {
+    QuerySetSpec {
+        count,
+        length,
+        identity,
+        seed: QUERY_SEED,
+    }
+    .generate(db)
+    .expect("database holds long enough sequences")
 }
 
 /// Default Mendel query parameters used by the performance figures.
@@ -82,6 +92,9 @@ pub fn ms(d: Duration) -> String {
 }
 
 /// Print a figure header in a consistent style.
+// The bench binaries report through stdout; this shared banner helper is
+// their only print path in the lib.
+#[allow(clippy::print_stdout)]
 pub fn figure_header(id: &str, caption: &str) {
     println!("================================================================");
     println!("{id}: {caption}");

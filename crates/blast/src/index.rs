@@ -51,20 +51,32 @@ impl WordIndex {
         let starts = counts;
         // Pass 2: fill postings.
         let mut cursors = starts.clone();
-        let mut postings =
-            vec![Posting { seq: SeqId(0), offset: 0 }; *starts.last().unwrap() as usize];
+        let mut postings = vec![
+            Posting {
+                seq: SeqId(0),
+                offset: 0
+            };
+            *starts.last().unwrap() as usize
+        ];
         for s in db.iter() {
             let id = s.id;
             add_words(
                 &s.residues,
                 Box::new(|w, off| {
                     let slot = cursors[w as usize];
-                    postings[slot as usize] = Posting { seq: id, offset: off };
+                    postings[slot as usize] = Posting {
+                        seq: id,
+                        offset: off,
+                    };
                     cursors[w as usize] += 1;
                 }),
             );
         }
-        WordIndex { spec, starts, postings }
+        WordIndex {
+            spec,
+            starts,
+            postings,
+        }
     }
 
     /// The word shape this index was built with.
@@ -116,9 +128,27 @@ mod tests {
         let ac = pack_word(spec2(), &Alphabet::Dna.encode_seq(b"AC").unwrap()).unwrap();
         let hits = idx.lookup(ac);
         assert_eq!(hits.len(), 3);
-        assert_eq!(hits[0], Posting { seq: SeqId(0), offset: 0 });
-        assert_eq!(hits[1], Posting { seq: SeqId(0), offset: 3 });
-        assert_eq!(hits[2], Posting { seq: SeqId(1), offset: 1 });
+        assert_eq!(
+            hits[0],
+            Posting {
+                seq: SeqId(0),
+                offset: 0
+            }
+        );
+        assert_eq!(
+            hits[1],
+            Posting {
+                seq: SeqId(0),
+                offset: 3
+            }
+        );
+        assert_eq!(
+            hits[2],
+            Posting {
+                seq: SeqId(1),
+                offset: 1
+            }
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::word::{neighborhood, query_words, unpack_word, WordSpec};
 use mendel_align::karlin::solve_ungapped_background;
 use mendel_align::{extend_gapped_banded, extend_ungapped, GapPenalties, KarlinParams};
 use mendel_seq::dist::percent_identity;
-use mendel_seq::{SeqId, SeqStore, ScoringMatrix};
+use mendel_seq::{ScoringMatrix, SeqId, SeqStore};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -121,7 +121,12 @@ impl Blast {
     pub fn new(db: Arc<SeqStore>, params: BlastParams) -> Self {
         let index = WordIndex::build(&db, params.spec);
         let db_residues = db.total_residues();
-        Blast { db, index, params, db_residues }
+        Blast {
+            db,
+            index,
+            params,
+            db_residues,
+        }
     }
 
     /// The parameters in force.
@@ -153,7 +158,10 @@ impl Blast {
             for &seed in seeds {
                 for post in self.index.lookup(seed) {
                     let diag = post.offset as i64 - *qpos as i64;
-                    by_diag.entry((post.seq, diag)).or_default().push((*qpos, post.offset as usize));
+                    by_diag
+                        .entry((post.seq, diag))
+                        .or_default()
+                        .push((*qpos, post.offset as usize));
                 }
             }
         }
@@ -169,7 +177,11 @@ impl Blast {
         for ((seq, _diag), mut hits) in by_diag {
             hits.sort_unstable();
             hits.dedup();
-            let subject = &self.db.get(seq).expect("posting references live sequence").residues;
+            let subject = &self
+                .db
+                .get(seq)
+                .expect("posting references live sequence")
+                .residues;
             let mut covered_to: i64 = -1; // rightmost query end already extended
             let mut last_hit_q: Option<usize> = None;
             for (qpos, spos) in hits {
@@ -190,7 +202,8 @@ impl Blast {
                 if !trigger {
                     continue;
                 }
-                let ext = extend_ungapped(query, subject, qpos, spos, k, &p.matrix, p.x_drop_ungapped);
+                let ext =
+                    extend_ungapped(query, subject, qpos, spos, k, &p.matrix, p.x_drop_ungapped);
                 covered_to = ext.query_end as i64;
                 if ext.score >= p.min_ungapped_score {
                     per_subject.entry(seq).or_default().push(Segment {
@@ -237,7 +250,11 @@ impl Blast {
                         (g.subject_start, g.subject_end),
                     )
                 } else {
-                    (seg.score, (seg.qs, seg.qe), (seg.ss, seg.ss + (seg.qe - seg.qs)))
+                    (
+                        seg.score,
+                        (seg.qs, seg.qe),
+                        (seg.ss, seg.ss + (seg.qe - seg.qs)),
+                    )
                 };
                 let evalue = p.karlin.evalue(score, query.len(), self.db_residues);
                 let hit = BlastHit {
@@ -293,7 +310,12 @@ impl Blast {
         let mut out: Vec<(usize, BlastHit)> = frames
             .par_iter()
             .enumerate()
-            .flat_map(|(f, q)| self.search(q).into_iter().map(move |h| (f, h)).collect::<Vec<_>>())
+            .flat_map(|(f, q)| {
+                self.search(q)
+                    .into_iter()
+                    .map(move |h| (f, h))
+                    .collect::<Vec<_>>()
+            })
             .collect();
         out.sort_by(|a, b| {
             a.1.evalue
@@ -352,8 +374,7 @@ mod tests {
         let blast = Blast::new(db.clone(), BlastParams::protein());
         let mut rng = ChaCha8Rng::seed_from_u64(77);
         let src = db.get(SeqId(9)).unwrap();
-        let query =
-            mutate_to_identity(Alphabet::Protein, &src.residues, 0.7, &mut rng).unwrap();
+        let query = mutate_to_identity(Alphabet::Protein, &src.residues, 0.7, &mut rng).unwrap();
         let hits = blast.search(&query);
         assert!(
             hits.iter().any(|h| h.subject == SeqId(9)),
@@ -390,7 +411,10 @@ mod tests {
             .map(|h| db.get(h.subject).unwrap().name.as_str())
             .collect();
         for n in &top_names {
-            assert!(n.starts_with("fam3_"), "unexpected top hit {n} in {top_names:?}");
+            assert!(
+                n.starts_with("fam3_"),
+                "unexpected top hit {n} in {top_names:?}"
+            );
         }
     }
 
@@ -426,9 +450,14 @@ mod tests {
     #[test]
     fn one_hit_mode_is_at_least_as_sensitive_as_two_hit() {
         let db = protein_db();
-        let queries = QuerySetSpec { count: 6, length: 120, identity: 0.55, seed: 80 }
-            .generate(&db)
-            .unwrap();
+        let queries = QuerySetSpec {
+            count: 6,
+            length: 120,
+            identity: 0.55,
+            seed: 80,
+        }
+        .generate(&db)
+        .unwrap();
         let two_hit = Blast::new(db.clone(), BlastParams::protein());
         let mut p1 = BlastParams::protein();
         p1.two_hit_window = None;
@@ -436,7 +465,11 @@ mod tests {
         let found = |b: &Blast| {
             queries
                 .iter()
-                .filter(|q| b.search(&q.query.residues).iter().any(|h| h.subject == q.source))
+                .filter(|q| {
+                    b.search(&q.query.residues)
+                        .iter()
+                        .any(|h| h.subject == q.source)
+                })
                 .count()
         };
         assert!(found(&one_hit) >= found(&two_hit));
@@ -496,7 +529,11 @@ mod tests {
         let rc = mendel_seq::reverse_complement(&dna);
         let rc_hits = blast.search_translated(&rc);
         assert_eq!(rc_hits[0].1.subject, SeqId(3));
-        assert!(rc_hits[0].0 >= 3, "reverse strand frame expected, got {}", rc_hits[0].0);
+        assert!(
+            rc_hits[0].0 >= 3,
+            "reverse strand frame expected, got {}",
+            rc_hits[0].0
+        );
     }
 
     #[test]

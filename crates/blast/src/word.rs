@@ -21,12 +21,18 @@ pub struct WordSpec {
 impl WordSpec {
     /// blastp-style: 3-letter protein words over the canonical 20.
     pub fn protein() -> Self {
-        WordSpec { k: 3, radix: Alphabet::Protein.canonical_size() as u32 }
+        WordSpec {
+            k: 3,
+            radix: Alphabet::Protein.canonical_size() as u32,
+        }
     }
 
     /// blastn-style: 11-letter DNA words over ACGT.
     pub fn dna() -> Self {
-        WordSpec { k: 11, radix: Alphabet::Dna.canonical_size() as u32 }
+        WordSpec {
+            k: 11,
+            radix: Alphabet::Dna.canonical_size() as u32,
+        }
     }
 
     /// A custom shape.
@@ -116,7 +122,17 @@ pub fn neighborhood(
     }
     let mut out = Vec::new();
     let mut partial = Vec::with_capacity(spec.k);
-    expand(spec, word, matrix, threshold, &best_suffix, 0, 0, &mut partial, &mut out);
+    expand(
+        spec,
+        word,
+        matrix,
+        threshold,
+        &best_suffix,
+        0,
+        0,
+        &mut partial,
+        &mut out,
+    );
     out
 }
 
@@ -144,7 +160,17 @@ fn expand(
             continue;
         }
         partial.push(c);
-        expand(spec, word, matrix, threshold, best_suffix, pos + 1, s, partial, out);
+        expand(
+            spec,
+            word,
+            matrix,
+            threshold,
+            best_suffix,
+            pos + 1,
+            s,
+            partial,
+            out,
+        );
         partial.pop();
     }
 }

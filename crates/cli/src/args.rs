@@ -43,7 +43,11 @@ impl std::fmt::Display for ArgError {
             ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
             ArgError::UnexpectedToken(t) => write!(f, "unexpected argument {t:?}"),
             ArgError::MissingOption(k) => write!(f, "required option --{k} is missing"),
-            ArgError::BadValue { key, value, expected } => {
+            ArgError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "--{key} {value:?} is not a valid {expected}")
             }
         }
@@ -60,7 +64,10 @@ impl Args {
     pub fn parse(tokens: &[String]) -> Result<Args, ArgError> {
         let mut it = tokens.iter();
         let command = it.next().ok_or(ArgError::MissingCommand)?.clone();
-        let mut args = Args { command, ..Default::default() };
+        let mut args = Args {
+            command,
+            ..Default::default()
+        };
         while let Some(tok) = it.next() {
             let key = tok
                 .strip_prefix("--")
@@ -68,7 +75,9 @@ impl Args {
             if FLAGS.contains(&key) {
                 args.flags.push(key.to_string());
             } else {
-                let value = it.next().ok_or_else(|| ArgError::MissingValue(key.into()))?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(key.into()))?;
                 if value.starts_with("--") {
                     return Err(ArgError::MissingValue(key.into()));
                 }
@@ -85,7 +94,8 @@ impl Args {
 
     /// A required string option.
     pub fn require(&self, key: &str) -> Result<&str, ArgError> {
-        self.get(key).ok_or_else(|| ArgError::MissingOption(key.into()))
+        self.get(key)
+            .ok_or_else(|| ArgError::MissingOption(key.into()))
     }
 
     /// A parsed option with a default.
@@ -172,9 +182,15 @@ mod tests {
 
     #[test]
     fn errors_render_usefully() {
-        assert!(ArgError::MissingOption("db".into()).to_string().contains("--db"));
-        assert!(ArgError::BadValue { key: "n".into(), value: "x".into(), expected: "integer" }
+        assert!(ArgError::MissingOption("db".into())
             .to_string()
-            .contains("integer"));
+            .contains("--db"));
+        assert!(ArgError::BadValue {
+            key: "n".into(),
+            value: "x".into(),
+            expected: "integer"
+        }
+        .to_string()
+        .contains("integer"));
     }
 }

@@ -110,7 +110,11 @@ fn cluster_config(args: &Args, alphabet: Alphabet) -> Result<ClusterConfig, CliE
 }
 
 fn query_params(args: &Args, alphabet: Alphabet) -> Result<QueryParams, CliError> {
-    let base = if alphabet == Alphabet::Dna { QueryParams::dna() } else { QueryParams::protein() };
+    let base = if alphabet == Alphabet::Dna {
+        QueryParams::dna()
+    } else {
+        QueryParams::protein()
+    };
     Ok(QueryParams {
         k: args.get_parsed("step", base.k, "integer")?,
         n: args.get_parsed("nn", base.n, "integer")?,
@@ -230,8 +234,11 @@ pub fn cmd_blast(args: &Args) -> Result<String, CliError> {
     use mendel_blast::{Blast, BlastParams};
     let alphabet = alphabet_of(args);
     let db = load_db(args.require("db")?, alphabet)?;
-    let mut params =
-        if alphabet == Alphabet::Dna { BlastParams::dna() } else { BlastParams::protein() };
+    let mut params = if alphabet == Alphabet::Dna {
+        BlastParams::dna()
+    } else {
+        BlastParams::protein()
+    };
     params.evalue_cutoff = args.get_parsed("evalue", params.evalue_cutoff, "number")?;
     let blast = Blast::new(db.clone(), params);
     let top = args.get_parsed("top", 5usize, "integer")?;
@@ -239,9 +246,19 @@ pub fn cmd_blast(args: &Args) -> Result<String, CliError> {
     let mut out = String::new();
     for q in &queries {
         let hits = blast.search(&q.residues);
-        writeln!(out, "query {} ({} residues): {} hits", q.name, q.len(), hits.len()).unwrap();
+        writeln!(
+            out,
+            "query {} ({} residues): {} hits",
+            q.name,
+            q.len(),
+            hits.len()
+        )
+        .unwrap();
         for hit in hits.iter().take(top) {
-            let name = db.get(hit.subject).map(|s| s.name.clone()).unwrap_or_default();
+            let name = db
+                .get(hit.subject)
+                .map(|s| s.name.clone())
+                .unwrap_or_default();
             writeln!(
                 out,
                 "  {name:<20} score {:>6}  bits {:>8.1}  E {:>10.2e}  id {:>5.1}%",
@@ -345,8 +362,7 @@ mod tests {
         let first_record: String = {
             let mut lines = text.lines();
             let header = lines.next().unwrap().to_string();
-            let body: Vec<&str> =
-                lines.take_while(|l| !l.starts_with('>')).collect();
+            let body: Vec<&str> = lines.take_while(|l| !l.starts_with('>')).collect();
             format!("{header}\n{}\n", body.join("\n"))
         };
         std::fs::write(&qf, first_record).unwrap();

@@ -1,5 +1,9 @@
 //! Thin binary shim over [`mendel_cli::run`].
 
+// Command output belongs on stdout; this shim is the one place the CLI
+// prints.
+#![allow(clippy::print_stdout)]
+
 fn main() {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
     match mendel_cli::run(&tokens) {

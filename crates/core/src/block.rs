@@ -49,20 +49,28 @@ impl Block {
     /// This block's placement key.
     #[inline]
     pub fn key(&self) -> BlockKey {
-        BlockKey { seq: self.seq, start: self.start }
+        BlockKey {
+            seq: self.seq,
+            start: self.start,
+        }
     }
 
     /// Key of the previous overlapping block, if any (§V-A1: blocks keep
     /// "references to the previous/next blocks").
     pub fn prev_key(&self) -> Option<BlockKey> {
-        (self.start > 0).then(|| BlockKey { seq: self.seq, start: self.start - 1 })
+        (self.start > 0).then(|| BlockKey {
+            seq: self.seq,
+            start: self.start - 1,
+        })
     }
 
     /// Key of the next overlapping block given the owning sequence's
     /// length, if any.
     pub fn next_key(&self, seq_len: usize) -> Option<BlockKey> {
-        (self.start as usize + self.window.len() < seq_len)
-            .then(|| BlockKey { seq: self.seq, start: self.start + 1 })
+        (self.start as usize + self.window.len() < seq_len).then(|| BlockKey {
+            seq: self.seq,
+            start: self.start + 1,
+        })
     }
 }
 
@@ -98,13 +106,99 @@ pub fn make_blocks(seq: &Sequence, block_len: usize) -> Vec<Block> {
     if seq.len() < block_len {
         return Vec::new();
     }
-    (0..=seq.len() - block_len)
+    let blocks: Vec<Block> = (0..=seq.len() - block_len)
         .map(|start| Block {
             seq: seq.id,
             start: start as u32,
             window: seq.residues[start..start + block_len].to_vec(),
         })
-        .collect()
+        .collect();
+    #[cfg(feature = "strict-invariants")]
+    if let Err(e) = check_block_chain(&blocks, seq.len()) {
+        // audit:allow(panic): strict-invariants mode aborts on a corrupt fragmentation by design.
+        panic!(
+            "block chain invariant violated fragmenting {:?}: {e}",
+            seq.id
+        );
+    }
+    blocks
+}
+
+/// Chain-linkage validation (the `strict-invariants` checker) for the
+/// blocks of one sequence of length `seq_len`, in fragmentation order:
+///
+/// - **sliding-window coverage** — exactly `L − k + 1` windows of
+///   uniform length `k`, with contiguous step-one starts;
+/// - **overlap** — consecutive windows share `k − 1` residues;
+/// - **linkage** — every block's `prev`/`next` reference resolves to
+///   the adjacent block's key, and only the chain ends lack one.
+///
+/// An empty slice is valid (a sequence shorter than the window yields
+/// no blocks). Returns the first violation found.
+pub fn check_block_chain(blocks: &[Block], seq_len: usize) -> Result<(), String> {
+    let Some(first) = blocks.first() else {
+        return Ok(());
+    };
+    let k = first.window.len();
+    if k == 0 {
+        return Err("blocks have zero-length windows".into());
+    }
+    if seq_len < k {
+        return Err(format!(
+            "sequence of length {seq_len} cannot carry {k}-windows"
+        ));
+    }
+    if blocks.len() != seq_len - k + 1 {
+        return Err(format!(
+            "expected L−k+1 = {} blocks for L = {seq_len}, k = {k}; got {}",
+            seq_len - k + 1,
+            blocks.len()
+        ));
+    }
+    for (i, b) in blocks.iter().enumerate() {
+        if b.seq != first.seq {
+            return Err(format!(
+                "block {i} belongs to {:?}, chain to {:?}",
+                b.seq, first.seq
+            ));
+        }
+        if b.start as usize != i {
+            return Err(format!(
+                "block {i} starts at {}, expected step-one starts",
+                b.start
+            ));
+        }
+        if b.window.len() != k {
+            return Err(format!("block {i} window length {} ≠ {k}", b.window.len()));
+        }
+        if i > 0 && b.window[..k - 1] != blocks[i - 1].window[1..] {
+            return Err(format!(
+                "blocks {} and {i} do not overlap by k−1 residues",
+                i - 1
+            ));
+        }
+        match b.prev_key() {
+            Some(p) if i == 0 => return Err(format!("first block has prev reference {p:?}")),
+            Some(p) if p != blocks[i - 1].key() => {
+                return Err(format!("block {i} prev reference {p:?} does not resolve"))
+            }
+            None if i > 0 => return Err(format!("block {i} lacks its prev reference")),
+            _ => {}
+        }
+        match b.next_key(seq_len) {
+            Some(n) if i + 1 == blocks.len() => {
+                return Err(format!("last block has next reference {n:?}"))
+            }
+            Some(n) if n != blocks[i + 1].key() => {
+                return Err(format!("block {i} next reference {n:?} does not resolve"))
+            }
+            None if i + 1 < blocks.len() => {
+                return Err(format!("block {i} lacks its next reference"))
+            }
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -152,9 +246,21 @@ mod tests {
         let s = seq(b"ACGTACGT"); // len 8
         let blocks = make_blocks(&s, 5); // starts 0..=3
         assert_eq!(blocks[0].prev_key(), None);
-        assert_eq!(blocks[1].prev_key(), Some(BlockKey { seq: SeqId(7), start: 0 }));
+        assert_eq!(
+            blocks[1].prev_key(),
+            Some(BlockKey {
+                seq: SeqId(7),
+                start: 0
+            })
+        );
         assert_eq!(blocks[3].next_key(8), None);
-        assert_eq!(blocks[2].next_key(8), Some(BlockKey { seq: SeqId(7), start: 3 }));
+        assert_eq!(
+            blocks[2].next_key(8),
+            Some(BlockKey {
+                seq: SeqId(7),
+                start: 3
+            })
+        );
     }
 
     #[test]
@@ -169,14 +275,22 @@ mod tests {
 
     #[test]
     fn wire_roundtrip() {
-        let b = Block { seq: SeqId(3), start: 17, window: vec![1, 2, 3, 4] };
+        let b = Block {
+            seq: SeqId(3),
+            start: 17,
+            window: vec![1, 2, 3, 4],
+        };
         let bytes = b.to_bytes();
         assert_eq!(Block::from_bytes(&bytes).unwrap(), b);
     }
 
     #[test]
     fn stored_bytes_reflects_window() {
-        let b = Block { seq: SeqId(0), start: 0, window: vec![0; 20] };
+        let b = Block {
+            seq: SeqId(0),
+            start: 0,
+            window: vec![0; 20],
+        };
         assert_eq!(b.stored_bytes(), 20 + 8);
     }
 
@@ -184,5 +298,44 @@ mod tests {
     #[should_panic(expected = "block length")]
     fn zero_block_len_rejected() {
         make_blocks(&seq(b"ACGT"), 0);
+    }
+
+    #[test]
+    fn chain_checker_accepts_fragmentations() {
+        let s = seq(b"ACGTACGTACGTAC");
+        for k in [1usize, 4, 14] {
+            assert_eq!(
+                check_block_chain(&make_blocks(&s, k), s.len()),
+                Ok(()),
+                "k = {k}"
+            );
+        }
+        assert_eq!(
+            check_block_chain(&[], 3),
+            Ok(()),
+            "short sequence yields no blocks"
+        );
+    }
+
+    #[test]
+    fn chain_checker_rejects_corruption() {
+        let s = seq(b"ACGTACGTAC");
+        // A missing interior block breaks step-one starts.
+        let mut blocks = make_blocks(&s, 4);
+        blocks.remove(2);
+        assert!(check_block_chain(&blocks, s.len()).is_err());
+        // A mutated window breaks the k−1 overlap.
+        let mut blocks = make_blocks(&s, 4);
+        blocks[3].window[0] ^= 1;
+        assert!(check_block_chain(&blocks, s.len())
+            .unwrap_err()
+            .contains("overlap"));
+        // A foreign block breaks chain ownership.
+        let mut blocks = make_blocks(&s, 4);
+        blocks[1].seq = SeqId(99);
+        assert!(check_block_chain(&blocks, s.len()).is_err());
+        // A wrong length claim breaks the L−k+1 count.
+        let blocks = make_blocks(&s, 4);
+        assert!(check_block_chain(&blocks, s.len() + 1).is_err());
     }
 }

@@ -95,7 +95,10 @@ impl MendelCluster {
             index_elapsed: Duration::ZERO,
         };
         cluster.index_all()?;
-        Ok(MendelCluster { index_elapsed: started.elapsed(), ..cluster })
+        Ok(MendelCluster {
+            index_elapsed: started.elapsed(),
+            ..cluster
+        })
     }
 
     fn default_karlin(alphabet: Alphabet) -> KarlinParams {
@@ -177,7 +180,10 @@ impl MendelCluster {
     /// First-tier hash: window → vp-prefix bucket → group.
     fn group_of_window(&self, window: &[u8]) -> GroupId {
         let prefix = self.prefix.hash(&window.to_vec());
-        GroupId(self.assignment.group_of_bucket(self.prefix.bucket_index(prefix)) as u16)
+        GroupId(
+            self.assignment
+                .group_of_bucket(self.prefix.bucket_index(prefix)) as u16,
+        )
     }
 
     /// All groups a subquery window routes to under tolerance τ (§V-B:
@@ -187,9 +193,7 @@ impl MendelCluster {
             .prefix
             .hash_with_tolerance(&window.to_vec(), tolerance)
             .into_iter()
-            .map(|p| {
-                GroupId(self.assignment.group_of_bucket(self.prefix.bucket_index(p)) as u16)
-            })
+            .map(|p| GroupId(self.assignment.group_of_bucket(self.prefix.bucket_index(p)) as u16))
             .collect();
         groups.sort_unstable();
         groups.dedup();
@@ -202,12 +206,12 @@ impl MendelCluster {
         let matrix = if name.eq_ignore_ascii_case("BLOSUM62") {
             ScoringMatrix::blosum62()
         } else if let Some(spec) = name.strip_prefix("DNA(") {
-            let spec = spec.strip_suffix(')').ok_or_else(|| {
-                MendelError::Params(format!("malformed matrix name {name:?}"))
-            })?;
-            let (m, mm) = spec.split_once('/').ok_or_else(|| {
-                MendelError::Params(format!("malformed DNA matrix {name:?}"))
-            })?;
+            let spec = spec
+                .strip_suffix(')')
+                .ok_or_else(|| MendelError::Params(format!("malformed matrix name {name:?}")))?;
+            let (m, mm) = spec
+                .split_once('/')
+                .ok_or_else(|| MendelError::Params(format!("malformed DNA matrix {name:?}")))?;
             let parse = |s: &str| {
                 s.trim()
                     .parse::<i32>()
@@ -215,7 +219,9 @@ impl MendelCluster {
             };
             ScoringMatrix::dna(parse(m)?, parse(mm)?)
         } else {
-            return Err(MendelError::Params(format!("unknown scoring matrix {name:?}")));
+            return Err(MendelError::Params(format!(
+                "unknown scoring matrix {name:?}"
+            )));
         };
         if matrix.alphabet != self.config.alphabet {
             return Err(MendelError::Params(format!(
@@ -229,7 +235,11 @@ impl MendelCluster {
     /// Live (non-failed) members of a group.
     fn live_members(&self, topo: &Topology, g: GroupId) -> Vec<NodeId> {
         let failed = self.failed.read();
-        topo.group_members(g).iter().copied().filter(|n| !failed.contains(n)).collect()
+        topo.group_members(g)
+            .iter()
+            .copied()
+            .filter(|n| !failed.contains(n))
+            .collect()
     }
 
     fn speed_of(&self, topo: &Topology, node: NodeId) -> NodeSpeed {
@@ -280,8 +290,7 @@ impl MendelCluster {
         stats.subqueries = offsets.len();
         let mut group_offsets: BTreeMap<GroupId, Vec<usize>> = BTreeMap::new();
         for &off in &offsets {
-            for g in self.groups_of_window(&query[off..off + block_len], params.group_tolerance)
-            {
+            for g in self.groups_of_window(&query[off..off + block_len], params.group_tolerance) {
                 group_offsets.entry(g).or_default().push(off);
             }
         }
@@ -328,13 +337,16 @@ impl MendelCluster {
                         let node = nodes_guard[m.0 as usize].read();
                         let t = Instant::now();
                         let out = node.local_search_many(query, offs, block_len, params, &matrix);
-                        (out.anchors, self.speed_of(&topo, m).scale(t.elapsed()), out.candidates)
+                        (
+                            out.anchors,
+                            self.speed_of(&topo, m).scale(t.elapsed()),
+                            out.candidates,
+                        )
                     })
                     .collect();
                 let node_phase = parallel_max(per_member.iter().map(|(_, d, _)| *d));
                 let candidates = per_member.iter().map(|(_, _, c)| c).sum();
-                let all: Vec<Hsp> =
-                    per_member.into_iter().flat_map(|(a, _, _)| a).collect();
+                let all: Vec<Hsp> = per_member.into_iter().flat_map(|(a, _, _)| a).collect();
                 // Members ship their anchor sets to the group entry point;
                 // the gather serializes on the entry point's downlink.
                 let anchor_bytes: usize =
@@ -383,7 +395,13 @@ impl MendelCluster {
 
         Ok(QueryReport {
             hits,
-            timings: StageTimings { decompose, scatter, group_phase, gather, finalize },
+            timings: StageTimings {
+                decompose,
+                scatter,
+                group_phase,
+                gather,
+                finalize,
+            },
             stats,
         })
     }
@@ -501,13 +519,15 @@ impl MendelCluster {
         let mut topo = self.topology.write();
         let idx = topo.id_space();
         let (id, g) = topo.join(NodeSpeed::paper_mix(idx));
-        self.nodes.write().push(Arc::new(RwLock::new(StorageNode::new(
-            self.config.metric.instantiate(),
-            self.config.bucket_capacity,
-            self.db.clone(),
-            self.config.alphabet,
-            self.config.seed ^ (idx as u64 + 1),
-        ))));
+        self.nodes
+            .write()
+            .push(Arc::new(RwLock::new(StorageNode::new(
+                self.config.metric.instantiate(),
+                self.config.bucket_capacity,
+                self.db.clone(),
+                self.config.alphabet,
+                self.config.seed ^ (idx as u64 + 1),
+            ))));
         let topo_snapshot = topo.clone();
         drop(topo);
         self.rebalance_group(&topo_snapshot, g);
@@ -563,7 +583,9 @@ impl MendelCluster {
     pub fn total_blocks(&self) -> usize {
         let topo = self.topology.read();
         let nodes = self.nodes.read();
-        topo.nodes().map(|n| nodes[n.0 as usize].read().block_count()).sum()
+        topo.nodes()
+            .map(|n| nodes[n.0 as usize].read().block_count())
+            .sum()
     }
 
     /// Wall-clock spent building + indexing.
@@ -617,7 +639,12 @@ impl MendelCluster {
             let ids = extended.insert_batch(seqs);
             let arc = Arc::new(extended);
             *guard = arc.clone();
-            (ids.clone(), ids.into_iter().map(|id| arc.get(id).unwrap().clone()).collect::<Vec<_>>())
+            (
+                ids.clone(),
+                ids.into_iter()
+                    .map(|id| arc.get(id).unwrap().clone())
+                    .collect::<Vec<_>>(),
+            )
         };
         // Route and insert the new blocks.
         let topo = self.topology.read();
@@ -654,20 +681,19 @@ impl MendelCluster {
         let db = self.db.read().clone();
         let subject = &db
             .get(hit.subject)
-            .ok_or(MendelError::Query(format!("unknown subject {}", hit.subject)))?
+            .ok_or(MendelError::Query(format!(
+                "unknown subject {}",
+                hit.subject
+            )))?
             .residues;
         let pad = params.l;
         let qs = hit.query_start.saturating_sub(pad);
         let qe = (hit.query_end + pad).min(query.len());
         let ss = hit.subject_start.saturating_sub(pad);
         let se = (hit.subject_end + pad).min(subject.len());
-        let mut aln = mendel_align::smith_waterman(
-            &query[qs..qe],
-            &subject[ss..se],
-            &matrix,
-            params.gaps,
-        )
-        .ok_or(MendelError::Query("hit region does not align".into()))?;
+        let mut aln =
+            mendel_align::smith_waterman(&query[qs..qe], &subject[ss..se], &matrix, params.gaps)
+                .ok_or(MendelError::Query("hit region does not align".into()))?;
         // Re-anchor the local coordinates to the full sequences.
         aln.query_start += qs;
         aln.query_end += qs;
@@ -768,7 +794,9 @@ impl MendelCluster {
         let metric = config.metric.instantiate();
         let sample = Self::sample_windows(&db, config.block_len, config.prefix_sample);
         if sample.is_empty() {
-            return Err(MendelError::Config("database has no indexable sequence".into()));
+            return Err(MendelError::Config(
+                "database has no indexable sequence".into(),
+            ));
         }
         let prefix = VpPrefixTree::build(sample, metric.clone(), config.prefix_depth, config.seed);
         let assignment = GroupAssignment::new(prefix.num_buckets(), config.groups);
@@ -829,8 +857,7 @@ mod tests {
     fn build_indexes_every_block() {
         let db = small_db();
         let c = small_cluster(&db);
-        let expect: usize =
-            db.iter().map(|s| s.len() - c.config().block_len + 1).sum();
+        let expect: usize = db.iter().map(|s| s.len() - c.config().block_len + 1).sum();
         assert_eq!(c.total_blocks(), expect);
     }
 
@@ -849,9 +876,14 @@ mod tests {
     fn mutated_query_finds_source() {
         let db = small_db();
         let c = small_cluster(&db);
-        let qs = QuerySetSpec { count: 5, length: 100, identity: 0.8, seed: 2 }
-            .generate(&db)
-            .unwrap();
+        let qs = QuerySetSpec {
+            count: 5,
+            length: 100,
+            identity: 0.8,
+            seed: 2,
+        }
+        .generate(&db)
+        .unwrap();
         for q in &qs {
             let r = c.query(&q.query.residues, &QueryParams::protein()).unwrap();
             assert!(
@@ -919,7 +951,8 @@ mod tests {
         let c = small_cluster(&db);
         let q = db.get(SeqId(0)).unwrap().residues.clone();
         assert!(matches!(
-            c.query_from(NodeId(99), &q, &QueryParams::protein()).unwrap_err(),
+            c.query_from(NodeId(99), &q, &QueryParams::protein())
+                .unwrap_err(),
             MendelError::NoSuchNode(_)
         ));
     }
@@ -962,7 +995,9 @@ mod tests {
         let c = small_cluster(&db);
         c.fail_node(NodeId(2)).unwrap();
         let q = db.get(SeqId(0)).unwrap().residues.clone();
-        assert!(c.query_from(NodeId(2), &q, &QueryParams::protein()).is_err());
+        assert!(c
+            .query_from(NodeId(2), &q, &QueryParams::protein())
+            .is_err());
     }
 
     #[test]
@@ -975,7 +1010,11 @@ mod tests {
         let before = c.query(&q, &params).unwrap();
         let new = c.add_node();
         assert_eq!(c.topology().num_nodes(), 7);
-        assert_eq!(c.total_blocks(), blocks_before, "rebalance must not lose blocks");
+        assert_eq!(
+            c.total_blocks(),
+            blocks_before,
+            "rebalance must not lose blocks"
+        );
         // The new node actually received data.
         let report = c.load_report();
         let new_share = report
@@ -986,7 +1025,10 @@ mod tests {
             .unwrap();
         assert!(new_share > 0, "new node must take over some blocks");
         let after = c.query(&q, &params).unwrap();
-        assert_eq!(after.hits, before.hits, "rebalancing must not change results");
+        assert_eq!(
+            after.hits, before.hits,
+            "rebalancing must not change results"
+        );
     }
 
     #[test]
@@ -1026,7 +1068,11 @@ mod tests {
         let new_seqs: Vec<_> = extra.iter().cloned().collect();
         let ids = c.insert_sequences(new_seqs.clone()).unwrap();
         assert_eq!(ids.len(), 4);
-        assert_eq!(ids[0], SeqId(db.len() as u32), "ids continue after the base store");
+        assert_eq!(
+            ids[0],
+            SeqId(db.len() as u32),
+            "ids continue after the base store"
+        );
         assert!(c.total_blocks() > blocks_before);
         // The new sequences are now findable.
         let q = new_seqs[1].residues.clone();
@@ -1055,15 +1101,23 @@ mod tests {
         let db = small_db();
         let c = small_cluster(&db);
         let params = QueryParams::protein();
-        let qs = QuerySetSpec { count: 3, length: 120, identity: 0.85, seed: 8 }
-            .generate(&db)
-            .unwrap();
+        let qs = QuerySetSpec {
+            count: 3,
+            length: 120,
+            identity: 0.85,
+            seed: 8,
+        }
+        .generate(&db)
+        .unwrap();
         for q in &qs {
             let report = c.query(&q.query.residues, &params).unwrap();
             let hit = report.best().expect("85% query hits");
             let aln = c.align_hit(&q.query.residues, hit, &params).unwrap();
             assert!(aln.is_consistent());
-            assert!(aln.score >= hit.score, "traceback SW can only refine upward");
+            assert!(
+                aln.score >= hit.score,
+                "traceback SW can only refine upward"
+            );
             let subject = &db.get(hit.subject).unwrap().residues;
             let id = aln.identity(&q.query.residues, subject);
             assert!(id > 0.7, "identity {id} too low for an 85% query");
@@ -1074,7 +1128,10 @@ mod tests {
             assert_eq!(lines[0].len(), lines[2].len());
         }
         // Unknown subject errors.
-        let bogus = MendelHit { subject: SeqId(9999), ..report_hit(&c, &db) };
+        let bogus = MendelHit {
+            subject: SeqId(9999),
+            ..report_hit(&c, &db)
+        };
         assert!(c.align_hit(&qs[0].query.residues, &bogus, &params).is_err());
     }
 
@@ -1090,7 +1147,14 @@ mod tests {
         let q = db.get(SeqId(1)).unwrap().residues.clone();
         let r = c.query(&q, &QueryParams::protein()).unwrap();
         let text = r.explain();
-        for needle in ["decompose", "scatter", "group phase", "gather", "finalize", "messages"] {
+        for needle in [
+            "decompose",
+            "scatter",
+            "group phase",
+            "gather",
+            "finalize",
+            "messages",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
     }
@@ -1123,9 +1187,10 @@ mod tests {
             Alphabet::Dna,
             mendel_seq::gen::random_sequence(Alphabet::Dna, 200, &mut rng),
         ));
-        let dna_cluster =
-            MendelCluster::build(ClusterConfig::small_dna(), Arc::new(st)).unwrap();
-        assert!(dna_cluster.query_translated(&dna, &QueryParams::protein()).is_err());
+        let dna_cluster = MendelCluster::build(ClusterConfig::small_dna(), Arc::new(st)).unwrap();
+        assert!(dna_cluster
+            .query_translated(&dna, &QueryParams::protein())
+            .is_err());
     }
 
     #[test]
@@ -1133,8 +1198,9 @@ mod tests {
         let db = small_db();
         let c = small_cluster(&db);
         let params = QueryParams::protein();
-        let queries: Vec<Vec<u8>> =
-            (0..4).map(|i| db.get(SeqId(i)).unwrap().residues.clone()).collect();
+        let queries: Vec<Vec<u8>> = (0..4)
+            .map(|i| db.get(SeqId(i)).unwrap().residues.clone())
+            .collect();
         let batch = c.query_many(&queries, &params);
         for (q, r) in queries.iter().zip(batch) {
             assert_eq!(r.unwrap().hits, c.query(q, &params).unwrap().hits);

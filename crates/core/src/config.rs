@@ -167,20 +167,70 @@ mod tests {
     #[test]
     fn bad_configs_rejected() {
         let ok = ClusterConfig::small_protein();
-        assert!(ClusterConfig { nodes: 0, ..ok.clone() }.validate().is_err());
-        assert!(ClusterConfig { groups: 0, ..ok.clone() }.validate().is_err());
-        assert!(ClusterConfig { groups: 7, ..ok.clone() }.validate().is_err());
-        assert!(ClusterConfig { block_len: 2, ..ok.clone() }.validate().is_err());
-        assert!(ClusterConfig { bucket_capacity: 0, ..ok.clone() }.validate().is_err());
-        assert!(ClusterConfig { prefix_depth: 0, ..ok.clone() }.validate().is_err());
-        assert!(ClusterConfig { prefix_depth: 21, ..ok.clone() }.validate().is_err());
-        assert!(ClusterConfig { prefix_sample: 2, ..ok.clone() }.validate().is_err());
-        assert!(ClusterConfig { replication: 0, ..ok.clone() }.validate().is_err());
+        assert!(ClusterConfig {
+            nodes: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ClusterConfig {
+            groups: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ClusterConfig {
+            groups: 7,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ClusterConfig {
+            block_len: 2,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ClusterConfig {
+            bucket_capacity: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ClusterConfig {
+            prefix_depth: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ClusterConfig {
+            prefix_depth: 21,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ClusterConfig {
+            prefix_sample: 2,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ClusterConfig {
+            replication: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
         // 2 groups need 2^depth >= 2: depth 1 with 2 groups is fine, but
         // depth must cover larger group counts.
-        assert!(ClusterConfig { groups: 6, nodes: 6, prefix_depth: 2, ..ok.clone() }
-            .validate()
-            .is_err());
+        assert!(ClusterConfig {
+            groups: 6,
+            nodes: 6,
+            prefix_depth: 2,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
         // DNA + protein metric is inconsistent.
         assert!(ClusterConfig {
             alphabet: Alphabet::Dna,

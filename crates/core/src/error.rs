@@ -47,8 +47,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(MendelError::Config("x".into()).to_string().contains("config"));
-        assert!(MendelError::NoSuchNode(mendel_dht::NodeId(3)).to_string().contains("n3"));
+        assert!(MendelError::Config("x".into())
+            .to_string()
+            .contains("config"));
+        assert!(MendelError::NoSuchNode(mendel_dht::NodeId(3))
+            .to_string()
+            .contains("n3"));
     }
 
     #[test]

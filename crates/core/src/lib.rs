@@ -49,7 +49,7 @@ pub mod report;
 pub mod snapshot;
 pub mod wire;
 
-pub use block::{make_blocks, Block, BlockKey};
+pub use block::{check_block_chain, make_blocks, Block, BlockKey};
 pub use cluster::MendelCluster;
 pub use config::{ClusterConfig, MetricKind};
 pub use error::MendelError;

@@ -84,7 +84,10 @@ mod tests {
         let m = BlockMetric::mendel_blosum62();
         let a = vec![0u8, 5, 9];
         let b = vec![1u8, 5, 9];
-        assert_eq!(Metric::<Vec<u8>>::dist(&m, &a, &b), Metric::<[u8]>::dist(&m, &a, &b));
+        assert_eq!(
+            Metric::<Vec<u8>>::dist(&m, &a, &b),
+            Metric::<[u8]>::dist(&m, &a, &b)
+        );
     }
 
     #[test]

@@ -76,6 +76,17 @@ impl StorageNode {
         }
         self.tree.insert_batch(windows);
         debug_assert_eq!(self.store.len(), self.tree.len());
+        #[cfg(feature = "strict-invariants")]
+        {
+            if let Err(e) = self.store.check_invariants() {
+                // audit:allow(panic): strict-invariants mode aborts on accounting corruption by design.
+                panic!("storage-node ingest violated block-store invariants: {e}");
+            }
+            if let Err(e) = self.tree.check_invariants() {
+                // audit:allow(panic): strict-invariants mode aborts on structural corruption by design.
+                panic!("storage-node ingest violated vp-tree invariants: {e}");
+            }
+        }
     }
 
     /// Number of blocks held.
@@ -122,11 +133,14 @@ impl StorageNode {
         for &offset in offsets {
             let window = &query[offset..offset + block_len];
             let neighbors =
-                self.tree.knn_with_budget(&window.to_vec(), params.n, params.search_budget);
+                self.tree
+                    .knn_with_budget(&window.to_vec(), params.n, params.search_budget);
             out.candidates += neighbors.len();
             for nb in neighbors {
-                let block =
-                    self.store.get(mendel_dht::BlockRef(nb.index)).expect("tree/store sync");
+                let block = self
+                    .store
+                    .get(mendel_dht::BlockRef(nb.index))
+                    .expect("tree/store sync");
                 // §V-B candidate measures.
                 if identity(window, &block.window) < params.i {
                     continue;
@@ -177,7 +191,13 @@ impl StorageNode {
         // extend to the same segment; dedupe exact duplicates here so the
         // group stage merges real information.
         out.anchors.sort_unstable_by_key(|h| {
-            (h.subject_id, h.diagonal(), h.query_start, h.query_end, h.score)
+            (
+                h.subject_id,
+                h.diagonal(),
+                h.query_start,
+                h.query_end,
+                h.score,
+            )
         });
         out.anchors.dedup();
         out
@@ -244,7 +264,13 @@ mod tests {
         let db = test_db();
         let node = loaded_node(&db);
         let q = db.get(SeqId(2)).unwrap().residues.clone();
-        let out = node.local_search(&q, 0, 16, &QueryParams::protein(), &ScoringMatrix::blosum62());
+        let out = node.local_search(
+            &q,
+            0,
+            16,
+            &QueryParams::protein(),
+            &ScoringMatrix::blosum62(),
+        );
         assert!(out.candidates > 0);
         assert!(
             out.anchors.iter().any(|a| a.subject_id == 2),
@@ -252,7 +278,12 @@ mod tests {
             out.anchors
         );
         // The exact self-anchor should extend across the whole sequence.
-        let best = out.anchors.iter().filter(|a| a.subject_id == 2).max_by_key(|a| a.score).unwrap();
+        let best = out
+            .anchors
+            .iter()
+            .filter(|a| a.subject_id == 2)
+            .max_by_key(|a| a.score)
+            .unwrap();
         assert_eq!(best.query_start, 0);
         assert_eq!(best.query_end, q.len());
     }
@@ -266,7 +297,10 @@ mod tests {
         params.i = 1.0; // only exact windows survive
         let out = node.local_search(&q, 0, 16, &params, &ScoringMatrix::blosum62());
         for a in &out.anchors {
-            assert_eq!(a.subject_id, 0, "only the source sequence has exact windows");
+            assert_eq!(
+                a.subject_id, 0,
+                "only the source sequence has exact windows"
+            );
         }
     }
 
@@ -275,7 +309,13 @@ mod tests {
         let db = test_db();
         let node = loaded_node(&db);
         let q = db.get(SeqId(1)).unwrap().residues.clone();
-        let out = node.local_search(&q, 0, 16, &QueryParams::protein(), &ScoringMatrix::blosum62());
+        let out = node.local_search(
+            &q,
+            0,
+            16,
+            &QueryParams::protein(),
+            &ScoringMatrix::blosum62(),
+        );
         let mut seen = out.anchors.clone();
         seen.dedup();
         assert_eq!(seen.len(), out.anchors.len());

@@ -121,10 +121,15 @@ impl QueryParams {
             }
         }
         if self.m.is_empty() {
-            return Err(MendelError::Params("M (scoring matrix) must be named".into()));
+            return Err(MendelError::Params(
+                "M (scoring matrix) must be named".into(),
+            ));
         }
         if self.s < 0.0 || !self.s.is_finite() {
-            return Err(MendelError::Params(format!("S={} must be finite and >= 0", self.s)));
+            return Err(MendelError::Params(format!(
+                "S={} must be finite and >= 0",
+                self.s
+            )));
         }
         if self.e < 0.0 {
             return Err(MendelError::Params(format!("E={} must be >= 0", self.e)));
@@ -170,21 +175,64 @@ mod tests {
         let ok = QueryParams::protein();
         assert!(QueryParams { k: 0, ..ok.clone() }.validate().is_err());
         assert!(QueryParams { n: 0, ..ok.clone() }.validate().is_err());
-        assert!(QueryParams { i: 1.5, ..ok.clone() }.validate().is_err());
-        assert!(QueryParams { c: -0.1, ..ok.clone() }.validate().is_err());
-        assert!(QueryParams { m: String::new(), ..ok.clone() }.validate().is_err());
-        assert!(QueryParams { s: -1.0, ..ok.clone() }.validate().is_err());
-        assert!(QueryParams { s: f64::NAN, ..ok.clone() }.validate().is_err());
-        assert!(QueryParams { e: -2.0, ..ok.clone() }.validate().is_err());
-        assert!(QueryParams { group_tolerance: -1.0, ..ok.clone() }.validate().is_err());
-        assert!(QueryParams { search_budget: 0, ..ok }.validate().is_err());
+        assert!(QueryParams {
+            i: 1.5,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(QueryParams {
+            c: -0.1,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(QueryParams {
+            m: String::new(),
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(QueryParams {
+            s: -1.0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(QueryParams {
+            s: f64::NAN,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(QueryParams {
+            e: -2.0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(QueryParams {
+            group_tolerance: -1.0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(QueryParams {
+            search_budget: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn table_lists_all_eight_parameters() {
         let t = QueryParams::protein().table();
         for p in ["k ", "n ", "i ", "c ", "M ", "S ", "l ", "E "] {
-            assert!(t.contains(&format!("\n{p}")) || t.starts_with(p), "missing row {p:?}");
+            assert!(
+                t.contains(&format!("\n{p}")) || t.starts_with(p),
+                "missing row {p:?}"
+            );
         }
         assert!(t.contains("BLOSUM62"));
     }

@@ -46,9 +46,7 @@ pub fn c_score(query_win: &[u8], cand_win: &[u8], positive: Option<&ScoringMatri
     let successive = mask
         .iter()
         .enumerate()
-        .filter(|&(i, &m)| {
-            m && ((i > 0 && mask[i - 1]) || (i + 1 < mask.len() && mask[i + 1]))
-        })
+        .filter(|&(i, &m)| m && ((i > 0 && mask[i - 1]) || (i + 1 < mask.len() && mask[i + 1])))
         .count();
     successive as f32 / total as f32
 }
@@ -60,7 +58,11 @@ pub fn identity(query_win: &[u8], cand_win: &[u8]) -> f32 {
     if query_win.is_empty() {
         return 0.0;
     }
-    let same = query_win.iter().zip(cand_win).filter(|(a, b)| a == b).count();
+    let same = query_win
+        .iter()
+        .zip(cand_win)
+        .filter(|(a, b)| a == b)
+        .count();
     same as f32 / query_win.len() as f32
 }
 
@@ -91,7 +93,11 @@ mod tests {
     fn tail_window_always_lands_on_query_end() {
         for (len, bl, step) in [(100, 16, 7), (33, 8, 8), (50, 10, 13)] {
             let offs = subquery_offsets(len, bl, step);
-            assert_eq!(*offs.last().unwrap(), len - bl, "len {len} bl {bl} step {step}");
+            assert_eq!(
+                *offs.last().unwrap(),
+                len - bl,
+                "len {len} bl {bl} step {step}"
+            );
         }
     }
 

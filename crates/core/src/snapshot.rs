@@ -101,7 +101,9 @@ pub fn restore(
     }
     let version = u8::decode(&mut buf).map_err(bad)?;
     if version != VERSION {
-        return Err(MendelError::Snapshot(format!("unsupported version {version}")));
+        return Err(MendelError::Snapshot(format!(
+            "unsupported version {version}"
+        )));
     }
     let nodes = u16::decode(&mut buf).map_err(bad)? as usize;
     let groups = u16::decode(&mut buf).map_err(bad)? as usize;
@@ -164,8 +166,7 @@ mod tests {
     #[test]
     fn snapshot_roundtrip_preserves_results() {
         let db = db();
-        let original =
-            MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap();
+        let original = MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap();
         let bytes = save(&original).unwrap();
         let restored = restore(&bytes, db.clone(), LatencyModel::lan()).unwrap();
         assert_eq!(restored.total_blocks(), original.total_blocks());

@@ -197,7 +197,12 @@ impl WireCluster {
                 node_loop(cluster, topo, node, endpoint);
             }));
         }
-        WireCluster { cluster, network, client, handles }
+        WireCluster {
+            cluster,
+            network,
+            client,
+            handles,
+        }
     }
 
     /// Total messages sent on the wire so far.
@@ -214,11 +219,7 @@ impl WireCluster {
     /// (the system entry point), per-group evaluation at the group entry
     /// points, node-local search on each member's thread. Returns the
     /// same ranked hits as [`MendelCluster::query`].
-    pub fn query(
-        &self,
-        query: &[u8],
-        params: &QueryParams,
-    ) -> Result<Vec<MendelHit>, MendelError> {
+    pub fn query(&self, query: &[u8], params: &QueryParams) -> Result<Vec<MendelHit>, MendelError> {
         params.validate()?;
         let block_len = self.cluster.config().block_len;
         if query.len() < block_len {
@@ -271,8 +272,7 @@ impl WireCluster {
                 .map_err(|e| MendelError::Query(format!("wire gather failed: {e}")))?;
             if pending.remove(&env.correlation).is_some() {
                 anchors.extend(
-                    decode_hsps(&env.payload)
-                        .map_err(|e| MendelError::Snapshot(e.to_string()))?,
+                    decode_hsps(&env.payload).map_err(|e| MendelError::Snapshot(e.to_string()))?,
                 );
             }
         }
@@ -291,7 +291,8 @@ impl Drop for WireCluster {
         TAG_SHUTDOWN.encode(&mut buf);
         let payload = buf.freeze();
         for h in 1..=self.handles.len() as u16 {
-            self.client.send(mendel_net::NodeAddr(h), 0, payload.clone());
+            self.client
+                .send(mendel_net::NodeAddr(h), 0, payload.clone());
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -307,16 +308,22 @@ fn node_loop(
     endpoint: Endpoint,
 ) {
     while let Ok(env) = endpoint.recv() {
-        let Some(&tag) = env.payload.first() else { continue };
+        let Some(&tag) = env.payload.first() else {
+            continue;
+        };
         match tag {
             TAG_SHUTDOWN => break,
             TAG_NODE_QUERY => {
-                let Ok(msg) = QueryMsg::from_bytes(&env.payload) else { continue };
+                let Ok(msg) = QueryMsg::from_bytes(&env.payload) else {
+                    continue;
+                };
                 let anchors = eval_local(&cluster, me, &msg);
                 endpoint.send(env.from, env.correlation, encode_hsps(&anchors));
             }
             TAG_GROUP_QUERY => {
-                let Ok(msg) = QueryMsg::from_bytes(&env.payload) else { continue };
+                let Ok(msg) = QueryMsg::from_bytes(&env.payload) else {
+                    continue;
+                };
                 // I am this group's entry point: replicate to the other
                 // members, evaluate my own share, gather, merge, reply.
                 let g = topo.node_group(me).expect("serving node is a member");
@@ -326,7 +333,10 @@ fn node_loop(
                     .copied()
                     .filter(|&n| n != me)
                     .collect();
-                let sub = QueryMsg { tag: TAG_NODE_QUERY, ..msg.clone() };
+                let sub = QueryMsg {
+                    tag: TAG_NODE_QUERY,
+                    ..msg.clone()
+                };
                 let sub_bytes = sub.to_bytes();
                 let mut pending = std::collections::HashSet::new();
                 for (i, peer) in peers.iter().enumerate() {
@@ -395,7 +405,10 @@ mod tests {
             let q = cluster.db().get(SeqId(id)).unwrap().residues.clone();
             let in_process = cluster.query(&q, &params).unwrap().hits;
             let over_wire = wire.query(&q, &params).unwrap();
-            assert_eq!(over_wire, in_process, "wire and in-process must agree on seq {id}");
+            assert_eq!(
+                over_wire, in_process,
+                "wire and in-process must agree on seq {id}"
+            );
         }
     }
 
@@ -406,18 +419,28 @@ mod tests {
         let q = cluster.db().get(SeqId(2)).unwrap().residues.clone();
         let _ = wire.query(&q, &QueryParams::protein()).unwrap();
         assert!(wire.messages_sent() > 0, "a query must send messages");
-        assert!(wire.bytes_sent() > q.len() as u64, "payloads include the query");
+        assert!(
+            wire.bytes_sent() > q.len() as u64,
+            "payloads include the query"
+        );
     }
 
     #[test]
     fn wire_finds_mutated_sources() {
         let cluster = cluster();
         let wire = WireCluster::serve(cluster.clone());
-        let queries = QuerySetSpec { count: 4, length: 100, identity: 0.85, seed: 3 }
-            .generate(&cluster.db())
-            .unwrap();
+        let queries = QuerySetSpec {
+            count: 4,
+            length: 100,
+            identity: 0.85,
+            seed: 3,
+        }
+        .generate(&cluster.db())
+        .unwrap();
         for q in &queries {
-            let hits = wire.query(&q.query.residues, &QueryParams::protein()).unwrap();
+            let hits = wire
+                .query(&q.query.residues, &QueryParams::protein())
+                .unwrap();
             assert!(hits.iter().any(|h| h.subject == q.source));
         }
     }

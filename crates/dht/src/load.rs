@@ -33,7 +33,10 @@ impl LoadReport {
         if total == 0 {
             return vec![0.0; self.per_node.len()];
         }
-        self.per_node.iter().map(|(_, b)| 100.0 * *b as f64 / total as f64).collect()
+        self.per_node
+            .iter()
+            .map(|(_, b)| 100.0 * *b as f64 / total as f64)
+            .collect()
     }
 
     /// The paper's headline balance metric: max share − min share, in
@@ -56,8 +59,7 @@ impl LoadReport {
             return 0.0;
         }
         let mean = shares.iter().sum::<f64>() / shares.len() as f64;
-        (shares.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / shares.len() as f64)
-            .sqrt()
+        (shares.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / shares.len() as f64).sqrt()
     }
 
     /// Mean share per *group*, in the topology's group order — Fig. 5b's
@@ -76,8 +78,7 @@ impl LoadReport {
                 if members.is_empty() {
                     return 0.0;
                 }
-                members.iter().filter_map(|n| by_node.get(n)).sum::<f64>()
-                    / members.len() as f64
+                members.iter().filter_map(|n| by_node.get(n)).sum::<f64>() / members.len() as f64
             })
             .collect()
     }
@@ -102,7 +103,11 @@ mod tests {
 
     fn report(loads: &[u64]) -> LoadReport {
         LoadReport::new(
-            loads.iter().enumerate().map(|(i, &b)| (NodeId(i as u16), b)).collect(),
+            loads
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (NodeId(i as u16), b))
+                .collect(),
         )
     }
 
@@ -146,7 +151,7 @@ mod tests {
     fn group_means_follow_topology() {
         let topo = Topology::new(4, 2);
         let r = report(&[10, 10, 30, 30]); // group0: 10%,10%; group1: 37.5%? no:
-        // total 80 → shares 12.5,12.5,37.5,37.5 → group means 12.5 and 37.5
+                                           // total 80 → shares 12.5,12.5,37.5,37.5 → group means 12.5 and 37.5
         let means = r.group_means_pct(&topo);
         assert!((means[0] - 12.5).abs() < 1e-9);
         assert!((means[1] - 37.5).abs() < 1e-9);

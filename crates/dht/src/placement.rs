@@ -52,7 +52,9 @@ impl FlatPlacement {
         let h = sha1_u64(key);
         let start = (h % members.len() as u64) as usize;
         let n = self.replication.min(members.len());
-        (0..n).map(|i| members[(start + i) % members.len()]).collect()
+        (0..n)
+            .map(|i| members[(start + i) % members.len()])
+            .collect()
     }
 }
 

@@ -28,14 +28,20 @@ impl ConsistentRing {
     /// A ring with the given virtual-node count and no replication.
     pub fn new(vnodes: usize) -> Self {
         assert!(vnodes >= 1, "at least one virtual node per member");
-        ConsistentRing { vnodes, replication: 1 }
+        ConsistentRing {
+            vnodes,
+            replication: 1,
+        }
     }
 
     /// A ring storing each key on `replication` distinct members.
     pub fn with_replication(vnodes: usize, replication: usize) -> Self {
         assert!(vnodes >= 1, "at least one virtual node per member");
         assert!(replication >= 1, "replication factor must be at least 1");
-        ConsistentRing { vnodes, replication }
+        ConsistentRing {
+            vnodes,
+            replication,
+        }
     }
 
     /// Precompute the ring for one group; use for bulk placement (the
@@ -149,8 +155,14 @@ mod tests {
         };
         let coarse = spread(4);
         let fine = spread(128);
-        assert!(fine < coarse, "128 vnodes ({fine:.2}) must beat 4 ({coarse:.2})");
-        assert!(fine < 1.5, "fine ring should balance within 50% ({fine:.2})");
+        assert!(
+            fine < coarse,
+            "128 vnodes ({fine:.2}) must beat 4 ({coarse:.2})"
+        );
+        assert!(
+            fine < 1.5,
+            "fine ring should balance within 50% ({fine:.2})"
+        );
     }
 
     #[test]
@@ -161,10 +173,11 @@ mod tests {
         let flat = FlatPlacement::new();
         let ks = keys(5_000);
         let before_view = ring.view(&topo, GroupId(0));
-        let ring_before: Vec<NodeId> =
-            ks.iter().map(|k| before_view.primary(k).unwrap()).collect();
-        let flat_before: Vec<NodeId> =
-            ks.iter().map(|k| flat.primary(&topo, GroupId(0), k).unwrap()).collect();
+        let ring_before: Vec<NodeId> = ks.iter().map(|k| before_view.primary(k).unwrap()).collect();
+        let flat_before: Vec<NodeId> = ks
+            .iter()
+            .map(|k| flat.primary(&topo, GroupId(0), k).unwrap())
+            .collect();
         topo.join(mendel_net::NodeSpeed::HP_DL160);
         let after_view = ring.view(&topo, GroupId(0));
         let ring_moved = ks
@@ -196,7 +209,11 @@ mod tests {
         d.dedup();
         assert_eq!(d.len(), 3);
         let big = ConsistentRing::with_replication(32, 10);
-        assert_eq!(big.replicas(&topo, GroupId(0), b"key").len(), 3, "clamped to group size");
+        assert_eq!(
+            big.replicas(&topo, GroupId(0), b"key").len(),
+            3,
+            "clamped to group size"
+        );
     }
 
     #[test]

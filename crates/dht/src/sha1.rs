@@ -27,7 +27,13 @@ impl Sha1 {
     /// Fresh hash state.
     pub fn new() -> Self {
         Sha1 {
-            h: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            h: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
             len: 0,
             buf: [0u8; 64],
             buf_len: 0,
@@ -48,11 +54,13 @@ impl Sha1 {
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let (block, rest) = data.split_at(64);
-            self.compress(block.try_into().expect("64-byte split"));
-            data = rest;
+        let mut blocks = data.chunks_exact(64);
+        for block in &mut blocks {
+            let mut full = [0u8; 64];
+            full.copy_from_slice(block);
+            self.compress(&full);
         }
+        data = blocks.remainder();
         if !data.is_empty() {
             self.buf[..data.len()].copy_from_slice(data);
             self.buf_len = data.len();
@@ -82,7 +90,7 @@ impl Sha1 {
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 80];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         for i in 16..80 {
             w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
@@ -126,7 +134,9 @@ pub fn sha1(data: &[u8]) -> [u8; 20] {
 /// by [`crate::placement`].
 pub fn sha1_u64(data: &[u8]) -> u64 {
     let d = sha1(data);
-    u64::from_be_bytes(d[..8].try_into().expect("digest has 20 bytes"))
+    let mut first = [0u8; 8];
+    first.copy_from_slice(&d[..8]);
+    u64::from_be_bytes(first)
 }
 
 #[cfg(test)]
@@ -144,21 +154,41 @@ mod tests {
 
     #[test]
     fn fips_vector_abc() {
-        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
     fn fips_vector_two_blocks() {
         assert_eq!(
-            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn fips_vector_896_bit() {
+        // NIST's 896-bit two-block message.
+        assert_eq!(
+            hex(&sha1(
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+                  hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"
+            )),
+            "a49b2446a02c645bf419f995b67091253a04a259"
         );
     }
 
     #[test]
     fn fips_vector_million_a() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(hex(&sha1(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&sha1(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]
@@ -197,7 +227,10 @@ mod tests {
     #[test]
     fn u64_prefix_is_big_endian_digest_head() {
         let d = sha1(b"abc");
-        assert_eq!(sha1_u64(b"abc"), u64::from_be_bytes(d[..8].try_into().unwrap()));
+        assert_eq!(
+            sha1_u64(b"abc"),
+            u64::from_be_bytes(d[..8].try_into().unwrap())
+        );
     }
 
     #[test]

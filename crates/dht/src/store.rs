@@ -35,7 +35,10 @@ pub struct BlockStore<B> {
 impl<B: StoredBytes> BlockStore<B> {
     /// An empty store.
     pub fn new() -> Self {
-        BlockStore { blocks: Vec::new(), bytes: 0 }
+        BlockStore {
+            blocks: Vec::new(),
+            bytes: 0,
+        }
     }
 
     /// Append a block, returning its reference.
@@ -47,7 +50,10 @@ impl<B: StoredBytes> BlockStore<B> {
 
     /// Append many blocks, returning their references in order.
     pub fn push_batch(&mut self, blocks: impl IntoIterator<Item = B>) -> Vec<BlockRef> {
-        blocks.into_iter().map(|b| self.push(b)).collect()
+        let refs = blocks.into_iter().map(|b| self.push(b)).collect();
+        #[cfg(feature = "strict-invariants")]
+        self.assert_invariants("push_batch");
+        refs
     }
 
     /// Fetch a block.
@@ -76,13 +82,46 @@ impl<B: StoredBytes> BlockStore<B> {
 
     /// Iterate over `(ref, block)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (BlockRef, &B)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockRef(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockRef(i as u32), b))
     }
 
     /// Drain the store, returning all blocks (used for scale-out handoff).
     pub fn drain(&mut self) -> Vec<B> {
         self.bytes = 0;
-        std::mem::take(&mut self.blocks)
+        let blocks = std::mem::take(&mut self.blocks);
+        #[cfg(feature = "strict-invariants")]
+        self.assert_invariants("drain");
+        blocks
+    }
+
+    /// Accounting validation (the `strict-invariants` checker): the
+    /// cached byte total must equal the recomputed sum of every stored
+    /// block's [`StoredBytes::stored_bytes`]. A drift here would skew
+    /// the Fig. 5 load-balance measurements silently.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let actual: u64 = self.blocks.iter().map(|b| b.stored_bytes() as u64).sum();
+        if actual != self.bytes {
+            return Err(format!(
+                "byte accounting drifted: cached {} vs recomputed {actual} over {} blocks",
+                self.bytes,
+                self.blocks.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Abort with the violation when [`Self::check_invariants`] fails —
+    /// called at batch-ingest and drain sites under `strict-invariants`
+    /// (not per-push, which would make ingest quadratic).
+    #[cfg(feature = "strict-invariants")]
+    fn assert_invariants(&self, site: &str) {
+        if let Err(e) = self.check_invariants() {
+            // audit:allow(panic): strict-invariants mode aborts on accounting corruption by design.
+            panic!("block-store invariant violated after {site}: {e}");
+        }
     }
 }
 
@@ -138,5 +177,15 @@ mod tests {
         assert_eq!(blocks.len(), 1);
         assert!(s.is_empty());
         assert_eq!(s.bytes(), 0);
+    }
+
+    #[test]
+    fn invariants_hold_and_drift_is_detected() {
+        let mut s = BlockStore::new();
+        assert_eq!(s.check_invariants(), Ok(()));
+        s.push_batch(vec![vec![1u8; 3], vec![2u8; 5]]);
+        assert_eq!(s.check_invariants(), Ok(()));
+        s.bytes += 1; // simulate accounting drift
+        assert!(s.check_invariants().unwrap_err().contains("drifted"));
     }
 }

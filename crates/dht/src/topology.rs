@@ -52,14 +52,20 @@ impl Topology {
     /// Panics unless `1 ≤ groups ≤ nodes`.
     pub fn new(nodes: usize, groups: usize) -> Self {
         assert!(groups >= 1, "at least one group");
-        assert!(groups <= nodes, "more groups ({groups}) than nodes ({nodes})");
+        assert!(
+            groups <= nodes,
+            "more groups ({groups}) than nodes ({nodes})"
+        );
         assert!(nodes <= u16::MAX as usize, "node id space is u16");
         let mut g: Vec<Vec<NodeId>> = vec![Vec::new(); groups];
         for n in 0..nodes {
             g[n * groups / nodes].push(NodeId(n as u16));
         }
         let speeds = (0..nodes).map(|n| Some(NodeSpeed::paper_mix(n))).collect();
-        Topology { groups: g, speeds }
+        let topo = Topology { groups: g, speeds };
+        #[cfg(feature = "strict-invariants")]
+        topo.assert_invariants("new");
+        topo
     }
 
     /// The paper's testbed: 50 nodes in 10 groups of 5.
@@ -114,17 +120,31 @@ impl Topology {
     /// hardware can be added incrementally", §I). Returns the new id and
     /// its group.
     pub fn join(&mut self, speed: NodeSpeed) -> (NodeId, GroupId) {
-        assert!(self.speeds.len() < u16::MAX as usize, "node id space exhausted");
+        assert!(
+            self.speeds.len() < u16::MAX as usize,
+            "node id space exhausted"
+        );
         let id = NodeId(self.speeds.len() as u16);
         self.speeds.push(Some(speed));
-        let g = self
+        let g = match self
             .groups
             .iter()
             .enumerate()
             .min_by_key(|(_, members)| members.len())
             .map(|(i, _)| i)
-            .expect("at least one group");
+        {
+            Some(smallest) => smallest,
+            // `new` guarantees at least one group, but an elastic join
+            // on a groupless topology can simply open the first group
+            // instead of failing.
+            None => {
+                self.groups.push(Vec::new());
+                0
+            }
+        };
         self.groups[g].push(id);
+        #[cfg(feature = "strict-invariants")]
+        self.assert_invariants("join");
         (id, GroupId(g as u16))
     }
 
@@ -134,7 +154,67 @@ impl Topology {
         let g = self.node_group(node)?;
         self.groups[g.0 as usize].retain(|&n| n != node);
         self.speeds[node.0 as usize] = None;
+        #[cfg(feature = "strict-invariants")]
+        self.assert_invariants("leave");
         Some(g)
+    }
+
+    /// Deep membership validation (the `strict-invariants` checker):
+    ///
+    /// - groups are **disjoint** and only list live, allocated ids;
+    /// - every live node sits in **exactly one** group and carries a
+    ///   speed (ids of departed nodes are retired, never reused);
+    /// - **routing is total**: [`Self::node_group`] resolves every live
+    ///   node to the group that lists it.
+    ///
+    /// Returns the first violation found. Compiled unconditionally so
+    /// any test can call it; the `strict-invariants` feature
+    /// additionally asserts it after every join/leave.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.groups.is_empty() {
+            return Err("topology has no groups".into());
+        }
+        let mut membership = vec![0usize; self.speeds.len()];
+        for (g, members) in self.groups.iter().enumerate() {
+            for &n in members {
+                let idx = n.0 as usize;
+                match self.speeds.get(idx) {
+                    None => return Err(format!("group g{g} lists unallocated node {n}")),
+                    Some(None) => return Err(format!("group g{g} lists departed node {n}")),
+                    Some(Some(_)) => {}
+                }
+                membership[idx] += 1;
+                if membership[idx] > 1 {
+                    return Err(format!("node {n} appears in more than one group slot"));
+                }
+            }
+        }
+        for (idx, speed) in self.speeds.iter().enumerate() {
+            let n = NodeId(idx as u16);
+            if speed.is_some() {
+                if membership[idx] == 0 {
+                    return Err(format!("live node {n} belongs to no group"));
+                }
+                match self.node_group(n) {
+                    Some(g) if self.groups[g.0 as usize].contains(&n) => {}
+                    Some(g) => {
+                        return Err(format!("node {n} routes to {g}, which does not list it"))
+                    }
+                    None => return Err(format!("routing cannot resolve live node {n}")),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Abort with the violation when [`Self::check_invariants`] fails —
+    /// called after churn operations under `strict-invariants`.
+    #[cfg(feature = "strict-invariants")]
+    fn assert_invariants(&self, site: &str) {
+        if let Err(e) = self.check_invariants() {
+            // audit:allow(panic): strict-invariants mode aborts on membership corruption by design.
+            panic!("topology invariant violated after {site}: {e}");
+        }
     }
 }
 
@@ -155,8 +235,14 @@ mod tests {
     #[test]
     fn contiguous_assignment() {
         let t = Topology::new(6, 2);
-        assert_eq!(t.group_members(GroupId(0)), &[NodeId(0), NodeId(1), NodeId(2)]);
-        assert_eq!(t.group_members(GroupId(1)), &[NodeId(3), NodeId(4), NodeId(5)]);
+        assert_eq!(
+            t.group_members(GroupId(0)),
+            &[NodeId(0), NodeId(1), NodeId(2)]
+        );
+        assert_eq!(
+            t.group_members(GroupId(1)),
+            &[NodeId(3), NodeId(4), NodeId(5)]
+        );
     }
 
     #[test]
@@ -210,6 +296,39 @@ mod tests {
     #[should_panic(expected = "more groups")]
     fn more_groups_than_nodes_rejected() {
         Topology::new(2, 3);
+    }
+
+    #[test]
+    fn invariants_hold_through_churn() {
+        let mut t = Topology::new(7, 3);
+        assert_eq!(t.check_invariants(), Ok(()));
+        t.leave(NodeId(2));
+        t.leave(NodeId(5));
+        assert_eq!(t.check_invariants(), Ok(()));
+        t.join(NodeSpeed::HP_DL160);
+        assert_eq!(t.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn corrupted_membership_is_detected() {
+        let mut t = Topology::new(6, 2);
+        // A node listed in two groups.
+        let n = t.groups[0][0];
+        t.groups[1].push(n);
+        assert!(t
+            .check_invariants()
+            .unwrap_err()
+            .contains("more than one group"));
+
+        // A departed node still listed.
+        let mut t = Topology::new(6, 2);
+        t.speeds[3] = None;
+        assert!(t.check_invariants().unwrap_err().contains("departed"));
+
+        // A live node in no group.
+        let mut t = Topology::new(6, 2);
+        t.groups[0].retain(|&n| n != NodeId(0));
+        assert!(t.check_invariants().unwrap_err().contains("no group"));
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! placement totality, topology invariants under arbitrary churn.
 
 use mendel_dht::placement::FlatPlacement;
-use mendel_dht::sha1::{sha1, Sha1};
+use mendel_dht::sha1::{sha1, sha1_u64, Sha1};
+use mendel_dht::store::BlockStore;
 use mendel_dht::topology::{GroupId, NodeId, Topology};
 use mendel_net::NodeSpeed;
 use proptest::prelude::*;
@@ -30,6 +31,24 @@ proptest! {
         }
         s.update(rest);
         prop_assert_eq!(s.finalize(), want);
+    }
+
+    /// Feeding the input as arbitrary-sized chunks — including empty
+    /// updates and cuts inside the 64-byte compression block — matches
+    /// the one-shot digest, and `sha1_u64` agrees with the digest head.
+    #[test]
+    fn sha1_chunked_by_sizes_equals_oneshot(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..100), 0..10),
+    ) {
+        let data: Vec<u8> = chunks.iter().flatten().copied().collect();
+        let mut s = Sha1::new();
+        for c in &chunks {
+            s.update(c);
+        }
+        let streamed = s.finalize();
+        prop_assert_eq!(streamed, sha1(&data));
+        let head = u64::from_be_bytes(streamed[..8].try_into().unwrap());
+        prop_assert_eq!(sha1_u64(&data), head);
     }
 
     /// Different inputs essentially never collide (sanity differential).
@@ -76,6 +95,7 @@ proptest! {
                     prop_assert_eq!(topo.node_group(n), None);
                 }
             }
+            prop_assert_eq!(topo.check_invariants(), Ok(()));
         }
         // Every live node has a speed and a group.
         let live: Vec<NodeId> = topo.nodes().collect();
@@ -84,6 +104,29 @@ proptest! {
             prop_assert!(topo.node_speed(n).is_some());
             prop_assert!(topo.node_group(n).is_some());
         }
+    }
+
+    /// Block-store ingest and drain keep the byte accounting exact for
+    /// arbitrary payload batches.
+    #[test]
+    fn block_store_accounting_survives_ingest(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..20),
+            0..4,
+        ),
+    ) {
+        let mut store = BlockStore::new();
+        let mut expected = 0u64;
+        for batch in batches {
+            expected += batch.iter().map(|b| b.len() as u64).sum::<u64>();
+            store.push_batch(batch);
+            prop_assert_eq!(store.check_invariants(), Ok(()));
+            prop_assert_eq!(store.bytes(), expected);
+        }
+        let drained = store.drain();
+        prop_assert_eq!(store.check_invariants(), Ok(()));
+        prop_assert_eq!(store.bytes(), 0);
+        prop_assert_eq!(drained.iter().map(|b| b.len() as u64).sum::<u64>(), expected);
     }
 
     /// Placement with any replication factor stays within the group and

@@ -31,7 +31,10 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected EOF: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected EOF: needed {needed} bytes, {remaining} remain"
+                )
             }
             DecodeError::BadTag(t) => write!(f, "unknown variant tag {t}"),
             DecodeError::LengthOverflow(n) => write!(f, "length prefix {n} exceeds limit"),
@@ -78,7 +81,10 @@ pub trait Decode: Sized {
         let mut b = bytes.clone();
         let v = Self::decode(&mut b)?;
         if !b.is_empty() {
-            return Err(DecodeError::UnexpectedEof { needed: 0, remaining: b.len() });
+            return Err(DecodeError::UnexpectedEof {
+                needed: 0,
+                remaining: b.len(),
+            });
         }
         Ok(v)
     }
@@ -86,7 +92,10 @@ pub trait Decode: Sized {
 
 fn need(buf: &Bytes, n: usize) -> Result<(), DecodeError> {
     if buf.remaining() < n {
-        Err(DecodeError::UnexpectedEof { needed: n, remaining: buf.remaining() })
+        Err(DecodeError::UnexpectedEof {
+            needed: n,
+            remaining: buf.remaining(),
+        })
     } else {
         Ok(())
     }
@@ -272,7 +281,11 @@ mod tests {
 
     fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
         let bytes = v.to_bytes();
-        assert_eq!(bytes.len(), v.encoded_len(), "encoded_len must match actual bytes");
+        assert_eq!(
+            bytes.len(),
+            v.encoded_len(),
+            "encoded_len must match actual bytes"
+        );
         let back = T::from_bytes(&bytes).unwrap();
         assert_eq!(back, v);
     }
@@ -318,7 +331,10 @@ mod tests {
         let mut short = bytes.slice(0..2);
         assert!(matches!(
             u32::decode(&mut short),
-            Err(DecodeError::UnexpectedEof { needed: 4, remaining: 2 })
+            Err(DecodeError::UnexpectedEof {
+                needed: 4,
+                remaining: 2
+            })
         ));
     }
 
@@ -328,7 +344,10 @@ mod tests {
         7u32.encode(&mut buf);
         buf.put_u8(0xFF);
         let err = u32::from_bytes(&buf.freeze()).unwrap_err();
-        assert!(matches!(err, DecodeError::UnexpectedEof { remaining: 1, .. }));
+        assert!(matches!(
+            err,
+            DecodeError::UnexpectedEof { remaining: 1, .. }
+        ));
     }
 
     #[test]
@@ -340,7 +359,10 @@ mod tests {
     #[test]
     fn bad_option_tag_rejected() {
         let bytes = Bytes::from_static(&[9u8]);
-        assert_eq!(Option::<u8>::from_bytes(&bytes), Err(DecodeError::BadTag(9)));
+        assert_eq!(
+            Option::<u8>::from_bytes(&bytes),
+            Err(DecodeError::BadTag(9))
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl HeartbeatMonitor {
     /// A monitor suspecting nodes silent for `timeout`.
     pub fn new(timeout: Duration) -> Self {
         assert!(!timeout.is_zero(), "timeout must be positive");
-        HeartbeatMonitor { last_seen: HashMap::new(), timeout }
+        HeartbeatMonitor {
+            last_seen: HashMap::new(),
+            timeout,
+        }
     }
 
     /// Record a beat from `from` at time `now`.
@@ -123,7 +126,11 @@ mod tests {
         assert!(m.suspects_at(t0 + Duration::from_millis(50)).is_empty());
         m.observe_at(NodeAddr(2), t0 + Duration::from_millis(120));
         let suspects = m.suspects_at(t0 + Duration::from_millis(150));
-        assert_eq!(suspects, vec![NodeAddr(1)], "only the silent node is suspected");
+        assert_eq!(
+            suspects,
+            vec![NodeAddr(1)],
+            "only the silent node is suspected"
+        );
     }
 
     #[test]
@@ -131,7 +138,10 @@ mod tests {
         let mut m = HeartbeatMonitor::new(Duration::from_millis(50));
         let t0 = Instant::now();
         m.observe_at(NodeAddr(7), t0);
-        assert_eq!(m.suspects_at(t0 + Duration::from_millis(100)), vec![NodeAddr(7)]);
+        assert_eq!(
+            m.suspects_at(t0 + Duration::from_millis(100)),
+            vec![NodeAddr(7)]
+        );
         m.observe_at(NodeAddr(7), t0 + Duration::from_millis(100));
         assert!(m.suspects_at(t0 + Duration::from_millis(120)).is_empty());
     }
@@ -174,9 +184,11 @@ mod tests {
         let healthy_addr = healthy_ep.addr();
         let crasher_addr = crasher_ep.addr();
         let sh = stop_healthy.clone();
-        let h1 = std::thread::spawn(move || beat_until_stopped(&healthy_ep, monitor_addr, period, &sh));
+        let h1 =
+            std::thread::spawn(move || beat_until_stopped(&healthy_ep, monitor_addr, period, &sh));
         let sc = stop_crasher.clone();
-        let h2 = std::thread::spawn(move || beat_until_stopped(&crasher_ep, monitor_addr, period, &sc));
+        let h2 =
+            std::thread::spawn(move || beat_until_stopped(&crasher_ep, monitor_addr, period, &sc));
 
         let mut monitor = HeartbeatMonitor::new(Duration::from_millis(60));
         // Let both beat, then crash one.
@@ -190,7 +202,11 @@ mod tests {
             monitor.drain(&monitor_ep);
         }
         let suspects = monitor.suspects();
-        assert_eq!(suspects, vec![crasher_addr], "exactly the crashed node is suspected");
+        assert_eq!(
+            suspects,
+            vec![crasher_addr],
+            "exactly the crashed node is suspected"
+        );
         assert!(monitor.alive().contains(&healthy_addr));
         stop_healthy.store(true, Ordering::Relaxed);
         assert!(h1.join().unwrap() > 0);

@@ -23,12 +23,18 @@ impl LatencyModel {
     /// A 2010s-era datacenter LAN: ~200 µs per message, 1 Gb/s links
     /// (8 ns per byte).
     pub fn lan() -> Self {
-        LatencyModel { base: Duration::from_micros(200), per_byte: Duration::from_nanos(8) }
+        LatencyModel {
+            base: Duration::from_micros(200),
+            per_byte: Duration::from_nanos(8),
+        }
     }
 
     /// A free network (for isolating compute effects in ablations).
     pub fn zero() -> Self {
-        LatencyModel { base: Duration::ZERO, per_byte: Duration::ZERO }
+        LatencyModel {
+            base: Duration::ZERO,
+            per_byte: Duration::ZERO,
+        }
     }
 
     /// Simulated wall time to move `bytes` across one hop.
@@ -124,7 +130,10 @@ mod tests {
 
     #[test]
     fn transfer_is_affine_in_bytes() {
-        let m = LatencyModel { base: Duration::from_micros(100), per_byte: Duration::from_nanos(10) };
+        let m = LatencyModel {
+            base: Duration::from_micros(100),
+            per_byte: Duration::from_nanos(10),
+        };
         assert_eq!(m.transfer(0), Duration::from_micros(100));
         assert_eq!(m.transfer(1000), Duration::from_micros(110));
     }
@@ -134,7 +143,10 @@ mod tests {
         let m = LatencyModel::lan();
         // A 1 MiB payload at 1 Gb/s ≈ 8.4 ms + base.
         let t = m.transfer(1 << 20);
-        assert!(t > Duration::from_millis(8) && t < Duration::from_millis(10), "{t:?}");
+        assert!(
+            t > Duration::from_millis(8) && t < Duration::from_millis(10),
+            "{t:?}"
+        );
     }
 
     #[test]
@@ -144,7 +156,10 @@ mod tests {
 
     #[test]
     fn fanout_overlaps_latency_but_stacks_bandwidth() {
-        let m = LatencyModel { base: Duration::from_micros(200), per_byte: Duration::from_nanos(8) };
+        let m = LatencyModel {
+            base: Duration::from_micros(200),
+            per_byte: Duration::from_nanos(8),
+        };
         let one = m.fanout(1000, 1);
         let ten = m.fanout(1000, 10);
         assert_eq!(one, m.transfer(1000));
@@ -156,7 +171,10 @@ mod tests {
     fn node_speed_scales_time() {
         let d = Duration::from_millis(100);
         assert_eq!(NodeSpeed::HP_DL160.scale(d), d);
-        assert_eq!(NodeSpeed::SUNFIRE_X4100.scale(d), Duration::from_millis(180));
+        assert_eq!(
+            NodeSpeed::SUNFIRE_X4100.scale(d),
+            Duration::from_millis(180)
+        );
     }
 
     #[test]
@@ -164,7 +182,9 @@ mod tests {
         assert_eq!(NodeSpeed::paper_mix(0), NodeSpeed::HP_DL160);
         assert_eq!(NodeSpeed::paper_mix(1), NodeSpeed::SUNFIRE_X4100);
         assert_eq!(NodeSpeed::paper_mix(48), NodeSpeed::HP_DL160);
-        let fast = (0..50).filter(|&i| NodeSpeed::paper_mix(i) == NodeSpeed::HP_DL160).count();
+        let fast = (0..50)
+            .filter(|&i| NodeSpeed::paper_mix(i) == NodeSpeed::HP_DL160)
+            .count();
         assert_eq!(fast, 25, "the testbed is a 25/25 split");
     }
 
@@ -180,7 +200,11 @@ mod tests {
 
     #[test]
     fn parallel_max_of_branches() {
-        let branches = [Duration::from_millis(3), Duration::from_millis(9), Duration::from_millis(1)];
+        let branches = [
+            Duration::from_millis(3),
+            Duration::from_millis(9),
+            Duration::from_millis(1),
+        ];
         assert_eq!(parallel_max(branches), Duration::from_millis(9));
         assert_eq!(parallel_max(std::iter::empty()), Duration::ZERO);
     }

@@ -109,7 +109,11 @@ impl Network {
         let mut senders = self.shared.senders.write();
         let addr = NodeAddr(senders.len() as u16);
         senders.push(tx);
-        Endpoint { addr, rx, network: self.clone() }
+        Endpoint {
+            addr,
+            rx,
+            network: self.clone(),
+        }
     }
 
     /// Register `n` nodes at once.
@@ -176,7 +180,12 @@ impl Endpoint {
     /// Send `payload` to `to` under `correlation`. Returns `false` on a
     /// dead letter.
     pub fn send(&self, to: NodeAddr, correlation: u64, payload: Bytes) -> bool {
-        self.network.send(Envelope { from: self.addr, to, correlation, payload })
+        self.network.send(Envelope {
+            from: self.addr,
+            to,
+            correlation,
+            payload,
+        })
     }
 
     /// Blocking receive.

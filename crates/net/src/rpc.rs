@@ -150,8 +150,7 @@ pub fn serve_one<Req: Decode, Resp: Encode>(
 ) -> Result<bool, RpcError> {
     match endpoint.recv_timeout(timeout) {
         Ok(env) => {
-            let req =
-                Req::from_bytes(&env.payload).map_err(|e| RpcError::Decode(e.to_string()))?;
+            let req = Req::from_bytes(&env.payload).map_err(|e| RpcError::Decode(e.to_string()))?;
             let resp = handler(env.from, req);
             endpoint.send(env.from, env.correlation, resp.to_bytes());
             Ok(true)
@@ -270,8 +269,7 @@ mod tests {
     fn serve_one_times_out_quietly() {
         let net = Network::new();
         let server = net.join();
-        let served =
-            serve_one::<u32, u32>(&server, Duration::from_millis(10), |_, x| x).unwrap();
+        let served = serve_one::<u32, u32>(&server, Duration::from_millis(10), |_, x| x).unwrap();
         assert!(!served);
     }
 }

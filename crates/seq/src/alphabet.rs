@@ -89,9 +89,10 @@ impl Alphabet {
             Alphabet::Protein => match up {
                 b'*' => Some(23),
                 b'U' | b'O' | b'J' => Some(PROTEIN_X),
-                c if c.is_ascii_uppercase() => {
-                    PROTEIN_SYMBOLS.iter().position(|&s| s == c).map(|i| i as u8)
-                }
+                c if c.is_ascii_uppercase() => PROTEIN_SYMBOLS
+                    .iter()
+                    .position(|&s| s == c)
+                    .map(|i| i as u8),
                 _ => None,
             },
         }
@@ -113,7 +114,8 @@ impl Alphabet {
             .iter()
             .enumerate()
             .map(|(position, &byte)| {
-                self.encode(byte).ok_or(SeqError::InvalidResidue { byte, position })
+                self.encode(byte)
+                    .ok_or(SeqError::InvalidResidue { byte, position })
             })
             .collect()
     }
@@ -151,7 +153,12 @@ mod tests {
     #[test]
     fn dna_iupac_ambiguity_maps_to_n() {
         for &b in b"RYSWKMBDHVryswkmbdhv" {
-            assert_eq!(Alphabet::Dna.encode(b), Some(DNA_N), "byte {}", char::from(b));
+            assert_eq!(
+                Alphabet::Dna.encode(b),
+                Some(DNA_N),
+                "byte {}",
+                char::from(b)
+            );
         }
     }
 
@@ -190,7 +197,13 @@ mod tests {
     #[test]
     fn encode_seq_reports_position_of_bad_byte() {
         let err = Alphabet::Protein.encode_seq(b"ARN!D").unwrap_err();
-        assert_eq!(err, SeqError::InvalidResidue { byte: b'!', position: 3 });
+        assert_eq!(
+            err,
+            SeqError::InvalidResidue {
+                byte: b'!',
+                position: 3
+            }
+        );
     }
 
     #[test]
@@ -206,9 +219,6 @@ mod tests {
     #[test]
     fn wildcards() {
         assert_eq!(Alphabet::Dna.decode(Alphabet::Dna.wildcard()), b'N');
-        assert_eq!(
-            Alphabet::Protein.decode(Alphabet::Protein.wildcard()),
-            b'X'
-        );
+        assert_eq!(Alphabet::Protein.decode(Alphabet::Protein.wildcard()), b'X');
     }
 }

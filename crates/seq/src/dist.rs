@@ -111,7 +111,12 @@ impl MatrixDistance {
                 }
             }
         }
-        MatrixDistance { name: format!("mendel({})", b.name), alphabet: b.alphabet, n, d }
+        MatrixDistance {
+            name: format!("mendel({})", b.name),
+            alphabet: b.alphabet,
+            n,
+            d,
+        }
     }
 
     /// Unit distance table: 0 on the diagonal, 1 elsewhere (Hamming as a
@@ -122,7 +127,12 @@ impl MatrixDistance {
         for i in 0..n {
             d[i * n + i] = 0.0;
         }
-        MatrixDistance { name: "unit".into(), alphabet, n, d }
+        MatrixDistance {
+            name: "unit".into(),
+            alphabet,
+            n,
+            d,
+        }
     }
 
     /// Per-residue distance between codes `a` and `b`.
@@ -149,7 +159,10 @@ impl MatrixDistance {
                 }
             }
         }
-        MatrixDistance { name: format!("repaired({})", self.name), ..MatrixDistance { d, ..self.clone() } }
+        MatrixDistance {
+            name: format!("repaired({})", self.name),
+            ..MatrixDistance { d, ..self.clone() }
+        }
     }
 
     /// Check all four metric axioms over the residue table. Returns the
@@ -217,7 +230,10 @@ impl Metric<[u8]> for MatrixDistance {
     #[inline]
     fn dist(&self, a: &[u8], b: &[u8]) -> f32 {
         assert_eq!(a.len(), b.len(), "window distance requires equal lengths");
-        a.iter().zip(b).map(|(&x, &y)| self.residue_dist(x, y)).sum()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.residue_dist(x, y))
+            .sum()
     }
 }
 
@@ -248,7 +264,10 @@ impl<M: Metric<[u8]>> Metric<Vec<u8>> for BlockDistance<M> {
 /// positions with identical residue codes (§V-B's first candidate measure).
 pub fn percent_identity(a: &[u8], b: &[u8]) -> Result<f32, SeqError> {
     if a.len() != b.len() {
-        return Err(SeqError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(SeqError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     if a.is_empty() {
         return Err(SeqError::EmptySequence);
@@ -268,7 +287,10 @@ mod tests {
     #[test]
     fn hamming_counts_mismatches() {
         assert_eq!(Hamming::count(b"\x00\x01\x02", b"\x00\x02\x02"), 1);
-        assert_eq!(Hamming.dist(b"\x00\x01".as_slice(), b"\x02\x03".as_slice()), 2.0);
+        assert_eq!(
+            Hamming.dist(b"\x00\x01".as_slice(), b"\x02\x03".as_slice()),
+            2.0
+        );
         assert_eq!(Hamming.dist(b"".as_slice(), b"".as_slice()), 0.0);
     }
 
@@ -361,6 +383,9 @@ mod tests {
     fn metric_violation_reports_diagonal() {
         let mut u = MatrixDistance::unit(Alphabet::Dna);
         u.d[0] = 0.5;
-        assert_eq!(u.metric_violation(), Some(MetricViolation::NonZeroDiagonal(0)));
+        assert_eq!(
+            u.metric_violation(),
+            Some(MetricViolation::NonZeroDiagonal(0))
+        );
     }
 }

@@ -57,7 +57,10 @@ mod tests {
 
     #[test]
     fn display_invalid_residue_shows_byte_and_position() {
-        let e = SeqError::InvalidResidue { byte: b'!', position: 7 };
+        let e = SeqError::InvalidResidue {
+            byte: b'!',
+            position: 7,
+        };
         let s = e.to_string();
         assert!(s.contains("0x21"), "{s}");
         assert!(s.contains("position 7"), "{s}");

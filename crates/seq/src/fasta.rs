@@ -53,9 +53,16 @@ pub fn parse_fasta(text: &str) -> Result<Vec<FastaRecord>, SeqError> {
                 None => (header.to_string(), String::new()),
             };
             if name.is_empty() {
-                return Err(SeqError::Fasta(format!("empty header at line {}", lineno + 1)));
+                return Err(SeqError::Fasta(format!(
+                    "empty header at line {}",
+                    lineno + 1
+                )));
             }
-            current = Some(FastaRecord { name, description, residues: Vec::new() });
+            current = Some(FastaRecord {
+                name,
+                description,
+                residues: Vec::new(),
+            });
         } else {
             match current.as_mut() {
                 Some(rec) => rec
@@ -78,7 +85,10 @@ pub fn parse_fasta(text: &str) -> Result<Vec<FastaRecord>, SeqError> {
 
 fn finish_record(rec: FastaRecord, out: &mut Vec<FastaRecord>) -> Result<(), SeqError> {
     if rec.residues.is_empty() {
-        return Err(SeqError::Fasta(format!("record {:?} has no sequence data", rec.name)));
+        return Err(SeqError::Fasta(format!(
+            "record {:?} has no sequence data",
+            rec.name
+        )));
     }
     out.push(rec);
     Ok(())

@@ -34,7 +34,11 @@ impl FastqRecord {
     /// Trim the 3' end at the first position where quality drops below
     /// `min_q`, returning the kept prefix length.
     pub fn trim_tail(&mut self, min_q: u8) -> usize {
-        let keep = self.quality.iter().position(|&q| q < min_q).unwrap_or(self.quality.len());
+        let keep = self
+            .quality
+            .iter()
+            .position(|&q| q < min_q)
+            .unwrap_or(self.quality.len());
         self.bases.truncate(keep);
         self.quality.truncate(keep);
         keep
@@ -62,7 +66,10 @@ pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, SeqError> {
             .unwrap_or("")
             .to_string();
         if name.is_empty() {
-            return Err(SeqError::Fasta(format!("line {}: empty read name", lineno + 1)));
+            return Err(SeqError::Fasta(format!(
+                "line {}: empty read name",
+                lineno + 1
+            )));
         }
         let (_, bases) = lines
             .next()
@@ -71,7 +78,9 @@ pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, SeqError> {
             .next()
             .ok_or_else(|| SeqError::Fasta(format!("read {name}: missing '+' line")))?;
         if !sep.starts_with('+') {
-            return Err(SeqError::Fasta(format!("read {name}: expected '+' separator")));
+            return Err(SeqError::Fasta(format!(
+                "read {name}: expected '+' separator"
+            )));
         }
         let (_, qual) = lines
             .next()
@@ -90,7 +99,11 @@ pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, SeqError> {
                     .ok_or_else(|| SeqError::Fasta(format!("read {name}: quality below '!'")))
             })
             .collect::<Result<_, _>>()?;
-        out.push(FastqRecord { name, bases: bases.as_bytes().to_vec(), quality });
+        out.push(FastqRecord {
+            name,
+            bases: bases.as_bytes().to_vec(),
+            quality,
+        });
     }
     Ok(out)
 }
@@ -115,7 +128,11 @@ mod tests {
     fn mean_quality() {
         let reads = parse_fastq(SAMPLE).unwrap();
         assert!((reads[0].mean_quality() - 32.0).abs() < 1e-9);
-        let empty = FastqRecord { name: "e".into(), bases: vec![], quality: vec![] };
+        let empty = FastqRecord {
+            name: "e".into(),
+            bases: vec![],
+            quality: vec![],
+        };
         assert_eq!(empty.mean_quality(), 0.0);
     }
 
@@ -142,7 +159,10 @@ mod tests {
         assert!(parse_fastq("@r\nACGT\nX\nIIII\n").is_err(), "bad separator");
         assert!(parse_fastq("@r\nACGT\n+\nII\n").is_err(), "length mismatch");
         assert!(parse_fastq("@\nA\n+\nI\n").is_err(), "empty name");
-        assert!(parse_fastq("@r\nA\n+\n\x20\n").is_err(), "quality below '!'");
+        assert!(
+            parse_fastq("@r\nA\n+\n\x20\n").is_err(),
+            "quality below '!'"
+        );
     }
 
     #[test]

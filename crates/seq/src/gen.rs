@@ -23,8 +23,8 @@ use crate::seq::{SeqId, SeqStore, Sequence};
 use crate::stats::background_frequencies;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Weighted sampler over an alphabet's canonical residues.
@@ -65,7 +65,10 @@ impl ResidueSampler {
                 acc
             })
             .collect();
-        Ok(ResidueSampler { alphabet, cumulative })
+        Ok(ResidueSampler {
+            alphabet,
+            cumulative,
+        })
     }
 
     /// Draw one residue code.
@@ -91,11 +94,7 @@ impl ResidueSampler {
 }
 
 /// Generate a random sequence of `len` residues from background frequencies.
-pub fn random_sequence(
-    alphabet: Alphabet,
-    len: usize,
-    rng: &mut impl Rng,
-) -> Vec<u8> {
+pub fn random_sequence(alphabet: Alphabet, len: usize, rng: &mut impl Rng) -> Vec<u8> {
     let sampler = ResidueSampler::background(alphabet);
     (0..len).map(|_| sampler.sample(rng)).collect()
 }
@@ -115,12 +114,20 @@ pub struct MutationModel {
 impl MutationModel {
     /// Substitutions only (the model of the paper's Fig 6d experiment).
     pub fn substitutions(rate: f64) -> Self {
-        MutationModel { substitution: rate, insertion: 0.0, deletion: 0.0 }
+        MutationModel {
+            substitution: rate,
+            insertion: 0.0,
+            deletion: 0.0,
+        }
     }
 
     /// Substitutions plus symmetric indels (sequencer-like noise).
     pub fn with_indels(substitution: f64, indel: f64) -> Self {
-        MutationModel { substitution, insertion: indel / 2.0, deletion: indel / 2.0 }
+        MutationModel {
+            substitution,
+            insertion: indel / 2.0,
+            deletion: indel / 2.0,
+        }
     }
 
     /// Validate that every rate lies in `[0, 1]`.
@@ -173,7 +180,9 @@ pub fn mutate_to_identity(
         return Err(SeqError::EmptySequence);
     }
     if !(0.0..=1.0).contains(&identity) {
-        return Err(SeqError::Config(format!("identity {identity} outside [0,1]")));
+        return Err(SeqError::Config(format!(
+            "identity {identity} outside [0,1]"
+        )));
     }
     let n_mut = ((1.0 - identity) * seq.len() as f64).round() as usize;
     let sampler = ResidueSampler::background(alphabet);
@@ -231,7 +240,9 @@ impl NrLikeSpec {
     /// each family is the unmutated ancestor.
     pub fn generate(&self) -> Result<SeqStore, SeqError> {
         if self.families == 0 || self.members_per_family == 0 {
-            return Err(SeqError::Config("families and members must be positive".into()));
+            return Err(SeqError::Config(
+                "families and members must be positive".into(),
+            ));
         }
         if self.length_range.0 == 0 || self.length_range.0 > self.length_range.1 {
             return Err(SeqError::Config(format!(
@@ -249,7 +260,8 @@ impl NrLikeSpec {
                 let codes = if m == 0 {
                     ancestor.clone()
                 } else {
-                    self.family_divergence.mutate(self.alphabet, &ancestor, &mut rng)
+                    self.family_divergence
+                        .mutate(self.alphabet, &ancestor, &mut rng)
                 };
                 let mut s = Sequence::from_codes(format!("fam{f}_m{m}"), self.alphabet, codes);
                 s.description = format!("family {f} member {m}");
@@ -290,7 +302,12 @@ pub struct QuerySetSpec {
 
 impl Default for QuerySetSpec {
     fn default() -> Self {
-        QuerySetSpec { count: 16, length: 1000, identity: 0.9, seed: 0x51534554 } // "QSET"
+        QuerySetSpec {
+            count: 16,
+            length: 1000,
+            identity: 0.9,
+            seed: 0x51534554,
+        } // "QSET"
     }
 }
 
@@ -301,8 +318,7 @@ impl QuerySetSpec {
         if self.count == 0 || self.length == 0 {
             return Err(SeqError::Config("count and length must be positive".into()));
         }
-        let eligible: Vec<&Sequence> =
-            db.iter().filter(|s| s.len() >= self.length).collect();
+        let eligible: Vec<&Sequence> = db.iter().filter(|s| s.len() >= self.length).collect();
         if eligible.is_empty() {
             return Err(SeqError::Config(format!(
                 "no database sequence is >= {} residues",
@@ -424,15 +440,23 @@ mod tests {
     #[test]
     fn mutation_model_validation() {
         assert!(MutationModel::substitutions(1.5).validate().is_err());
-        assert!(MutationModel { substitution: 0.1, insertion: -0.1, deletion: 0.0 }
-            .validate()
-            .is_err());
+        assert!(MutationModel {
+            substitution: 0.1,
+            insertion: -0.1,
+            deletion: 0.0
+        }
+        .validate()
+        .is_err());
         assert!(MutationModel::with_indels(0.5, 0.5).validate().is_ok());
     }
 
     #[test]
     fn nr_like_generation_is_deterministic() {
-        let spec = NrLikeSpec { families: 4, members_per_family: 3, ..Default::default() };
+        let spec = NrLikeSpec {
+            families: 4,
+            members_per_family: 3,
+            ..Default::default()
+        };
         let a = spec.generate().unwrap();
         let b = spec.generate().unwrap();
         assert_eq!(a.len(), 12);
@@ -460,13 +484,24 @@ mod tests {
 
     #[test]
     fn nr_like_rejects_bad_specs() {
-        assert!(NrLikeSpec { families: 0, ..Default::default() }.generate().is_err());
-        assert!(NrLikeSpec { length_range: (10, 5), ..Default::default() }
-            .generate()
-            .is_err());
-        assert!(NrLikeSpec { length_range: (0, 5), ..Default::default() }
-            .generate()
-            .is_err());
+        assert!(NrLikeSpec {
+            families: 0,
+            ..Default::default()
+        }
+        .generate()
+        .is_err());
+        assert!(NrLikeSpec {
+            length_range: (10, 5),
+            ..Default::default()
+        }
+        .generate()
+        .is_err());
+        assert!(NrLikeSpec {
+            length_range: (0, 5),
+            ..Default::default()
+        }
+        .generate()
+        .is_err());
     }
 
     #[test]
@@ -479,14 +514,22 @@ mod tests {
         }
         .generate()
         .unwrap();
-        let qs = QuerySetSpec { count: 8, length: 200, identity: 1.0, seed: 9 }
-            .generate(&db)
-            .unwrap();
+        let qs = QuerySetSpec {
+            count: 8,
+            length: 200,
+            identity: 1.0,
+            seed: 9,
+        }
+        .generate(&db)
+        .unwrap();
         assert_eq!(qs.len(), 8);
         for q in &qs {
             let src = db.get(q.source).unwrap();
             let window = src.window(q.source_start, 200).unwrap();
-            assert_eq!(q.query.residues, window, "identity-1.0 query must copy source");
+            assert_eq!(
+                q.query.residues, window,
+                "identity-1.0 query must copy source"
+            );
         }
     }
 
@@ -500,9 +543,14 @@ mod tests {
         }
         .generate()
         .unwrap();
-        let qs = QuerySetSpec { count: 4, length: 300, identity: 0.8, seed: 10 }
-            .generate(&db)
-            .unwrap();
+        let qs = QuerySetSpec {
+            count: 4,
+            length: 300,
+            identity: 0.8,
+            seed: 10,
+        }
+        .generate(&db)
+        .unwrap();
         for q in &qs {
             let src = db.get(q.source).unwrap();
             let window = src.window(q.source_start, 300).unwrap();
@@ -521,6 +569,11 @@ mod tests {
         }
         .generate()
         .unwrap();
-        assert!(QuerySetSpec { length: 500, ..Default::default() }.generate(&db).is_err());
+        assert!(QuerySetSpec {
+            length: 500,
+            ..Default::default()
+        }
+        .generate(&db)
+        .is_err());
     }
 }

@@ -95,7 +95,9 @@ impl ScoringMatrix {
             .map(str::trim)
             .filter(|l| !l.is_empty() && !l.starts_with('#'));
 
-        let header = lines.next().ok_or_else(|| SeqError::Matrix("empty matrix text".into()))?;
+        let header = lines
+            .next()
+            .ok_or_else(|| SeqError::Matrix("empty matrix text".into()))?;
         let cols: Vec<u8> = header
             .split_ascii_whitespace()
             .map(|tok| {
@@ -103,9 +105,9 @@ impl ScoringMatrix {
                 if b.len() != 1 {
                     return Err(SeqError::Matrix(format!("bad header symbol {tok:?}")));
                 }
-                alphabet
-                    .encode(b[0])
-                    .ok_or_else(|| SeqError::Matrix(format!("header symbol {tok:?} not in alphabet")))
+                alphabet.encode(b[0]).ok_or_else(|| {
+                    SeqError::Matrix(format!("header symbol {tok:?} not in alphabet"))
+                })
             })
             .collect::<Result<_, _>>()?;
 
@@ -122,10 +124,9 @@ impl ScoringMatrix {
             if rb.len() != 1 {
                 return Err(SeqError::Matrix(format!("bad row symbol {row_sym:?}")));
             }
-            let row = alphabet
-                .encode(rb[0])
-                .ok_or_else(|| SeqError::Matrix(format!("row symbol {row_sym:?} not in alphabet")))?
-                as usize;
+            let row = alphabet.encode(rb[0]).ok_or_else(|| {
+                SeqError::Matrix(format!("row symbol {row_sym:?} not in alphabet"))
+            })? as usize;
             let vals: Vec<i32> = toks
                 .map(|t| {
                     t.parse::<i32>()
@@ -154,11 +155,18 @@ impl ScoringMatrix {
             for j in 0..cols.len() {
                 let (a, b) = (cols[i] as usize, cols[j] as usize);
                 if scores[a * n + b] == i32::MIN {
-                    return Err(SeqError::Matrix(format!("missing score for pair ({i},{j})")));
+                    return Err(SeqError::Matrix(format!(
+                        "missing score for pair ({i},{j})"
+                    )));
                 }
             }
         }
-        Ok(ScoringMatrix { name: name.into(), alphabet, n, scores })
+        Ok(ScoringMatrix {
+            name: name.into(),
+            alphabet,
+            n,
+            scores,
+        })
     }
 
     /// Score of substituting residue code `a` with residue code `b`.
@@ -188,7 +196,10 @@ impl ScoringMatrix {
     /// Score an ungapped pairing of two equal-length encoded windows.
     pub fn score_window(&self, a: &[u8], b: &[u8]) -> Result<i32, SeqError> {
         if a.len() != b.len() {
-            return Err(SeqError::LengthMismatch { left: a.len(), right: b.len() });
+            return Err(SeqError::LengthMismatch {
+                left: a.len(),
+                right: b.len(),
+            });
         }
         Ok(a.iter().zip(b).map(|(&x, &y)| self.score(x, y)).sum())
     }
@@ -217,7 +228,11 @@ impl PairCounts {
     /// Empty tally for an alphabet's canonical residues.
     pub fn new(alphabet: Alphabet) -> Self {
         let k = alphabet.canonical_size();
-        PairCounts { alphabet, k, counts: vec![0.0; k * k] }
+        PairCounts {
+            alphabet,
+            k,
+            counts: vec![0.0; k * k],
+        }
     }
 
     /// Record one aligned pair (order-insensitive; both cells get half).
@@ -232,7 +247,10 @@ impl PairCounts {
     /// Record every column of an ungapped aligned window pair.
     pub fn add_window(&mut self, a: &[u8], b: &[u8]) -> Result<(), SeqError> {
         if a.len() != b.len() {
-            return Err(SeqError::LengthMismatch { left: a.len(), right: b.len() });
+            return Err(SeqError::LengthMismatch {
+                left: a.len(),
+                right: b.len(),
+            });
         }
         for (&x, &y) in a.iter().zip(b) {
             self.add_pair(x, y);
@@ -250,7 +268,10 @@ impl PairCounts {
         let total = self.total().max(f64::MIN_POSITIVE);
         (0..self.k)
             .map(|i| {
-                (0..self.k).map(|j| self.counts[i * self.k + j]).sum::<f64>() / total
+                (0..self.k)
+                    .map(|j| self.counts[i * self.k + j])
+                    .sum::<f64>()
+                    / total
             })
             .collect()
     }
@@ -301,7 +322,12 @@ impl ScoringMatrix {
                 }
             }
         }
-        Ok(ScoringMatrix { name: name.into(), alphabet: pairs.alphabet, n, scores })
+        Ok(ScoringMatrix {
+            name: name.into(),
+            alphabet: pairs.alphabet,
+            n,
+            scores,
+        })
     }
 }
 
@@ -399,7 +425,8 @@ mod tests {
         assert!((m[enc(b'I') as usize] - 0.25).abs() < 1e-12);
         // Windows and wildcards.
         let mut pc2 = PairCounts::new(Alphabet::Protein);
-        pc2.add_window(&[0, 1, crate::alphabet::PROTEIN_X], &[0, 2, 0]).unwrap();
+        pc2.add_window(&[0, 1, crate::alphabet::PROTEIN_X], &[0, 2, 0])
+            .unwrap();
         assert_eq!(pc2.total(), 2.0, "wildcard column is skipped");
         assert!(pc2.add_window(&[0], &[0, 1]).is_err());
     }
@@ -450,6 +477,12 @@ mod tests {
         // The paper: "The matrix used to score the alignments is a user
         // defined parameter."  Re-parse the embedded text under a new name.
         let m = ScoringMatrix::from_ncbi_text("custom", Alphabet::Protein, BLOSUM62_TEXT).unwrap();
-        assert_eq!(m, ScoringMatrix { name: "custom".into(), ..ScoringMatrix::blosum62() });
+        assert_eq!(
+            m,
+            ScoringMatrix {
+                name: "custom".into(),
+                ..ScoringMatrix::blosum62()
+            }
+        );
     }
 }

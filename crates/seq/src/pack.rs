@@ -34,7 +34,11 @@ impl PackedDna {
             };
             data[i / 4] |= two_bit << ((i % 4) * 2);
         }
-        PackedDna { data, len: codes.len(), exceptions }
+        PackedDna {
+            data,
+            len: codes.len(),
+            exceptions,
+        }
     }
 
     /// Unpack to residue codes.
@@ -54,7 +58,10 @@ impl PackedDna {
     /// Panics if `i` is out of range.
     pub fn get(&self, i: usize) -> u8 {
         assert!(i < self.len, "index {i} out of range {}", self.len);
-        if let Ok(e) = self.exceptions.binary_search_by_key(&(i as u32), |&(p, _)| p) {
+        if let Ok(e) = self
+            .exceptions
+            .binary_search_by_key(&(i as u32), |&(p, _)| p)
+        {
             return self.exceptions[e].1;
         }
         (self.data[i / 4] >> ((i % 4) * 2)) & 0b11
@@ -156,7 +163,13 @@ mod tests {
         for _ in 0..50 {
             let n = rng.random_range(0..200);
             let codes: Vec<u8> = (0..n)
-                .map(|_| if rng.random_bool(0.05) { DNA_N } else { rng.random_range(0..4) })
+                .map(|_| {
+                    if rng.random_bool(0.05) {
+                        DNA_N
+                    } else {
+                        rng.random_range(0..4)
+                    }
+                })
                 .collect();
             let p = PackedDna::pack(&codes);
             assert_eq!(p.unpack(), codes);

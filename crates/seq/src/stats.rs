@@ -97,7 +97,10 @@ impl Composition {
         if canon == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / canon as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / canon as f64)
+            .collect()
     }
 
     /// Shannon entropy (bits per residue) of the canonical composition.

@@ -58,7 +58,9 @@ pub fn translate_codon(b0: u8, b1: u8, b2: u8) -> u8 {
         return PROTEIN_X;
     }
     let ascii = CODON_TABLE[(b0 as usize) * 16 + (b1 as usize) * 4 + b2 as usize];
-    Alphabet::Protein.encode(ascii).expect("codon table holds valid residues")
+    Alphabet::Protein
+        .encode(ascii)
+        .expect("codon table holds valid residues")
 }
 
 /// Translate an encoded DNA sequence in reading frame `frame` (0, 1, 2).
@@ -182,8 +184,14 @@ mod tests {
     fn reverse_complement_involution() {
         let d = dna(b"ACGTNACG");
         assert_eq!(reverse_complement(&reverse_complement(&d)), d);
-        assert_eq!(Alphabet::Dna.decode_seq(&reverse_complement(&dna(b"ACGT"))), "ACGT");
-        assert_eq!(Alphabet::Dna.decode_seq(&reverse_complement(&dna(b"AACG"))), "CGTT");
+        assert_eq!(
+            Alphabet::Dna.decode_seq(&reverse_complement(&dna(b"ACGT"))),
+            "ACGT"
+        );
+        assert_eq!(
+            Alphabet::Dna.decode_seq(&reverse_complement(&dna(b"AACG"))),
+            "CGTT"
+        );
     }
 
     #[test]

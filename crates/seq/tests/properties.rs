@@ -3,7 +3,10 @@
 use mendel_seq::dist::percent_identity;
 use mendel_seq::gen::{mutate_to_identity, MutationModel, ResidueSampler};
 use mendel_seq::stats::Composition;
-use mendel_seq::{parse_fasta_sequences, write_fasta, Alphabet, Hamming, MatrixDistance, Metric, ScoringMatrix, Sequence};
+use mendel_seq::{
+    parse_fasta_sequences, write_fasta, Alphabet, Hamming, MatrixDistance, Metric, ScoringMatrix,
+    Sequence,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

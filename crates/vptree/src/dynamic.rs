@@ -49,18 +49,31 @@ pub struct DynamicVpTree<P, M> {
 impl<P: Clone, M: Metric<P>> DynamicVpTree<P, M> {
     /// An empty dynamic tree.
     pub fn new(metric: M, bucket_capacity: usize, seed: u64) -> Self {
-        DynamicVpTree { tree: VpTree::build(Vec::new(), metric, bucket_capacity, seed), rebuild_count: 0 }
+        DynamicVpTree {
+            tree: VpTree::build(Vec::new(), metric, bucket_capacity, seed),
+            rebuild_count: 0,
+        }
     }
 
     /// Bulk-build from an initial collection (preferred when the data is
     /// known up front).
     pub fn build(points: Vec<P>, metric: M, bucket_capacity: usize, seed: u64) -> Self {
-        DynamicVpTree { tree: VpTree::build(points, metric, bucket_capacity, seed), rebuild_count: 0 }
+        DynamicVpTree {
+            tree: VpTree::build(points, metric, bucket_capacity, seed),
+            rebuild_count: 0,
+        }
     }
 
     /// Insert one element, returning its stable arena index and the
     /// §III-D case taken.
     pub fn insert(&mut self, point: P) -> (u32, InsertOutcome) {
+        let result = self.insert_inner(point);
+        #[cfg(feature = "strict-invariants")]
+        self.tree.assert_invariants("dynamic insert");
+        result
+    }
+
+    fn insert_inner(&mut self, point: P) -> (u32, InsertOutcome) {
         let idx = self.tree.points.len() as u32;
         self.tree.points.push(point);
 
@@ -87,13 +100,16 @@ impl<P: Clone, M: Metric<P>> DynamicVpTree<P, M> {
                     left_bounds,
                     right_bounds,
                 } => {
-                    let d = self
-                        .tree
-                        .metric
-                        .dist(&self.tree.points[idx as usize], &self.tree.points[*vantage as usize]);
+                    let d = self.tree.metric.dist(
+                        &self.tree.points[idx as usize],
+                        &self.tree.points[*vantage as usize],
+                    );
                     let go_left = d <= *radius;
-                    let (child, bounds) =
-                        if go_left { (left, left_bounds) } else { (right, right_bounds) };
+                    let (child, bounds) = if go_left {
+                        (left, left_bounds)
+                    } else {
+                        (right, right_bounds)
+                    };
                     bounds.0 = bounds.0.min(d);
                     bounds.1 = bounds.1.max(d);
                     if *child == NIL {
@@ -118,8 +134,9 @@ impl<P: Clone, M: Metric<P>> DynamicVpTree<P, M> {
             }
         }
 
-        // Case 1: room in the leaf bucket.
-        let leaf = *path.last().expect("descent visits at least the root");
+        // Case 1: room in the leaf bucket. The loop above only breaks on
+        // a leaf, so `node` is its index.
+        let leaf = node;
         if let Node::Leaf { bucket } = &mut self.tree.nodes[leaf as usize] {
             if bucket.len() < self.tree.bucket_capacity {
                 bucket.push(idx);
@@ -135,8 +152,8 @@ impl<P: Clone, M: Metric<P>> DynamicVpTree<P, M> {
             // "Has room" = a balanced rebuild can absorb the new element
             // without growing the subtree's height: a height-h vp-tree
             // holds at most 2^h full buckets plus 2^h − 1 vantage elements.
-            let capacity = (1usize << height) * self.tree.bucket_capacity
-                + ((1usize << height) - 1);
+            let capacity =
+                (1usize << height) * self.tree.bucket_capacity + ((1usize << height) - 1);
             if count + 1 <= capacity {
                 self.rebuild_subtree(anc, path.get(anc_pos.wrapping_sub(1)).copied(), idx);
                 let levels = levels_up + 1;
@@ -171,6 +188,8 @@ impl<P: Clone, M: Metric<P>> DynamicVpTree<P, M> {
         if batch.len() * 4 >= self.tree.points.len() {
             self.tree.points.extend(batch);
             self.rebuild_root();
+            #[cfg(feature = "strict-invariants")]
+            self.tree.assert_invariants("batch rebuild");
             (start..self.tree.points.len() as u32).collect()
         } else {
             batch.into_iter().map(|p| self.insert(p).0).collect()
@@ -200,7 +219,12 @@ impl<P: Clone, M: Metric<P>> DynamicVpTree<P, M> {
     fn collect_subtree(&self, node: u32, out: &mut Vec<u32>) {
         match &self.tree.nodes[node as usize] {
             Node::Leaf { bucket } => out.extend_from_slice(bucket),
-            Node::Internal { vantage, left, right, .. } => {
+            Node::Internal {
+                vantage,
+                left,
+                right,
+                ..
+            } => {
                 out.push(*vantage);
                 if *left != NIL {
                     self.collect_subtree(*left, out);
@@ -220,8 +244,7 @@ impl<P: Clone, M: Metric<P>> DynamicVpTree<P, M> {
         self.collect_subtree(node, &mut items);
         items.push(extra);
         self.rebuild_count += 1;
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(self.tree.seed ^ (self.rebuild_count as u64) << 17);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.tree.seed ^ (self.rebuild_count as u64) << 17);
         let new_node = self.tree.build_rec(&mut items, &mut rng);
         match parent {
             None => self.tree.root = new_node,
@@ -243,8 +266,7 @@ impl<P: Clone, M: Metric<P>> DynamicVpTree<P, M> {
     fn rebuild_root(&mut self) {
         self.rebuild_count += 1;
         self.tree.nodes.clear();
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(self.tree.seed ^ (self.rebuild_count as u64) << 17);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.tree.seed ^ (self.rebuild_count as u64) << 17);
         let mut items: Vec<u32> = (0..self.tree.points.len() as u32).collect();
         self.tree.root = self.tree.build_rec(&mut items, &mut rng);
     }
@@ -253,6 +275,16 @@ impl<P: Clone, M: Metric<P>> DynamicVpTree<P, M> {
     /// rebuild, which also rebalances).
     pub fn compact(&mut self) {
         self.rebuild_root();
+        #[cfg(feature = "strict-invariants")]
+        self.tree.assert_invariants("compact");
+    }
+
+    /// Deep structural validation of the underlying tree — see
+    /// [`VpTree::check_invariants`]. After subtree rebuilds the arena
+    /// holds orphan nodes; the checker only audits what is reachable,
+    /// so it holds at every point of a dynamic tree's life.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.tree.check_invariants()
     }
 
     /// How many subtree/root rebuilds have run so far.
@@ -354,7 +386,10 @@ mod tests {
                 seen_rebuild = true;
             }
         }
-        assert!(seen_rebuild, "20 inserts into bucket-4 tree must rebuild at least once");
+        assert!(
+            seen_rebuild,
+            "20 inserts into bucket-4 tree must rebuild at least once"
+        );
         assert_eq!(t.len(), 20);
     }
 
@@ -384,10 +419,30 @@ mod tests {
         }
         for q in random_points(20, 8, 5) {
             let got: Vec<f32> = t.knn(&q, 4).iter().map(|n| n.dist).collect();
-            let want: Vec<f32> =
-                brute_force_knn(&points, &metric, &q, 4).iter().map(|n| n.dist).collect();
+            let want: Vec<f32> = brute_force_knn(&points, &metric, &q, 4)
+                .iter()
+                .map(|n| n.dist)
+                .collect();
             assert_eq!(got, want);
         }
+    }
+
+    #[test]
+    fn invariants_hold_through_insert_churn() {
+        let mut t = empty(2); // tiny buckets force every §III-D case
+        for (i, p) in random_points(300, 8, 50).into_iter().enumerate() {
+            t.insert(p);
+            if i % 37 == 0 {
+                assert_eq!(t.check_invariants(), Ok(()), "after insert {i}");
+            }
+        }
+        assert_eq!(t.check_invariants(), Ok(()));
+        t.compact();
+        assert_eq!(t.check_invariants(), Ok(()));
+        t.insert_batch(random_points(200, 8, 51)); // large batch: root rebuild
+        assert_eq!(t.check_invariants(), Ok(()));
+        t.insert_batch(random_points(5, 8, 52)); // small batch: per-element
+        assert_eq!(t.check_invariants(), Ok(()));
     }
 
     #[test]
@@ -411,7 +466,11 @@ mod tests {
         t.insert_batch(random_points(2048, 8, 7));
         let s = t.stats();
         assert_eq!(s.points, 2048);
-        assert!(s.max_depth <= 13, "batched tree must stay balanced, depth {}", s.max_depth);
+        assert!(
+            s.max_depth <= 13,
+            "batched tree must stay balanced, depth {}",
+            s.max_depth
+        );
         assert_eq!(t.rebuilds(), 1, "one rebuild per batch");
     }
 
@@ -472,8 +531,10 @@ mod tests {
         all.extend(b);
         for q in random_points(10, 6, 12) {
             let got: Vec<f32> = t.knn(&q, 3).iter().map(|n| n.dist).collect();
-            let want: Vec<f32> =
-                brute_force_knn(&all, &metric, &q, 3).iter().map(|n| n.dist).collect();
+            let want: Vec<f32> = brute_force_knn(&all, &metric, &q, 3)
+                .iter()
+                .map(|n| n.dist)
+                .collect();
             assert_eq!(got, want);
         }
     }

@@ -44,7 +44,10 @@ impl KnnHeap {
     /// A heap retaining the best `k` neighbours (`k ≥ 1`).
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        KnnHeap { k, heap: BinaryHeap::with_capacity(k + 1) }
+        KnnHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Current search radius τ: the distance of the worst retained
@@ -128,8 +131,20 @@ mod tests {
         assert_eq!(h.tau(), 3.0);
         let out = h.into_sorted();
         assert_eq!(out.len(), 2);
-        assert_eq!(out[0], Neighbor { index: 2, dist: 1.0 });
-        assert_eq!(out[1], Neighbor { index: 1, dist: 3.0 });
+        assert_eq!(
+            out[0],
+            Neighbor {
+                index: 2,
+                dist: 1.0
+            }
+        );
+        assert_eq!(
+            out[1],
+            Neighbor {
+                index: 1,
+                dist: 3.0
+            }
+        );
     }
 
     #[test]
@@ -137,7 +152,13 @@ mod tests {
         let mut h = KnnHeap::new(1);
         h.offer(0, 1.0);
         h.offer(1, 2.0);
-        assert_eq!(h.into_sorted(), vec![Neighbor { index: 0, dist: 1.0 }]);
+        assert_eq!(
+            h.into_sorted(),
+            vec![Neighbor {
+                index: 0,
+                dist: 1.0
+            }]
+        );
     }
 
     #[test]
@@ -157,12 +178,23 @@ mod tests {
 
     #[test]
     fn brute_force_oracle() {
-        let points: Vec<Vec<u8>> =
-            vec![vec![0, 0, 0], vec![0, 0, 1], vec![1, 1, 1], vec![2, 2, 2]];
+        let points: Vec<Vec<u8>> = vec![vec![0, 0, 0], vec![0, 0, 1], vec![1, 1, 1], vec![2, 2, 2]];
         let metric = mendel_seq::BlockDistance::new(Hamming);
         let out = brute_force_knn(&points, &metric, &vec![0u8, 0, 0], 2);
-        assert_eq!(out[0], Neighbor { index: 0, dist: 0.0 });
-        assert_eq!(out[1], Neighbor { index: 1, dist: 1.0 });
+        assert_eq!(
+            out[0],
+            Neighbor {
+                index: 0,
+                dist: 0.0
+            }
+        );
+        assert_eq!(
+            out[1],
+            Neighbor {
+                index: 1,
+                dist: 1.0
+            }
+        );
     }
 
     #[test]

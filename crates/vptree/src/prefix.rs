@@ -49,12 +49,26 @@ impl<P: Clone, M: Metric<P>> VpPrefixTree<P, M> {
         let fallback = sample[0].clone();
         let mut nodes: Vec<Option<PrefixNode<P>>> = vec![None; n_nodes];
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut tree = VpPrefixTree { metric, depth, nodes: Vec::new() };
+        let mut tree = VpPrefixTree {
+            metric,
+            depth,
+            nodes: Vec::new(),
+        };
         tree.build_rec(0, sample, &fallback, &mut nodes, &mut rng);
         tree.nodes = nodes
             .into_iter()
-            .map(|n| n.expect("every heap slot is filled by build_rec"))
+            // `build_rec` fills every heap slot; should one ever be
+            // missed, degrade to the total fallback router (everything
+            // left) instead of aborting ingest.
+            .map(|n| {
+                n.unwrap_or_else(|| PrefixNode {
+                    vantage: fallback.clone(),
+                    radius: f32::INFINITY,
+                })
+            })
             .collect();
+        #[cfg(feature = "strict-invariants")]
+        tree.assert_invariants(std::slice::from_ref(&fallback), "build");
         tree
     }
 
@@ -72,7 +86,10 @@ impl<P: Clone, M: Metric<P>> VpPrefixTree<P, M> {
         if items.is_empty() {
             // Starved branch (duplicate-heavy samples): route everything
             // left with an infinite radius so hashing stays total.
-            out[node] = Some(PrefixNode { vantage: fallback.clone(), radius: f32::INFINITY });
+            out[node] = Some(PrefixNode {
+                vantage: fallback.clone(),
+                radius: f32::INFINITY,
+            });
             self.build_rec(2 * node + 1, Vec::new(), fallback, out, rng);
             self.build_rec(2 * node + 2, Vec::new(), fallback, out, rng);
             return;
@@ -176,6 +193,67 @@ impl<P: Clone, M: Metric<P>> VpPrefixTree<P, M> {
         }
     }
 
+    /// Structural validation of the hash tree (the `strict-invariants`
+    /// checker): heap completeness (`2^depth − 1` vertices), well-formed
+    /// radii (non-negative; `+∞` marks starved fallback branches), and —
+    /// for each supplied probe — path consistency: the hash is stable,
+    /// carries the top bit at `depth`, maps to a dense bucket in range,
+    /// and the tolerance traversal at `τ = 0` reproduces exactly it.
+    pub fn check_invariants(&self, probes: &[P]) -> Result<(), String> {
+        if self.depth == 0 {
+            return Err("depth threshold is zero".into());
+        }
+        let want = (1usize << self.depth) - 1;
+        if self.nodes.len() != want {
+            return Err(format!(
+                "heap-order tree has {} vertices, depth {} needs {want}",
+                self.nodes.len(),
+                self.depth
+            ));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !(n.radius >= 0.0) {
+                return Err(format!("vertex {i} has invalid radius {}", n.radius));
+            }
+        }
+        for (i, p) in probes.iter().enumerate() {
+            let h = self.hash(p);
+            if h >> self.depth != 1 {
+                return Err(format!(
+                    "probe {i}: prefix {h:#b} lacks the top bit at depth {}",
+                    self.depth
+                ));
+            }
+            if self.hash(p) != h {
+                return Err(format!("probe {i}: hash is not deterministic"));
+            }
+            let bucket = (h as usize) - (1usize << self.depth);
+            if bucket >= self.num_buckets() {
+                return Err(format!(
+                    "probe {i}: bucket {bucket} out of range ({} buckets)",
+                    self.num_buckets()
+                ));
+            }
+            let exact = self.hash_with_tolerance(p, 0.0);
+            if exact != [h] {
+                return Err(format!(
+                    "probe {i}: τ = 0 traversal yields {exact:?}, expected [{h}]"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Abort with the violation when [`Self::check_invariants`] fails —
+    /// called after builds under `strict-invariants`.
+    #[cfg(feature = "strict-invariants")]
+    fn assert_invariants(&self, probes: &[P], site: &str) {
+        if let Err(e) = self.check_invariants(probes) {
+            // audit:allow(panic): strict-invariants mode aborts on structural corruption by design.
+            panic!("vp-prefix-tree invariant violated after {site}: {e}");
+        }
+    }
+
     /// Convert a depth-level prefix to a dense bucket index in
     /// `[0, 2^depth)`.
     #[inline]
@@ -207,7 +285,10 @@ impl GroupAssignment {
     /// Panics unless `1 ≤ groups ≤ buckets`.
     pub fn new(buckets: usize, groups: usize) -> Self {
         assert!(groups >= 1, "at least one group");
-        assert!(groups <= buckets, "more groups ({groups}) than buckets ({buckets})");
+        assert!(
+            groups <= buckets,
+            "more groups ({groups}) than buckets ({buckets})"
+        );
         GroupAssignment { buckets, groups }
     }
 
@@ -248,7 +329,10 @@ mod tests {
 
     fn build(depth: usize, seed: u64) -> (Tree, Vec<Vec<u8>>) {
         let sample = random_points(1000, 16, seed);
-        (VpPrefixTree::build(sample.clone(), BlockDistance::new(Hamming), depth, seed), sample)
+        (
+            VpPrefixTree::build(sample.clone(), BlockDistance::new(Hamming), depth, seed),
+            sample,
+        )
     }
 
     #[test]
@@ -283,7 +367,7 @@ mod tests {
             let p: Vec<u8> = (0..16).map(|_| rng.random_range(0..20u8)).collect();
             // 1-substitution neighbour.
             let mut near = p.clone();
-            let pos = rng.random_range(0..16);
+            let pos: usize = rng.random_range(0..16);
             near[pos] = (near[pos] + 1 + rng.random_range(0..18u8)) % 20;
             // Unrelated point.
             let far: Vec<u8> = (0..16).map(|_| rng.random_range(0..20u8)).collect();
@@ -305,8 +389,7 @@ mod tests {
         // Fig. 2: the depth threshold sets the similarity resolution —
         // deeper trees spread the same data across more buckets.
         let sample = random_points(2000, 16, 6);
-        let shallow =
-            VpPrefixTree::build(sample.clone(), BlockDistance::new(Hamming), 2, 6);
+        let shallow = VpPrefixTree::build(sample.clone(), BlockDistance::new(Hamming), 2, 6);
         let deep = VpPrefixTree::build(sample.clone(), BlockDistance::new(Hamming), 6, 6);
         let count_distinct = |t: &Tree| {
             let mut set = std::collections::HashSet::new();
@@ -335,9 +418,16 @@ mod tests {
             let small = t.hash_with_tolerance(p, 2.0);
             let large = t.hash_with_tolerance(p, 8.0);
             assert!(small.contains(&exact));
-            assert!(small.iter().all(|h| large.contains(h)), "fanout must be monotone in τ");
+            assert!(
+                small.iter().all(|h| large.contains(h)),
+                "fanout must be monotone in τ"
+            );
         }
-        let total: usize = sample.iter().take(50).map(|p| t.hash_with_tolerance(p, 8.0).len()).sum();
+        let total: usize = sample
+            .iter()
+            .take(50)
+            .map(|p| t.hash_with_tolerance(p, 8.0).len())
+            .sum();
         assert!(total > 50, "a large τ must branch somewhere");
     }
 
@@ -359,6 +449,26 @@ mod tests {
     }
 
     #[test]
+    fn invariants_hold_for_built_hash_trees() {
+        for depth in [1usize, 3, 6] {
+            let (t, sample) = build(depth, depth as u64);
+            assert_eq!(t.check_invariants(&sample[..100]), Ok(()), "depth {depth}");
+        }
+        // Duplicate-heavy samples build starved (fallback) branches.
+        let dup: Tree =
+            VpPrefixTree::build(vec![vec![7u8; 8]; 64], BlockDistance::new(Hamming), 4, 10);
+        assert_eq!(dup.check_invariants(&[vec![7u8; 8], vec![3u8; 8]]), Ok(()));
+    }
+
+    #[test]
+    fn truncated_heap_is_detected() {
+        let (mut t, sample) = build(4, 77);
+        t.nodes.pop();
+        let err = t.check_invariants(&sample[..1]).unwrap_err();
+        assert!(err.contains("vertices"), "unexpected message: {err}");
+    }
+
+    #[test]
     #[should_panic(expected = "non-empty sample")]
     fn empty_sample_rejected() {
         let _: Tree = VpPrefixTree::build(vec![], BlockDistance::new(Hamming), 3, 0);
@@ -367,8 +477,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "depth threshold")]
     fn zero_depth_rejected() {
-        let _: Tree =
-            VpPrefixTree::build(vec![vec![0u8]], BlockDistance::new(Hamming), 0, 0);
+        let _: Tree = VpPrefixTree::build(vec![vec![0u8]], BlockDistance::new(Hamming), 0, 0);
     }
 
     #[test]

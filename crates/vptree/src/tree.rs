@@ -108,6 +108,8 @@ impl<P, M: Metric<P>> VpTree<P, M> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut items: Vec<u32> = (0..tree.points.len() as u32).collect();
         tree.root = tree.build_rec(&mut items, &mut rng);
+        #[cfg(feature = "strict-invariants")]
+        tree.assert_invariants("build");
         tree
     }
 
@@ -117,7 +119,9 @@ impl<P, M: Metric<P>> VpTree<P, M> {
             return NIL;
         }
         if items.len() <= self.bucket_capacity {
-            self.nodes.push(Node::Leaf { bucket: items.to_vec() });
+            self.nodes.push(Node::Leaf {
+                bucket: items.to_vec(),
+            });
             return (self.nodes.len() - 1) as u32;
         }
         let v_pos = self.pick_vantage(items, rng);
@@ -129,7 +133,11 @@ impl<P, M: Metric<P>> VpTree<P, M> {
         let mut dists: Vec<(u32, f32)> = rest
             .iter()
             .map(|&i| {
-                (i, self.metric.dist(&self.points[vantage as usize], &self.points[i as usize]))
+                (
+                    i,
+                    self.metric
+                        .dist(&self.points[vantage as usize], &self.points[i as usize]),
+                )
             })
             .collect();
         // Median split: the radius must "encompass roughly half of the data
@@ -155,10 +163,11 @@ impl<P, M: Metric<P>> VpTree<P, M> {
             // deterministic for equal inputs. Only when every element is
             // exactly equidistant is an arbitrary count split unavoidable.
             let maxd = radius;
-            let below = left.iter().map(|&(_, d)| d).filter(|&d| d < maxd).fold(
-                f32::NEG_INFINITY,
-                f32::max,
-            );
+            let below = left
+                .iter()
+                .map(|&(_, d)| d)
+                .filter(|&d| d < maxd)
+                .fold(f32::NEG_INFINITY, f32::max);
             if below.is_finite() {
                 radius = below;
                 right = left.iter().copied().filter(|&(_, d)| d > radius).collect();
@@ -170,9 +179,10 @@ impl<P, M: Metric<P>> VpTree<P, M> {
         }
 
         let bounds = |side: &[(u32, f32)]| -> (f32, f32) {
-            side.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &(_, d)| {
-                (lo.min(d), hi.max(d))
-            })
+            side.iter()
+                .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &(_, d)| {
+                    (lo.min(d), hi.max(d))
+                })
         };
         let left_bounds = bounds(&left);
         let right_bounds = bounds(&right);
@@ -243,6 +253,8 @@ impl<P, M: Metric<P>> VpTree<P, M> {
         let mut items: Vec<u32> = (0..tree.points.len() as u32).collect();
         let boxed = tree.build_boxed(&mut items, seed);
         tree.root = tree.flatten(boxed);
+        #[cfg(feature = "strict-invariants")]
+        tree.assert_invariants("build_parallel");
         tree
     }
 
@@ -256,7 +268,9 @@ impl<P, M: Metric<P>> VpTree<P, M> {
             return None;
         }
         if items.len() <= self.bucket_capacity {
-            return Some(Box::new(BuildNode::Leaf { bucket: items.to_vec() }));
+            return Some(Box::new(BuildNode::Leaf {
+                bucket: items.to_vec(),
+            }));
         }
         let mut rng = ChaCha8Rng::seed_from_u64(branch_seed);
         let v_pos = self.pick_vantage(items, &mut rng);
@@ -266,7 +280,11 @@ impl<P, M: Metric<P>> VpTree<P, M> {
         let mut dists: Vec<(u32, f32)> = rest
             .iter()
             .map(|&i| {
-                (i, self.metric.dist(&self.points[vantage as usize], &self.points[i as usize]))
+                (
+                    i,
+                    self.metric
+                        .dist(&self.points[vantage as usize], &self.points[i as usize]),
+                )
             })
             .collect();
         let mid = (dists.len() - 1) / 2;
@@ -290,9 +308,10 @@ impl<P, M: Metric<P>> VpTree<P, M> {
             }
         }
         let bounds = |side: &[(u32, f32)]| -> (f32, f32) {
-            side.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &(_, d)| {
-                (lo.min(d), hi.max(d))
-            })
+            side.iter()
+                .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &(_, d)| {
+                    (lo.min(d), hi.max(d))
+                })
         };
         let left_bounds = bounds(&left);
         let right_bounds = bounds(&right);
@@ -300,8 +319,12 @@ impl<P, M: Metric<P>> VpTree<P, M> {
         let mut right_items: Vec<u32> = right.into_iter().map(|(i, _)| i).collect();
         // Splitmix-style per-branch seed derivation keeps the tree
         // independent of scheduling.
-        let ls = branch_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
-        let rs = branch_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(2);
+        let ls = branch_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1);
+        let rs = branch_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(2);
         const PAR_THRESHOLD: usize = 1024;
         let (l, r) = if left_items.len() + right_items.len() >= PAR_THRESHOLD {
             rayon::join(
@@ -309,7 +332,10 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                 || self.build_boxed(&mut right_items, rs),
             )
         } else {
-            (self.build_boxed(&mut left_items, ls), self.build_boxed(&mut right_items, rs))
+            (
+                self.build_boxed(&mut left_items, ls),
+                self.build_boxed(&mut right_items, rs),
+            )
         };
         Some(Box::new(BuildNode::Internal {
             vantage,
@@ -432,7 +458,14 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                     heap.offer(i, self.metric.dist(query, &self.points[i as usize]));
                 }
             }
-            Node::Internal { vantage, radius, left, right, left_bounds, right_bounds } => {
+            Node::Internal {
+                vantage,
+                radius,
+                left,
+                right,
+                left_bounds,
+                right_bounds,
+            } => {
                 let d = self.metric.dist(query, &self.points[*vantage as usize]);
                 *budget -= 1;
                 heap.offer(*vantage, d);
@@ -474,10 +507,20 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                     }
                 }
             }
-            Node::Internal { vantage, left, right, left_bounds, right_bounds, .. } => {
+            Node::Internal {
+                vantage,
+                left,
+                right,
+                left_bounds,
+                right_bounds,
+                ..
+            } => {
                 let d = self.metric.dist(query, &self.points[*vantage as usize]);
                 if d <= radius {
-                    out.push(Neighbor { index: *vantage, dist: d });
+                    out.push(Neighbor {
+                        index: *vantage,
+                        dist: d,
+                    });
                 }
                 if *left != NIL && Self::band_intersects(d, radius, *left_bounds) {
                     self.range_rec(*left, query, radius, out);
@@ -509,6 +552,184 @@ impl<P, M: Metric<P>> VpTree<P, M> {
             s.min_depth = 0;
         }
         s
+    }
+
+    /// Deep structural validation (the `strict-invariants` checker):
+    ///
+    /// - **μ split** — every element in a left subtree is within its
+    ///   ancestor's radius (`d ≤ μ`), every right element outside or on
+    ///   it (`d ≥ μ`; ties land right after the equidistant rebalance);
+    /// - **bounds containment** — every subtree element's distance to
+    ///   the ancestor vantage lies inside the stored `[lo, hi]` band
+    ///   (bounds may over-approximate after expand-only dynamic
+    ///   updates, so containment — not tightness — is the invariant);
+    /// - **arena accounting** — every point index appears exactly once
+    ///   among reachable vantages and leaf buckets, every reachable
+    ///   node is visited at most once (no cycles or shared subtrees;
+    ///   orphan nodes left by subtree rebuilds are legal garbage);
+    /// - **leaf occupancy** — buckets hold `1..=bucket_capacity`
+    ///   elements.
+    ///
+    /// Returns the first violation found. Compiled unconditionally so
+    /// any test can call it; the `strict-invariants` feature
+    /// additionally asserts it after every build and rebalancing
+    /// mutation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.points.is_empty() {
+            return if self.root == NIL {
+                Ok(())
+            } else {
+                Err("empty tree has a root node".into())
+            };
+        }
+        if self.root == NIL {
+            return Err(format!("{} points but no root node", self.points.len()));
+        }
+        let mut visited = vec![false; self.nodes.len()];
+        let mut elements = Vec::with_capacity(self.points.len());
+        self.check_node(self.root, &mut visited, &mut elements)?;
+        let mut count = vec![0usize; self.points.len()];
+        for &e in &elements {
+            match count.get_mut(e as usize) {
+                Some(c) => *c += 1,
+                None => {
+                    return Err(format!(
+                        "element index {e} out of range ({} points)",
+                        self.points.len()
+                    ))
+                }
+            }
+        }
+        if let Some(i) = count.iter().position(|&c| c == 0) {
+            return Err(format!("point {i} is not reachable from the root"));
+        }
+        if let Some(i) = count.iter().position(|&c| c > 1) {
+            return Err(format!("point {i} appears {} times in the tree", count[i]));
+        }
+        Ok(())
+    }
+
+    /// Validate the subtree at `node`, appending its elements to `out`.
+    fn check_node(
+        &self,
+        node: u32,
+        visited: &mut [bool],
+        out: &mut Vec<u32>,
+    ) -> Result<(), String> {
+        match visited.get_mut(node as usize) {
+            None => {
+                return Err(format!(
+                    "node index {node} out of bounds ({} arena nodes)",
+                    self.nodes.len()
+                ))
+            }
+            Some(slot) if *slot => {
+                return Err(format!(
+                    "node {node} is reachable twice (cycle or shared subtree)"
+                ))
+            }
+            Some(slot) => *slot = true,
+        }
+        match &self.nodes[node as usize] {
+            Node::Leaf { bucket } => {
+                if bucket.is_empty() {
+                    return Err(format!("leaf {node} has an empty bucket"));
+                }
+                if bucket.len() > self.bucket_capacity {
+                    return Err(format!(
+                        "leaf {node} holds {} elements, capacity is {}",
+                        bucket.len(),
+                        self.bucket_capacity
+                    ));
+                }
+                out.extend_from_slice(bucket);
+                Ok(())
+            }
+            Node::Internal {
+                vantage,
+                radius,
+                left,
+                right,
+                left_bounds,
+                right_bounds,
+            } => {
+                if !radius.is_finite() || *radius < 0.0 {
+                    return Err(format!("node {node} has invalid radius {radius}"));
+                }
+                if (self.points.len() as u32) <= *vantage {
+                    return Err(format!("node {node} vantage {vantage} out of range"));
+                }
+                out.push(*vantage);
+                let mut left_elems = Vec::new();
+                if *left != NIL {
+                    self.check_node(*left, visited, &mut left_elems)?;
+                }
+                let mut right_elems = Vec::new();
+                if *right != NIL {
+                    self.check_node(*right, visited, &mut right_elems)?;
+                }
+                self.check_side(node, *vantage, *radius, &left_elems, *left_bounds, true)?;
+                self.check_side(node, *vantage, *radius, &right_elems, *right_bounds, false)?;
+                out.append(&mut left_elems);
+                out.append(&mut right_elems);
+                Ok(())
+            }
+        }
+    }
+
+    /// Check one child's element set against the split radius and the
+    /// stored distance band.
+    fn check_side(
+        &self,
+        node: u32,
+        vantage: u32,
+        radius: f32,
+        elems: &[u32],
+        (lo, hi): (f32, f32),
+        is_left: bool,
+    ) -> Result<(), String> {
+        let side = if is_left { "left" } else { "right" };
+        if elems.is_empty() {
+            return Ok(());
+        }
+        if !(lo <= hi) {
+            return Err(format!(
+                "node {node} {side} bounds [{lo}, {hi}] are not ordered"
+            ));
+        }
+        let vp = &self.points[vantage as usize];
+        for &e in elems {
+            if (self.points.len() as u32) <= e {
+                return Err(format!("node {node} {side} element {e} out of range"));
+            }
+            let d = self.metric.dist(vp, &self.points[e as usize]);
+            if d < lo || d > hi {
+                return Err(format!(
+                    "node {node} {side} element {e}: d = {d} outside bounds [{lo}, {hi}]"
+                ));
+            }
+            if is_left && d > radius {
+                return Err(format!(
+                    "node {node} left element {e}: d = {d} exceeds μ = {radius}"
+                ));
+            }
+            if !is_left && d < radius {
+                return Err(format!(
+                    "node {node} right element {e}: d = {d} inside μ = {radius}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Abort with the violation when [`Self::check_invariants`] fails —
+    /// called at build/rebalance sites under `strict-invariants`.
+    #[cfg(feature = "strict-invariants")]
+    pub(crate) fn assert_invariants(&self, site: &str) {
+        if let Err(e) = self.check_invariants() {
+            // audit:allow(panic): strict-invariants mode aborts on structural corruption by design.
+            panic!("vp-tree invariant violated after {site}: {e}");
+        }
     }
 
     fn stats_rec(&self, node: u32, depth: usize, s: &mut VpTreeStats, fill: &mut usize) {
@@ -621,7 +842,10 @@ mod tests {
         let t = build(points.clone(), 4);
         assert_eq!(t.len(), 150);
         let nn = t.knn(&vec![1u8, 1, 1], 3);
-        assert!(nn.iter().all(|n| n.dist == 0.0), "duplicates are all at distance 0");
+        assert!(
+            nn.iter().all(|n| n.dist == 0.0),
+            "duplicates are all at distance 0"
+        );
     }
 
     #[test]
@@ -637,8 +861,16 @@ mod tests {
         let s = t.stats();
         // Integer distances tie heavily, so splits skew a little past the
         // perfect log2(4096/8) = 9; allow ~2x.
-        assert!(s.max_depth <= 18, "max depth {} too deep for 4096/8", s.max_depth);
-        assert!(s.mean_bucket_fill >= 2.0, "buckets nearly empty: {}", s.mean_bucket_fill);
+        assert!(
+            s.max_depth <= 18,
+            "max depth {} too deep for 4096/8",
+            s.max_depth
+        );
+        assert!(
+            s.mean_bucket_fill >= 2.0,
+            "buckets nearly empty: {}",
+            s.mean_bucket_fill
+        );
     }
 
     #[test]
@@ -680,16 +912,19 @@ mod tests {
         let metric = BlockDistance::new(Hamming);
         for q in random_points(15, 10, 20, 31) {
             let got: Vec<f32> = par.knn(&q, 6).iter().map(|n| n.dist).collect();
-            let want: Vec<f32> =
-                crate::knn::brute_force_knn(par.points(), &metric, &q, 6)
-                    .iter()
-                    .map(|n| n.dist)
-                    .collect();
+            let want: Vec<f32> = crate::knn::brute_force_knn(par.points(), &metric, &q, 6)
+                .iter()
+                .map(|n| n.dist)
+                .collect();
             assert_eq!(got, want, "parallel build must stay exact");
         }
         let s = par.stats();
         assert_eq!(s.points, 3000);
-        assert!(s.max_depth <= 20, "parallel build stays balanced: {}", s.max_depth);
+        assert!(
+            s.max_depth <= 20,
+            "parallel build stays balanced: {}",
+            s.max_depth
+        );
     }
 
     #[test]
@@ -718,8 +953,11 @@ mod tests {
         let t = build(points, 8);
         for q in random_points(10, 10, 4, 21) {
             let exact: Vec<f32> = t.knn(&q, 5).iter().map(|n| n.dist).collect();
-            let budgeted: Vec<f32> =
-                t.knn_with_budget(&q, 5, usize::MAX).iter().map(|n| n.dist).collect();
+            let budgeted: Vec<f32> = t
+                .knn_with_budget(&q, 5, usize::MAX)
+                .iter()
+                .map(|n| n.dist)
+                .collect();
             assert_eq!(exact, budgeted);
         }
     }
@@ -732,7 +970,10 @@ mod tests {
         let needle = points[2048].clone();
         let t = build(points, 16);
         let nn = t.knn_with_budget(&needle, 1, 256);
-        assert_eq!(nn[0].dist, 0.0, "exact match must be inside the first 256 visits");
+        assert_eq!(
+            nn[0].dist, 0.0,
+            "exact match must be inside the first 256 visits"
+        );
     }
 
     #[test]
@@ -742,14 +983,92 @@ mod tests {
     }
 
     #[test]
+    fn invariants_hold_for_built_trees() {
+        assert_eq!(build(vec![], 4).check_invariants(), Ok(()));
+        assert_eq!(build(vec![vec![1, 2, 3]], 4).check_invariants(), Ok(()));
+        for (n, bucket) in [(50usize, 1usize), (500, 8), (2000, 32)] {
+            let t = build(random_points(n, 10, 20, n as u64), bucket);
+            assert_eq!(t.check_invariants(), Ok(()), "n = {n}, bucket = {bucket}");
+        }
+        // Duplicate-heavy data exercises the equidistant rebalance path.
+        let mut points = vec![vec![1u8, 1, 1]; 100];
+        points.extend(random_points(50, 3, 4, 12));
+        assert_eq!(build(points, 4).check_invariants(), Ok(()));
+        let par = VpTree::build_parallel(
+            random_points(3000, 10, 20, 30),
+            BlockDistance::new(Hamming),
+            16,
+            7,
+        );
+        assert_eq!(par.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn corrupted_radius_is_detected() {
+        let mut t = build(random_points(200, 8, 4, 40), 4);
+        let root = t.root as usize;
+        if let Node::Internal { radius, .. } = &mut t.nodes[root] {
+            *radius -= 1.0; // μ no longer covers the left side
+        }
+        let err = t.check_invariants().unwrap_err();
+        assert!(err.contains("μ"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn corrupted_bounds_are_detected() {
+        let mut t = build(random_points(200, 8, 4, 41), 4);
+        let root = t.root as usize;
+        if let Node::Internal { left_bounds, .. } = &mut t.nodes[root] {
+            left_bounds.1 = left_bounds.0.max(0.5) - 0.5; // shrink the band below its max
+        }
+        assert!(t.check_invariants().is_err());
+    }
+
+    #[test]
+    fn lost_element_is_detected() {
+        let mut t = build(random_points(100, 8, 4, 42), 8);
+        for node in &mut t.nodes {
+            if let Node::Leaf { bucket } = node {
+                if bucket.len() >= 2 {
+                    bucket.pop(); // lose one element without emptying the leaf
+                    break;
+                }
+            }
+        }
+        let err = t.check_invariants().unwrap_err();
+        assert!(err.contains("not reachable"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn shared_subtree_is_detected() {
+        let mut t = build(random_points(100, 8, 4, 43), 4);
+        let root = t.root as usize;
+        if let Node::Internal { left, right, .. } = &mut t.nodes[root] {
+            *right = *left; // alias the two children
+        }
+        let err = t.check_invariants().unwrap_err();
+        assert!(err.contains("reachable twice"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn overfull_bucket_is_detected() {
+        let mut t = build(random_points(100, 8, 4, 44), 4);
+        t.bucket_capacity = 0; // stored capacity no longer matches the leaves
+        assert!(t.check_invariants().is_err());
+    }
+
+    #[test]
     fn budgeted_results_are_a_prefix_quality_subset() {
         // Budgeted distances can only be >= the exact ones, element-wise.
         let points = random_points(2000, 10, 20, 24);
         let t = build(points, 8);
         for q in random_points(8, 10, 20, 25) {
             let exact: Vec<f32> = t.knn(&q, 4).iter().map(|n| n.dist).collect();
-            let approx: Vec<f32> =
-                t.knn_with_budget(&q, 4, 128).iter().map(|n| n.dist).collect();
+            let approx: Vec<f32> = t
+                .knn_with_budget(&q, 4, 128)
+                .iter()
+                .map(|n| n.dist)
+                .collect();
             for (e, a) in exact.iter().zip(&approx) {
                 assert!(a >= e, "approx {a} better than exact {e}?");
             }

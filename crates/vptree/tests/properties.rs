@@ -23,6 +23,7 @@ proptest! {
     ) {
         let metric = BlockDistance::new(Hamming);
         let tree = VpTree::build(pts.clone(), metric, bucket, 11);
+        prop_assert_eq!(tree.check_invariants(), Ok(()));
         let got: Vec<f32> = tree.knn(&query, k).iter().map(|n| n.dist).collect();
         let metric = BlockDistance::new(Hamming);
         let want: Vec<f32> = brute_force_knn(&pts, &metric, &query, k).iter().map(|n| n.dist).collect();
@@ -64,9 +65,12 @@ proptest! {
         for p in pts {
             dynamic.insert(p);
         }
+        prop_assert_eq!(dynamic.check_invariants(), Ok(()));
         let a: Vec<f32> = bulk.knn(&query, k).iter().map(|n| n.dist).collect();
         let b: Vec<f32> = dynamic.knn(&query, k).iter().map(|n| n.dist).collect();
         prop_assert_eq!(a, b);
+        dynamic.compact();
+        prop_assert_eq!(dynamic.check_invariants(), Ok(()));
     }
 
     /// Budgeted search distances never beat the exact ones and the full
@@ -97,7 +101,9 @@ proptest! {
         depth in 1usize..6,
         tau in 0.0f32..4.0,
     ) {
-        let tree = VpPrefixTree::build(sample, BlockDistance::new(Hamming), depth, 23);
+        let tree = VpPrefixTree::build(sample.clone(), BlockDistance::new(Hamming), depth, 23);
+        prop_assert_eq!(tree.check_invariants(&sample), Ok(()));
+        prop_assert_eq!(tree.check_invariants(std::slice::from_ref(&query)), Ok(()));
         let h = tree.hash(&query);
         prop_assert!(tree.bucket_index(h) < tree.num_buckets());
         prop_assert_eq!(h, tree.hash(&query));

@@ -8,6 +8,9 @@
 //! cargo run --release --example cluster_ops
 //! ```
 
+// Examples narrate through stdout by design.
+#![allow(clippy::print_stdout)]
+
 use mendel_suite::core::{snapshot, ClusterConfig, MendelCluster, QueryParams};
 use mendel_suite::dht::NodeId;
 use mendel_suite::net::LatencyModel;
@@ -35,16 +38,24 @@ fn main() {
     cfg.replication = 2;
     let cluster = MendelCluster::build(cfg, db.clone()).expect("valid config");
     let params = QueryParams::protein();
-    let query = QuerySetSpec { count: 1, length: 250, identity: 0.85, seed: 3 }
-        .generate(&db)
-        .unwrap()
-        .remove(0);
+    let query = QuerySetSpec {
+        count: 1,
+        length: 250,
+        identity: 0.85,
+        seed: 3,
+    }
+    .generate(&db)
+    .unwrap()
+    .remove(0);
 
     // --- 1. Load balance (the Fig. 5 measurement) ---------------------
     let report = cluster.load_report();
     println!("per-node data share (two-tier vp-LSH + SHA-1, replication 2):");
     print!("{}", report.ascii_chart());
-    println!("max-min spread: {:.2} percentage points\n", report.spread_pct());
+    println!(
+        "max-min spread: {:.2} percentage points\n",
+        report.spread_pct()
+    );
 
     // --- 2. Failure + failover ----------------------------------------
     let before = cluster.query(&query.query.residues, &params).unwrap();
@@ -56,7 +67,9 @@ fn main() {
     cluster.fail_node(NodeId(2)).unwrap();
     cluster.fail_node(NodeId(7)).unwrap();
     println!("injected failures on n2 and n7 (one per group)");
-    let degraded = cluster.query_from(NodeId(0), &query.query.residues, &params).unwrap();
+    let degraded = cluster
+        .query_from(NodeId(0), &query.query.residues, &params)
+        .unwrap();
     assert_eq!(
         degraded.best().unwrap().subject,
         before.best().unwrap().subject,
@@ -68,7 +81,10 @@ fn main() {
     );
     cluster.recover_node(NodeId(2));
     cluster.recover_node(NodeId(7));
-    println!("nodes recovered; failed set = {:?}\n", cluster.failed_nodes());
+    println!(
+        "nodes recovered; failed set = {:?}\n",
+        cluster.failed_nodes()
+    );
 
     // --- 3. Elastic scale-out ------------------------------------------
     let blocks_before = cluster.total_blocks();

@@ -14,6 +14,9 @@
 //! cargo run --release --example metagenomics
 //! ```
 
+// Examples narrate through stdout by design.
+#![allow(clippy::print_stdout)]
+
 use mendel_suite::core::{ClusterConfig, MendelCluster, QueryParams};
 use mendel_suite::seq::gen::{random_sequence, MutationModel};
 use mendel_suite::seq::{Alphabet, SeqId, SeqStore, Sequence};
@@ -60,9 +63,14 @@ fn main() {
         let genome = db.get(SeqId(org as u32)).unwrap();
         let start = rng.random_range(0..genome.len() - READ_LEN);
         let window = &genome.residues[start..start + READ_LEN];
-        reads.push((noise.mutate(Alphabet::Dna, window, &mut rng), SeqId(org as u32)));
+        reads.push((
+            noise.mutate(Alphabet::Dna, window, &mut rng),
+            SeqId(org as u32),
+        ));
     }
-    println!("sample: {N_READS} reads of ~{READ_LEN} bp from {N_ORGANISMS} organisms (skewed abundance)");
+    println!(
+        "sample: {N_READS} reads of ~{READ_LEN} bp from {N_ORGANISMS} organisms (skewed abundance)"
+    );
 
     // Index the reference genomes in a DNA cluster.
     let mut cfg = ClusterConfig::small_dna();

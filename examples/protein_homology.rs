@@ -9,6 +9,9 @@
 //! cargo run --release --example protein_homology
 //! ```
 
+// Examples narrate through stdout by design.
+#![allow(clippy::print_stdout)]
+
 use mendel_suite::blast::{Blast, BlastParams};
 use mendel_suite::core::{ClusterConfig, MendelCluster, QueryParams};
 use mendel_suite::seq::gen::{NrLikeSpec, QuerySetSpec};
@@ -36,14 +39,21 @@ fn main() {
     let t = Instant::now();
     let cluster =
         MendelCluster::build(ClusterConfig::small_protein(), db.clone()).expect("valid config");
-    println!("Mendel indexing: {:?} ({} blocks)", t.elapsed(), cluster.total_blocks());
+    println!(
+        "Mendel indexing: {:?} ({} blocks)",
+        t.elapsed(),
+        cluster.total_blocks()
+    );
 
     let t = Instant::now();
     let blast = Blast::new(db.clone(), BlastParams::protein());
     println!("BLAST  indexing: {:?}\n", t.elapsed());
 
     let mendel_params = QueryParams::protein();
-    println!("{:>9} | {:>13} | {:>13} | {:>11} | {:>11}", "identity", "Mendel recall", "BLAST recall", "Mendel t/q", "BLAST t/q");
+    println!(
+        "{:>9} | {:>13} | {:>13} | {:>11} | {:>11}",
+        "identity", "Mendel recall", "BLAST recall", "Mendel t/q", "BLAST t/q"
+    );
     println!("{}", "-".repeat(72));
 
     for identity in [0.9, 0.7, 0.5] {
@@ -71,7 +81,12 @@ fn main() {
         let t = Instant::now();
         let blast_found = queries
             .iter()
-            .filter(|q| blast.search(&q.query.residues).iter().any(|h| h.subject == q.source))
+            .filter(|q| {
+                blast
+                    .search(&q.query.residues)
+                    .iter()
+                    .any(|h| h.subject == q.source)
+            })
             .count();
         let blast_t = t.elapsed() / queries.len() as u32;
 
@@ -88,10 +103,15 @@ fn main() {
     }
 
     // Show one alignment in detail.
-    let q = QuerySetSpec { count: 1, length: 240, identity: 0.75, seed: 99 }
-        .generate(&db)
-        .unwrap()
-        .remove(0);
+    let q = QuerySetSpec {
+        count: 1,
+        length: 240,
+        identity: 0.75,
+        seed: 99,
+    }
+    .generate(&db)
+    .unwrap()
+    .remove(0);
     let report = cluster.query(&q.query.residues, &mendel_params).unwrap();
     let best = report.best().expect("75% identity query must hit");
     println!(

@@ -5,6 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Examples narrate through stdout by design.
+#![allow(clippy::print_stdout)]
+
 use mendel_suite::core::{ClusterConfig, MendelCluster, QueryParams};
 use mendel_suite::seq::gen::{NrLikeSpec, QuerySetSpec};
 use std::sync::Arc;
@@ -13,9 +16,14 @@ fn main() {
     // 1. A reference database standing in for NCBI nr: 64 protein
     //    families with mutated members, Swiss-Prot residue composition.
     let db = Arc::new(
-        NrLikeSpec { families: 64, members_per_family: 3, length_range: (200, 500), ..Default::default() }
-            .generate()
-            .expect("valid spec"),
+        NrLikeSpec {
+            families: 64,
+            members_per_family: 3,
+            length_range: (200, 500),
+            ..Default::default()
+        }
+        .generate()
+        .expect("valid spec"),
     );
     println!(
         "database: {} sequences, {} residues",
@@ -26,8 +34,8 @@ fn main() {
     // 2. A cluster: 6 storage nodes in 2 groups. Indexing fragments every
     //    sequence into overlapping blocks, routes each block to a group
     //    via the vp-prefix LSH, and places it on a node via SHA-1.
-    let cluster = MendelCluster::build(ClusterConfig::small_protein(), db.clone())
-        .expect("config is valid");
+    let cluster =
+        MendelCluster::build(ClusterConfig::small_protein(), db.clone()).expect("config is valid");
     println!(
         "indexed {} blocks across {} nodes in {:?}",
         cluster.total_blocks(),
@@ -37,9 +45,14 @@ fn main() {
 
     // 3. A query: a 300-residue fragment of some database sequence,
     //    mutated to 85% identity (what a homology search looks like).
-    let queries = QuerySetSpec { count: 1, length: 300, identity: 0.85, seed: 42 }
-        .generate(&db)
-        .expect("database has long sequences");
+    let queries = QuerySetSpec {
+        count: 1,
+        length: 300,
+        identity: 0.85,
+        seed: 42,
+    }
+    .generate(&db)
+    .expect("database has long sequences");
     let q = &queries[0];
     println!(
         "\nquery: {} residues, mutated copy of {} (85% identity)",
@@ -52,7 +65,9 @@ fn main() {
     println!("\n{}", params.table());
 
     // 5. Run it and read the report.
-    let report = cluster.query(&q.query.residues, &params).expect("query is well-formed");
+    let report = cluster
+        .query(&q.query.residues, &params)
+        .expect("query is well-formed");
     println!(
         "turnaround (simulated 50-node clock): {:?}  |  {} subqueries, {} groups, {} nodes, {} anchors",
         report.turnaround(),

@@ -11,6 +11,9 @@
 //! cargo run --release --example translated_search
 //! ```
 
+// Examples narrate through stdout by design.
+#![allow(clippy::print_stdout)]
+
 use mendel_suite::core::{ClusterConfig, MendelCluster, QueryParams};
 use mendel_suite::seq::gen::NrLikeSpec;
 use mendel_suite::seq::translate::translate_codon;
@@ -48,8 +51,8 @@ fn main() {
         .generate()
         .expect("valid spec"),
     );
-    let cluster = MendelCluster::build(ClusterConfig::small_protein(), db.clone())
-        .expect("valid config");
+    let cluster =
+        MendelCluster::build(ClusterConfig::small_protein(), db.clone()).expect("valid config");
     println!(
         "protein reference: {} sequences; cluster indexed {} blocks\n",
         db.len(),
@@ -72,7 +75,9 @@ fn main() {
         if minus_strand {
             dna = reverse_complement(&dna);
         }
-        let hits = cluster.query_translated(&dna, &params).expect("valid query");
+        let hits = cluster
+            .query_translated(&dna, &params)
+            .expect("valid query");
         match hits.first() {
             Some((frame, hit)) if hit.subject == source => {
                 correct += 1;

@@ -44,8 +44,14 @@ fn every_database_sequence_finds_itself() {
 fn mutated_fragments_locate_their_sources() {
     let db = family_db(2);
     let cluster = MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap();
-    let queries =
-        QuerySetSpec { count: 12, length: 120, identity: 0.8, seed: 3 }.generate(&db).unwrap();
+    let queries = QuerySetSpec {
+        count: 12,
+        length: 120,
+        identity: 0.8,
+        seed: 3,
+    }
+    .generate(&db)
+    .unwrap();
     let params = QueryParams::protein();
     let mut found = 0;
     for q in &queries {
@@ -54,7 +60,11 @@ fn mutated_fragments_locate_their_sources() {
             found += 1;
         }
     }
-    assert_eq!(found, queries.len(), "80%-identity fragments must all be found");
+    assert_eq!(
+        found,
+        queries.len(),
+        "80%-identity fragments must all be found"
+    );
 }
 
 #[test]
@@ -63,7 +73,10 @@ fn family_structure_is_reflected_in_rankings() {
     let cluster = MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap();
     let q = db.get_by_name("fam7_m0").unwrap();
     let report = cluster.query(&q.residues, &QueryParams::protein()).unwrap();
-    assert!(report.hits.len() >= 3, "ancestor should find its descendants");
+    assert!(
+        report.hits.len() >= 3,
+        "ancestor should find its descendants"
+    );
     for hit in report.hits.iter().take(3) {
         assert!(
             db.get(hit.subject).unwrap().name.starts_with("fam7_"),
@@ -82,7 +95,10 @@ fn entry_point_symmetry_holds_cluster_wide() {
     let reference = cluster.query_from(NodeId(0), &q, &params).unwrap().hits;
     for node in 1..cluster.config().nodes as u16 {
         let hits = cluster.query_from(NodeId(node), &q, &params).unwrap().hits;
-        assert_eq!(hits, reference, "entry node {node} must produce identical results");
+        assert_eq!(
+            hits, reference,
+            "entry node {node} must produce identical results"
+        );
     }
 }
 
@@ -128,11 +144,21 @@ fn dna_and_protein_clusters_coexist() {
     let dq = dna_db.get(SeqId(2)).unwrap().residues[100..300].to_vec();
     let pr = prot_db.get(SeqId(3)).unwrap().residues.clone();
     assert_eq!(
-        dna_cluster.query(&dq, &QueryParams::dna()).unwrap().best().unwrap().subject,
+        dna_cluster
+            .query(&dq, &QueryParams::dna())
+            .unwrap()
+            .best()
+            .unwrap()
+            .subject,
         SeqId(2)
     );
     assert_eq!(
-        prot_cluster.query(&pr, &QueryParams::protein()).unwrap().best().unwrap().subject,
+        prot_cluster
+            .query(&pr, &QueryParams::protein())
+            .unwrap()
+            .best()
+            .unwrap()
+            .subject,
         SeqId(3)
     );
 }
@@ -159,10 +185,22 @@ fn restored_snapshot_accepts_incremental_ingest() {
     let ids = restored.insert_sequences(new_seqs.clone()).unwrap();
     let params = QueryParams::protein();
     let r = restored.query(&new_seqs[2].residues, &params).unwrap();
-    assert_eq!(r.best().unwrap().subject, ids[2], "post-restore ingest must be searchable");
+    assert_eq!(
+        r.best().unwrap().subject,
+        ids[2],
+        "post-restore ingest must be searchable"
+    );
     // Old content still intact.
     let old = db.get(SeqId(5)).unwrap().residues.clone();
-    assert_eq!(restored.query(&old, &params).unwrap().best().unwrap().subject, SeqId(5));
+    assert_eq!(
+        restored
+            .query(&old, &params)
+            .unwrap()
+            .best()
+            .unwrap()
+            .subject,
+        SeqId(5)
+    );
 }
 
 #[test]
@@ -200,5 +238,8 @@ fn stats_and_timings_are_consistent() {
     );
     assert!(r.stats.groups_contacted <= cluster.config().groups);
     assert!(r.stats.nodes_contacted <= cluster.config().nodes);
-    assert!(r.stats.candidates >= r.stats.anchors, "filters can only reduce");
+    assert!(
+        r.stats.candidates >= r.stats.anchors,
+        "filters can only reduce"
+    );
 }

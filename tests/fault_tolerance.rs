@@ -44,8 +44,9 @@ fn single_failure_per_group_is_masked_with_replication_two() {
     let db = db(2);
     let cluster = replicated_cluster(&db, 2);
     let params = QueryParams::protein();
-    let queries: Vec<Vec<u8>> =
-        (0..6).map(|i| db.get(SeqId(i * 5)).unwrap().residues.clone()).collect();
+    let queries: Vec<Vec<u8>> = (0..6)
+        .map(|i| db.get(SeqId(i * 5)).unwrap().residues.clone())
+        .collect();
     let baselines: Vec<_> = queries
         .iter()
         .map(|q| cluster.query(q, &params).unwrap().best().unwrap().subject)
@@ -54,8 +55,16 @@ fn single_failure_per_group_is_masked_with_replication_two() {
     cluster.fail_node(NodeId(1)).unwrap();
     cluster.fail_node(NodeId(5)).unwrap();
     for (q, baseline) in queries.iter().zip(&baselines) {
-        let best = cluster.query_from(NodeId(0), q, &params).unwrap().best().unwrap().subject;
-        assert_eq!(best, *baseline, "failures must be invisible behind replicas");
+        let best = cluster
+            .query_from(NodeId(0), q, &params)
+            .unwrap()
+            .best()
+            .unwrap()
+            .subject;
+        assert_eq!(
+            best, *baseline,
+            "failures must be invisible behind replicas"
+        );
     }
 }
 
@@ -83,7 +92,10 @@ fn recovery_restores_full_results() {
     cluster.fail_node(NodeId(3)).unwrap();
     cluster.recover_node(NodeId(3));
     let after = cluster.query(&q, &params).unwrap().hits;
-    assert_eq!(before, after, "recovery must restore exact pre-failure results");
+    assert_eq!(
+        before, after,
+        "recovery must restore exact pre-failure results"
+    );
 }
 
 #[test]
@@ -125,7 +137,11 @@ fn repeated_scale_out_keeps_results_stable() {
     let blocks = cluster.total_blocks();
     for _ in 0..3 {
         cluster.add_node();
-        assert_eq!(cluster.total_blocks(), blocks, "rebalance must conserve blocks");
+        assert_eq!(
+            cluster.total_blocks(),
+            blocks,
+            "rebalance must conserve blocks"
+        );
         assert_eq!(cluster.query(&q, &params).unwrap().hits, baseline);
     }
     assert_eq!(cluster.topology().num_nodes(), 11);
@@ -149,7 +165,11 @@ fn heartbeat_suspicion_drives_failover() {
     let mut monitor = HeartbeatMonitor::new(Duration::from_millis(100));
     let now = Instant::now();
     for n in 0..8u16 {
-        let when = if n == 2 { now - Duration::from_millis(200) } else { now };
+        let when = if n == 2 {
+            now - Duration::from_millis(200)
+        } else {
+            now
+        };
         monitor.observe_at(NodeAddr(n), when);
     }
     let suspects = monitor.suspects_at(now);
@@ -159,8 +179,16 @@ fn heartbeat_suspicion_drives_failover() {
     for s in &suspects {
         cluster.fail_node(NodeId(s.0)).unwrap();
     }
-    let masked = cluster.query_from(NodeId(0), &q, &params).unwrap().best().unwrap().subject;
-    assert_eq!(masked, baseline, "suspected node's data must be served by replicas");
+    let masked = cluster
+        .query_from(NodeId(0), &q, &params)
+        .unwrap()
+        .best()
+        .unwrap()
+        .subject;
+    assert_eq!(
+        masked, baseline,
+        "suspected node's data must be served by replicas"
+    );
 
     // The node beats again: clear the suspicion and recover.
     monitor.observe(NodeAddr(2));
@@ -176,8 +204,12 @@ fn scale_out_actually_moves_load() {
     let before = cluster.load_report();
     let new = cluster.add_node();
     let after = cluster.load_report();
-    let new_bytes =
-        after.per_node.iter().find(|(n, _)| *n == new).map(|(_, b)| *b).unwrap();
+    let new_bytes = after
+        .per_node
+        .iter()
+        .find(|(n, _)| *n == new)
+        .map(|(_, b)| *b)
+        .unwrap();
     assert!(new_bytes > 0, "new node must hold data");
     assert_eq!(after.total(), before.total(), "no data created or lost");
 }

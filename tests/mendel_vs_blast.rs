@@ -42,8 +42,14 @@ fn high_identity_recall_matches() {
     let cluster = MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap();
     let blast = Blast::new(db.clone(), BlastParams::protein());
     let params = QueryParams::protein();
-    let queries =
-        QuerySetSpec { count: 10, length: 150, identity: 0.85, seed: 5 }.generate(&db).unwrap();
+    let queries = QuerySetSpec {
+        count: 10,
+        length: 150,
+        identity: 0.85,
+        seed: 5,
+    }
+    .generate(&db)
+    .unwrap();
     for q in &queries {
         let m_found = cluster
             .query(&q.query.residues, &params)
@@ -51,7 +57,10 @@ fn high_identity_recall_matches() {
             .hits
             .iter()
             .any(|h| h.subject == q.source);
-        let b_found = blast.search(&q.query.residues).iter().any(|h| h.subject == q.source);
+        let b_found = blast
+            .search(&q.query.residues)
+            .iter()
+            .any(|h| h.subject == q.source);
         assert!(m_found, "Mendel misses an 85%-identity source");
         assert!(b_found, "BLAST misses an 85%-identity source");
     }
@@ -92,7 +101,10 @@ fn neither_engine_hallucinates_on_random_queries() {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
     for _ in 0..5 {
         let q = random_sequence(Alphabet::Protein, 250, &mut rng);
-        assert!(cluster.query(&q, &strict_m).unwrap().hits.is_empty(), "Mendel false positive");
+        assert!(
+            cluster.query(&q, &strict_m).unwrap().hits.is_empty(),
+            "Mendel false positive"
+        );
         assert!(blast.search(&q).is_empty(), "BLAST false positive");
     }
 }

@@ -2,7 +2,9 @@
 //! arbitrary inputs, spanning the block pipeline, the DHT placement, and
 //! the query engine.
 
-use mendel_suite::core::{make_blocks, ClusterConfig, MendelCluster, QueryParams};
+use mendel_suite::core::{
+    check_block_chain, make_blocks, ClusterConfig, MendelCluster, QueryParams,
+};
 use mendel_suite::dht::{FlatPlacement, GroupId, Topology};
 use mendel_suite::seq::gen::NrLikeSpec;
 use mendel_suite::seq::{Alphabet, SeqId, Sequence};
@@ -21,6 +23,7 @@ proptest! {
         let mut s = Sequence::from_codes("p", Alphabet::Protein, residues.clone());
         s.id = SeqId(1);
         let blocks = make_blocks(&s, block_len);
+        prop_assert_eq!(check_block_chain(&blocks, s.len()), Ok(()));
         prop_assert_eq!(blocks.len(), residues.len() - block_len + 1);
         let mut rebuilt = blocks[0].window.clone();
         for b in &blocks[1..] {

@@ -1,0 +1,720 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses:
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`] macros, the [`strategy::Strategy`] trait with
+//! implementations for integer/float ranges, `&str` regex subsets,
+//! tuples, [`collection::vec`], [`option::of`] and `any::<T>()`, plus
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, by design: case generation is seeded
+//! deterministically from the test's module path and name (every run
+//! explores the same cases — failures are always reproducible), and
+//! there is no shrinking — a failing case panics with the generated
+//! inputs Debug-printed so it can be turned into a unit test directly.
+
+/// Per-test configuration; only the case count is tunable.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic RNG and the case-level error type.
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; generate a fresh case.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    /// Stable 64-bit fingerprint of a test's identity (FNV-1a).
+    pub fn fingerprint(name: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.as_bytes() {
+            hash ^= *byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// SplitMix64 generator; cheap, deterministic, and good enough for
+    /// test-case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed a generator.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)` via multiply-shift; `bound` must
+        /// be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its built-in implementations.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {
+            $(
+                impl Strategy for Range<$ty> {
+                    type Value = $ty;
+
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        assert!(
+                            self.start < self.end,
+                            "empty range strategy {:?}", self
+                        );
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        self.start.wrapping_add(rng.below(span) as $ty)
+                    }
+                }
+
+                impl Strategy for RangeInclusive<$ty> {
+                    type Value = $ty;
+
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        assert!(
+                            self.start() <= self.end(),
+                            "empty range strategy {:?}", self
+                        );
+                        let span = (*self.end() as i128 - *self.start() as i128) as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $ty;
+                        }
+                        self.start().wrapping_add(rng.below(span + 1) as $ty)
+                    }
+                }
+            )*
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($ty:ty),*) => {
+            $(
+                impl Strategy for Range<$ty> {
+                    type Value = $ty;
+
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        assert!(
+                            self.start < self.end,
+                            "empty range strategy {:?}", self
+                        );
+                        self.start + (self.end - self.start) * rng.unit_f64() as $ty
+                    }
+                }
+            )*
+        };
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {
+            $(
+                #[allow(non_snake_case)]
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        let ($($name,)+) = self;
+                        ($($name.generate(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),*) => {
+            $(
+                impl Arbitrary for $ty {
+                    fn arbitrary(rng: &mut TestRng) -> $ty {
+                        rng.next_u64() as $ty
+                    }
+                }
+            )*
+        };
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            rng.unit_f64() as f32
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated text readable in failures.
+            (0x20 + rng.below(0x5f) as u8) as char
+        }
+    }
+
+    /// Strategy over a type's whole domain.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    // --- `&str` as a regex-subset string strategy -----------------------
+    //
+    // Supports the subset the workspace's tests use: literal characters,
+    // `.` (printable ASCII), character classes `[...]` with ranges and a
+    // leading literal `-`, and `{m,n}` / `{n}` quantifiers.
+
+    enum Atom {
+        Choice(Vec<char>),
+        AnyPrintable,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| p + i + 1)
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                    let mut choice = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            assert!(lo <= hi, "bad class range in {pattern:?}");
+                            for c in lo..=hi {
+                                choice.push(c);
+                            }
+                            j += 3;
+                        } else {
+                            choice.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    assert!(!choice.is_empty(), "empty class in {pattern:?}");
+                    i = close + 1;
+                    Atom::Choice(choice)
+                }
+                '.' => {
+                    i += 1;
+                    Atom::AnyPrintable
+                }
+                '\\' => {
+                    i += 2;
+                    Atom::Choice(vec![chars[i - 1]])
+                }
+                c => {
+                    i += 1;
+                    Atom::Choice(vec![c])
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse()
+                            .unwrap_or_else(|_| panic!("bad bound in {pattern:?}")),
+                        hi.parse()
+                            .unwrap_or_else(|_| panic!("bad bound in {pattern:?}")),
+                    ),
+                    None => {
+                        let n = body
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad bound in {pattern:?}"));
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "inverted quantifier in {pattern:?}");
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    impl Strategy for str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in parse_pattern(self) {
+                let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+                for _ in 0..count {
+                    match &piece.atom {
+                        Atom::Choice(choice) => {
+                            out.push(choice[rng.below(choice.len() as u64) as usize]);
+                        }
+                        Atom::AnyPrintable => {
+                            out.push((0x20 + rng.below(0x5f) as u8) as char);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible element counts for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range {r:?}");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range {r:?}");
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max_inclusive - self.size.min + 1;
+            let len = self.size.min + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` roughly three cases in four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file conventionally imports.
+
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), left, right
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+), left, right
+                );
+            }
+        }
+    };
+}
+
+/// Fail the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left != *right,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left
+                );
+            }
+        }
+    };
+}
+
+/// Discard the current case (draw a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let base = $crate::test_runner::fingerprint(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut accepted: u32 = 0;
+                let mut attempt: u64 = 0;
+                while accepted < config.cases {
+                    attempt += 1;
+                    assert!(
+                        attempt <= config.cases as u64 * 64 + 1024,
+                        "proptest {}: too many rejected cases ({} accepted of {})",
+                        stringify!($name), accepted, config.cases,
+                    );
+                    let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    let outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                            // Regenerate the case from its seed so the
+                            // failing inputs can be reported.
+                            let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                            let mut rendered = ::std::string::String::new();
+                            $(
+                                let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                                rendered.push_str(&format!(
+                                    "  {} = {:?}\n", stringify!($arg), $arg,
+                                ));
+                            )+
+                            panic!(
+                                "proptest {} failed at case {}:\n{}\ninputs:\n{}",
+                                stringify!($name), accepted, message, rendered,
+                            );
+                        }
+                    }
+                }
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..500 {
+            let v = Strategy::generate(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::generate(&(1usize..=4), &mut rng);
+            assert!((1..=4).contains(&w));
+            let f = Strategy::generate(&(0.25f64..0.5), &mut rng);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_range() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..200 {
+            let v = Strategy::generate(&crate::collection::vec(0u8..4, 2..6), &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::from_seed(13);
+        for _ in 0..200 {
+            let s = Strategy::generate("[a-c]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = Strategy::generate("[-a-z0-9._/]{0,12}", &mut rng);
+            assert!(t.len() <= 12);
+            assert!(t.chars().all(|c| c == '-'
+                || c == '.'
+                || c == '_'
+                || c == '/'
+                || c.is_ascii_lowercase()
+                || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let gen = |seed| {
+            let mut rng = TestRng::from_seed(seed);
+            Strategy::generate(&crate::collection::vec(any::<u64>(), 4..5), &mut rng)
+        };
+        assert_eq!(gen(42), gen(42));
+        assert_ne!(gen(42), gen(43));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(v in crate::collection::vec(0u32..100, 0..10), flip in any::<bool>()) {
+            prop_assume!(v.len() != 3);
+            let total: u32 = v.iter().sum();
+            prop_assert!(total <= 100 * v.len() as u32);
+            prop_assert_eq!(v.len() == 0, v.is_empty());
+            prop_assert_ne!(flip as u32, 2);
+        }
+
+        #[test]
+        fn optional_values(o in crate::option::of(any::<i64>())) {
+            if let Some(x) = o {
+                prop_assert_eq!(x, x);
+            }
+        }
+    }
+}

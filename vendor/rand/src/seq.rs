@@ -1,0 +1,99 @@
+//! Sequence-related helpers: in-place shuffles and index sampling.
+
+use crate::RngCore;
+
+/// Uniform index in `[lo, hi)` for possibly-unsized generators.
+fn index_in<R: RngCore + ?Sized>(rng: &mut R, lo: usize, hi: usize) -> usize {
+    debug_assert!(lo < hi);
+    let span = (hi - lo) as u64;
+    lo + ((rng.next_u64() as u128 * span as u128) >> 64) as usize
+}
+
+/// Extension methods on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffle the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = index_in(rng, 0, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = index_in(rng, 0, self.len());
+            self.get(i)
+        }
+    }
+}
+
+pub mod index {
+    //! Sampling of distinct indices.
+
+    use crate::RngCore;
+
+    /// `amount` distinct indices sampled uniformly from `0..length`, in
+    /// random order (partial Fisher–Yates).
+    ///
+    /// # Panics
+    /// Panics if `amount > length`.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> Vec<usize> {
+        assert!(amount <= length, "cannot sample {amount} of {length}");
+        let mut indices: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = super::index_in(rng, i, length);
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        indices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sample_yields_distinct_in_range() {
+        let mut rng = SplitMix64(12);
+        let s = index::sample(&mut rng, 100, 10);
+        assert_eq!(s.len(), 10);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 10);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn choose_from_empty_is_none() {
+        let mut rng = SplitMix64(13);
+        let v: Vec<u8> = Vec::new();
+        assert!(v.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Exposes the API surface the workspace uses: [`join`] (genuinely
+//! parallel, via scoped threads) and the `par_iter`/`into_par_iter`
+//! prelude traits (sequential — they return the ordinary std iterators,
+//! which keeps every adapter chain compiling and every result identical
+//! in order and content). A later performance PR can swap the sequential
+//! bridge for a real work-stealing pool without touching call sites.
+
+/// Run both closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let handle = s.spawn(oper_a);
+        let rb = oper_b();
+        let ra = match handle.join() {
+            Ok(ra) => ra,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        (ra, rb)
+    })
+}
+
+pub mod prelude {
+    //! Parallel-iterator traits, bridged to sequential std iterators.
+
+    /// `.into_par_iter()` for owned collections.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Convert into a (sequentially executed) "parallel" iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `.par_iter()` for borrowed collections.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed item type.
+        type Item: 'data;
+        /// The iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterate by reference (sequentially executed).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+
+    /// `.par_iter_mut()` for mutable borrows.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The borrowed item type.
+        type Item: 'data;
+        /// The iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterate by mutable reference (sequentially executed).
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.as_mut_slice().iter_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_nests() {
+        let ((a, b), c) = super::join(|| super::join(|| 1, || 2), || 3);
+        assert_eq!((a, b, c), (1, 2, 3));
+    }
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = v.into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+}

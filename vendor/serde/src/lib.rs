@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes through serde at runtime — the wire format is the
+//! from-scratch codec in `mendel-net`. With no registry access in the
+//! build environment, this stub keeps those derives compiling: the traits
+//! are markers satisfied by every type, and the derive macros expand to
+//! nothing (while still accepting `#[serde(...)]` helper attributes).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    //! Deserialization-side names.
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    //! Serialization-side names.
+    pub use super::Serialize;
+}

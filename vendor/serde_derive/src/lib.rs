@@ -1,0 +1,20 @@
+//! Inert derive macros for the offline `serde` stand-in.
+//!
+//! The companion `serde` stub blanket-implements its marker traits for
+//! every type, so these derives have nothing to generate — they exist so
+//! `#[derive(Serialize, Deserialize)]` (and `#[serde(...)]` helper
+//! attributes) parse exactly as they do with the real crate.
+
+use proc_macro::TokenStream;
+
+/// Inert `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Inert `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
