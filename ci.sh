@@ -57,6 +57,15 @@ if [ "$MODE" != "quick" ]; then
         cargo test --workspace --features strict-invariants -q
 fi
 
+# 6. Seeded chaos suite (DESIGN.md §9): deterministic fault injection,
+#    heartbeat failover, and re-replication repair under the invariant
+#    checkers. Fast fixed seeds only; the multi-seed sweep stays behind
+#    `--ignored`.
+if [ "$MODE" != "quick" ]; then
+    step "chaos suite (strict-invariants)" \
+        cargo test --test chaos --features strict-invariants -q
+fi
+
 echo
 if [ "$FAILED" -ne 0 ]; then
     echo "CI gate FAILED"

@@ -9,18 +9,22 @@ use crate::metric::BlockMetric;
 use crate::node::{DbCell, StorageNode};
 use crate::params::QueryParams;
 use crate::query::{identity, subquery_offsets};
-use crate::report::{MendelHit, QueryReport, QueryStats, StageTimings};
+use crate::report::{
+    CoverageReport, GroupCoverage, MendelHit, QueryReport, QueryStats, StageTimings,
+};
 use mendel_align::hsp::{bin_by_subject, merge_overlapping};
 use mendel_align::karlin::solve_ungapped_background;
 use mendel_align::{extend_gapped_banded, Hsp, KarlinParams};
+use mendel_dht::sha1::sha1_u64;
 use mendel_dht::{FlatPlacement, GroupId, LoadReport, NodeId, Topology};
 use mendel_net::latency::parallel_max;
-use mendel_net::NodeSpeed;
+use mendel_net::{HeartbeatMonitor, NodeSpeed};
 use mendel_seq::{Alphabet, ScoringMatrix, SeqStore};
 use mendel_vptree::{GroupAssignment, VpPrefixTree};
 use parking_lot::RwLock;
 use rayon::prelude::*;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -32,6 +36,43 @@ const MSG_OVERHEAD_BYTES: usize = 64;
 /// strongest first); bounds worst-case finalize cost on repetitive data.
 const MAX_GAPPED_ANCHORS_PER_SUBJECT: usize = 16;
 
+/// Why (and when) a node entered the failed set.
+#[derive(Debug, Clone, Copy)]
+struct FailureRecord {
+    /// True when the failure detector suspected the node
+    /// ([`MendelCluster::sync_failure_detector`]); false for an
+    /// operator-initiated [`MendelCluster::fail_node`]. Only auto
+    /// failures are auto-recovered when the node beats again.
+    auto: bool,
+    /// The group's rebalance epoch when the node went down. A mismatch
+    /// at recovery means placement moved while the node was dark — its
+    /// contents are stale and the group must be re-placed.
+    group_epoch: u64,
+}
+
+/// What one [`MendelCluster::sync_failure_detector`] pass changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailoverDelta {
+    /// Nodes newly added to the failed set (detector suspects).
+    pub suspected: Vec<NodeId>,
+    /// Auto-failed nodes recovered because they beat again.
+    pub recovered: Vec<NodeId>,
+}
+
+/// What one [`MendelCluster::repair`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Groups where at least one copy was added.
+    pub groups_repaired: usize,
+    /// Distinct block keys examined across all groups.
+    pub blocks_scanned: usize,
+    /// Block copies created to restore the replication factor.
+    pub copies_added: u64,
+    /// Blocks with **no** live replica — repair cannot recreate these;
+    /// they come back only when a holder recovers.
+    pub unreachable: usize,
+}
+
 /// A running Mendel cluster over an indexed reference database.
 pub struct MendelCluster {
     config: ClusterConfig,
@@ -40,7 +81,11 @@ pub struct MendelCluster {
     assignment: GroupAssignment,
     placement: FlatPlacement,
     nodes: RwLock<Vec<Arc<RwLock<StorageNode>>>>,
-    failed: RwLock<HashSet<NodeId>>,
+    failed: RwLock<HashMap<NodeId, FailureRecord>>,
+    /// Per-group rebalance counters backing stale-recovery detection.
+    group_epochs: RwLock<Vec<u64>>,
+    /// Block copies created by [`Self::repair`] since cluster start.
+    repair_moves: AtomicU64,
     db: DbCell,
     karlin: KarlinParams,
     index_elapsed: Duration,
@@ -82,6 +127,7 @@ impl MendelCluster {
             .collect();
 
         let karlin = Self::default_karlin(config.alphabet);
+        let groups = config.groups;
         let cluster = MendelCluster {
             config,
             topology: RwLock::new(topology),
@@ -89,7 +135,9 @@ impl MendelCluster {
             assignment,
             placement,
             nodes: RwLock::new(nodes),
-            failed: RwLock::new(HashSet::new()),
+            failed: RwLock::new(HashMap::new()),
+            group_epochs: RwLock::new(vec![0; groups]),
+            repair_moves: AtomicU64::new(0),
             db,
             karlin,
             index_elapsed: Duration::ZERO,
@@ -238,7 +286,7 @@ impl MendelCluster {
         topo.group_members(g)
             .iter()
             .copied()
-            .filter(|n| !failed.contains(n))
+            .filter(|n| !failed.contains_key(n))
             .collect()
     }
 
@@ -276,7 +324,7 @@ impl MendelCluster {
         }
         let matrix = self.resolve_matrix(&params.m)?;
         let topo = self.topology.read().clone();
-        if topo.node_group(entry).is_none() || self.failed.read().contains(&entry) {
+        if topo.node_group(entry).is_none() || self.failed.read().contains_key(&entry) {
             return Err(MendelError::NoSuchNode(entry));
         }
         let entry_speed = self.speed_of(&topo, entry);
@@ -403,6 +451,7 @@ impl MendelCluster {
                 finalize,
             },
             stats,
+            coverage: self.coverage(),
         })
     }
 
@@ -491,24 +540,198 @@ impl MendelCluster {
 
     /// Inject a node failure: the node stops serving queries. With
     /// `replication ≥ 2`, its blocks remain reachable on replicas.
+    /// Idempotent: failing an already-failed node is `Ok` and keeps the
+    /// original failure record.
     pub fn fail_node(&self, node: NodeId) -> Result<(), MendelError> {
-        if self.topology.read().node_group(node).is_none() {
-            return Err(MendelError::NoSuchNode(node));
-        }
-        self.failed.write().insert(node);
-        Ok(())
+        self.mark_failed(node, false).map(|_| ())
     }
 
-    /// Recover a previously failed node (its data never left).
-    pub fn recover_node(&self, node: NodeId) {
-        self.failed.write().remove(&node);
+    fn mark_failed(&self, node: NodeId, auto: bool) -> Result<bool, MendelError> {
+        let Some(g) = self.topology.read().node_group(node) else {
+            return Err(MendelError::NoSuchNode(node));
+        };
+        let epoch = self.group_epochs.read()[g.0 as usize];
+        let mut failed = self.failed.write();
+        if failed.contains_key(&node) {
+            return Ok(false);
+        }
+        failed.insert(
+            node,
+            FailureRecord {
+                auto,
+                group_epoch: epoch,
+            },
+        );
+        Ok(true)
+    }
+
+    /// Recover a previously failed node (its in-memory data never left).
+    /// Errors with [`MendelError::NoSuchNode`] for ids outside the
+    /// topology; recovering a node that is not failed is `Ok`. If the
+    /// node's group rebalanced while it was down (its failure-time epoch
+    /// no longer matches), its contents reflect a stale placement — the
+    /// whole group is re-placed so queries never see pre-rebalance
+    /// layout.
+    pub fn recover_node(&self, node: NodeId) -> Result<(), MendelError> {
+        let Some(g) = self.topology.read().node_group(node) else {
+            return Err(MendelError::NoSuchNode(node));
+        };
+        let record = self.failed.write().remove(&node);
+        if let Some(rec) = record {
+            let current = self.group_epochs.read()[g.0 as usize];
+            if rec.group_epoch != current {
+                let topo = self.topology.read().clone();
+                self.rebalance_group(&topo, g);
+            }
+        }
+        Ok(())
     }
 
     /// Currently failed nodes.
     pub fn failed_nodes(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.failed.read().iter().copied().collect();
+        let mut v: Vec<NodeId> = self.failed.read().keys().copied().collect();
         v.sort_unstable();
         v
+    }
+
+    /// Fold a [`HeartbeatMonitor`]'s view into the failed set, closing
+    /// the detect→route-around loop. Convention: heartbeat address
+    /// `NodeAddr(i)` is storage node `NodeId(i)`; addresses outside the
+    /// topology (e.g. the monitor's own endpoint) are ignored.
+    ///
+    /// Suspects not already failed are auto-failed; auto-failed nodes
+    /// that beat again are recovered (through [`Self::recover_node`], so
+    /// stale-placement recovery applies). Operator-failed nodes are
+    /// never auto-recovered — suspicion is a hint, an explicit
+    /// `fail_node` is a decision.
+    pub fn sync_failure_detector(&self, monitor: &HeartbeatMonitor) -> FailoverDelta {
+        let mut delta = FailoverDelta::default();
+        for addr in monitor.suspects() {
+            let node = NodeId(addr.0);
+            if let Ok(true) = self.mark_failed(node, true) {
+                delta.suspected.push(node);
+            }
+        }
+        for addr in monitor.alive() {
+            let node = NodeId(addr.0);
+            let is_auto = matches!(self.failed.read().get(&node), Some(r) if r.auto);
+            if is_auto && self.recover_node(node).is_ok() {
+                delta.recovered.push(node);
+            }
+        }
+        delta
+    }
+
+    /// Re-replicate under-replicated blocks onto live group members,
+    /// restoring the configured replication factor where enough live
+    /// nodes exist. Copy targets follow the same deterministic ring walk
+    /// as [`FlatPlacement::replicas`], so repeated repairs are
+    /// idempotent. Blocks whose every replica is down are reported as
+    /// `unreachable` — they reappear when a holder recovers.
+    pub fn repair(&self) -> RepairReport {
+        let topo = self.topology.read().clone();
+        let mut report = RepairReport::default();
+        for g in topo.group_ids() {
+            let live = self.live_members(&topo, g);
+            let nodes = self.nodes.read();
+            let mut expected: HashSet<crate::block::BlockKey> = HashSet::new();
+            for &m in topo.group_members(g) {
+                expected.extend(nodes[m.0 as usize].read().block_keys());
+            }
+            let mut holders: BTreeMap<crate::block::BlockKey, Vec<NodeId>> = BTreeMap::new();
+            for &m in &live {
+                for k in nodes[m.0 as usize].read().block_keys() {
+                    holders.entry(k).or_default().push(m);
+                }
+            }
+            report.blocks_scanned += expected.len();
+            report.unreachable += expected.len() - holders.len();
+            if live.is_empty() {
+                continue;
+            }
+            let want = self.placement.replication.min(live.len());
+            let mut adds: BTreeMap<NodeId, Vec<crate::block::Block>> = BTreeMap::new();
+            let mut cache: HashMap<NodeId, BTreeMap<crate::block::BlockKey, crate::block::Block>> =
+                HashMap::new();
+            let mut group_added = 0u64;
+            for (key, hs) in &holders {
+                if hs.len() >= want {
+                    continue;
+                }
+                let src = hs[0];
+                let src_blocks = cache.entry(src).or_insert_with(|| {
+                    nodes[src.0 as usize]
+                        .read()
+                        .blocks()
+                        .into_iter()
+                        .map(|b| (b.key(), b))
+                        .collect()
+                });
+                let Some(block) = src_blocks.get(key) else {
+                    continue;
+                };
+                let start = (sha1_u64(&key.as_bytes()) % live.len() as u64) as usize;
+                let mut have = hs.len();
+                for i in 0..live.len() {
+                    if have >= want {
+                        break;
+                    }
+                    let target = live[(start + i) % live.len()];
+                    if hs.contains(&target) {
+                        continue;
+                    }
+                    adds.entry(target).or_default().push(block.clone());
+                    have += 1;
+                    group_added += 1;
+                }
+            }
+            if group_added > 0 {
+                report.groups_repaired += 1;
+            }
+            report.copies_added += group_added;
+            for (node, batch) in adds {
+                nodes[node.0 as usize].write().insert_blocks(batch);
+            }
+        }
+        self.repair_moves
+            .fetch_add(report.copies_added, Ordering::Relaxed);
+        report
+    }
+
+    /// Block availability right now: per group, the distinct keys held
+    /// by *any* member (the placed universe — in-process data never
+    /// leaves a failed node) versus the keys reachable on live members.
+    /// `degraded` means some placed block has no live replica and query
+    /// answers may be incomplete.
+    pub fn coverage(&self) -> CoverageReport {
+        let topo = self.topology.read().clone();
+        let nodes = self.nodes.read();
+        let failed = self.failed.read();
+        let mut out = CoverageReport::default();
+        for g in topo.group_ids() {
+            let mut expected: HashSet<crate::block::BlockKey> = HashSet::new();
+            let mut reachable: HashSet<crate::block::BlockKey> = HashSet::new();
+            let mut live_members = 0;
+            for &m in topo.group_members(g) {
+                let keys = nodes[m.0 as usize].read().block_keys();
+                let is_live = !failed.contains_key(&m);
+                if is_live {
+                    live_members += 1;
+                    reachable.extend(keys.iter().copied());
+                }
+                expected.extend(keys);
+            }
+            out.blocks_expected += expected.len();
+            out.blocks_reachable += reachable.len();
+            out.per_group.push(GroupCoverage {
+                group: g,
+                expected: expected.len(),
+                reachable: reachable.len(),
+                live_members,
+            });
+        }
+        out.degraded = out.blocks_reachable < out.blocks_expected;
+        out
     }
 
     // ---- Elasticity (§VII-B) ------------------------------------------
@@ -555,20 +778,32 @@ impl MendelCluster {
                 self.config.seed ^ (m.0 as u64 + 1),
             );
         }
+        let failed = self.failed.read();
         let mut batches: BTreeMap<NodeId, Vec<crate::block::Block>> = BTreeMap::new();
         for (key, block) in unique {
             for node in self.placement.replicas(topo, g, &key.as_bytes()) {
+                // A down node cannot accept writes; the block stays
+                // under-replicated until repair() or the node's own
+                // stale-recovery rebalance.
+                if failed.contains_key(&node) {
+                    continue;
+                }
                 batches.entry(node).or_default().push(block.clone());
             }
         }
+        drop(failed);
         batches.into_par_iter().for_each(|(node, batch)| {
             nodes[node.0 as usize].write().insert_blocks(batch);
         });
+        // Any node that was down during this re-placement now holds a
+        // stale layout; the epoch bump makes recover_node detect that.
+        self.group_epochs.write()[g.0 as usize] += 1;
     }
 
     // ---- Introspection --------------------------------------------------
 
-    /// Per-node stored bytes (the Fig. 5 measurement).
+    /// Per-node stored bytes (the Fig. 5 measurement), plus repair
+    /// accounting.
     pub fn load_report(&self) -> LoadReport {
         let topo = self.topology.read();
         let nodes = self.nodes.read();
@@ -577,6 +812,7 @@ impl MendelCluster {
                 .map(|n| (n, nodes[n.0 as usize].read().stored_bytes()))
                 .collect(),
         )
+        .with_blocks_moved(self.repair_moves.load(Ordering::Relaxed))
     }
 
     /// Total blocks stored cluster-wide (replicas counted).
@@ -646,17 +882,24 @@ impl MendelCluster {
                     .collect::<Vec<_>>(),
             )
         };
-        // Route and insert the new blocks.
+        // Route and insert the new blocks. Replicas placed on failed
+        // nodes are skipped — a down node cannot accept writes — leaving
+        // those blocks under-replicated until the next [`Self::repair`].
         let topo = self.topology.read();
+        let failed = self.failed.read();
         let mut batches: BTreeMap<NodeId, Vec<crate::block::Block>> = BTreeMap::new();
         for s in &new_seqs {
             for b in make_blocks(s, self.config.block_len) {
                 let g = self.group_of_window(&b.window);
                 for node in self.placement.replicas(&topo, g, &b.key().as_bytes()) {
+                    if failed.contains_key(&node) {
+                        continue;
+                    }
                     batches.entry(node).or_default().push(b.clone());
                 }
             }
         }
+        drop(failed);
         drop(topo);
         let nodes = self.nodes.read();
         batches.into_par_iter().for_each(|(node, batch)| {
@@ -814,6 +1057,7 @@ impl MendelCluster {
             })
             .collect();
         let karlin = Self::default_karlin(config.alphabet);
+        let groups = config.groups;
         Ok(MendelCluster {
             config,
             topology: RwLock::new(topology),
@@ -821,7 +1065,9 @@ impl MendelCluster {
             assignment,
             placement: FlatPlacement::with_replication(1),
             nodes: RwLock::new(nodes),
-            failed: RwLock::new(HashSet::new()),
+            failed: RwLock::new(HashMap::new()),
+            group_epochs: RwLock::new(vec![0; groups]),
+            repair_moves: AtomicU64::new(0),
             db,
             karlin,
             index_elapsed: Duration::ZERO,
@@ -985,7 +1231,7 @@ mod tests {
             before.best().unwrap().subject,
             "replication must mask the failures"
         );
-        c.recover_node(NodeId(0));
+        c.recover_node(NodeId(0)).unwrap();
         assert_eq!(c.failed_nodes(), vec![NodeId(3)]);
     }
 

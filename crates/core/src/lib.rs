@@ -50,10 +50,10 @@ pub mod snapshot;
 pub mod wire;
 
 pub use block::{check_block_chain, make_blocks, Block, BlockKey};
-pub use cluster::MendelCluster;
+pub use cluster::{FailoverDelta, MendelCluster, RepairReport};
 pub use config::{ClusterConfig, MetricKind};
 pub use error::MendelError;
 pub use metric::BlockMetric;
 pub use params::QueryParams;
-pub use report::{MendelHit, QueryReport, StageTimings};
+pub use report::{CoverageReport, GroupCoverage, MendelHit, QueryReport, StageTimings};
 pub use wire::WireCluster;

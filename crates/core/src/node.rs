@@ -104,6 +104,12 @@ impl StorageNode {
         self.store.iter().map(|(_, b)| b.clone()).collect()
     }
 
+    /// Keys of all held blocks, without cloning payloads (coverage and
+    /// repair accounting).
+    pub fn block_keys(&self) -> Vec<crate::block::BlockKey> {
+        self.store.iter().map(|(_, b)| b.key()).collect()
+    }
+
     /// Evaluate a batch of subquery windows against this node (§V-B):
     ///
     /// 1. vp-tree k-NN for the `n` nearest blocks per subquery,

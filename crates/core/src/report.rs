@@ -1,5 +1,6 @@
 //! Query results and the simulated-clock report.
 
+use mendel_dht::GroupId;
 use mendel_seq::SeqId;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -71,8 +72,49 @@ pub struct QueryStats {
     pub bytes: usize,
 }
 
+/// Availability of one group's placed blocks at query time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GroupCoverage {
+    /// The group.
+    pub group: GroupId,
+    /// Distinct block keys placed in the group (live or not).
+    pub expected: usize,
+    /// Distinct block keys reachable on at least one live member.
+    pub reachable: usize,
+    /// Members currently serving queries.
+    pub live_members: usize,
+}
+
+/// How much of the placed data a query could actually see. With enough
+/// replication a failed node leaves coverage at 100%; when every replica
+/// of some block is down, `degraded` flags that hits may be incomplete.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Distinct block keys placed cluster-wide.
+    pub blocks_expected: usize,
+    /// Distinct block keys reachable on live nodes.
+    pub blocks_reachable: usize,
+    /// Per-group availability, in group order.
+    pub per_group: Vec<GroupCoverage>,
+    /// True when any placed block has no live replica — results are
+    /// best-effort, not complete.
+    pub degraded: bool,
+}
+
+impl CoverageReport {
+    /// Fraction of placed blocks reachable, in `[0, 1]` (1.0 for an
+    /// empty cluster).
+    pub fn fraction(&self) -> f64 {
+        if self.blocks_expected == 0 {
+            1.0
+        } else {
+            self.blocks_reachable as f64 / self.blocks_expected as f64
+        }
+    }
+}
+
 /// Everything a query returns: ranked hits, the simulated turnaround,
-/// and work counters.
+/// work counters, and the data coverage behind the answer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryReport {
     /// Ranked alignments (ascending E-value).
@@ -81,6 +123,10 @@ pub struct QueryReport {
     pub timings: StageTimings,
     /// Work counters.
     pub stats: QueryStats,
+    /// Block availability at evaluation time; check
+    /// `coverage.degraded` to distinguish a complete answer from a
+    /// best-effort one.
+    pub coverage: CoverageReport,
 }
 
 impl QueryReport {
@@ -106,7 +152,8 @@ impl QueryReport {
              \x20 group phase       {:?}   ({} nodes, {} candidates -> {} anchors)\n\
              \x20 gather            {:?}\n\
              \x20 finalize+rank     {:?}   ({} hits)\n\
-             traffic: {} messages, {} bytes; {} subqueries\n",
+             traffic: {} messages, {} bytes; {} subqueries\n\
+             coverage: {}/{} blocks reachable ({:.1}%){}\n",
             t.total(),
             t.decompose,
             t.scatter,
@@ -121,6 +168,14 @@ impl QueryReport {
             s.messages,
             s.bytes,
             s.subqueries,
+            self.coverage.blocks_reachable,
+            self.coverage.blocks_expected,
+            100.0 * self.coverage.fraction(),
+            if self.coverage.degraded {
+                " DEGRADED"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -158,8 +213,27 @@ mod tests {
             hits: vec![hit.clone()],
             timings: StageTimings::default(),
             stats: QueryStats::default(),
+            coverage: CoverageReport::default(),
         };
         assert_eq!(r.best(), Some(&hit));
         assert_eq!(r.turnaround(), Duration::ZERO);
+    }
+
+    #[test]
+    fn coverage_fraction_handles_empty_and_partial() {
+        let full = CoverageReport::default();
+        assert_eq!(full.fraction(), 1.0);
+        let half = CoverageReport {
+            blocks_expected: 10,
+            blocks_reachable: 5,
+            per_group: vec![GroupCoverage {
+                group: GroupId(0),
+                expected: 10,
+                reachable: 5,
+                live_members: 1,
+            }],
+            degraded: true,
+        };
+        assert_eq!(half.fraction(), 0.5);
     }
 }

@@ -13,12 +13,24 @@ use crate::topology::{NodeId, Topology};
 pub struct LoadReport {
     /// `(node, stored bytes)` in node-id order.
     pub per_node: Vec<(NodeId, u64)>,
+    /// Block copies moved by repair/re-replication since cluster start
+    /// (0 when the cluster never repaired anything).
+    pub blocks_moved: u64,
 }
 
 impl LoadReport {
     /// Build a report from per-node byte counts.
     pub fn new(per_node: Vec<(NodeId, u64)>) -> Self {
-        LoadReport { per_node }
+        LoadReport {
+            per_node,
+            blocks_moved: 0,
+        }
+    }
+
+    /// Attach the repair accounting (chaining constructor).
+    pub fn with_blocks_moved(mut self, blocks_moved: u64) -> Self {
+        self.blocks_moved = blocks_moved;
+        self
     }
 
     /// Total bytes across the cluster.

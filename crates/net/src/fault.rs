@@ -1,0 +1,507 @@
+//! Deterministic fault injection for the in-process network.
+//!
+//! The paper's §VII-B names fault tolerance as key future work; testing a
+//! fault-tolerance loop requires *injecting* faults, and debugging a
+//! chaos run requires replaying it exactly. This module provides both: a
+//! seeded [`FaultPlan`] the [`crate::mailbox::Network`] consults per
+//! envelope (drop probability, fixed/jittered delay, duplication) plus
+//! per-node crash/restart schedules, all driven by a from-scratch
+//! xorshift generator so the same seed always produces the same fault
+//! sequence — no external crates, no global state, no wall-clock input.
+//!
+//! Determinism contract: the verdict for the *n*-th envelope on a given
+//! `(from, to)` edge is a pure function of `(seed, from, to, n)`.
+//! Per-edge counters make verdicts independent of cross-edge thread
+//! interleaving: any run that sends the same messages per edge in the
+//! same per-edge order sees the same drops, delays, and duplicates.
+
+use crate::mailbox::NodeAddr;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A from-scratch xorshift64* generator — small, fast, and good enough
+/// for fault scheduling (this is not cryptography).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seed the generator. A zero seed is remapped (xorshift has a zero
+    /// fixed point) via a splitmix-style scramble.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: splitmix64(seed).max(1),
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits of the raw output.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, n)`; returns 0 when `n == 0`.
+    pub fn next_range(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates nearby seeds before they enter the
+/// xorshift state.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What the plan may do to each envelope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed from which every per-envelope decision derives.
+    pub seed: u64,
+    /// Probability an envelope is silently lost in transit.
+    pub drop_prob: f64,
+    /// Probability a delivered envelope arrives twice.
+    pub duplicate_prob: f64,
+    /// Fixed delivery delay applied to every surviving envelope.
+    pub delay: Duration,
+    /// Maximum additional jittered delay (uniform in `[0, delay_jitter]`).
+    pub delay_jitter: Duration,
+}
+
+impl FaultConfig {
+    /// A plan that only drops messages with probability `drop_prob`.
+    pub fn drops(seed: u64, drop_prob: f64) -> Self {
+        FaultConfig {
+            seed,
+            drop_prob,
+            duplicate_prob: 0.0,
+            delay: Duration::ZERO,
+            delay_jitter: Duration::ZERO,
+        }
+    }
+
+    /// A transparent plan (crash schedules still apply when used).
+    pub fn passthrough(seed: u64) -> Self {
+        Self::drops(seed, 0.0)
+    }
+}
+
+/// The plan's decision for one envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Silently lose the envelope (the sender cannot tell).
+    Drop,
+    /// Deliver `copies` copies after `delay`.
+    Deliver {
+        /// 1 normally, 2 when the duplication fault fires.
+        copies: u8,
+        /// Total delivery delay (fixed + jitter).
+        delay: Duration,
+    },
+}
+
+/// Counters of every fault the plan actually injected.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    crash_blocked: AtomicU64,
+}
+
+impl FaultStats {
+    /// Envelopes lost to the drop probability.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes delivered twice.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes delivered late.
+    pub fn delayed(&self) -> u64 {
+        self.delayed.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes discarded because an endpoint was crashed.
+    pub fn crash_blocked(&self) -> u64 {
+        self.crash_blocked.load(Ordering::Relaxed)
+    }
+}
+
+/// A seeded, reproducible fault-injection plan consulted by
+/// [`crate::mailbox::Network::send`] for every envelope.
+pub struct FaultPlan {
+    config: FaultConfig,
+    crashed: RwLock<HashSet<NodeAddr>>,
+    /// Per-(from, to) envelope counters driving the decision stream.
+    edge_seq: Mutex<HashMap<(u16, u16), u64>>,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// Build a plan. Probabilities are clamped into `[0, 1]`.
+    pub fn new(mut config: FaultConfig) -> Self {
+        config.drop_prob = config.drop_prob.clamp(0.0, 1.0);
+        config.duplicate_prob = config.duplicate_prob.clamp(0.0, 1.0);
+        FaultPlan {
+            config,
+            crashed: RwLock::new(HashSet::new()),
+            edge_seq: Mutex::new(HashMap::new()),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Injection counters.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Crash `node`: every envelope to or from it is discarded until
+    /// [`Self::restart`]. Idempotent.
+    pub fn crash(&self, node: NodeAddr) {
+        self.crashed.write().insert(node);
+    }
+
+    /// Restart a crashed node. Idempotent.
+    pub fn restart(&self, node: NodeAddr) {
+        self.crashed.write().remove(&node);
+    }
+
+    /// Is `node` currently crashed under this plan?
+    pub fn is_crashed(&self, node: NodeAddr) -> bool {
+        self.crashed.read().contains(&node)
+    }
+
+    /// Currently crashed nodes, ascending.
+    pub fn crashed_nodes(&self) -> Vec<NodeAddr> {
+        let mut v: Vec<NodeAddr> = self.crashed.read().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Apply one schedule event (crash or restart).
+    pub fn apply(&self, event: &FaultEvent) {
+        match event.kind {
+            FaultEventKind::Crash => self.crash(event.node),
+            FaultEventKind::Restart => self.restart(event.node),
+        }
+    }
+
+    /// Decide the fate of the next envelope on the `(from, to)` edge.
+    /// Deterministic: the n-th call for an edge always returns the same
+    /// verdict for the same seed.
+    pub fn decide(&self, from: NodeAddr, to: NodeAddr) -> Verdict {
+        if self.is_crashed(from) || self.is_crashed(to) {
+            self.stats.crash_blocked.fetch_add(1, Ordering::Relaxed);
+            return Verdict::Drop;
+        }
+        let seq = {
+            let mut edges = self.edge_seq.lock();
+            let c = edges.entry((from.0, to.0)).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        let mut rng = XorShift64::new(
+            self.config.seed
+                ^ splitmix64(((from.0 as u64) << 16 | to.0 as u64).wrapping_add(seq << 32)),
+        );
+        if rng.next_f64() < self.config.drop_prob {
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            return Verdict::Drop;
+        }
+        let copies = if rng.next_f64() < self.config.duplicate_prob {
+            self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            2
+        } else {
+            1
+        };
+        let jitter_ns = if self.config.delay_jitter.is_zero() {
+            0
+        } else {
+            rng.next_range(self.config.delay_jitter.as_nanos() as u64 + 1)
+        };
+        let delay = self.config.delay + Duration::from_nanos(jitter_ns);
+        if !delay.is_zero() {
+            self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+        }
+        Verdict::Deliver { copies, delay }
+    }
+}
+
+/// Kind of a scheduled node-lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// The node stops: its traffic is discarded, its beats stop.
+    Crash,
+    /// The node comes back.
+    Restart,
+}
+
+/// One event of a crash/restart schedule, at a logical step the test
+/// harness advances (real time plays no part, so replays are exact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Logical time of the event (monotonically non-decreasing).
+    pub step: u32,
+    /// The node affected.
+    pub node: NodeAddr,
+    /// Crash or restart.
+    pub kind: FaultEventKind,
+}
+
+/// Generate a deterministic crash/restart schedule: at least `events`
+/// events over `nodes`, each crash eventually matched by a restart (the
+/// tail restarts every still-crashed node), steps ascending within
+/// `horizon`. Same inputs → identical schedule, byte for byte.
+pub fn crash_schedule(
+    seed: u64,
+    nodes: &[NodeAddr],
+    events: usize,
+    horizon: u32,
+) -> Vec<FaultEvent> {
+    let mut out = Vec::new();
+    if nodes.is_empty() || events == 0 {
+        return out;
+    }
+    let mut rng = XorShift64::new(seed ^ 0x00C4_A05F_A017);
+    let mut crashed: Vec<NodeAddr> = Vec::new();
+    let mut step = 0u32;
+    let gap = (horizon / events.max(1) as u32).max(1);
+    for _ in 0..events {
+        step += 1 + rng.next_range(gap as u64) as u32;
+        let node = nodes[rng.next_range(nodes.len() as u64) as usize];
+        if let Some(pos) = crashed.iter().position(|&n| n == node) {
+            crashed.remove(pos);
+            out.push(FaultEvent {
+                step,
+                node,
+                kind: FaultEventKind::Restart,
+            });
+        } else {
+            crashed.push(node);
+            out.push(FaultEvent {
+                step,
+                node,
+                kind: FaultEventKind::Crash,
+            });
+        }
+    }
+    // Converge: every crash gets a restart so the cluster can heal.
+    for node in crashed {
+        step += 1;
+        out.push(FaultEvent {
+            step,
+            node,
+            kind: FaultEventKind::Restart,
+        });
+    }
+    out
+}
+
+/// Stable byte serialization of a schedule — the replay-identity check:
+/// two runs of [`crash_schedule`] with the same inputs must produce
+/// byte-identical output.
+pub fn schedule_bytes(events: &[FaultEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(events.len() * 7);
+    for e in events {
+        out.extend_from_slice(&e.step.to_le_bytes());
+        out.extend_from_slice(&e.node.0.to_le_bytes());
+        out.push(match e.kind {
+            FaultEventKind::Crash => 0,
+            FaultEventKind::Restart => 1,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonconstant() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+        let mut c = XorShift64::new(43);
+        assert_ne!(c.next_u64(), xs[0], "nearby seeds must decorrelate");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn next_f64_is_unit_interval() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn drop_rate_approximates_probability() {
+        let plan = FaultPlan::new(FaultConfig::drops(0xBEEF, 0.2));
+        let n = 10_000;
+        let mut dropped = 0;
+        for _ in 0..n {
+            if plan.decide(NodeAddr(0), NodeAddr(1)) == Verdict::Drop {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed drop rate {rate}");
+        assert_eq!(plan.stats().dropped(), dropped);
+    }
+
+    #[test]
+    fn verdict_stream_is_reproducible_per_edge() {
+        let mk = || FaultPlan::new(FaultConfig::drops(99, 0.5));
+        let a = mk();
+        let b = mk();
+        let va: Vec<Verdict> = (0..100)
+            .map(|_| a.decide(NodeAddr(3), NodeAddr(4)))
+            .collect();
+        let vb: Vec<Verdict> = (0..100)
+            .map(|_| b.decide(NodeAddr(3), NodeAddr(4)))
+            .collect();
+        assert_eq!(va, vb);
+        // A different edge sees a different (but equally reproducible) stream.
+        let vc: Vec<Verdict> = (0..100)
+            .map(|_| a.decide(NodeAddr(4), NodeAddr(3)))
+            .collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn edge_streams_are_interleaving_independent() {
+        // Decisions on edge A must not shift when edge B traffic is
+        // interleaved differently.
+        let a = FaultPlan::new(FaultConfig::drops(5, 0.5));
+        let b = FaultPlan::new(FaultConfig::drops(5, 0.5));
+        let mut va = Vec::new();
+        for _ in 0..50 {
+            va.push(a.decide(NodeAddr(0), NodeAddr(1)));
+            a.decide(NodeAddr(2), NodeAddr(3));
+            a.decide(NodeAddr(2), NodeAddr(3));
+        }
+        let mut vb = Vec::new();
+        for _ in 0..50 {
+            b.decide(NodeAddr(2), NodeAddr(3));
+            vb.push(b.decide(NodeAddr(0), NodeAddr(1)));
+        }
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn crashed_nodes_block_traffic_both_ways() {
+        let plan = FaultPlan::new(FaultConfig::passthrough(1));
+        plan.crash(NodeAddr(2));
+        assert_eq!(plan.decide(NodeAddr(2), NodeAddr(0)), Verdict::Drop);
+        assert_eq!(plan.decide(NodeAddr(0), NodeAddr(2)), Verdict::Drop);
+        assert!(matches!(
+            plan.decide(NodeAddr(0), NodeAddr(1)),
+            Verdict::Deliver { copies: 1, .. }
+        ));
+        assert_eq!(plan.stats().crash_blocked(), 2);
+        plan.restart(NodeAddr(2));
+        assert!(matches!(
+            plan.decide(NodeAddr(0), NodeAddr(2)),
+            Verdict::Deliver { .. }
+        ));
+        assert!(plan.crashed_nodes().is_empty());
+    }
+
+    #[test]
+    fn duplication_and_delay_fire() {
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 11,
+            drop_prob: 0.0,
+            duplicate_prob: 1.0,
+            delay: Duration::from_millis(2),
+            delay_jitter: Duration::from_millis(3),
+        });
+        for _ in 0..20 {
+            match plan.decide(NodeAddr(0), NodeAddr(1)) {
+                Verdict::Deliver { copies, delay } => {
+                    assert_eq!(copies, 2);
+                    assert!(delay >= Duration::from_millis(2));
+                    assert!(delay <= Duration::from_millis(5));
+                }
+                v => panic!("unexpected verdict {v:?}"),
+            }
+        }
+        assert_eq!(plan.stats().duplicated(), 20);
+        assert_eq!(plan.stats().delayed(), 20);
+    }
+
+    #[test]
+    fn schedule_is_byte_identical_across_runs() {
+        let nodes: Vec<NodeAddr> = (0..6).map(NodeAddr).collect();
+        let a = crash_schedule(0xCAFE, &nodes, 5, 100);
+        let b = crash_schedule(0xCAFE, &nodes, 5, 100);
+        assert_eq!(schedule_bytes(&a), schedule_bytes(&b));
+        assert!(a.len() >= 5);
+        let c = crash_schedule(0xCAFF, &nodes, 5, 100);
+        assert_ne!(schedule_bytes(&a), schedule_bytes(&c));
+    }
+
+    #[test]
+    fn schedule_steps_ascend_and_crashes_match_restarts() {
+        for seed in [1u64, 2, 3, 0xDEAD] {
+            let nodes: Vec<NodeAddr> = (0..8).map(NodeAddr).collect();
+            let sched = crash_schedule(seed, &nodes, 7, 200);
+            let mut last = 0;
+            let mut down: HashSet<NodeAddr> = HashSet::new();
+            for e in &sched {
+                assert!(e.step >= last, "steps ascend");
+                last = e.step;
+                match e.kind {
+                    FaultEventKind::Crash => assert!(down.insert(e.node)),
+                    FaultEventKind::Restart => assert!(down.remove(&e.node)),
+                }
+            }
+            assert!(down.is_empty(), "every crash is eventually restarted");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_schedule() {
+        assert!(crash_schedule(1, &[], 5, 100).is_empty());
+        assert!(crash_schedule(1, &[NodeAddr(0)], 0, 100).is_empty());
+    }
+}

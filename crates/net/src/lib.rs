@@ -16,16 +16,21 @@
 //!   cluster, and [`latency::SimSpan`] for composing serial/parallel
 //!   simulated timelines,
 //! * [`rpc`] — correlation-id request/response and scatter/gather on top
-//!   of the mailboxes.
+//!   of the mailboxes, with retry/backoff policies,
+//! * [`fault`] — seeded, deterministic fault injection (drops, delays,
+//!   duplication, crash/restart schedules) consulted by the mailbox
+//!   network for chaos testing.
 
 pub mod codec;
+pub mod fault;
 pub mod heartbeat;
 pub mod latency;
 pub mod mailbox;
 pub mod rpc;
 
 pub use codec::{Decode, DecodeError, Encode};
+pub use fault::{FaultConfig, FaultEvent, FaultEventKind, FaultPlan, Verdict, XorShift64};
 pub use heartbeat::HeartbeatMonitor;
 pub use latency::{LatencyModel, NodeSpeed, SimSpan};
 pub use mailbox::{Endpoint, Envelope, Network, NetworkStats, NodeAddr, RecvError};
-pub use rpc::{RpcClient, RpcError};
+pub use rpc::{RetryPolicy, RpcClient, RpcError};

@@ -6,6 +6,7 @@
 //! nodes exchange *bytes*, not references, so the in-process cluster
 //! cannot accidentally share memory the way a real deployment could not.
 
+use crate::fault::{FaultPlan, Verdict};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::RwLock;
@@ -83,6 +84,7 @@ impl NetworkStats {
 struct Shared {
     senders: RwLock<Vec<Sender<Envelope>>>,
     stats: NetworkStats,
+    fault: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 /// A registry of node mailboxes. Cloning shares the same network.
@@ -98,6 +100,7 @@ impl Network {
             shared: Arc::new(Shared {
                 senders: RwLock::new(Vec::new()),
                 stats: NetworkStats::default(),
+                fault: RwLock::new(None),
             }),
         }
     }
@@ -136,9 +139,59 @@ impl Network {
         &self.shared.stats
     }
 
+    /// Install (or with `None`, remove) a fault-injection plan consulted
+    /// on every subsequent [`Self::send`]. See [`crate::fault`].
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.shared.fault.write() = plan;
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.shared.fault.read().clone()
+    }
+
     /// Deliver an envelope to its destination mailbox. Returns `false` if
     /// the destination does not exist (a "dead letter").
+    ///
+    /// When a [`FaultPlan`] is installed, surviving a dead-letter check
+    /// does not guarantee delivery: the plan may silently drop the
+    /// envelope (returning `true`, as a real lossy network would — the
+    /// sender cannot tell), duplicate it, or delay it on a background
+    /// thread.
     pub fn send(&self, env: Envelope) -> bool {
+        if self.shared.senders.read().get(env.to.0 as usize).is_none() {
+            return false;
+        }
+        let plan = self.shared.fault.read().clone();
+        match plan {
+            None => self.deliver(env),
+            Some(plan) => match plan.decide(env.from, env.to) {
+                Verdict::Drop => true,
+                Verdict::Deliver { copies, delay } => {
+                    if delay.is_zero() {
+                        let mut ok = true;
+                        for _ in 0..copies {
+                            ok &= self.deliver(env.clone());
+                        }
+                        ok
+                    } else {
+                        let net = self.clone();
+                        std::thread::spawn(move || {
+                            std::thread::sleep(delay);
+                            for _ in 0..copies {
+                                net.deliver(env.clone());
+                            }
+                        });
+                        true
+                    }
+                }
+            },
+        }
+    }
+
+    /// Unconditional delivery into the destination mailbox (fault plan
+    /// already consulted). Records traffic stats on success.
+    fn deliver(&self, env: Envelope) -> bool {
         let senders = self.shared.senders.read();
         match senders.get(env.to.0 as usize) {
             Some(tx) => {
@@ -299,6 +352,89 @@ mod tests {
         });
         a.send(b_addr, 0, Bytes::copy_from_slice(&42u64.to_le_bytes()));
         assert_eq!(handle.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn fault_plan_drops_silently() {
+        use crate::fault::FaultConfig;
+        let net = Network::new();
+        let a = net.join();
+        let b = net.join();
+        net.set_fault_plan(Some(Arc::new(FaultPlan::new(FaultConfig::drops(3, 1.0)))));
+        // A certain drop still reports `true`: the sender cannot tell.
+        assert!(a.send(b.addr(), 0, Bytes::from_static(b"lost")));
+        assert!(b.try_recv().is_none());
+        assert_eq!(net.stats().messages(), 0, "dropped traffic is not counted");
+        // Removing the plan restores transparent delivery.
+        net.set_fault_plan(None);
+        assert!(a.send(b.addr(), 0, Bytes::from_static(b"ok")));
+        assert!(b.try_recv().is_some());
+    }
+
+    #[test]
+    fn fault_plan_preserves_dead_letters() {
+        use crate::fault::FaultConfig;
+        let net = Network::new();
+        let a = net.join();
+        net.set_fault_plan(Some(Arc::new(FaultPlan::new(FaultConfig::passthrough(1)))));
+        assert!(
+            !a.send(NodeAddr(99), 0, Bytes::new()),
+            "dead letter stays false"
+        );
+    }
+
+    #[test]
+    fn fault_plan_duplicates_envelopes() {
+        use crate::fault::FaultConfig;
+        let net = Network::new();
+        let a = net.join();
+        let b = net.join();
+        net.set_fault_plan(Some(Arc::new(FaultPlan::new(FaultConfig {
+            seed: 5,
+            drop_prob: 0.0,
+            duplicate_prob: 1.0,
+            delay: Duration::ZERO,
+            delay_jitter: Duration::ZERO,
+        }))));
+        assert!(a.send(b.addr(), 9, Bytes::from_static(b"twice")));
+        assert_eq!(b.pending(), 2);
+        assert_eq!(b.recv().unwrap().correlation, 9);
+        assert_eq!(b.recv().unwrap().correlation, 9);
+    }
+
+    #[test]
+    fn fault_plan_delays_delivery() {
+        use crate::fault::FaultConfig;
+        let net = Network::new();
+        let a = net.join();
+        let b = net.join();
+        net.set_fault_plan(Some(Arc::new(FaultPlan::new(FaultConfig {
+            seed: 5,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            delay: Duration::from_millis(20),
+            delay_jitter: Duration::ZERO,
+        }))));
+        assert!(a.send(b.addr(), 1, Bytes::from_static(b"late")));
+        assert!(b.try_recv().is_none(), "envelope is still in flight");
+        let env = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(&env.payload[..], b"late");
+    }
+
+    #[test]
+    fn fault_plan_crash_blocks_node() {
+        use crate::fault::FaultConfig;
+        let net = Network::new();
+        let a = net.join();
+        let b = net.join();
+        let plan = Arc::new(FaultPlan::new(FaultConfig::passthrough(2)));
+        net.set_fault_plan(Some(plan.clone()));
+        plan.crash(b.addr());
+        assert!(a.send(b.addr(), 0, Bytes::from_static(b"x")));
+        assert!(b.try_recv().is_none());
+        plan.restart(b.addr());
+        assert!(a.send(b.addr(), 0, Bytes::from_static(b"y")));
+        assert!(b.try_recv().is_some());
     }
 
     #[test]

@@ -8,10 +8,15 @@
 //! out-of-order arrivals are parked until asked for.
 
 use crate::codec::{Decode, Encode};
+use crate::fault::XorShift64;
 use crate::mailbox::{Endpoint, Envelope, NodeAddr, RecvError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Default TTL after which parked envelopes and closed-correlation
+/// tombstones are evicted.
+const DEFAULT_PARKED_TTL: Duration = Duration::from_secs(30);
 
 /// RPC failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,12 +44,97 @@ impl std::fmt::Display for RpcError {
 
 impl std::error::Error for RpcError {}
 
+impl RpcError {
+    /// Failures worth retrying: the message (or its response) may simply
+    /// have been lost. Decode failures and disconnects are permanent.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RpcError::Timeout | RpcError::DeadLetter(_))
+    }
+}
+
+/// When and how often to retry a failed [`RpcClient::call_with_retry`]:
+/// capped exponential backoff with deterministic jitter, so a seeded
+/// chaos run replays the exact same retry timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (≥ 1); 1 means no retries.
+    pub max_attempts: u32,
+    /// Deadline for each individual attempt.
+    pub per_attempt_timeout: Duration,
+    /// Backoff before the second attempt; doubles each further attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on the exponential backoff (pre-jitter).
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter (up to +50% per backoff).
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// A single attempt with `timeout` — the no-retry policy used by
+    /// [`RpcClient::call`].
+    pub fn single(timeout: Duration) -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            per_attempt_timeout: timeout,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter_seed: 0,
+        }
+    }
+
+    /// `max_attempts` tries of `per_attempt_timeout` each, with capped
+    /// exponential backoff starting at `base_backoff`.
+    pub fn retries(
+        max_attempts: u32,
+        per_attempt_timeout: Duration,
+        base_backoff: Duration,
+    ) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            per_attempt_timeout,
+            base_backoff,
+            max_backoff: base_backoff.saturating_mul(16),
+            jitter_seed: 0x5EED,
+        }
+    }
+
+    /// Override the jitter seed (chaining constructor).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Pause before the 1-based `attempt`: zero for the first attempt,
+    /// then `base_backoff · 2^(attempt-2)` capped at `max_backoff`, plus
+    /// a deterministic jitter of up to 50% derived from `jitter_seed`
+    /// and the attempt number.
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        if attempt <= 1 || self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let doublings = (attempt - 2).min(32);
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << doublings.min(31))
+            .min(self.max_backoff.max(self.base_backoff));
+        let mut rng = XorShift64::new(self.jitter_seed ^ (attempt as u64).wrapping_mul(0x9E37));
+        let jitter_ns = rng.next_range(exp.as_nanos() as u64 / 2 + 1);
+        exp + Duration::from_nanos(jitter_ns)
+    }
+}
+
 /// Request/response client wrapping an [`Endpoint`].
 pub struct RpcClient {
     endpoint: Endpoint,
     next_correlation: AtomicU64,
-    /// Responses that arrived while we were waiting for a different id.
-    parked: parking_lot::Mutex<HashMap<u64, Envelope>>,
+    /// Responses that arrived while we were waiting for a different id,
+    /// stamped with their arrival time for TTL eviction.
+    parked: parking_lot::Mutex<HashMap<u64, (Envelope, Instant)>>,
+    /// Correlations that already completed or were abandoned (timed
+    /// out): late or duplicate responses for them are discarded instead
+    /// of parked. Tombstones expire with the same TTL.
+    closed: parking_lot::Mutex<HashMap<u64, Instant>>,
+    parked_ttl: parking_lot::Mutex<Duration>,
 }
 
 impl RpcClient {
@@ -54,7 +144,43 @@ impl RpcClient {
             endpoint,
             next_correlation: AtomicU64::new(1),
             parked: parking_lot::Mutex::new(HashMap::new()),
+            closed: parking_lot::Mutex::new(HashMap::new()),
+            parked_ttl: parking_lot::Mutex::new(DEFAULT_PARKED_TTL),
         }
+    }
+
+    /// Change the eviction TTL for parked envelopes and closed-id
+    /// tombstones (default 30 s).
+    pub fn set_parked_ttl(&self, ttl: Duration) {
+        *self.parked_ttl.lock() = ttl;
+    }
+
+    /// Number of currently parked (unclaimed) envelopes.
+    pub fn parked_len(&self) -> usize {
+        self.parked.lock().len()
+    }
+
+    /// Number of live closed-correlation tombstones.
+    pub fn closed_len(&self) -> usize {
+        self.closed.lock().len()
+    }
+
+    /// Evict parked envelopes and tombstones older than the TTL.
+    fn sweep(&self, now: Instant) {
+        let ttl = *self.parked_ttl.lock();
+        self.parked
+            .lock()
+            .retain(|_, (_, at)| now.duration_since(*at) < ttl);
+        self.closed
+            .lock()
+            .retain(|_, at| now.duration_since(*at) < ttl);
+    }
+
+    /// Mark `correlation` finished: drop any parked envelope for it and
+    /// tombstone the id so stragglers are discarded on arrival.
+    fn close(&self, correlation: u64, now: Instant) {
+        self.parked.lock().remove(&correlation);
+        self.closed.lock().insert(correlation, now);
     }
 
     /// This client's node address.
@@ -72,19 +198,49 @@ impl RpcClient {
         self.next_correlation.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Fire a request and block for its matching response.
+    /// Fire a request and block for its matching response. A single
+    /// attempt — sugar for [`Self::call_with_retry`] with
+    /// [`RetryPolicy::single`].
     pub fn call<Req: Encode, Resp: Decode>(
         &self,
         to: NodeAddr,
         request: &Req,
         timeout: Duration,
     ) -> Result<Resp, RpcError> {
-        let corr = self.fresh_correlation();
-        if !self.endpoint.send(to, corr, request.to_bytes()) {
-            return Err(RpcError::DeadLetter(to));
+        self.call_with_retry(to, request, &RetryPolicy::single(timeout))
+    }
+
+    /// Fire a request under `policy`: each attempt gets a fresh
+    /// correlation id and `per_attempt_timeout`; transient failures
+    /// (timeout, dead letter) back off and retry, permanent ones return
+    /// immediately.
+    pub fn call_with_retry<Req: Encode, Resp: Decode>(
+        &self,
+        to: NodeAddr,
+        request: &Req,
+        policy: &RetryPolicy,
+    ) -> Result<Resp, RpcError> {
+        let mut last = RpcError::Timeout;
+        for attempt in 1..=policy.max_attempts.max(1) {
+            let backoff = policy.backoff_before(attempt);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            let corr = self.fresh_correlation();
+            if !self.endpoint.send(to, corr, request.to_bytes()) {
+                last = RpcError::DeadLetter(to);
+                continue;
+            }
+            match self.wait_for(corr, policy.per_attempt_timeout) {
+                Ok(env) => {
+                    return Resp::from_bytes(&env.payload)
+                        .map_err(|e| RpcError::Decode(e.to_string()))
+                }
+                Err(e) if e.is_transient() => last = e,
+                Err(e) => return Err(e),
+            }
         }
-        let env = self.wait_for(corr, timeout)?;
-        Resp::from_bytes(&env.payload).map_err(|e| RpcError::Decode(e.to_string()))
+        Err(last)
     }
 
     /// Scatter `request` to every address in `peers`, then gather one
@@ -116,23 +272,77 @@ impl RpcClient {
             .collect()
     }
 
-    /// Wait for the envelope with `correlation`, parking others.
+    /// Like [`Self::scatter_gather`], but degrades per peer instead of
+    /// failing the whole gather: each slot of the returned vector (in
+    /// `peers` order) carries that peer's response or its individual
+    /// error, so callers can use whatever answers did arrive.
+    pub fn scatter_gather_partial<Req: Encode, Resp: Decode>(
+        &self,
+        peers: &[NodeAddr],
+        request: &Req,
+        timeout: Duration,
+    ) -> Vec<Result<Resp, RpcError>> {
+        let payload = request.to_bytes();
+        let sent: Vec<Result<u64, RpcError>> = peers
+            .iter()
+            .map(|&peer| {
+                let corr = self.fresh_correlation();
+                if self.endpoint.send(peer, corr, payload.clone()) {
+                    Ok(corr)
+                } else {
+                    Err(RpcError::DeadLetter(peer))
+                }
+            })
+            .collect();
+        let deadline = Instant::now() + timeout;
+        sent.into_iter()
+            .map(|slot| {
+                let corr = slot?;
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                let env = self.wait_for(corr, remaining)?;
+                Resp::from_bytes(&env.payload).map_err(|e| RpcError::Decode(e.to_string()))
+            })
+            .collect()
+    }
+
+    /// Wait for the envelope with `correlation`, parking others. The
+    /// correlation is closed on exit — success or timeout — so late and
+    /// duplicate responses are discarded on arrival rather than parked
+    /// forever; anything parked for a *different* id is evicted once it
+    /// outlives the TTL.
     fn wait_for(&self, correlation: u64, timeout: Duration) -> Result<Envelope, RpcError> {
-        if let Some(env) = self.parked.lock().remove(&correlation) {
+        let start = Instant::now();
+        self.sweep(start);
+        // Bind before testing: an `if let` on `self.parked.lock()` would
+        // keep the guard alive across the body and deadlock on `close`.
+        let already_parked = self.parked.lock().remove(&correlation);
+        if let Some((env, _)) = already_parked {
+            self.close(correlation, start);
             return Ok(env);
         }
-        let deadline = Instant::now() + timeout;
+        let deadline = start + timeout;
         loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let now = Instant::now();
+            let remaining = deadline.saturating_duration_since(now);
             if remaining.is_zero() {
+                self.close(correlation, now);
                 return Err(RpcError::Timeout);
             }
             match self.endpoint.recv_timeout(remaining) {
-                Ok(env) if env.correlation == correlation => return Ok(env),
-                Ok(env) => {
-                    self.parked.lock().insert(env.correlation, env);
+                Ok(env) if env.correlation == correlation => {
+                    self.close(correlation, Instant::now());
+                    return Ok(env);
                 }
-                Err(RecvError::Timeout) => return Err(RpcError::Timeout),
+                Ok(env) => {
+                    let now = Instant::now();
+                    if !self.closed.lock().contains_key(&env.correlation) {
+                        self.parked.lock().insert(env.correlation, (env, now));
+                    }
+                }
+                Err(RecvError::Timeout) => {
+                    self.close(correlation, Instant::now());
+                    return Err(RpcError::Timeout);
+                }
                 Err(RecvError::Disconnected) => return Err(RpcError::Disconnected),
             }
         }
@@ -271,5 +481,148 @@ mod tests {
         let server = net.join();
         let served = serve_one::<u32, u32>(&server, Duration::from_millis(10), |_, x| x).unwrap();
         assert!(!served);
+    }
+
+    #[test]
+    fn parked_growth_is_bounded_by_ttl() {
+        let net = Network::new();
+        let client = RpcClient::new(net.join());
+        let peer = net.join();
+        client.set_parked_ttl(Duration::from_millis(40));
+        // 100 stray responses for correlations nobody will ever claim.
+        for corr in 1_000..1_100u64 {
+            peer.send(client.addr(), corr, bytes::Bytes::from_static(b"stray"));
+        }
+        // A wait on an unrelated id drains and parks them all.
+        let _ = client.wait_for(9_999, Duration::from_millis(10));
+        assert_eq!(client.parked_len(), 100, "strays are parked at first");
+        thread::sleep(Duration::from_millis(50));
+        // Any later wait sweeps the expired strays (and expired tombstones).
+        let _ = client.wait_for(9_998, Duration::from_millis(1));
+        assert_eq!(client.parked_len(), 0, "TTL eviction bounds parked growth");
+        thread::sleep(Duration::from_millis(50));
+        let _ = client.wait_for(9_997, Duration::from_millis(1));
+        assert!(client.closed_len() <= 2, "tombstones expire too");
+    }
+
+    #[test]
+    fn late_response_to_abandoned_correlation_is_dropped() {
+        let net = Network::new();
+        let client = RpcClient::new(net.join());
+        let client_addr = client.addr();
+        let peer = net.join();
+        // The call times out — its correlation is now abandoned.
+        let err = client
+            .call::<u32, u32>(peer.addr(), &1, Duration::from_millis(10))
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        // The "slow server" answers after the client gave up.
+        let req = peer.try_recv().unwrap();
+        peer.send(client_addr, req.correlation, req.payload);
+        // Draining the inbox discards the late reply instead of parking it.
+        let _ = client.wait_for(5_555, Duration::from_millis(10));
+        assert_eq!(client.parked_len(), 0, "late response must not be parked");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_skips_first_attempt() {
+        let p = RetryPolicy::retries(6, T, Duration::from_millis(4));
+        assert_eq!(p.backoff_before(1), Duration::ZERO);
+        for attempt in 2..=6 {
+            let a = p.backoff_before(attempt);
+            let b = p.backoff_before(attempt);
+            assert_eq!(a, b, "jitter is deterministic");
+            let exp = Duration::from_millis(4 << (attempt - 2)).min(p.max_backoff);
+            assert!(
+                a >= exp && a <= exp + exp / 2 + Duration::from_nanos(1),
+                "{a:?}"
+            );
+        }
+        let other = p.with_jitter_seed(7);
+        assert_ne!(
+            other.backoff_before(3),
+            p.backoff_before(3),
+            "seed moves jitter"
+        );
+        // The cap holds far beyond the doubling range.
+        assert!(p.backoff_before(40) <= p.max_backoff + p.max_backoff / 2);
+    }
+
+    #[test]
+    fn call_with_retry_survives_a_lossy_network() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        use std::sync::Arc;
+        let net = Network::new();
+        let client = RpcClient::new(net.join());
+        let server = net.join();
+        let server_addr = server.addr();
+        net.set_fault_plan(Some(Arc::new(FaultPlan::new(FaultConfig::drops(
+            0xFA11, 0.3,
+        )))));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let h = thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                let _ = serve_one::<u32, u32>(&server, Duration::from_millis(5), |_, x| x + 1);
+            }
+        });
+        let policy = RetryPolicy::retries(12, Duration::from_millis(40), Duration::from_millis(1));
+        for i in 0..5u32 {
+            let resp: u32 = client.call_with_retry(server_addr, &i, &policy).unwrap();
+            assert_eq!(resp, i + 1);
+        }
+        stop.store(true, Ordering::Relaxed);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn call_with_retry_gives_up_after_max_attempts() {
+        let net = Network::new();
+        let client = RpcClient::new(net.join());
+        let silent = net.join();
+        let policy = RetryPolicy::retries(3, Duration::from_millis(5), Duration::from_micros(100));
+        let err = client
+            .call_with_retry::<u32, u32>(silent.addr(), &1, &policy)
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        assert_eq!(silent.pending(), 3, "one request per attempt");
+    }
+
+    #[test]
+    fn scatter_gather_partial_isolates_per_peer_failures() {
+        let net = Network::new();
+        let client = RpcClient::new(net.join());
+        let responder = net.join();
+        let responder_addr = responder.addr();
+        let silent = net.join();
+        let h = thread::spawn(move || {
+            serve_one::<u32, u32>(&responder, T, |_, x| x * 10).unwrap();
+        });
+        // One live peer, one silent peer, one unregistered address.
+        let peers = [responder_addr, silent.addr(), NodeAddr(88)];
+        let out: Vec<Result<u32, RpcError>> =
+            client.scatter_gather_partial(&peers, &4u32, Duration::from_millis(300));
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], Ok(40));
+        assert_eq!(out[1], Err(RpcError::Timeout));
+        assert_eq!(out[2], Err(RpcError::DeadLetter(NodeAddr(88))));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn scatter_gather_partial_all_ok_matches_scatter_gather() {
+        let net = Network::new();
+        let client = RpcClient::new(net.join());
+        let servers: Vec<_> = net.join_many(3);
+        let peers: Vec<NodeAddr> = servers.iter().map(|s| s.addr()).collect();
+        let handles: Vec<_> = servers
+            .into_iter()
+            .map(|s| thread::spawn(move || serve_one::<u32, u32>(&s, T, |_, x| x + 1).unwrap()))
+            .collect();
+        let out: Vec<Result<u32, RpcError>> = client.scatter_gather_partial(&peers, &1u32, T);
+        assert!(out.iter().all(|r| r == &Ok(2)));
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

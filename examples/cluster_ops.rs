@@ -79,8 +79,8 @@ fn main() {
         "degraded cluster still answers: best hit {} (replicas served the lost blocks)",
         db.get(degraded.best().unwrap().subject).unwrap().name
     );
-    cluster.recover_node(NodeId(2));
-    cluster.recover_node(NodeId(7));
+    cluster.recover_node(NodeId(2)).expect("node 2 exists");
+    cluster.recover_node(NodeId(7)).expect("node 7 exists");
     println!(
         "nodes recovered; failed set = {:?}\n",
         cluster.failed_nodes()

@@ -90,7 +90,7 @@ fn recovery_restores_full_results() {
     let q = db.get(SeqId(8)).unwrap().residues.clone();
     let before = cluster.query(&q, &params).unwrap().hits;
     cluster.fail_node(NodeId(3)).unwrap();
-    cluster.recover_node(NodeId(3));
+    cluster.recover_node(NodeId(3)).unwrap();
     let after = cluster.query(&q, &params).unwrap().hits;
     assert_eq!(
         before, after,
@@ -190,11 +190,192 @@ fn heartbeat_suspicion_drives_failover() {
         "suspected node's data must be served by replicas"
     );
 
-    // The node beats again: clear the suspicion and recover.
-    monitor.observe(NodeAddr(2));
-    assert!(monitor.suspects().is_empty());
-    cluster.recover_node(NodeId(2));
+    // Everyone beats again (wall time has moved on since `now`, maybe
+    // past the timeout — the query above isn't free): suspicion clears.
+    let later = Instant::now();
+    for n in 0..8u16 {
+        monitor.observe_at(NodeAddr(n), later);
+    }
+    assert!(monitor.suspects_at(later).is_empty());
+    cluster.recover_node(NodeId(2)).unwrap();
     assert!(cluster.failed_nodes().is_empty());
+}
+
+#[test]
+fn fail_is_idempotent_and_recover_is_symmetric() {
+    let db = db(10);
+    let cluster = replicated_cluster(&db, 2);
+    // Failing twice is Ok and leaves one failed entry.
+    cluster.fail_node(NodeId(4)).unwrap();
+    cluster.fail_node(NodeId(4)).unwrap();
+    assert_eq!(cluster.failed_nodes(), vec![NodeId(4)]);
+    // Recovering an unknown id errors like fail_node does.
+    assert!(matches!(
+        cluster.recover_node(NodeId(200)),
+        Err(MendelError::NoSuchNode(_))
+    ));
+    // Recovering a healthy node is Ok (idempotent no-op).
+    cluster.recover_node(NodeId(0)).unwrap();
+    cluster.recover_node(NodeId(4)).unwrap();
+    cluster.recover_node(NodeId(4)).unwrap();
+    assert!(cluster.failed_nodes().is_empty());
+}
+
+#[test]
+fn recovery_after_rebalance_serves_current_placement() {
+    // fail → add_node (rebalances the failed node's group under its
+    // back) → recover. The recovered node's contents are stale; results
+    // and block accounting must still match a cluster that never failed.
+    let db = db(11);
+    let params = QueryParams::protein();
+    let faulty = replicated_cluster(&db, 2);
+    let control = replicated_cluster(&db, 2);
+
+    let queries: Vec<Vec<u8>> = (0..6)
+        .map(|i| db.get(SeqId(i * 4)).unwrap().residues.clone())
+        .collect();
+
+    faulty.fail_node(NodeId(1)).unwrap();
+    let grown_f = faulty.add_node();
+    let grown_c = control.add_node();
+    assert_eq!(grown_f, grown_c);
+    faulty.recover_node(NodeId(1)).unwrap();
+
+    for q in &queries {
+        let a = faulty.query(q, &params).unwrap();
+        let b = control.query(q, &params).unwrap();
+        assert_eq!(a.hits, b.hits, "stale recovery must not change results");
+        assert!(!a.coverage.degraded);
+    }
+    assert_eq!(
+        faulty.total_blocks(),
+        control.total_blocks(),
+        "stale copies must be re-placed, not accumulated"
+    );
+}
+
+#[test]
+fn detector_sync_fails_suspects_and_recovers_on_fresh_beats() {
+    // False-positive recovery: a slow-but-alive node is suspected,
+    // routed around, then unsuspected once it beats again.
+    use mendel_suite::net::{HeartbeatMonitor, NodeAddr};
+    use std::time::{Duration, Instant};
+
+    let db = db(12);
+    let cluster = replicated_cluster(&db, 2);
+    let params = QueryParams::protein();
+    let q = db.get(SeqId(6)).unwrap().residues.clone();
+    let baseline = cluster.query(&q, &params).unwrap().best().unwrap().subject;
+
+    let mut monitor = HeartbeatMonitor::new(Duration::from_millis(100));
+    let now = Instant::now();
+    for n in 0..8u16 {
+        let when = if n == 3 {
+            now - Duration::from_millis(250) // slow node: beats arrive late
+        } else {
+            now
+        };
+        monitor.observe_at(NodeAddr(n), when);
+    }
+    let delta = cluster.sync_failure_detector(&monitor);
+    assert_eq!(delta.suspected, vec![NodeId(3)]);
+    assert!(delta.recovered.is_empty());
+    assert_eq!(cluster.failed_nodes(), vec![NodeId(3)]);
+    // Routed around: replicas mask the suspect.
+    let masked = cluster.query(&q, &params).unwrap();
+    assert_eq!(masked.best().unwrap().subject, baseline);
+    assert!(!masked.coverage.degraded, "replication keeps full coverage");
+
+    // Re-syncing while still silent must not re-suspect (idempotent).
+    let again = cluster.sync_failure_detector(&monitor);
+    assert!(again.suspected.is_empty() && again.recovered.is_empty());
+
+    // The node beats again → auto-recovery.
+    monitor.observe(NodeAddr(3));
+    let delta = cluster.sync_failure_detector(&monitor);
+    assert_eq!(delta.recovered, vec![NodeId(3)]);
+    assert!(cluster.failed_nodes().is_empty());
+    assert_eq!(
+        cluster.query(&q, &params).unwrap().best().unwrap().subject,
+        baseline
+    );
+}
+
+#[test]
+fn detector_never_recovers_operator_failed_nodes() {
+    use mendel_suite::net::{HeartbeatMonitor, NodeAddr};
+    use std::time::Duration;
+
+    let db = db(13);
+    let cluster = replicated_cluster(&db, 2);
+    cluster.fail_node(NodeId(5)).unwrap(); // operator decision
+    let mut monitor = HeartbeatMonitor::new(Duration::from_millis(100));
+    monitor.observe(NodeAddr(5)); // the node is beating happily
+    let delta = cluster.sync_failure_detector(&monitor);
+    assert!(delta.recovered.is_empty(), "operator failures stick");
+    assert_eq!(cluster.failed_nodes(), vec![NodeId(5)]);
+}
+
+#[test]
+fn repair_restores_replication_factor() {
+    let db = db(14);
+    let cluster = replicated_cluster(&db, 2);
+    let params = QueryParams::protein();
+    let q = db.get(SeqId(10)).unwrap().residues.clone();
+    let baseline = cluster.query(&q, &params).unwrap().hits;
+
+    // One node down: coverage holds (replicas), but blocks it held are
+    // now at a single live copy.
+    cluster.fail_node(NodeId(0)).unwrap();
+    let report = cluster.repair();
+    assert!(
+        report.copies_added > 0,
+        "under-replicated blocks get copies"
+    );
+    assert_eq!(report.unreachable, 0);
+    assert!(cluster.load_report().blocks_moved >= report.copies_added);
+    // Repair is idempotent: a second pass finds nothing to do.
+    assert_eq!(cluster.repair().copies_added, 0);
+
+    // Now a *second* node in the same group dies. Without repair this
+    // could lose both copies of some block; after repair the data
+    // survives any further single failure.
+    cluster.fail_node(NodeId(1)).unwrap();
+    let after = cluster.query_from(NodeId(2), &q, &params).unwrap();
+    assert!(
+        !after.coverage.degraded,
+        "repair restored the safety margin"
+    );
+    assert_eq!(after.hits, baseline);
+}
+
+#[test]
+fn coverage_reports_degradation_and_heals_on_recovery() {
+    let db = db(15);
+    let cluster = replicated_cluster(&db, 1); // no redundancy
+    let params = QueryParams::protein();
+    let q = db.get(SeqId(2)).unwrap().residues.clone();
+    let healthy = cluster.query(&q, &params).unwrap();
+    assert!(!healthy.coverage.degraded);
+    assert_eq!(healthy.coverage.fraction(), 1.0);
+
+    cluster.fail_node(NodeId(6)).unwrap();
+    let degraded = cluster.query_from(NodeId(0), &q, &params).unwrap();
+    assert!(degraded.coverage.degraded, "lost blocks must be flagged");
+    assert!(degraded.coverage.fraction() < 1.0);
+    let down_group = degraded
+        .coverage
+        .per_group
+        .iter()
+        .find(|g| g.reachable < g.expected)
+        .expect("some group lost blocks");
+    assert_eq!(down_group.live_members, 3);
+    // Repair cannot recreate single-replica data — only recovery can.
+    let repaired = cluster.repair();
+    assert!(repaired.unreachable > 0);
+    cluster.recover_node(NodeId(6)).unwrap();
+    let healed = cluster.query(&q, &params).unwrap();
+    assert!(!healed.coverage.degraded);
 }
 
 #[test]
