@@ -57,7 +57,15 @@ if [ "$MODE" != "quick" ]; then
         cargo test --workspace --features strict-invariants -q
 fi
 
-# 6. Seeded chaos suite (DESIGN.md §9): deterministic fault injection,
+# 6. Kernel/arena perf harness self-checks (DESIGN.md §10): tiny sizes,
+#    asserts the report JSON is well-formed and that bounded kNN returns
+#    bit-identical results to the unbounded baseline.
+if [ "$MODE" != "quick" ]; then
+    step "kernel_bench --smoke" \
+        cargo run --release -q -p mendel-bench --bin kernel_bench -- --smoke
+fi
+
+# 7. Seeded chaos suite (DESIGN.md §9): deterministic fault injection,
 #    heartbeat failover, and re-replication repair under the invariant
 #    checkers. Fast fixed seeds only; the multi-seed sweep stays behind
 #    `--ignored`.

@@ -88,7 +88,8 @@ fn main() {
         for b in make_blocks(s, BLOCK_LEN) {
             let _ = &metric; // metric drives the prefix hash below
             let g = GroupId(
-                assignment.group_of_bucket(prefix.bucket_index(prefix.hash(&b.window))) as u16,
+                assignment.group_of_bucket(prefix.bucket_index(prefix.hash(&b.window.to_vec())))
+                    as u16,
             );
             let node = placement
                 .primary(&topo, g, &b.key().as_bytes())

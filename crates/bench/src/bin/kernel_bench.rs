@@ -1,0 +1,396 @@
+//! PR 3 perf harness — early-abandoning kernels and arena-backed blocks.
+//!
+//! Two micro-benchmarks over the shared `nr`-like workload:
+//!
+//! 1. **Bounded vs. unbounded kNN.** Two vp-trees with identical
+//!    geometry (same points, same seed) differ only in the kernel: the
+//!    early-abandoning `dist_bounded` versus the full-compute
+//!    [`Unbounded`] wrapper. Results must be bit-identical — the bench
+//!    asserts so — and the bounded tree must win on leaf-scan time.
+//! 2. **Arena vs. materialized ingest.** The same blocks ingested into
+//!    an arena-backed [`StorageNode`] versus the materialized-era layout
+//!    (one owned `Vec<u8>` per window in the store, a second in the
+//!    tree), comparing ingest time and stored bytes.
+//!
+//! ```sh
+//! cargo run --release -p mendel-bench --bin kernel_bench            # full, writes BENCH_pr3_kernels.json
+//! cargo run --release -p mendel-bench --bin kernel_bench -- --smoke # tiny sizes, self-checks only
+//! ```
+
+// Benchmark reports go to stdout by design.
+#![allow(clippy::print_stdout)]
+
+use mendel::node::StorageNode;
+use mendel::{make_blocks, BlockMetric};
+use mendel_bench::{figure_header, protein_db, DB_SEED};
+use mendel_dht::store::BlockStore;
+use mendel_seq::{Alphabet, BlockDistance, MatrixDistance, Metric, ScoringMatrix, Unbounded};
+use mendel_vptree::{DynamicVpTree, Neighbor, VpTree};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Workload scale, full vs. `--smoke`.
+struct Scale {
+    knn_points: usize,
+    knn_queries: usize,
+    ingest_residues: usize,
+    reps: usize,
+}
+
+const FULL: Scale = Scale {
+    knn_points: 50_000,
+    knn_queries: 200,
+    ingest_residues: 400_000,
+    reps: 3,
+};
+
+const SMOKE: Scale = Scale {
+    knn_points: 600,
+    knn_queries: 20,
+    ingest_residues: 20_000,
+    reps: 1,
+};
+
+/// Window length for the kNN micro-bench: long enough that a running-sum
+/// bail-out skips real work (the abandon check fires every 8 residues).
+const WINDOW_LEN: usize = 64;
+/// Large leaf buckets so leaf scans dominate, as in the issue's target.
+const BUCKET: usize = 32;
+const K: usize = 8;
+/// Block length for the ingest micro-bench (the paper's protein k).
+const BLOCK_LEN: usize = 16;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { SMOKE } else { FULL };
+    figure_header(
+        "PR 3 kernels",
+        "early-abandoning distance kernels + arena-backed blocks",
+    );
+    if smoke {
+        println!("mode: --smoke (tiny sizes; self-checks only)\n");
+    }
+
+    let (leaf_json, speedup) = bench_leaf_scan(&scale);
+    let tree_json = bench_tree_knn(&scale);
+    let ingest_json = bench_ingest(&scale);
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr3_kernels\",\n  \"mode\": \"{}\",\n  \"leaf_scan\": {leaf_json},\n  \"tree_knn\": {tree_json},\n  \"ingest\": {ingest_json}\n}}\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    assert_json_well_formed(&json);
+
+    let path = if smoke {
+        std::env::temp_dir().join("BENCH_pr3_kernels.smoke.json")
+    } else {
+        // The bench crate lives at crates/bench; the report is checked in
+        // at the repository root.
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr3_kernels.json")
+    };
+    // audit:allow(expect): bench binary; an unwritable report path should abort the run.
+    std::fs::write(&path, &json).expect("write benchmark report");
+    println!("\nreport: {}", path.display());
+
+    if smoke {
+        println!("smoke checks passed: JSON well-formed, bounded kNN identical to unbounded");
+    } else if speedup < 1.5 {
+        println!("WARNING: bounded-kernel speedup {speedup:.2}x below the 1.5x target");
+    }
+}
+
+/// Minimal splitmix-style generator so the workload is deterministic
+/// without touching the figure binaries' rand plumbing.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A family-clustered window workload: random 64-residue cluster centers
+/// with point-mutated members, the `nr`-style redundancy regime Mendel's
+/// metric trees exploit (DESIGN.md §10). Queries are drawn from the same
+/// centers, so each has a full heap of near neighbours and τ collapses
+/// early — exactly when the early-abandoning kernel should pay off.
+fn clustered_workload(points: usize, queries: usize, seed: u64) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    const PER_CLUSTER: usize = 16;
+    const MUTATIONS: usize = 4;
+    let mut rng = Lcg(seed | 1);
+    let centers: Vec<Vec<u8>> = (0..points.div_ceil(PER_CLUSTER))
+        .map(|_| (0..WINDOW_LEN).map(|_| (rng.below(24)) as u8).collect())
+        .collect();
+    fn mutated(center: &[u8], rng: &mut Lcg) -> Vec<u8> {
+        let mut w = center.to_vec();
+        for _ in 0..MUTATIONS {
+            let p = rng.below(w.len());
+            w[p] = rng.below(24) as u8;
+        }
+        w
+    }
+    let ps: Vec<Vec<u8>> = (0..points)
+        .map(|i| mutated(&centers[i % centers.len()], &mut rng))
+        .collect();
+    let qs: Vec<Vec<u8>> = (0..queries)
+        .map(|_| {
+            let c = rng.below(centers.len());
+            mutated(&centers[c], &mut rng)
+        })
+        .collect();
+    (ps, qs)
+}
+
+/// Best-of-`reps` wall time (`reps ≥ 1`), returning the last result.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let t = Instant::now();
+    let mut out = f();
+    let mut best = t.elapsed();
+    for _ in 1..reps {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed());
+    }
+    (best, out)
+}
+
+/// The headline micro-bench: a raw leaf scan. Every vp-tree leaf does
+/// exactly this — walk a candidate list offering each point to the
+/// shrinking-τ heap — so the bounded kernel's win here is the win inside
+/// every visited bucket, undiluted by traversal bookkeeping.
+fn bench_leaf_scan(scale: &Scale) -> (String, f64) {
+    use mendel_vptree::knn::KnnHeap;
+    let (points, queries) = clustered_workload(scale.knn_points, scale.knn_queries, DB_SEED);
+    let metric = BlockDistance::new(MatrixDistance::mendel(&ScoringMatrix::blosum62()));
+
+    let scan_full = || -> Vec<Vec<Neighbor>> {
+        queries
+            .iter()
+            .map(|q| {
+                let mut heap = KnnHeap::new(K);
+                for (i, p) in points.iter().enumerate() {
+                    heap.offer(i as u32, metric.dist(q, p));
+                }
+                heap.into_sorted()
+            })
+            .collect()
+    };
+    let scan_bounded = || -> Vec<Vec<Neighbor>> {
+        queries
+            .iter()
+            .map(|q| {
+                let mut heap = KnnHeap::new(K);
+                for (i, p) in points.iter().enumerate() {
+                    if let Some(d) = metric.dist_bounded(q, p, heap.tau()) {
+                        heap.offer(i as u32, d);
+                    }
+                }
+                heap.into_sorted()
+            })
+            .collect()
+    };
+    let (unbounded_t, base_hits) = time_best(scale.reps, scan_full);
+    let (bounded_t, fast_hits) = time_best(scale.reps, scan_bounded);
+    assert_identical(&base_hits, &fast_hits, "leaf scan");
+
+    let speedup = unbounded_t.as_secs_f64() / bounded_t.as_secs_f64().max(1e-12);
+    println!(
+        "leaf scan ({} points, {} queries, k={K}, window {WINDOW_LEN}):",
+        points.len(),
+        queries.len()
+    );
+    println!(
+        "  unbounded {:8.2} ms   bounded {:8.2} ms   speedup {speedup:.2}x   results identical",
+        unbounded_t.as_secs_f64() * 1e3,
+        bounded_t.as_secs_f64() * 1e3,
+    );
+    let json = format!(
+        "{{\n    \"points\": {}, \"queries\": {}, \"k\": {K}, \"window_len\": {WINDOW_LEN},\n    \"unbounded_ms\": {:.3}, \"bounded_ms\": {:.3}, \"speedup\": {speedup:.3}, \"identical\": true\n  }}",
+        points.len(),
+        queries.len(),
+        unbounded_t.as_secs_f64() * 1e3,
+        bounded_t.as_secs_f64() * 1e3,
+    );
+    (json, speedup)
+}
+
+fn assert_identical(base: &[Vec<Neighbor>], fast: &[Vec<Neighbor>], what: &str) {
+    assert_eq!(base.len(), fast.len());
+    for (b, f) in base.iter().zip(fast) {
+        assert_eq!(
+            b.len(),
+            f.len(),
+            "{what}: bounded kNN changed the result count"
+        );
+        for (x, y) in b.iter().zip(f) {
+            assert_eq!(x.index, y.index, "{what}: bounded kNN changed a neighbour");
+            assert_eq!(
+                x.dist.to_bits(),
+                y.dist.to_bits(),
+                "{what}: bounded kNN changed a distance"
+            );
+        }
+    }
+}
+
+/// End-to-end tree kNN with the bounded kernels threaded through both
+/// leaf scans and vantage evaluations, against the full-compute
+/// [`Unbounded`] baseline over identical tree geometry.
+fn bench_tree_knn(scale: &Scale) -> String {
+    let (points, queries) = clustered_workload(scale.knn_points, scale.knn_queries, DB_SEED);
+    let matrix = MatrixDistance::mendel(&ScoringMatrix::blosum62());
+
+    // Same points, same seed → identical tree geometry; only the kernel
+    // differs between the two trees.
+    let bounded = VpTree::build(
+        points.clone(),
+        BlockDistance::new(matrix.clone()),
+        BUCKET,
+        DB_SEED,
+    );
+    let baseline = VpTree::build(
+        points,
+        BlockDistance::new(Unbounded(matrix)),
+        BUCKET,
+        DB_SEED,
+    );
+
+    fn run<M: mendel_seq::Metric<Vec<u8>>>(
+        tree: &VpTree<Vec<u8>, M>,
+        queries: &[Vec<u8>],
+    ) -> Vec<Vec<Neighbor>> {
+        queries.iter().map(|q| tree.knn(q, K)).collect()
+    }
+    let (unbounded_t, base_hits) = time_best(scale.reps, || run(&baseline, &queries));
+    let (bounded_t, fast_hits) = time_best(scale.reps, || run(&bounded, &queries));
+    assert_identical(&base_hits, &fast_hits, "tree knn");
+
+    let speedup = unbounded_t.as_secs_f64() / bounded_t.as_secs_f64().max(1e-12);
+    println!(
+        "\ntree kNN ({} points, {} queries, k={K}, window {WINDOW_LEN}, bucket {BUCKET}):",
+        bounded.len(),
+        queries.len()
+    );
+    println!(
+        "  unbounded {:8.2} ms   bounded {:8.2} ms   speedup {speedup:.2}x   results identical",
+        unbounded_t.as_secs_f64() * 1e3,
+        bounded_t.as_secs_f64() * 1e3,
+    );
+
+    format!(
+        "{{\n    \"points\": {}, \"queries\": {}, \"k\": {K}, \"window_len\": {WINDOW_LEN}, \"bucket\": {BUCKET},\n    \"unbounded_ms\": {:.3}, \"bounded_ms\": {:.3}, \"speedup\": {speedup:.3}, \"identical\": true\n  }}",
+        bounded.len(),
+        queries.len(),
+        unbounded_t.as_secs_f64() * 1e3,
+        bounded_t.as_secs_f64() * 1e3,
+    )
+}
+
+fn bench_ingest(scale: &Scale) -> String {
+    let db = protein_db(scale.ingest_residues);
+    let blocks_per_seq: Vec<_> = db.iter().map(|s| make_blocks(s, BLOCK_LEN)).collect();
+    let total_blocks: usize = blocks_per_seq.iter().map(|b| b.len()).sum();
+
+    // Materialized era: one owned Vec<u8> per window in the store (plus
+    // 8 bytes of provenance in its accounting), a second copy as the
+    // tree's point — the layout this PR retired.
+    let (mat_t, mat_store_bytes) = time_best(scale.reps, || {
+        let mut store: BlockStore<Vec<u8>> = BlockStore::new();
+        let mut tree: DynamicVpTree<Vec<u8>, BlockMetric> =
+            DynamicVpTree::new(BlockMetric::mendel_blosum62(), 16, DB_SEED);
+        for blocks in &blocks_per_seq {
+            let windows: Vec<Vec<u8>> = blocks.iter().map(|b| b.window.to_vec()).collect();
+            for w in &windows {
+                store.push(w.clone());
+            }
+            tree.insert_batch(windows);
+        }
+        store.bytes() + 8 * store.len() as u64
+    });
+
+    // Arena era: the real StorageNode ingest path.
+    let db_cell = Arc::new(RwLock::new(db.clone()));
+    let (arena_t, node_bytes) = time_best(scale.reps, || {
+        let mut node = StorageNode::new(
+            BlockMetric::mendel_blosum62(),
+            16,
+            db_cell.clone(),
+            Alphabet::Protein,
+            DB_SEED,
+        );
+        for blocks in &blocks_per_seq {
+            node.insert_blocks(blocks.clone());
+        }
+        node.stored_bytes()
+    });
+
+    let mat_per_block = mat_store_bytes as f64 / total_blocks as f64;
+    let arena_per_block = node_bytes as f64 / total_blocks as f64;
+    assert!(
+        node_bytes < mat_store_bytes,
+        "arena blocks must store fewer bytes ({node_bytes} vs {mat_store_bytes})"
+    );
+    println!(
+        "\ningest ({} sequences, {} blocks, block {BLOCK_LEN}):",
+        db.len(),
+        total_blocks
+    );
+    println!(
+        "  materialized {:8.2} ms, {:7.2} B/block   arena {:8.2} ms, {:7.2} B/block",
+        mat_t.as_secs_f64() * 1e3,
+        mat_per_block,
+        arena_t.as_secs_f64() * 1e3,
+        arena_per_block,
+    );
+
+    format!(
+        "{{\n    \"sequences\": {}, \"blocks\": {total_blocks}, \"block_len\": {BLOCK_LEN},\n    \"materialized_ms\": {:.3}, \"arena_ms\": {:.3},\n    \"materialized_bytes\": {mat_store_bytes}, \"arena_bytes\": {node_bytes},\n    \"materialized_bytes_per_block\": {mat_per_block:.2}, \"arena_bytes_per_block\": {arena_per_block:.2}\n  }}",
+        db.len(),
+        mat_t.as_secs_f64() * 1e3,
+        arena_t.as_secs_f64() * 1e3,
+    )
+}
+
+/// No serde in the workspace: a structural sanity check on the
+/// hand-rendered JSON — balanced braces/brackets outside strings, no
+/// trailing commas, and the keys the driver greps for.
+fn assert_json_well_formed(json: &str) {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut prev = ' ';
+    for c in json.chars() {
+        if in_str {
+            if c == '"' && prev != '\\' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    assert!(prev != ',', "trailing comma before {c}");
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced braces");
+                }
+                _ => {}
+            }
+        }
+        if !c.is_whitespace() {
+            prev = c;
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced braces");
+    assert!(!in_str, "unterminated string");
+    for key in ["\"speedup\"", "\"identical\": true", "\"arena_bytes\""] {
+        assert!(json.contains(key), "report missing {key}");
+    }
+}

@@ -10,8 +10,9 @@
 
 use mendel_dht::store::StoredBytes;
 use mendel_net::codec::{Decode, DecodeError, Encode};
-use mendel_seq::{SeqId, Sequence};
+use mendel_seq::{SeqId, Sequence, WindowView};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The globally unique key of a block: (sequence, start offset). Its
 /// byte form feeds the second-tier SHA-1 placement hash.
@@ -33,16 +34,20 @@ impl BlockKey {
     }
 }
 
-/// One inverted-index block: a fixed-length window of residue codes plus
-/// provenance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// One inverted-index block: provenance plus a zero-copy window view.
+///
+/// The window is a [`WindowView`] over a shared backing buffer — all
+/// L−k+1 overlapping blocks of one sequence reference a single buffer
+/// instead of materializing k× its bytes (see DESIGN.md §10). The view
+/// dereferences to `&[u8]`, so content access is unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
     /// Owning sequence.
     pub seq: SeqId,
     /// Start offset of this window within the sequence.
     pub start: u32,
     /// The window's residue codes (length = the cluster's block length).
-    pub window: Vec<u8>,
+    pub window: WindowView,
 }
 
 impl Block {
@@ -74,9 +79,21 @@ impl Block {
     }
 }
 
+/// A materialized block's transfer size: window content plus provenance.
+/// Storage nodes no longer pay this per block — they store compact
+/// [`BlockKey`] entries against a sequence arena — but rebalance/repair
+/// transfers and snapshots still ship this much per block.
 impl StoredBytes for Block {
     fn stored_bytes(&self) -> usize {
         self.window.len() + std::mem::size_of::<SeqId>() + std::mem::size_of::<u32>()
+    }
+}
+
+/// The compact per-block store entry: 8 bytes of provenance; window
+/// content lives once per sequence in the node's arena.
+impl StoredBytes for BlockKey {
+    fn stored_bytes(&self) -> usize {
+        std::mem::size_of::<SeqId>() + std::mem::size_of::<u32>()
     }
 }
 
@@ -84,7 +101,10 @@ impl Encode for Block {
     fn encode(&self, buf: &mut bytes::BytesMut) {
         self.seq.0.encode(buf);
         self.start.encode(buf);
-        self.window.encode(buf);
+        // Window content in the `Vec<u8>` frame (u32-le length + bytes),
+        // keeping the wire format identical to the materialized era.
+        (self.window.len() as u32).encode(buf);
+        buf.extend_from_slice(&self.window);
     }
 }
 
@@ -93,7 +113,9 @@ impl Decode for Block {
         Ok(Block {
             seq: SeqId(u32::decode(buf)?),
             start: u32::decode(buf)?,
-            window: Vec::<u8>::decode(buf)?,
+            // Decoded views are standalone; the receiving node re-anchors
+            // them against its own arena on insert.
+            window: WindowView::standalone(Vec::<u8>::decode(buf)?),
         })
     }
 }
@@ -101,16 +123,21 @@ impl Decode for Block {
 /// Phase 1 of indexing: fragment `seq` into its inverted-index blocks
 /// with a step-one sliding window of length `block_len`. A sequence
 /// shorter than the window yields no blocks.
+///
+/// The sequence's residues are copied into **one** shared backing buffer;
+/// every block's window is a view into it, so fragmentation costs O(L)
+/// bytes instead of O(L·k).
 pub fn make_blocks(seq: &Sequence, block_len: usize) -> Vec<Block> {
     assert!(block_len >= 1, "block length must be positive");
     if seq.len() < block_len {
         return Vec::new();
     }
+    let backing: Arc<[u8]> = Arc::from(seq.residues.as_slice());
     let blocks: Vec<Block> = (0..=seq.len() - block_len)
         .map(|start| Block {
             seq: seq.id,
             start: start as u32,
-            window: seq.residues[start..start + block_len].to_vec(),
+            window: WindowView::new(backing.clone(), start, block_len),
         })
         .collect();
     #[cfg(feature = "strict-invariants")]
@@ -228,7 +255,7 @@ mod tests {
         let s = seq(b"ACGTACGTAC");
         let blocks = make_blocks(&s, 4);
         // First block plus every block's last residue reconstructs s.
-        let mut rebuilt = blocks[0].window.clone();
+        let mut rebuilt = blocks[0].window.to_vec();
         for b in &blocks[1..] {
             rebuilt.push(*b.window.last().unwrap());
         }
@@ -278,10 +305,39 @@ mod tests {
         let b = Block {
             seq: SeqId(3),
             start: 17,
-            window: vec![1, 2, 3, 4],
+            window: WindowView::standalone(vec![1, 2, 3, 4]),
         };
         let bytes = b.to_bytes();
         assert_eq!(Block::from_bytes(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn wire_format_matches_the_materialized_era() {
+        // (seq u32-le, start u32-le, window len u32-le, window bytes) —
+        // the exact frame the pre-arena `Vec<u8>` window encoded.
+        let b = Block {
+            seq: SeqId(3),
+            start: 17,
+            window: WindowView::standalone(vec![1, 2, 3, 4]),
+        };
+        assert_eq!(
+            b.to_bytes().as_ref(),
+            [3, 0, 0, 0, 17, 0, 0, 0, 4, 0, 0, 0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn anchored_and_standalone_blocks_compare_equal() {
+        let s = seq(b"ACGTACGT");
+        let blocks = make_blocks(&s, 4);
+        let rt = Block::from_bytes(&blocks[2].to_bytes()).unwrap();
+        assert_eq!(rt, blocks[2], "wire roundtrip loses nothing observable");
+        assert_eq!(rt.window.offset(), 0, "decoded views are standalone");
+        assert_eq!(
+            blocks[2].window.offset(),
+            2,
+            "fragmented views are anchored"
+        );
     }
 
     #[test]
@@ -289,9 +345,10 @@ mod tests {
         let b = Block {
             seq: SeqId(0),
             start: 0,
-            window: vec![0; 20],
+            window: WindowView::standalone(vec![0; 20]),
         };
         assert_eq!(b.stored_bytes(), 20 + 8);
+        assert_eq!(b.key().stored_bytes(), 8, "store entries are compact");
     }
 
     #[test]
@@ -326,7 +383,9 @@ mod tests {
         assert!(check_block_chain(&blocks, s.len()).is_err());
         // A mutated window breaks the k−1 overlap.
         let mut blocks = make_blocks(&s, 4);
-        blocks[3].window[0] ^= 1;
+        let mut corrupt = blocks[3].window.to_vec();
+        corrupt[0] ^= 1;
+        blocks[3].window = WindowView::standalone(corrupt);
         assert!(check_block_chain(&blocks, s.len())
             .unwrap_err()
             .contains("overlap"));

@@ -5,7 +5,7 @@
 //! without triangle-inequality repair) for proteins. A small enum avoids
 //! making every tree generic at the cluster API surface.
 
-use mendel_seq::{Hamming, MatrixDistance, Metric, ScoringMatrix};
+use mendel_seq::{Hamming, MatrixDistance, Metric, ScoringMatrix, WindowView};
 use std::sync::Arc;
 
 /// The per-block distance function used by every vp-tree in a cluster.
@@ -49,12 +49,38 @@ impl Metric<[u8]> for BlockMetric {
             BlockMetric::Matrix(m) => m.dist(a, b),
         }
     }
+
+    #[inline]
+    fn dist_bounded(&self, a: &[u8], b: &[u8], bound: f32) -> Option<f32> {
+        match self {
+            BlockMetric::Hamming => Hamming.dist_bounded(a, b, bound),
+            BlockMetric::Matrix(m) => m.dist_bounded(a, b, bound),
+        }
+    }
 }
 
 impl Metric<Vec<u8>> for BlockMetric {
     #[inline]
     fn dist(&self, a: &Vec<u8>, b: &Vec<u8>) -> f32 {
         Metric::<[u8]>::dist(self, a.as_slice(), b.as_slice())
+    }
+
+    #[inline]
+    fn dist_bounded(&self, a: &Vec<u8>, b: &Vec<u8>, bound: f32) -> Option<f32> {
+        Metric::<[u8]>::dist_bounded(self, a.as_slice(), b.as_slice(), bound)
+    }
+}
+
+/// The storage nodes' vp-trees index arena-backed [`WindowView`] points.
+impl Metric<WindowView> for BlockMetric {
+    #[inline]
+    fn dist(&self, a: &WindowView, b: &WindowView) -> f32 {
+        Metric::<[u8]>::dist(self, a.as_slice(), b.as_slice())
+    }
+
+    #[inline]
+    fn dist_bounded(&self, a: &WindowView, b: &WindowView, bound: f32) -> Option<f32> {
+        Metric::<[u8]>::dist_bounded(self, a.as_slice(), b.as_slice(), bound)
     }
 }
 

@@ -13,13 +13,13 @@
 //! from its key); the shared handle models that path without shipping
 //! bytes — see DESIGN.md §3.
 
-use crate::block::Block;
+use crate::block::{Block, BlockKey};
 use crate::metric::BlockMetric;
 use crate::params::QueryParams;
 use crate::query::{c_score, identity};
 use mendel_align::{extend_ungapped, Hsp};
 use mendel_dht::store::BlockStore;
-use mendel_seq::{Alphabet, ScoringMatrix, SeqStore};
+use mendel_seq::{Alphabet, ScoringMatrix, SeqArena, SeqStore, WindowView};
 use mendel_vptree::DynamicVpTree;
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -30,9 +30,15 @@ use std::sync::Arc;
 pub type DbCell = Arc<RwLock<Arc<SeqStore>>>;
 
 /// One storage node's state.
+///
+/// Blocks are held arena-backed: the store keeps compact `(seq, start)`
+/// entries, the vp-tree indexes [`WindowView`] points, and the window
+/// bytes themselves live once per sequence in the node's [`SeqArena`] —
+/// however many overlapping blocks of that sequence the node holds.
 pub struct StorageNode {
-    store: BlockStore<Block>,
-    tree: DynamicVpTree<Vec<u8>, BlockMetric>,
+    store: BlockStore<BlockKey>,
+    arena: SeqArena,
+    tree: DynamicVpTree<WindowView, BlockMetric>,
     /// Read path to sequence content for anchor extension (models the
     /// zero-hop block-fetch path; see module docs).
     db: DbCell,
@@ -60,21 +66,55 @@ impl StorageNode {
     ) -> Self {
         StorageNode {
             store: BlockStore::new(),
+            arena: SeqArena::new(),
             tree: DynamicVpTree::new(metric, bucket_capacity, seed),
             db,
             alphabet,
         }
     }
 
+    /// Re-anchor one incoming block against the node's arena, interning
+    /// its sequence on first contact. Preference order: an already-interned
+    /// buffer, then the reference store's canonical residues (the zero-hop
+    /// fetch path; one copy per sequence per node), then the block's own
+    /// backing when it is anchored in sequence coordinates (the
+    /// `make_blocks` case — no copy at all). A block anchored to none of
+    /// these (a wire-decoded orphan whose sequence the node cannot see)
+    /// keeps its standalone view.
+    fn anchor(&mut self, db: &SeqStore, b: &Block) -> WindowView {
+        let len = b.window.len();
+        if let Some(v) = self.arena.view(b.seq, b.start, len) {
+            return v;
+        }
+        if let Some(s) = db.get(b.seq) {
+            if b.start as usize + len <= s.residues.len() {
+                self.arena.intern(b.seq, &s.residues);
+                if let Some(v) = self.arena.view(b.seq, b.start, len) {
+                    return v;
+                }
+            }
+        }
+        if b.window.anchored_at(b.start) {
+            self.arena.intern_arc(b.seq, b.window.backing().clone());
+            if let Some(v) = self.arena.view(b.seq, b.start, len) {
+                return v;
+            }
+        }
+        b.window.clone()
+    }
+
     /// Phase 3 of indexing: store a batch of blocks and index their
     /// windows in the local vp-tree. Tree point indices equal block-store
-    /// refs (both are append-only and fed in lockstep).
+    /// refs (both are append-only and fed in lockstep). Window content is
+    /// anchored into the per-node arena, so the store only keeps 8-byte
+    /// `(seq, start)` entries and each sequence's bytes are charged once.
     pub fn insert_blocks(&mut self, blocks: Vec<Block>) {
-        let windows: Vec<Vec<u8>> = blocks.iter().map(|b| b.window.clone()).collect();
-        for b in blocks {
-            self.store.push(b);
+        let db = self.db.read().clone();
+        let views: Vec<WindowView> = blocks.iter().map(|b| self.anchor(&db, b)).collect();
+        for b in &blocks {
+            self.store.push(b.key());
         }
-        self.tree.insert_batch(windows);
+        self.tree.insert_batch(views);
         debug_assert_eq!(self.store.len(), self.tree.len());
         #[cfg(feature = "strict-invariants")]
         {
@@ -86,6 +126,10 @@ impl StorageNode {
                 // audit:allow(panic): strict-invariants mode aborts on structural corruption by design.
                 panic!("storage-node ingest violated vp-tree invariants: {e}");
             }
+            if let Err(e) = self.arena.check_invariants() {
+                // audit:allow(panic): strict-invariants mode aborts on accounting corruption by design.
+                panic!("storage-node ingest violated arena invariants: {e}");
+            }
         }
     }
 
@@ -94,20 +138,37 @@ impl StorageNode {
         self.store.len()
     }
 
-    /// Bytes of block payload held (the Fig. 5 load measurement).
+    /// Bytes held (the Fig. 5 load measurement): 8 bytes of provenance
+    /// per block plus each interned sequence's bytes charged **once**,
+    /// however many overlapping windows reference it. This replaces the
+    /// materialized-era `blocks × (k + 8)` accounting — see DESIGN.md §10.
     pub fn stored_bytes(&self) -> u64 {
-        self.store.bytes()
+        self.store.bytes() + self.arena.bytes()
     }
 
-    /// All blocks (snapshot/rebalance path).
+    /// Bytes held in the sequence arena alone.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena.bytes()
+    }
+
+    /// All blocks (snapshot/rebalance path). Windows are the tree's
+    /// arena-backed views — reconstructing a block clones an `Arc`, not
+    /// window bytes.
     pub fn blocks(&self) -> Vec<Block> {
-        self.store.iter().map(|(_, b)| b.clone()).collect()
+        self.store
+            .iter()
+            .map(|(r, k)| Block {
+                seq: k.seq,
+                start: k.start,
+                window: self.tree.point(r.0).clone(),
+            })
+            .collect()
     }
 
-    /// Keys of all held blocks, without cloning payloads (coverage and
+    /// Keys of all held blocks, without touching payloads (coverage and
     /// repair accounting).
     pub fn block_keys(&self) -> Vec<crate::block::BlockKey> {
-        self.store.iter().map(|(_, b)| b.key()).collect()
+        self.store.iter().map(|(_, k)| *k).collect()
     }
 
     /// Evaluate a batch of subquery windows against this node (§V-B):
@@ -136,46 +197,55 @@ impl StorageNode {
         // (subject, diagonal) → query range already covered by an anchor.
         let mut covered: std::collections::HashMap<(u32, i64), (usize, usize)> =
             std::collections::HashMap::new();
+        // One shared backing for every subquery view — the same zero-copy
+        // representation the tree's own points use.
+        let query_backing: Arc<[u8]> = Arc::from(query);
         for &offset in offsets {
             let window = &query[offset..offset + block_len];
-            let neighbors =
-                self.tree
-                    .knn_with_budget(&window.to_vec(), params.n, params.search_budget);
+            let qview = WindowView::new(query_backing.clone(), offset, block_len);
+            let neighbors = self
+                .tree
+                .knn_with_budget(&qview, params.n, params.search_budget);
             out.candidates += neighbors.len();
             for nb in neighbors {
-                let block = self
-                    .store
-                    .get(mendel_dht::BlockRef(nb.index))
-                    .expect("tree/store sync");
+                // Tree point indices equal store refs (fed in lockstep); a
+                // desync would be a bug, but degrading to "skip candidate"
+                // beats panicking in the middle of a distributed query.
+                let Some(&entry) = self.store.get(mendel_dht::BlockRef(nb.index)) else {
+                    continue;
+                };
+                let cand = self.tree.point(nb.index).as_slice();
                 // §V-B candidate measures.
-                if identity(window, &block.window) < params.i {
+                if identity(window, cand) < params.i {
                     continue;
                 }
-                if c_score(window, &block.window, positive) < params.c {
+                if c_score(window, cand, positive) < params.c {
                     continue;
                 }
-                let diag = block.start as i64 - offset as i64;
-                if let Some(&(cs, ce)) = covered.get(&(block.seq.0, diag)) {
+                let diag = entry.start as i64 - offset as i64;
+                if let Some(&(cs, ce)) = covered.get(&(entry.seq.0, diag)) {
                     if offset >= cs && offset + block_len <= ce {
                         continue; // inside an anchor we already extended
                     }
                 }
-                // Anchor extension through neighbouring blocks' content.
-                let subject = &db
-                    .get(block.seq)
-                    .expect("block references an indexed sequence")
-                    .residues;
+                // Anchor extension through neighbouring blocks' content; a
+                // block whose sequence the reference store cannot resolve
+                // (mid-swap window) cannot extend, so it yields no anchor.
+                let Some(subject_seq) = db.get(entry.seq) else {
+                    continue;
+                };
+                let subject = &subject_seq.residues;
                 let ext = extend_ungapped(
                     query,
                     subject,
                     offset,
-                    block.start as usize,
+                    entry.start as usize,
                     block_len,
                     matrix,
                     params.x_drop_ungapped,
                 );
                 covered
-                    .entry((block.seq.0, diag))
+                    .entry((entry.seq.0, diag))
                     .and_modify(|(cs, ce)| {
                         *cs = (*cs).min(ext.query_start);
                         *ce = (*ce).max(ext.query_end);
@@ -185,7 +255,7 @@ impl StorageNode {
                     continue; // a chance neighbour, not a seed (§V-B threshold)
                 }
                 out.anchors.push(Hsp {
-                    subject_id: block.seq.0,
+                    subject_id: entry.seq.0,
                     query_start: ext.query_start,
                     query_end: ext.query_end,
                     subject_start: ext.subject_start,
@@ -263,6 +333,75 @@ mod tests {
         let node = loaded_node(&db);
         assert!(node.block_count() > 0);
         assert!(node.stored_bytes() > 0);
+    }
+
+    #[test]
+    fn stored_bytes_charge_each_sequence_once() {
+        // The §10 accounting identity: 8 bytes of (seq, start) provenance
+        // per block, plus each held sequence's residues exactly once —
+        // not once per overlapping window as in the materialized era.
+        let db = test_db();
+        let node = loaded_node(&db);
+        let seq_bytes: u64 = db.iter().map(|s| s.residues.len() as u64).sum();
+        assert_eq!(node.arena_bytes(), seq_bytes);
+        assert_eq!(
+            node.stored_bytes(),
+            node.block_count() as u64 * 8 + seq_bytes
+        );
+        // The materialized representation would have cost k bytes per
+        // block; the arena form must come in far under it.
+        let materialized = node.block_count() as u64 * (16 + 8);
+        assert!(node.stored_bytes() < materialized / 2);
+    }
+
+    #[test]
+    fn reinserting_same_sequence_blocks_does_not_recharge_arena() {
+        let db = test_db();
+        let mut node = loaded_node(&db);
+        let before = node.arena_bytes();
+        let s = db.get(SeqId(0)).unwrap();
+        node.insert_blocks(make_blocks(s, 16));
+        assert_eq!(node.arena_bytes(), before, "sequence already interned");
+    }
+
+    #[test]
+    fn blocks_reconstruct_windows_from_arena_views() {
+        let db = test_db();
+        let node = loaded_node(&db);
+        for b in node.blocks() {
+            let s = db.get(b.seq).unwrap();
+            let start = b.start as usize;
+            assert_eq!(&b.window[..], &s.residues[start..start + 16]);
+            assert!(b.window.anchored_at(b.start), "views stay arena-anchored");
+        }
+    }
+
+    #[test]
+    fn wire_decoded_blocks_reanchor_against_the_reference_store() {
+        // A block that round-trips the wire arrives as a standalone view;
+        // inserting it must re-anchor it against the node's arena (via the
+        // reference store) rather than keeping a private copy per block.
+        use mendel_net::{Decode, Encode};
+        let db = test_db();
+        let mut node = StorageNode::new(
+            BlockMetric::mendel_blosum62(),
+            16,
+            Arc::new(RwLock::new(db.clone())),
+            Alphabet::Protein,
+            1,
+        );
+        let blocks = make_blocks(db.get(SeqId(3)).unwrap(), 16);
+        let decoded = Vec::<Block>::from_bytes(&blocks.to_bytes()).unwrap();
+        node.insert_blocks(decoded);
+        let seq_len = db.get(SeqId(3)).unwrap().residues.len() as u64;
+        assert_eq!(
+            node.arena_bytes(),
+            seq_len,
+            "one backing, not one per block"
+        );
+        for b in node.blocks() {
+            assert!(b.window.anchored_at(b.start));
+        }
     }
 
     #[test]

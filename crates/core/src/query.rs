@@ -14,40 +14,83 @@ pub fn subquery_offsets(query_len: usize, block_len: usize, step: usize) -> Vec<
     }
     let last = query_len - block_len;
     let mut offsets: Vec<usize> = (0..=last).step_by(step).collect();
-    if *offsets.last().expect("at least offset 0") != last {
+    if offsets.last() != Some(&last) {
         offsets.push(last);
     }
     offsets
 }
 
-/// Positions of a candidate window that count as "matches" for the
-/// consecutivity score: identical residues always; for proteins,
-/// "substitutions to which the BLOSUM62 matrix gives a positive score
-/// are considered as successive" (§V-B).
-fn match_mask(query_win: &[u8], cand_win: &[u8], positive: Option<&ScoringMatrix>) -> Vec<bool> {
-    debug_assert_eq!(query_win.len(), cand_win.len());
-    query_win
-        .iter()
-        .zip(cand_win)
-        .map(|(&q, &c)| q == c || positive.is_some_and(|m| m.score(q, c) > 0))
-        .collect()
+/// Whether one position counts as a "match" for the consecutivity
+/// score: identical residues always; for proteins, "substitutions to
+/// which the BLOSUM62 matrix gives a positive score are considered as
+/// successive" (§V-B).
+#[inline]
+fn is_match(q: u8, c: u8, positive: Option<&ScoringMatrix>) -> bool {
+    q == c || positive.is_some_and(|m| m.score(q, c) > 0)
+}
+
+/// Match positions of a candidate window packed into a `u64` (bit `i`
+/// set ⇔ position `i` matches). Callers guarantee the windows fit.
+#[inline]
+fn match_bits(query_win: &[u8], cand_win: &[u8], positive: Option<&ScoringMatrix>) -> u64 {
+    let mut mask = 0u64;
+    for (i, (&q, &c)) in query_win.iter().zip(cand_win).enumerate() {
+        mask |= u64::from(is_match(q, c, positive)) << i;
+    }
+    mask
 }
 
 /// The consecutivity score (c-score): "calculates from the existing
 /// matches the percent of those matches that are in succession" — the
 /// fraction of matching positions that have an adjacent matching
 /// position. 0 when nothing matches.
+///
+/// This sits on the per-candidate hot path (once per k-NN result per
+/// subquery), so windows up to 64 residues — every paper block length —
+/// take an allocation-free bitmask path; longer windows fall back to a
+/// rolling slice scan, also allocation-free.
 pub fn c_score(query_win: &[u8], cand_win: &[u8], positive: Option<&ScoringMatrix>) -> f32 {
-    let mask = match_mask(query_win, cand_win, positive);
-    let total = mask.iter().filter(|&&m| m).count();
+    debug_assert_eq!(query_win.len(), cand_win.len());
+    let n = query_win.len().min(cand_win.len());
+    if n == 0 {
+        return 0.0;
+    }
+    if n <= 64 {
+        let mask = match_bits(query_win, cand_win, positive);
+        let total = mask.count_ones();
+        if total == 0 {
+            return 0.0;
+        }
+        // A bit is "successive" when its left or right neighbour is set;
+        // the shifts drop neighbours past the window edges for free.
+        let successive = (mask & ((mask << 1) | (mask >> 1))).count_ones();
+        return successive as f32 / total as f32;
+    }
+    c_score_slice(query_win, cand_win, positive)
+}
+
+/// Fallback for windows longer than 64 residues: one pass with a
+/// prev/cur/next match window, evaluating each position exactly once.
+fn c_score_slice(query_win: &[u8], cand_win: &[u8], positive: Option<&ScoringMatrix>) -> f32 {
+    let n = query_win.len().min(cand_win.len());
+    let mut total = 0u32;
+    let mut successive = 0u32;
+    let mut prev = false;
+    let mut cur = is_match(query_win[0], cand_win[0], positive);
+    for i in 0..n {
+        let next = i + 1 < n && is_match(query_win[i + 1], cand_win[i + 1], positive);
+        if cur {
+            total += 1;
+            if prev || next {
+                successive += 1;
+            }
+        }
+        prev = cur;
+        cur = next;
+    }
     if total == 0 {
         return 0.0;
     }
-    let successive = mask
-        .iter()
-        .enumerate()
-        .filter(|&(i, &m)| m && ((i > 0 && mask[i - 1]) || (i + 1 < mask.len() && mask[i + 1])))
-        .count();
     successive as f32 / total as f32
 }
 
@@ -129,6 +172,62 @@ mod tests {
     #[test]
     fn c_score_no_matches_is_zero() {
         assert_eq!(c_score(&[1, 1], &[2, 2], None), 0.0);
+    }
+
+    /// The original (pre-bitmask) definition: materialize the match mask
+    /// as `Vec<bool>` and count adjacency by indexing. Kept here purely
+    /// to pin the optimized paths to the reference semantics.
+    fn c_score_reference(
+        query_win: &[u8],
+        cand_win: &[u8],
+        positive: Option<&ScoringMatrix>,
+    ) -> f32 {
+        let mask: Vec<bool> = query_win
+            .iter()
+            .zip(cand_win)
+            .map(|(&q, &c)| q == c || positive.is_some_and(|m| m.score(q, c) > 0))
+            .collect();
+        let total = mask.iter().filter(|&&m| m).count();
+        if total == 0 {
+            return 0.0;
+        }
+        let successive = mask
+            .iter()
+            .enumerate()
+            .filter(|&(i, &m)| m && ((i > 0 && mask[i - 1]) || (i + 1 < mask.len() && mask[i + 1])))
+            .count();
+        successive as f32 / total as f32
+    }
+
+    #[test]
+    fn bitmask_and_slice_paths_equal_the_reference_c_score() {
+        // LCG-driven random windows across the fast-path/fallback split,
+        // with and without the positive-substitution matrix.
+        let m = ScoringMatrix::blosum62();
+        let mut state = 0xC5C0_12E5u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8 % 24
+        };
+        for len in [1usize, 2, 3, 15, 16, 63, 64, 65, 128, 200] {
+            for _ in 0..16 {
+                let q: Vec<u8> = (0..len).map(|_| next()).collect();
+                // Bias candidates toward the query so runs actually form.
+                let c: Vec<u8> = q
+                    .iter()
+                    .map(|&r| if next() % 3 == 0 { next() } else { r })
+                    .collect();
+                for positive in [None, Some(&m)] {
+                    let want = c_score_reference(&q, &c, positive);
+                    let got = c_score(&q, &c, positive);
+                    assert_eq!(got.to_bits(), want.to_bits(), "len {len}");
+                    let slice = c_score_slice(&q, &c, positive);
+                    assert_eq!(slice.to_bits(), want.to_bits(), "slice len {len}");
+                }
+            }
+        }
     }
 
     #[test]

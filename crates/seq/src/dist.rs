@@ -35,6 +35,27 @@ use serde::{Deserialize, Serialize};
 pub trait Metric<T: ?Sized>: Send + Sync {
     /// Distance between `a` and `b`. Must be non-negative and symmetric.
     fn dist(&self, a: &T, b: &T) -> f32;
+
+    /// Bounded distance: `Some(d)` iff `d = dist(a, b) ≤ bound`, `None`
+    /// otherwise. The contract callers rely on (see DESIGN.md §10):
+    ///
+    /// * when `Some(d)` is returned, `d` is **bit-identical** to what
+    ///   [`Self::dist`] would compute (implementations must accumulate in
+    ///   the same order);
+    /// * `None` may only be returned when the true distance strictly
+    ///   exceeds `bound`.
+    ///
+    /// The default computes the full distance and compares — correct for
+    /// every metric. Implementations whose distance is a monotone running
+    /// sum (L1 window composition, Hamming counts) override this with an
+    /// early-abandoning kernel that bails out as soon as the partial sum
+    /// exceeds `bound`, which is where vp-tree leaf scans win their time
+    /// back under a shrinking τ.
+    #[inline]
+    fn dist_bounded(&self, a: &T, b: &T, bound: f32) -> Option<f32> {
+        let d = self.dist(a, b);
+        (d <= bound).then_some(d)
+    }
 }
 
 /// Hamming distance over equal-length encoded windows — the paper's DNA
@@ -59,6 +80,29 @@ impl Metric<[u8]> for Hamming {
     #[inline]
     fn dist(&self, a: &[u8], b: &[u8]) -> f32 {
         Hamming::count(a, b) as f32
+    }
+
+    fn dist_bounded(&self, a: &[u8], b: &[u8], bound: f32) -> Option<f32> {
+        assert_eq!(a.len(), b.len(), "Hamming distance requires equal lengths");
+        const LANE: usize = 16;
+        let n = a.len();
+        let mut count = 0usize;
+        let mut i = 0;
+        while i + LANE <= n {
+            for j in i..i + LANE {
+                count += usize::from(a[j] != b[j]);
+            }
+            if count as f32 > bound {
+                return None;
+            }
+            i += LANE;
+        }
+        while i < n {
+            count += usize::from(a[i] != b[i]);
+            i += 1;
+        }
+        let d = count as f32;
+        (d <= bound).then_some(d)
     }
 }
 
@@ -235,6 +279,42 @@ impl Metric<[u8]> for MatrixDistance {
             .map(|(&x, &y)| self.residue_dist(x, y))
             .sum()
     }
+
+    /// Early-abandoning L1 kernel, unrolled over 8-residue spans of the
+    /// fixed block length. Accumulation is strictly left-to-right — the
+    /// identical f32 addition order as [`Metric::dist`] — so a `Some`
+    /// result is bit-identical to the full kernel; the bound is only
+    /// *checked* once per span to keep the bail-out off the dependency
+    /// chain of the adds.
+    fn dist_bounded(&self, a: &[u8], b: &[u8], bound: f32) -> Option<f32> {
+        assert_eq!(a.len(), b.len(), "window distance requires equal lengths");
+        const LANE: usize = 8;
+        let n = a.len();
+        // `iter::Sum<f32>` folds from -0.0 (it preserves every addend,
+        // including -0.0); seed identically so even the empty window's
+        // result matches `dist` bit-for-bit.
+        let mut sum = -0.0f32;
+        let mut i = 0;
+        while i + LANE <= n {
+            sum += self.residue_dist(a[i], b[i]);
+            sum += self.residue_dist(a[i + 1], b[i + 1]);
+            sum += self.residue_dist(a[i + 2], b[i + 2]);
+            sum += self.residue_dist(a[i + 3], b[i + 3]);
+            sum += self.residue_dist(a[i + 4], b[i + 4]);
+            sum += self.residue_dist(a[i + 5], b[i + 5]);
+            sum += self.residue_dist(a[i + 6], b[i + 6]);
+            sum += self.residue_dist(a[i + 7], b[i + 7]);
+            if sum > bound {
+                return None;
+            }
+            i += LANE;
+        }
+        while i < n {
+            sum += self.residue_dist(a[i], b[i]);
+            i += 1;
+        }
+        (sum <= bound).then_some(sum)
+    }
 }
 
 /// Distance over *owned* windows (`Vec<u8>` points in a vp-tree), delegating
@@ -258,6 +338,28 @@ impl<M: Metric<[u8]>> Metric<Vec<u8>> for BlockDistance<M> {
     fn dist(&self, a: &Vec<u8>, b: &Vec<u8>) -> f32 {
         self.inner.dist(a, b)
     }
+
+    #[inline]
+    fn dist_bounded(&self, a: &Vec<u8>, b: &Vec<u8>, bound: f32) -> Option<f32> {
+        self.inner.dist_bounded(a, b, bound)
+    }
+}
+
+/// Reference wrapper that disables early abandoning: `dist_bounded` always
+/// computes the full distance via the trait default. Searches through an
+/// `Unbounded<M>` tree take the exact same code path as through `M` — only
+/// the kernel differs — which is what the `kernel_bench` harness and the
+/// bit-identity property tests compare against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Unbounded<M>(pub M);
+
+impl<T: ?Sized, M: Metric<T>> Metric<T> for Unbounded<M> {
+    #[inline]
+    fn dist(&self, a: &T, b: &T) -> f32 {
+        self.0.dist(a, b)
+    }
+    // `dist_bounded` deliberately left at the trait default: full distance,
+    // then compare against the bound.
 }
 
 /// Percent identity between two equal-length windows: the fraction of
@@ -377,6 +479,69 @@ mod tests {
         assert_eq!(percent_identity(b"\x00\x01", b"\x00\x02").unwrap(), 0.5);
         assert!(percent_identity(b"", b"").is_err());
         assert!(percent_identity(b"\x00", b"\x00\x01").is_err());
+    }
+
+    #[test]
+    fn bounded_kernel_agrees_with_full_kernel() {
+        // Deterministic pseudo-random windows across the lengths that
+        // exercise the unrolled span, the remainder loop, and both.
+        let m = MatrixDistance::mendel(&ScoringMatrix::blosum62());
+        let mut state = 0x9E37u32;
+        let mut next = move || {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (state >> 16) as u8 % 20
+        };
+        for len in [0usize, 1, 7, 8, 9, 16, 17, 64] {
+            let a: Vec<u8> = (0..len).map(|_| next()).collect();
+            let b: Vec<u8> = (0..len).map(|_| next()).collect();
+            let full = m.dist(&a[..], &b[..]);
+            for bound in [0.0, full * 0.5, full, full + 0.1, f32::INFINITY] {
+                match m.dist_bounded(&a[..], &b[..], bound) {
+                    Some(d) => {
+                        assert_eq!(d.to_bits(), full.to_bits(), "len {len} bound {bound}");
+                        assert!(d <= bound);
+                    }
+                    None => assert!(full > bound, "len {len} bound {bound}"),
+                }
+            }
+            let hfull = Hamming.dist(&a[..], &b[..]);
+            for bound in [0.0, hfull - 1.0, hfull, f32::INFINITY] {
+                match Hamming.dist_bounded(&a[..], &b[..], bound) {
+                    Some(d) => assert_eq!(d.to_bits(), hfull.to_bits()),
+                    None => assert!(hfull > bound),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_kernel_abandons_over_bound() {
+        let m = MatrixDistance::unit(Alphabet::Dna);
+        let a = vec![0u8; 32];
+        let b = vec![1u8; 32]; // distance 32
+        assert_eq!(m.dist_bounded(&a[..], &b[..], 31.0), None);
+        assert_eq!(m.dist_bounded(&a[..], &b[..], 32.0), Some(32.0));
+        assert_eq!(Hamming.dist_bounded(&a[..], &b[..], 10.0), None);
+    }
+
+    #[test]
+    fn unbounded_wrapper_never_abandons_early_but_respects_bound() {
+        let m = Unbounded(MatrixDistance::unit(Alphabet::Dna));
+        let a = vec![0u8; 16];
+        let b = vec![1u8; 16];
+        assert_eq!(m.dist(&a[..], &b[..]), 16.0);
+        assert_eq!(m.dist_bounded(&a[..], &b[..], 15.9), None);
+        assert_eq!(m.dist_bounded(&a[..], &b[..], 16.0), Some(16.0));
+    }
+
+    #[test]
+    fn block_distance_delegates_bounded_kernel() {
+        let bd = BlockDistance::new(Hamming);
+        assert_eq!(bd.dist_bounded(&vec![0u8, 1], &vec![1u8, 1], 0.5), None);
+        assert_eq!(
+            bd.dist_bounded(&vec![0u8, 1], &vec![1u8, 1], 1.0),
+            Some(1.0)
+        );
     }
 
     #[test]

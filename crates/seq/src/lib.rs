@@ -11,6 +11,9 @@
 //! * [`dist`] — metric-space distance functions: Hamming for DNA and the
 //!   Mendel distance matrix derived from BLOSUM62 (§III-B of the paper),
 //!   with an optional *metric repair* that restores the triangle inequality,
+//!   plus bounded (early-abandoning) kernel variants for vp-tree searches,
+//! * [`arena`] — shared sequence backing buffers and zero-copy window
+//!   views, so overlapping inverted-index blocks store their sequence once,
 //! * [`gen`] — deterministic synthetic dataset generators standing in for
 //!   NCBI `nr` and the `s_aureus` / `e_coli` query sets,
 //! * [`stats`] — residue composition statistics (Swiss-Prot background
@@ -20,6 +23,7 @@
 //! reproduce bit-for-bit.
 
 pub mod alphabet;
+pub mod arena;
 pub mod dist;
 pub mod error;
 pub mod fasta;
@@ -32,7 +36,8 @@ pub mod stats;
 pub mod translate;
 
 pub use alphabet::Alphabet;
-pub use dist::{BlockDistance, Hamming, MatrixDistance, Metric};
+pub use arena::{SeqArena, WindowView};
+pub use dist::{BlockDistance, Hamming, MatrixDistance, Metric, Unbounded};
 pub use error::SeqError;
 pub use fasta::{parse_fasta, parse_fasta_sequences, write_fasta, FastaRecord};
 pub use fastq::{parse_fastq, FastqRecord};

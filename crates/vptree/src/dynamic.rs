@@ -518,6 +518,38 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_searches_route_through_the_bounded_kernel_bit_identically() {
+        // The dynamic tree delegates knn / budgeted knn / range to the
+        // inner VpTree's bounded-kernel search; incremental inserts must
+        // not break the bit-identity contract against an `Unbounded`
+        // twin grown through the same mutation sequence.
+        use mendel_seq::{MatrixDistance, ScoringMatrix, Unbounded};
+        let matrix = MatrixDistance::mendel(&ScoringMatrix::blosum62());
+        let mut bounded = DynamicVpTree::new(BlockDistance::new(matrix.clone()), 4, 7);
+        let mut baseline = DynamicVpTree::new(BlockDistance::new(Unbounded(matrix)), 4, 7);
+        for chunk in random_points(300, 12, 40).chunks(60) {
+            bounded.insert_batch(chunk.to_vec());
+            baseline.insert_batch(chunk.to_vec());
+        }
+        for q in random_points(12, 12, 41) {
+            for (g, w) in [
+                (bounded.knn(&q, 5), baseline.knn(&q, 5)),
+                (
+                    bounded.knn_with_budget(&q, 5, 64),
+                    baseline.knn_with_budget(&q, 5, 64),
+                ),
+                (bounded.range(&q, 30.0), baseline.range(&q, 30.0)),
+            ] {
+                assert_eq!(g.len(), w.len());
+                for (a, b) in g.iter().zip(&w) {
+                    assert_eq!(a.index, b.index);
+                    assert_eq!(a.dist.to_bits(), b.dist.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
     fn mixed_batch_and_single_inserts() {
         let metric = BlockDistance::new(Hamming);
         let a = random_points(64, 6, 10);

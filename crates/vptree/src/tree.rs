@@ -455,7 +455,15 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                         return;
                     }
                     *budget -= 1;
-                    heap.offer(i, self.metric.dist(query, &self.points[i as usize]));
+                    // Early-abandoning leaf scan: a candidate can only enter
+                    // the heap at d < τ, so the kernel may bail out past τ.
+                    // `None` ⟹ d > τ ⟹ `offer` would have rejected it.
+                    if let Some(d) =
+                        self.metric
+                            .dist_bounded(query, &self.points[i as usize], heap.tau())
+                    {
+                        heap.offer(i, d);
+                    }
                 }
             }
             Node::Internal {
@@ -466,8 +474,24 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                 left_bounds,
                 right_bounds,
             } => {
-                let d = self.metric.dist(query, &self.points[*vantage as usize]);
+                // The vantage distance also routes the descent, so it needs a
+                // looser bound than τ: past `τ + max(child hi)` the vantage
+                // cannot enter the heap (d > τ) *and* the query ball misses
+                // both child bands (d − τ > hi), so the whole subtree is
+                // pruned — exactly what the unbounded traversal would do.
+                let tau = heap.tau();
+                let vantage_bound = if tau.is_infinite() {
+                    f32::INFINITY
+                } else {
+                    tau + left_bounds.1.max(right_bounds.1)
+                };
+                let bounded =
+                    self.metric
+                        .dist_bounded(query, &self.points[*vantage as usize], vantage_bound);
                 *budget -= 1;
+                let Some(d) = bounded else {
+                    return;
+                };
                 heap.offer(*vantage, d);
                 // Visit the likelier side first so τ shrinks early (and so
                 // a finite budget is spent where matches actually live).
@@ -501,8 +525,11 @@ impl<P, M: Metric<P>> VpTree<P, M> {
         match &self.nodes[node as usize] {
             Node::Leaf { bucket } => {
                 for &i in bucket {
-                    let d = self.metric.dist(query, &self.points[i as usize]);
-                    if d <= radius {
+                    // `Some` ⟺ d ≤ radius: exactly the membership test.
+                    if let Some(d) =
+                        self.metric
+                            .dist_bounded(query, &self.points[i as usize], radius)
+                    {
                         out.push(Neighbor { index: i, dist: d });
                     }
                 }
@@ -515,7 +542,20 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                 right_bounds,
                 ..
             } => {
-                let d = self.metric.dist(query, &self.points[*vantage as usize]);
+                // Same argument as the k-NN vantage bound with τ = radius:
+                // past `radius + max(child hi)` neither the vantage nor any
+                // subtree element can be in range.
+                let vantage_bound = if radius.is_infinite() {
+                    f32::INFINITY
+                } else {
+                    radius + left_bounds.1.max(right_bounds.1)
+                };
+                let Some(d) =
+                    self.metric
+                        .dist_bounded(query, &self.points[*vantage as usize], vantage_bound)
+                else {
+                    return;
+                };
                 if d <= radius {
                     out.push(Neighbor {
                         index: *vantage,
@@ -1055,6 +1095,51 @@ mod tests {
         let mut t = build(random_points(100, 8, 4, 44), 4);
         t.bucket_capacity = 0; // stored capacity no longer matches the leaves
         assert!(t.check_invariants().is_err());
+    }
+
+    #[test]
+    fn bounded_kernel_searches_are_bit_identical_to_unbounded() {
+        // The same tree geometry under the early-abandoning metric and the
+        // full-compute `Unbounded` wrapper must return identical results —
+        // indices and distance bits — for exact, budgeted, and range
+        // searches. Uses the matrix metric so distances are non-trivial
+        // f32 sums where accumulation order matters.
+        use mendel_seq::{MatrixDistance, ScoringMatrix, Unbounded};
+        let matrix = MatrixDistance::mendel(&ScoringMatrix::blosum62());
+        let points = random_points(800, 16, 20, 50);
+        let bounded = VpTree::build(points.clone(), BlockDistance::new(matrix.clone()), 8, 99);
+        let baseline = VpTree::build(points, BlockDistance::new(Unbounded(matrix)), 8, 99);
+        let check = |got: &[Neighbor], want: &[Neighbor], what: &str| {
+            assert_eq!(got.len(), want.len(), "{what}: result count");
+            for (g, w) in got.iter().zip(want) {
+                assert_eq!(g.index, w.index, "{what}: index");
+                assert_eq!(g.dist.to_bits(), w.dist.to_bits(), "{what}: dist bits");
+            }
+        };
+        for q in random_points(20, 16, 20, 51) {
+            check(&bounded.knn(&q, 6), &baseline.knn(&q, 6), "knn");
+            check(
+                &bounded.knn_with_budget(&q, 6, 100),
+                &baseline.knn_with_budget(&q, 6, 100),
+                "budgeted knn",
+            );
+            check(&bounded.range(&q, 40.0), &baseline.range(&q, 40.0), "range");
+        }
+    }
+
+    #[test]
+    fn bounded_knn_still_matches_brute_force() {
+        let points = random_points(600, 12, 4, 60);
+        let t = build(points.clone(), 8);
+        let metric = BlockDistance::new(Hamming);
+        for q in random_points(20, 12, 4, 61) {
+            let got: Vec<f32> = t.knn(&q, 5).iter().map(|n| n.dist).collect();
+            let want: Vec<f32> = brute_force_knn(&points, &metric, &q, 5)
+                .iter()
+                .map(|n| n.dist)
+                .collect();
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

@@ -7,7 +7,11 @@ use mendel_suite::core::{
 };
 use mendel_suite::dht::{FlatPlacement, GroupId, Topology};
 use mendel_suite::seq::gen::NrLikeSpec;
-use mendel_suite::seq::{Alphabet, SeqId, Sequence};
+use mendel_suite::seq::matrix::ScoringMatrix;
+use mendel_suite::seq::{
+    Alphabet, BlockDistance, MatrixDistance, Metric, SeqId, Sequence, Unbounded,
+};
+use mendel_suite::vptree::{brute_force_knn, VpTree};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -25,7 +29,7 @@ proptest! {
         let blocks = make_blocks(&s, block_len);
         prop_assert_eq!(check_block_chain(&blocks, s.len()), Ok(()));
         prop_assert_eq!(blocks.len(), residues.len() - block_len + 1);
-        let mut rebuilt = blocks[0].window.clone();
+        let mut rebuilt = blocks[0].window.to_vec();
         for b in &blocks[1..] {
             rebuilt.push(*b.window.last().unwrap());
         }
@@ -34,6 +38,66 @@ proptest! {
         for (i, b) in blocks.iter().enumerate() {
             prop_assert_eq!(b.prev_key().is_some(), i > 0);
             prop_assert_eq!(b.next_key(s.len()).is_some(), i + 1 < blocks.len());
+        }
+    }
+
+    /// The bounded-kernel contract (DESIGN.md §10): `dist_bounded` agrees
+    /// with `dist` bit-for-bit whenever it returns `Some`, and returns
+    /// `None` only when the true distance strictly exceeds the bound.
+    #[test]
+    fn bounded_distance_agrees_with_full_distance(
+        pairs in proptest::collection::vec((0u8..24, 0u8..24), 0..80),
+        bound_scale in 0.0f32..1.5,
+    ) {
+        let a: Vec<u8> = pairs.iter().map(|&(x, _)| x).collect();
+        let b: Vec<u8> = pairs.iter().map(|&(_, y)| y).collect();
+        let m = MatrixDistance::mendel(&ScoringMatrix::blosum62());
+        let full = m.dist(&a[..], &b[..]);
+        let bound = full * bound_scale;
+        match m.dist_bounded(&a[..], &b[..], bound) {
+            Some(d) => {
+                prop_assert_eq!(d.to_bits(), full.to_bits(), "Some must be bit-identical");
+                prop_assert!(d <= bound);
+            }
+            None => prop_assert!(full > bound, "None only past the bound"),
+        }
+        // Unit-distance (Hamming) kernel under the same contract.
+        let u = MatrixDistance::unit(Alphabet::Protein);
+        let ufull = u.dist(&a[..], &b[..]);
+        match u.dist_bounded(&a[..], &b[..], bound) {
+            Some(d) => prop_assert_eq!(d.to_bits(), ufull.to_bits()),
+            None => prop_assert!(ufull > bound),
+        }
+    }
+
+    /// vp-tree k-NN with early-abandoning kernels equals the brute-force
+    /// oracle (and the full-kernel `Unbounded` baseline bit-for-bit) for
+    /// arbitrary point sets. Under `strict-invariants` the builds also
+    /// assert structural invariants internally.
+    #[test]
+    fn early_abandoning_knn_matches_brute_force(
+        windows in proptest::collection::vec(
+            proptest::collection::vec(0u8..24, 12), 1..120),
+        query in proptest::collection::vec(0u8..24, 12),
+        k in 1usize..8,
+        bucket in 1usize..12,
+        seed in 0u64..4,
+    ) {
+        let m = MatrixDistance::mendel(&ScoringMatrix::blosum62());
+        let bounded = VpTree::build(
+            windows.clone(), BlockDistance::new(m.clone()), bucket, seed);
+        let baseline = VpTree::build(
+            windows.clone(), BlockDistance::new(Unbounded(m.clone())), bucket, seed);
+        let got = bounded.knn(&query, k);
+        let oracle = brute_force_knn(&windows, &BlockDistance::new(m), &query, k);
+        prop_assert_eq!(got.len(), oracle.len());
+        for (g, w) in got.iter().zip(&oracle) {
+            prop_assert_eq!(g.dist.to_bits(), w.dist.to_bits(), "oracle distance");
+        }
+        let base = baseline.knn(&query, k);
+        for (g, w) in got.iter().zip(&base) {
+            prop_assert_eq!(g.index, w.index, "baseline index");
+            prop_assert_eq!(g.dist.to_bits(), w.dist.to_bits(), "baseline distance");
         }
     }
 
