@@ -65,7 +65,17 @@ if [ "$MODE" != "quick" ]; then
         cargo run --release -q -p mendel-bench --bin kernel_bench -- --smoke
 fi
 
-# 7. Seeded chaos suite (DESIGN.md §9): deterministic fault injection,
+# 7. Observability suite (DESIGN.md §11): exact counter assertions
+#    (distance calls, fan-out, fault-verdict replay) under the invariant
+#    checkers, plus the metrics-overhead harness at smoke sizes.
+if [ "$MODE" != "quick" ]; then
+    step "observability suite (strict-invariants)" \
+        cargo test --test observability --features strict-invariants -q
+    step "obs_bench --smoke" \
+        cargo run --release -q -p mendel-bench --bin obs_bench -- --smoke
+fi
+
+# 8. Seeded chaos suite (DESIGN.md §9): deterministic fault injection,
 #    heartbeat failover, and re-replication repair under the invariant
 #    checkers. Fast fixed seeds only; the multi-seed sweep stays behind
 #    `--ignored`.

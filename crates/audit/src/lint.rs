@@ -34,11 +34,16 @@ pub enum Rule {
     Println,
     /// `#[allow(..)]` with no justification comment beside it.
     AllowWithoutReason,
+    /// `Instant::now()` in an instrumented crate (vptree, net, dht,
+    /// core); wall-clock reads there must go through the metric
+    /// registry's injectable clock so tests can use a virtual one
+    /// (DESIGN.md §11).
+    InstantNow,
 }
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 9] = [
         Rule::Unwrap,
         Rule::Expect,
         Rule::Panic,
@@ -47,6 +52,7 @@ impl Rule {
         Rule::StdSyncLock,
         Rule::Println,
         Rule::AllowWithoutReason,
+        Rule::InstantNow,
     ];
 
     /// Stable name used in the baseline file and reports.
@@ -60,6 +66,7 @@ impl Rule {
             Rule::StdSyncLock => "std-sync-lock",
             Rule::Println => "println",
             Rule::AllowWithoutReason => "allow-without-reason",
+            Rule::InstantNow => "instant-now",
         }
     }
 
@@ -79,6 +86,9 @@ impl Rule {
             Rule::StdSyncLock => "use parking_lot locks, not std::sync::{Mutex,RwLock}",
             Rule::Println => "no direct stdout/stderr printing from library crates",
             Rule::AllowWithoutReason => "#[allow(..)] needs a justification comment",
+            Rule::InstantNow => {
+                "instrumented crates read time via Registry::clock(), not Instant::now()"
+            }
         }
     }
 }
@@ -165,8 +175,19 @@ fn has_std_sync_lock(code: &str) -> bool {
 
 /// Scan one file's source. `file` is the workspace-relative path used in
 /// reports and the baseline.
+/// Crates whose wall-clock reads must go through the injectable
+/// registry clock ([`Rule::InstantNow`]). `mendel-obs` itself is exempt:
+/// it *implements* the clock.
+const INSTRUMENTED_CRATES: [&str; 4] = [
+    "crates/vptree/",
+    "crates/net/",
+    "crates/dht/",
+    "crates/core/",
+];
+
 pub fn scan_source(file: &str, source: &str) -> Vec<Violation> {
     let is_bin = file.contains("/bin/") || file.ends_with("/main.rs");
+    let instrumented = INSTRUMENTED_CRATES.iter().any(|p| file.starts_with(p));
     let lines = sanitize(source);
     let raw_lines: Vec<&str> = source.lines().collect();
     let mut violations = Vec::new();
@@ -200,6 +221,9 @@ pub fn scan_source(file: &str, source: &str) -> Vec<Violation> {
                     Rule::Println,
                     count_token(code, "println!") + count_token(code, "eprintln!"),
                 ));
+            }
+            if instrumented && !is_bin {
+                hits.push((Rule::InstantNow, count_token(code, "Instant::now()")));
             }
             if (code.contains("#[allow(") || code.contains("#![allow("))
                 && !allow_is_justified(&lines, idx)
@@ -420,6 +444,27 @@ mod tests {
     fn audit_allow_with_unknown_rule_suppresses_nothing() {
         let src = "fn f() { panic!(\"x\") } // audit:allow(no-such): whatever\n";
         assert_eq!(rules_of(src), vec![Rule::Panic]);
+    }
+
+    #[test]
+    fn instant_now_fires_only_in_instrumented_crates() {
+        let src = "fn f() { let t = Instant::now(); let u = std::time::Instant::now(); }";
+        let got = scan_source("crates/net/src/rpc.rs", src);
+        assert_eq!(
+            got.iter().map(|v| v.rule).collect::<Vec<_>>(),
+            vec![Rule::InstantNow, Rule::InstantNow]
+        );
+        // Uninstrumented crates, the obs crate, and test code are exempt.
+        assert!(scan_source("crates/seq/src/fasta.rs", src).is_empty());
+        assert!(scan_source("crates/obs/src/clock.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = Instant::now(); }\n}\n";
+        assert!(scan_source("crates/core/src/cluster.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn instant_now_suppressible_with_marker() {
+        let src = "// audit:allow(instant-now): deadline math needs a real Instant\nfn f() { let t = Instant::now(); }\n";
+        assert!(scan_source("crates/net/src/rpc.rs", src).is_empty());
     }
 
     #[test]

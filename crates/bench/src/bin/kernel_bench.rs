@@ -22,10 +22,11 @@
 
 use mendel::node::StorageNode;
 use mendel::{make_blocks, BlockMetric};
-use mendel_bench::{figure_header, protein_db, DB_SEED};
+use mendel_bench::{clustered_windows, figure_header, protein_db, DB_SEED};
 use mendel_dht::store::BlockStore;
+use mendel_obs::Registry;
 use mendel_seq::{Alphabet, BlockDistance, MatrixDistance, Metric, ScoringMatrix, Unbounded};
-use mendel_vptree::{DynamicVpTree, Neighbor, VpTree};
+use mendel_vptree::{DynamicVpTree, Neighbor, SearchMetrics, VpTree};
 use parking_lot::RwLock;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -74,10 +75,11 @@ fn main() {
 
     let (leaf_json, speedup) = bench_leaf_scan(&scale);
     let tree_json = bench_tree_knn(&scale);
+    let counted_json = bench_counted_knn(&scale);
     let ingest_json = bench_ingest(&scale);
 
     let json = format!(
-        "{{\n  \"bench\": \"pr3_kernels\",\n  \"mode\": \"{}\",\n  \"leaf_scan\": {leaf_json},\n  \"tree_knn\": {tree_json},\n  \"ingest\": {ingest_json}\n}}\n",
+        "{{\n  \"bench\": \"pr3_kernels\",\n  \"mode\": \"{}\",\n  \"leaf_scan\": {leaf_json},\n  \"tree_knn\": {tree_json},\n  \"counted_knn\": {counted_json},\n  \"ingest\": {ingest_json}\n}}\n",
         if smoke { "smoke" } else { "full" }
     );
     assert_json_well_formed(&json);
@@ -100,56 +102,6 @@ fn main() {
     }
 }
 
-/// Minimal splitmix-style generator so the workload is deterministic
-/// without touching the figure binaries' rand plumbing.
-struct Lcg(u64);
-
-impl Lcg {
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 11
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
-    }
-}
-
-/// A family-clustered window workload: random 64-residue cluster centers
-/// with point-mutated members, the `nr`-style redundancy regime Mendel's
-/// metric trees exploit (DESIGN.md §10). Queries are drawn from the same
-/// centers, so each has a full heap of near neighbours and τ collapses
-/// early — exactly when the early-abandoning kernel should pay off.
-fn clustered_workload(points: usize, queries: usize, seed: u64) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
-    const PER_CLUSTER: usize = 16;
-    const MUTATIONS: usize = 4;
-    let mut rng = Lcg(seed | 1);
-    let centers: Vec<Vec<u8>> = (0..points.div_ceil(PER_CLUSTER))
-        .map(|_| (0..WINDOW_LEN).map(|_| (rng.below(24)) as u8).collect())
-        .collect();
-    fn mutated(center: &[u8], rng: &mut Lcg) -> Vec<u8> {
-        let mut w = center.to_vec();
-        for _ in 0..MUTATIONS {
-            let p = rng.below(w.len());
-            w[p] = rng.below(24) as u8;
-        }
-        w
-    }
-    let ps: Vec<Vec<u8>> = (0..points)
-        .map(|i| mutated(&centers[i % centers.len()], &mut rng))
-        .collect();
-    let qs: Vec<Vec<u8>> = (0..queries)
-        .map(|_| {
-            let c = rng.below(centers.len());
-            mutated(&centers[c], &mut rng)
-        })
-        .collect();
-    (ps, qs)
-}
-
 /// Best-of-`reps` wall time (`reps ≥ 1`), returning the last result.
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
     let t = Instant::now();
@@ -169,7 +121,8 @@ fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
 /// every visited bucket, undiluted by traversal bookkeeping.
 fn bench_leaf_scan(scale: &Scale) -> (String, f64) {
     use mendel_vptree::knn::KnnHeap;
-    let (points, queries) = clustered_workload(scale.knn_points, scale.knn_queries, DB_SEED);
+    let (points, queries) =
+        clustered_windows(scale.knn_points, scale.knn_queries, WINDOW_LEN, DB_SEED);
     let metric = BlockDistance::new(MatrixDistance::mendel(&ScoringMatrix::blosum62()));
 
     let scan_full = || -> Vec<Vec<Neighbor>> {
@@ -246,7 +199,8 @@ fn assert_identical(base: &[Vec<Neighbor>], fast: &[Vec<Neighbor>], what: &str) 
 /// leaf scans and vantage evaluations, against the full-compute
 /// [`Unbounded`] baseline over identical tree geometry.
 fn bench_tree_knn(scale: &Scale) -> String {
-    let (points, queries) = clustered_workload(scale.knn_points, scale.knn_queries, DB_SEED);
+    let (points, queries) =
+        clustered_windows(scale.knn_points, scale.knn_queries, WINDOW_LEN, DB_SEED);
     let matrix = MatrixDistance::mendel(&ScoringMatrix::blosum62());
 
     // Same points, same seed → identical tree geometry; only the kernel
@@ -292,6 +246,150 @@ fn bench_tree_knn(scale: &Scale) -> String {
         queries.len(),
         unbounded_t.as_secs_f64() * 1e3,
         bounded_t.as_secs_f64() * 1e3,
+    )
+}
+
+/// Work counters read from the metric registry — the single source of
+/// truth since the observability PR retired this bench's hand-rolled
+/// kernel counters (which double-counted vantage evaluations: once in
+/// the traversal loop and once in the kernel wrapper).
+///
+/// Two checks pin the counting down:
+///
+/// 1. **Bench-mode == query-mode.** A single-leaf tree (bucket ≥ n)
+///    degenerates to exactly the raw leaf scan of [`bench_leaf_scan`],
+///    so its registry counter must equal the hand count — one kernel
+///    invocation per (query, point) pair, counted once.
+/// 2. **Kernel-invariant traversal.** Both kernels return `None` exactly
+///    when d > bound (the bounded one just stops computing sooner), so
+///    over identical tree geometry they must report identical
+///    `dist_calls`, `early_abandons`, `nodes_visited`, and `leaf_scans` —
+///    the bounded kernel abandons *inside* a call, never skips one.
+fn bench_counted_knn(scale: &Scale) -> String {
+    let (points, queries) =
+        clustered_windows(scale.knn_points, scale.knn_queries, WINDOW_LEN, DB_SEED);
+    let n = points.len();
+    let matrix = MatrixDistance::mendel(&ScoringMatrix::blosum62());
+
+    // Check 1: single-leaf oracle, both kernels. The two kernels give the
+    // tree different metric types, so the common assertions live in a
+    // closure over the snapshot.
+    let expect = (queries.len() * n) as u64;
+    let assert_hand_count = |snap: &mendel_obs::MetricsSnapshot| {
+        assert_eq!(
+            snap.counter("mendel.vptree.dist_calls"),
+            expect,
+            "single-leaf query-mode dist calls must equal the bench-mode hand count"
+        );
+        assert_eq!(
+            snap.counter("mendel.vptree.leaf_scans"),
+            queries.len() as u64
+        );
+        assert_eq!(
+            snap.counter("mendel.vptree.nodes_visited"),
+            queries.len() as u64
+        );
+    };
+    let single_u = {
+        let registry = Registry::new();
+        let mut tree = VpTree::build(
+            points.clone(),
+            BlockDistance::new(Unbounded(matrix.clone())),
+            n,
+            DB_SEED,
+        );
+        tree.set_metrics(SearchMetrics::registered(&registry));
+        for q in &queries {
+            let _ = tree.knn(q, K);
+        }
+        registry.snapshot()
+    };
+    let single_b = {
+        let registry = Registry::new();
+        let mut tree = VpTree::build(
+            points.clone(),
+            BlockDistance::new(matrix.clone()),
+            n,
+            DB_SEED,
+        );
+        tree.set_metrics(SearchMetrics::registered(&registry));
+        for q in &queries {
+            let _ = tree.knn(q, K);
+        }
+        registry.snapshot()
+    };
+    // An abandoned call is still one call: the bounded kernel may abandon
+    // inside calls but never skips one. Both kernels reject (return
+    // `None`) exactly when d > τ, so even the abandon counts agree.
+    assert_hand_count(&single_u);
+    assert_hand_count(&single_b);
+    assert_eq!(
+        single_b.counter("mendel.vptree.early_abandons"),
+        single_u.counter("mendel.vptree.early_abandons"),
+        "bound-exceeded returns must be kernel-invariant"
+    );
+
+    // Check 2: real geometry, registry deltas over one pass per kernel.
+    let run_counted = |use_bounded: bool| -> mendel_obs::MetricsSnapshot {
+        let registry = Registry::new();
+        if use_bounded {
+            let mut tree = VpTree::build(
+                points.clone(),
+                BlockDistance::new(matrix.clone()),
+                BUCKET,
+                DB_SEED,
+            );
+            tree.set_metrics(SearchMetrics::registered(&registry));
+            for q in &queries {
+                let _ = tree.knn(q, K);
+            }
+        } else {
+            let mut tree = VpTree::build(
+                points.clone(),
+                BlockDistance::new(Unbounded(matrix.clone())),
+                BUCKET,
+                DB_SEED,
+            );
+            tree.set_metrics(SearchMetrics::registered(&registry));
+            for q in &queries {
+                let _ = tree.knn(q, K);
+            }
+        }
+        registry.snapshot()
+    };
+    let u = run_counted(false);
+    let b = run_counted(true);
+    for key in [
+        "mendel.vptree.dist_calls",
+        "mendel.vptree.early_abandons",
+        "mendel.vptree.nodes_visited",
+        "mendel.vptree.leaf_scans",
+    ] {
+        assert_eq!(
+            b.counter(key),
+            u.counter(key),
+            "{key}: bounded kernel changed the traversal"
+        );
+    }
+    let dist_calls = b.counter("mendel.vptree.dist_calls");
+    let abandons = b.counter("mendel.vptree.early_abandons");
+    let abandon_frac = abandons as f64 / dist_calls.max(1) as f64;
+    println!(
+        "\ncounted kNN ({n} points, {} queries, bucket {BUCKET}):",
+        queries.len()
+    );
+    println!(
+        "  dist_calls {dist_calls}   early_abandons {abandons} ({:.1}%)   nodes_visited {}   leaf_scans {}   counts kernel-invariant",
+        abandon_frac * 100.0,
+        b.counter("mendel.vptree.nodes_visited"),
+        b.counter("mendel.vptree.leaf_scans"),
+    );
+
+    format!(
+        "{{\n    \"points\": {n}, \"queries\": {}, \"k\": {K}, \"bucket\": {BUCKET},\n    \"dist_calls\": {dist_calls}, \"early_abandons\": {abandons}, \"abandon_fraction\": {abandon_frac:.4},\n    \"nodes_visited\": {}, \"leaf_scans\": {}, \"kernel_invariant\": true\n  }}",
+        queries.len(),
+        b.counter("mendel.vptree.nodes_visited"),
+        b.counter("mendel.vptree.leaf_scans"),
     )
 }
 

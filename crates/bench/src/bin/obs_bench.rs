@@ -1,0 +1,211 @@
+//! PR 4 observability overhead bench — what does counting cost?
+//!
+//! The instrumentation contract (DESIGN.md §11) is that hot paths
+//! accumulate into plain-integer tallies on the stack and flush to the
+//! shared atomics once per *query*, so the per-distance-call cost is a
+//! register increment. This bench verifies the contract holds on the
+//! `kernel_bench` leaf-scan workload by timing three variants of the
+//! same scan:
+//!
+//! 1. **uncounted** — the raw loop, no instrumentation at all;
+//! 2. **tally** — the production design: local `u64` counters,
+//!    one registry flush per query;
+//! 3. **atomic** — the design we rejected: a relaxed `fetch_add` on the
+//!    shared counter at every kernel call (kept here as the yardstick
+//!    that justifies the tally).
+//!
+//! The report (`BENCH_pr4_obs.json`) records the measured overhead of
+//! (2) over (1); the acceptance bar is ≤ 5%. Timings are best-of-reps
+//! to shed scheduler noise.
+//!
+//! ```sh
+//! cargo run --release -p mendel-bench --bin obs_bench            # full, writes BENCH_pr4_obs.json
+//! cargo run --release -p mendel-bench --bin obs_bench -- --smoke # tiny sizes, self-checks only
+//! ```
+
+// Benchmark reports go to stdout by design.
+#![allow(clippy::print_stdout)]
+
+use mendel_bench::{clustered_windows, figure_header, DB_SEED};
+use mendel_obs::Registry;
+use mendel_seq::{BlockDistance, MatrixDistance, Metric, ScoringMatrix};
+use mendel_vptree::knn::KnnHeap;
+use mendel_vptree::Neighbor;
+use std::time::{Duration, Instant};
+
+struct Scale {
+    points: usize,
+    queries: usize,
+    reps: usize,
+}
+
+const FULL: Scale = Scale {
+    points: 50_000,
+    queries: 200,
+    reps: 5,
+};
+
+const SMOKE: Scale = Scale {
+    points: 600,
+    queries: 20,
+    reps: 3,
+};
+
+const WINDOW_LEN: usize = 64;
+const K: usize = 8;
+
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let t = Instant::now();
+    let mut out = f();
+    let mut best = t.elapsed();
+    for _ in 1..reps {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed());
+    }
+    (best, out)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { SMOKE } else { FULL };
+    figure_header(
+        "PR 4 observability",
+        "metric-counting overhead on the kernel_bench leaf scan",
+    );
+    if smoke {
+        println!("mode: --smoke (tiny sizes; self-checks only)\n");
+    }
+
+    let (points, queries) = clustered_windows(scale.points, scale.queries, WINDOW_LEN, DB_SEED);
+    let metric = BlockDistance::new(MatrixDistance::mendel(&ScoringMatrix::blosum62()));
+
+    // Variant 1: the raw bounded leaf scan, uncounted.
+    let scan_uncounted = || -> Vec<Vec<Neighbor>> {
+        queries
+            .iter()
+            .map(|q| {
+                let mut heap = KnnHeap::new(K);
+                for (i, p) in points.iter().enumerate() {
+                    if let Some(d) = metric.dist_bounded(q, p, heap.tau()) {
+                        heap.offer(i as u32, d);
+                    }
+                }
+                heap.into_sorted()
+            })
+            .collect()
+    };
+
+    // Variant 2: the production tally design — plain u64 increments in
+    // the loop, one relaxed flush into registry atomics per query.
+    let registry = Registry::new();
+    let scope = registry.scoped("mendel.vptree");
+    let dist_calls = scope.counter("dist_calls");
+    let early_abandons = scope.counter("early_abandons");
+    let scan_tally = || -> Vec<Vec<Neighbor>> {
+        queries
+            .iter()
+            .map(|q| {
+                let mut heap = KnnHeap::new(K);
+                let (mut calls, mut abandons) = (0u64, 0u64);
+                for (i, p) in points.iter().enumerate() {
+                    calls += 1;
+                    if let Some(d) = metric.dist_bounded(q, p, heap.tau()) {
+                        heap.offer(i as u32, d);
+                    } else {
+                        abandons += 1;
+                    }
+                }
+                dist_calls.add(calls);
+                early_abandons.add(abandons);
+                heap.into_sorted()
+            })
+            .collect()
+    };
+
+    // Variant 3: the rejected design — shared-atomic increment per call.
+    let atomic_registry = Registry::new();
+    let atomic_calls = atomic_registry.counter("mendel.vptree.dist_calls");
+    let atomic_abandons = atomic_registry.counter("mendel.vptree.early_abandons");
+    let scan_atomic = || -> Vec<Vec<Neighbor>> {
+        queries
+            .iter()
+            .map(|q| {
+                let mut heap = KnnHeap::new(K);
+                for (i, p) in points.iter().enumerate() {
+                    atomic_calls.inc();
+                    if let Some(d) = metric.dist_bounded(q, p, heap.tau()) {
+                        heap.offer(i as u32, d);
+                    } else {
+                        atomic_abandons.inc();
+                    }
+                }
+                heap.into_sorted()
+            })
+            .collect()
+    };
+
+    let (uncounted_t, base_hits) = time_best(scale.reps, scan_uncounted);
+    let (tally_t, tally_hits) = time_best(scale.reps, scan_tally);
+    let (atomic_t, _) = time_best(scale.reps, scan_atomic);
+
+    // Counting must not change results.
+    assert_eq!(base_hits.len(), tally_hits.len());
+    for (b, t) in base_hits.iter().zip(&tally_hits) {
+        assert_eq!(b, t, "counting changed a kNN result");
+    }
+    // And the tally must count every kernel invocation, every rep.
+    let per_pass = (queries.len() * points.len()) as u64;
+    assert_eq!(
+        registry.snapshot().counter("mendel.vptree.dist_calls"),
+        per_pass * scale.reps as u64,
+        "tally missed kernel invocations"
+    );
+
+    let overhead = tally_t.as_secs_f64() / uncounted_t.as_secs_f64().max(1e-12) - 1.0;
+    let atomic_overhead = atomic_t.as_secs_f64() / uncounted_t.as_secs_f64().max(1e-12) - 1.0;
+    println!(
+        "leaf scan ({} points, {} queries, k={K}, window {WINDOW_LEN}, best of {}):",
+        points.len(),
+        queries.len(),
+        scale.reps
+    );
+    println!(
+        "  uncounted {:8.2} ms   tally {:8.2} ms ({:+.1}%)   per-call atomic {:8.2} ms ({:+.1}%)",
+        uncounted_t.as_secs_f64() * 1e3,
+        tally_t.as_secs_f64() * 1e3,
+        overhead * 100.0,
+        atomic_t.as_secs_f64() * 1e3,
+        atomic_overhead * 100.0,
+    );
+    let within_budget = overhead <= 0.05;
+    if !within_budget {
+        println!(
+            "WARNING: tally overhead {:.1}% exceeds the 5% budget",
+            overhead * 100.0
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr4_obs\",\n  \"mode\": \"{}\",\n  \"leaf_scan\": {{\n    \"points\": {}, \"queries\": {}, \"k\": {K}, \"window_len\": {WINDOW_LEN}, \"reps\": {},\n    \"uncounted_ms\": {:.3}, \"tally_ms\": {:.3}, \"atomic_ms\": {:.3},\n    \"tally_overhead\": {overhead:.4}, \"atomic_overhead\": {atomic_overhead:.4},\n    \"overhead_budget\": 0.05, \"within_budget\": {within_budget},\n    \"dist_calls_per_pass\": {per_pass}, \"results_identical\": true\n  }}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        points.len(),
+        queries.len(),
+        scale.reps,
+        uncounted_t.as_secs_f64() * 1e3,
+        tally_t.as_secs_f64() * 1e3,
+        atomic_t.as_secs_f64() * 1e3,
+    );
+
+    let path = if smoke {
+        std::env::temp_dir().join("BENCH_pr4_obs.smoke.json")
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr4_obs.json")
+    };
+    // audit:allow(expect): bench binary; an unwritable report path should abort the run.
+    std::fs::write(&path, &json).expect("write benchmark report");
+    println!("\nreport: {}", path.display());
+    if smoke {
+        println!("smoke checks passed: results identical, tally complete");
+    }
+}

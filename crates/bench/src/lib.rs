@@ -78,6 +78,64 @@ pub fn bench_params() -> QueryParams {
     QueryParams::protein()
 }
 
+/// Minimal splitmix-style generator so micro-bench workloads are
+/// deterministic without touching the figure binaries' rand plumbing.
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A family-clustered window workload: random `window_len`-residue
+/// cluster centers with point-mutated members, the `nr`-style redundancy
+/// regime Mendel's metric trees exploit (DESIGN.md §10). Queries are
+/// drawn from the same centers, so each has a full heap of near
+/// neighbours and τ collapses early — exactly when the early-abandoning
+/// kernel should pay off.
+pub fn clustered_windows(
+    points: usize,
+    queries: usize,
+    window_len: usize,
+    seed: u64,
+) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    const PER_CLUSTER: usize = 16;
+    const MUTATIONS: usize = 4;
+    let mut rng = Lcg(seed | 1);
+    let centers: Vec<Vec<u8>> = (0..points.div_ceil(PER_CLUSTER))
+        .map(|_| (0..window_len).map(|_| (rng.below(24)) as u8).collect())
+        .collect();
+    fn mutated(center: &[u8], rng: &mut Lcg) -> Vec<u8> {
+        let mut w = center.to_vec();
+        for _ in 0..MUTATIONS {
+            let p = rng.below(w.len());
+            w[p] = rng.below(24) as u8;
+        }
+        w
+    }
+    let ps: Vec<Vec<u8>> = (0..points)
+        .map(|i| mutated(&centers[i % centers.len()], &mut rng))
+        .collect();
+    let qs: Vec<Vec<u8>> = (0..queries)
+        .map(|_| {
+            let c = rng.below(centers.len());
+            mutated(&centers[c], &mut rng)
+        })
+        .collect();
+    (ps, qs)
+}
+
 /// Mean of a set of durations (zero for an empty set).
 pub fn mean_duration(ds: &[Duration]) -> Duration {
     if ds.is_empty() {
@@ -124,6 +182,17 @@ mod tests {
             a.get(mendel_seq::SeqId(0)).unwrap().residues,
             b.get(mendel_seq::SeqId(0)).unwrap().residues
         );
+    }
+
+    #[test]
+    fn clustered_windows_are_deterministic_and_sized() {
+        let (p1, q1) = clustered_windows(100, 10, 64, 7);
+        let (p2, q2) = clustered_windows(100, 10, 64, 7);
+        assert_eq!(p1, p2);
+        assert_eq!(q1, q2);
+        assert_eq!(p1.len(), 100);
+        assert_eq!(q1.len(), 10);
+        assert!(p1.iter().all(|w| w.len() == 64));
     }
 
     #[test]

@@ -173,23 +173,26 @@ pub fn cmd_index(args: &Args) -> Result<String, CliError> {
     ))
 }
 
-/// `mendel query` — run FASTA queries against a snapshot.
-pub fn cmd_query(args: &Args) -> Result<String, CliError> {
+/// Restore a cluster from `--index`/`--db`, inferring the alphabet.
+/// The db must be encoded with the snapshot's alphabet, so try protein
+/// first, then DNA.
+fn restore_cluster(args: &Args) -> Result<(MendelCluster, Alphabet), CliError> {
     let index_path = args.require("index")?;
     let raw = std::fs::read(index_path).map_err(|e| CliError::Io(index_path.into(), e))?;
-    // Peek the snapshot's alphabet via a restore; the db must be encoded
-    // with the same alphabet, so try protein first, then DNA.
-    let (cluster, alphabet) = {
-        let try_restore = |alpha: Alphabet| -> Result<MendelCluster, CliError> {
-            let db = load_db(args.require("db")?, alpha)?;
-            snapshot::restore(&Bytes::from(raw.clone()), db, LatencyModel::lan())
-                .map_err(CliError::from)
-        };
-        match try_restore(Alphabet::Protein) {
-            Ok(c) if c.config().alphabet == Alphabet::Protein => (c, Alphabet::Protein),
-            _ => (try_restore(Alphabet::Dna)?, Alphabet::Dna),
-        }
+    let try_restore = |alpha: Alphabet| -> Result<MendelCluster, CliError> {
+        let db = load_db(args.require("db")?, alpha)?;
+        snapshot::restore(&Bytes::from(raw.clone()), db, LatencyModel::lan())
+            .map_err(CliError::from)
     };
+    match try_restore(Alphabet::Protein) {
+        Ok(c) if c.config().alphabet == Alphabet::Protein => Ok((c, Alphabet::Protein)),
+        _ => Ok((try_restore(Alphabet::Dna)?, Alphabet::Dna)),
+    }
+}
+
+/// `mendel query` — run FASTA queries against a snapshot.
+pub fn cmd_query(args: &Args) -> Result<String, CliError> {
+    let (cluster, alphabet) = restore_cluster(args)?;
     let params = query_params(args, alphabet)?;
     let top = args.get_parsed("top", 5usize, "integer")?;
     let queries = parse_fasta_sequences(&read(args.require("query")?)?, alphabet)?;
@@ -296,6 +299,32 @@ pub fn cmd_info(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// `mendel metrics` — exercise a snapshot and dump its metric registry.
+///
+/// With `--query` the given FASTA queries run first so search counters
+/// and stage histograms are populated; without it the dump reflects
+/// only restore-time state. `--format prometheus` (default) emits the
+/// text exposition; `--format json` the JSON one (DESIGN.md §11).
+pub fn cmd_metrics(args: &Args) -> Result<String, CliError> {
+    let (cluster, alphabet) = restore_cluster(args)?;
+    if let Some(query_path) = args.get("query") {
+        let params = query_params(args, alphabet)?;
+        for q in parse_fasta_sequences(&read(query_path)?, alphabet)? {
+            cluster.query(&q.residues, &params)?;
+        }
+    }
+    let snap = cluster.metrics_snapshot();
+    match args.get("format").unwrap_or("prometheus") {
+        "prometheus" | "prom" | "text" => Ok(snap.to_prometheus()),
+        "json" => Ok(snap.to_json()),
+        other => Err(CliError::Args(ArgError::BadValue {
+            key: "format".into(),
+            value: other.into(),
+            expected: "prometheus|json",
+        })),
+    }
+}
+
 /// Dispatch a raw argv (without program name) to its command.
 pub fn run(tokens: &[String]) -> Result<String, CliError> {
     let args = Args::parse(tokens)?;
@@ -305,6 +334,7 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         "query" => cmd_query(&args),
         "blast" => cmd_blast(&args),
         "info" => cmd_info(&args),
+        "metrics" => cmd_metrics(&args),
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
         other => Err(CliError::UnknownCommand(other.into())),
     }
@@ -374,6 +404,31 @@ mod tests {
 
         let out = run(&toks(&format!("info --index {snap} --db {fasta}"))).unwrap();
         assert!(out.contains("6 nodes"), "{out}");
+
+        // The metrics dump reflects the queries it just ran.
+        let out = run(&toks(&format!(
+            "metrics --index {snap} --db {fasta} --query {qf}"
+        )))
+        .unwrap();
+        assert!(out.contains("# TYPE mendel_query_count counter"), "{out}");
+        assert!(out.contains("mendel_query_count 1"), "{out}");
+        assert!(out.contains("mendel_vptree_dist_calls"), "{out}");
+        assert!(
+            out.contains("mendel_query_turnaround_seconds_count 1"),
+            "{out}"
+        );
+
+        let out = run(&toks(&format!(
+            "metrics --index {snap} --db {fasta} --query {qf} --format json"
+        )))
+        .unwrap();
+        assert!(out.contains("\"mendel.query.count\": 1"), "{out}");
+
+        let err = run(&toks(&format!(
+            "metrics --index {snap} --db {fasta} --format xml"
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("prometheus|json"), "{err}");
     }
 
     #[test]

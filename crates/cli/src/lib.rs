@@ -6,6 +6,7 @@
 //! mendel query    --index db.mendel --db db.fasta --query q.fasta [--evalue 10] ...
 //! mendel blast    --db db.fasta --query q.fasta [--dna]
 //! mendel info     --index db.mendel --db db.fasta
+//! mendel metrics  --index db.mendel --db db.fasta [--query q.fasta] [--format json]
 //! mendel help
 //! ```
 //!
@@ -32,5 +33,7 @@ USAGE:
                   [--step N] [--band N] [--top N]
   mendel blast    --db <fasta> --query <fasta> [--evalue F] [--top N] [--dna]
   mendel info     --index <snapshot> --db <fasta>
+  mendel metrics  --index <snapshot> --db <fasta> [--query <fasta>]
+                  [--format prometheus|json]
   mendel help
 ";

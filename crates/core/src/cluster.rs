@@ -19,14 +19,15 @@ use mendel_dht::sha1::sha1_u64;
 use mendel_dht::{FlatPlacement, GroupId, LoadReport, NodeId, Topology};
 use mendel_net::latency::parallel_max;
 use mendel_net::{HeartbeatMonitor, NodeSpeed};
+use mendel_obs::{MetricsSnapshot, Registry};
 use mendel_seq::{Alphabet, ScoringMatrix, SeqStore};
-use mendel_vptree::{GroupAssignment, VpPrefixTree};
+use mendel_vptree::{GroupAssignment, SearchMetrics, VpPrefixTree};
 use parking_lot::RwLock;
 use rayon::prelude::*;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Estimated wire size of one anchor (subject id, two ranges, score).
 const HSP_WIRE_BYTES: usize = 28;
@@ -86,6 +87,11 @@ pub struct MendelCluster {
     group_epochs: RwLock<Vec<u64>>,
     /// Block copies created by [`Self::repair`] since cluster start.
     repair_moves: AtomicU64,
+    /// Cluster-wide metric registry (`mendel.vptree.*`,
+    /// `mendel.query.*`, …); also the cluster's time source — all
+    /// wall-clock measurement goes through its injectable clock
+    /// (DESIGN.md §11).
+    obs: Registry,
     db: DbCell,
     karlin: KarlinParams,
     index_elapsed: Duration,
@@ -97,7 +103,9 @@ impl MendelCluster {
     /// pipeline (§V-A) over every sequence in `db`.
     pub fn build(config: ClusterConfig, db: Arc<SeqStore>) -> Result<Self, MendelError> {
         config.validate()?;
-        let started = Instant::now();
+        let obs = Registry::new();
+        let clock = obs.clock();
+        let started = clock.now();
         let metric = config.metric.instantiate();
 
         // Prefix-tree sample: an even stride over all windows.
@@ -114,15 +122,20 @@ impl MendelCluster {
         let placement = FlatPlacement::with_replication(config.replication);
 
         let db: DbCell = Arc::new(RwLock::new(db));
+        // One shared counter bundle across all nodes: per-node trees
+        // aggregate into the cluster-wide `mendel.vptree.*` counters.
+        let search_metrics = SearchMetrics::registered(&obs);
         let nodes: Vec<Arc<RwLock<StorageNode>>> = (0..config.nodes)
             .map(|i| {
-                Arc::new(RwLock::new(StorageNode::new(
+                let mut node = StorageNode::new(
                     metric.clone(),
                     config.bucket_capacity,
                     db.clone(),
                     config.alphabet,
                     config.seed ^ (i as u64 + 1),
-                )))
+                );
+                node.set_search_metrics(search_metrics.clone());
+                Arc::new(RwLock::new(node))
             })
             .collect();
 
@@ -138,13 +151,14 @@ impl MendelCluster {
             failed: RwLock::new(HashMap::new()),
             group_epochs: RwLock::new(vec![0; groups]),
             repair_moves: AtomicU64::new(0),
+            obs,
             db,
             karlin,
             index_elapsed: Duration::ZERO,
         };
         cluster.index_all()?;
         Ok(MendelCluster {
-            index_elapsed: started.elapsed(),
+            index_elapsed: clock.now().saturating_sub(started),
             ..cluster
         })
     }
@@ -331,9 +345,15 @@ impl MendelCluster {
         let latency = self.config.latency;
         let block_len = self.config.block_len;
         let mut stats = QueryStats::default();
+        let clock = self.obs.clock();
+        // Registry state before the pipeline; the report carries the
+        // delta, so counters attribute exactly to this query when
+        // evaluation is serial.
+        let before = self.obs.snapshot();
+        self.obs.counter("mendel.query.count").inc();
 
         // ---- Stage 1: decompose + vp-prefix routing at the entry node.
-        let t = Instant::now();
+        let t = clock.now();
         let offsets = subquery_offsets(query.len(), block_len, params.k);
         stats.subqueries = offsets.len();
         let mut group_offsets: BTreeMap<GroupId, Vec<usize>> = BTreeMap::new();
@@ -342,8 +362,11 @@ impl MendelCluster {
                 group_offsets.entry(g).or_default().push(off);
             }
         }
-        let decompose = entry_speed.scale(t.elapsed());
+        let decompose = entry_speed.scale(clock.now().saturating_sub(t));
         stats.groups_contacted = group_offsets.len();
+        self.obs
+            .counter("mendel.query.fanout_groups")
+            .add(group_offsets.len() as u64);
 
         // ---- Stage 2: scatter query to group entry points.
         let query_msg_bytes = query.len() + MSG_OVERHEAD_BYTES;
@@ -383,11 +406,11 @@ impl MendelCluster {
                     .par_iter()
                     .map(|&m| {
                         let node = nodes_guard[m.0 as usize].read();
-                        let t = Instant::now();
+                        let t = clock.now();
                         let out = node.local_search_many(query, offs, block_len, params, &matrix);
                         (
                             out.anchors,
-                            self.speed_of(&topo, m).scale(t.elapsed()),
+                            self.speed_of(&topo, m).scale(clock.now().saturating_sub(t)),
                             out.candidates,
                         )
                     })
@@ -400,10 +423,12 @@ impl MendelCluster {
                 let anchor_bytes: usize =
                     all.len() * HSP_WIRE_BYTES + MSG_OVERHEAD_BYTES * (members.len() - 1);
                 let gather_in = latency.transfer(anchor_bytes);
-                let t = Instant::now();
+                let t = clock.now();
                 let merged = merge_overlapping(all);
                 let gep = members[0];
-                let merge_time = self.speed_of(&topo, gep).scale(t.elapsed());
+                let merge_time = self
+                    .speed_of(&topo, gep)
+                    .scale(clock.now().saturating_sub(t));
                 GroupOutcome {
                     nodes: members.len(),
                     candidates,
@@ -434,25 +459,61 @@ impl MendelCluster {
         stats.bytes += up_bytes;
 
         // ---- Stage 5: system-level merge, gapped extension, ranking.
-        let t = Instant::now();
+        let t = clock.now();
         let all: Vec<Hsp> = outcomes.into_iter().flat_map(|o| o.anchors).collect();
         let merged = merge_overlapping(all);
         stats.anchors = merged.len();
         let hits = self.finalize(query, merged, params, &matrix);
-        let finalize = entry_speed.scale(t.elapsed());
+        let finalize = entry_speed.scale(clock.now().saturating_sub(t));
 
+        let timings = StageTimings {
+            decompose,
+            scatter,
+            group_phase,
+            gather,
+            finalize,
+        };
+        self.record_stage_timings(&timings);
         Ok(QueryReport {
             hits,
-            timings: StageTimings {
-                decompose,
-                scatter,
-                group_phase,
-                gather,
-                finalize,
-            },
+            timings,
             stats,
             coverage: self.coverage(),
+            metrics: self.obs.snapshot().since(&before),
         })
+    }
+
+    /// Record one query's simulated stage durations into the
+    /// `mendel.query.stage.*.seconds` histograms (plus the end-to-end
+    /// turnaround), so Fig. 5-style numbers can be re-derived from a
+    /// metrics snapshot instead of ad-hoc prints.
+    fn record_stage_timings(&self, t: &StageTimings) {
+        let scope = self.obs.scoped("mendel.query.stage");
+        for (name, d) in [
+            ("decompose", t.decompose),
+            ("scatter", t.scatter),
+            ("group_phase", t.group_phase),
+            ("gather", t.gather),
+            ("finalize", t.finalize),
+        ] {
+            scope
+                .histogram(&format!("{name}.seconds"))
+                .record(d.as_secs_f64());
+        }
+        self.obs
+            .histogram("mendel.query.turnaround.seconds")
+            .record(t.total().as_secs_f64());
+    }
+
+    /// The cluster's metric registry: counters, histograms, and the
+    /// injectable clock every subsystem draws time from.
+    pub fn metrics_registry(&self) -> &Registry {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every cluster metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// §V-B final stage: bin anchors by subject, run banded gapped
@@ -742,15 +803,15 @@ impl MendelCluster {
         let mut topo = self.topology.write();
         let idx = topo.id_space();
         let (id, g) = topo.join(NodeSpeed::paper_mix(idx));
-        self.nodes
-            .write()
-            .push(Arc::new(RwLock::new(StorageNode::new(
-                self.config.metric.instantiate(),
-                self.config.bucket_capacity,
-                self.db.clone(),
-                self.config.alphabet,
-                self.config.seed ^ (idx as u64 + 1),
-            ))));
+        let mut node = StorageNode::new(
+            self.config.metric.instantiate(),
+            self.config.bucket_capacity,
+            self.db.clone(),
+            self.config.alphabet,
+            self.config.seed ^ (idx as u64 + 1),
+        );
+        node.set_search_metrics(SearchMetrics::registered(&self.obs));
+        self.nodes.write().push(Arc::new(RwLock::new(node)));
         let topo_snapshot = topo.clone();
         drop(topo);
         self.rebalance_group(&topo_snapshot, g);
@@ -770,13 +831,15 @@ impl MendelCluster {
         }
         // Rebuild members empty, then re-place.
         for &m in &members {
-            *nodes[m.0 as usize].write() = StorageNode::new(
+            let mut fresh = StorageNode::new(
                 self.config.metric.instantiate(),
                 self.config.bucket_capacity,
                 self.db.clone(),
                 self.config.alphabet,
                 self.config.seed ^ (m.0 as u64 + 1),
             );
+            fresh.set_search_metrics(SearchMetrics::registered(&self.obs));
+            *nodes[m.0 as usize].write() = fresh;
         }
         let failed = self.failed.read();
         let mut batches: BTreeMap<NodeId, Vec<crate::block::Block>> = BTreeMap::new();
@@ -1045,15 +1108,19 @@ impl MendelCluster {
         let assignment = GroupAssignment::new(prefix.num_buckets(), config.groups);
         let topology = Topology::new(config.nodes, config.groups);
         let db: DbCell = Arc::new(RwLock::new(db));
+        let obs = Registry::new();
+        let search_metrics = SearchMetrics::registered(&obs);
         let nodes = (0..config.nodes)
             .map(|i| {
-                Arc::new(RwLock::new(StorageNode::new(
+                let mut node = StorageNode::new(
                     metric.clone(),
                     config.bucket_capacity,
                     db.clone(),
                     config.alphabet,
                     config.seed ^ (i as u64 + 1),
-                )))
+                );
+                node.set_search_metrics(search_metrics.clone());
+                Arc::new(RwLock::new(node))
             })
             .collect();
         let karlin = Self::default_karlin(config.alphabet);
@@ -1068,6 +1135,7 @@ impl MendelCluster {
             failed: RwLock::new(HashMap::new()),
             group_epochs: RwLock::new(vec![0; groups]),
             repair_moves: AtomicU64::new(0),
+            obs,
             db,
             karlin,
             index_elapsed: Duration::ZERO,
@@ -1462,6 +1530,31 @@ mod tests {
         for (q, r) in queries.iter().zip(batch) {
             assert_eq!(r.unwrap().hits, c.query(q, &params).unwrap().hits);
         }
+    }
+
+    #[test]
+    fn query_report_carries_metric_deltas() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let q = db.get(SeqId(0)).unwrap().residues.clone();
+        let r = c.query(&q, &QueryParams::protein()).unwrap();
+        assert!(r.metrics.counter("mendel.vptree.dist_calls") > 0);
+        assert!(r.metrics.counter("mendel.vptree.leaf_scans") > 0);
+        assert_eq!(r.metrics.counter("mendel.query.count"), 1);
+        assert_eq!(
+            r.metrics.counter("mendel.query.fanout_groups") as usize,
+            r.stats.groups_contacted
+        );
+        let h = r
+            .metrics
+            .histogram("mendel.query.turnaround.seconds")
+            .expect("turnaround histogram recorded");
+        assert_eq!(h.count(), 1);
+        // The cumulative registry keeps growing query over query while
+        // each report's delta stays per-query.
+        let r2 = c.query(&q, &QueryParams::protein()).unwrap();
+        assert_eq!(r2.metrics.counter("mendel.query.count"), 1);
+        assert_eq!(c.metrics_snapshot().counter("mendel.query.count"), 2);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub use block::{check_block_chain, make_blocks, Block, BlockKey};
 pub use cluster::{FailoverDelta, MendelCluster, RepairReport};
 pub use config::{ClusterConfig, MetricKind};
 pub use error::MendelError;
+pub use mendel_obs::{MetricsSnapshot, Registry as MetricsRegistry};
 pub use metric::BlockMetric;
 pub use params::QueryParams;
 pub use report::{CoverageReport, GroupCoverage, MendelHit, QueryReport, StageTimings};

@@ -133,6 +133,13 @@ impl StorageNode {
         }
     }
 
+    /// Install shared vp-tree search counters (e.g. one
+    /// [`mendel_vptree::SearchMetrics::registered`] bundle cloned across
+    /// all nodes, aggregating cluster-wide). Survives dynamic rebuilds.
+    pub fn set_search_metrics(&mut self, metrics: mendel_vptree::SearchMetrics) {
+        self.tree.set_metrics(metrics);
+    }
+
     /// Number of blocks held.
     pub fn block_count(&self) -> usize {
         self.store.len()

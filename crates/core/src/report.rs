@@ -1,6 +1,7 @@
 //! Query results and the simulated-clock report.
 
 use mendel_dht::GroupId;
+use mendel_obs::MetricsSnapshot;
 use mendel_seq::SeqId;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -127,6 +128,12 @@ pub struct QueryReport {
     /// `coverage.degraded` to distinguish a complete answer from a
     /// best-effort one.
     pub coverage: CoverageReport,
+    /// Delta of the cluster's metric registry across this query:
+    /// distance calls, early abandons, fan-out, per-stage timing
+    /// histograms (DESIGN.md §11). Under concurrent queries the delta
+    /// attributes *all* cluster activity in the interval, so per-query
+    /// exactness holds only for serial evaluation.
+    pub metrics: MetricsSnapshot,
 }
 
 impl QueryReport {
@@ -214,6 +221,7 @@ mod tests {
             timings: StageTimings::default(),
             stats: QueryStats::default(),
             coverage: CoverageReport::default(),
+            metrics: MetricsSnapshot::default(),
         };
         assert_eq!(r.best(), Some(&hit));
         assert_eq!(r.turnaround(), Duration::ZERO);

@@ -17,6 +17,7 @@
 //! * [`load`] — cluster-wide load-balance reports (Fig. 5's measurement).
 
 pub mod load;
+pub mod metrics;
 pub mod placement;
 pub mod ring;
 pub mod sha1;
@@ -24,6 +25,7 @@ pub mod store;
 pub mod topology;
 
 pub use load::LoadReport;
+pub use metrics::DhtMetrics;
 pub use placement::FlatPlacement;
 pub use ring::ConsistentRing;
 pub use sha1::{sha1, Sha1};

@@ -1,0 +1,53 @@
+//! Placement instrumentation (`mendel.dht.*`).
+//!
+//! [`crate::placement::FlatPlacement`] is a `Copy` value with no state,
+//! so counting lives in a separate [`DhtMetrics`] bundle passed to the
+//! `*_counted` placement methods. Handles default to detached atomics;
+//! [`DhtMetrics::registered`] wires them into a shared registry.
+
+use mendel_obs::{Counter, Registry};
+use std::sync::Arc;
+
+/// Counters for second-tier (within-group) placement.
+#[derive(Debug, Clone, Default)]
+pub struct DhtMetrics {
+    /// Ring walks: placement lookups that hashed a key onto the group's
+    /// member ring (one per `primary`/`replicas` resolution).
+    pub ring_walks: Arc<Counter>,
+    /// Extra ring steps past the primary taken to assemble a replica
+    /// set (`replication − 1` per resolution, clamped to group size) or
+    /// to route around an excluded node.
+    pub placement_retries: Arc<Counter>,
+}
+
+impl DhtMetrics {
+    /// Detached counters (registered nowhere).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Counters registered under `mendel.dht.*` in `registry`.
+    pub fn registered(registry: &Registry) -> Self {
+        let scope = registry.scoped("mendel.dht");
+        DhtMetrics {
+            ring_walks: scope.counter("ring_walks"),
+            placement_retries: scope.counter("placement_retries"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_metrics_surface_in_snapshots() {
+        let r = Registry::new();
+        let m = DhtMetrics::registered(&r);
+        m.ring_walks.add(4);
+        m.placement_retries.inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("mendel.dht.ring_walks"), 4);
+        assert_eq!(snap.counter("mendel.dht.placement_retries"), 1);
+    }
+}

@@ -11,7 +11,8 @@
 
 use crate::mailbox::{Endpoint, NodeAddr};
 use bytes::Bytes;
-use std::collections::HashMap;
+use mendel_obs::Counter;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -24,6 +25,12 @@ pub const HEARTBEAT_CORRELATION: u64 = u64::MAX;
 pub struct HeartbeatMonitor {
     last_seen: HashMap<NodeAddr, Instant>,
     timeout: Duration,
+    /// New suspicions observed (rising edges only: a node counts again
+    /// only after reviving in between). Detached unless installed via
+    /// [`Self::set_suspicion_counter`].
+    suspicions: Arc<Counter>,
+    /// Nodes currently under suspicion, for edge detection.
+    suspected: parking_lot::Mutex<HashSet<NodeAddr>>,
 }
 
 impl HeartbeatMonitor {
@@ -33,7 +40,20 @@ impl HeartbeatMonitor {
         HeartbeatMonitor {
             last_seen: HashMap::new(),
             timeout,
+            suspicions: Arc::new(Counter::new()),
+            suspected: parking_lot::Mutex::new(HashSet::new()),
         }
+    }
+
+    /// Install a shared counter (e.g. `mendel.net.heartbeat.suspicions`
+    /// from a registry) incremented once per *new* suspicion.
+    pub fn set_suspicion_counter(&mut self, counter: Arc<Counter>) {
+        self.suspicions = counter;
+    }
+
+    /// Total new suspicions observed so far.
+    pub fn suspicion_count(&self) -> u64 {
+        self.suspicions.get()
     }
 
     /// Record a beat from `from` at time `now`.
@@ -64,7 +84,9 @@ impl HeartbeatMonitor {
     }
 
     /// Nodes the monitor has ever seen that have been silent past the
-    /// threshold as of `now`, ascending by address.
+    /// threshold as of `now`, ascending by address. Each *newly* silent
+    /// node (not suspect at the previous poll) bumps the suspicion
+    /// counter once.
     pub fn suspects_at(&self, now: Instant) -> Vec<NodeAddr> {
         let mut out: Vec<NodeAddr> = self
             .last_seen
@@ -73,6 +95,13 @@ impl HeartbeatMonitor {
             .map(|(&addr, _)| addr)
             .collect();
         out.sort_unstable();
+        let mut suspected = self.suspected.lock();
+        let fresh = out.iter().filter(|a| !suspected.contains(a)).count();
+        if fresh > 0 {
+            self.suspicions.add(fresh as u64);
+        }
+        suspected.clear();
+        suspected.extend(out.iter().copied());
         out
     }
 
@@ -217,5 +246,44 @@ mod tests {
     #[should_panic(expected = "timeout must be positive")]
     fn zero_timeout_rejected() {
         HeartbeatMonitor::new(Duration::ZERO);
+    }
+
+    #[test]
+    fn suspicions_count_rising_edges_only() {
+        use mendel_obs::Registry;
+        let registry = Registry::new();
+        let mut m = HeartbeatMonitor::new(Duration::from_millis(50));
+        m.set_suspicion_counter(
+            registry
+                .scoped("mendel.net.heartbeat")
+                .counter("suspicions"),
+        );
+        let t0 = Instant::now();
+        m.observe_at(NodeAddr(1), t0);
+        m.observe_at(NodeAddr(2), t0);
+        // Both silent past the threshold: two new suspicions.
+        assert_eq!(m.suspects_at(t0 + Duration::from_millis(100)).len(), 2);
+        assert_eq!(m.suspicion_count(), 2);
+        // Polling again while still suspect does not re-count.
+        m.suspects_at(t0 + Duration::from_millis(110));
+        assert_eq!(m.suspicion_count(), 2);
+        // One revives, then goes silent again: one more edge.
+        m.observe_at(NodeAddr(1), t0 + Duration::from_millis(120));
+        assert_eq!(
+            m.suspects_at(t0 + Duration::from_millis(130)),
+            vec![NodeAddr(2)]
+        );
+        assert_eq!(m.suspicion_count(), 2);
+        assert_eq!(
+            m.suspects_at(t0 + Duration::from_millis(200)),
+            vec![NodeAddr(1), NodeAddr(2)]
+        );
+        assert_eq!(m.suspicion_count(), 3);
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter("mendel.net.heartbeat.suspicions"),
+            3
+        );
     }
 }

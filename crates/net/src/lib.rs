@@ -26,6 +26,7 @@ pub mod fault;
 pub mod heartbeat;
 pub mod latency;
 pub mod mailbox;
+pub mod metrics;
 pub mod rpc;
 
 pub use codec::{Decode, DecodeError, Encode};
@@ -33,4 +34,5 @@ pub use fault::{FaultConfig, FaultEvent, FaultEventKind, FaultPlan, Verdict, Xor
 pub use heartbeat::HeartbeatMonitor;
 pub use latency::{LatencyModel, NodeSpeed, SimSpan};
 pub use mailbox::{Endpoint, Envelope, Network, NetworkStats, NodeAddr, RecvError};
+pub use metrics::{NetMetrics, RpcMetrics};
 pub use rpc::{RetryPolicy, RpcClient, RpcError};

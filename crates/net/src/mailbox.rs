@@ -7,8 +7,10 @@
 //! cannot accidentally share memory the way a real deployment could not.
 
 use crate::fault::{FaultPlan, Verdict};
+use crate::metrics::NetMetrics;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use mendel_obs::Registry;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -85,6 +87,7 @@ struct Shared {
     senders: RwLock<Vec<Sender<Envelope>>>,
     stats: NetworkStats,
     fault: RwLock<Option<Arc<FaultPlan>>>,
+    obs: RwLock<Option<NetMetrics>>,
 }
 
 /// A registry of node mailboxes. Cloning shares the same network.
@@ -101,6 +104,7 @@ impl Network {
                 senders: RwLock::new(Vec::new()),
                 stats: NetworkStats::default(),
                 fault: RwLock::new(None),
+                obs: RwLock::new(None),
             }),
         }
     }
@@ -150,6 +154,18 @@ impl Network {
         self.shared.fault.read().clone()
     }
 
+    /// Register per-peer traffic and drop counters under `mendel.net.*`
+    /// in `registry`. Until this is called the network carries no
+    /// registry and counts nothing beyond [`Self::stats`].
+    pub fn set_metrics_registry(&self, registry: &Registry) {
+        *self.shared.obs.write() = Some(NetMetrics::registered(registry));
+    }
+
+    /// The installed mailbox metrics, if any.
+    pub fn metrics(&self) -> Option<NetMetrics> {
+        self.shared.obs.read().clone()
+    }
+
     /// Deliver an envelope to its destination mailbox. Returns `false` if
     /// the destination does not exist (a "dead letter").
     ///
@@ -166,7 +182,12 @@ impl Network {
         match plan {
             None => self.deliver(env),
             Some(plan) => match plan.decide(env.from, env.to) {
-                Verdict::Drop => true,
+                Verdict::Drop => {
+                    if let Some(obs) = self.shared.obs.read().as_ref() {
+                        obs.record_drop();
+                    }
+                    true
+                }
                 Verdict::Deliver { copies, delay } => {
                     if delay.is_zero() {
                         let mut ok = true;
@@ -196,6 +217,9 @@ impl Network {
         match senders.get(env.to.0 as usize) {
             Some(tx) => {
                 self.shared.stats.record(env.payload.len());
+                if let Some(obs) = self.shared.obs.read().as_ref() {
+                    obs.record_delivery(env.from, env.to, env.payload.len());
+                }
                 tx.send(env).is_ok()
             }
             None => false,
@@ -435,6 +459,32 @@ mod tests {
         plan.restart(b.addr());
         assert!(a.send(b.addr(), 0, Bytes::from_static(b"y")));
         assert!(b.try_recv().is_some());
+    }
+
+    #[test]
+    fn registry_counts_per_peer_bytes_and_drops() {
+        use crate::fault::FaultConfig;
+        use mendel_obs::Registry;
+        let registry = Registry::new();
+        let net = Network::new();
+        net.set_metrics_registry(&registry);
+        let a = net.join();
+        let b = net.join();
+        a.send(b.addr(), 0, Bytes::from_static(b"12345"));
+        b.send(a.addr(), 0, Bytes::from_static(b"ack"));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("mendel.net.peer.node0.sent_bytes"), 5);
+        assert_eq!(snap.counter("mendel.net.peer.node0.recv_bytes"), 3);
+        assert_eq!(snap.counter("mendel.net.peer.node1.sent_bytes"), 3);
+        assert_eq!(snap.counter("mendel.net.peer.node1.recv_bytes"), 5);
+        assert_eq!(snap.counter("mendel.net.delivered_envelopes"), 2);
+        assert_eq!(snap.counter("mendel.net.dropped_envelopes"), 0);
+        // A certain-drop plan: drops are counted, bytes are not.
+        net.set_fault_plan(Some(Arc::new(FaultPlan::new(FaultConfig::drops(3, 1.0)))));
+        assert!(a.send(b.addr(), 0, Bytes::from_static(b"lost")));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("mendel.net.dropped_envelopes"), 1);
+        assert_eq!(snap.counter("mendel.net.peer.node0.sent_bytes"), 5);
     }
 
     #[test]

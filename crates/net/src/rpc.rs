@@ -10,6 +10,7 @@
 use crate::codec::{Decode, Encode};
 use crate::fault::XorShift64;
 use crate::mailbox::{Endpoint, Envelope, NodeAddr, RecvError};
+use crate::metrics::RpcMetrics;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -135,6 +136,9 @@ pub struct RpcClient {
     /// of parked. Tombstones expire with the same TTL.
     closed: parking_lot::Mutex<HashMap<u64, Instant>>,
     parked_ttl: parking_lot::Mutex<Duration>,
+    /// Request-level counters; detached by default, see
+    /// [`Self::set_metrics`].
+    metrics: RpcMetrics,
 }
 
 impl RpcClient {
@@ -146,7 +150,19 @@ impl RpcClient {
             parked: parking_lot::Mutex::new(HashMap::new()),
             closed: parking_lot::Mutex::new(HashMap::new()),
             parked_ttl: parking_lot::Mutex::new(DEFAULT_PARKED_TTL),
+            metrics: RpcMetrics::detached(),
         }
+    }
+
+    /// Install shared counters (e.g. [`RpcMetrics::registered`]) in
+    /// place of the default detached ones.
+    pub fn set_metrics(&mut self, metrics: RpcMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// This client's request-level counters.
+    pub fn metrics(&self) -> &RpcMetrics {
+        &self.metrics
     }
 
     /// Change the eviction TTL for parked envelopes and closed-id
@@ -222,6 +238,9 @@ impl RpcClient {
     ) -> Result<Resp, RpcError> {
         let mut last = RpcError::Timeout;
         for attempt in 1..=policy.max_attempts.max(1) {
+            if attempt > 1 {
+                self.metrics.retries.inc();
+            }
             let backoff = policy.backoff_before(attempt);
             if !backoff.is_zero() {
                 std::thread::sleep(backoff);
@@ -326,6 +345,7 @@ impl RpcClient {
             let remaining = deadline.saturating_duration_since(now);
             if remaining.is_zero() {
                 self.close(correlation, now);
+                self.metrics.timeouts.inc();
                 return Err(RpcError::Timeout);
             }
             match self.endpoint.recv_timeout(remaining) {
@@ -335,12 +355,16 @@ impl RpcClient {
                 }
                 Ok(env) => {
                     let now = Instant::now();
-                    if !self.closed.lock().contains_key(&env.correlation) {
+                    if self.closed.lock().contains_key(&env.correlation) {
+                        self.metrics.dropped_late.inc();
+                    } else {
+                        self.metrics.parked.inc();
                         self.parked.lock().insert(env.correlation, (env, now));
                     }
                 }
                 Err(RecvError::Timeout) => {
                     self.close(correlation, Instant::now());
+                    self.metrics.timeouts.inc();
                     return Err(RpcError::Timeout);
                 }
                 Err(RecvError::Disconnected) => return Err(RpcError::Disconnected),
@@ -607,6 +631,56 @@ mod tests {
         assert_eq!(out[1], Err(RpcError::Timeout));
         assert_eq!(out[2], Err(RpcError::DeadLetter(NodeAddr(88))));
         h.join().unwrap();
+    }
+
+    #[test]
+    fn retry_and_timeout_counters_track_attempts() {
+        use crate::metrics::RpcMetrics;
+        use mendel_obs::Registry;
+        let registry = Registry::new();
+        let net = Network::new();
+        let mut client = RpcClient::new(net.join());
+        client.set_metrics(RpcMetrics::registered(&registry));
+        let silent = net.join();
+        let policy = RetryPolicy::retries(4, Duration::from_millis(5), Duration::from_micros(100));
+        let err = client
+            .call_with_retry::<u32, u32>(silent.addr(), &1, &policy)
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("mendel.net.rpc.retries"),
+            3,
+            "4 attempts = 3 retries"
+        );
+        assert_eq!(
+            snap.counter("mendel.net.rpc.timeouts"),
+            4,
+            "every attempt timed out"
+        );
+        assert_eq!(snap.counter("mendel.net.rpc.parked"), 0);
+    }
+
+    #[test]
+    fn late_responses_bump_the_dropped_late_counter() {
+        use crate::metrics::RpcMetrics;
+        use mendel_obs::Registry;
+        let registry = Registry::new();
+        let net = Network::new();
+        let mut client = RpcClient::new(net.join());
+        client.set_metrics(RpcMetrics::registered(&registry));
+        let client_addr = client.addr();
+        let peer = net.join();
+        let err = client
+            .call::<u32, u32>(peer.addr(), &1, Duration::from_millis(10))
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        let req = peer.try_recv().unwrap();
+        peer.send(client_addr, req.correlation, req.payload);
+        let _ = client.wait_for(5_555, Duration::from_millis(10));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("mendel.net.rpc.dropped_late"), 1);
+        assert_eq!(snap.counter("mendel.net.rpc.parked"), 0);
     }
 
     #[test]

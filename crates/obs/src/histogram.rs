@@ -1,0 +1,360 @@
+//! Fixed-boundary histograms with lock-free cells.
+//!
+//! Boundaries are chosen once at construction (typically log-spaced —
+//! latency and distance-count distributions are heavy-tailed) and never
+//! change, so recording is a binary search plus one relaxed atomic
+//! increment: safe to leave in hot paths.
+//!
+//! Quantile estimates are deliberately returned as the *bracket* of the
+//! bucket containing the requested rank, `(lo, hi]`: the true sample
+//! quantile is guaranteed to lie inside the bracket (the property suite
+//! proves it), and the caller decides how to collapse it to a scalar.
+
+use crate::snapshot::HistogramSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram construction/merge failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistogramError {
+    /// Boundaries must be finite and strictly increasing, with at least
+    /// one entry.
+    BadBounds(String),
+    /// Merging requires bitwise-identical boundary vectors.
+    BoundaryMismatch,
+}
+
+impl std::fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HistogramError::BadBounds(why) => write!(f, "bad histogram bounds: {why}"),
+            HistogramError::BoundaryMismatch => {
+                write!(f, "cannot merge histograms with different boundaries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
+/// A fixed-boundary histogram. Bucket `i` counts samples `v` with
+/// `bounds[i-1] < v <= bounds[i]`; one extra overflow bucket counts
+/// everything above the last boundary. NaN samples are ignored.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` cells; the last is the overflow bucket.
+    cells: Vec<AtomicU64>,
+    /// Running sum of recorded samples, stored as f64 bits.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over explicit boundaries (finite, strictly
+    /// increasing, non-empty).
+    pub fn with_bounds(bounds: Vec<f64>) -> Result<Self, HistogramError> {
+        if bounds.is_empty() {
+            return Err(HistogramError::BadBounds("no boundaries".into()));
+        }
+        for w in bounds.windows(2) {
+            if !(w[0] < w[1]) {
+                return Err(HistogramError::BadBounds(format!(
+                    "not strictly increasing at {} -> {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        if bounds.iter().any(|b| !b.is_finite()) {
+            return Err(HistogramError::BadBounds("non-finite boundary".into()));
+        }
+        let cells = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Ok(Histogram {
+            bounds,
+            cells,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        })
+    }
+
+    /// `buckets` log-spaced boundaries from `min` to `max` inclusive
+    /// (`min > 0`, `max > min`, `buckets >= 2`): boundary `i` is
+    /// `min · (max/min)^(i/(buckets−1))`.
+    pub fn log_spaced(min: f64, max: f64, buckets: usize) -> Result<Self, HistogramError> {
+        if !(min > 0.0 && min.is_finite()) || !(max > min && max.is_finite()) {
+            return Err(HistogramError::BadBounds(format!(
+                "log spacing needs 0 < min < max, got {min}..{max}"
+            )));
+        }
+        if buckets < 2 {
+            return Err(HistogramError::BadBounds(
+                "log spacing needs at least 2 buckets".into(),
+            ));
+        }
+        let ratio = max / min;
+        let mut bounds: Vec<f64> = (0..buckets)
+            .map(|i| min * ratio.powf(i as f64 / (buckets - 1) as f64))
+            .collect();
+        // powf rounding can land the last boundary a hair under max;
+        // pin the endpoints exactly.
+        bounds[0] = min;
+        bounds[buckets - 1] = max;
+        Self::with_bounds(bounds)
+    }
+
+    /// The default span histogram: 1µs to 100s in seconds, 36 log-spaced
+    /// boundaries (~4.4 per decade).
+    pub fn span_seconds() -> Self {
+        // audit:allow(expect): constant arguments proven valid above.
+        Self::log_spaced(1e-6, 100.0, 36).expect("constant bounds are valid")
+    }
+
+    /// Record one sample. NaN is ignored.
+    pub fn record(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.cells[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .sum_bits
+                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The boundary vector.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The `(lo, hi]` bracket of the bucket holding the `q`-quantile
+    /// (nearest-rank, `q` clamped into `[0, 1]`), or `None` when the
+    /// histogram is empty. `lo` is `-∞` for the first bucket and `hi`
+    /// is `+∞` for the overflow bucket.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(f64, f64)> {
+        let counts: Vec<u64> = self
+            .cells
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the r-th smallest sample, r in [1, n].
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                let lo = if i == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    self.bounds[i - 1]
+                };
+                let hi = if i == self.bounds.len() {
+                    f64::INFINITY
+                } else {
+                    self.bounds[i]
+                };
+                return Some((lo, hi));
+            }
+        }
+        None
+    }
+
+    /// Conservative scalar quantile estimate: the upper edge of the
+    /// bracket (may be `+∞` if the rank falls in the overflow bucket).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.quantile_bounds(q).map(|(_, hi)| hi)
+    }
+
+    /// Fold `other`'s samples into `self`. Boundaries must be bitwise
+    /// identical.
+    pub fn merge_from(&self, other: &Histogram) -> Result<(), HistogramError> {
+        if self.bounds.len() != other.bounds.len()
+            || self
+                .bounds
+                .iter()
+                .zip(&other.bounds)
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            return Err(HistogramError::BoundaryMismatch);
+        }
+        for (mine, theirs) in self.cells.iter().zip(&other.cells) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let add = other.sum();
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + add).to_bits();
+            match self
+                .sum_bits
+                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Ok(()),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// A point-in-time copy of the cells.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .cells
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bad_bounds_rejected() {
+        assert!(Histogram::with_bounds(vec![]).is_err());
+        assert!(Histogram::with_bounds(vec![1.0, 1.0]).is_err());
+        assert!(Histogram::with_bounds(vec![2.0, 1.0]).is_err());
+        assert!(Histogram::with_bounds(vec![1.0, f64::INFINITY]).is_err());
+        assert!(Histogram::log_spaced(0.0, 1.0, 4).is_err());
+        assert!(Histogram::log_spaced(1.0, 1.0, 4).is_err());
+        assert!(Histogram::log_spaced(1.0, 10.0, 1).is_err());
+    }
+
+    #[test]
+    fn log_spacing_pins_endpoints_and_is_geometric() {
+        let h = Histogram::log_spaced(1e-3, 1e3, 7).unwrap();
+        let b = h.bounds();
+        assert_eq!(b.len(), 7);
+        assert_eq!(b[0], 1e-3);
+        assert_eq!(b[6], 1e3);
+        for w in b.windows(2) {
+            assert!((w[1] / w[0] - 10.0).abs() < 1e-9, "{:?}", b);
+        }
+    }
+
+    #[test]
+    fn bucketing_is_upper_inclusive() {
+        let h = Histogram::with_bounds(vec![1.0, 10.0]).unwrap();
+        h.record(1.0); // first bucket (v <= 1.0)
+        h.record(1.5); // second bucket
+        h.record(10.0); // second bucket (v <= 10.0)
+        h.record(11.0); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 2, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 23.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let h = Histogram::with_bounds(vec![1.0]).unwrap();
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_on_empty_are_none() {
+        let h = Histogram::span_seconds();
+        assert_eq!(h.quantile_bounds(0.5), None);
+        assert_eq!(h.quantile(0.99), None);
+    }
+
+    #[test]
+    fn merge_rejects_different_bounds() {
+        let a = Histogram::with_bounds(vec![1.0, 2.0]).unwrap();
+        let b = Histogram::with_bounds(vec![1.0, 3.0]).unwrap();
+        assert_eq!(a.merge_from(&b), Err(HistogramError::BoundaryMismatch));
+    }
+
+    /// Reference quantile: the nearest-rank sample itself.
+    fn true_quantile(sorted: &[f64], q: f64) -> f64 {
+        let n = sorted.len() as f64;
+        let rank = ((q.clamp(0.0, 1.0) * n).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Satellite property: bucket counts always sum to n.
+        #[test]
+        fn counts_sum_to_n(samples in proptest::collection::vec(-1e6f64..1e6, 0..300)) {
+            let h = Histogram::log_spaced(1e-3, 1e4, 24).unwrap();
+            for &s in &samples {
+                h.record(s);
+            }
+            prop_assert_eq!(h.count(), samples.len() as u64);
+            let snap = h.snapshot();
+            prop_assert_eq!(snap.counts.iter().sum::<u64>(), samples.len() as u64);
+            prop_assert_eq!(snap.counts.len(), snap.bounds.len() + 1);
+        }
+
+        /// Satellite property: the quantile bracket contains the true
+        /// nearest-rank sample quantile, for arbitrary samples and q.
+        #[test]
+        fn quantile_bracket_contains_true_quantile(
+            samples in proptest::collection::vec(-10.0f64..1e5, 1..250),
+            q in 0.0f64..1.0,
+        ) {
+            let h = Histogram::log_spaced(1e-2, 1e3, 30).unwrap();
+            for &s in &samples {
+                h.record(s);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            let truth = true_quantile(&sorted, q);
+            let (lo, hi) = h.quantile_bounds(q).unwrap();
+            // Buckets are (lo, hi], so the bracket is strict below.
+            prop_assert!(lo < truth, "lower bracket {lo} not below true quantile {truth}");
+            prop_assert!(truth <= hi, "true quantile {truth} above bracket {hi}");
+            prop_assert!(h.quantile(q).unwrap() >= truth);
+        }
+
+        /// Satellite property: merge(a, b) is indistinguishable from
+        /// recording every sample into one histogram.
+        #[test]
+        fn merge_equals_record_all(
+            xs in proptest::collection::vec(0.0f64..1e4, 0..150),
+            ys in proptest::collection::vec(0.0f64..1e4, 0..150),
+        ) {
+            let a = Histogram::log_spaced(1e-1, 1e3, 20).unwrap();
+            let b = Histogram::log_spaced(1e-1, 1e3, 20).unwrap();
+            let all = Histogram::log_spaced(1e-1, 1e3, 20).unwrap();
+            for &x in &xs {
+                a.record(x);
+                all.record(x);
+            }
+            for &y in &ys {
+                b.record(y);
+                all.record(y);
+            }
+            a.merge_from(&b).unwrap();
+            let (ma, mall) = (a.snapshot(), all.snapshot());
+            prop_assert_eq!(&ma.counts, &mall.counts);
+            prop_assert!((ma.sum - mall.sum).abs() <= 1e-6 * mall.sum.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! The metric registry: namespaced get-or-create handles and snapshots.
+//!
+//! A [`Registry`] is cheap to clone (an `Arc` around the table) and
+//! hands out `Arc` handles, so instrumented structures hold their
+//! counters directly and never touch the table on the hot path; the
+//! lock guards only registration and snapshotting.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::histogram::Histogram;
+use crate::metric::{Counter, Gauge};
+use crate::snapshot::MetricsSnapshot;
+use crate::span::Span;
+use parking_lot::RwLock;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Inner {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+    clock: Arc<dyn Clock>,
+}
+
+/// A shared, namespaced metric table with an injectable clock.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// A registry on the production monotonic clock.
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// A registry on an explicit clock (virtual in tests).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Registry {
+            inner: Arc::new(Inner {
+                metrics: RwLock::new(BTreeMap::new()),
+                clock,
+            }),
+        }
+    }
+
+    /// The registry's time source. Instrumented code takes "now" from
+    /// here instead of `Instant::now()` (the injectable-clock rule).
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.inner.clock.clone()
+    }
+
+    /// Get or create the counter `name`. If the name is already taken
+    /// by a different metric kind, a detached counter is returned (it
+    /// works, but never appears in snapshots) — name kinds are stable
+    /// by convention, see DESIGN.md §11.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.metrics.write();
+        match map.entry(name.to_string()) {
+            Entry::Occupied(e) => match e.get() {
+                Metric::Counter(c) => c.clone(),
+                _ => Arc::new(Counter::new()),
+            },
+            Entry::Vacant(v) => {
+                let c = Arc::new(Counter::new());
+                v.insert(Metric::Counter(c.clone()));
+                c
+            }
+        }
+    }
+
+    /// Get or create the gauge `name` (kind-mismatch behaves as for
+    /// [`Registry::counter`]).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.inner.metrics.write();
+        match map.entry(name.to_string()) {
+            Entry::Occupied(e) => match e.get() {
+                Metric::Gauge(g) => g.clone(),
+                _ => Arc::new(Gauge::new()),
+            },
+            Entry::Vacant(v) => {
+                let g = Arc::new(Gauge::new());
+                v.insert(Metric::Gauge(g.clone()));
+                g
+            }
+        }
+    }
+
+    /// Get or create the histogram `name` with the given constructor
+    /// for first registration; an existing histogram keeps its original
+    /// boundaries (names imply boundaries, by convention).
+    pub fn histogram_with(&self, name: &str, make: impl FnOnce() -> Histogram) -> Arc<Histogram> {
+        let mut map = self.inner.metrics.write();
+        match map.entry(name.to_string()) {
+            Entry::Occupied(e) => match e.get() {
+                Metric::Histogram(h) => h.clone(),
+                _ => Arc::new(make()),
+            },
+            Entry::Vacant(v) => {
+                let h = Arc::new(make());
+                v.insert(Metric::Histogram(h.clone()));
+                h
+            }
+        }
+    }
+
+    /// Get or create the histogram `name` with the default span
+    /// boundaries (1µs–100s, log-spaced).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, Histogram::span_seconds)
+    }
+
+    /// Start a span that records elapsed seconds into the histogram
+    /// `<name>.seconds` when finished.
+    pub fn span(&self, name: &str) -> Span {
+        let hist = self.histogram(&format!("{name}.seconds"));
+        Span::with_sink(self.clock(), Some(hist))
+    }
+
+    /// A handle factory that prefixes every metric name with
+    /// `<prefix>.`.
+    pub fn scoped(&self, prefix: &str) -> ScopedRegistry {
+        ScopedRegistry {
+            registry: self.clone(),
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// A point-in-time view of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.metrics.read();
+        let mut out = MetricsSnapshot::default();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    out.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    out.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A [`Registry`] view under a fixed namespace prefix.
+#[derive(Debug, Clone)]
+pub struct ScopedRegistry {
+    registry: Registry,
+    prefix: String,
+}
+
+impl ScopedRegistry {
+    fn name(&self, name: &str) -> String {
+        format!("{}.{name}", self.prefix)
+    }
+
+    /// Get or create `<prefix>.<name>` as a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.registry.counter(&self.name(name))
+    }
+
+    /// Get or create `<prefix>.<name>` as a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.registry.gauge(&self.name(name))
+    }
+
+    /// Get or create `<prefix>.<name>` as a histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.registry.histogram(&self.name(name))
+    }
+
+    /// Start a span recording into `<prefix>.<name>.seconds`.
+    pub fn span(&self, name: &str) -> Span {
+        self.registry.span(&self.name(name))
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use std::time::Duration;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("mendel.test.hits");
+        let b = r.counter("mendel.test.hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.snapshot().counter("mendel.test.hits"), 3);
+    }
+
+    #[test]
+    fn kind_mismatch_yields_detached_handle() {
+        let r = Registry::new();
+        r.counter("mendel.test.x").inc();
+        let g = r.gauge("mendel.test.x");
+        g.set(99);
+        // The registered counter is untouched and the gauge is invisible.
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("mendel.test.x"), 1);
+        assert_eq!(snap.gauge("mendel.test.x"), 0);
+    }
+
+    #[test]
+    fn scoped_registry_prefixes_names() {
+        let r = Registry::new();
+        let vptree = r.scoped("mendel.vptree");
+        vptree.counter("dist_calls").add(7);
+        assert_eq!(r.snapshot().counter("mendel.vptree.dist_calls"), 7);
+    }
+
+    #[test]
+    fn span_records_into_named_histogram() {
+        let clock = Arc::new(VirtualClock::new());
+        let r = Registry::with_clock(clock.clone());
+        let span = r.span("mendel.query.stage.hash");
+        clock.advance(Duration::from_millis(3));
+        let elapsed = span.finish();
+        assert_eq!(elapsed, Duration::from_millis(3));
+        let snap = r.snapshot();
+        let h = snap
+            .histogram("mendel.query.stage.hash.seconds")
+            .expect("span histogram registered");
+        assert_eq!(h.count(), 1);
+        assert!((h.sum - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_since_isolates_one_interval() {
+        let r = Registry::new();
+        let c = r.counter("mendel.test.events");
+        c.add(5);
+        let before = r.snapshot();
+        c.add(37);
+        let delta = r.snapshot().since(&before);
+        assert_eq!(delta.counter("mendel.test.events"), 37);
+    }
+}

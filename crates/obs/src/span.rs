@@ -1,0 +1,111 @@
+//! Stage-timing spans over the injectable clock.
+//!
+//! A [`Span`] captures the clock at construction and reports elapsed
+//! time on demand; [`Span::finish`] optionally records the elapsed
+//! seconds into a histogram sink (that is how
+//! `Registry::span("mendel.query.stage.hash")` feeds
+//! `mendel.query.stage.hash.seconds`). Recording is explicit — dropping
+//! an unfinished span records nothing, so abandoned stages do not
+//! pollute timing distributions.
+
+use crate::clock::Clock;
+use crate::histogram::Histogram;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One timed region.
+#[derive(Debug)]
+pub struct Span {
+    clock: Arc<dyn Clock>,
+    start: Duration,
+    sink: Option<Arc<Histogram>>,
+}
+
+impl Span {
+    /// Start a span on `clock` with no recording sink.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self::with_sink(clock, None)
+    }
+
+    /// Start a span that records elapsed seconds into `sink` on finish.
+    pub fn with_sink(clock: Arc<dyn Clock>, sink: Option<Arc<Histogram>>) -> Self {
+        let start = clock.now();
+        Span { clock, start, sink }
+    }
+
+    /// Time since the span started. Monotone: repeated calls never
+    /// decrease (the clock contract plus saturating subtraction).
+    pub fn elapsed(&self) -> Duration {
+        self.clock.now().saturating_sub(self.start)
+    }
+
+    /// Stop the span, record into the sink (if any), and return the
+    /// elapsed time.
+    pub fn finish(self) -> Duration {
+        let elapsed = self.elapsed();
+        if let Some(sink) = &self.sink {
+            sink.record(elapsed.as_secs_f64());
+        }
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use proptest::prelude::*;
+
+    #[test]
+    fn elapsed_tracks_virtual_time() {
+        let clock = Arc::new(VirtualClock::new());
+        let span = Span::new(clock.clone());
+        assert_eq!(span.elapsed(), Duration::ZERO);
+        clock.advance(Duration::from_micros(250));
+        assert_eq!(span.elapsed(), Duration::from_micros(250));
+        assert_eq!(span.finish(), Duration::from_micros(250));
+    }
+
+    #[test]
+    fn finish_without_sink_records_nothing() {
+        let clock = Arc::new(VirtualClock::new());
+        let span = Span::new(clock.clone());
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(span.finish(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn drop_without_finish_records_nothing() {
+        let clock = Arc::new(VirtualClock::new());
+        let sink = Arc::new(Histogram::span_seconds());
+        {
+            let _span = Span::with_sink(clock.clone(), Some(sink.clone()));
+            clock.advance(Duration::from_millis(10));
+        }
+        assert_eq!(sink.count(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Satellite property: under a virtual clock, `elapsed` is
+        /// monotone over any sequence of advances, and `finish` equals
+        /// the sum of advances seen since the span started.
+        #[test]
+        fn span_elapsed_is_monotone(advances in proptest::collection::vec(0u64..5_000_000, 1..40)) {
+            let clock = Arc::new(VirtualClock::new());
+            let span = Span::new(clock.clone());
+            let mut last = span.elapsed();
+            let mut total = Duration::ZERO;
+            for nanos in advances {
+                clock.advance(Duration::from_nanos(nanos));
+                total += Duration::from_nanos(nanos);
+                let now = span.elapsed();
+                prop_assert!(now >= last, "elapsed went backwards: {now:?} < {last:?}");
+                prop_assert_eq!(now, total);
+                last = now;
+            }
+            prop_assert_eq!(span.finish(), total);
+        }
+    }
+}

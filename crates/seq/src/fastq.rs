@@ -166,6 +166,42 @@ mod tests {
     }
 
     #[test]
+    fn malformed_quality_lines_report_the_failing_read() {
+        // Quality bytes below '!' (Phred+33 floor) must be rejected no
+        // matter where they appear, and the error must name the read.
+        let err = |text: &str| parse_fastq(text).unwrap_err().to_string();
+
+        // Space (0x20) is one below '!' — leading, middle, trailing.
+        for bad in [
+            "@r1\nACGT\n+\n\x20III\n",
+            "@r1\nACGT\n+\nI\x20II\n",
+            "@r1\nACGT\n+\nIII\x20\n",
+        ] {
+            let msg = err(bad);
+            assert!(msg.contains("r1"), "error names the read: {msg}");
+            assert!(msg.contains("quality below '!'"), "got: {msg}");
+        }
+        // Control characters (tab = 0x09) are also below the floor.
+        assert!(err("@r2\nAC\n+\nI\x09\n").contains("quality below '!'"));
+
+        // Length mismatches in both directions report the counts.
+        let short = err("@r3\nACGT\n+\nII\n");
+        assert!(
+            short.contains("4 bases but 2 quality values"),
+            "got: {short}"
+        );
+        let long = err("@r4\nAC\n+\nIIII\n");
+        assert!(long.contains("2 bases but 4 quality values"), "got: {long}");
+
+        // A record truncated before its quality line names the read.
+        assert!(err("@r5\nACGT\n+\n").contains("missing quality line"));
+
+        // '!' itself (Phred 0) is the boundary and must be accepted.
+        let reads = parse_fastq("@ok\nAC\n+\n!!\n").unwrap();
+        assert_eq!(reads[0].quality, vec![0, 0]);
+    }
+
+    #[test]
     fn blank_lines_between_records_are_tolerated() {
         let text = "@a\nAC\n+\nII\n\n@b\nGT\n+\nII\n";
         assert_eq!(parse_fastq(text).unwrap().len(), 2);

@@ -226,6 +226,34 @@ mod tests {
     }
 
     #[test]
+    fn six_frames_match_hand_computed_translations() {
+        // Full table-driven check: every frame of each input verified
+        // against a translation worked out by hand from the codon table.
+        //
+        // ATGAAACCCGGGTTT reverse-complements to AAACCCGGGTTTCAT; the
+        // shorter CANTGGA exercises ambiguous bases and odd length (its
+        // reverse complement is TCCANTG).
+        let cases: &[(&[u8], [&str; 6])] = &[
+            (
+                b"ATGAAACCCGGGTTT",
+                ["MKPGF", "*NPG", "ETRV", "KPGFH", "NPGF", "TRVS"],
+            ),
+            (b"CANTGGA", ["XW", "XG", "X", "SX", "PX", "X"]),
+        ];
+        for (input, expected) in cases {
+            let frames = six_frames(&dna(input));
+            for (i, want) in expected.iter().enumerate() {
+                assert_eq!(
+                    prot(&frames[i]),
+                    *want,
+                    "frame {i} of {}",
+                    std::str::from_utf8(input).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn orf_roundtrip_through_protein_search_shapes() {
         // Translating a random ORF and searching its protein should make
         // sense dimensionally: len/3 residues.

@@ -335,6 +335,17 @@ impl<P: Clone, M: Metric<P>> DynamicVpTree<P, M> {
     pub fn as_tree(&self) -> &VpTree<P, M> {
         &self.tree
     }
+
+    /// Attach search counters to the underlying tree (preserved across
+    /// rebuilds, which restructure the arena in place).
+    pub fn set_metrics(&mut self, metrics: crate::metrics::SearchMetrics) {
+        self.tree.set_metrics(metrics);
+    }
+
+    /// The underlying tree's search counters.
+    pub fn search_metrics(&self) -> &crate::metrics::SearchMetrics {
+        self.tree.search_metrics()
+    }
 }
 
 #[cfg(test)]

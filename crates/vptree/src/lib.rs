@@ -21,10 +21,12 @@
 
 pub mod dynamic;
 pub mod knn;
+pub mod metrics;
 pub mod prefix;
 pub mod tree;
 
 pub use dynamic::DynamicVpTree;
 pub use knn::{brute_force_knn, Neighbor};
+pub use metrics::SearchMetrics;
 pub use prefix::{GroupAssignment, VpPrefixTree};
 pub use tree::{VpTree, VpTreeStats};

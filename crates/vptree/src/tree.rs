@@ -12,6 +12,7 @@
 //!    point, giving the search a tighter prune than μ alone.
 
 use crate::knn::{KnnHeap, Neighbor};
+use crate::metrics::{SearchMetrics, SearchTally};
 use mendel_seq::Metric;
 use rand::seq::index::sample;
 use rand::Rng;
@@ -72,6 +73,9 @@ pub struct VpTree<P, M> {
     pub(crate) root: u32,
     pub(crate) bucket_capacity: usize,
     pub(crate) seed: u64,
+    /// Search instrumentation (`mendel.vptree.*`); detached by default,
+    /// attach registry-backed handles with [`VpTree::set_metrics`].
+    pub(crate) obs: SearchMetrics,
 }
 
 /// Structural statistics, used by balance tests and the ablation benches.
@@ -104,6 +108,7 @@ impl<P, M: Metric<P>> VpTree<P, M> {
             root: NIL,
             bucket_capacity,
             seed,
+            obs: SearchMetrics::default(),
         };
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut items: Vec<u32> = (0..tree.points.len() as u32).collect();
@@ -249,6 +254,7 @@ impl<P, M: Metric<P>> VpTree<P, M> {
             root: NIL,
             bucket_capacity,
             seed,
+            obs: SearchMetrics::default(),
         };
         let mut items: Vec<u32> = (0..tree.points.len() as u32).collect();
         let boxed = tree.build_boxed(&mut items, seed);
@@ -429,7 +435,9 @@ impl<P, M: Metric<P>> VpTree<P, M> {
         }
         let mut heap = KnnHeap::new(n);
         let mut budget = budget;
-        self.search_rec(self.root, query, &mut heap, &mut budget);
+        let mut tally = SearchTally::default();
+        self.search_rec(self.root, query, &mut heap, &mut budget, &mut tally);
+        tally.flush(&self.obs);
         heap.into_sorted()
     }
 
@@ -438,23 +446,35 @@ impl<P, M: Metric<P>> VpTree<P, M> {
     pub fn range(&self, query: &P, radius: f32) -> Vec<Neighbor> {
         let mut out = Vec::new();
         if self.root != NIL {
-            self.range_rec(self.root, query, radius, &mut out);
+            let mut tally = SearchTally::default();
+            self.range_rec(self.root, query, radius, &mut out, &mut tally);
+            tally.flush(&self.obs);
         }
         out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.index.cmp(&b.index)));
         out
     }
 
-    fn search_rec(&self, node: u32, query: &P, heap: &mut KnnHeap, budget: &mut usize) {
+    fn search_rec(
+        &self,
+        node: u32,
+        query: &P,
+        heap: &mut KnnHeap,
+        budget: &mut usize,
+        tally: &mut SearchTally,
+    ) {
         if *budget == 0 {
             return;
         }
+        tally.nodes_visited += 1;
         match &self.nodes[node as usize] {
             Node::Leaf { bucket } => {
+                tally.leaf_scans += 1;
                 for &i in bucket {
                     if *budget == 0 {
                         return;
                     }
                     *budget -= 1;
+                    tally.dist_calls += 1;
                     // Early-abandoning leaf scan: a candidate can only enter
                     // the heap at d < τ, so the kernel may bail out past τ.
                     // `None` ⟹ d > τ ⟹ `offer` would have rejected it.
@@ -463,6 +483,8 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                             .dist_bounded(query, &self.points[i as usize], heap.tau())
                     {
                         heap.offer(i, d);
+                    } else {
+                        tally.early_abandons += 1;
                     }
                 }
             }
@@ -489,7 +511,9 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                     self.metric
                         .dist_bounded(query, &self.points[*vantage as usize], vantage_bound);
                 *budget -= 1;
+                tally.dist_calls += 1;
                 let Some(d) = bounded else {
+                    tally.early_abandons += 1;
                     return;
                 };
                 heap.offer(*vantage, d);
@@ -501,10 +525,10 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                     (*right, *left, *right_bounds, *left_bounds)
                 };
                 if first != NIL && Self::band_intersects(d, heap.tau(), fb) {
-                    self.search_rec(first, query, heap, budget);
+                    self.search_rec(first, query, heap, budget, tally);
                 }
                 if second != NIL && Self::band_intersects(d, heap.tau(), sb) {
-                    self.search_rec(second, query, heap, budget);
+                    self.search_rec(second, query, heap, budget, tally);
                 }
             }
         }
@@ -521,16 +545,28 @@ impl<P, M: Metric<P>> VpTree<P, M> {
         d - tau <= hi && d + tau >= lo
     }
 
-    fn range_rec(&self, node: u32, query: &P, radius: f32, out: &mut Vec<Neighbor>) {
+    fn range_rec(
+        &self,
+        node: u32,
+        query: &P,
+        radius: f32,
+        out: &mut Vec<Neighbor>,
+        tally: &mut SearchTally,
+    ) {
+        tally.nodes_visited += 1;
         match &self.nodes[node as usize] {
             Node::Leaf { bucket } => {
+                tally.leaf_scans += 1;
                 for &i in bucket {
+                    tally.dist_calls += 1;
                     // `Some` ⟺ d ≤ radius: exactly the membership test.
                     if let Some(d) =
                         self.metric
                             .dist_bounded(query, &self.points[i as usize], radius)
                     {
                         out.push(Neighbor { index: i, dist: d });
+                    } else {
+                        tally.early_abandons += 1;
                     }
                 }
             }
@@ -550,10 +586,12 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                 } else {
                     radius + left_bounds.1.max(right_bounds.1)
                 };
+                tally.dist_calls += 1;
                 let Some(d) =
                     self.metric
                         .dist_bounded(query, &self.points[*vantage as usize], vantage_bound)
                 else {
+                    tally.early_abandons += 1;
                     return;
                 };
                 if d <= radius {
@@ -563,13 +601,26 @@ impl<P, M: Metric<P>> VpTree<P, M> {
                     });
                 }
                 if *left != NIL && Self::band_intersects(d, radius, *left_bounds) {
-                    self.range_rec(*left, query, radius, out);
+                    self.range_rec(*left, query, radius, out, tally);
                 }
                 if *right != NIL && Self::band_intersects(d, radius, *right_bounds) {
-                    self.range_rec(*right, query, radius, out);
+                    self.range_rec(*right, query, radius, out, tally);
                 }
             }
         }
+    }
+
+    /// Attach search counters (e.g. registry-backed handles from
+    /// [`SearchMetrics::registered`]); the default is detached handles.
+    /// Cloning one `SearchMetrics` into several trees aggregates their
+    /// traffic onto the same counters.
+    pub fn set_metrics(&mut self, metrics: SearchMetrics) {
+        self.obs = metrics;
+    }
+
+    /// The tree's search counters.
+    pub fn search_metrics(&self) -> &SearchMetrics {
+        &self.obs
     }
 
     /// Structural statistics (depth, balance, bucket fill).

@@ -6,5 +6,6 @@ pub use mendel_align as align;
 pub use mendel_blast as blast;
 pub use mendel_dht as dht;
 pub use mendel_net as net;
+pub use mendel_obs as obs;
 pub use mendel_seq as seq;
 pub use mendel_vptree as vptree;
