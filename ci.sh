@@ -75,7 +75,16 @@ if [ "$MODE" != "quick" ]; then
         cargo run --release -q -p mendel-bench --bin obs_bench -- --smoke
 fi
 
-# 8. Seeded chaos suite (DESIGN.md §9): deterministic fault injection,
+# 8. Causal-tracing suite (DESIGN.md §12): the seeded chaos-flavoured
+#    run exports byte-identical chrome trace JSON twice, the export
+#    passes the trace-event schema check, the hand-built scatter-gather
+#    DAG yields the hand-computed critical path, and envelopes
+#    round-trip over both wire encodings.
+if [ "$MODE" != "quick" ]; then
+    step "trace determinism + schema" cargo test --test tracing -q
+fi
+
+# 9. Seeded chaos suite (DESIGN.md §9): deterministic fault injection,
 #    heartbeat failover, and re-replication repair under the invariant
 #    checkers. Fast fixed seeds only; the multi-seed sweep stays behind
 #    `--ignored`.

@@ -26,7 +26,9 @@
 // Benchmark reports go to stdout by design.
 #![allow(clippy::print_stdout)]
 
-use mendel_bench::{clustered_windows, figure_header, DB_SEED};
+use mendel_bench::{
+    bench_params, cluster_with, clustered_windows, figure_header, protein_db, query_set, DB_SEED,
+};
 use mendel_obs::Registry;
 use mendel_seq::{BlockDistance, MatrixDistance, Metric, ScoringMatrix};
 use mendel_vptree::knn::KnnHeap;
@@ -186,8 +188,60 @@ fn main() {
         );
     }
 
+    // ---- PR 5: causal-tracing overhead on the full query pipeline.
+    // The trace is assembled once per query from timeline components
+    // the pipeline already computed, so the whole tracing path — id
+    // minting, span records, flight-recorder pushes, critical-path
+    // extraction — must fit the same ≤5% budget (DESIGN.md §12).
+    let (db_residues, trace_queries) = if smoke { (30_000, 4) } else { (200_000, 16) };
+    let db = protein_db(db_residues);
+    let cluster = cluster_with(&db, 6, 2);
+    let params = bench_params();
+    let trace_qs = query_set(&db, trace_queries, 200, 0.9);
+    let run_all = || -> usize {
+        trace_qs
+            .iter()
+            .map(|q| {
+                cluster
+                    .query(&q.query.residues, &params)
+                    .expect("bench query runs") // audit:allow(expect): bench binary; a failing query should abort the run.
+                    .hits
+                    .len()
+            })
+            .sum()
+    };
+    cluster.set_tracing(false);
+    let (untraced_t, untraced_hits) = time_best(scale.reps, run_all);
+    cluster.set_tracing(true);
+    let (traced_t, traced_hits) = time_best(scale.reps, run_all);
+    assert_eq!(untraced_hits, traced_hits, "tracing changed query results");
+    assert!(
+        !cluster.trace_records().is_empty(),
+        "traced runs left no spans in the flight recorders"
+    );
+    let trace_overhead = traced_t.as_secs_f64() / untraced_t.as_secs_f64().max(1e-12) - 1.0;
+    let trace_within_budget = trace_overhead <= 0.05;
+    println!(
+        "\nquery pipeline ({} residues, {} queries, best of {}):",
+        db.total_residues(),
+        trace_qs.len(),
+        scale.reps
+    );
+    println!(
+        "  tracing off {:8.2} ms   tracing on {:8.2} ms ({:+.1}%)",
+        untraced_t.as_secs_f64() * 1e3,
+        traced_t.as_secs_f64() * 1e3,
+        trace_overhead * 100.0,
+    );
+    if !trace_within_budget {
+        println!(
+            "WARNING: tracing overhead {:.1}% exceeds the 5% budget",
+            trace_overhead * 100.0
+        );
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"pr4_obs\",\n  \"mode\": \"{}\",\n  \"leaf_scan\": {{\n    \"points\": {}, \"queries\": {}, \"k\": {K}, \"window_len\": {WINDOW_LEN}, \"reps\": {},\n    \"uncounted_ms\": {:.3}, \"tally_ms\": {:.3}, \"atomic_ms\": {:.3},\n    \"tally_overhead\": {overhead:.4}, \"atomic_overhead\": {atomic_overhead:.4},\n    \"overhead_budget\": 0.05, \"within_budget\": {within_budget},\n    \"dist_calls_per_pass\": {per_pass}, \"results_identical\": true\n  }}\n}}\n",
+        "{{\n  \"bench\": \"pr4_obs\",\n  \"mode\": \"{}\",\n  \"leaf_scan\": {{\n    \"points\": {}, \"queries\": {}, \"k\": {K}, \"window_len\": {WINDOW_LEN}, \"reps\": {},\n    \"uncounted_ms\": {:.3}, \"tally_ms\": {:.3}, \"atomic_ms\": {:.3},\n    \"tally_overhead\": {overhead:.4}, \"atomic_overhead\": {atomic_overhead:.4},\n    \"overhead_budget\": 0.05, \"within_budget\": {within_budget},\n    \"dist_calls_per_pass\": {per_pass}, \"results_identical\": true\n  }},\n  \"tracing\": {{\n    \"db_residues\": {}, \"queries\": {}, \"reps\": {},\n    \"untraced_ms\": {:.3}, \"traced_ms\": {:.3},\n    \"trace_overhead\": {trace_overhead:.4},\n    \"overhead_budget\": 0.05, \"within_budget\": {trace_within_budget},\n    \"results_identical\": true\n  }}\n}}\n",
         if smoke { "smoke" } else { "full" },
         points.len(),
         queries.len(),
@@ -195,6 +249,11 @@ fn main() {
         uncounted_t.as_secs_f64() * 1e3,
         tally_t.as_secs_f64() * 1e3,
         atomic_t.as_secs_f64() * 1e3,
+        db.total_residues(),
+        trace_qs.len(),
+        scale.reps,
+        untraced_t.as_secs_f64() * 1e3,
+        traced_t.as_secs_f64() * 1e3,
     );
 
     let path = if smoke {
@@ -206,6 +265,6 @@ fn main() {
     std::fs::write(&path, &json).expect("write benchmark report");
     println!("\nreport: {}", path.display());
     if smoke {
-        println!("smoke checks passed: results identical, tally complete");
+        println!("smoke checks passed: results identical, tally complete, traces recorded");
     }
 }

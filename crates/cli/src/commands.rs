@@ -325,9 +325,73 @@ pub fn cmd_metrics(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// `mendel trace dump` — run queries with causal tracing on and dump
+/// the per-node flight recorders (DESIGN.md §12).
+///
+/// `--format chrome` (default) emits Chrome trace-event JSON — load it
+/// at ui.perfetto.dev or chrome://tracing; `--format tree` renders each
+/// query's trace tree plus its critical path as plain text. With
+/// `--out <path>` the artifact goes to a file and a one-line summary is
+/// printed instead.
+pub fn cmd_trace_dump(args: &Args) -> Result<String, CliError> {
+    let (cluster, alphabet) = restore_cluster(args)?;
+    cluster.set_tracing(true);
+    let params = query_params(args, alphabet)?;
+    let queries = parse_fasta_sequences(&read(args.require("query")?)?, alphabet)?;
+    let mut traced = Vec::new();
+    for q in &queries {
+        let report = cluster.query(&q.residues, &params)?;
+        traced.push((q.name.clone(), report));
+    }
+    let artifact = match args.get("format").unwrap_or("chrome") {
+        "chrome" | "json" => cluster.chrome_trace(),
+        "tree" | "text" => {
+            let mut out = String::new();
+            for (name, report) in &traced {
+                if let Some(tree) = report.trace.and_then(|t| cluster.trace_tree(t)) {
+                    let _ = writeln!(out, "query {name}:");
+                    out.push_str(&tree.render());
+                    out.push_str("critical path:");
+                    for hop in &report.critical_path {
+                        let _ = write!(out, " {} [node{}] {:?};", hop.name, hop.node, hop.duration);
+                    }
+                    out.push('\n');
+                }
+            }
+            out
+        }
+        other => {
+            return Err(CliError::Args(ArgError::BadValue {
+                key: "format".into(),
+                value: other.into(),
+                expected: "chrome|tree",
+            }))
+        }
+    };
+    match args.get("out") {
+        Some(path) => {
+            write_file(path, artifact.as_bytes())?;
+            Ok(format!(
+                "traced {} queries; wrote {} bytes to {path}\n",
+                traced.len(),
+                artifact.len()
+            ))
+        }
+        None => Ok(artifact),
+    }
+}
+
 /// Dispatch a raw argv (without program name) to its command.
 pub fn run(tokens: &[String]) -> Result<String, CliError> {
-    let args = Args::parse(tokens)?;
+    // `mendel trace dump` is a two-word subcommand; fold it into one
+    // token so the grammar (command, then options) still holds.
+    let mut tokens = tokens.to_vec();
+    if tokens.first().map(String::as_str) == Some("trace")
+        && tokens.get(1).map(String::as_str) == Some("dump")
+    {
+        tokens.splice(0..2, ["trace-dump".to_string()]);
+    }
+    let args = Args::parse(&tokens)?;
     match args.command.as_str() {
         "generate" => cmd_generate(&args),
         "index" => cmd_index(&args),
@@ -335,6 +399,10 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         "blast" => cmd_blast(&args),
         "info" => cmd_info(&args),
         "metrics" => cmd_metrics(&args),
+        "trace-dump" => cmd_trace_dump(&args),
+        "trace" => Err(CliError::UnknownCommand(
+            "trace (did you mean `mendel trace dump`?)".into(),
+        )),
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
         other => Err(CliError::UnknownCommand(other.into())),
     }
@@ -429,6 +497,68 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.to_string().contains("prometheus|json"), "{err}");
+    }
+
+    #[test]
+    fn trace_dump_emits_chrome_and_tree_formats() {
+        let fasta = tmp("tdb.fasta");
+        let snap = tmp("tdb.mendel");
+        let qf = tmp("tq.fasta");
+        run(&toks(&format!(
+            "generate --out {fasta} --families 8 --members 2 --min-len 120 --max-len 180 --seed 11"
+        )))
+        .unwrap();
+        run(&toks(&format!(
+            "index --db {fasta} --out {snap} --nodes 6 --groups 2"
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&fasta).unwrap();
+        let first_record: String = {
+            let mut lines = text.lines();
+            let header = lines.next().unwrap().to_string();
+            let body: Vec<&str> = lines.take_while(|l| !l.starts_with('>')).collect();
+            format!("{header}\n{}\n", body.join("\n"))
+        };
+        std::fs::write(&qf, first_record).unwrap();
+
+        // Default format is chrome trace-event JSON.
+        let out = run(&toks(&format!(
+            "trace dump --index {snap} --db {fasta} --query {qf}"
+        )))
+        .unwrap();
+        assert!(
+            out.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+            "{out}"
+        );
+        assert!(out.contains("\"name\":\"query\""), "{out}");
+
+        // Tree format renders the spans and the critical path.
+        let out = run(&toks(&format!(
+            "trace dump --index {snap} --db {fasta} --query {qf} --format tree"
+        )))
+        .unwrap();
+        assert!(out.contains("critical path:"), "{out}");
+        assert!(out.contains("decompose"), "{out}");
+
+        // --out writes the artifact and summarizes.
+        let artifact = tmp("trace.json");
+        let out = run(&toks(&format!(
+            "trace dump --index {snap} --db {fasta} --query {qf} --out {artifact}"
+        )))
+        .unwrap();
+        assert!(out.contains("traced 1 queries"), "{out}");
+        let written = std::fs::read_to_string(&artifact).unwrap();
+        assert!(written.contains("\"ph\":\"X\""), "{written}");
+
+        let err = run(&toks(&format!(
+            "trace dump --index {snap} --db {fasta} --query {qf} --format xml"
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("chrome|tree"), "{err}");
+
+        // Bare `trace` points at the real spelling.
+        let err = run(&toks("trace")).unwrap_err();
+        assert!(err.to_string().contains("trace dump"), "{err}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! mendel blast    --db db.fasta --query q.fasta [--dna]
 //! mendel info     --index db.mendel --db db.fasta
 //! mendel metrics  --index db.mendel --db db.fasta [--query q.fasta] [--format json]
+//! mendel trace dump --index db.mendel --db db.fasta --query q.fasta [--format tree]
 //! mendel help
 //! ```
 //!
@@ -35,5 +36,7 @@ USAGE:
   mendel info     --index <snapshot> --db <fasta>
   mendel metrics  --index <snapshot> --db <fasta> [--query <fasta>]
                   [--format prometheus|json]
+  mendel trace dump --index <snapshot> --db <fasta> --query <fasta>
+                  [--format chrome|tree] [--out <path>]
   mendel help
 ";

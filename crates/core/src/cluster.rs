@@ -19,13 +19,17 @@ use mendel_dht::sha1::sha1_u64;
 use mendel_dht::{FlatPlacement, GroupId, LoadReport, NodeId, Topology};
 use mendel_net::latency::parallel_max;
 use mendel_net::{HeartbeatMonitor, NodeSpeed};
-use mendel_obs::{MetricsSnapshot, Registry};
+use mendel_obs::{
+    Clock, MetricsSnapshot, MonotonicClock, Registry, SpanId, SpanRecord, TraceCollector, TraceId,
+    TraceTree,
+};
 use mendel_seq::{Alphabet, ScoringMatrix, SeqStore};
 use mendel_vptree::{GroupAssignment, SearchMetrics, VpPrefixTree};
 use parking_lot::RwLock;
 use rayon::prelude::*;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -92,6 +96,11 @@ pub struct MendelCluster {
     /// wall-clock measurement goes through its injectable clock
     /// (DESIGN.md §11).
     obs: Registry,
+    /// When set, every query assembles a causal trace of its simulated
+    /// timeline into the registry's per-node flight recorders
+    /// (DESIGN.md §12). Off by default: tracing costs a few span
+    /// records per query.
+    tracing: AtomicBool,
     db: DbCell,
     karlin: KarlinParams,
     index_elapsed: Duration,
@@ -102,8 +111,21 @@ impl MendelCluster {
     /// sample of the data (§III-F), then run the three-phase indexing
     /// pipeline (§V-A) over every sequence in `db`.
     pub fn build(config: ClusterConfig, db: Arc<SeqStore>) -> Result<Self, MendelError> {
+        Self::build_with_clock(config, db, Arc::new(MonotonicClock::new()))
+    }
+
+    /// [`Self::build`] on an explicit clock. With a non-advancing
+    /// `VirtualClock` every real-compute term reads as zero, the
+    /// simulated latency terms are pure functions of the byte counts,
+    /// and — with tracing on — the same seed yields byte-identical
+    /// trace exports.
+    pub fn build_with_clock(
+        config: ClusterConfig,
+        db: Arc<SeqStore>,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, MendelError> {
         config.validate()?;
-        let obs = Registry::new();
+        let obs = Registry::with_clock(clock);
         let clock = obs.clock();
         let started = clock.now();
         let metric = config.metric.instantiate();
@@ -152,6 +174,7 @@ impl MendelCluster {
             group_epochs: RwLock::new(vec![0; groups]),
             repair_moves: AtomicU64::new(0),
             obs,
+            tracing: AtomicBool::new(false),
             db,
             karlin,
             index_elapsed: Duration::ZERO,
@@ -383,10 +406,17 @@ impl MendelCluster {
             candidates: usize,
             messages: usize,
             bytes: usize,
+            // Timeline components kept for trace assembly (all ZERO /
+            // empty for a dead group).
+            members: Vec<NodeId>,
+            member_times: Vec<Duration>,
+            replicate: Duration,
+            node_phase: Duration,
+            gather_in: Duration,
         }
         let nodes_guard = self.nodes.read();
         let group_list: Vec<(GroupId, Vec<usize>)> = group_offsets.into_iter().collect();
-        let outcomes: Vec<GroupOutcome> = group_list
+        let mut outcomes: Vec<GroupOutcome> = group_list
             .par_iter()
             .map(|(g, offs)| {
                 let members = self.live_members(&topo, *g);
@@ -398,6 +428,11 @@ impl MendelCluster {
                         candidates: 0,
                         messages: 0,
                         bytes: 0,
+                        members: Vec::new(),
+                        member_times: Vec::new(),
+                        replicate: Duration::ZERO,
+                        node_phase: Duration::ZERO,
+                        gather_in: Duration::ZERO,
                     };
                 }
                 // Group entry point replicates to the other members.
@@ -416,6 +451,7 @@ impl MendelCluster {
                     })
                     .collect();
                 let node_phase = parallel_max(per_member.iter().map(|(_, d, _)| *d));
+                let member_times: Vec<Duration> = per_member.iter().map(|(_, d, _)| *d).collect();
                 let candidates = per_member.iter().map(|(_, _, c)| c).sum();
                 let all: Vec<Hsp> = per_member.into_iter().flat_map(|(a, _, _)| a).collect();
                 // Members ship their anchor sets to the group entry point;
@@ -436,6 +472,11 @@ impl MendelCluster {
                     bytes: query_msg_bytes * (members.len() - 1) + anchor_bytes,
                     sim: replicate + node_phase + gather_in + merge_time,
                     anchors: merged,
+                    members,
+                    member_times,
+                    replicate,
+                    node_phase,
+                    gather_in,
                 }
             })
             .collect();
@@ -460,7 +501,10 @@ impl MendelCluster {
 
         // ---- Stage 5: system-level merge, gapped extension, ranking.
         let t = clock.now();
-        let all: Vec<Hsp> = outcomes.into_iter().flat_map(|o| o.anchors).collect();
+        let all: Vec<Hsp> = outcomes
+            .iter_mut()
+            .flat_map(|o| std::mem::take(&mut o.anchors))
+            .collect();
         let merged = merge_overlapping(all);
         stats.anchors = merged.len();
         let hits = self.finalize(query, merged, params, &matrix);
@@ -474,12 +518,143 @@ impl MendelCluster {
             finalize,
         };
         self.record_stage_timings(&timings);
+
+        let (trace, critical_path) = if self.tracing.load(Ordering::Relaxed) {
+            // Assemble the causal trace serially from the simulated
+            // timeline (base instant 0). Minting ids after the rayon
+            // group phase keeps them — and hence the chrome export —
+            // deterministic for a fixed seed (DESIGN.md §12).
+            let entry_node = entry.0 as u32;
+            let entry_tracer = self.obs.tracer(entry_node);
+            let trace = TraceId(entry_tracer.next_id());
+            let mut records: Vec<SpanRecord> = Vec::new();
+            let mut mint = |name: String,
+                            parent: Option<SpanId>,
+                            node: u32,
+                            start: Duration,
+                            end: Duration,
+                            tags: Vec<(String, String)>|
+             -> SpanId {
+                let span = SpanId(entry_tracer.next_id());
+                records.push(SpanRecord {
+                    trace,
+                    span,
+                    parent,
+                    node,
+                    name,
+                    start,
+                    end,
+                    tags,
+                });
+                span
+            };
+            let total = timings.total();
+            let d = timings.decompose;
+            let root = mint(
+                "query".into(),
+                None,
+                entry_node,
+                Duration::ZERO,
+                total,
+                vec![
+                    ("groups".into(), stats.groups_contacted.to_string()),
+                    ("subqueries".into(), stats.subqueries.to_string()),
+                    ("hits".into(), hits.len().to_string()),
+                ],
+            );
+            mint(
+                "decompose".into(),
+                Some(root),
+                entry_node,
+                Duration::ZERO,
+                d,
+                Vec::new(),
+            );
+            let group_start = d + timings.scatter;
+            mint(
+                "scatter".into(),
+                Some(root),
+                entry_node,
+                d,
+                group_start,
+                Vec::new(),
+            );
+            for ((g, _), o) in group_list.iter().zip(&outcomes) {
+                let gnode = o.members.first().map_or(entry_node, |n| n.0 as u32);
+                let tags = if o.members.is_empty() {
+                    vec![("degraded".into(), "no live members".into())]
+                } else {
+                    Vec::new()
+                };
+                let gspan = mint(
+                    format!("group/{}", g.0),
+                    Some(root),
+                    gnode,
+                    group_start,
+                    group_start + o.sim,
+                    tags,
+                );
+                let node_start = group_start + o.replicate;
+                for (m, mt) in o.members.iter().zip(&o.member_times) {
+                    mint(
+                        format!("node/{}", m.0),
+                        Some(gspan),
+                        m.0 as u32,
+                        node_start,
+                        node_start + *mt,
+                        Vec::new(),
+                    );
+                }
+                if !o.members.is_empty() {
+                    mint(
+                        "merge".into(),
+                        Some(gspan),
+                        gnode,
+                        node_start + o.node_phase + o.gather_in,
+                        group_start + o.sim,
+                        Vec::new(),
+                    );
+                }
+            }
+            let gather_start = group_start + timings.group_phase;
+            mint(
+                "gather".into(),
+                Some(root),
+                entry_node,
+                gather_start,
+                gather_start + timings.gather,
+                Vec::new(),
+            );
+            mint(
+                "finalize".into(),
+                Some(root),
+                entry_node,
+                gather_start + timings.gather,
+                total,
+                Vec::new(),
+            );
+            for r in &records {
+                self.obs.tracer(r.node).record(r.clone());
+            }
+            let mut collector = TraceCollector::new();
+            collector.ingest(records);
+            let path = collector
+                .tree(trace)
+                .map(|t| t.critical_path())
+                .unwrap_or_default();
+            (Some(trace), path)
+        } else {
+            (None, Vec::new())
+        };
+
         Ok(QueryReport {
             hits,
             timings,
             stats,
             coverage: self.coverage(),
             metrics: self.obs.snapshot().since(&before),
+            trace,
+            critical_path,
         })
     }
 
@@ -514,6 +689,61 @@ impl MendelCluster {
     /// A point-in-time snapshot of every cluster metric.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.obs.snapshot()
+    }
+
+    /// Enable or disable per-query causal tracing (DESIGN.md §12). Off
+    /// by default; when on, each query assembles its simulated timeline
+    /// into the registry's per-node flight recorders.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether queries currently record causal traces.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Every span currently held in the per-node flight recorders,
+    /// merged across nodes (node order, unsorted within a node).
+    pub fn trace_records(&self) -> Vec<SpanRecord> {
+        self.obs.trace_records()
+    }
+
+    /// Reassemble one trace's tree from the flight recorders.
+    pub fn trace_tree(&self, trace: TraceId) -> Option<TraceTree> {
+        let mut c = TraceCollector::new();
+        c.ingest(self.trace_records());
+        c.tree(trace)
+    }
+
+    /// Chrome trace-event JSON (Perfetto-loadable) covering every span
+    /// still in the flight recorders. Byte-deterministic for a fixed
+    /// seed under a `VirtualClock`.
+    pub fn chrome_trace(&self) -> String {
+        mendel_obs::chrome_trace_json(&self.trace_records())
+    }
+
+    /// A plain-text post-mortem of the flight recorders: per-node
+    /// occupancy, then every reassembled trace tree. Chaos suites print
+    /// this on failure so a lost run still leaves a causal artifact.
+    pub fn flight_recorder_dump(&self) -> String {
+        let mut out = String::from("=== flight recorder ===\n");
+        for (node, rec) in self.obs.flight_recorders() {
+            let _ = writeln!(
+                out,
+                "node {node}: {} spans held, {} evicted",
+                rec.len(),
+                rec.dropped()
+            );
+        }
+        let mut c = TraceCollector::new();
+        c.ingest(self.trace_records());
+        for id in c.trace_ids() {
+            if let Some(tree) = c.tree(id) {
+                out.push_str(&tree.render());
+            }
+        }
+        out
     }
 
     /// §V-B final stage: bin anchors by subject, run banded gapped
@@ -1136,6 +1366,7 @@ impl MendelCluster {
             group_epochs: RwLock::new(vec![0; groups]),
             repair_moves: AtomicU64::new(0),
             obs,
+            tracing: AtomicBool::new(false),
             db,
             karlin,
             index_elapsed: Duration::ZERO,
@@ -1555,6 +1786,63 @@ mod tests {
         let r2 = c.query(&q, &QueryParams::protein()).unwrap();
         assert_eq!(r2.metrics.counter("mendel.query.count"), 1);
         assert_eq!(c.metrics_snapshot().counter("mendel.query.count"), 2);
+    }
+
+    #[test]
+    fn tracing_assembles_query_tree_with_consistent_critical_path() {
+        let db = small_db();
+        let clock = Arc::new(mendel_obs::VirtualClock::new());
+        let c = MendelCluster::build_with_clock(ClusterConfig::small_protein(), db.clone(), clock)
+            .unwrap();
+        let q = db.get(SeqId(2)).unwrap().residues.clone();
+
+        // Off by default: no trace, no flight-recorder activity.
+        let r = c.query(&q, &QueryParams::protein()).unwrap();
+        assert!(r.trace.is_none());
+        assert!(r.critical_path.is_empty());
+        assert!(c.trace_records().is_empty());
+
+        c.set_tracing(true);
+        assert!(c.tracing_enabled());
+        let r = c.query(&q, &QueryParams::protein()).unwrap();
+        let trace = r.trace.expect("traced query reports its trace id");
+        let tree = c
+            .trace_tree(trace)
+            .expect("tree reassembles from recorders");
+
+        // Root spans the whole simulated turnaround and carries the
+        // pipeline stages plus one span per contacted group.
+        assert_eq!(tree.root.record.name, "query");
+        assert_eq!(tree.root.record.duration(), r.timings.total());
+        let child_names: Vec<&str> = tree
+            .root
+            .children
+            .iter()
+            .map(|n| n.record.name.as_str())
+            .collect();
+        for stage in ["decompose", "scatter", "gather", "finalize"] {
+            assert!(child_names.contains(&stage), "missing stage {stage}");
+        }
+        let groups = child_names
+            .iter()
+            .filter(|n| n.starts_with("group/"))
+            .count();
+        assert_eq!(groups, r.stats.groups_contacted);
+
+        // The critical path starts at the root and never gains time as
+        // it descends.
+        assert_eq!(r.critical_path, tree.critical_path());
+        assert_eq!(r.critical_path[0].name, "query");
+        assert_eq!(r.critical_path[0].duration, r.timings.total());
+        for pair in r.critical_path.windows(2) {
+            assert!(pair[1].duration <= pair[0].duration);
+        }
+        assert!(r.explain().contains("critical path: query"));
+
+        // The chrome export covers the trace and the dump renders it.
+        let json = c.chrome_trace();
+        assert!(json.contains("\"name\":\"query\""));
+        assert!(c.flight_recorder_dump().contains("query"));
     }
 
     #[test]

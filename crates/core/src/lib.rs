@@ -53,7 +53,10 @@ pub use block::{check_block_chain, make_blocks, Block, BlockKey};
 pub use cluster::{FailoverDelta, MendelCluster, RepairReport};
 pub use config::{ClusterConfig, MetricKind};
 pub use error::MendelError;
-pub use mendel_obs::{MetricsSnapshot, Registry as MetricsRegistry};
+pub use mendel_obs::{
+    chrome_trace_json, CriticalHop, MetricsSnapshot, Registry as MetricsRegistry, SpanRecord,
+    TraceCollector, TraceId, TraceTree,
+};
 pub use metric::BlockMetric;
 pub use params::QueryParams;
 pub use report::{CoverageReport, GroupCoverage, MendelHit, QueryReport, StageTimings};

@@ -1,9 +1,10 @@
 //! Query results and the simulated-clock report.
 
 use mendel_dht::GroupId;
-use mendel_obs::MetricsSnapshot;
+use mendel_obs::{CriticalHop, MetricsSnapshot, TraceId};
 use mendel_seq::SeqId;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 use std::time::Duration;
 
 /// One reported alignment.
@@ -37,9 +38,9 @@ pub struct StageTimings {
     pub decompose: Duration,
     /// Entry point → group entry points (network).
     pub scatter: Duration,
-    /// Slowest group: replication to members, node-local NNS + filtering
-    /// + anchor extension, gather to the group entry point, group-level
-    /// merge.
+    /// Slowest group: replication to members, node-local NNS with
+    /// filtering and anchor extension, gather to the group entry point,
+    /// group-level merge.
     pub group_phase: Duration,
     /// Group entry points → system entry point (network).
     pub gather: Duration,
@@ -134,6 +135,14 @@ pub struct QueryReport {
     /// attributes *all* cluster activity in the interval, so per-query
     /// exactness holds only for serial evaluation.
     pub metrics: MetricsSnapshot,
+    /// The causal trace this query recorded, when tracing was enabled
+    /// (`MendelCluster::set_tracing`); look it up via
+    /// `MendelCluster::trace_tree` / `chrome_trace`.
+    pub trace: Option<TraceId>,
+    /// The trace's critical path — the chain of spans that bounded the
+    /// turnaround, root first (DESIGN.md §12). Empty when tracing was
+    /// off.
+    pub critical_path: Vec<CriticalHop>,
 }
 
 impl QueryReport {
@@ -152,7 +161,7 @@ impl QueryReport {
     pub fn explain(&self) -> String {
         let t = &self.timings;
         let s = &self.stats;
-        format!(
+        let mut out = format!(
             "pipeline ({:?} total):\n\
              \x20 decompose+route   {:?}\n\
              \x20 scatter to groups {:?}   ({} groups)\n\
@@ -183,7 +192,15 @@ impl QueryReport {
             } else {
                 ""
             },
-        )
+        );
+        if !self.critical_path.is_empty() {
+            out.push_str("critical path:");
+            for hop in &self.critical_path {
+                let _ = write!(out, " {} [node{}] {:?};", hop.name, hop.node, hop.duration);
+            }
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -222,9 +239,22 @@ mod tests {
             stats: QueryStats::default(),
             coverage: CoverageReport::default(),
             metrics: MetricsSnapshot::default(),
+            trace: None,
+            critical_path: Vec::new(),
         };
         assert_eq!(r.best(), Some(&hit));
         assert_eq!(r.turnaround(), Duration::ZERO);
+        assert!(!r.explain().contains("critical path"));
+        let traced = QueryReport {
+            trace: Some(TraceId(7)),
+            critical_path: vec![CriticalHop {
+                name: "query".into(),
+                node: 0,
+                duration: Duration::from_micros(5),
+            }],
+            ..r
+        };
+        assert!(traced.explain().contains("critical path: query [node0]"));
     }
 
     #[test]

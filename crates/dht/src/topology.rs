@@ -93,6 +93,14 @@ impl Topology {
         &self.groups[g.0 as usize]
     }
 
+    /// The group's entry point: the member that receives the group's
+    /// subquery and scatters it to the rest (§V-B). By convention this
+    /// is the first live member; `None` for an empty (fully failed) or
+    /// unknown group.
+    pub fn entry_point(&self, g: GroupId) -> Option<NodeId> {
+        self.groups.get(g.0 as usize)?.first().copied()
+    }
+
     /// The group a node belongs to, or `None` for departed/unknown nodes.
     pub fn node_group(&self, node: NodeId) -> Option<GroupId> {
         self.groups
@@ -230,6 +238,23 @@ mod tests {
         for g in t.group_ids() {
             assert_eq!(t.group_members(g).len(), 5, "group {g}");
         }
+    }
+
+    #[test]
+    fn entry_point_is_first_live_member() {
+        let mut t = Topology::new(4, 2);
+        for g in t.group_ids() {
+            assert_eq!(t.entry_point(g), t.group_members(g).first().copied());
+            assert!(t.entry_point(g).is_some());
+        }
+        assert_eq!(t.entry_point(GroupId(99)), None, "unknown group");
+        // Entry point leaves → the next member takes over.
+        let g = GroupId(0);
+        let old = t.entry_point(g).unwrap();
+        t.leave(old);
+        let new = t.entry_point(g);
+        assert_ne!(new, Some(old));
+        assert_eq!(new, t.group_members(g).first().copied());
     }
 
     #[test]

@@ -6,11 +6,12 @@
 //! nodes exchange *bytes*, not references, so the in-process cluster
 //! cannot accidentally share memory the way a real deployment could not.
 
+use crate::codec::{Decode, DecodeError, Encode, MAX_LEN};
 use crate::fault::{FaultPlan, Verdict};
 use crate::metrics::NetMetrics;
-use bytes::Bytes;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use mendel_obs::Registry;
+use mendel_obs::{Registry, SpanId, TraceContext, TraceId};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -26,7 +27,8 @@ impl std::fmt::Display for NodeAddr {
     }
 }
 
-/// One delivered message: source, destination, correlation id, payload.
+/// One delivered message: source, destination, correlation id, payload,
+/// and (optionally) the causal trace context it travels under.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
     /// Sender address.
@@ -37,6 +39,74 @@ pub struct Envelope {
     pub correlation: u64,
     /// Encoded message body.
     pub payload: Bytes,
+    /// Causal context (trace id + parent span) this message carries
+    /// across the node boundary; `None` for untraced traffic.
+    pub trace: Option<TraceContext>,
+}
+
+/// Wire format: `from:u16 · to:u16 · correlation:u64 · len:u32 ·
+/// payload`, optionally followed by a trace tail `1:u8 · trace:u64 ·
+/// parent:u64`. An untraced envelope writes **no** tail, so its bytes
+/// are identical to the pre-tracing format; the decoder treats an
+/// exhausted buffer after the payload as "no trace context", which is
+/// how old frames stay decodable (and old decoders never see a tail
+/// from untraced senders).
+impl Encode for Envelope {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(self.from.0);
+        buf.put_u16_le(self.to.0);
+        buf.put_u64_le(self.correlation);
+        debug_assert!((self.payload.len() as u64) <= MAX_LEN);
+        buf.put_u32_le(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        if let Some(ctx) = &self.trace {
+            buf.put_u8(1);
+            buf.put_u64_le(ctx.trace.0);
+            buf.put_u64_le(ctx.parent.0);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        2 + 2 + 8 + 4 + self.payload.len() + if self.trace.is_some() { 17 } else { 0 }
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let from = NodeAddr(u16::decode(buf)?);
+        let to = NodeAddr(u16::decode(buf)?);
+        let correlation = u64::decode(buf)?;
+        let len = u32::decode(buf)? as u64;
+        if len > MAX_LEN {
+            return Err(DecodeError::LengthOverflow(len));
+        }
+        let len = len as usize;
+        if buf.remaining() < len {
+            return Err(DecodeError::UnexpectedEof {
+                needed: len,
+                remaining: buf.remaining(),
+            });
+        }
+        let payload = buf.copy_to_bytes(len);
+        let trace = if buf.is_empty() {
+            None
+        } else {
+            match u8::decode(buf)? {
+                1 => Some(TraceContext {
+                    trace: TraceId(u64::decode(buf)?),
+                    parent: SpanId(u64::decode(buf)?),
+                }),
+                t => return Err(DecodeError::BadTag(t)),
+            }
+        };
+        Ok(Envelope {
+            from,
+            to,
+            correlation,
+            payload,
+            trace,
+        })
+    }
 }
 
 /// Errors returned by [`Endpoint::recv_timeout`].
@@ -88,6 +158,7 @@ struct Shared {
     stats: NetworkStats,
     fault: RwLock<Option<Arc<FaultPlan>>>,
     obs: RwLock<Option<NetMetrics>>,
+    trace: RwLock<Option<Registry>>,
 }
 
 /// A registry of node mailboxes. Cloning shares the same network.
@@ -105,6 +176,7 @@ impl Network {
                 stats: NetworkStats::default(),
                 fault: RwLock::new(None),
                 obs: RwLock::new(None),
+                trace: RwLock::new(None),
             }),
         }
     }
@@ -166,6 +238,30 @@ impl Network {
         self.shared.obs.read().clone()
     }
 
+    /// Install the registry whose flight recorders receive `net.drop` /
+    /// `net.delay` trace events for traced envelopes the fault plan
+    /// interferes with. Without it (or for untraced envelopes) faults
+    /// stay invisible to tracing, exactly as before.
+    pub fn set_trace_registry(&self, registry: &Registry) {
+        *self.shared.trace.write() = Some(registry.clone());
+    }
+
+    /// Record a fault event against the *sender's* flight recorder (the
+    /// receiver never saw the envelope).
+    fn trace_fault(&self, env: &Envelope, name: &str, extra: Option<(String, String)>) {
+        let Some(ctx) = env.trace else { return };
+        let registry = self.shared.trace.read().clone();
+        let Some(registry) = registry else { return };
+        let mut tags = vec![
+            ("to".to_string(), env.to.to_string()),
+            ("correlation".to_string(), env.correlation.to_string()),
+        ];
+        if let Some(kv) = extra {
+            tags.push(kv);
+        }
+        registry.tracer(env.from.0 as u32).event(name, ctx, tags);
+    }
+
     /// Deliver an envelope to its destination mailbox. Returns `false` if
     /// the destination does not exist (a "dead letter").
     ///
@@ -186,9 +282,24 @@ impl Network {
                     if let Some(obs) = self.shared.obs.read().as_ref() {
                         obs.record_drop();
                     }
+                    self.trace_fault(&env, "net.drop", None);
                     true
                 }
                 Verdict::Deliver { copies, delay } => {
+                    if !delay.is_zero() {
+                        self.trace_fault(
+                            &env,
+                            "net.delay",
+                            Some(("delay_us".to_string(), delay.as_micros().to_string())),
+                        );
+                    }
+                    if copies > 1 {
+                        self.trace_fault(
+                            &env,
+                            "net.duplicate",
+                            Some(("copies".to_string(), copies.to_string())),
+                        );
+                    }
                     if delay.is_zero() {
                         let mut ok = true;
                         for _ in 0..copies {
@@ -257,11 +368,25 @@ impl Endpoint {
     /// Send `payload` to `to` under `correlation`. Returns `false` on a
     /// dead letter.
     pub fn send(&self, to: NodeAddr, correlation: u64, payload: Bytes) -> bool {
+        self.send_traced(to, correlation, payload, None)
+    }
+
+    /// [`Endpoint::send`], additionally stamping the envelope with a
+    /// causal trace context so downstream hops (and fault injection) can
+    /// attribute it.
+    pub fn send_traced(
+        &self,
+        to: NodeAddr,
+        correlation: u64,
+        payload: Bytes,
+        trace: Option<TraceContext>,
+    ) -> bool {
         self.network.send(Envelope {
             from: self.addr,
             to,
             correlation,
             payload,
+            trace,
         })
     }
 
@@ -485,6 +610,108 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("mendel.net.dropped_envelopes"), 1);
         assert_eq!(snap.counter("mendel.net.peer.node0.sent_bytes"), 5);
+    }
+
+    #[test]
+    fn envelope_codec_roundtrips_with_and_without_trace() {
+        let base = Envelope {
+            from: NodeAddr(3),
+            to: NodeAddr(7),
+            correlation: 0xDEAD_BEEF,
+            payload: Bytes::from_static(b"payload"),
+            trace: None,
+        };
+        let bytes = base.to_bytes();
+        assert_eq!(bytes.len(), base.encoded_len());
+        assert_eq!(Envelope::from_bytes(&bytes).unwrap(), base);
+        let traced = Envelope {
+            trace: Some(TraceContext {
+                trace: TraceId(11),
+                parent: SpanId(12),
+            }),
+            ..base.clone()
+        };
+        let tbytes = traced.to_bytes();
+        assert_eq!(tbytes.len(), traced.encoded_len());
+        assert_eq!(tbytes.len(), bytes.len() + 17);
+        assert_eq!(Envelope::from_bytes(&tbytes).unwrap(), traced);
+        // The untraced encoding is exactly the legacy frame: the traced
+        // one is a pure suffix extension.
+        assert_eq!(&tbytes[..bytes.len()], &bytes[..]);
+    }
+
+    #[test]
+    fn envelope_decode_rejects_bad_trace_tag_and_short_payload() {
+        let env = Envelope {
+            from: NodeAddr(1),
+            to: NodeAddr(2),
+            correlation: 5,
+            payload: Bytes::from_static(b"xy"),
+            trace: None,
+        };
+        let mut raw = BytesMut::new();
+        env.encode(&mut raw);
+        raw.put_u8(9); // invalid trace tag
+        assert_eq!(
+            Envelope::from_bytes(&raw.freeze()),
+            Err(DecodeError::BadTag(9))
+        );
+        let bytes = env.to_bytes();
+        let truncated = bytes.slice(0..bytes.len() - 1);
+        assert!(matches!(
+            Envelope::from_bytes(&truncated),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn traced_drops_and_delays_land_in_the_flight_recorder() {
+        use crate::fault::FaultConfig;
+        let registry = Registry::new();
+        let net = Network::new();
+        net.set_trace_registry(&registry);
+        let a = net.join();
+        let b = net.join();
+        let ctx = TraceContext {
+            trace: TraceId(21),
+            parent: SpanId(22),
+        };
+        // Certain drop: the sender's recorder gets a net.drop event.
+        net.set_fault_plan(Some(Arc::new(FaultPlan::new(FaultConfig::drops(3, 1.0)))));
+        assert!(a.send_traced(b.addr(), 40, Bytes::from_static(b"lost"), Some(ctx)));
+        let records = registry.trace_records();
+        let drop = records
+            .iter()
+            .find(|r| r.name == "net.drop")
+            .expect("drop event recorded");
+        assert_eq!(drop.trace, TraceId(21));
+        assert_eq!(drop.parent, Some(SpanId(22)));
+        assert_eq!(drop.node, a.addr().0 as u32);
+        assert!(drop.tags.contains(&("to".to_string(), "node1".to_string())));
+        assert!(drop
+            .tags
+            .contains(&("correlation".to_string(), "40".to_string())));
+        // Untraced envelopes record nothing even while faults fire.
+        assert!(a.send(b.addr(), 41, Bytes::from_static(b"lost2")));
+        assert_eq!(registry.trace_records().len(), 1);
+        // Delayed delivery: a net.delay event with the injected delay.
+        net.set_fault_plan(Some(Arc::new(FaultPlan::new(FaultConfig {
+            seed: 5,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            delay: Duration::from_millis(15),
+            delay_jitter: Duration::ZERO,
+        }))));
+        assert!(a.send_traced(b.addr(), 42, Bytes::from_static(b"late"), Some(ctx)));
+        let records = registry.trace_records();
+        let delay = records
+            .iter()
+            .find(|r| r.name == "net.delay")
+            .expect("delay event recorded");
+        assert!(delay
+            .tags
+            .contains(&("delay_us".to_string(), "15000".to_string())));
+        assert!(b.recv_timeout(Duration::from_secs(2)).is_ok());
     }
 
     #[test]

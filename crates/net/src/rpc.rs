@@ -11,6 +11,7 @@ use crate::codec::{Decode, Encode};
 use crate::fault::XorShift64;
 use crate::mailbox::{Endpoint, Envelope, NodeAddr, RecvError};
 use crate::metrics::RpcMetrics;
+use mendel_obs::{ActiveSpan, TraceContext, Tracer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -139,6 +140,9 @@ pub struct RpcClient {
     /// Request-level counters; detached by default, see
     /// [`Self::set_metrics`].
     metrics: RpcMetrics,
+    /// Span source for per-attempt tracing; absent by default, see
+    /// [`Self::set_tracer`].
+    tracer: Option<Tracer>,
 }
 
 impl RpcClient {
@@ -151,6 +155,7 @@ impl RpcClient {
             closed: parking_lot::Mutex::new(HashMap::new()),
             parked_ttl: parking_lot::Mutex::new(DEFAULT_PARKED_TTL),
             metrics: RpcMetrics::detached(),
+            tracer: None,
         }
     }
 
@@ -158,6 +163,15 @@ impl RpcClient {
     /// place of the default detached ones.
     pub fn set_metrics(&mut self, metrics: RpcMetrics) {
         self.metrics = metrics;
+    }
+
+    /// Install a tracer (e.g. `registry.tracer(node)`). With one
+    /// installed, every traced call (see
+    /// [`Self::call_with_retry_traced`]) opens a child span per attempt,
+    /// so retries, timeouts, and dead letters appear as annotated events
+    /// on the trace.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// This client's request-level counters.
@@ -236,6 +250,29 @@ impl RpcClient {
         request: &Req,
         policy: &RetryPolicy,
     ) -> Result<Resp, RpcError> {
+        self.call_with_retry_traced(to, request, policy, None)
+    }
+
+    /// [`Self::call_with_retry`] under a causal trace context. With a
+    /// tracer installed (see [`Self::set_tracer`]) each attempt gets its
+    /// own `rpc.attempt` child span — tagged with the peer, the attempt
+    /// number, and its outcome (`ok` / `timeout` / `dead_letter` /
+    /// `decode` / `disconnected`) — and every outbound envelope carries
+    /// that attempt's span as parent, so fault-injected drops on the
+    /// wire attach below the attempt that suffered them.
+    pub fn call_with_retry_traced<Req: Encode, Resp: Decode>(
+        &self,
+        to: NodeAddr,
+        request: &Req,
+        policy: &RetryPolicy,
+        ctx: Option<TraceContext>,
+    ) -> Result<Resp, RpcError> {
+        fn close(span: Option<ActiveSpan>, outcome: &str) {
+            if let Some(mut span) = span {
+                span.tag("outcome", outcome);
+                let _ = span.finish();
+            }
+        }
         let mut last = RpcError::Timeout;
         for attempt in 1..=policy.max_attempts.max(1) {
             if attempt > 1 {
@@ -245,18 +282,46 @@ impl RpcClient {
             if !backoff.is_zero() {
                 std::thread::sleep(backoff);
             }
+            let span = match (&self.tracer, ctx) {
+                (Some(tracer), Some(ctx)) => {
+                    let mut span = tracer.child("rpc.attempt", ctx);
+                    span.tag("peer", to);
+                    span.tag("attempt", attempt);
+                    Some(span)
+                }
+                _ => None,
+            };
+            let wire_ctx = span.as_ref().map(|s| s.context()).or(ctx);
             let corr = self.fresh_correlation();
-            if !self.endpoint.send(to, corr, request.to_bytes()) {
+            if !self
+                .endpoint
+                .send_traced(to, corr, request.to_bytes(), wire_ctx)
+            {
+                close(span, "dead_letter");
                 last = RpcError::DeadLetter(to);
                 continue;
             }
             match self.wait_for(corr, policy.per_attempt_timeout) {
                 Ok(env) => {
-                    return Resp::from_bytes(&env.payload)
-                        .map_err(|e| RpcError::Decode(e.to_string()))
+                    return match Resp::from_bytes(&env.payload) {
+                        Ok(resp) => {
+                            close(span, "ok");
+                            Ok(resp)
+                        }
+                        Err(e) => {
+                            close(span, "decode");
+                            Err(RpcError::Decode(e.to_string()))
+                        }
+                    }
                 }
-                Err(e) if e.is_transient() => last = e,
-                Err(e) => return Err(e),
+                Err(e) if e.is_transient() => {
+                    close(span, "timeout");
+                    last = e;
+                }
+                Err(e) => {
+                    close(span, "disconnected");
+                    return Err(e);
+                }
             }
         }
         Err(last)
@@ -681,6 +746,81 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("mendel.net.rpc.dropped_late"), 1);
         assert_eq!(snap.counter("mendel.net.rpc.parked"), 0);
+    }
+
+    #[test]
+    fn traced_retries_open_one_annotated_span_per_attempt() {
+        use mendel_obs::Registry;
+        let registry = Registry::new();
+        let net = Network::new();
+        let mut client = RpcClient::new(net.join());
+        client.set_tracer(registry.tracer(client.addr().0 as u32));
+        let silent = net.join();
+        let root = registry.tracer(0).start_trace("query");
+        let ctx = root.context();
+        let policy = RetryPolicy::retries(3, Duration::from_millis(5), Duration::from_micros(100));
+        let err = client
+            .call_with_retry_traced::<u32, u32>(silent.addr(), &1, &policy, Some(ctx))
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        root.finish();
+        let records = registry.trace_records();
+        let attempts: Vec<_> = records.iter().filter(|r| r.name == "rpc.attempt").collect();
+        assert_eq!(attempts.len(), 3, "one span per attempt");
+        for (i, a) in attempts.iter().enumerate() {
+            assert_eq!(a.trace, ctx.trace);
+            assert_eq!(a.parent, Some(ctx.parent));
+            assert!(a
+                .tags
+                .contains(&("attempt".to_string(), (i + 1).to_string())));
+            assert!(a
+                .tags
+                .contains(&("peer".to_string(), silent.addr().to_string())));
+            assert!(a
+                .tags
+                .contains(&("outcome".to_string(), "timeout".to_string())));
+        }
+        // Each envelope on the wire carried its attempt's span as parent.
+        let attempt_spans: Vec<_> = attempts.iter().map(|a| a.span).collect();
+        for _ in 0..3 {
+            let env = silent.try_recv().expect("request delivered");
+            let wire = env.trace.expect("traced envelope");
+            assert_eq!(wire.trace, ctx.trace);
+            assert!(attempt_spans.contains(&wire.parent));
+        }
+        // Untraced calls still carry nothing.
+        let _ = client.call::<u32, u32>(silent.addr(), &1, Duration::from_millis(5));
+        assert_eq!(silent.try_recv().expect("request delivered").trace, None);
+    }
+
+    #[test]
+    fn traced_call_without_context_or_tracer_records_nothing() {
+        use mendel_obs::{Registry, SpanId, TraceContext, TraceId};
+        let registry = Registry::new();
+        let net = Network::new();
+        let mut client = RpcClient::new(net.join());
+        let silent = net.join();
+        let ctx = TraceContext {
+            trace: TraceId(1),
+            parent: SpanId(2),
+        };
+        // Context but no tracer: the envelope still carries the context.
+        let _ = client.call_with_retry_traced::<u32, u32>(
+            silent.addr(),
+            &1,
+            &RetryPolicy::single(Duration::from_millis(5)),
+            Some(ctx),
+        );
+        assert_eq!(silent.try_recv().expect("delivered").trace, Some(ctx));
+        // Tracer but no context: no spans are minted.
+        client.set_tracer(registry.tracer(0));
+        let _ = client.call_with_retry_traced::<u32, u32>(
+            silent.addr(),
+            &1,
+            &RetryPolicy::single(Duration::from_millis(5)),
+            None,
+        );
+        assert!(registry.trace_records().is_empty());
     }
 
     #[test]

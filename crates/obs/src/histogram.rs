@@ -283,6 +283,52 @@ mod tests {
     }
 
     #[test]
+    fn quantile_extremes_hit_first_and_last_occupied_buckets() {
+        let h = Histogram::with_bounds(vec![1.0, 10.0, 100.0]).unwrap();
+        h.record(0.5); // bucket 0
+        h.record(5.0); // bucket 1
+        h.record(50.0); // bucket 2
+                        // q=0 clamps to rank 1: the smallest sample's bucket, whose lower
+                        // edge is the open -inf end of the first bucket.
+        assert_eq!(h.quantile_bounds(0.0), Some((f64::NEG_INFINITY, 1.0)));
+        // q=1 is rank n: the largest sample's bucket.
+        assert_eq!(h.quantile_bounds(1.0), Some((10.0, 100.0)));
+        // Out-of-range q clamps rather than erroring.
+        assert_eq!(h.quantile_bounds(-3.0), h.quantile_bounds(0.0));
+        assert_eq!(h.quantile_bounds(7.5), h.quantile_bounds(1.0));
+    }
+
+    #[test]
+    fn single_sample_owns_every_quantile() {
+        let h = Histogram::with_bounds(vec![1.0, 10.0]).unwrap();
+        h.record(3.0);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_bounds(q), Some((1.0, 10.0)), "q={q}");
+            assert_eq!(h.quantile(q), Some(10.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_quantile_is_unbounded_above() {
+        let h = Histogram::with_bounds(vec![1.0]).unwrap();
+        h.record(1e9);
+        assert_eq!(h.quantile_bounds(0.5), Some((1.0, f64::INFINITY)));
+        assert_eq!(h.quantile(0.5), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn nan_record_leaves_cells_sum_and_quantiles_untouched() {
+        let h = Histogram::with_bounds(vec![1.0, 10.0]).unwrap();
+        h.record(2.0);
+        let before = h.snapshot();
+        h.record(f64::NAN);
+        let after = h.snapshot();
+        assert_eq!(before, after, "NaN must not perturb any cell or the sum");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_bounds(0.5), Some((1.0, 10.0)));
+    }
+
+    #[test]
     fn merge_rejects_different_bounds() {
         let a = Histogram::with_bounds(vec![1.0, 2.0]).unwrap();
         let b = Histogram::with_bounds(vec![1.0, 3.0]).unwrap();

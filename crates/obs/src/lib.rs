@@ -31,13 +31,20 @@
 pub mod clock;
 pub mod histogram;
 pub mod metric;
+pub mod recorder;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use histogram::{Histogram, HistogramError};
 pub use metric::{Counter, Gauge};
+pub use recorder::FlightRecorder;
 pub use registry::{Registry, ScopedRegistry};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
 pub use span::Span;
+pub use trace::{
+    chrome_trace_json, ActiveSpan, CriticalHop, SpanId, SpanRecord, TraceCollector, TraceContext,
+    TraceId, TraceNode, TraceTree, Tracer,
+};

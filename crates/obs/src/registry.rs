@@ -8,12 +8,18 @@
 use crate::clock::{Clock, MonotonicClock};
 use crate::histogram::Histogram;
 use crate::metric::{Counter, Gauge};
+use crate::recorder::FlightRecorder;
 use crate::snapshot::MetricsSnapshot;
 use crate::span::Span;
+use crate::trace::{SpanRecord, Tracer};
 use parking_lot::RwLock;
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
+
+/// Default per-node flight-recorder capacity (spans retained).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
 
 #[derive(Debug)]
 enum Metric {
@@ -26,6 +32,12 @@ enum Metric {
 struct Inner {
     metrics: RwLock<BTreeMap<String, Metric>>,
     clock: Arc<dyn Clock>,
+    /// Shared trace/span id sequence: ids are unique across the whole
+    /// registry and deterministic for a fixed call order (starts at 1 so
+    /// 0 can mean "unset" on the wire).
+    trace_ids: Arc<AtomicU64>,
+    /// Per-node flight recorders, created on first `tracer()` call.
+    recorders: RwLock<BTreeMap<u32, Arc<FlightRecorder>>>,
 }
 
 /// A shared, namespaced metric table with an injectable clock.
@@ -46,6 +58,8 @@ impl Registry {
             inner: Arc::new(Inner {
                 metrics: RwLock::new(BTreeMap::new()),
                 clock,
+                trace_ids: Arc::new(AtomicU64::new(1)),
+                recorders: RwLock::new(BTreeMap::new()),
             }),
         }
     }
@@ -121,6 +135,46 @@ impl Registry {
     pub fn span(&self, name: &str) -> Span {
         let hist = self.histogram(&format!("{name}.seconds"));
         Span::with_sink(self.clock(), Some(hist))
+    }
+
+    /// A tracer for `node`, minting ids from the registry-wide
+    /// deterministic counter and recording into that node's flight
+    /// recorder (created on first use, capacity
+    /// [`DEFAULT_FLIGHT_CAPACITY`]). Tracers for the same node share a
+    /// recorder.
+    pub fn tracer(&self, node: u32) -> Tracer {
+        let recorder = {
+            let mut map = self.inner.recorders.write();
+            map.entry(node)
+                .or_insert_with(|| Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)))
+                .clone()
+        };
+        Tracer::new(
+            self.inner.clock.clone(),
+            self.inner.trace_ids.clone(),
+            recorder,
+            node,
+        )
+    }
+
+    /// Every node's flight recorder, by node id (ascending).
+    pub fn flight_recorders(&self) -> Vec<(u32, Arc<FlightRecorder>)> {
+        self.inner
+            .recorders
+            .read()
+            .iter()
+            .map(|(&node, r)| (node, r.clone()))
+            .collect()
+    }
+
+    /// All retained span records across every node's flight recorder,
+    /// in node order (each recorder oldest-first). Feed this to a
+    /// [`crate::TraceCollector`].
+    pub fn trace_records(&self) -> Vec<SpanRecord> {
+        self.flight_recorders()
+            .into_iter()
+            .flat_map(|(_, r)| r.records())
+            .collect()
     }
 
     /// A handle factory that prefixes every metric name with
@@ -247,6 +301,57 @@ mod tests {
             .expect("span histogram registered");
         assert_eq!(h.count(), 1);
         assert!((h.sum - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracers_share_ids_and_per_node_recorders() {
+        let clock = Arc::new(VirtualClock::new());
+        let r = Registry::with_clock(clock.clone());
+        let t0 = r.tracer(0);
+        let t3 = r.tracer(3);
+        let root = t0.start_trace("query"); // ids 1 (trace), 2 (span)
+        clock.advance(Duration::from_micros(10));
+        let child = t3.child("group", root.context()); // id 3
+        child.finish();
+        root.finish();
+        assert_eq!(t0.next_id(), 4, "counter is registry-wide");
+        let recorders = r.flight_recorders();
+        assert_eq!(
+            recorders.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            vec![0, 3]
+        );
+        let records = r.trace_records();
+        assert_eq!(records.len(), 2);
+        // Same node → same recorder instance.
+        assert_eq!(r.tracer(0).recorder().len(), 1);
+    }
+
+    #[test]
+    fn hostile_metric_names_render_as_valid_prometheus() {
+        let r = Registry::new();
+        r.counter("0day{evil=\"1\"}\ninjected 9").inc();
+        r.gauge("héllo wörld").set(2);
+        r.histogram("9.stage time").record(0.5);
+        let text = r.snapshot().to_prometheus();
+        for line in text.lines() {
+            assert!(!line.is_empty());
+            let name = if let Some(rest) = line.strip_prefix("# TYPE ") {
+                rest.split_whitespace().next().expect("type line has name")
+            } else {
+                line.split(['{', ' ']).next().expect("sample line has name")
+            };
+            let mut chars = name.chars();
+            let first = chars.next().expect("non-empty metric name");
+            assert!(
+                first.is_ascii_alphabetic() || first == '_' || first == ':',
+                "bad leading char in {name:?}"
+            );
+            assert!(
+                chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad char in {name:?}"
+            );
+        }
+        assert!(text.contains("_0day_evil__1___injected_9 1"));
     }
 
     #[test]

@@ -116,6 +116,7 @@ impl MetricsSnapshot {
                     Some(b) => format_f64(*b),
                     None => "+Inf".to_string(),
                 };
+                let le = prom_label_value(&le);
                 let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
             }
             let _ = writeln!(out, "{n}_sum {}", format_f64(h.sum));
@@ -180,7 +181,7 @@ fn render_map<'a, V: 'a>(
     }
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => "\\\"".chars().collect::<Vec<_>>(),
@@ -191,9 +192,12 @@ fn escape_json(s: &str) -> String {
         .collect()
 }
 
-/// Prometheus metric names: `[a-zA-Z0-9_:]` only.
+/// Prometheus metric names must match `[a-zA-Z_:][a-zA-Z0-9_:]*`:
+/// disallowed characters map to `_`, and a leading digit (or an empty
+/// name) gets a `_` prefix so the result is always grammar-valid.
 fn prom_name(name: &str) -> String {
-    name.chars()
+    let mut out: String = name
+        .chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
                 c
@@ -201,7 +205,26 @@ fn prom_name(name: &str) -> String {
                 '_'
             }
         })
-        .collect()
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Prometheus label values allow any UTF-8 but require `\`, `"`, and
+/// newline to be escaped in the text format.
+fn prom_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Render a float so it round-trips as JSON (no `inf`/`NaN` in
@@ -298,6 +321,35 @@ mod tests {
         });
         assert_eq!(depth, 0);
         assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn prom_name_is_always_grammar_valid() {
+        assert_eq!(prom_name("mendel.query.hits"), "mendel_query_hits");
+        assert_eq!(prom_name("9lives"), "_9lives");
+        assert_eq!(prom_name(""), "_");
+        assert_eq!(prom_name("héllo wörld"), "h_llo_w_rld");
+        for hostile in ["0", "{}", "a{b=\"c\"}", "\n", "1.5e3"] {
+            let n = prom_name(hostile);
+            let mut chars = n.chars();
+            let first = chars.next().expect("non-empty");
+            assert!(
+                first.is_ascii_alphabetic() || first == '_' || first == ':',
+                "{n}"
+            );
+            assert!(
+                chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn prom_label_value_escapes_specials() {
+        assert_eq!(prom_label_value("plain"), "plain");
+        assert_eq!(prom_label_value("a\"b"), "a\\\"b");
+        assert_eq!(prom_label_value("a\\b"), "a\\\\b");
+        assert_eq!(prom_label_value("a\nb"), "a\\nb");
     }
 
     #[test]

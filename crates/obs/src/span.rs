@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// One timed region.
+#[must_use = "a dropped span records nothing; call finish()"]
 #[derive(Debug)]
 pub struct Span {
     clock: Arc<dyn Clock>,

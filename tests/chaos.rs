@@ -85,14 +85,33 @@ impl BeatNet {
     }
 }
 
+/// Dumps the cluster's per-node flight recorders to stderr when the
+/// enclosing chaos run panics, so a failed run leaves its causal traces
+/// behind as a post-mortem artifact (DESIGN.md §12).
+struct DumpOnPanic<'a>(&'a MendelCluster);
+
+impl Drop for DumpOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "chaos run failed; post-mortem follows\n{}",
+                self.0.flight_recorder_dump()
+            );
+        }
+    }
+}
+
 /// One full chaos run for `seed`. Asserts the acceptance contract:
 /// the schedule replays byte-identically, queries stay correct whenever
 /// coverage is complete, and after every node restarts the cluster
 /// converges back to full coverage with hits identical to the
-/// fault-free baseline.
+/// fault-free baseline. Causal tracing stays on throughout, so any
+/// failure dumps the flight recorders via [`DumpOnPanic`].
 fn chaos_run(seed: u64) {
     let db = db(seed ^ 0xD8);
     let cluster = replicated_cluster(&db);
+    cluster.set_tracing(true);
+    let _postmortem = DumpOnPanic(&cluster);
     let params = QueryParams::protein();
     let queries: Vec<Vec<u8>> = (0..4)
         .map(|i| db.get(SeqId(i * 7)).unwrap().residues.clone())
