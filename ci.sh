@@ -44,20 +44,55 @@ else
     echo "==> clippy unavailable; skipping lint check"
 fi
 
-# 4. Tier-1 verify (ROADMAP.md): release build + default test suite.
+# 4. Lock-order analysis (DESIGN.md §13): the held-while-acquiring
+#    graph over every parking_lot acquisition must stay acyclic, and
+#    every guard held across a blocking call must carry a waiver.
+mkdir -p bench_results
+step "mendel-audit locks" \
+    cargo run -q -p mendel-audit -- locks --json bench_results/audit_locks.json
+
+# 5. Atomic-ordering audit (DESIGN.md §13): every `Ordering::*` site
+#    needs an `audit:ordering(<Ord>): <reason>` annotation or a
+#    baseline entry; atomics-baseline.txt only ever shrinks.
+step "mendel-audit atomics" \
+    cargo run -q -p mendel-audit -- atomics --json bench_results/audit_atomics.json
+
+# 6. Deterministic two-thread interleaving stress for Histogram and
+#    FlightRecorder (lockstep alternation + free-running invariants).
+#    Plain run always; under ThreadSanitizer and Miri when the
+#    toolchain has them (nightly rust-src for TSan's -Zbuild-std,
+#    the miri component for Miri) — skipped with a notice otherwise.
+step "interleaving stress (plain)" cargo test -p mendel-obs --test interleave -q
+if rustup component list --toolchain nightly 2>/dev/null | grep -q "^rust-src (installed)"; then
+    HOST="$(rustc -vV | sed -n 's/^host: //p')"
+    step "interleaving stress (tsan)" \
+        env RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target "$HOST" \
+        -p mendel-obs --test interleave -q
+else
+    echo "==> nightly rust-src unavailable; skipping ThreadSanitizer pass"
+fi
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    step "interleaving stress (miri)" \
+        cargo +nightly miri test -p mendel-obs --test interleave
+else
+    echo "==> miri unavailable; skipping Miri pass"
+fi
+
+# 7. Tier-1 verify (ROADMAP.md): release build + default test suite.
 if [ "$MODE" != "quick" ]; then
     step "cargo build --release" cargo build --release -q
 fi
 step "cargo test" cargo test -q
 
-# 5. Structural invariant checkers asserted at every mutation site
+# 8. Structural invariant checkers asserted at every mutation site
 #    (see DESIGN.md §8.2).
 if [ "$MODE" != "quick" ]; then
     step "cargo test --features strict-invariants" \
         cargo test --workspace --features strict-invariants -q
 fi
 
-# 6. Kernel/arena perf harness self-checks (DESIGN.md §10): tiny sizes,
+# 9. Kernel/arena perf harness self-checks (DESIGN.md §10): tiny sizes,
 #    asserts the report JSON is well-formed and that bounded kNN returns
 #    bit-identical results to the unbounded baseline.
 if [ "$MODE" != "quick" ]; then
@@ -65,7 +100,7 @@ if [ "$MODE" != "quick" ]; then
         cargo run --release -q -p mendel-bench --bin kernel_bench -- --smoke
 fi
 
-# 7. Observability suite (DESIGN.md §11): exact counter assertions
+# 10. Observability suite (DESIGN.md §11): exact counter assertions
 #    (distance calls, fan-out, fault-verdict replay) under the invariant
 #    checkers, plus the metrics-overhead harness at smoke sizes.
 if [ "$MODE" != "quick" ]; then
@@ -75,7 +110,7 @@ if [ "$MODE" != "quick" ]; then
         cargo run --release -q -p mendel-bench --bin obs_bench -- --smoke
 fi
 
-# 8. Causal-tracing suite (DESIGN.md §12): the seeded chaos-flavoured
+# 11. Causal-tracing suite (DESIGN.md §12): the seeded chaos-flavoured
 #    run exports byte-identical chrome trace JSON twice, the export
 #    passes the trace-event schema check, the hand-built scatter-gather
 #    DAG yields the hand-computed critical path, and envelopes
@@ -84,7 +119,7 @@ if [ "$MODE" != "quick" ]; then
     step "trace determinism + schema" cargo test --test tracing -q
 fi
 
-# 9. Seeded chaos suite (DESIGN.md §9): deterministic fault injection,
+# 12. Seeded chaos suite (DESIGN.md §9): deterministic fault injection,
 #    heartbeat failover, and re-replication repair under the invariant
 #    checkers. Fast fixed seeds only; the multi-seed sweep stays behind
 #    `--ignored`.

@@ -1,10 +1,10 @@
 //! `mendel-audit`: a from-scratch, zero-dependency source auditor for
 //! the Mendel workspace.
 //!
-//! Two halves:
+//! Three halves (the third grew in the concurrency-audit PR):
 //!
 //! 1. **Lint pass** (this crate): walks `crates/*/src/**/*.rs`, runs a
-//!    token-level scanner over sanitized source, and diffs the findings
+//!    line-level scanner over sanitized source, and diffs the findings
 //!    against the checked-in `audit-baseline.txt`. CI fails only on NEW
 //!    violations, so the pre-existing backlog can burn down gradually
 //!    without blocking unrelated work.
@@ -12,18 +12,28 @@
 //!    behind the `strict-invariants` feature): deep `check_invariants`
 //!    methods on the vp-tree, DHT topology, and block store, asserted at
 //!    mutation sites and exercised by the property suites.
+//! 3. **Concurrency analyses** (token-level, on the [`lexer`] stream):
+//!    [`locks`] builds the held-while-acquiring lock graph and fails on
+//!    lock-order cycles and guard-across-io smells; [`atomics`] forces
+//!    every `Ordering::*` site to carry an `audit:ordering` review
+//!    annotation, with its own shrink-only `atomics-baseline.txt`.
 //!
-//! Run `cargo run -p mendel-audit -- lint` from anywhere in the
-//! workspace; see `DESIGN.md` § "Invariants & static analysis".
+//! Run `cargo run -p mendel-audit -- <lint|locks|atomics>` from anywhere
+//! in the workspace; see `DESIGN.md` § "Concurrency static analysis".
 
+pub mod atomics;
 pub mod baseline;
+pub mod lexer;
 pub mod lint;
+pub mod locks;
+pub mod report;
 pub mod sanitize;
 
 pub use baseline::{
     diff, parse as parse_baseline, render as render_baseline, to_counts, Counts, Diff,
 };
 pub use lint::{scan_source, Rule, Violation};
+pub use report::Json;
 
 use std::fmt::Write as _;
 use std::fs;
@@ -196,7 +206,71 @@ mod tests {
             "self-test: report lacks file:line context for the seeded unwrap:\n{report}"
         ));
     }
+
+    self_test_concurrency(root)?;
     Ok(report)
+}
+
+/// Seed a deadlock pair, an unannotated atomic site, and an unwaived
+/// guard-across-io call, then verify the concurrency analyses catch
+/// all three — the end-to-end proof that the `locks` and `atomics`
+/// gates actually fail when those hazards are introduced.
+fn self_test_concurrency(root: &Path) -> Result<(), String> {
+    let src_dir = root.join("crates/deadlocked/src");
+    fs::create_dir_all(&src_dir).map_err(|e| format!("self-test setup: {e}"))?;
+    let seeded = "\
+struct S;
+
+impl S {
+    fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    fn backward(&self) {
+        let b = self.beta.lock();
+        self.alpha.lock().len();
+    }
+
+    fn publish(&self, tx: &Sender) {
+        self.flag.store(1, Ordering::Release);
+        let g = self.beta.lock();
+        tx.send(1);
+    }
+}
+";
+    fs::write(src_dir.join("lib.rs"), seeded).map_err(|e| format!("self-test setup: {e}"))?;
+
+    let lock_report = locks::analyze_workspace(root)?;
+    let seeded_cycle = lock_report.cycles.iter().any(|c| {
+        c.locks.contains(&"deadlocked/lib::alpha".to_string())
+            && c.locks.contains(&"deadlocked/lib::beta".to_string())
+    });
+    if !seeded_cycle {
+        return Err(format!(
+            "self-test: seeded alpha/beta lock-order cycle was not detected:\n{}",
+            locks::render_report(&lock_report)
+        ));
+    }
+    let seeded_smell = lock_report
+        .unwaived_smells()
+        .iter()
+        .any(|s| s.callee == "send" && s.file.contains("deadlocked"));
+    if !seeded_smell {
+        return Err("self-test: seeded guard-across-io send was not detected".into());
+    }
+
+    let atomics_report = atomics::scan_workspace(root)?;
+    let seeded_site = atomics_report
+        .unannotated()
+        .iter()
+        .any(|s| s.ordering == "Release" && s.file.contains("deadlocked"));
+    if !seeded_site {
+        return Err("self-test: seeded unannotated Ordering::Release was not detected".into());
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -207,6 +281,45 @@ mod tests {
     fn self_test_passes() {
         let report = self_test().expect("self-test succeeds");
         assert!(report.contains("new violation(s) beyond the baseline"));
+    }
+
+    #[test]
+    fn locks_on_real_tree_has_no_cycles_or_unwaived_smells() {
+        // Same gate as `mendel-audit locks` in CI: the workspace lock
+        // graph must be acyclic and every guard-across-io site waived
+        // with a reason.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = locks::analyze_workspace(&root).expect("analyze workspace");
+        assert!(
+            report.is_clean(),
+            "lock-order gate failed:\n{}",
+            locks::render_report(&report)
+        );
+        // The analysis is actually looking at something: the workspace
+        // has parking_lot locks in net/obs/core.
+        assert!(
+            report.acquisitions.len() >= 10,
+            "suspiciously few acquisitions"
+        );
+    }
+
+    #[test]
+    fn atomics_on_real_tree_matches_baseline() {
+        // Same gate as `mendel-audit atomics` in CI: every Ordering::*
+        // site annotated, or in the shrink-only atomics baseline.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = atomics::scan_workspace(&root).expect("scan workspace");
+        let text = std::fs::read_to_string(root.join("atomics-baseline.txt"))
+            .expect("read atomics baseline");
+        let baseline = atomics::parse_baseline(&text).expect("parse atomics baseline");
+        let (regressions, _stale) = atomics::diff(&report.to_counts(), &baseline);
+        assert!(
+            regressions.is_empty(),
+            "atomics gate failed:\n{}",
+            atomics::render_report(&report, &regressions, &[])
+        );
+        // The inventory covers the workspace's real atomic sites.
+        assert!(report.sites.len() >= 30, "suspiciously few Ordering sites");
     }
 
     #[test]

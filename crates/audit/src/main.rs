@@ -1,28 +1,34 @@
 //! CLI for the workspace source auditor.
 //!
 //! ```text
-//! mendel-audit lint     [--root DIR] [--baseline FILE]   # gate: fail on NEW violations
+//! mendel-audit lint     [--root DIR] [--baseline FILE] [--json FILE]  # gate: fail on NEW violations
 //! mendel-audit baseline [--root DIR] [--baseline FILE] [--write]
+//! mendel-audit locks    [--root DIR] [--dot] [--json FILE]            # gate: fail on cycles / unwaived smells
+//! mendel-audit atomics  [--root DIR] [--baseline FILE] [--write] [--json FILE]
 //! mendel-audit self-test
 //! ```
 
 // This binary's purpose is terminal output: reports go to stderr,
-// rendered baselines to stdout (so they can be redirected).
+// rendered baselines and DOT graphs to stdout (so they can be
+// redirected).
 #![allow(clippy::print_stdout)]
 
 use mendel_audit::{
-    diff, parse_baseline, render_baseline, render_report, scan_workspace, self_test, to_counts,
+    atomics, diff, locks, parse_baseline, render_baseline, render_report, scan_workspace,
+    self_test, to_counts, Json,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: mendel-audit <lint|baseline|self-test> [--root DIR] [--baseline FILE] [--write]";
+const USAGE: &str = "usage: mendel-audit <lint|baseline|locks|atomics|self-test> \
+     [--root DIR] [--baseline FILE] [--write] [--dot] [--json FILE]";
 
 struct Options {
     root: PathBuf,
-    baseline: PathBuf,
+    baseline: Option<PathBuf>,
     write: bool,
+    dot: bool,
+    json: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -33,6 +39,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     root.pop();
     let mut baseline = None;
     let mut write = false;
+    let mut dot = false;
+    let mut json = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -43,15 +51,40 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?));
             }
             "--write" => write = true,
+            "--dot" => dot = true,
+            "--json" => {
+                json = Some(PathBuf::from(it.next().ok_or("--json needs a value")?));
+            }
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
-    let baseline = baseline.unwrap_or_else(|| root.join("audit-baseline.txt"));
     Ok(Options {
         root,
         baseline,
         write,
+        dot,
+        json,
     })
+}
+
+fn write_json(path: &PathBuf, doc: &Json) -> Result<(), String> {
+    std::fs::write(path, doc.render()).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+fn read_optional(path: &PathBuf) -> Result<String, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(String::new()),
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}
+
+fn exit(ok: bool) -> ExitCode {
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -60,16 +93,25 @@ fn run() -> Result<ExitCode, String> {
     match command.as_str() {
         "lint" => {
             let opts = parse_args(rest)?;
+            let baseline_path = opts
+                .baseline
+                .unwrap_or_else(|| opts.root.join("audit-baseline.txt"));
             let violations = scan_workspace(&opts.root)
                 .map_err(|e| format!("scanning {}: {e}", opts.root.display()))?;
-            let baseline_text = match std::fs::read_to_string(&opts.baseline) {
-                Ok(text) => text,
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
-                Err(e) => return Err(format!("reading {}: {e}", opts.baseline.display())),
-            };
-            let baseline = parse_baseline(&baseline_text)?;
+            let baseline = parse_baseline(&read_optional(&baseline_path)?)?;
             let d = diff(&violations, &baseline);
             let gate_fails = !d.regressions.is_empty();
+            if let Some(json_path) = &opts.json {
+                let doc = Json::Obj(vec![
+                    ("analysis".into(), Json::str("lint")),
+                    ("violations".into(), Json::count(violations.len())),
+                    ("baseline_groups".into(), Json::count(baseline.len())),
+                    ("regressions".into(), Json::count(d.regressions.len())),
+                    ("stale".into(), Json::count(d.stale.len())),
+                    ("clean".into(), Json::Bool(!gate_fails)),
+                ]);
+                write_json(json_path, &doc)?;
+            }
             match render_report(&d) {
                 Some(report) => eprintln!("{report}"),
                 None => eprintln!(
@@ -77,23 +119,22 @@ fn run() -> Result<ExitCode, String> {
                     baseline.len()
                 ),
             }
-            Ok(if gate_fails {
-                ExitCode::FAILURE
-            } else {
-                ExitCode::SUCCESS
-            })
+            Ok(exit(!gate_fails))
         }
         "baseline" => {
             let opts = parse_args(rest)?;
+            let baseline_path = opts
+                .baseline
+                .unwrap_or_else(|| opts.root.join("audit-baseline.txt"));
             let violations = scan_workspace(&opts.root)
                 .map_err(|e| format!("scanning {}: {e}", opts.root.display()))?;
             let rendered = render_baseline(&to_counts(&violations));
             if opts.write {
-                std::fs::write(&opts.baseline, &rendered)
-                    .map_err(|e| format!("writing {}: {e}", opts.baseline.display()))?;
+                std::fs::write(&baseline_path, &rendered)
+                    .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
                 eprintln!(
                     "wrote {} ({} violations across {} groups)",
-                    opts.baseline.display(),
+                    baseline_path.display(),
                     violations.len(),
                     to_counts(&violations).len()
                 );
@@ -101,6 +142,45 @@ fn run() -> Result<ExitCode, String> {
                 print!("{rendered}");
             }
             Ok(ExitCode::SUCCESS)
+        }
+        "locks" => {
+            let opts = parse_args(rest)?;
+            let report = locks::analyze_workspace(&opts.root)?;
+            if let Some(json_path) = &opts.json {
+                write_json(json_path, &locks::to_json(&report))?;
+            }
+            if opts.dot {
+                print!("{}", locks::render_dot(&report));
+            }
+            eprintln!("{}", locks::render_report(&report));
+            Ok(exit(report.is_clean()))
+        }
+        "atomics" => {
+            let opts = parse_args(rest)?;
+            let baseline_path = opts
+                .baseline
+                .unwrap_or_else(|| opts.root.join("atomics-baseline.txt"));
+            let report = atomics::scan_workspace(&opts.root)?;
+            let current = report.to_counts();
+            if opts.write {
+                let rendered = atomics::render_baseline(&current);
+                std::fs::write(&baseline_path, &rendered)
+                    .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+                eprintln!(
+                    "wrote {} ({} unannotated sites across {} groups)",
+                    baseline_path.display(),
+                    report.unannotated().len(),
+                    current.len()
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            let baseline = atomics::parse_baseline(&read_optional(&baseline_path)?)?;
+            let (regressions, stale) = atomics::diff(&current, &baseline);
+            if let Some(json_path) = &opts.json {
+                write_json(json_path, &atomics::to_json(&report, &regressions))?;
+            }
+            eprintln!("{}", atomics::render_report(&report, &regressions, &stale));
+            Ok(exit(regressions.is_empty()))
         }
         "self-test" => {
             let report = self_test()?;

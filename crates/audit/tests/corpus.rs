@@ -1,0 +1,112 @@
+//! Fixture-corpus tests for the concurrency analyses: exact finding
+//! counts on known-deadlock, known-clean, and adversarial sources, and
+//! zero false positives on the clean set.
+
+use mendel_audit::atomics;
+use mendel_audit::locks::{self, find_cycles};
+
+const DEADLOCK: &str = include_str!("fixtures/deadlock.rs");
+const CLEAN: &str = include_str!("fixtures/clean.rs");
+const ADVERSARIAL: &str = include_str!("fixtures/adversarial.rs");
+const PUBLICATION: &str = include_str!("fixtures/publication.rs");
+
+fn lock_facts(name: &str, src: &str) -> locks::FileLockFacts {
+    locks::analyze_source(
+        &format!("crates/fix/src/{name}.rs"),
+        &format!("fix/{name}"),
+        src,
+    )
+}
+
+#[test]
+fn deadlock_fixture_has_the_seeded_cycle() {
+    let facts = lock_facts("deadlock", DEADLOCK);
+    // forward: routes -> peers; backward: peers -> routes;
+    // drain: no second acquisition.
+    assert_eq!(facts.acquisitions.len(), 5);
+    assert_eq!(facts.edges.len(), 2);
+    let cycles = find_cycles(&facts.edges);
+    assert_eq!(cycles.len(), 1, "exactly one cycle: {cycles:?}");
+    assert_eq!(
+        cycles[0].locks,
+        vec!["fix/deadlock::peers", "fix/deadlock::routes"]
+    );
+    assert_eq!(cycles[0].edges.len(), 2);
+}
+
+#[test]
+fn deadlock_fixture_has_the_unwaived_recv_smell() {
+    let facts = lock_facts("deadlock", DEADLOCK);
+    let unwaived: Vec<_> = facts.smells.iter().filter(|s| !s.waived).collect();
+    assert_eq!(unwaived.len(), 1);
+    assert_eq!(unwaived[0].callee, "recv_timeout");
+    assert_eq!(unwaived[0].function, "drain");
+    assert_eq!(unwaived[0].guards, vec!["fix/deadlock::peers"]);
+}
+
+#[test]
+fn clean_fixture_has_zero_lock_findings() {
+    let facts = lock_facts("clean", CLEAN);
+    // plan: topology -> nodes is the only hold-edge; that edge is
+    // consistent (never reversed), so there is no cycle.
+    let cycles = find_cycles(&facts.edges);
+    assert!(cycles.is_empty(), "false-positive cycles: {cycles:?}");
+    assert!(facts.smells.iter().all(|s| s.waived), "{:?}", facts.smells);
+    assert_eq!(facts.smells.len(), 1, "only the waived broadcast send");
+}
+
+#[test]
+fn clean_fixture_has_zero_atomic_findings() {
+    let sites = atomics::scan_source("crates/fix/src/clean.rs", CLEAN);
+    assert_eq!(sites.len(), 3);
+    assert!(
+        sites.iter().all(|s| s.annotated()),
+        "unannotated: {:?}",
+        sites.iter().filter(|s| !s.annotated()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn adversarial_fixture_exact_counts() {
+    let facts = lock_facts("adversarial", ADVERSARIAL);
+    assert_eq!(
+        facts.acquisitions.len(),
+        3,
+        "acquisitions: {:?}",
+        facts.acquisitions
+    );
+    assert_eq!(facts.edges.len(), 1, "edges: {:?}", facts.edges);
+    assert_eq!(facts.edges[0].held, "fix/adversarial::a");
+    assert_eq!(facts.edges[0].acquired, "fix/adversarial::b");
+    assert_eq!(facts.edges[0].function, "nested");
+    assert!(find_cycles(&facts.edges).is_empty());
+    assert!(facts.smells.is_empty(), "{:?}", facts.smells);
+}
+
+#[test]
+fn adversarial_fixture_atomics_exact_counts() {
+    let sites = atomics::scan_source("crates/fix/src/adversarial.rs", ADVERSARIAL);
+    // One real site (annotated); cmp::Ordering, strings, comments and
+    // the test region contribute nothing.
+    assert_eq!(sites.len(), 1, "sites: {sites:?}");
+    assert!(sites[0].annotated());
+    assert_eq!(sites[0].ordering, "Relaxed");
+}
+
+#[test]
+fn publication_fixture_all_sites_unannotated() {
+    let sites = atomics::scan_source("crates/fix/src/publication.rs", PUBLICATION);
+    assert_eq!(sites.len(), 4, "sites: {sites:?}");
+    let unannotated = sites.iter().filter(|s| !s.annotated()).count();
+    assert_eq!(unannotated, 4, "wrong-ordering marker must not annotate");
+    let orderings: Vec<&str> = sites.iter().map(|s| s.ordering.as_str()).collect();
+    assert_eq!(orderings, vec!["Relaxed", "Release", "Acquire", "Relaxed"]);
+}
+
+#[test]
+fn publication_fixture_has_no_lock_findings() {
+    let facts = lock_facts("publication", PUBLICATION);
+    assert!(facts.acquisitions.is_empty());
+    assert!(facts.edges.is_empty());
+    assert!(facts.smells.is_empty());
+}

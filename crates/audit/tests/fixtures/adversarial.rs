@@ -1,0 +1,81 @@
+// Fixture: adversarial lexical shapes. Macro bodies with nested
+// braces, raw strings with fences, multi-line method chains, nested
+// generics with `>>`, char literals, lifetimes, and test regions —
+// everything that defeats a line-regex scanner. Expected findings are
+// exact: 3 acquisitions, 1 hold-edge (a -> b), 0 cycles, 0 smells,
+// 1 annotated atomic site, 0 unannotated.
+//
+// This file is test data for `crates/audit/tests/corpus.rs`; it is
+// never compiled and does not need to resolve.
+
+use parking_lot::Mutex;
+
+macro_rules! fake_lock {
+    ($name:ident) => {
+        // Strings inside macro bodies are still strings:
+        concat!("self.", stringify!($name), ".lock()")
+    };
+    () => {{
+        let text = r##"let g = self.phantom.lock(); g.recv()"##;
+        text
+    }};
+}
+
+pub struct Adversary<'a> {
+    state: Mutex<Vec<u8>>,
+    a: Mutex<Map<Key, Vec<Box<Node<'a>>>>>,
+    b: Mutex<u64>,
+}
+
+impl<'a> Adversary<'a> {
+    /// A multi-line chain; the acquisition is on the `.lock()` line.
+    pub fn sweep(&self) {
+        self.state
+            .lock()
+            .retain(|v| *v != b'\n');
+    }
+
+    /// The scrutinee temporary is held for the whole block; the inner
+    /// acquisition makes the one real edge in this file.
+    pub fn nested(&self, k: &Key) -> u64 {
+        let marker = '\'';
+        let shifted = 1u64 << 3 >> 2;
+        if let Some(node) = self.a.lock().get(k) {
+            *self.b.lock() + node.weight() + shifted + marker as u64
+        } else {
+            0
+        }
+    }
+
+    /// Not an acquisition: `read` with arguments is std::io, and the
+    /// string/comment mentions must stay invisible.
+    pub fn ingest(&self, file: &mut impl Read) -> usize {
+        let mut buf = [0u8; 64];
+        // self.a.lock() in a comment does nothing
+        let n = file.read(&mut buf).unwrap_or(0);
+        let fake = "Ordering::SeqCst and self.b.lock() in a string";
+        n + fake.len()
+    }
+
+    /// The only real atomic site, annotated; `cmp::Ordering` is not a
+    /// memory ordering.
+    pub fn order(&self, x: &u64, y: &u64) -> bool {
+        // audit:ordering(Relaxed): statistics probe; nothing is published under it
+        GLOBAL_PROBE.fetch_add(1, Ordering::Relaxed);
+        matches!(x.cmp(y), Ordering::Less | Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exempt_region() {
+        let adv = Adversary::default();
+        let first = adv.b.lock();
+        let second = adv.a.lock();
+        GLOBAL_PROBE.store(0, Ordering::SeqCst);
+        drop((first, second));
+    }
+}

@@ -1,0 +1,66 @@
+// Fixture: concurrency-clean code. Guards are scoped, ordered
+// consistently, or dropped before the next acquisition; every atomic
+// site carries a matching `audit:ordering` annotation; the one
+// blocking call under a guard is waived with a reason. Both analyses
+// must report zero findings here.
+//
+// This file is test data for `crates/audit/tests/corpus.rs`; it is
+// never compiled and does not need to resolve.
+
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Engine {
+    topology: RwLock<Vec<u32>>,
+    nodes: RwLock<Vec<u32>>,
+    hits: AtomicU64,
+}
+
+impl Engine {
+    /// Consistent order everywhere: topology before nodes.
+    pub fn plan(&self) -> usize {
+        let topo = self.topology.read();
+        let nodes = self.nodes.read();
+        topo.len() + nodes.len()
+    }
+
+    /// Same order again, plus an explicit early drop.
+    pub fn replan(&self) -> usize {
+        let topo = self.topology.read();
+        let width = topo.len();
+        drop(topo);
+        let nodes = self.nodes.write();
+        nodes.len() + width
+    }
+
+    /// Read-then-write on the same lock, released in between.
+    pub fn refresh(&self) -> usize {
+        let snapshot = {
+            let topo = self.topology.read();
+            topo.len()
+        };
+        let mut topo = self.topology.write();
+        topo.push(snapshot as u32);
+        topo.len()
+    }
+
+    /// Annotated statistics counter.
+    pub fn record(&self) {
+        // audit:ordering(Relaxed): statistics counter; RMW atomicity suffices
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Annotated publication pair.
+    pub fn publish(&self, v: u64) {
+        self.hits.store(v, Ordering::Release); // audit:ordering(Release): pairs with the Acquire load in peek
+        let seen = self.hits.load(Ordering::Acquire); // audit:ordering(Acquire): pairs with the Release store in publish
+        let _ = seen;
+    }
+
+    /// Waived non-blocking send under a guard.
+    pub fn broadcast(&self, tx: &Sender<u32>) {
+        let nodes = self.nodes.read();
+        // audit:allow(guard-across-io): unbounded channel send never blocks
+        let _ = tx.send(nodes.len() as u32);
+    }
+}

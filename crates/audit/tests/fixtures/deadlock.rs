@@ -1,0 +1,37 @@
+// Fixture: seeded A->B / B->A lock-order deadlock, plus an unwaived
+// blocking call under a guard. The lock analysis must report exactly
+// one cycle (routes <-> peers) and one guard-across-io smell.
+//
+// This file is test data for `crates/audit/tests/corpus.rs`; it is
+// never compiled and does not need to resolve.
+
+use parking_lot::Mutex;
+
+pub struct Router {
+    routes: Mutex<Vec<u32>>,
+    peers: Mutex<Vec<u32>>,
+    flag: AtomicBool,
+}
+
+impl Router {
+    /// Takes routes, then peers.
+    pub fn forward(&self) -> usize {
+        let routes = self.routes.lock();
+        let peers = self.peers.lock();
+        routes.len() + peers.len()
+    }
+
+    /// Takes peers, then routes: the reversed order that deadlocks
+    /// against `forward` under contention.
+    pub fn backward(&self) -> usize {
+        let peers = self.peers.lock();
+        self.routes.lock().len() + peers.len()
+    }
+
+    /// Blocks on a channel receive while still holding the peers guard.
+    pub fn drain(&self, rx: &Receiver<u32>) -> Option<u32> {
+        let peers = self.peers.lock();
+        let got = rx.recv_timeout(TIMEOUT).ok();
+        got.map(|g| g + peers.len() as u32)
+    }
+}

@@ -1,0 +1,33 @@
+// Fixture: an unannotated flag-then-data publication pattern. The
+// atomic audit must flag every site here: three carry no marker at
+// all, and the fourth carries a marker naming the wrong ordering
+// (which must not count as annotated). Exactly 4 unannotated sites.
+//
+// This file is test data for `crates/audit/tests/corpus.rs`; it is
+// never compiled and does not need to resolve.
+
+use std::sync::atomic::{AtomicU64, AtomicBool, Ordering};
+
+pub struct Slot {
+    ready: AtomicBool,
+    value: AtomicU64,
+    epoch: AtomicU64,
+}
+
+impl Slot {
+    /// Publishes `value` behind a `ready` flag — the classic pattern
+    /// whose orderings deserve a written justification.
+    pub fn publish(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn consume(&self) -> Option<u64> {
+        if self.ready.load(Ordering::Acquire) {
+            // audit:ordering(AcqRel): marker names the wrong ordering on purpose
+            Some(self.value.load(Ordering::Relaxed))
+        } else {
+            None
+        }
+    }
+}

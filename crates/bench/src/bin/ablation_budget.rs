@@ -25,7 +25,7 @@ fn main() {
     );
     let db = protein_db(1_000_000);
     let cluster = MendelCluster::build(ClusterConfig::paper_testbed_protein(), db.clone())
-        .expect("valid config");
+        .expect("valid config"); // audit:allow(expect): bench binary; aborts on impossible fixture state with the message as the diagnostic
     println!(
         "database: {} residues; blocks per node ≈ {}\n",
         db.total_residues(),
@@ -49,7 +49,7 @@ fn main() {
         for q in &queries {
             let r = cluster
                 .query(&q.query.residues, &params)
-                .expect("valid query");
+                .expect("valid query"); // audit:allow(expect): bench binary; aborts on impossible fixture state with the message as the diagnostic
             if r.hits.iter().any(|h| h.subject == q.source) {
                 found += 1;
             }

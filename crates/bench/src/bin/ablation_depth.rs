@@ -56,7 +56,7 @@ fn main() {
         .map(|i| {
             let idx = i * windows.len() / 500;
             let m = mutate_to_identity(Alphabet::Protein, &windows[idx], 0.85, &mut rng)
-                .expect("valid identity");
+                .expect("valid identity"); // audit:allow(expect): bench binary; aborts on impossible fixture state with the message as the diagnostic
             (idx, m)
         })
         .collect();

@@ -76,7 +76,7 @@ fn main() {
             metric: kind,
             ..ClusterConfig::small_protein()
         };
-        let cluster = MendelCluster::build(cfg, db.clone()).expect("valid config");
+        let cluster = MendelCluster::build(cfg, db.clone()).expect("valid config"); // audit:allow(expect): bench binary; aborts on impossible fixture state with the message as the diagnostic
         let queries = query_set(&db, 10, 300, 0.75);
         let params = QueryParams::protein();
         let t = Instant::now();

@@ -46,7 +46,7 @@ fn main() {
     let mut flat = vec![0u64; NODES];
     for s in db.iter() {
         for b in make_blocks(s, BLOCK_LEN) {
-            let h = u64::from_be_bytes(sha1(&b.key().as_bytes())[..8].try_into().unwrap());
+            let h = u64::from_be_bytes(sha1(&b.key().as_bytes())[..8].try_into().unwrap()); // audit:allow(unwrap): bench binary; aborts on impossible fixture state with the message as the diagnostic
             flat[(h % NODES as u64) as usize] += b.window.len() as u64;
         }
     }
@@ -93,7 +93,7 @@ fn main() {
             );
             let node = placement
                 .primary(&topo, g, &b.key().as_bytes())
-                .expect("group non-empty");
+                .expect("group non-empty"); // audit:allow(expect): bench binary; aborts on impossible fixture state with the message as the diagnostic
             two_tier[node.0 as usize] += b.window.len() as u64;
         }
     }

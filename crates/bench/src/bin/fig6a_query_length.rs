@@ -42,7 +42,7 @@ fn main() {
             ..Default::default()
         }
         .generate()
-        .expect("valid spec"),
+        .expect("valid spec"), // audit:allow(expect): bench binary; aborts on impossible fixture state with the message as the diagnostic
     );
     println!(
         "database: {} sequences / {} residues",
@@ -51,7 +51,7 @@ fn main() {
     );
 
     let cluster = MendelCluster::build(ClusterConfig::paper_testbed_protein(), db.clone())
-        .expect("valid config");
+        .expect("valid config"); // audit:allow(expect): bench binary; aborts on impossible fixture state with the message as the diagnostic
     println!(
         "Mendel: indexed {} blocks in {:?}",
         cluster.total_blocks(),
@@ -74,7 +74,7 @@ fn main() {
             seed: QUERY_SEED + len as u64,
         }
         .generate(&db)
-        .expect("long sequences exist");
+        .expect("long sequences exist"); // audit:allow(expect): bench binary; aborts on impossible fixture state with the message as the diagnostic
 
         // Table I's `k` exists "to reduce the amplification of the
         // subqueries"; the natural operator setting scales the stride
@@ -87,7 +87,7 @@ fn main() {
             .map(|q| {
                 cluster
                     .query(&q.query.residues, &params)
-                    .expect("valid query")
+                    .expect("valid query") // audit:allow(expect): bench binary; aborts on impossible fixture state with the message as the diagnostic
                     .turnaround()
             })
             .collect();
@@ -107,8 +107,8 @@ fn main() {
     }
 
     let mendel_growth =
-        mendel_series.last().unwrap().as_secs_f64() / mendel_series[0].as_secs_f64();
-    let blast_growth = blast_series.last().unwrap().as_secs_f64() / blast_series[0].as_secs_f64();
+        mendel_series.last().unwrap().as_secs_f64() / mendel_series[0].as_secs_f64(); // audit:allow(unwrap): bench binary; aborts on impossible fixture state with the message as the diagnostic
+    let blast_growth = blast_series.last().unwrap().as_secs_f64() / blast_series[0].as_secs_f64(); // audit:allow(unwrap): bench binary; aborts on impossible fixture state with the message as the diagnostic
     println!("\n500->3000 growth factor: Mendel {mendel_growth:.2}x vs BLAST {blast_growth:.2}x");
     println!(
         "paper shape: Mendel ~flat, BLAST grows -> {}",

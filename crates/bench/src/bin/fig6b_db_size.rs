@@ -46,14 +46,14 @@ fn main() {
             seed: 0x6B + size as u64,
         }
         .generate(&db)
-        .expect("long sequences exist");
+        .expect("long sequences exist"); // audit:allow(expect): bench binary; aborts on impossible fixture state with the message as the diagnostic
 
         let mendel_times: Vec<_> = queries
             .iter()
             .map(|q| {
                 cluster
                     .query(&q.query.residues, &params)
-                    .expect("valid")
+                    .expect("valid") // audit:allow(expect): bench binary; aborts on impossible fixture state with the message as the diagnostic
                     .turnaround()
             })
             .collect();
@@ -78,8 +78,8 @@ fn main() {
         blast_series.push(b);
     }
     let mendel_growth =
-        mendel_series.last().unwrap().as_secs_f64() / mendel_series[0].as_secs_f64();
-    let blast_growth = blast_series.last().unwrap().as_secs_f64() / blast_series[0].as_secs_f64();
+        mendel_series.last().unwrap().as_secs_f64() / mendel_series[0].as_secs_f64(); // audit:allow(unwrap): bench binary; aborts on impossible fixture state with the message as the diagnostic
+    let blast_growth = blast_series.last().unwrap().as_secs_f64() / blast_series[0].as_secs_f64(); // audit:allow(unwrap): bench binary; aborts on impossible fixture state with the message as the diagnostic
     println!(
         "\n16x database growth factor: Mendel {mendel_growth:.2}x vs BLAST {blast_growth:.2}x"
     );

@@ -48,7 +48,7 @@ fn main() {
             .map(|q| {
                 cluster
                     .query(&q.query.residues, &params)
-                    .expect("valid")
+                    .expect("valid") // audit:allow(expect): bench binary; aborts on impossible fixture state with the message as the diagnostic
                     .turnaround()
             })
             .collect();
@@ -60,7 +60,7 @@ fn main() {
         );
         series.push(m);
     }
-    let speedup = series[0].as_secs_f64() / series.last().unwrap().as_secs_f64();
+    let speedup = series[0].as_secs_f64() / series.last().unwrap().as_secs_f64(); // audit:allow(unwrap): bench binary; aborts on impossible fixture state with the message as the diagnostic
     println!("\n5 -> 50 nodes speedup: {speedup:.2}x");
     println!(
         "paper shape: turnaround decreases as nodes are added -> {}",

@@ -35,14 +35,14 @@ pub fn protein_db(residues: usize) -> Arc<SeqStore> {
             ..Default::default()
         }
         .generate()
-        .expect("spec is valid"),
+        .expect("spec is valid"), // audit:allow(expect): bench fixture; the hard-coded spec is valid by construction
     )
 }
 
 /// The paper's cluster geometry (50 nodes, 10 groups) over a database.
 pub fn paper_cluster(db: &Arc<SeqStore>) -> MendelCluster {
     MendelCluster::build(ClusterConfig::paper_testbed_protein(), db.clone())
-        .expect("testbed config is valid")
+        .expect("testbed config is valid") // audit:allow(expect): bench fixture; the paper testbed geometry is valid by construction
 }
 
 /// A cluster with an explicit geometry.
@@ -52,7 +52,7 @@ pub fn cluster_with(db: &Arc<SeqStore>, nodes: usize, groups: usize) -> MendelCl
         groups,
         ..ClusterConfig::paper_testbed_protein()
     };
-    MendelCluster::build(cfg, db.clone()).expect("geometry is valid")
+    MendelCluster::build(cfg, db.clone()).expect("geometry is valid") // audit:allow(expect): bench fixture; callers pass small positive geometries
 }
 
 /// An `s_aureus`-style query set: fragments of database sequences at the
@@ -70,7 +70,7 @@ pub fn query_set(
         seed: QUERY_SEED,
     }
     .generate(db)
-    .expect("database holds long enough sequences")
+    .expect("database holds long enough sequences") // audit:allow(expect): bench fixture; protein_db always holds 1400-residue members
 }
 
 /// Default Mendel query parameters used by the performance figures.
@@ -154,9 +154,10 @@ pub fn ms(d: Duration) -> String {
 // their only print path in the lib.
 #[allow(clippy::print_stdout)]
 pub fn figure_header(id: &str, caption: &str) {
+    println!("================================================================"); // audit:allow(println): shared stdout banner for the bench binaries
+    println!("{id}: {caption}"); // audit:allow(println): shared stdout banner for the bench binaries
     println!("================================================================");
-    println!("{id}: {caption}");
-    println!("================================================================");
+    // audit:allow(println): shared stdout banner for the bench binaries
 }
 
 #[cfg(test)]

@@ -56,7 +56,7 @@ impl WordIndex {
                 seq: SeqId(0),
                 offset: 0
             };
-            *starts.last().unwrap() as usize
+            starts.last().copied().unwrap_or(0) as usize
         ];
         for s in db.iter() {
             let id = s.id;

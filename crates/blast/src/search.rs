@@ -67,7 +67,7 @@ impl BlastParams {
     pub fn dna() -> Self {
         let matrix = ScoringMatrix::dna(2, -3);
         let karlin = solve_ungapped_background(&matrix)
-            .expect("+2/-3 has negative drift and positive scores");
+            .expect("+2/-3 has negative drift and positive scores"); // audit:allow(expect): +2/-3 has negative drift and positive max score, so the Karlin solver always converges
         BlastParams {
             spec: WordSpec::dna(),
             matrix,
@@ -180,7 +180,7 @@ impl Blast {
             let subject = &self
                 .db
                 .get(seq)
-                .expect("posting references live sequence")
+                .expect("posting references live sequence") // audit:allow(expect): index invariant; postings only reference sequences stored in the same db
                 .residues;
             let mut covered_to: i64 = -1; // rightmost query end already extended
             let mut last_hit_q: Option<usize> = None;
@@ -223,7 +223,7 @@ impl Blast {
             // Deterministic winner among equal-scoring HSPs regardless of
             // hash-map iteration order.
             segments.sort_unstable_by_key(|s| (s.qs, s.ss, std::cmp::Reverse(s.score)));
-            let subject = &self.db.get(seq).expect("live sequence").residues;
+            let subject = &self.db.get(seq).expect("live sequence").residues; // audit:allow(expect): index invariant; per_subject keys come from live postings
             let mut best: Option<BlastHit> = None;
             for seg in &segments {
                 let identity = percent_identity(

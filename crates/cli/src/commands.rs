@@ -199,22 +199,21 @@ pub fn cmd_query(args: &Args) -> Result<String, CliError> {
     let mut out = String::new();
     for q in &queries {
         let report = cluster.query(&q.residues, &params)?;
-        writeln!(
+        let _ = writeln!(
             out,
             "query {} ({} residues): {} hits, simulated turnaround {:?}",
             q.name,
             q.len(),
             report.hits.len(),
             report.turnaround()
-        )
-        .unwrap();
+        );
         for hit in report.hits.iter().take(top) {
             let name = cluster
                 .db()
                 .get(hit.subject)
                 .map(|s| s.name.clone())
                 .unwrap_or_else(|| hit.subject.to_string());
-            writeln!(
+            let _ = writeln!(
                 out,
                 "  {name:<20} score {:>6}  bits {:>8.1}  E {:>10.2e}  id {:>5.1}%  q[{}..{}] s[{}..{}]",
                 hit.score,
@@ -225,8 +224,7 @@ pub fn cmd_query(args: &Args) -> Result<String, CliError> {
                 hit.query_end,
                 hit.subject_start,
                 hit.subject_end
-            )
-            .unwrap();
+            );
         }
     }
     Ok(out)
@@ -249,28 +247,26 @@ pub fn cmd_blast(args: &Args) -> Result<String, CliError> {
     let mut out = String::new();
     for q in &queries {
         let hits = blast.search(&q.residues);
-        writeln!(
+        let _ = writeln!(
             out,
             "query {} ({} residues): {} hits",
             q.name,
             q.len(),
             hits.len()
-        )
-        .unwrap();
+        );
         for hit in hits.iter().take(top) {
             let name = db
                 .get(hit.subject)
                 .map(|s| s.name.clone())
                 .unwrap_or_default();
-            writeln!(
+            let _ = writeln!(
                 out,
                 "  {name:<20} score {:>6}  bits {:>8.1}  E {:>10.2e}  id {:>5.1}%",
                 hit.score,
                 hit.bits,
                 hit.evalue,
                 hit.identity * 100.0
-            )
-            .unwrap();
+            );
         }
     }
     Ok(out)

@@ -190,7 +190,7 @@ impl MendelCluster {
         match alphabet {
             Alphabet::Protein => KarlinParams::BLOSUM62_GAPPED_11_1,
             Alphabet::Dna => solve_ungapped_background(&ScoringMatrix::dna(2, -3))
-                .expect("+2/-3 is a valid scoring system"),
+                .expect("+2/-3 is a valid scoring system"), // audit:allow(expect): +2/-3 has negative drift and positive max score, so the Karlin solver always converges
         }
     }
 
@@ -519,6 +519,7 @@ impl MendelCluster {
         };
         self.record_stage_timings(&timings);
 
+        // audit:ordering(Relaxed): advisory tracing flag; a racing toggle only decides whether this query carries a trace, no shared data hangs off the value
         let (trace, critical_path) = if self.tracing.load(Ordering::Relaxed) {
             // Assemble the causal trace serially from the simulated
             // timeline (base instant 0). Minting ids after the rayon
@@ -695,12 +696,12 @@ impl MendelCluster {
     /// by default; when on, each query assembles its simulated timeline
     /// into the registry's per-node flight recorders.
     pub fn set_tracing(&self, on: bool) {
-        self.tracing.store(on, Ordering::Relaxed);
+        self.tracing.store(on, Ordering::Relaxed); // audit:ordering(Relaxed): advisory flag store; publishes no data, readers tolerate either value
     }
 
     /// Whether queries currently record causal traces.
     pub fn tracing_enabled(&self) -> bool {
-        self.tracing.load(Ordering::Relaxed)
+        self.tracing.load(Ordering::Relaxed) // audit:ordering(Relaxed): advisory flag read for introspection
     }
 
     /// Every span currently held in the per-node flight recorders,
@@ -985,7 +986,7 @@ impl MendelCluster {
             }
         }
         self.repair_moves
-            .fetch_add(report.copies_added, Ordering::Relaxed);
+            .fetch_add(report.copies_added, Ordering::Relaxed); // audit:ordering(Relaxed): statistics counter; RMW atomicity is all that is needed
         report
     }
 
@@ -1105,7 +1106,7 @@ impl MendelCluster {
                 .map(|n| (n, nodes[n.0 as usize].read().stored_bytes()))
                 .collect(),
         )
-        .with_blocks_moved(self.repair_moves.load(Ordering::Relaxed))
+        .with_blocks_moved(self.repair_moves.load(Ordering::Relaxed)) // audit:ordering(Relaxed): statistics read for a report snapshot
     }
 
     /// Total blocks stored cluster-wide (replicas counted).
@@ -1171,7 +1172,7 @@ impl MendelCluster {
             (
                 ids.clone(),
                 ids.into_iter()
-                    .map(|id| arc.get(id).unwrap().clone())
+                    .map(|id| arc.get(id).unwrap().clone()) // audit:allow(unwrap): insert_batch just added these ids to the arc being read
                     .collect::<Vec<_>>(),
             )
         };

@@ -326,7 +326,7 @@ fn node_loop(
                 };
                 // I am this group's entry point: replicate to the other
                 // members, evaluate my own share, gather, merge, reply.
-                let g = topo.node_group(me).expect("serving node is a member");
+                let g = topo.node_group(me).expect("serving node is a member"); // audit:allow(expect): topology invariant; every serving node belongs to exactly one group
                 let peers: Vec<NodeId> = topo
                     .group_members(g)
                     .iter()

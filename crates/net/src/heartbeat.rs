@@ -63,7 +63,7 @@ impl HeartbeatMonitor {
 
     /// Record a beat from `from` now.
     pub fn observe(&mut self, from: NodeAddr) {
-        self.observe_at(from, Instant::now());
+        self.observe_at(from, Instant::now()); // audit:allow(instant-now): failure detection bounds real OS-level waits; the virtual clock cannot wake a blocked receiver
     }
 
     /// Drain an endpoint's pending heartbeats into the monitor. Returns
@@ -107,12 +107,12 @@ impl HeartbeatMonitor {
 
     /// Current suspects.
     pub fn suspects(&self) -> Vec<NodeAddr> {
-        self.suspects_at(Instant::now())
+        self.suspects_at(Instant::now()) // audit:allow(instant-now): failure detection bounds real OS-level waits; the virtual clock cannot wake a blocked receiver
     }
 
     /// Nodes currently considered alive, ascending.
     pub fn alive(&self) -> Vec<NodeAddr> {
-        let now = Instant::now();
+        let now = Instant::now(); // audit:allow(instant-now): failure detection bounds real OS-level waits; the virtual clock cannot wake a blocked receiver
         let mut out: Vec<NodeAddr> = self
             .last_seen
             .iter()
@@ -133,6 +133,7 @@ pub fn beat_until_stopped(
     stop: &Arc<AtomicBool>,
 ) -> usize {
     let mut sent = 0;
+    // audit:ordering(Relaxed): best-effort stop flag; the loop body only touches channel state, which has its own happens-before
     while !stop.load(Ordering::Relaxed) {
         endpoint.send(monitor, HEARTBEAT_CORRELATION, Bytes::new());
         sent += 1;

@@ -139,17 +139,17 @@ pub struct NetworkStats {
 impl NetworkStats {
     /// Total envelopes sent since creation.
     pub fn messages(&self) -> u64 {
-        self.messages.load(Ordering::Relaxed)
+        self.messages.load(Ordering::Relaxed) // audit:ordering(Relaxed): traffic statistics read; racy-by-design
     }
 
     /// Total payload bytes sent since creation.
     pub fn bytes(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
+        self.bytes.load(Ordering::Relaxed) // audit:ordering(Relaxed): traffic statistics read; racy-by-design
     }
 
     fn record(&self, bytes: usize) {
-        self.messages.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed); // audit:ordering(Relaxed): traffic statistics counter; RMW atomicity suffices
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed); // audit:ordering(Relaxed): traffic statistics counter; RMW atomicity suffices
     }
 }
 
@@ -331,6 +331,9 @@ impl Network {
                 if let Some(obs) = self.shared.obs.read().as_ref() {
                     obs.record_delivery(env.from, env.to, env.payload.len());
                 }
+                // The senders read guard only pins the channel vec;
+                // join() takes the write lock without holding others.
+                // audit:allow(guard-across-io): crossbeam unbounded send never blocks
                 tx.send(env).is_ok()
             }
             None => false,

@@ -61,12 +61,12 @@ impl VirtualClock {
     /// Advance the clock by `d` (saturating at `u64::MAX` nanoseconds).
     pub fn advance(&self, d: Duration) {
         let add = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
-        let mut cur = self.nanos.load(Ordering::Relaxed);
+        let mut cur = self.nanos.load(Ordering::Relaxed); // audit:ordering(Relaxed): CAS loop seed read; any stale value is corrected by the retry
         loop {
             let next = cur.saturating_add(add);
             match self
                 .nanos
-                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed) // audit:ordering(Relaxed): monotone CAS on a single cell; RMW atomicity suffices, saturating_add keeps it monotone
             {
                 Ok(_) => return,
                 Err(seen) => cur = seen,
@@ -77,7 +77,7 @@ impl VirtualClock {
 
 impl Clock for VirtualClock {
     fn now(&self) -> Duration {
-        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed)) // audit:ordering(Relaxed): virtual time read; single-cell coherence already forbids a thread seeing time go backwards
     }
 }
 

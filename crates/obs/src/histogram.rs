@@ -112,13 +112,13 @@ impl Histogram {
             return;
         }
         let idx = self.bounds.partition_point(|&b| b < v);
-        self.cells[idx].fetch_add(1, Ordering::Relaxed);
-        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        self.cells[idx].fetch_add(1, Ordering::Relaxed); // audit:ordering(Relaxed): per-bucket event counter; RMW atomicity suffices, snapshots are racy by design
+        let mut cur = self.sum_bits.load(Ordering::Relaxed); // audit:ordering(Relaxed): CAS loop seed read; any stale value is corrected by the retry
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
             match self
                 .sum_bits
-                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed) // audit:ordering(Relaxed): f64-bits accumulator CAS; only RMW atomicity of this cell is required, no other data is published under it
             {
                 Ok(_) => return,
                 Err(seen) => cur = seen,
@@ -133,12 +133,12 @@ impl Histogram {
 
     /// Total number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).sum() // audit:ordering(Relaxed): count snapshot read; racy-by-design statistics
     }
 
     /// Sum of recorded samples.
     pub fn sum(&self) -> f64 {
-        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed)) // audit:ordering(Relaxed): sum snapshot read; racy-by-design statistics
     }
 
     /// The `(lo, hi]` bracket of the bucket holding the `q`-quantile
@@ -149,7 +149,7 @@ impl Histogram {
         let counts: Vec<u64> = self
             .cells
             .iter()
-            .map(|c| c.load(Ordering::Relaxed))
+            .map(|c| c.load(Ordering::Relaxed)) // audit:ordering(Relaxed): bucket snapshot read; racy-by-design statistics
             .collect();
         let n: u64 = counts.iter().sum();
         if n == 0 {
@@ -197,15 +197,15 @@ impl Histogram {
             return Err(HistogramError::BoundaryMismatch);
         }
         for (mine, theirs) in self.cells.iter().zip(&other.cells) {
-            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed); // audit:ordering(Relaxed): cell-by-cell merge of statistics counters; racy-by-design
         }
         let add = other.sum();
-        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed); // audit:ordering(Relaxed): CAS loop seed read; any stale value is corrected by the retry
         loop {
             let next = (f64::from_bits(cur) + add).to_bits();
             match self
                 .sum_bits
-                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed) // audit:ordering(Relaxed): f64-bits accumulator CAS; only RMW atomicity of this cell is required
             {
                 Ok(_) => return Ok(()),
                 Err(seen) => cur = seen,
@@ -220,7 +220,7 @@ impl Histogram {
             counts: self
                 .cells
                 .iter()
-                .map(|c| c.load(Ordering::Relaxed))
+                .map(|c| c.load(Ordering::Relaxed)) // audit:ordering(Relaxed): snapshot read; racy-by-design statistics
                 .collect(),
             sum: self.sum(),
         }

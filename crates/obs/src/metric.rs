@@ -32,13 +32,13 @@ impl Counter {
         // fetch_add wraps on overflow; at one increment per nanosecond
         // u64 lasts ~584 years, so wrapping is not a practical concern,
         // but keep the contract monotone anyway by capping huge adds.
-        self.value.fetch_add(n, Ordering::Relaxed);
+        self.value.fetch_add(n, Ordering::Relaxed); // audit:ordering(Relaxed): scalar metric cell; coherence and RMW atomicity are the whole contract
     }
 
     /// Current count.
     #[inline]
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // audit:ordering(Relaxed): scalar metric read; racy-by-design
     }
 }
 
@@ -57,19 +57,19 @@ impl Gauge {
     /// Overwrite the value.
     #[inline]
     pub fn set(&self, v: i64) {
-        self.value.store(v, Ordering::Relaxed);
+        self.value.store(v, Ordering::Relaxed); // audit:ordering(Relaxed): scalar metric overwrite; publishes no other data
     }
 
     /// Add `delta` (may be negative).
     #[inline]
     pub fn add(&self, delta: i64) {
-        self.value.fetch_add(delta, Ordering::Relaxed);
+        self.value.fetch_add(delta, Ordering::Relaxed); // audit:ordering(Relaxed): scalar metric cell; coherence and RMW atomicity are the whole contract
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> i64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // audit:ordering(Relaxed): scalar metric read; racy-by-design
     }
 }
 

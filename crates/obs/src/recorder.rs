@@ -35,7 +35,7 @@ impl FlightRecorder {
         let mut ring = self.inner.lock();
         if ring.len() == self.capacity {
             ring.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.dropped.fetch_add(1, Ordering::Relaxed); // audit:ordering(Relaxed): incremented under the ring mutex, which orders it with evictions; the racy read side needs only atomicity
         }
         ring.push_back(record);
     }
@@ -62,7 +62,7 @@ impl FlightRecorder {
 
     /// Records evicted so far.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.dropped.load(Ordering::Relaxed) // audit:ordering(Relaxed): statistics read; may trail a concurrent eviction by design
     }
 
     /// Discard all retained records (eviction count is kept).

@@ -124,7 +124,7 @@ impl Tracer {
     /// span ids draw from the same sequence, so a fixed call order yields
     /// a fixed id assignment.
     pub fn next_id(&self) -> u64 {
-        self.ids.fetch_add(1, Ordering::Relaxed)
+        self.ids.fetch_add(1, Ordering::Relaxed) // audit:ordering(Relaxed): unique id generation; fetch_add atomicity alone guarantees distinct ids
     }
 
     /// Start a new trace: mints a fresh [`TraceId`] and opens its root

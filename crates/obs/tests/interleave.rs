@@ -1,0 +1,153 @@
+//! Deterministic two-thread interleaving stress tests for the
+//! lock-free [`Histogram`] and the mutex-plus-atomic
+//! [`FlightRecorder`].
+//!
+//! Two phases per structure:
+//!
+//! 1. **Lockstep**: the threads alternate strictly (an atomic turn
+//!    variable with a spin/yield wait), so the exact interleaving —
+//!    and therefore the exact final state, including eviction order —
+//!    is known and asserted.
+//! 2. **Free-running**: no coordination, assert the aggregate
+//!    invariants that must hold under any schedule.
+//!
+//! These are the tests `ci.sh` runs under ThreadSanitizer and Miri
+//! when the toolchain has them: the strict alternation drives both
+//! orders of every pair of racing operations through the instrumented
+//! atomics, which is exactly what the sanitizers want to see.
+
+use mendel_obs::trace::{SpanId, SpanRecord, TraceId};
+use mendel_obs::{FlightRecorder, Histogram};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run `op(step)` for `steps` steps on two threads in strict
+/// alternation: thread 0 performs even steps, thread 1 odd steps, and
+/// step `n + 1` never starts before step `n` finished.
+fn lockstep(steps: usize, op: impl Fn(usize) + Send + Sync) {
+    let turn = AtomicUsize::new(0);
+    let op = &op;
+    let turn = &turn;
+    std::thread::scope(|scope| {
+        for who in 0..2usize {
+            scope.spawn(move || loop {
+                let now = turn.load(Ordering::Acquire);
+                if now >= steps {
+                    break;
+                }
+                if now % 2 != who {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                    continue;
+                }
+                op(now);
+                turn.store(now + 1, Ordering::Release);
+            });
+        }
+    });
+}
+
+fn record(n: u64) -> SpanRecord {
+    SpanRecord {
+        trace: TraceId(7),
+        span: SpanId(n),
+        parent: None,
+        node: (n % 2) as u32,
+        name: format!("step{n}"),
+        start: Duration::from_micros(n),
+        end: Duration::from_micros(n + 1),
+        tags: Vec::new(),
+    }
+}
+
+#[test]
+fn histogram_lockstep_interleaving_is_exact() {
+    // Boundaries at 10 and 20: three buckets.
+    let h = Histogram::with_bounds(vec![10.0, 20.0]).expect("valid bounds");
+    const STEPS: usize = 64;
+    // Even steps (thread 0) record 5.0, odd steps (thread 1) record
+    // 15.0 — every pair of adjacent steps races a fetch_add on a
+    // different cell and a CAS on the shared sum.
+    lockstep(STEPS, |step| {
+        h.record(if step % 2 == 0 { 5.0 } else { 15.0 });
+    });
+    assert_eq!(h.count(), STEPS as u64);
+    let snap = h.snapshot();
+    assert_eq!(snap.counts, vec![32, 32, 0]);
+    let expected_sum = 32.0 * 5.0 + 32.0 * 15.0;
+    assert!((h.sum() - expected_sum).abs() < 1e-9, "sum {}", h.sum());
+}
+
+#[test]
+fn histogram_free_running_totals_hold() {
+    let h = Arc::new(Histogram::with_bounds(vec![1.0, 2.0, 4.0]).expect("valid bounds"));
+    const PER_THREAD: usize = 10_000;
+    let handles: Vec<_> = (0..2)
+        .map(|who| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record((who * PER_THREAD + i) as f64 / PER_THREAD as f64);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("recorder thread");
+    }
+    assert_eq!(h.count(), 2 * PER_THREAD as u64);
+    // Sum of (k / N) for k in 0..2N is (2N - 1).
+    let expected = (2 * PER_THREAD - 1) as f64;
+    assert!((h.sum() - expected).abs() < 1e-6, "sum {}", h.sum());
+}
+
+#[test]
+fn flight_recorder_lockstep_eviction_order_is_exact() {
+    let r = FlightRecorder::new(4);
+    const STEPS: usize = 20;
+    lockstep(STEPS, |step| {
+        r.push(record(step as u64));
+    });
+    // Strict alternation makes the push order 0, 1, …, 19 regardless
+    // of which thread performed each push.
+    assert_eq!(r.len(), 4);
+    assert_eq!(r.dropped(), (STEPS - 4) as u64);
+    let retained: Vec<u64> = r.records().into_iter().map(|s| s.span.0).collect();
+    assert_eq!(retained, vec![16, 17, 18, 19]);
+}
+
+#[test]
+fn flight_recorder_free_running_invariants_hold() {
+    let r = Arc::new(FlightRecorder::new(8));
+    const PER_THREAD: u64 = 5_000;
+    let handles: Vec<_> = (0..2u64)
+        .map(|who| {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    r.push(record(who * PER_THREAD + i));
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("pusher thread");
+    }
+    // Every push either remains in the ring or was counted as dropped.
+    assert_eq!(r.len(), 8);
+    assert_eq!(r.dropped() + r.len() as u64, 2 * PER_THREAD);
+    // Per-thread FIFO survives interleaving: each thread's retained
+    // spans appear in its own push order.
+    let retained: Vec<u64> = r.records().into_iter().map(|s| s.span.0).collect();
+    for who in 0..2u64 {
+        let own: Vec<u64> = retained
+            .iter()
+            .copied()
+            .filter(|s| s / PER_THREAD == who)
+            .collect();
+        let mut sorted = own.clone();
+        sorted.sort_unstable();
+        assert_eq!(own, sorted, "thread {who} order violated: {retained:?}");
+    }
+}

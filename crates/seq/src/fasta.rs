@@ -117,7 +117,7 @@ pub fn write_fasta<'a>(seqs: impl IntoIterator<Item = &'a Sequence>, width: usiz
         let ascii = s.to_ascii();
         let bytes = ascii.as_bytes();
         for chunk in bytes.chunks(width) {
-            out.push_str(std::str::from_utf8(chunk).expect("ASCII residues"));
+            out.push_str(&String::from_utf8_lossy(chunk));
             out.push('\n');
         }
     }

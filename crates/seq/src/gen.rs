@@ -38,7 +38,7 @@ impl ResidueSampler {
     /// Sampler using the alphabet's background frequencies.
     pub fn background(alphabet: Alphabet) -> Self {
         Self::with_frequencies(alphabet, &background_frequencies(alphabet))
-            .expect("background frequencies are valid")
+            .expect("background frequencies are valid") // audit:allow(expect): embedded background tables are positive and match the alphabet size
     }
 
     /// Sampler with caller-supplied canonical-residue frequencies.

@@ -55,7 +55,7 @@ impl ScoringMatrix {
     /// The BLOSUM62 matrix (the paper's and BLAST's default for proteins).
     pub fn blosum62() -> Self {
         Self::from_ncbi_text("BLOSUM62", Alphabet::Protein, BLOSUM62_TEXT)
-            .expect("embedded BLOSUM62 must parse")
+            .expect("embedded BLOSUM62 must parse") // audit:allow(expect): embedded constant text; failing to parse it is a build defect worth a panic
     }
 
     /// A DNA matrix with the given match reward and mismatch penalty.
@@ -190,7 +190,7 @@ impl ScoringMatrix {
         (0..self.alphabet.canonical_size() as u8)
             .map(|c| self.score(c, c))
             .max()
-            .expect("alphabet is non-empty")
+            .unwrap_or(0)
     }
 
     /// Score an ungapped pairing of two equal-length encoded windows.

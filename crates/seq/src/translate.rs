@@ -58,9 +58,18 @@ pub fn translate_codon(b0: u8, b1: u8, b2: u8) -> u8 {
         return PROTEIN_X;
     }
     let ascii = CODON_TABLE[(b0 as usize) * 16 + (b1 as usize) * 4 + b2 as usize];
-    Alphabet::Protein
-        .encode(ascii)
-        .expect("codon table holds valid residues")
+    // The table holds only canonical amino-acid letters, so the fallback
+    // never fires; it keeps the function total without a panic path.
+    Alphabet::Protein.encode(ascii).unwrap_or(PROTEIN_X)
+}
+
+/// Translation body once the frame is known to be in `0..=2`.
+fn translate_frame(dna: &[u8], frame: usize) -> Vec<u8> {
+    dna.get(frame..)
+        .unwrap_or(&[])
+        .chunks_exact(3)
+        .map(|c| translate_codon(c[0], c[1], c[2]))
+        .collect()
 }
 
 /// Translate an encoded DNA sequence in reading frame `frame` (0, 1, 2).
@@ -69,12 +78,7 @@ pub fn translate(dna: &[u8], frame: usize) -> Result<Vec<u8>, SeqError> {
     if frame > 2 {
         return Err(SeqError::Config(format!("frame {frame} not in 0..=2")));
     }
-    Ok(dna
-        .get(frame..)
-        .unwrap_or(&[])
-        .chunks_exact(3)
-        .map(|c| translate_codon(c[0], c[1], c[2]))
-        .collect())
+    Ok(translate_frame(dna, frame))
 }
 
 /// All six reading frames: `[+0, +1, +2, -0, -1, -2]` (the minus frames
@@ -82,12 +86,12 @@ pub fn translate(dna: &[u8], frame: usize) -> Result<Vec<u8>, SeqError> {
 pub fn six_frames(dna: &[u8]) -> [Vec<u8>; 6] {
     let rc = reverse_complement(dna);
     [
-        translate(dna, 0).expect("frame 0 valid"),
-        translate(dna, 1).expect("frame 1 valid"),
-        translate(dna, 2).expect("frame 2 valid"),
-        translate(&rc, 0).expect("frame 0 valid"),
-        translate(&rc, 1).expect("frame 1 valid"),
-        translate(&rc, 2).expect("frame 2 valid"),
+        translate_frame(dna, 0),
+        translate_frame(dna, 1),
+        translate_frame(dna, 2),
+        translate_frame(&rc, 0),
+        translate_frame(&rc, 1),
+        translate_frame(&rc, 2),
     ]
 }
 
