@@ -128,6 +128,18 @@ if [ "$MODE" != "quick" ]; then
         cargo test --test chaos --features strict-invariants -q
 fi
 
+# 13. Durability gate (DESIGN.md §14): the store-level crash-point
+#    matrix (kill after every VFS op, recover, committed-prefix check)
+#    plus the cluster-level kill-and-recover suite, then the smoke
+#    bench re-runs the matrix across fsync policies and emits
+#    bench_results/durability.json.
+step "crash-point matrix" cargo test -p mendel-store --test crash_matrix -q
+if [ "$MODE" != "quick" ]; then
+    step "durability suite" cargo test --test durability -q
+    step "durability_bench --smoke" \
+        cargo run --release -q -p mendel-bench --bin durability_bench -- --smoke
+fi
+
 echo
 if [ "$FAILED" -ne 0 ]; then
     echo "CI gate FAILED"

@@ -45,7 +45,7 @@ const GUARD_METHODS: [&str; 3] = ["lock", "read", "write"];
 /// Calls that block or perform I/O; making one while a guard is live is
 /// the `guard-across-io` smell (waivable via
 /// `audit:allow(guard-across-io): <reason>`).
-const IO_CALLS: [&str; 12] = [
+const IO_CALLS: [&str; 17] = [
     "send",
     "send_traced",
     "recv",
@@ -58,6 +58,13 @@ const IO_CALLS: [&str; 12] = [
     "scatter_gather_partial",
     "serve_one",
     "sleep",
+    // File I/O (the mendel-store disk path): an fsync can stall for
+    // seconds on a busy disk, and even buffered writes/reads block.
+    "sync_all",
+    "sync_data",
+    "write_all",
+    "create",
+    "read_to_end",
 ];
 
 /// One lock acquisition site.

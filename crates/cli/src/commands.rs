@@ -4,7 +4,10 @@
 
 use crate::args::{ArgError, Args};
 use bytes::Bytes;
-use mendel::{snapshot, ClusterConfig, MendelCluster, MendelError, MetricKind, QueryParams};
+use mendel::{
+    snapshot, store, ClusterConfig, MendelCluster, MendelError, MetricKind, QueryParams,
+    StorageBackend,
+};
 use mendel_net::LatencyModel;
 use mendel_seq::gen::{MutationModel, NrLikeSpec};
 use mendel_seq::{parse_fasta_sequences, write_fasta, Alphabet, SeqError, SeqStore};
@@ -321,6 +324,131 @@ pub fn cmd_metrics(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// `mendel durability` — kill-and-recover chaos demo for the durable
+/// storage backend (DESIGN.md §14).
+///
+/// Builds a cluster whose nodes persist every placed block through the
+/// `mendel-store` WAL engine on an in-memory fault-injectable disk,
+/// records baseline answers for a handful of self-queries, then kills
+/// and recovers **every node in turn** — a kill drops the node's RAM
+/// and store handle; a recover replays its WAL and verifies its segment
+/// checksums. The command fails loudly if any post-recovery answer
+/// differs from the baseline; otherwise it reports the engine counters
+/// (`mendel.store.*`) and recovery timings.
+pub fn cmd_durability(args: &Args) -> Result<String, CliError> {
+    let alphabet = alphabet_of(args);
+    let spec = NrLikeSpec {
+        alphabet,
+        families: args.get_parsed("families", 24, "integer")?,
+        members_per_family: args.get_parsed("members", 2, "integer")?,
+        length_range: (120, 260),
+        seed: args.get_parsed("seed", 0x4d45_4e44, "integer")?,
+        ..Default::default()
+    };
+    let db = Arc::new(spec.generate()?);
+    let fsync = match args.get("fsync").unwrap_or("always") {
+        "always" => store::FsyncPolicy::Always,
+        "group" => store::FsyncPolicy::EveryN(8),
+        "flush" => store::FsyncPolicy::OnFlush,
+        other => {
+            return Err(CliError::Args(ArgError::BadValue {
+                key: "fsync".into(),
+                value: other.into(),
+                expected: "always|group|flush",
+            }))
+        }
+    };
+    let base = if alphabet == Alphabet::Dna {
+        ClusterConfig::small_dna()
+    } else {
+        ClusterConfig::small_protein()
+    };
+    let config = ClusterConfig {
+        nodes: args.get_parsed("nodes", base.nodes, "integer")?,
+        groups: args.get_parsed("groups", base.groups, "integer")?,
+        storage: StorageBackend::Durable(store::StoreOptions {
+            fsync,
+            memtable_max_entries: args.get_parsed("memtable", 1024, "integer")?,
+        }),
+        ..base
+    };
+    let cluster = MendelCluster::build(config, db.clone())?;
+    let params = if alphabet == Alphabet::Dna {
+        QueryParams::dna()
+    } else {
+        QueryParams::protein()
+    };
+    let queries: Vec<Vec<u8>> = (0..db.len())
+        .step_by((db.len() / 5).max(1))
+        .filter_map(|i| db.get(mendel_seq::SeqId(i as u32)))
+        .map(|s| s.residues.clone())
+        .collect();
+    let baseline: Vec<_> = queries
+        .iter()
+        .map(|q| cluster.query(q, &params).map(|r| r.hits))
+        .collect::<Result<_, _>>()?;
+
+    let topo = cluster.topology();
+    let nodes: Vec<_> = topo.nodes().collect();
+    for &n in &nodes {
+        cluster.fail_node(n)?;
+        cluster.recover_node(n)?;
+    }
+    for (q, want) in queries.iter().zip(&baseline) {
+        let got = cluster.query(q, &params)?.hits;
+        if &got != want {
+            return Err(CliError::Mendel(MendelError::Store(
+                "post-recovery answers diverged from the baseline".into(),
+            )));
+        }
+    }
+
+    let snap = cluster.metrics_snapshot();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "durable backend: {} nodes / {} groups, fsync {:?}, {} sequences / {} residues",
+        nodes.len(),
+        cluster.config().groups,
+        fsync,
+        db.len(),
+        db.total_residues(),
+    );
+    let _ = writeln!(
+        out,
+        "chaos: killed and recovered {} nodes; {} self-queries bit-identical",
+        nodes.len(),
+        queries.len(),
+    );
+    for c in [
+        "wal_appends",
+        "wal_fsyncs",
+        "replayed_records",
+        "segment_flushes",
+        "segment_reads",
+        "bloom_negatives",
+        "dedup_hits",
+        "recoveries",
+    ] {
+        let _ = writeln!(
+            out,
+            "  mendel.store.{c:<18} {}",
+            snap.counter(&format!("mendel.store.{c}"))
+        );
+    }
+    if let Some(h) = snap.histogram("mendel.store.recovery.seconds") {
+        if let Some(mean) = h.mean() {
+            let _ = writeln!(
+                out,
+                "  recovery time          mean {:.2} ms over {} recoveries",
+                mean * 1e3,
+                h.count(),
+            );
+        }
+    }
+    Ok(out)
+}
+
 /// `mendel trace dump` — run queries with causal tracing on and dump
 /// the per-node flight recorders (DESIGN.md §12).
 ///
@@ -395,6 +523,7 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         "blast" => cmd_blast(&args),
         "info" => cmd_info(&args),
         "metrics" => cmd_metrics(&args),
+        "durability" => cmd_durability(&args),
         "trace-dump" => cmd_trace_dump(&args),
         "trace" => Err(CliError::UnknownCommand(
             "trace (did you mean `mendel trace dump`?)".into(),
@@ -570,6 +699,19 @@ mod tests {
         std::fs::write(&qf, first).unwrap();
         let out = run(&toks(&format!("blast --db {fasta} --query {qf}"))).unwrap();
         assert!(out.contains("hits"), "{out}");
+    }
+
+    #[test]
+    fn durability_command_reports_clean_chaos_run() {
+        let out = run(&toks(
+            "durability --families 8 --members 2 --nodes 4 --groups 2 --fsync group --seed 11",
+        ))
+        .unwrap();
+        assert!(out.contains("killed and recovered 4 nodes"), "{out}");
+        assert!(out.contains("bit-identical"), "{out}");
+        assert!(out.contains("mendel.store.wal_appends"), "{out}");
+        let err = run(&toks("durability --fsync sometimes")).unwrap_err();
+        assert!(err.to_string().contains("always|group|flush"), "{err}");
     }
 
     #[test]

@@ -36,6 +36,8 @@ USAGE:
   mendel info     --index <snapshot> --db <fasta>
   mendel metrics  --index <snapshot> --db <fasta> [--query <fasta>]
                   [--format prometheus|json]
+  mendel durability [--nodes N] [--groups N] [--fsync always|group|flush]
+                  [--memtable N] [--families N] [--members N] [--seed N] [--dna]
   mendel trace dump --index <snapshot> --db <fasta> --query <fasta>
                   [--format chrome|tree] [--out <path>]
   mendel help

@@ -3,7 +3,7 @@
 //! fault tolerance and elasticity (§VII-B extensions).
 
 use crate::block::make_blocks;
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, StorageBackend};
 use crate::error::MendelError;
 use crate::metric::BlockMetric;
 use crate::node::{DbCell, StorageNode};
@@ -23,9 +23,10 @@ use mendel_obs::{
     Clock, MetricsSnapshot, MonotonicClock, Registry, SpanId, SpanRecord, TraceCollector, TraceId,
     TraceTree,
 };
-use mendel_seq::{Alphabet, ScoringMatrix, SeqStore};
+use mendel_seq::{Alphabet, ScoringMatrix, SeqId, SeqStore, WindowView};
+use mendel_store::{DurableStore, MemVfs, StoreMetrics, StoreOptions, Vfs};
 use mendel_vptree::{GroupAssignment, SearchMetrics, VpPrefixTree};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt::Write as _;
@@ -78,6 +79,23 @@ pub struct RepairReport {
     pub unreachable: usize,
 }
 
+/// On-VFS root directory of one node's durable store.
+fn store_root(node: usize) -> String {
+    format!("node-{node}")
+}
+
+/// Durable-backend state (ROADMAP item 2): one `mendel-store` engine per
+/// node, each rooted at `node-<i>/` on a shared injectable [`Vfs`]. A
+/// `None` cell means the node's process is down — its RAM (and store
+/// handle) are gone and only the bytes on disk survive until
+/// [`MendelCluster::recover_node`] replays them.
+struct NodeStores {
+    vfs: Arc<dyn Vfs>,
+    opts: StoreOptions,
+    metrics: StoreMetrics,
+    stores: RwLock<Vec<Arc<Mutex<Option<DurableStore>>>>>,
+}
+
 /// A running Mendel cluster over an indexed reference database.
 pub struct MendelCluster {
     config: ClusterConfig,
@@ -104,6 +122,8 @@ pub struct MendelCluster {
     db: DbCell,
     karlin: KarlinParams,
     index_elapsed: Duration,
+    /// Durable storage backend; `None` in memory mode.
+    storage: Option<NodeStores>,
 }
 
 impl MendelCluster {
@@ -123,6 +143,20 @@ impl MendelCluster {
         config: ClusterConfig,
         db: Arc<SeqStore>,
         clock: Arc<dyn Clock>,
+    ) -> Result<Self, MendelError> {
+        Self::build_with_storage(config, db, clock, None)
+    }
+
+    /// [`Self::build_with_clock`] with an injectable [`Vfs`] for the
+    /// durable backend. `None` defaults to an in-memory VFS without
+    /// injected faults ([`MemVfs::plain`]); tests inject a faulty or
+    /// crashing VFS here, deployments a [`mendel_store::RealVfs`]. The
+    /// VFS is ignored in memory mode.
+    pub fn build_with_storage(
+        config: ClusterConfig,
+        db: Arc<SeqStore>,
+        clock: Arc<dyn Clock>,
+        vfs: Option<Arc<dyn Vfs>>,
     ) -> Result<Self, MendelError> {
         config.validate()?;
         let obs = Registry::with_clock(clock);
@@ -163,6 +197,7 @@ impl MendelCluster {
 
         let karlin = Self::default_karlin(config.alphabet);
         let groups = config.groups;
+        let storage = Self::init_storage(&config, &obs, vfs)?;
         let cluster = MendelCluster {
             config,
             topology: RwLock::new(topology),
@@ -178,12 +213,39 @@ impl MendelCluster {
             db,
             karlin,
             index_elapsed: Duration::ZERO,
+            storage,
         };
         cluster.index_all()?;
         Ok(MendelCluster {
             index_elapsed: clock.now().saturating_sub(started),
             ..cluster
         })
+    }
+
+    /// Open one durable store per node when the config asks for the
+    /// durable backend; `Ok(None)` in memory mode.
+    fn init_storage(
+        config: &ClusterConfig,
+        obs: &Registry,
+        vfs: Option<Arc<dyn Vfs>>,
+    ) -> Result<Option<NodeStores>, MendelError> {
+        let StorageBackend::Durable(opts) = config.storage else {
+            return Ok(None);
+        };
+        let vfs: Arc<dyn Vfs> = vfs.unwrap_or_else(|| Arc::new(MemVfs::plain(config.seed)));
+        let metrics = StoreMetrics::registered(obs, "mendel.store");
+        let mut stores = Vec::with_capacity(config.nodes);
+        for i in 0..config.nodes {
+            let (store, _report) =
+                DurableStore::open(vfs.clone(), &store_root(i), opts, metrics.clone())?;
+            stores.push(Arc::new(Mutex::new(Some(store))));
+        }
+        Ok(Some(NodeStores {
+            vfs,
+            opts,
+            metrics,
+            stores: RwLock::new(stores),
+        }))
     }
 
     fn default_karlin(alphabet: Alphabet) -> KarlinParams {
@@ -254,11 +316,52 @@ impl MendelCluster {
         drop(topo);
 
         let nodes = self.nodes.read();
-        batches.into_par_iter().enumerate().for_each(|(i, batch)| {
-            if !batch.is_empty() {
+        batches.into_par_iter().enumerate().try_for_each(
+            |(i, batch)| -> Result<(), MendelError> {
+                if batch.is_empty() {
+                    return Ok(());
+                }
+                // Durable backend: a block is acknowledged only once its
+                // WAL record is on disk, so persist *before* the RAM
+                // insert consumes the batch.
+                self.persist_blocks(i, &batch)?;
                 nodes[i].write().insert_blocks(batch);
+                Ok(())
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Append `blocks` to node `node`'s durable store (no-op in memory
+    /// mode or while the node's process is down). The store's fsync
+    /// policy decides when the records become crash-proof.
+    fn persist_blocks(
+        &self,
+        node: usize,
+        blocks: &[crate::block::Block],
+    ) -> Result<(), MendelError> {
+        let Some(st) = &self.storage else {
+            return Ok(());
+        };
+        let cell = {
+            let stores = st.stores.read();
+            match stores.get(node) {
+                Some(c) => c.clone(),
+                None => return Ok(()),
             }
-        });
+        };
+        let mut guard = cell.lock();
+        let Some(store) = guard.as_mut() else {
+            return Ok(());
+        };
+        for b in blocks {
+            store.put_block(
+                &b.key().as_bytes(),
+                b.window.backing(),
+                b.window.offset() as u32,
+                b.window.len() as u32,
+            )?;
+        }
         Ok(())
     }
 
@@ -854,7 +957,86 @@ impl MendelCluster {
                 group_epoch: epoch,
             },
         );
+        drop(failed);
+        // Durable backend: a failure is a true process kill — the node's
+        // RAM and store handle die; only its disk survives.
+        self.kill_node_process(node);
         Ok(true)
+    }
+
+    /// Durable-backend half of a node failure: drop the store handle and
+    /// replace the node's in-memory state with an empty one. No-op in
+    /// memory mode, where `fail_node` keeps RAM (the pre-durability
+    /// semantics).
+    fn kill_node_process(&self, node: NodeId) {
+        let Some(st) = &self.storage else { return };
+        let cell = {
+            let stores = st.stores.read();
+            match stores.get(node.0 as usize) {
+                Some(c) => c.clone(),
+                None => return,
+            }
+        };
+        *cell.lock() = None;
+        let fresh = self.fresh_node(node.0 as usize);
+        let nodes = self.nodes.read();
+        *nodes[node.0 as usize].write() = fresh;
+    }
+
+    /// Durable-backend half of a node recovery: reopen the on-disk store
+    /// (manifest + segment verification, WAL replay, torn-tail
+    /// truncation), rebuild the node's vp-tree from the scanned blocks,
+    /// and time the whole thing into `mendel.store.recovery.seconds`.
+    /// No-op in memory mode.
+    fn restore_node_from_disk(&self, node: NodeId) -> Result<(), MendelError> {
+        let Some(st) = &self.storage else {
+            return Ok(());
+        };
+        let idx = node.0 as usize;
+        let cell = {
+            let stores = st.stores.read();
+            match stores.get(idx) {
+                Some(c) => c.clone(),
+                None => return Ok(()),
+            }
+        };
+        let clock = self.obs.clock();
+        let started = clock.now();
+        let (store, _report) = DurableStore::open(
+            st.vfs.clone(),
+            &store_root(idx),
+            st.opts,
+            st.metrics.clone(),
+        )?;
+        let blocks: Vec<crate::block::Block> = store
+            .scan()?
+            .into_iter()
+            .filter_map(|s| {
+                // Keys are the 8-byte BlockKey wire form; anything else
+                // in the store did not come from persist_blocks.
+                let key: [u8; 8] = s.key.as_slice().try_into().ok()?;
+                let seq = u32::from_le_bytes([key[0], key[1], key[2], key[3]]);
+                let start = u32::from_le_bytes([key[4], key[5], key[6], key[7]]);
+                Some(crate::block::Block {
+                    seq: SeqId(seq),
+                    start,
+                    window: WindowView::new(s.backing, s.offset as usize, s.len as usize),
+                })
+            })
+            .collect();
+        let mut fresh = self.fresh_node(idx);
+        fresh.insert_blocks(blocks);
+        {
+            let nodes = self.nodes.read();
+            *nodes[idx].write() = fresh;
+        }
+        *cell.lock() = Some(store);
+        let elapsed = clock.now().saturating_sub(started);
+        self.obs
+            .histogram("mendel.store.recovery.seconds")
+            .record(elapsed.as_secs_f64());
+        self.obs.counter("mendel.store.recoveries").inc();
+        Ok(())
     }
 
     /// Recover a previously failed node (its in-memory data never left).
@@ -870,6 +1052,10 @@ impl MendelCluster {
         };
         let record = self.failed.write().remove(&node);
         if let Some(rec) = record {
+            // Durable backend: the process is restarting from disk —
+            // replay the WAL and rebuild the vp-tree before the node
+            // serves anything.
+            self.restore_node_from_disk(node)?;
             let current = self.group_epochs.read()[g.0 as usize];
             if rec.group_epoch != current {
                 let topo = self.topology.read().clone();
@@ -923,6 +1109,9 @@ impl MendelCluster {
     pub fn repair(&self) -> RepairReport {
         let topo = self.topology.read().clone();
         let mut report = RepairReport::default();
+        // Nodes whose durable store broke while persisting a repair copy;
+        // marked failed after all guards drop.
+        let mut broken: Vec<NodeId> = Vec::new();
         for g in topo.group_ids() {
             let live = self.live_members(&topo, g);
             let nodes = self.nodes.read();
@@ -982,8 +1171,19 @@ impl MendelCluster {
             }
             report.copies_added += group_added;
             for (node, batch) in adds {
+                if self.persist_blocks(node.0 as usize, &batch).is_err() {
+                    // The copies never became durable: don't let RAM (or
+                    // the report) claim them. The target is failed below
+                    // and can recover from its own pre-repair disk state.
+                    report.copies_added -= batch.len() as u64;
+                    broken.push(node);
+                    continue;
+                }
                 nodes[node.0 as usize].write().insert_blocks(batch);
             }
+        }
+        for node in broken {
+            let _ = self.mark_failed(node, true);
         }
         self.repair_moves
             .fetch_add(report.copies_added, Ordering::Relaxed); // audit:ordering(Relaxed): statistics counter; RMW atomicity is all that is needed
@@ -1034,6 +1234,31 @@ impl MendelCluster {
         let mut topo = self.topology.write();
         let idx = topo.id_space();
         let (id, g) = topo.join(NodeSpeed::paper_mix(idx));
+        let node = self.fresh_node(idx);
+        self.nodes.write().push(Arc::new(RwLock::new(node)));
+        // Durable backend: the joiner gets its own store before any
+        // block can be re-placed onto it. An unopenable store leaves the
+        // cell empty — the node runs RAM-only until a recover_node.
+        if let Some(st) = &self.storage {
+            let opened = DurableStore::open(
+                st.vfs.clone(),
+                &store_root(idx),
+                st.opts,
+                st.metrics.clone(),
+            )
+            .ok()
+            .map(|(store, _)| store);
+            st.stores.write().push(Arc::new(Mutex::new(opened)));
+        }
+        let topo_snapshot = topo.clone();
+        drop(topo);
+        self.rebalance_group(&topo_snapshot, g);
+        id
+    }
+
+    /// A freshly built empty [`StorageNode`] wired to the cluster's
+    /// shared search-metric counters.
+    fn fresh_node(&self, idx: usize) -> StorageNode {
         let mut node = StorageNode::new(
             self.config.metric.instantiate(),
             self.config.bucket_capacity,
@@ -1042,11 +1267,7 @@ impl MendelCluster {
             self.config.seed ^ (idx as u64 + 1),
         );
         node.set_search_metrics(SearchMetrics::registered(&self.obs));
-        self.nodes.write().push(Arc::new(RwLock::new(node)));
-        let topo_snapshot = topo.clone();
-        drop(topo);
-        self.rebalance_group(&topo_snapshot, g);
-        id
+        node
     }
 
     /// Re-place every block of group `g` under the current membership.
@@ -1060,17 +1281,38 @@ impl MendelCluster {
                 unique.insert(b.key(), b);
             }
         }
-        // Rebuild members empty, then re-place.
+        // Rebuild members empty, then re-place. Durable members mirror
+        // the wipe: their on-disk state is rebuilt from scratch
+        // alongside RAM so disk never resurrects the old placement.
+        let mut broken: Vec<NodeId> = Vec::new();
         for &m in &members {
-            let mut fresh = StorageNode::new(
-                self.config.metric.instantiate(),
-                self.config.bucket_capacity,
-                self.db.clone(),
-                self.config.alphabet,
-                self.config.seed ^ (m.0 as u64 + 1),
-            );
-            fresh.set_search_metrics(SearchMetrics::registered(&self.obs));
-            *nodes[m.0 as usize].write() = fresh;
+            *nodes[m.0 as usize].write() = self.fresh_node(m.0 as usize);
+            if let Some(st) = &self.storage {
+                let cell = {
+                    let stores = st.stores.read();
+                    stores.get(m.0 as usize).cloned()
+                };
+                if let Some(cell) = cell {
+                    let mut guard = cell.lock();
+                    if guard.is_some() {
+                        *guard = None;
+                        let reopened =
+                            DurableStore::wipe(st.vfs.as_ref(), &store_root(m.0 as usize))
+                                .and_then(|()| {
+                                    DurableStore::open(
+                                        st.vfs.clone(),
+                                        &store_root(m.0 as usize),
+                                        st.opts,
+                                        st.metrics.clone(),
+                                    )
+                                });
+                        match reopened {
+                            Ok((store, _)) => *guard = Some(store),
+                            Err(_) => broken.push(m),
+                        }
+                    }
+                }
+            }
         }
         let failed = self.failed.read();
         let mut batches: BTreeMap<NodeId, Vec<crate::block::Block>> = BTreeMap::new();
@@ -1086,12 +1328,24 @@ impl MendelCluster {
             }
         }
         drop(failed);
+        let persist_broken: Mutex<Vec<NodeId>> = Mutex::new(Vec::new());
         batches.into_par_iter().for_each(|(node, batch)| {
-            nodes[node.0 as usize].write().insert_blocks(batch);
+            match self.persist_blocks(node.0 as usize, &batch) {
+                Ok(()) => nodes[node.0 as usize].write().insert_blocks(batch),
+                Err(_) => persist_broken.lock().push(node),
+            }
         });
+        broken.extend(persist_broken.into_inner());
+        drop(nodes);
         // Any node that was down during this re-placement now holds a
         // stale layout; the epoch bump makes recover_node detect that.
         self.group_epochs.write()[g.0 as usize] += 1;
+        // Members whose disks broke mid-rebalance hold partial state:
+        // fail them (after every guard above is gone) so queries route
+        // around until an operator recover replays what *is* durable.
+        for node in broken {
+            let _ = self.mark_failed(node, true);
+        }
     }
 
     // ---- Introspection --------------------------------------------------
@@ -1196,9 +1450,13 @@ impl MendelCluster {
         drop(failed);
         drop(topo);
         let nodes = self.nodes.read();
-        batches.into_par_iter().for_each(|(node, batch)| {
-            nodes[node.0 as usize].write().insert_blocks(batch);
-        });
+        batches
+            .into_par_iter()
+            .try_for_each(|(node, batch)| -> Result<(), MendelError> {
+                self.persist_blocks(node.0 as usize, &batch)?;
+                nodes[node.0 as usize].write().insert_blocks(batch);
+                Ok(())
+            })?;
         Ok(ids)
     }
 
@@ -1316,9 +1574,15 @@ impl MendelCluster {
 
     /// Restore-path helper: bulk-load pre-routed blocks directly onto a
     /// node, bypassing the hash pipeline (see [`crate::snapshot`]).
-    pub(crate) fn load_node_blocks(&self, node: NodeId, blocks: Vec<crate::block::Block>) {
+    pub(crate) fn load_node_blocks(
+        &self,
+        node: NodeId,
+        blocks: Vec<crate::block::Block>,
+    ) -> Result<(), MendelError> {
+        self.persist_blocks(node.0 as usize, &blocks)?;
         let nodes = self.nodes.read();
         nodes[node.0 as usize].write().insert_blocks(blocks);
+        Ok(())
     }
 
     /// Restore-path constructor: build the cluster skeleton (prefix tree,
@@ -1356,6 +1620,7 @@ impl MendelCluster {
             .collect();
         let karlin = Self::default_karlin(config.alphabet);
         let groups = config.groups;
+        let storage = Self::init_storage(&config, &obs, None)?;
         Ok(MendelCluster {
             config,
             topology: RwLock::new(topology),
@@ -1371,7 +1636,47 @@ impl MendelCluster {
             db,
             karlin,
             index_elapsed: Duration::ZERO,
+            storage,
         })
+    }
+
+    // ---- Durable storage (ROADMAP item 2) -----------------------------
+
+    /// The injectable VFS the durable stores run on; `None` in memory
+    /// mode. Tests use this to crash the disk under a running cluster.
+    pub fn storage_vfs(&self) -> Option<Arc<dyn Vfs>> {
+        self.storage.as_ref().map(|s| s.vfs.clone())
+    }
+
+    /// Fsync every live node's WAL. After this returns `Ok`, every block
+    /// ingested so far survives any crash regardless of the configured
+    /// fsync policy. No-op in memory mode.
+    pub fn sync_storage(&self) -> Result<(), MendelError> {
+        self.for_each_store(|store| store.sync())
+    }
+
+    /// Flush every live node's memtable into an immutable sorted
+    /// segment (WAL is truncated once the segment and manifest are
+    /// durable). No-op in memory mode.
+    pub fn flush_storage(&self) -> Result<(), MendelError> {
+        self.for_each_store(|store| store.flush())
+    }
+
+    fn for_each_store(
+        &self,
+        mut f: impl FnMut(&mut DurableStore) -> Result<(), mendel_store::StoreError>,
+    ) -> Result<(), MendelError> {
+        let Some(st) = &self.storage else {
+            return Ok(());
+        };
+        let cells: Vec<_> = st.stores.read().iter().cloned().collect();
+        for cell in cells {
+            let mut guard = cell.lock();
+            if let Some(store) = guard.as_mut() {
+                f(store)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1859,5 +2164,133 @@ mod tests {
         let rw = c.query(&q, &wide).unwrap();
         assert!(rw.stats.groups_contacted >= rt.stats.groups_contacted);
         assert_eq!(rw.stats.groups_contacted, c.config().groups);
+    }
+
+    // ---- Durable backend ----------------------------------------------
+
+    fn durable_config() -> ClusterConfig {
+        ClusterConfig {
+            storage: crate::config::StorageBackend::durable(),
+            ..ClusterConfig::small_protein()
+        }
+    }
+
+    #[test]
+    fn durable_cluster_answers_like_memory_cluster() {
+        let db = small_db();
+        let mem = small_cluster(&db);
+        let dur = MendelCluster::build(durable_config(), db.clone()).unwrap();
+        assert_eq!(dur.total_blocks(), mem.total_blocks());
+        let q = db.get(SeqId(3)).unwrap().residues.clone();
+        let params = QueryParams::protein();
+        assert_eq!(
+            dur.query(&q, &params).unwrap().hits,
+            mem.query(&q, &params).unwrap().hits,
+        );
+    }
+
+    #[test]
+    fn durable_fail_kills_ram_and_recover_replays_disk() {
+        let db = small_db();
+        let c = MendelCluster::build(durable_config(), db.clone()).unwrap();
+        let q = db.get(SeqId(7)).unwrap().residues.clone();
+        let params = QueryParams::protein();
+        let baseline = c.query(&q, &params).unwrap().hits;
+        let total = c.total_blocks();
+
+        // A durable fail is a process kill: the node's RAM really
+        // empties (memory mode would keep it).
+        let victim = NodeId(1);
+        c.fail_node(victim).unwrap();
+        assert!(c.node_blocks(victim).is_empty());
+        assert!(c.total_blocks() < total);
+
+        // Recovery replays the WAL from disk; nothing acknowledged is
+        // lost and query answers are bit-identical to the uncrashed run.
+        c.recover_node(victim).unwrap();
+        assert_eq!(c.total_blocks(), total);
+        assert_eq!(c.query(&q, &params).unwrap().hits, baseline);
+
+        let snap = c.metrics_snapshot();
+        assert!(snap.counter("mendel.store.wal_appends") > 0);
+        assert!(snap.counter("mendel.store.replayed_records") > 0);
+        assert_eq!(snap.counter("mendel.store.recoveries"), 1);
+    }
+
+    #[test]
+    fn durable_incremental_ingest_survives_kill_and_recover() {
+        let db = small_db();
+        let c = MendelCluster::build(durable_config(), db.clone()).unwrap();
+        let extra = NrLikeSpec {
+            families: 2,
+            members_per_family: 1,
+            length_range: (90, 140),
+            seed: 0xFEED,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let seqs: Vec<_> = extra.iter().cloned().collect();
+        let ids = c.insert_sequences(seqs).unwrap();
+        let q = c.db().get(ids[0]).unwrap().residues.clone();
+        let params = QueryParams::protein();
+        let baseline = c.query(&q, &params).unwrap().hits;
+        assert!(baseline.iter().any(|h| h.subject == ids[0]));
+
+        for n in 0..c.config().nodes {
+            c.fail_node(NodeId(n as u16)).unwrap();
+        }
+        for n in 0..c.config().nodes {
+            c.recover_node(NodeId(n as u16)).unwrap();
+        }
+        assert_eq!(c.query(&q, &params).unwrap().hits, baseline);
+    }
+
+    #[test]
+    fn durable_flush_moves_wal_into_segments_and_still_recovers() {
+        let db = small_db();
+        let c = MendelCluster::build(durable_config(), db.clone()).unwrap();
+        let q = db.get(SeqId(0)).unwrap().residues.clone();
+        let params = QueryParams::protein();
+        let baseline = c.query(&q, &params).unwrap().hits;
+        c.flush_storage().unwrap();
+        c.sync_storage().unwrap();
+        let total = c.total_blocks();
+        c.fail_node(NodeId(2)).unwrap();
+        c.recover_node(NodeId(2)).unwrap();
+        assert_eq!(c.total_blocks(), total);
+        assert_eq!(c.query(&q, &params).unwrap().hits, baseline);
+    }
+
+    #[test]
+    fn memory_mode_has_no_vfs_and_keeps_ram_on_failure() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        assert!(c.storage_vfs().is_none());
+        c.sync_storage().unwrap();
+        c.flush_storage().unwrap();
+        let total = c.total_blocks();
+        c.fail_node(NodeId(1)).unwrap();
+        // Memory mode: the failed node's in-process data never leaves.
+        assert_eq!(c.total_blocks(), total);
+        c.recover_node(NodeId(1)).unwrap();
+        assert_eq!(c.total_blocks(), total);
+    }
+
+    #[test]
+    fn durable_add_node_rebalances_onto_its_own_store() {
+        let db = small_db();
+        let c = MendelCluster::build(durable_config(), db.clone()).unwrap();
+        let q = db.get(SeqId(4)).unwrap().residues.clone();
+        let params = QueryParams::protein();
+        let baseline = c.query(&q, &params).unwrap().hits;
+        let id = c.add_node();
+        assert_eq!(c.query(&q, &params).unwrap().hits, baseline);
+        // The joiner's blocks are durable: kill + recover round-trips.
+        let total = c.total_blocks();
+        c.fail_node(id).unwrap();
+        c.recover_node(id).unwrap();
+        assert_eq!(c.total_blocks(), total);
+        assert_eq!(c.query(&q, &params).unwrap().hits, baseline);
     }
 }

@@ -4,7 +4,36 @@ use crate::error::MendelError;
 use crate::metric::BlockMetric;
 use mendel_net::LatencyModel;
 use mendel_seq::Alphabet;
+use mendel_store::StoreOptions;
 use serde::{Deserialize, Serialize};
+
+/// Where node-local block state lives (ROADMAP item 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageBackend {
+    /// RAM only — the original behaviour. `fail_node` keeps the node's
+    /// memory, so recovery is instant but a real crash would lose
+    /// everything.
+    #[default]
+    Memory,
+    /// The `mendel-store` durable engine: every placed block is framed
+    /// into a per-node WAL and flushed to checksummed segments, so
+    /// `fail_node` models a true process kill (RAM dies) and
+    /// `recover_node` rebuilds the node from its own disk.
+    Durable(StoreOptions),
+}
+
+impl StorageBackend {
+    /// Durable storage with default engine options (fsync every
+    /// record).
+    pub fn durable() -> Self {
+        StorageBackend::Durable(StoreOptions::default())
+    }
+
+    /// Is this a durable backend?
+    pub fn is_durable(&self) -> bool {
+        matches!(self, StorageBackend::Durable(_))
+    }
+}
 
 /// Which block metric the cluster's vp-trees use (§III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,6 +85,8 @@ pub struct ClusterConfig {
     pub latency: LatencyModel,
     /// Master seed for all deterministic sampling.
     pub seed: u64,
+    /// Node-local storage backend (memory or the durable WAL engine).
+    pub storage: StorageBackend,
 }
 
 impl ClusterConfig {
@@ -73,6 +104,7 @@ impl ClusterConfig {
             replication: 1,
             latency: LatencyModel::lan(),
             seed: 0x4d31,
+            storage: StorageBackend::Memory,
         }
     }
 
@@ -239,6 +271,18 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn storage_backend_defaults_to_memory() {
+        assert_eq!(StorageBackend::default(), StorageBackend::Memory);
+        assert!(!StorageBackend::Memory.is_durable());
+        assert!(StorageBackend::durable().is_durable());
+        let durable = ClusterConfig {
+            storage: StorageBackend::durable(),
+            ..ClusterConfig::small_protein()
+        };
+        durable.validate().unwrap();
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub enum MendelError {
     Snapshot(String),
     /// The addressed node does not exist or has left the cluster.
     NoSuchNode(mendel_dht::NodeId),
+    /// The durable storage engine failed (I/O error, poisoned store,
+    /// corrupt on-disk state).
+    Store(String),
 }
 
 impl fmt::Display for MendelError {
@@ -29,6 +32,7 @@ impl fmt::Display for MendelError {
             MendelError::Seq(e) => write!(f, "sequence error: {e}"),
             MendelError::Snapshot(m) => write!(f, "snapshot error: {m}"),
             MendelError::NoSuchNode(n) => write!(f, "no such node: {n}"),
+            MendelError::Store(m) => write!(f, "storage error: {m}"),
         }
     }
 }
@@ -38,6 +42,12 @@ impl std::error::Error for MendelError {}
 impl From<mendel_seq::SeqError> for MendelError {
     fn from(e: mendel_seq::SeqError) -> Self {
         MendelError::Seq(e)
+    }
+}
+
+impl From<mendel_store::StoreError> for MendelError {
+    fn from(e: mendel_store::StoreError) -> Self {
+        MendelError::Store(e.to_string())
     }
 }
 
@@ -59,5 +69,12 @@ mod tests {
     fn seq_error_converts() {
         let e: MendelError = mendel_seq::SeqError::EmptySequence.into();
         assert!(matches!(e, MendelError::Seq(_)));
+    }
+
+    #[test]
+    fn store_error_converts() {
+        let e: MendelError = mendel_store::StoreError::KeyTooLong(99).into();
+        assert!(matches!(e, MendelError::Store(_)));
+        assert!(e.to_string().contains("storage"));
     }
 }

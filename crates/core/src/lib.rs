@@ -51,12 +51,13 @@ pub mod wire;
 
 pub use block::{check_block_chain, make_blocks, Block, BlockKey};
 pub use cluster::{FailoverDelta, MendelCluster, RepairReport};
-pub use config::{ClusterConfig, MetricKind};
+pub use config::{ClusterConfig, MetricKind, StorageBackend};
 pub use error::MendelError;
 pub use mendel_obs::{
     chrome_trace_json, CriticalHop, MetricsSnapshot, Registry as MetricsRegistry, SpanRecord,
     TraceCollector, TraceId, TraceTree,
 };
+pub use mendel_store as store;
 pub use metric::BlockMetric;
 pub use params::QueryParams;
 pub use report::{CoverageReport, GroupCoverage, MendelHit, QueryReport, StageTimings};

@@ -6,6 +6,12 @@
 //! routed block set in the workspace wire format (`mendel-net` codec), so
 //! a restore skips the entire hash-and-route pipeline — only the cheap
 //! node-local vp-tree builds rerun.
+//!
+//! Format versions: VERSION 2 (written by [`save`]) ends with a CRC-32
+//! footer over everything before it, so any truncation or corruption is
+//! rejected up front; VERSION 1 (no footer) is still read for old
+//! snapshots. Every malformed buffer yields [`MendelError::Snapshot`] —
+//! never a panic.
 
 use crate::block::Block;
 use crate::cluster::MendelCluster;
@@ -19,7 +25,10 @@ use mendel_seq::{Alphabet, SeqStore};
 use std::sync::Arc;
 
 const MAGIC: u32 = 0x4d53_4e50; // "MSNP"
-const VERSION: u8 = 1;
+/// Current write version (CRC-32 footer).
+const VERSION: u8 = 2;
+/// Oldest version [`restore`] still reads (pre-footer).
+const VERSION_V1: u8 = 1;
 
 fn alphabet_tag(a: Alphabet) -> u8 {
     match a {
@@ -83,7 +92,13 @@ pub fn save(cluster: &MendelCluster) -> Result<Bytes, MendelError> {
         let blocks = cluster.node_blocks(node);
         blocks.encode(&mut buf);
     }
-    Ok(buf.freeze())
+    // VERSION 2: whole-buffer CRC-32 footer.
+    let body = buf.freeze();
+    let crc = mendel_store::crc32(body.as_slice());
+    let mut out = BytesMut::with_capacity(body.len() + 4);
+    out.extend_from_slice(body.as_slice());
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(out.freeze())
 }
 
 /// Rebuild a cluster from a snapshot over the same reference database.
@@ -94,13 +109,41 @@ pub fn restore(
     db: Arc<SeqStore>,
     latency: LatencyModel,
 ) -> Result<MendelCluster, MendelError> {
-    let mut buf = bytes.clone();
+    // The version byte sits right after the 4-byte magic. For VERSION 2
+    // buffers, verify and strip the CRC-32 footer before any decoding:
+    // truncation or corruption anywhere is caught here, up front.
+    let raw = bytes.as_slice();
+    if raw.len() < 5 {
+        return Err(MendelError::Snapshot("truncated header".into()));
+    }
+    let mut buf = if raw[4] == VERSION {
+        let body_len = raw
+            .len()
+            .checked_sub(4)
+            .filter(|&n| n >= 5)
+            .ok_or_else(|| MendelError::Snapshot("truncated footer".into()))?;
+        let stored = u32::from_le_bytes([
+            raw[body_len],
+            raw[body_len + 1],
+            raw[body_len + 2],
+            raw[body_len + 3],
+        ]);
+        let actual = mendel_store::crc32(&raw[..body_len]);
+        if stored != actual {
+            return Err(MendelError::Snapshot(format!(
+                "checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"
+            )));
+        }
+        bytes.slice(0..body_len)
+    } else {
+        bytes.clone()
+    };
     let bad = |e: mendel_net::DecodeError| MendelError::Snapshot(e.to_string());
     if u32::decode(&mut buf).map_err(bad)? != MAGIC {
         return Err(MendelError::Snapshot("bad magic".into()));
     }
     let version = u8::decode(&mut buf).map_err(bad)?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V1 {
         return Err(MendelError::Snapshot(format!(
             "unsupported version {version}"
         )));
@@ -127,11 +170,14 @@ pub fn restore(
         replication,
         latency,
         seed,
+        // The backend is a runtime deployment choice, not part of the
+        // indexed-data geometry; restores start in memory mode.
+        storage: crate::config::StorageBackend::Memory,
     };
     let cluster = MendelCluster::build_empty(config, db)?;
     for n in 0..nodes {
         let blocks = Vec::<Block>::decode(&mut buf).map_err(bad)?;
-        cluster.load_node_blocks(NodeId(n as u16), blocks);
+        cluster.load_node_blocks(NodeId(n as u16), blocks)?;
     }
     if !buf.is_empty() {
         return Err(MendelError::Snapshot(format!(
@@ -202,6 +248,62 @@ mod tests {
         let mut long = bytes.to_vec();
         long.push(0);
         assert!(restore(&Bytes::from(long), db, LatencyModel::lan()).is_err());
+    }
+
+    #[test]
+    fn truncation_sweep_always_errors_never_panics() {
+        let db = db();
+        let c = MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap();
+        let bytes = save(&c).unwrap();
+        for cut in 0..bytes.len() {
+            let short = bytes.slice(0..cut);
+            assert!(
+                matches!(
+                    restore(&short, db.clone(), LatencyModel::lan()),
+                    Err(MendelError::Snapshot(_))
+                ),
+                "cut at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_sweep_is_rejected_by_the_footer() {
+        let db = db();
+        let c = MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap();
+        let bytes = save(&c).unwrap();
+        // Single-bit flips across the whole buffer (strided for speed),
+        // including the CRC footer itself.
+        for off in (0..bytes.len()).step_by(7).chain([bytes.len() - 1]) {
+            let mut bad = bytes.to_vec();
+            bad[off] ^= 1;
+            assert!(
+                matches!(
+                    restore(&Bytes::from(bad), db.clone(), LatencyModel::lan()),
+                    Err(MendelError::Snapshot(_))
+                ),
+                "flip at {off} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_snapshots_without_footer_still_restore() {
+        let db = db();
+        let original = MendelCluster::build(ClusterConfig::small_protein(), db.clone()).unwrap();
+        let v2 = save(&original).unwrap();
+        // A v1 snapshot is the v2 body without its footer, tagged 1.
+        let mut v1 = v2.to_vec();
+        v1.truncate(v1.len() - 4);
+        v1[4] = 1;
+        let restored = restore(&Bytes::from(v1), db.clone(), LatencyModel::lan()).unwrap();
+        assert_eq!(restored.total_blocks(), original.total_blocks());
+        let q = db.get(SeqId(2)).unwrap().residues.clone();
+        let params = QueryParams::protein();
+        assert_eq!(
+            restored.query(&q, &params).unwrap().hits,
+            original.query(&q, &params).unwrap().hits,
+        );
     }
 
     #[test]

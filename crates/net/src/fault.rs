@@ -64,8 +64,9 @@ impl XorShift64 {
 }
 
 /// SplitMix64 finalizer: decorrelates nearby seeds before they enter the
-/// xorshift state.
-fn splitmix64(mut z: u64) -> u64 {
+/// xorshift state. Public so sibling fault planes (the disk-fault vfs in
+/// `mendel-store`) derive their streams the same way.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

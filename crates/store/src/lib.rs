@@ -1,0 +1,45 @@
+//! mendel-store: the durable block storage engine (ROADMAP item 2).
+//!
+//! A from-scratch mini-LSM giving Mendel nodes crash-safe persistence:
+//!
+//! * [`wal`] — append-only write-ahead log: length-prefixed records,
+//!   per-record CRC-32, torn-tail truncation on replay.
+//! * [`segment`] — immutable sorted segments with content-addressed
+//!   blob dedup, per-segment bloom filters, whole-file checksums, and
+//!   an atomically-replaced recovery manifest.
+//! * [`engine`] — [`DurableStore`]: WAL + memtable + segments, with
+//!   configurable [`FsyncPolicy`], full recovery at open, and loud
+//!   poisoning on any I/O failure.
+//! * [`vfs`] — the injectable disk. [`MemVfs`] simulates fsync
+//!   semantics with seeded fault injection (short writes, failed
+//!   fsyncs, torn tails with bit flips, crash points after any
+//!   operation), which is what turns the chaos layer's crash-restart
+//!   schedules into real kill-and-recover tests; [`RealVfs`] is plain
+//!   `std::fs` for actual disks.
+//! * [`bloom`] / [`crc`] — the supporting filters and checksums, both
+//!   from scratch.
+//!
+//! The durability contract, verified by the crash-point matrix in
+//! `tests/crash_matrix.rs`: after a crash at *any* point, reopening
+//! recovers exactly a prefix of the appended records that includes
+//! every acknowledged (fsynced) one — no lost committed writes, no
+//! resurrected torn tail.
+
+pub mod bloom;
+pub mod crc;
+pub mod engine;
+pub mod segment;
+pub mod vfs;
+pub mod wal;
+
+pub use bloom::Bloom;
+pub use crc::{crc32, Crc32};
+pub use engine::{
+    DurableStore, FsyncPolicy, RecoveryReport, ScannedBlock, StoreError, StoreMetrics,
+    StoreOptions, StoreResult,
+};
+pub use segment::{Manifest, SegmentEntry, SegmentMeta, SegmentReader};
+#[cfg(unix)]
+pub use vfs::RealVfs;
+pub use vfs::{DiskFaultConfig, MemVfs, Vfs, VfsError, VfsFile, VfsResult};
+pub use wal::{Wal, WalReplay};

@@ -1,0 +1,323 @@
+//! The append-only write-ahead log.
+//!
+//! Record framing on disk:
+//!
+//! ```text
+//! [payload_len u32-le][crc32(payload) u32-le][payload bytes]
+//! ```
+//!
+//! Appends are sequential; durability is the caller's call (the engine
+//! drives [`Wal::sync`] from its fsync policy). Replay walks records
+//! from the start and stops at the first frame that is torn — short
+//! header, short payload, impossible length, or CRC mismatch — then
+//! truncates the file back to the end of the last good record, so a
+//! crash's torn tail can never be resurrected and re-replayed later as
+//! data.
+
+use crate::crc::crc32;
+use crate::vfs::{Vfs, VfsError, VfsResult};
+use std::sync::Arc;
+
+/// Frame header size: payload length + checksum.
+const HEADER: usize = 8;
+
+/// Hard ceiling on one record's payload, so a corrupt length field
+/// cannot drive a multi-gigabyte allocation during replay.
+pub const MAX_RECORD: u32 = 64 << 20;
+
+/// What replay found in an existing log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalReplay {
+    /// Payloads of every intact record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes cut from the tail (0 for a clean log).
+    pub truncated_bytes: u64,
+}
+
+/// An open write-ahead log.
+pub struct Wal {
+    vfs: Arc<dyn Vfs>,
+    path: String,
+    file: Box<dyn crate::vfs::VfsFile>,
+    /// Current file length (all appended frames).
+    len: u64,
+    /// Length at the last successful sync.
+    synced_len: u64,
+}
+
+impl Wal {
+    /// Open `path`, creating it if absent, and replay its records.
+    /// A torn tail is truncated off the file before returning.
+    pub fn open(vfs: Arc<dyn Vfs>, path: &str) -> VfsResult<(Wal, WalReplay)> {
+        if !vfs.exists(path)? {
+            let file = vfs.create(path)?;
+            return Ok((
+                Wal {
+                    vfs,
+                    path: path.to_string(),
+                    file,
+                    len: 0,
+                    synced_len: 0,
+                },
+                WalReplay::default(),
+            ));
+        }
+
+        let file = vfs.open(path)?;
+        let file_len = file.len()?;
+        let mut raw = vec![0u8; file_len as usize];
+        read_exact_at(file.as_ref(), 0, &mut raw)?;
+
+        let mut replay = WalReplay::default();
+        let mut pos = 0usize;
+        let mut good_end = 0usize;
+        while raw.len() - pos >= HEADER {
+            let len = u32::from_le_bytes([raw[pos], raw[pos + 1], raw[pos + 2], raw[pos + 3]]);
+            let want = u32::from_le_bytes([raw[pos + 4], raw[pos + 5], raw[pos + 6], raw[pos + 7]]);
+            if len > MAX_RECORD {
+                break; // corrupt length field
+            }
+            let end = pos + HEADER + len as usize;
+            if end > raw.len() {
+                break; // torn payload
+            }
+            let payload = &raw[pos + HEADER..end];
+            if crc32(payload) != want {
+                break; // torn or flipped bytes
+            }
+            replay.records.push(payload.to_vec());
+            pos = end;
+            good_end = end;
+        }
+        replay.truncated_bytes = file_len - good_end as u64;
+        if replay.truncated_bytes > 0 {
+            vfs.truncate(path, good_end as u64)?;
+        }
+        // Reopen so the append cursor sits at the (possibly truncated)
+        // end on every backend.
+        let file = vfs.open(path)?;
+        Ok((
+            Wal {
+                vfs,
+                path: path.to_string(),
+                file,
+                len: good_end as u64,
+                synced_len: good_end as u64,
+            },
+            replay,
+        ))
+    }
+
+    /// Append one record. The bytes are in the OS buffer on return, not
+    /// necessarily durable — call [`Wal::sync`] per the fsync policy.
+    pub fn append(&mut self, payload: &[u8]) -> VfsResult<()> {
+        debug_assert!(payload.len() as u64 <= MAX_RECORD as u64);
+        let mut frame = Vec::with_capacity(HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let mut off = 0;
+        while off < frame.len() {
+            let n = self.file.append(&frame[off..])?;
+            if n == 0 {
+                return Err(VfsError::Io(format!("{}: zero-byte append", self.path)));
+            }
+            off += n;
+        }
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Make every appended record durable.
+    pub fn sync(&mut self) -> VfsResult<()> {
+        self.file.sync()?;
+        self.synced_len = self.len;
+        Ok(())
+    }
+
+    /// Drop every record (after a flush has made them redundant).
+    pub fn reset(&mut self) -> VfsResult<()> {
+        self.vfs.truncate(&self.path, 0)?;
+        self.file = self.vfs.open(&self.path)?;
+        self.len = 0;
+        self.synced_len = 0;
+        Ok(())
+    }
+
+    /// Current log size in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Bytes appended since the last successful sync.
+    pub fn unsynced_bytes(&self) -> u64 {
+        self.len - self.synced_len
+    }
+}
+
+/// Read exactly `buf.len()` bytes at `offset` or fail.
+pub(crate) fn read_exact_at(
+    file: &dyn crate::vfs::VfsFile,
+    mut offset: u64,
+    mut buf: &mut [u8],
+) -> VfsResult<()> {
+    while !buf.is_empty() {
+        let n = file.read_at(offset, buf)?;
+        if n == 0 {
+            return Err(VfsError::Io(format!(
+                "short read at offset {offset}: {} bytes missing",
+                buf.len()
+            )));
+        }
+        offset += n as u64;
+        buf = &mut buf[n..];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{DiskFaultConfig, MemVfs};
+
+    fn mem() -> Arc<dyn Vfs> {
+        Arc::new(MemVfs::plain(11))
+    }
+
+    #[test]
+    fn append_then_replay_roundtrip() {
+        let vfs = mem();
+        let payloads: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; i as usize + 1]).collect();
+        {
+            let (mut wal, replay) = Wal::open(vfs.clone(), "wal").unwrap();
+            assert!(replay.records.is_empty());
+            for p in &payloads {
+                wal.append(p).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (_, replay) = Wal::open(vfs, "wal").unwrap();
+        assert_eq!(replay.records, payloads);
+        assert_eq!(replay.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn empty_payloads_are_records_too() {
+        let vfs = mem();
+        let (mut wal, _) = Wal::open(vfs.clone(), "wal").unwrap();
+        wal.append(b"").unwrap();
+        wal.append(b"x").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(vfs, "wal").unwrap();
+        assert_eq!(replay.records, vec![Vec::new(), b"x".to_vec()]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_cut_point() {
+        // Build a clean 3-record log, then re-cut it at every byte
+        // boundary and confirm replay keeps exactly the intact prefix
+        // records and truncates the rest.
+        let vfs = Arc::new(MemVfs::plain(13));
+        let (mut wal, _) = Wal::open(vfs.clone(), "wal").unwrap();
+        let payloads = [b"alpha".to_vec(), b"beta-longer".to_vec(), b"g".to_vec()];
+        let mut boundaries = vec![0u64];
+        for p in &payloads {
+            wal.append(p).unwrap();
+            boundaries.push(wal.len_bytes());
+        }
+        wal.sync().unwrap();
+        let full = wal.len_bytes();
+        drop(wal);
+
+        for cut in 0..=full {
+            let vfs2 = Arc::new(MemVfs::plain(13));
+            // Copy the intact log bytes up to `cut` into a fresh disk.
+            let mut raw = vec![0u8; full as usize];
+            read_exact_at(vfs.open("wal").unwrap().as_ref(), 0, &mut raw).unwrap();
+            let mut f = vfs2.create("wal").unwrap();
+            let mut off = 0;
+            while off < cut as usize {
+                off += f.append(&raw[off..cut as usize]).unwrap();
+            }
+            f.sync().unwrap();
+            drop(f);
+
+            let expect_records = boundaries.iter().filter(|&&b| b != 0 && b <= cut).count();
+            let (wal2, replay) = Wal::open(vfs2.clone() as Arc<dyn Vfs>, "wal").unwrap();
+            assert_eq!(replay.records.len(), expect_records, "cut at {cut}");
+            assert_eq!(
+                replay.records[..],
+                payloads[..expect_records],
+                "cut at {cut}"
+            );
+            let good_end = boundaries[expect_records];
+            assert_eq!(replay.truncated_bytes, cut - good_end, "cut at {cut}");
+            assert_eq!(wal2.len_bytes(), good_end, "cut at {cut}");
+            assert_eq!(vfs2.file_len("wal").unwrap(), good_end, "file truncated");
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_payload_cuts_replay_there() {
+        let vfs = Arc::new(MemVfs::plain(17));
+        let (mut wal, _) = Wal::open(vfs.clone() as Arc<dyn Vfs>, "wal").unwrap();
+        for i in 0..5u8 {
+            wal.append(&[i; 10]).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        // Flip a payload byte of record 2 (offset: 2 frames of 18, +8 header).
+        vfs.corrupt("wal", 2 * 18 + 8 + 3).unwrap();
+        let (_, replay) = Wal::open(vfs as Arc<dyn Vfs>, "wal").unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.truncated_bytes, 3 * 18);
+    }
+
+    #[test]
+    fn absurd_length_field_stops_replay_without_huge_alloc() {
+        let vfs = Arc::new(MemVfs::plain(19));
+        let mut f = vfs.create("wal").unwrap();
+        f.append(&u32::MAX.to_le_bytes()).unwrap();
+        f.append(&[0u8; 4]).unwrap();
+        f.sync().unwrap();
+        drop(f);
+        let (_, replay) = Wal::open(vfs as Arc<dyn Vfs>, "wal").unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.truncated_bytes, 8);
+    }
+
+    #[test]
+    fn appends_survive_short_writes() {
+        let vfs: Arc<dyn Vfs> = Arc::new(MemVfs::new(DiskFaultConfig {
+            short_write_prob: 0.9,
+            ..DiskFaultConfig::none(23)
+        }));
+        let (mut wal, _) = Wal::open(vfs.clone(), "wal").unwrap();
+        let payloads: Vec<Vec<u8>> = (0..30u8)
+            .map(|i| vec![i; 1 + (i as usize * 7) % 40])
+            .collect();
+        for p in &payloads {
+            wal.append(p).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(vfs, "wal").unwrap();
+        assert_eq!(replay.records, payloads);
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let vfs = mem();
+        let (mut wal, _) = Wal::open(vfs.clone(), "wal").unwrap();
+        wal.append(b"doomed").unwrap();
+        wal.sync().unwrap();
+        wal.reset().unwrap();
+        assert_eq!(wal.len_bytes(), 0);
+        wal.append(b"kept").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(vfs, "wal").unwrap();
+        assert_eq!(replay.records, vec![b"kept".to_vec()]);
+    }
+}

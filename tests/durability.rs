@@ -1,0 +1,204 @@
+//! Cluster-level durability integration tests (DESIGN.md §14): nodes
+//! backed by the `mendel-store` WAL/segment engine must survive
+//! kill-and-recover chaos with bit-identical answers, and a torn-tail
+//! machine crash must lose at most the un-synced suffix.
+
+use mendel_suite::core::{ClusterConfig, MendelCluster, QueryParams, StorageBackend};
+use mendel_suite::dht::NodeId;
+use mendel_suite::obs::MonotonicClock;
+use mendel_suite::seq::gen::NrLikeSpec;
+use mendel_suite::seq::{Alphabet, SeqId, SeqStore};
+use mendel_suite::store::{DiskFaultConfig, FsyncPolicy, MemVfs, StoreOptions, Vfs};
+use std::sync::Arc;
+
+fn db(seed: u64) -> Arc<SeqStore> {
+    Arc::new(
+        NrLikeSpec {
+            families: 16,
+            members_per_family: 2,
+            length_range: (150, 300),
+            seed,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap(),
+    )
+}
+
+fn durable_config(opts: StoreOptions) -> ClusterConfig {
+    ClusterConfig {
+        nodes: 8,
+        groups: 2,
+        replication: 2,
+        storage: StorageBackend::Durable(opts),
+        ..ClusterConfig::small_protein()
+    }
+}
+
+fn queries(db: &SeqStore) -> Vec<Vec<u8>> {
+    (0..6)
+        .map(|i| db.get(SeqId(i * 5)).unwrap().residues.clone())
+        .collect()
+}
+
+fn answers(
+    cluster: &MendelCluster,
+    queries: &[Vec<u8>],
+) -> Vec<Vec<mendel_suite::core::MendelHit>> {
+    let params = QueryParams::protein();
+    queries
+        .iter()
+        .map(|q| cluster.query(q, &params).unwrap().hits)
+        .collect()
+}
+
+/// The PR's acceptance criterion: ingest -> crash every node -> recover
+/// from disk -> query, bit-identical to a cluster that never crashed.
+#[test]
+fn kill_and_recover_round_trip_is_bit_identical_to_uncrashed_run() {
+    let db = db(41);
+    let cfg = durable_config(StoreOptions::default());
+    let pristine = MendelCluster::build(cfg.clone(), db.clone()).unwrap();
+    let chaotic = MendelCluster::build(cfg, db.clone()).unwrap();
+    let qs = queries(&db);
+
+    // Crash + recover every node: RAM dies, the WAL replay rebuilds it.
+    for n in 0..8 {
+        chaotic.fail_node(NodeId(n)).unwrap();
+        chaotic.recover_node(NodeId(n)).unwrap();
+    }
+    assert!(chaotic.failed_nodes().is_empty());
+    assert_eq!(chaotic.total_blocks(), pristine.total_blocks());
+    assert_eq!(answers(&chaotic, &qs), answers(&pristine, &qs));
+
+    let snap = chaotic.metrics_snapshot();
+    assert_eq!(snap.counter("mendel.store.recoveries"), 8);
+    assert!(snap.counter("mendel.store.replayed_records") > 0);
+    let hist = snap
+        .histogram("mendel.store.recovery.seconds")
+        .expect("recovery histogram registered");
+    assert_eq!(hist.count(), 8);
+}
+
+/// Group-commit (EveryN) with an explicit `sync_storage` barrier before
+/// a whole-disk machine crash: every record was made durable, so the
+/// recovered cluster answers exactly like before the crash.
+#[test]
+fn machine_crash_after_sync_barrier_loses_nothing() {
+    let db = db(42);
+    let vfs = Arc::new(MemVfs::new(DiskFaultConfig::torn(0xD15C)));
+    let opts = StoreOptions {
+        fsync: FsyncPolicy::EveryN(8),
+        ..StoreOptions::default()
+    };
+    let cluster = MendelCluster::build_with_storage(
+        durable_config(opts),
+        db.clone(),
+        Arc::new(MonotonicClock::new()),
+        Some(vfs.clone() as Arc<dyn Vfs>),
+    )
+    .unwrap();
+    let qs = queries(&db);
+    let baseline = answers(&cluster, &qs);
+
+    // Make the group-committed tail durable, then tear every un-synced
+    // tail on the simulated disk (there are none left) and kill every
+    // node process.
+    cluster.sync_storage().unwrap();
+    vfs.crash("");
+    for n in 0..8 {
+        cluster.fail_node(NodeId(n)).unwrap();
+        cluster.recover_node(NodeId(n)).unwrap();
+    }
+    assert_eq!(answers(&cluster, &qs), baseline);
+}
+
+/// The same machine crash *without* the sync barrier: with group commit
+/// the torn tails may eat the last un-synced records, but recovery must
+/// still succeed and hold a prefix — never more blocks than were
+/// written, never an error, never a panic on queries.
+#[test]
+fn machine_crash_without_sync_recovers_a_committed_prefix() {
+    let db = db(43);
+    let vfs = Arc::new(MemVfs::new(DiskFaultConfig::torn(0x7E42)));
+    let opts = StoreOptions {
+        fsync: FsyncPolicy::OnFlush,
+        memtable_max_entries: 64,
+    };
+    let cluster = MendelCluster::build_with_storage(
+        durable_config(opts),
+        db.clone(),
+        Arc::new(MonotonicClock::new()),
+        Some(vfs.clone() as Arc<dyn Vfs>),
+    )
+    .unwrap();
+    let written = cluster.total_blocks();
+
+    vfs.crash("");
+    for n in 0..8 {
+        cluster.fail_node(NodeId(n)).unwrap();
+        cluster.recover_node(NodeId(n)).unwrap();
+    }
+    assert!(cluster.total_blocks() <= written);
+
+    // Whatever survived must still answer queries without erroring.
+    let params = QueryParams::protein();
+    for q in queries(&db) {
+        let report = cluster.query(&q, &params).unwrap();
+        assert!(report.coverage.fraction() <= 1.0);
+    }
+}
+
+/// Incremental growth (§VI-D) through the durable path: sequences
+/// inserted after construction survive kill-and-recover too.
+#[test]
+fn inserted_sequences_survive_kill_and_recover() {
+    let db = db(44);
+    let cluster = MendelCluster::build(durable_config(StoreOptions::default()), db).unwrap();
+
+    let extra = NrLikeSpec {
+        families: 2,
+        members_per_family: 2,
+        length_range: (150, 300),
+        seed: 440,
+        ..Default::default()
+    }
+    .generate()
+    .unwrap();
+    let seqs: Vec<_> = (0..extra.len())
+        .map(|i| extra.get(SeqId(i as u32)).unwrap().clone())
+        .collect();
+    let ids = cluster.insert_sequences(seqs.clone()).unwrap();
+
+    let params = QueryParams::protein();
+    let probe = seqs[0].residues.clone();
+    let before = cluster.query(&probe, &params).unwrap().hits;
+    assert!(before.iter().any(|h| h.subject == ids[0]));
+
+    for n in 0..8 {
+        cluster.fail_node(NodeId(n)).unwrap();
+        cluster.recover_node(NodeId(n)).unwrap();
+    }
+    assert_eq!(cluster.query(&probe, &params).unwrap().hits, before);
+}
+
+/// Memory mode is the control group: no VFS exists and killing a node
+/// is handled by replication, not by disk replay.
+#[test]
+fn memory_backend_exposes_no_vfs() {
+    let db = db(45);
+    let cfg = ClusterConfig {
+        nodes: 4,
+        groups: 2,
+        alphabet: Alphabet::Protein,
+        ..ClusterConfig::small_protein()
+    };
+    let cluster = MendelCluster::build(cfg, db).unwrap();
+    assert!(cluster.storage_vfs().is_none());
+    assert_eq!(
+        cluster
+            .metrics_snapshot()
+            .counter("mendel.store.recoveries"),
+        0
+    );
+}
