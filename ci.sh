@@ -57,24 +57,32 @@ step "mendel-audit locks" \
 step "mendel-audit atomics" \
     cargo run -q -p mendel-audit -- atomics --json bench_results/audit_atomics.json
 
-# 6. Deterministic two-thread interleaving stress for Histogram and
-#    FlightRecorder (lockstep alternation + free-running invariants).
-#    Plain run always; under ThreadSanitizer and Miri when the
-#    toolchain has them (nightly rust-src for TSan's -Zbuild-std,
-#    the miri component for Miri) — skipped with a notice otherwise.
+# 6. Deterministic two-thread interleaving stress for Histogram,
+#    FlightRecorder, and the work-stealing scheduler's deques (lockstep
+#    alternation + free-running invariants). Plain run always; under
+#    ThreadSanitizer and Miri when the toolchain has them (nightly
+#    rust-src for TSan's -Zbuild-std, the miri component for Miri) —
+#    skipped with a notice otherwise.
 step "interleaving stress (plain)" cargo test -p mendel-obs --test interleave -q
+step "scheduler interleave stress (plain)" cargo test -p mendel-sched --test interleave -q
 if rustup component list --toolchain nightly 2>/dev/null | grep -q "^rust-src (installed)"; then
     HOST="$(rustc -vV | sed -n 's/^host: //p')"
     step "interleaving stress (tsan)" \
         env RUSTFLAGS="-Zsanitizer=thread" \
         cargo +nightly test -Zbuild-std --target "$HOST" \
         -p mendel-obs --test interleave -q
+    step "scheduler interleave stress (tsan)" \
+        env RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target "$HOST" \
+        -p mendel-sched --test interleave -q
 else
     echo "==> nightly rust-src unavailable; skipping ThreadSanitizer pass"
 fi
 if cargo +nightly miri --version >/dev/null 2>&1; then
     step "interleaving stress (miri)" \
         cargo +nightly miri test -p mendel-obs --test interleave
+    step "scheduler interleave stress (miri)" \
+        cargo +nightly miri test -p mendel-sched --test interleave
 else
     echo "==> miri unavailable; skipping Miri pass"
 fi
@@ -94,11 +102,19 @@ fi
 
 # 9. Kernel/arena perf harness self-checks (DESIGN.md §10): tiny sizes,
 #    asserts the report JSON is well-formed and that bounded kNN returns
-#    bit-identical results to the unbounded baseline.
+#    bit-identical results to the unbounded baseline (the SIMD kernels
+#    likewise identical to scalar).
 if [ "$MODE" != "quick" ]; then
     step "kernel_bench --smoke" \
         cargo run --release -q -p mendel-bench --bin kernel_bench -- --smoke
 fi
+
+# 9b. Throughput harness self-checks (DESIGN.md §15): fails if the SIMD
+#    and scalar kernels disagree on any sampled query, if batched hits
+#    diverge from sequential, or if the scheduler fails to shed past its
+#    admission bound; writes bench_results/qps.json in both modes.
+step "qps_bench --smoke" \
+    cargo run --release -q -p mendel-bench --bin qps_bench -- --smoke
 
 # 10. Observability suite (DESIGN.md §11): exact counter assertions
 #    (distance calls, fan-out, fault-verdict replay) under the invariant

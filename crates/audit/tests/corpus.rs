@@ -9,6 +9,7 @@ const DEADLOCK: &str = include_str!("fixtures/deadlock.rs");
 const CLEAN: &str = include_str!("fixtures/clean.rs");
 const ADVERSARIAL: &str = include_str!("fixtures/adversarial.rs");
 const PUBLICATION: &str = include_str!("fixtures/publication.rs");
+const WORK_STEALING: &str = include_str!("fixtures/work_stealing.rs");
 
 fn lock_facts(name: &str, src: &str) -> locks::FileLockFacts {
     locks::analyze_source(
@@ -101,6 +102,42 @@ fn publication_fixture_all_sites_unannotated() {
     assert_eq!(unannotated, 4, "wrong-ordering marker must not annotate");
     let orderings: Vec<&str> = sites.iter().map(|s| s.ordering.as_str()).collect();
     assert_eq!(orderings, vec!["Relaxed", "Release", "Acquire", "Relaxed"]);
+}
+
+#[test]
+fn work_stealing_fixture_exact_counts() {
+    let facts = lock_facts("work_stealing", WORK_STEALING);
+    // push/pop/steal: one lock each; the two hold-and-steal functions:
+    // two each.
+    assert_eq!(
+        facts.acquisitions.len(),
+        7,
+        "acquisitions: {:?}",
+        facts.acquisitions
+    );
+    assert_eq!(facts.edges.len(), 2, "edges: {:?}", facts.edges);
+    let cycles = find_cycles(&facts.edges);
+    assert_eq!(cycles.len(), 1, "exactly one cycle: {cycles:?}");
+    assert_eq!(
+        cycles[0].locks,
+        vec!["fix/work_stealing::own", "fix/work_stealing::victim"]
+    );
+}
+
+#[test]
+fn work_stealing_correct_protocol_contributes_no_edges() {
+    let facts = lock_facts("work_stealing", WORK_STEALING);
+    // Every hold-edge comes from the seeded hold-and-steal pair; the
+    // correct one-lock-at-a-time protocol is invisible to the cycle
+    // finder, and the lock-free idle wait raises no guard smell.
+    for e in &facts.edges {
+        assert!(
+            e.function.starts_with("steal_holding"),
+            "unexpected edge from {}: {e:?}",
+            e.function
+        );
+    }
+    assert!(facts.smells.is_empty(), "{:?}", facts.smells);
 }
 
 #[test]

@@ -1,0 +1,60 @@
+// Fixture: work-stealing deque lock discipline (PR 8's `mendel-sched`
+// pattern). The correct protocol — own-deque push/pop and a steal that
+// NEVER holds its own deque lock while taking the victim's — yields no
+// hold-edges at all. The seeded anti-pattern (`steal_holding_*`) is the
+// symmetric hold-and-steal that two workers run against each other,
+// producing the own <-> victim cycle the analyzer must report.
+//
+// This file is test data for `crates/audit/tests/corpus.rs`; it is
+// never compiled and does not need to resolve.
+
+use parking_lot::Mutex;
+
+pub struct Workers {
+    own: Mutex<VecDeque<u32>>,
+    victim: Mutex<VecDeque<u32>>,
+}
+
+impl Workers {
+    /// Local submit: own deque only, LIFO end.
+    pub fn push_local(&self, job: u32) {
+        let mut own = self.own.lock();
+        own.push_back(job);
+    }
+
+    /// Local pop: own deque only.
+    pub fn pop_local(&self) -> Option<u32> {
+        let mut own = self.own.lock();
+        own.pop_back()
+    }
+
+    /// Correct steal: the worker's own deque is already released by the
+    /// time it goes stealing, so only the victim's lock is taken — one
+    /// lock at a time, no hold-edge, no cycle.
+    pub fn steal(&self) -> Option<u32> {
+        let mut victim = self.victim.lock();
+        victim.pop_front()
+    }
+
+    /// Seeded anti-pattern: stealing while still holding the own-deque
+    /// lock. Worker A holds `own` and wants `victim`...
+    pub fn steal_holding_own(&self) -> Option<u32> {
+        let own = self.own.lock();
+        let mut victim = self.victim.lock();
+        victim.pop_front().or_else(|| own.front().copied())
+    }
+
+    /// ...and worker B runs the mirror image — holds `victim` (its own
+    /// deque) and wants `own`. Under contention the pair deadlocks.
+    pub fn steal_holding_victim(&self) -> Option<u32> {
+        let victim = self.victim.lock();
+        let mut own = self.own.lock();
+        own.pop_front().or_else(|| victim.front().copied())
+    }
+
+    /// Idle wait happens with NO deque lock held (the scheduler parks on
+    /// a wake channel), so the blocking receive is not a guard smell.
+    pub fn idle(&self, rx: &Receiver<()>) -> bool {
+        rx.recv_timeout(TIMEOUT).is_ok()
+    }
+}

@@ -1,0 +1,514 @@
+//! PR 8 throughput harness — sustained QPS under the work-stealing
+//! scheduler, with the two ablations that isolate this PR's wins:
+//!
+//! 1. **Sequential vs. batched.** The same query stream driven through
+//!    the one-at-a-time `query` loop and through
+//!    [`MendelCluster::query_batch`] at batch 32. The batched path scans
+//!    each visited vp-tree leaf once for every query in the batch, so
+//!    its sustained QPS must beat the sequential loop even on one core.
+//!    Per-query hits are asserted bit-identical between the two paths.
+//! 2. **Scalar vs. SIMD.** The batched run repeated with the runtime
+//!    kernel toggle (`mendel_seq::simd::set_simd_enabled`) off and on,
+//!    over both a protein cluster (MatrixDistance → ILP×4 scalar
+//!    chains) and a DNA cluster (Hamming → SSE2/AVX2 vector kernel, the
+//!    regime where the vector units pay; see DESIGN.md §15). Hits are
+//!    asserted bit-identical between kernels.
+//!
+//! Latency percentiles (p50/p95/p99) come from per-query wall times in
+//! the sequential sweep; the batched sweep reports batch-level wall
+//! times and sustained QPS. Scheduler behaviour — steals, sheds,
+//! admission — is reported from the `mendel.sched.*` counters, and a
+//! dedicated overload run asserts the scheduler *sheds* rather than
+//! hangs past its admission bound.
+//!
+//! ```sh
+//! cargo run --release -p mendel-bench --bin qps_bench            # full, writes BENCH_pr8_qps.json
+//! cargo run --release -p mendel-bench --bin qps_bench -- --smoke # tiny sizes, self-checks only
+//! ```
+//!
+//! Both modes write `bench_results/qps.json` at the repository root.
+
+// Benchmark reports go to stdout by design.
+#![allow(clippy::print_stdout)]
+
+use mendel::{ClusterConfig, MendelCluster, MendelError, QueryParams, StorageBackend};
+use mendel_bench::{figure_header, protein_db, query_set, QUERY_SEED};
+use mendel_seq::gen::{NrLikeSpec, QuerySetSpec};
+use mendel_seq::simd::{active_kernel, set_simd_enabled};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Workload scale, full vs. `--smoke`.
+struct Scale {
+    residues: usize,
+    nodes: usize,
+    groups: usize,
+    queries: usize,
+    batch: usize,
+}
+
+const FULL: Scale = Scale {
+    residues: 200_000,
+    nodes: 8,
+    groups: 4,
+    queries: 96,
+    batch: 32,
+};
+
+const SMOKE: Scale = Scale {
+    residues: 30_000,
+    nodes: 4,
+    groups: 2,
+    queries: 8,
+    batch: 4,
+};
+
+const QUERY_LEN: usize = 120;
+const QUERY_IDENTITY: f64 = 0.8;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut scale = if smoke { SMOKE } else { FULL };
+    // `--residues N` scales the database (exploration knob; the
+    // checked-in report uses the default).
+    if let Some(i) = args.iter().position(|a| a == "--residues") {
+        // audit:allow(expect): bench binary; a malformed flag should abort the run.
+        scale.residues = args[i + 1].parse().expect("--residues takes an integer");
+    }
+    figure_header(
+        "PR 8 QPS",
+        "sustained query throughput: batching, SIMD kernels, work-stealing scheduler",
+    );
+    println!("kernel: {}", active_kernel());
+    if smoke {
+        println!("mode: --smoke (tiny sizes; self-checks only)\n");
+    }
+
+    let (protein_json, batched_speedup, protein_simd) = bench_protein(&scale);
+    let dna_json = bench_dna(&scale);
+    let shed_json = bench_shedding(&scale);
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr8_qps\",\n  \"mode\": \"{}\",\n  \"kernel\": \"{}\",\n  \"protein\": {protein_json},\n  \"dna\": {dna_json},\n  \"shedding\": {shed_json}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        active_kernel(),
+    );
+    assert_json_well_formed(&json);
+
+    // bench_results/qps.json is written in both modes (the CI smoke step
+    // greps it); the checked-in BENCH_pr8_qps.json only on full runs.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let results_dir = root.join("bench_results");
+    // audit:allow(expect): bench binary; an unwritable report path should abort the run.
+    std::fs::create_dir_all(&results_dir).expect("create bench_results/");
+    let qps_path = results_dir.join("qps.json");
+    // audit:allow(expect): bench binary; an unwritable report path should abort the run.
+    std::fs::write(&qps_path, &json).expect("write bench_results/qps.json");
+    println!("\nreport: {}", qps_path.display());
+    if !smoke {
+        let full_path = root.join("BENCH_pr8_qps.json");
+        // audit:allow(expect): bench binary; an unwritable report path should abort the run.
+        std::fs::write(&full_path, &json).expect("write BENCH_pr8_qps.json");
+        println!("report: {}", full_path.display());
+    }
+
+    if smoke {
+        println!(
+            "smoke checks passed: JSON well-formed, batched hits bit-identical to sequential, \
+             SIMD hits bit-identical to scalar, scheduler sheds past its admission bound"
+        );
+    } else {
+        if batched_speedup < 2.0 {
+            println!(
+                "WARNING: batched throughput {batched_speedup:.2}x below the 2x target at batch {}",
+                scale.batch
+            );
+        }
+        if protein_simd < 1.0 {
+            println!("WARNING: SIMD dispatch slower than scalar on the protein workload");
+        }
+    }
+}
+
+/// Every float-bearing field of a hit as raw bits, so "identical" means
+/// bit-identical.
+#[allow(clippy::type_complexity)]
+fn hit_bits(r: &mendel::QueryReport) -> Vec<(u32, i32, u64, u64, usize, usize, usize, usize)> {
+    r.hits
+        .iter()
+        .map(|h| {
+            (
+                h.subject.0,
+                h.score,
+                h.bits.to_bits(),
+                h.evalue.to_bits(),
+                h.query_start,
+                h.query_end,
+                h.subject_start,
+                h.subject_end,
+            )
+        })
+        .collect()
+}
+
+/// Percentile over per-query wall latencies (nearest-rank on the sorted
+/// sample; `p` in 0..=100).
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One sustained sequential sweep: per-query wall latencies plus the
+/// reports (for identity checks).
+fn sequential_sweep(
+    cluster: &MendelCluster,
+    queries: &[Vec<u8>],
+    params: &QueryParams,
+) -> (
+    Duration,
+    Vec<Duration>,
+    Vec<Vec<(u32, i32, u64, u64, usize, usize, usize, usize)>>,
+) {
+    let mut lats = Vec::with_capacity(queries.len());
+    let mut bits = Vec::with_capacity(queries.len());
+    let wall = Instant::now();
+    for q in queries {
+        let t = Instant::now();
+        // audit:allow(expect): bench fixture; generated queries are valid for the cluster
+        let r = cluster.query(q, params).expect("sequential query succeeds");
+        lats.push(t.elapsed());
+        bits.push(hit_bits(&r));
+    }
+    (wall.elapsed(), lats, bits)
+}
+
+/// One sustained batched sweep at the given batch size.
+fn batched_sweep(
+    cluster: &MendelCluster,
+    queries: &[Vec<u8>],
+    params: &QueryParams,
+    batch: usize,
+) -> (
+    Duration,
+    Vec<Vec<(u32, i32, u64, u64, usize, usize, usize, usize)>>,
+) {
+    let mut bits = Vec::with_capacity(queries.len());
+    let wall = Instant::now();
+    for chunk in queries.chunks(batch) {
+        for r in cluster.query_batch(chunk, params) {
+            // audit:allow(expect): bench fixture; admission bound far above one batch
+            bits.push(hit_bits(&r.expect("batched query succeeds")));
+        }
+    }
+    (wall.elapsed(), bits)
+}
+
+fn qps(n: usize, wall: Duration) -> f64 {
+    n as f64 / wall.as_secs_f64().max(1e-12)
+}
+
+/// Protein cluster (MatrixDistance): sequential-vs-batched headline plus
+/// the scalar-vs-SIMD ablation on the batched path. Returns
+/// `(json, batched_speedup, simd_speedup)`.
+fn bench_protein(scale: &Scale) -> (String, f64, f64) {
+    let db = protein_db(scale.residues);
+    let cluster = MendelCluster::build(
+        ClusterConfig {
+            nodes: scale.nodes,
+            groups: scale.groups,
+            ..ClusterConfig::paper_testbed_protein()
+        },
+        db.clone(),
+    )
+    // audit:allow(expect): bench fixture; the hard-coded geometry is valid
+    .expect("cluster geometry is valid");
+    let queries: Vec<Vec<u8>> = query_set(&db, scale.queries, QUERY_LEN, QUERY_IDENTITY)
+        .into_iter()
+        .map(|q| q.query.residues)
+        .collect();
+    let params = QueryParams::protein();
+
+    // Warm-up pass so page faults and lazy init don't land in the timings.
+    let _ = cluster.query(&queries[0], &params);
+
+    let before = cluster.metrics_snapshot();
+    let (seq_wall, mut lats, seq_bits) = sequential_sweep(&cluster, &queries, &params);
+    let delta = cluster.metrics_snapshot().since(&before);
+    let ls_frac = delta.counter("mendel.query.local_search_nanos") as f64
+        / (seq_wall.as_nanos() as f64).max(1.0);
+    let fin_frac =
+        delta.counter("mendel.query.finalize_nanos") as f64 / (seq_wall.as_nanos() as f64).max(1.0);
+    let (batch_wall, batch_bits) = batched_sweep(&cluster, &queries, &params, scale.batch);
+    assert_eq!(
+        seq_bits, batch_bits,
+        "batched hits must be bit-identical to sequential"
+    );
+
+    // Scalar-vs-SIMD ablation over the batched path (and an identity
+    // check against the sequential sweep above, which ran with the
+    // default dispatch).
+    let prev = set_simd_enabled(false);
+    let (scalar_wall, scalar_bits) = batched_sweep(&cluster, &queries, &params, scale.batch);
+    set_simd_enabled(true);
+    let (simd_wall, simd_bits) = batched_sweep(&cluster, &queries, &params, scale.batch);
+    set_simd_enabled(prev);
+    assert_eq!(
+        scalar_bits, simd_bits,
+        "SIMD hits must be bit-identical to scalar"
+    );
+    assert_eq!(scalar_bits, seq_bits, "kernel toggle must not change hits");
+
+    lats.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile(&lats, 50.0),
+        percentile(&lats, 95.0),
+        percentile(&lats, 99.0),
+    );
+    let seq_qps = qps(queries.len(), seq_wall);
+    let batch_qps = qps(queries.len(), batch_wall);
+    let batched_speedup = batch_qps / seq_qps.max(1e-12);
+    let simd_speedup = scalar_wall.as_secs_f64() / simd_wall.as_secs_f64().max(1e-12);
+
+    // `query_batch` returns once every *result* has been delivered, but a
+    // worker bumps `mendel.sched.completed` only after handing the result
+    // back — so a snapshot taken immediately can run one short. Give the
+    // counter a bounded window to catch up before asserting drainage.
+    let mut snap = cluster.metrics_snapshot();
+    for _ in 0..10_000 {
+        if snap.counter("mendel.sched.submitted") == snap.counter("mendel.sched.completed") {
+            break;
+        }
+        std::thread::yield_now();
+        snap = cluster.metrics_snapshot();
+    }
+    let (submitted, completed, steals) = (
+        snap.counter("mendel.sched.submitted"),
+        snap.counter("mendel.sched.completed"),
+        snap.counter("mendel.sched.steals"),
+    );
+    assert_eq!(submitted, completed, "scheduler must drain every job");
+
+    println!(
+        "\nprotein cluster ({} residues, {} nodes / {} groups, {} queries, batch {}):",
+        db.total_residues(),
+        scale.nodes,
+        scale.groups,
+        queries.len(),
+        scale.batch
+    );
+    println!(
+        "  sequential {:8.2} qps   p50 {:6.2} ms   p95 {:6.2} ms   p99 {:6.2} ms",
+        seq_qps,
+        p50.as_secs_f64() * 1e3,
+        p95.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+    );
+    println!(
+        "  batched    {:8.2} qps   speedup {batched_speedup:.2}x   hits bit-identical",
+        batch_qps
+    );
+    println!(
+        "  sequential breakdown: local_search {:.1}%   finalize {:.1}%   other {:.1}%",
+        ls_frac * 100.0,
+        fin_frac * 100.0,
+        (1.0 - ls_frac - fin_frac) * 100.0,
+    );
+    println!(
+        "  simd ablation (batched): scalar {:8.2} ms   simd {:8.2} ms   speedup {simd_speedup:.2}x   hits bit-identical",
+        scalar_wall.as_secs_f64() * 1e3,
+        simd_wall.as_secs_f64() * 1e3,
+    );
+    println!("  scheduler: {submitted} jobs submitted, {completed} completed, {steals} stolen");
+
+    let json = format!(
+        "{{\n    \"residues\": {}, \"nodes\": {}, \"groups\": {}, \"queries\": {}, \"batch\": {},\n    \"sequential_qps\": {seq_qps:.3}, \"batched_qps\": {batch_qps:.3}, \"batched_speedup\": {batched_speedup:.3},\n    \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3},\n    \"local_search_frac\": {ls_frac:.4}, \"finalize_frac\": {fin_frac:.4},\n    \"simd_scalar_ms\": {:.3}, \"simd_ms\": {:.3}, \"simd_speedup\": {simd_speedup:.3},\n    \"sched_submitted\": {submitted}, \"sched_completed\": {completed}, \"sched_steals\": {steals},\n    \"identical\": true\n  }}",
+        db.total_residues(),
+        scale.nodes,
+        scale.groups,
+        queries.len(),
+        scale.batch,
+        p50.as_secs_f64() * 1e3,
+        p95.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+        scalar_wall.as_secs_f64() * 1e3,
+        simd_wall.as_secs_f64() * 1e3,
+    );
+    (json, batched_speedup, simd_speedup)
+}
+
+/// DNA cluster (Hamming): the scalar-vs-SIMD ablation in the regime
+/// where the vector kernel carries the win (DESIGN.md §15).
+fn bench_dna(scale: &Scale) -> String {
+    let db = Arc::new(
+        NrLikeSpec {
+            alphabet: mendel_seq::Alphabet::Dna,
+            families: (scale.residues / (800 * 8)).max(2),
+            members_per_family: 8,
+            length_range: (200, 1400),
+            seed: QUERY_SEED ^ 0xD4A,
+            ..Default::default()
+        }
+        .generate()
+        // audit:allow(expect): bench fixture; the hard-coded spec is valid by construction
+        .expect("spec is valid"),
+    );
+    let cluster = MendelCluster::build(
+        ClusterConfig {
+            nodes: scale.nodes,
+            groups: scale.groups,
+            storage: StorageBackend::Memory,
+            ..ClusterConfig::small_dna()
+        },
+        db.clone(),
+    )
+    // audit:allow(expect): bench fixture; the hard-coded geometry is valid
+    .expect("cluster geometry is valid");
+    let queries: Vec<Vec<u8>> = QuerySetSpec {
+        count: scale.queries,
+        length: QUERY_LEN,
+        identity: QUERY_IDENTITY,
+        seed: QUERY_SEED ^ 0xD4A1,
+    }
+    .generate(&db)
+    // audit:allow(expect): bench fixture; the generated database holds long enough sequences
+    .expect("database holds long enough sequences")
+    .into_iter()
+    .map(|q| q.query.residues)
+    .collect();
+    let params = QueryParams::dna();
+
+    let _ = cluster.query(&queries[0], &params);
+    let prev = set_simd_enabled(false);
+    let (scalar_wall, scalar_bits) = batched_sweep(&cluster, &queries, &params, scale.batch);
+    set_simd_enabled(true);
+    let (simd_wall, simd_bits) = batched_sweep(&cluster, &queries, &params, scale.batch);
+    set_simd_enabled(prev);
+    assert_eq!(
+        scalar_bits, simd_bits,
+        "DNA SIMD hits must be bit-identical to scalar"
+    );
+
+    let scalar_qps = qps(queries.len(), scalar_wall);
+    let simd_qps = qps(queries.len(), simd_wall);
+    let speedup = simd_qps / scalar_qps.max(1e-12);
+    println!(
+        "\ndna cluster ({} residues, {} queries, batch {}):",
+        db.total_residues(),
+        queries.len(),
+        scale.batch
+    );
+    println!(
+        "  simd ablation (batched): scalar {:8.2} qps   simd {:8.2} qps   speedup {speedup:.2}x   hits bit-identical",
+        scalar_qps, simd_qps,
+    );
+
+    format!(
+        "{{\n    \"residues\": {}, \"queries\": {}, \"batch\": {},\n    \"scalar_qps\": {scalar_qps:.3}, \"simd_qps\": {simd_qps:.3}, \"simd_speedup\": {speedup:.3},\n    \"identical\": true\n  }}",
+        db.total_residues(),
+        queries.len(),
+        scale.batch,
+    )
+}
+
+/// Overload behaviour: a cluster whose scheduler admits only two
+/// in-flight queries must *shed* the rest of an oversized batch — typed
+/// errors, not hangs — and admit again once the batch drains.
+fn bench_shedding(scale: &Scale) -> String {
+    let db = protein_db(scale.residues.min(30_000));
+    const LIMIT: usize = 2;
+    let cluster = MendelCluster::build(
+        ClusterConfig {
+            nodes: 4,
+            groups: 2,
+            ..ClusterConfig::paper_testbed_protein()
+        },
+        db.clone(),
+    )
+    // audit:allow(expect): bench fixture; the hard-coded geometry is valid
+    .expect("cluster geometry is valid")
+    .with_scheduler(mendel_sched::SchedConfig {
+        workers: 2,
+        max_in_flight: LIMIT,
+    });
+    let queries: Vec<Vec<u8>> = query_set(&db, LIMIT + 3, QUERY_LEN, QUERY_IDENTITY)
+        .into_iter()
+        .map(|q| q.query.residues)
+        .collect();
+    let params = QueryParams::protein();
+
+    let results = cluster.query_batch(&queries, &params);
+    let served = results.iter().filter(|r| r.is_ok()).count();
+    let shed = results
+        .iter()
+        .filter(|r| matches!(r, Err(MendelError::Shed { .. })))
+        .count();
+    assert_eq!(served, LIMIT, "admission bound must cap concurrent queries");
+    assert_eq!(shed, queries.len() - LIMIT, "overflow must shed, not hang");
+
+    // The permits released with the first batch: a follow-up batch must
+    // be admitted in full.
+    let followup = cluster.query_batch(&queries[..LIMIT], &params);
+    assert!(
+        followup.iter().all(|r| r.is_ok()),
+        "drained scheduler must admit again"
+    );
+
+    let snap = cluster.metrics_snapshot();
+    let shed_counter = snap.counter("mendel.sched.shed");
+    assert_eq!(shed_counter as usize, shed, "shed counter must match");
+
+    println!(
+        "\nshedding (admission limit {LIMIT}, batch {}): {served} served, {shed} shed, follow-up batch admitted",
+        queries.len()
+    );
+
+    format!(
+        "{{\n    \"admission_limit\": {LIMIT}, \"batch\": {}, \"served\": {served}, \"shed\": {shed},\n    \"shed_counter\": {shed_counter}, \"followup_admitted\": true\n  }}",
+        queries.len(),
+    )
+}
+
+/// No serde in the workspace: a structural sanity check on the
+/// hand-rendered JSON — balanced braces/brackets outside strings, no
+/// trailing commas, and the keys the driver greps for.
+fn assert_json_well_formed(json: &str) {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut prev = ' ';
+    for c in json.chars() {
+        if in_str {
+            if c == '"' && prev != '\\' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    assert!(prev != ',', "trailing comma before {c}");
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced braces");
+                }
+                _ => {}
+            }
+        }
+        if !c.is_whitespace() {
+            prev = c;
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced braces");
+    assert!(!in_str, "unterminated string");
+    for key in [
+        "\"batched_speedup\"",
+        "\"simd_speedup\"",
+        "\"p99_ms\"",
+        "\"shed_counter\"",
+        "\"identical\": true",
+    ] {
+        assert!(json.contains(key), "report missing {key}");
+    }
+}

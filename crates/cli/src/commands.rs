@@ -505,15 +505,117 @@ pub fn cmd_trace_dump(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// `mendel bench qps` — sustained-throughput probe over an indexed
+/// cluster (DESIGN.md §15): the query set runs once through the
+/// sequential `query` loop (per-query latency percentiles) and once
+/// through `query_batch` at `--batch` (default 32), then the
+/// work-stealing scheduler's counters are reported. Per-query hits are
+/// asserted identical between the two paths.
+pub fn cmd_bench_qps(args: &Args) -> Result<String, CliError> {
+    let (cluster, alphabet) = restore_cluster(args)?;
+    let params = query_params(args, alphabet)?;
+    let batch: usize = args.get_parsed("batch", 32, "positive integer")?;
+    if batch == 0 {
+        return Err(CliError::Args(ArgError::BadValue {
+            key: "batch".into(),
+            value: "0".into(),
+            expected: "positive integer",
+        }));
+    }
+    let queries: Vec<Vec<u8>> = parse_fasta_sequences(&read(args.require("query")?)?, alphabet)?
+        .into_iter()
+        .map(|q| q.residues)
+        .collect();
+
+    // Sequential sweep with per-query wall latencies.
+    let mut lats = Vec::with_capacity(queries.len());
+    let mut seq_hits = Vec::with_capacity(queries.len());
+    let wall = std::time::Instant::now();
+    for q in &queries {
+        let t = std::time::Instant::now();
+        let r = cluster.query(q, &params)?;
+        lats.push(t.elapsed());
+        seq_hits.push(r.hits);
+    }
+    let seq_wall = wall.elapsed();
+
+    // Batched sweep at the requested batch size.
+    let mut batch_hits = Vec::with_capacity(queries.len());
+    let mut shed = 0usize;
+    let wall = std::time::Instant::now();
+    for chunk in queries.chunks(batch) {
+        for r in cluster.query_batch(chunk, &params) {
+            match r {
+                Ok(rep) => batch_hits.push(Some(rep.hits)),
+                Err(MendelError::Shed { .. }) => {
+                    shed += 1;
+                    batch_hits.push(None);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    let batch_wall = wall.elapsed();
+    for (s, b) in seq_hits.iter().zip(&batch_hits) {
+        if let Some(b) = b {
+            if s != b {
+                return Err(CliError::Mendel(MendelError::Query(
+                    "batched hits diverged from sequential".into(),
+                )));
+            }
+        }
+    }
+
+    lats.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        let idx = ((p / 100.0) * (lats.len().saturating_sub(1)) as f64).round() as usize;
+        lats.get(idx).map_or(0.0, |d| d.as_secs_f64() * 1e3)
+    };
+    let seq_qps = queries.len() as f64 / seq_wall.as_secs_f64().max(1e-12);
+    let served = batch_hits.iter().filter(|h| h.is_some()).count();
+    let batch_qps = served as f64 / batch_wall.as_secs_f64().max(1e-12);
+    let snap = cluster.metrics_snapshot();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "qps bench: {} queries, batch {batch}", queries.len());
+    let _ = writeln!(
+        out,
+        "  sequential {seq_qps:8.2} qps   p50 {:.2} ms   p95 {:.2} ms   p99 {:.2} ms",
+        pct(50.0),
+        pct(95.0),
+        pct(99.0),
+    );
+    let _ = writeln!(
+        out,
+        "  batched    {batch_qps:8.2} qps   speedup {:.2}x   ({served} served, {shed} shed)",
+        batch_qps / seq_qps.max(1e-12),
+    );
+    let _ = writeln!(
+        out,
+        "  scheduler: submitted {} completed {} steals {} shed {}",
+        snap.counter("mendel.sched.submitted"),
+        snap.counter("mendel.sched.completed"),
+        snap.counter("mendel.sched.steals"),
+        snap.counter("mendel.sched.shed"),
+    );
+    Ok(out)
+}
+
 /// Dispatch a raw argv (without program name) to its command.
 pub fn run(tokens: &[String]) -> Result<String, CliError> {
-    // `mendel trace dump` is a two-word subcommand; fold it into one
-    // token so the grammar (command, then options) still holds.
+    // `mendel trace dump` / `mendel bench qps` are two-word subcommands;
+    // fold them into one token so the grammar (command, then options)
+    // still holds.
     let mut tokens = tokens.to_vec();
     if tokens.first().map(String::as_str) == Some("trace")
         && tokens.get(1).map(String::as_str) == Some("dump")
     {
         tokens.splice(0..2, ["trace-dump".to_string()]);
+    }
+    if tokens.first().map(String::as_str) == Some("bench")
+        && tokens.get(1).map(String::as_str) == Some("qps")
+    {
+        tokens.splice(0..2, ["bench-qps".to_string()]);
     }
     let args = Args::parse(&tokens)?;
     match args.command.as_str() {
@@ -525,8 +627,12 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         "metrics" => cmd_metrics(&args),
         "durability" => cmd_durability(&args),
         "trace-dump" => cmd_trace_dump(&args),
+        "bench-qps" => cmd_bench_qps(&args),
         "trace" => Err(CliError::UnknownCommand(
             "trace (did you mean `mendel trace dump`?)".into(),
+        )),
+        "bench" => Err(CliError::UnknownCommand(
+            "bench (did you mean `mendel bench qps`?)".into(),
         )),
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
         other => Err(CliError::UnknownCommand(other.into())),
@@ -684,6 +790,48 @@ mod tests {
         // Bare `trace` points at the real spelling.
         let err = run(&toks("trace")).unwrap_err();
         assert!(err.to_string().contains("trace dump"), "{err}");
+    }
+
+    #[test]
+    fn bench_qps_reports_throughput_and_scheduler_counters() {
+        let fasta = tmp("qdb.fasta");
+        let snap = tmp("qdb.mendel");
+        let qf = tmp("qq.fasta");
+        run(&toks(&format!(
+            "generate --out {fasta} --families 8 --members 2 --min-len 120 --max-len 180 --seed 13"
+        )))
+        .unwrap();
+        run(&toks(&format!(
+            "index --db {fasta} --out {snap} --nodes 6 --groups 2"
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&fasta).unwrap();
+        let first_record: String = {
+            let mut lines = text.lines();
+            let header = lines.next().unwrap().to_string();
+            let body: Vec<&str> = lines.take_while(|l| !l.starts_with('>')).collect();
+            format!("{header}\n{}\n", body.join("\n"))
+        };
+        std::fs::write(&qf, first_record).unwrap();
+
+        let out = run(&toks(&format!(
+            "bench qps --index {snap} --db {fasta} --query {qf} --batch 4"
+        )))
+        .unwrap();
+        assert!(out.contains("qps bench: 1 queries, batch 4"), "{out}");
+        assert!(out.contains("sequential"), "{out}");
+        assert!(out.contains("batched"), "{out}");
+        assert!(out.contains("scheduler: submitted"), "{out}");
+
+        let err = run(&toks(&format!(
+            "bench qps --index {snap} --db {fasta} --query {qf} --batch 0"
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("positive integer"), "{err}");
+
+        // Bare `bench` points at the real spelling.
+        let err = run(&toks("bench")).unwrap_err();
+        assert!(err.to_string().contains("bench qps"), "{err}");
     }
 
     #[test]

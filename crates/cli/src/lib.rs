@@ -8,6 +8,7 @@
 //! mendel info     --index db.mendel --db db.fasta
 //! mendel metrics  --index db.mendel --db db.fasta [--query q.fasta] [--format json]
 //! mendel trace dump --index db.mendel --db db.fasta --query q.fasta [--format tree]
+//! mendel bench qps --index db.mendel --db db.fasta --query q.fasta [--batch 32]
 //! mendel help
 //! ```
 //!
@@ -40,5 +41,7 @@ USAGE:
                   [--memtable N] [--families N] [--members N] [--seed N] [--dna]
   mendel trace dump --index <snapshot> --db <fasta> --query <fasta>
                   [--format chrome|tree] [--out <path>]
+  mendel bench qps --index <snapshot> --db <fasta> --query <fasta>
+                  [--batch N]
   mendel help
 ";

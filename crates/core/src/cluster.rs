@@ -23,6 +23,7 @@ use mendel_obs::{
     Clock, MetricsSnapshot, MonotonicClock, Registry, SpanId, SpanRecord, TraceCollector, TraceId,
     TraceTree,
 };
+use mendel_sched::{SchedConfig, Scheduler};
 use mendel_seq::{Alphabet, ScoringMatrix, SeqId, SeqStore, WindowView};
 use mendel_store::{DurableStore, MemVfs, StoreMetrics, StoreOptions, Vfs};
 use mendel_vptree::{GroupAssignment, SearchMetrics, VpPrefixTree};
@@ -124,6 +125,10 @@ pub struct MendelCluster {
     index_elapsed: Duration,
     /// Durable storage backend; `None` in memory mode.
     storage: Option<NodeStores>,
+    /// Work-stealing query scheduler (DESIGN.md §15): admission control
+    /// plus the worker pool [`Self::query_batch`] fans node-local
+    /// searches out on. Its `mendel.sched.*` counters live in [`Self::obs`].
+    sched: Arc<Scheduler>,
 }
 
 impl MendelCluster {
@@ -198,6 +203,7 @@ impl MendelCluster {
         let karlin = Self::default_karlin(config.alphabet);
         let groups = config.groups;
         let storage = Self::init_storage(&config, &obs, vfs)?;
+        let sched = Arc::new(Scheduler::new(SchedConfig::default(), &obs));
         let cluster = MendelCluster {
             config,
             topology: RwLock::new(topology),
@@ -214,6 +220,7 @@ impl MendelCluster {
             karlin,
             index_elapsed: Duration::ZERO,
             storage,
+            sched,
         };
         cluster.index_all()?;
         Ok(MendelCluster {
@@ -546,9 +553,13 @@ impl MendelCluster {
                         let node = nodes_guard[m.0 as usize].read();
                         let t = clock.now();
                         let out = node.local_search_many(query, offs, block_len, params, &matrix);
+                        let raw = clock.now().saturating_sub(t);
+                        self.obs
+                            .counter("mendel.query.local_search_nanos")
+                            .add(raw.as_nanos() as u64);
                         (
                             out.anchors,
-                            self.speed_of(&topo, m).scale(clock.now().saturating_sub(t)),
+                            self.speed_of(&topo, m).scale(raw),
                             out.candidates,
                         )
                     })
@@ -611,7 +622,11 @@ impl MendelCluster {
         let merged = merge_overlapping(all);
         stats.anchors = merged.len();
         let hits = self.finalize(query, merged, params, &matrix);
-        let finalize = entry_speed.scale(clock.now().saturating_sub(t));
+        let raw_finalize = clock.now().saturating_sub(t);
+        self.obs
+            .counter("mendel.query.finalize_nanos")
+            .add(raw_finalize.as_nanos() as u64);
+        let finalize = entry_speed.scale(raw_finalize);
 
         let timings = StageTimings {
             decompose,
@@ -1541,6 +1556,288 @@ impl MendelCluster {
         queries.par_iter().map(|q| self.query(q, params)).collect()
     }
 
+    /// The cluster's work-stealing query scheduler (admission bound,
+    /// queue-depth/steal/shed counters).
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+
+    /// Replace the query scheduler (worker count, admission bound). The
+    /// old pool drains and joins; counters keep accumulating in the
+    /// cluster registry.
+    pub fn with_scheduler(mut self, config: SchedConfig) -> Self {
+        self.sched = Arc::new(Scheduler::new(config, &self.obs));
+        self
+    }
+
+    /// Evaluate many queries as ONE batch (DESIGN.md §15): each storage
+    /// node scans its vp-tree once for every query routed to it
+    /// ([`StorageNode::local_search_batch`] → `VpTree::knn_batch`), and
+    /// the node-level work fans out on the work-stealing scheduler.
+    ///
+    /// Per-query `hits` are bit-identical to [`Self::query`] — the
+    /// batched traversal replays the sequential search decisions exactly.
+    /// Admission control applies per query: past the scheduler's
+    /// `max_in_flight` bound a query is shed with [`MendelError::Shed`]
+    /// instead of queueing unboundedly; the rest of the batch proceeds.
+    ///
+    /// Batch-mode caveats: real-compute timings and the `metrics` delta
+    /// are attributed at batch granularity (each report carries the
+    /// whole batch's registry delta, and a node's scan time covers every
+    /// query it served), the cluster-wide `coverage` report is computed
+    /// once and shared by every report in the batch (placement cannot
+    /// change mid-batch, so it equals the per-query snapshot), and no
+    /// causal trace is assembled.
+    pub fn query_batch(
+        &self,
+        queries: &[Vec<u8>],
+        params: &QueryParams,
+    ) -> Vec<Result<QueryReport, MendelError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        if let Err(e) = params.validate() {
+            return queries.iter().map(|_| Err(e.clone())).collect();
+        }
+        let matrix = match self.resolve_matrix(&params.m) {
+            Ok(m) => m,
+            Err(e) => return queries.iter().map(|_| Err(e.clone())).collect(),
+        };
+        let topo = self.topology.read().clone();
+        let Some(entry) = topo.nodes().next() else {
+            let e = MendelError::Config("cluster has no live nodes".into());
+            return queries.iter().map(|_| Err(e.clone())).collect();
+        };
+        let entry_speed = self.speed_of(&topo, entry);
+        let latency = self.config.latency;
+        let block_len = self.config.block_len;
+        let clock = self.obs.clock();
+        let before = self.obs.snapshot();
+
+        // ---- Stage 1 per query: admission, decomposition, routing.
+        struct Plan {
+            /// Held for the whole evaluation; dropping it releases the
+            /// query's in-flight slot.
+            _permit: mendel_sched::AdmissionPermit,
+            /// `(group, subquery offsets, live members)` in group order.
+            groups: Vec<(GroupId, Vec<usize>, Vec<NodeId>)>,
+            subqueries: usize,
+            decompose: Duration,
+        }
+        let mut plans: Vec<Result<Plan, MendelError>> = Vec::with_capacity(queries.len());
+        for q in queries {
+            if q.len() < block_len {
+                plans.push(Err(MendelError::Query(format!(
+                    "query ({} residues) is shorter than the block length ({block_len})",
+                    q.len()
+                ))));
+                continue;
+            }
+            let permit = match self.sched.admit() {
+                Ok(p) => p,
+                Err(e) => {
+                    plans.push(Err(e.into()));
+                    continue;
+                }
+            };
+            self.obs.counter("mendel.query.count").inc();
+            let t = clock.now();
+            let offsets = subquery_offsets(q.len(), block_len, params.k);
+            let mut group_offsets: BTreeMap<GroupId, Vec<usize>> = BTreeMap::new();
+            for &off in &offsets {
+                for g in self.groups_of_window(&q[off..off + block_len], params.group_tolerance) {
+                    group_offsets.entry(g).or_default().push(off);
+                }
+            }
+            let decompose = entry_speed.scale(clock.now().saturating_sub(t));
+            self.obs
+                .counter("mendel.query.fanout_groups")
+                .add(group_offsets.len() as u64);
+            let groups = group_offsets
+                .into_iter()
+                .map(|(g, offs)| {
+                    let members = self.live_members(&topo, g);
+                    (g, offs, members)
+                })
+                .collect();
+            plans.push(Ok(Plan {
+                _permit: permit,
+                groups,
+                subqueries: offsets.len(),
+                decompose,
+            }));
+        }
+
+        // ---- Fan-out: ONE scheduler job per storage node, batching all
+        // admitted queries that route to it into a single tree scan.
+        type NodeRequests = (Vec<(Arc<Vec<u8>>, Vec<usize>)>, Vec<(usize, usize, usize)>);
+        let shared: Vec<Arc<Vec<u8>>> = queries.iter().map(|q| Arc::new(q.clone())).collect();
+        let mut node_reqs: BTreeMap<NodeId, NodeRequests> = BTreeMap::new();
+        for (qi, plan) in plans.iter().enumerate() {
+            let Ok(plan) = plan else { continue };
+            for (gi, (_, offs, members)) in plan.groups.iter().enumerate() {
+                for (mi, m) in members.iter().enumerate() {
+                    let (reqs, slots) = node_reqs.entry(*m).or_default();
+                    reqs.push((shared[qi].clone(), offs.clone()));
+                    slots.push((qi, gi, mi));
+                }
+            }
+        }
+        let nodes_snapshot: Vec<Arc<RwLock<StorageNode>>> = self.nodes.read().clone();
+        let mut handles = Vec::new();
+        for (node, (reqs, slots)) in node_reqs {
+            let node_arc = nodes_snapshot[node.0 as usize].clone();
+            let speed = self.speed_of(&topo, node);
+            let params = params.clone();
+            let matrix = matrix.clone();
+            let clock = clock.clone();
+            let obs = self.obs.clone();
+            let handle = self.sched.run(move || {
+                let refs: Vec<(&[u8], &[usize])> = reqs
+                    .iter()
+                    .map(|(q, o)| (q.as_slice(), o.as_slice()))
+                    .collect();
+                let guard = node_arc.read();
+                let t = clock.now();
+                let outs = guard.local_search_batch(&refs, block_len, &params, &matrix);
+                let raw = clock.now().saturating_sub(t);
+                obs.counter("mendel.query.local_search_nanos")
+                    .add(raw.as_nanos() as u64);
+                (outs, speed.scale(raw))
+            });
+            handles.push((node, slots, handle));
+        }
+        // (query, group idx, member idx) → that member's local output.
+        let mut member_out: HashMap<(usize, usize, usize), crate::node::LocalSearchOutput> =
+            HashMap::new();
+        let mut node_elapsed: HashMap<NodeId, Duration> = HashMap::new();
+        let mut crashed: HashSet<usize> = HashSet::new();
+        for (node, slots, handle) in handles {
+            match handle.wait() {
+                Some((outs, elapsed)) => {
+                    node_elapsed.insert(node, elapsed);
+                    for (slot, o) in slots.into_iter().zip(outs) {
+                        member_out.insert(slot, o);
+                    }
+                }
+                // The job panicked; its queries cannot be answered
+                // faithfully, so they error rather than silently drop
+                // this node's anchors.
+                None => crashed.extend(slots.into_iter().map(|(qi, _, _)| qi)),
+            }
+        }
+
+        // ---- Stages 3–5 per query, identical merge/finalize order to
+        // the sequential pipeline.
+        //
+        // Report assembly is amortized across the batch: the cluster-wide
+        // coverage sweep (a walk over every node's block keys — by far
+        // the most expensive piece of per-report bookkeeping) runs once
+        // here, and `metrics` deltas are batch-level (see the method
+        // docs). No query mutates placement, so the shared snapshot is
+        // the one each query would have observed.
+        let coverage = self.coverage();
+        let mut out: Vec<Result<QueryReport, MendelError>> = Vec::with_capacity(queries.len());
+        for (qi, plan) in plans.into_iter().enumerate() {
+            let plan = match plan {
+                Ok(p) => p,
+                Err(e) => {
+                    out.push(Err(e));
+                    continue;
+                }
+            };
+            if crashed.contains(&qi) {
+                out.push(Err(MendelError::Query(
+                    "batch evaluation job panicked".into(),
+                )));
+                continue;
+            }
+            let query: &[u8] = &queries[qi];
+            let query_msg_bytes = query.len() + MSG_OVERHEAD_BYTES;
+            let mut stats = QueryStats {
+                subqueries: plan.subqueries,
+                groups_contacted: plan.groups.len(),
+                ..QueryStats::default()
+            };
+            stats.messages += plan.groups.len();
+            stats.bytes += query_msg_bytes * plan.groups.len();
+            let scatter = latency.fanout(query_msg_bytes, plan.groups.len());
+
+            let mut group_sims: Vec<Duration> = Vec::new();
+            let mut group_merged: Vec<Vec<Hsp>> = Vec::new();
+            for (gi, (_, _, members)) in plan.groups.iter().enumerate() {
+                if members.is_empty() {
+                    group_sims.push(Duration::ZERO);
+                    group_merged.push(Vec::new());
+                    continue;
+                }
+                let replicate = latency.fanout(query_msg_bytes, members.len() - 1);
+                let mut all: Vec<Hsp> = Vec::new();
+                let mut member_times: Vec<Duration> = Vec::with_capacity(members.len());
+                for (mi, m) in members.iter().enumerate() {
+                    if let Some(o) = member_out.remove(&(qi, gi, mi)) {
+                        stats.candidates += o.candidates;
+                        all.extend(o.anchors);
+                    }
+                    member_times.push(node_elapsed.get(m).copied().unwrap_or_default());
+                }
+                let node_phase = parallel_max(member_times);
+                let anchor_bytes =
+                    all.len() * HSP_WIRE_BYTES + MSG_OVERHEAD_BYTES * (members.len() - 1);
+                let gather_in = latency.transfer(anchor_bytes);
+                stats.nodes_contacted += members.len();
+                stats.messages += (members.len() - 1) * 2;
+                stats.bytes += query_msg_bytes * (members.len() - 1) + anchor_bytes;
+                let t = clock.now();
+                let merged = merge_overlapping(all);
+                let merge_time = self
+                    .speed_of(&topo, members[0])
+                    .scale(clock.now().saturating_sub(t));
+                group_sims.push(replicate + node_phase + gather_in + merge_time);
+                group_merged.push(merged);
+            }
+            let group_phase = parallel_max(group_sims);
+
+            let up_bytes: usize = group_merged
+                .iter()
+                .map(|a| a.len() * HSP_WIRE_BYTES + MSG_OVERHEAD_BYTES)
+                .sum();
+            let gather = latency.transfer(up_bytes);
+            stats.messages += plan.groups.len();
+            stats.bytes += up_bytes;
+
+            let t = clock.now();
+            let all: Vec<Hsp> = group_merged.into_iter().flatten().collect();
+            let merged = merge_overlapping(all);
+            stats.anchors = merged.len();
+            let hits = self.finalize(query, merged, params, &matrix);
+            let raw_finalize = clock.now().saturating_sub(t);
+            self.obs
+                .counter("mendel.query.finalize_nanos")
+                .add(raw_finalize.as_nanos() as u64);
+            let finalize = entry_speed.scale(raw_finalize);
+
+            let timings = StageTimings {
+                decompose: plan.decompose,
+                scatter,
+                group_phase,
+                gather,
+                finalize,
+            };
+            self.record_stage_timings(&timings);
+            out.push(Ok(QueryReport {
+                hits,
+                timings,
+                stats,
+                coverage: coverage.clone(),
+                metrics: self.obs.snapshot().since(&before),
+                trace: None,
+                critical_path: Vec::new(),
+            }));
+        }
+        out
+    }
+
     /// The cluster's Karlin–Altschul statistics.
     pub fn karlin(&self) -> KarlinParams {
         self.karlin
@@ -1621,6 +1918,7 @@ impl MendelCluster {
         let karlin = Self::default_karlin(config.alphabet);
         let groups = config.groups;
         let storage = Self::init_storage(&config, &obs, None)?;
+        let sched = Arc::new(Scheduler::new(SchedConfig::default(), &obs));
         Ok(MendelCluster {
             config,
             topology: RwLock::new(topology),
@@ -1637,6 +1935,7 @@ impl MendelCluster {
             karlin,
             index_elapsed: Duration::ZERO,
             storage,
+            sched,
         })
     }
 
@@ -1757,6 +2056,64 @@ mod tests {
             let r = c.query_from(NodeId(n), &q, &params).unwrap();
             assert_eq!(r.hits, baseline.hits, "entry {n}");
         }
+    }
+
+    #[test]
+    fn query_batch_matches_sequential_hits() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let params = QueryParams::protein();
+        let queries: Vec<Vec<u8>> = (0..6)
+            .map(|i| db.get(SeqId(i * 3)).unwrap().residues.clone())
+            .collect();
+        let batch = c.query_batch(&queries, &params);
+        assert_eq!(batch.len(), queries.len());
+        for (q, r) in queries.iter().zip(&batch) {
+            let seq = c.query(q, &params).unwrap();
+            let r = r.as_ref().unwrap();
+            assert_eq!(r.hits, seq.hits, "batched hits must match sequential");
+            assert_eq!(r.stats.subqueries, seq.stats.subqueries);
+            assert_eq!(r.stats.groups_contacted, seq.stats.groups_contacted);
+            assert_eq!(r.stats.candidates, seq.stats.candidates);
+            assert_eq!(r.stats.anchors, seq.stats.anchors);
+        }
+    }
+
+    #[test]
+    fn query_batch_sheds_past_admission_bound() {
+        let db = small_db();
+        let c = small_cluster(&db).with_scheduler(mendel_sched::SchedConfig {
+            workers: 2,
+            max_in_flight: 2,
+        });
+        let q = db.get(SeqId(1)).unwrap().residues.clone();
+        let queries = vec![q.clone(), q.clone(), q.clone(), q];
+        let results = c.query_batch(&queries, &QueryParams::protein());
+        assert!(results[0].is_ok() && results[1].is_ok());
+        for r in &results[2..] {
+            assert!(
+                matches!(r, Err(MendelError::Shed { limit: 2, .. })),
+                "past the bound queries shed, got {r:?}"
+            );
+        }
+        let snap = c.metrics_snapshot();
+        assert_eq!(snap.counter("mendel.sched.shed"), 2);
+        // Permits released: a follow-up batch is admitted again.
+        let again = c.query_batch(&queries[..1], &QueryParams::protein());
+        assert!(again[0].is_ok());
+    }
+
+    #[test]
+    fn query_batch_rejects_short_query_but_serves_rest() {
+        let db = small_db();
+        let c = small_cluster(&db);
+        let good = db.get(SeqId(2)).unwrap().residues.clone();
+        let results = c.query_batch(&[vec![0u8; 4], good.clone()], &QueryParams::protein());
+        assert!(matches!(&results[0], Err(MendelError::Query(_))));
+        assert_eq!(
+            results[1].as_ref().unwrap().hits,
+            c.query(&good, &QueryParams::protein()).unwrap().hits
+        );
     }
 
     #[test]

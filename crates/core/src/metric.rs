@@ -5,7 +5,7 @@
 //! without triangle-inequality repair) for proteins. A small enum avoids
 //! making every tree generic at the cluster API surface.
 
-use mendel_seq::{Hamming, MatrixDistance, Metric, ScoringMatrix, WindowView};
+use mendel_seq::{Hamming, MatrixDistance, Metric, ScoringMatrix};
 use std::sync::Arc;
 
 /// The per-block distance function used by every vp-tree in a cluster.
@@ -41,46 +41,34 @@ impl BlockMetric {
     }
 }
 
-impl Metric<[u8]> for BlockMetric {
+/// One blanket impl covers every byte-window point type the trees use —
+/// `[u8]` slices, owned `Vec<u8>` blocks, and arena-backed
+/// [`mendel_seq::WindowView`]s — so the SIMD kernels behind the inner
+/// metrics plug in at exactly one seam (previously three hand-written
+/// delegations).
+impl<T: AsRef<[u8]> + ?Sized> Metric<T> for BlockMetric {
     #[inline]
-    fn dist(&self, a: &[u8], b: &[u8]) -> f32 {
+    fn dist(&self, a: &T, b: &T) -> f32 {
         match self {
-            BlockMetric::Hamming => Hamming.dist(a, b),
-            BlockMetric::Matrix(m) => m.dist(a, b),
+            BlockMetric::Hamming => Hamming.dist(a.as_ref(), b.as_ref()),
+            BlockMetric::Matrix(m) => m.dist(a.as_ref(), b.as_ref()),
         }
     }
 
     #[inline]
-    fn dist_bounded(&self, a: &[u8], b: &[u8], bound: f32) -> Option<f32> {
+    fn dist_bounded(&self, a: &T, b: &T, bound: f32) -> Option<f32> {
         match self {
-            BlockMetric::Hamming => Hamming.dist_bounded(a, b, bound),
-            BlockMetric::Matrix(m) => m.dist_bounded(a, b, bound),
+            BlockMetric::Hamming => Hamming.dist_bounded(a.as_ref(), b.as_ref(), bound),
+            BlockMetric::Matrix(m) => m.dist_bounded(a.as_ref(), b.as_ref(), bound),
         }
     }
-}
 
-impl Metric<Vec<u8>> for BlockMetric {
-    #[inline]
-    fn dist(&self, a: &Vec<u8>, b: &Vec<u8>) -> f32 {
-        Metric::<[u8]>::dist(self, a.as_slice(), b.as_slice())
-    }
-
-    #[inline]
-    fn dist_bounded(&self, a: &Vec<u8>, b: &Vec<u8>, bound: f32) -> Option<f32> {
-        Metric::<[u8]>::dist_bounded(self, a.as_slice(), b.as_slice(), bound)
-    }
-}
-
-/// The storage nodes' vp-trees index arena-backed [`WindowView`] points.
-impl Metric<WindowView> for BlockMetric {
-    #[inline]
-    fn dist(&self, a: &WindowView, b: &WindowView) -> f32 {
-        Metric::<[u8]>::dist(self, a.as_slice(), b.as_slice())
-    }
-
-    #[inline]
-    fn dist_bounded(&self, a: &WindowView, b: &WindowView, bound: f32) -> Option<f32> {
-        Metric::<[u8]>::dist_bounded(self, a.as_slice(), b.as_slice(), bound)
+    fn dist_bounded_many(&self, a: &T, bs: &[&T], bound: f32, out: &mut Vec<Option<f32>>) {
+        let slices: Vec<&[u8]> = bs.iter().map(|b| b.as_ref()).collect();
+        match self {
+            BlockMetric::Hamming => Hamming.dist_bounded_many(a.as_ref(), &slices, bound, out),
+            BlockMetric::Matrix(m) => m.dist_bounded_many(a.as_ref(), &slices, bound, out),
+        }
     }
 }
 

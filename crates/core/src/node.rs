@@ -45,6 +45,37 @@ pub struct StorageNode {
     alphabet: Alphabet,
 }
 
+/// `(subject, diagonal)` → query range already covered by an anchor.
+type CoveredMap = std::collections::HashMap<(u32, i64), (usize, usize)>;
+
+/// Borrowed per-request context shared by every subquery evaluation —
+/// one instance per query in both the sequential and batched paths.
+#[derive(Clone, Copy)]
+struct SubqueryCtx<'a> {
+    db: &'a SeqStore,
+    query: &'a [u8],
+    block_len: usize,
+    params: &'a QueryParams,
+    matrix: &'a ScoringMatrix,
+    positive: Option<&'a ScoringMatrix>,
+}
+
+/// A block and its replicas (or overlapping k-NN results) can extend to
+/// the same segment; dedupe exact duplicates so the group stage merges
+/// real information.
+fn finish_output(out: &mut LocalSearchOutput) {
+    out.anchors.sort_unstable_by_key(|h| {
+        (
+            h.subject_id,
+            h.diagonal(),
+            h.query_start,
+            h.query_end,
+            h.score,
+        )
+    });
+    out.anchors.dedup();
+}
+
 /// Result of evaluating one subquery against one node: surviving,
 /// extended anchors plus the candidate count inspected.
 #[derive(Debug, Clone, Default)]
@@ -198,22 +229,102 @@ impl StorageNode {
         params: &QueryParams,
         matrix: &ScoringMatrix,
     ) -> LocalSearchOutput {
-        let positive = (self.alphabet == Alphabet::Protein).then_some(matrix);
         let db = self.db.read().clone();
+        let cx = SubqueryCtx {
+            db: &db,
+            query,
+            block_len,
+            params,
+            matrix,
+            positive: (self.alphabet == Alphabet::Protein).then_some(matrix),
+        };
         let mut out = LocalSearchOutput::default();
         // (subject, diagonal) → query range already covered by an anchor.
-        let mut covered: std::collections::HashMap<(u32, i64), (usize, usize)> =
-            std::collections::HashMap::new();
+        let mut covered: CoveredMap = CoveredMap::new();
         // One shared backing for every subquery view — the same zero-copy
         // representation the tree's own points use.
         let query_backing: Arc<[u8]> = Arc::from(query);
         for &offset in offsets {
-            let window = &query[offset..offset + block_len];
             let qview = WindowView::new(query_backing.clone(), offset, block_len);
             let neighbors = self
                 .tree
                 .knn_with_budget(&qview, params.n, params.search_budget);
-            out.candidates += neighbors.len();
+            self.eval_subquery(&cx, offset, neighbors, &mut covered, &mut out);
+        }
+        finish_output(&mut out);
+        out
+    }
+
+    /// Batched variant of [`Self::local_search_many`] for many concurrent
+    /// queries: every subquery window of every request goes through one
+    /// [`DynamicVpTree::knn_batch`] pass (leaf scans shared across the
+    /// whole batch), then each request's candidate filtering, coverage
+    /// tracking, and anchor extension replays in request order. Per-
+    /// request outputs are bit-identical to calling `local_search_many`
+    /// once per request.
+    pub fn local_search_batch(
+        &self,
+        requests: &[(&[u8], &[usize])],
+        block_len: usize,
+        params: &QueryParams,
+        matrix: &ScoringMatrix,
+    ) -> Vec<LocalSearchOutput> {
+        let db = self.db.read().clone();
+        let mut views = Vec::new();
+        for &(query, offsets) in requests {
+            let backing: Arc<[u8]> = Arc::from(query);
+            for &offset in offsets {
+                views.push(WindowView::new(backing.clone(), offset, block_len));
+            }
+        }
+        let mut neighbor_lists = self
+            .tree
+            .knn_batch(&views, params.n, params.search_budget)
+            .into_iter();
+        let mut outputs = Vec::with_capacity(requests.len());
+        for &(query, offsets) in requests {
+            let cx = SubqueryCtx {
+                db: &db,
+                query,
+                block_len,
+                params,
+                matrix,
+                positive: (self.alphabet == Alphabet::Protein).then_some(matrix),
+            };
+            let mut out = LocalSearchOutput::default();
+            let mut covered: CoveredMap = CoveredMap::new();
+            for &offset in offsets {
+                let neighbors = neighbor_lists.next().unwrap_or_default();
+                self.eval_subquery(&cx, offset, neighbors, &mut covered, &mut out);
+            }
+            finish_output(&mut out);
+            outputs.push(out);
+        }
+        outputs
+    }
+
+    /// Evaluate one subquery's k-NN candidates: §V-B filtering, coverage
+    /// tracking, and ungapped anchor extension. Shared verbatim between
+    /// the sequential and batched search paths so they cannot drift.
+    fn eval_subquery(
+        &self,
+        cx: &SubqueryCtx<'_>,
+        offset: usize,
+        neighbors: Vec<mendel_vptree::Neighbor>,
+        covered: &mut CoveredMap,
+        out: &mut LocalSearchOutput,
+    ) {
+        let SubqueryCtx {
+            db,
+            query,
+            block_len,
+            params,
+            matrix,
+            positive,
+        } = *cx;
+        let window = &query[offset..offset + block_len];
+        out.candidates += neighbors.len();
+        {
             for nb in neighbors {
                 // Tree point indices equal store refs (fed in lockstep); a
                 // desync would be a bug, but degrading to "skip candidate"
@@ -270,20 +381,6 @@ impl StorageNode {
                 });
             }
         }
-        // A block and its replicas (or overlapping k-NN results) can
-        // extend to the same segment; dedupe exact duplicates here so the
-        // group stage merges real information.
-        out.anchors.sort_unstable_by_key(|h| {
-            (
-                h.subject_id,
-                h.diagonal(),
-                h.query_start,
-                h.query_end,
-                h.score,
-            )
-        });
-        out.anchors.dedup();
-        out
     }
 
     /// Single-subquery convenience wrapper over [`Self::local_search_many`].

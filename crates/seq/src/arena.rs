@@ -126,6 +126,17 @@ impl<M: Metric<[u8]>> Metric<WindowView> for BlockDistance<M> {
     fn dist_bounded(&self, a: &WindowView, b: &WindowView, bound: f32) -> Option<f32> {
         self.inner.dist_bounded(a, b, bound)
     }
+
+    fn dist_bounded_many(
+        &self,
+        a: &WindowView,
+        bs: &[&WindowView],
+        bound: f32,
+        out: &mut Vec<Option<f32>>,
+    ) {
+        let slices: Vec<&[u8]> = bs.iter().map(|b| b.as_ref()).collect();
+        self.inner.dist_bounded_many(a, &slices, bound, out)
+    }
 }
 
 /// A per-node sequence arena: one immutable backing buffer per sequence,

@@ -56,6 +56,22 @@ pub trait Metric<T: ?Sized>: Send + Sync {
         let d = self.dist(a, b);
         (d <= bound).then_some(d)
     }
+
+    /// Bounded distance from one query to *many* candidates under the
+    /// same bound, appending one [`Self::dist_bounded`]-identical result
+    /// per candidate to `out` (in candidate order; `out` is cleared
+    /// first).
+    ///
+    /// This is the seam the SIMD kernels plug into (DESIGN.md §15): the
+    /// serial f32 accumulation order of a single pair can never be
+    /// reassociated without breaking bit-identity, but lanes *across*
+    /// candidates are independent, so implementations vectorize one
+    /// candidate per lane. The default simply loops `dist_bounded`,
+    /// which keeps wrappers like [`Unbounded`] exact by construction.
+    fn dist_bounded_many(&self, a: &T, bs: &[&T], bound: f32, out: &mut Vec<Option<f32>>) {
+        out.clear();
+        out.extend(bs.iter().map(|b| self.dist_bounded(a, b, bound)));
+    }
 }
 
 /// Hamming distance over equal-length encoded windows — the paper's DNA
@@ -68,11 +84,12 @@ pub trait Metric<T: ?Sized>: Send + Sync {
 pub struct Hamming;
 
 impl Hamming {
-    /// Hamming distance as an integer count.
+    /// Hamming distance as an integer count. Dispatches to the SIMD
+    /// byte-compare kernel when available ([`crate::simd`]); the count
+    /// is an integer so every dispatch is exact.
     #[inline]
     pub fn count(a: &[u8], b: &[u8]) -> usize {
-        assert_eq!(a.len(), b.len(), "Hamming distance requires equal lengths");
-        a.iter().zip(b).filter(|(x, y)| x != y).count()
+        crate::simd::hamming_count(a, b)
     }
 }
 
@@ -84,6 +101,13 @@ impl Metric<[u8]> for Hamming {
 
     fn dist_bounded(&self, a: &[u8], b: &[u8], bound: f32) -> Option<f32> {
         assert_eq!(a.len(), b.len(), "Hamming distance requires equal lengths");
+        if crate::simd::simd_enabled() {
+            // One cmpeq+movemask per 16/32 bytes beats abandoning early
+            // at block-window lengths, and the integer count is exact
+            // under any chunking.
+            let d = crate::simd::hamming_count(a, b) as f32;
+            return (d <= bound).then_some(d);
+        }
         const LANE: usize = 16;
         let n = a.len();
         let mut count = 0usize;
@@ -288,32 +312,19 @@ impl Metric<[u8]> for MatrixDistance {
     /// chain of the adds.
     fn dist_bounded(&self, a: &[u8], b: &[u8], bound: f32) -> Option<f32> {
         assert_eq!(a.len(), b.len(), "window distance requires equal lengths");
-        const LANE: usize = 8;
-        let n = a.len();
         // `iter::Sum<f32>` folds from -0.0 (it preserves every addend,
-        // including -0.0); seed identically so even the empty window's
-        // result matches `dist` bit-for-bit.
-        let mut sum = -0.0f32;
-        let mut i = 0;
-        while i + LANE <= n {
-            sum += self.residue_dist(a[i], b[i]);
-            sum += self.residue_dist(a[i + 1], b[i + 1]);
-            sum += self.residue_dist(a[i + 2], b[i + 2]);
-            sum += self.residue_dist(a[i + 3], b[i + 3]);
-            sum += self.residue_dist(a[i + 4], b[i + 4]);
-            sum += self.residue_dist(a[i + 5], b[i + 5]);
-            sum += self.residue_dist(a[i + 6], b[i + 6]);
-            sum += self.residue_dist(a[i + 7], b[i + 7]);
-            if sum > bound {
-                return None;
-            }
-            i += LANE;
-        }
-        while i < n {
-            sum += self.residue_dist(a[i], b[i]);
-            i += 1;
-        }
-        (sum <= bound).then_some(sum)
+        // including -0.0); the kernel seeds identically so even the
+        // empty window's result matches `dist` bit-for-bit.
+        crate::simd::matrix_sum_scalar(&self.d, self.n, a, b, bound)
+    }
+
+    /// Multi-candidate bounded kernel: one SIMD/ILP lane per candidate,
+    /// each accumulating in the identical strict left-to-right f32 order
+    /// as [`Metric::dist`], so every `Some` is bit-identical to the
+    /// per-pair kernel (see [`crate::simd`]).
+    fn dist_bounded_many(&self, a: &[u8], bs: &[&[u8]], bound: f32, out: &mut Vec<Option<f32>>) {
+        out.clear();
+        crate::simd::matrix_dist_bounded_many(&self.d, self.n, a, bs, bound, out);
     }
 }
 
@@ -342,6 +353,17 @@ impl<M: Metric<[u8]>> Metric<Vec<u8>> for BlockDistance<M> {
     #[inline]
     fn dist_bounded(&self, a: &Vec<u8>, b: &Vec<u8>, bound: f32) -> Option<f32> {
         self.inner.dist_bounded(a, b, bound)
+    }
+
+    fn dist_bounded_many(
+        &self,
+        a: &Vec<u8>,
+        bs: &[&Vec<u8>],
+        bound: f32,
+        out: &mut Vec<Option<f32>>,
+    ) {
+        let slices: Vec<&[u8]> = bs.iter().map(|b| b.as_slice()).collect();
+        self.inner.dist_bounded_many(a, &slices, bound, out)
     }
 }
 

@@ -32,6 +32,7 @@ pub mod gen;
 pub mod matrix;
 pub mod pack;
 pub mod seq;
+pub mod simd;
 pub mod stats;
 pub mod translate;
 

@@ -1,0 +1,369 @@
+//! Multi-query batched kNN: scan each visited leaf once for many
+//! concurrent queries (DESIGN.md §15.2).
+//!
+//! [`VpTree::knn_batch`] answers a whole batch of queries in one pass
+//! with **per-query results bit-identical to [`VpTree::knn_with_budget`]**,
+//! including all four `SearchMetrics` counters. The trick is to keep
+//! every query's *traversal* private — an explicit stack that replays
+//! the recursive descent decision-for-decision — while sharing the
+//! expensive part, the leaf scans:
+//!
+//! 1. each query advances through internal nodes until it *parks* at a
+//!    leaf (or finishes);
+//! 2. parked queries are grouped by leaf; each leaf's candidate windows
+//!    are materialized once per group and evaluated through the
+//!    multi-candidate [`Metric::dist_bounded_many`] kernel (one SIMD/ILP
+//!    lane per candidate);
+//! 3. kernel verdicts are *replayed* in sequential bucket order against
+//!    each query's live τ.
+//!
+//! The replay is exact, not approximate. A candidate chunk is evaluated
+//! under the τ a query held when the chunk started (`τ_chunk`); τ only
+//! shrinks, so at replay time the live bound `τ_live ≤ τ_chunk`. By the
+//! `dist_bounded` contract (`Some(d)` ⟺ `d ≤ bound`):
+//!
+//! * kernel `None` ⟹ `d > τ_chunk ≥ τ_live` ⟹ the sequential scan would
+//!   also see `None` — count an early abandon;
+//! * kernel `Some(d)` with `d ≤ τ_live` ⟹ the sequential scan would see
+//!   the bit-identical `Some(d)` — offer it to the heap;
+//! * kernel `Some(d)` with `d > τ_live` ⟹ sequential `None` — early
+//!   abandon.
+//!
+//! Budgets are re-checked before every replayed candidate, exactly where
+//! the sequential loop checks them, so a budget-exhausted query stops on
+//! the same candidate with the same counters.
+
+use crate::knn::{KnnHeap, Neighbor};
+use crate::metrics::SearchTally;
+use crate::tree::{Node, VpTree, NIL};
+use mendel_seq::Metric;
+use std::collections::BTreeMap;
+
+/// How many candidates are evaluated per kernel call during a batched
+/// leaf scan. One chunk shares a single bound (the query's τ at chunk
+/// start); smaller chunks track the shrinking τ more closely, larger
+/// chunks feed the SIMD lanes better. 16 covers two AVX2 gather groups.
+const LEAF_CHUNK: usize = 16;
+
+/// A pending traversal step: visit `node` if the query ball still
+/// intersects its distance band. `d` is the query↔vantage distance of
+/// the parent that pushed the frame.
+struct Frame {
+    node: u32,
+    d: f32,
+    bounds: (f32, f32),
+    /// The root frame skips the band test — `knn_with_budget` enters the
+    /// root unconditionally.
+    root: bool,
+}
+
+/// Per-query traversal state: explicit stack, result heap, remaining
+/// budget, and a private counter tally (flushed once, like the
+/// sequential path).
+struct QueryState {
+    stack: Vec<Frame>,
+    heap: KnnHeap,
+    budget: usize,
+    tally: SearchTally,
+    /// Leaf the query is parked at, or `NIL`.
+    parked: u32,
+    done: bool,
+}
+
+impl QueryState {
+    fn exhaust(&mut self) {
+        // Sequential budget exhaustion unwinds the recursion without
+        // touching another counter; dropping the stack is equivalent.
+        self.stack.clear();
+        self.done = true;
+    }
+}
+
+impl<P, M: Metric<P>> VpTree<P, M> {
+    /// Batched k-nearest-neighbour search: one result vector per query,
+    /// each bit-identical (results *and* observability counters) to
+    /// `knn_with_budget(query, n, budget)`.
+    pub fn knn_batch(&self, queries: &[P], n: usize, budget: usize) -> Vec<Vec<Neighbor>> {
+        if self.root == NIL || n == 0 || budget == 0 {
+            return queries.iter().map(|_| Vec::new()).collect();
+        }
+        let mut states: Vec<QueryState> = queries
+            .iter()
+            .map(|_| QueryState {
+                stack: vec![Frame {
+                    node: self.root,
+                    d: 0.0,
+                    bounds: (0.0, 0.0),
+                    root: true,
+                }],
+                heap: KnnHeap::new(n),
+                budget,
+                tally: SearchTally::default(),
+                parked: NIL,
+                done: false,
+            })
+            .collect();
+
+        for (st, query) in states.iter_mut().zip(queries) {
+            self.advance(st, query);
+        }
+        let mut verdicts: Vec<Option<f32>> = Vec::with_capacity(LEAF_CHUNK);
+        loop {
+            // Group parked queries by leaf so each leaf's candidate refs
+            // are materialized once per round (BTreeMap: deterministic
+            // scan order).
+            let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+            for (qi, st) in states.iter().enumerate() {
+                if !st.done && st.parked != NIL {
+                    groups.entry(st.parked).or_default().push(qi);
+                }
+            }
+            if groups.is_empty() {
+                break;
+            }
+            for (leaf, members) in groups {
+                let Node::Leaf { bucket } = &self.nodes[leaf as usize] else {
+                    continue;
+                };
+                let cands: Vec<&P> = bucket.iter().map(|&i| &self.points[i as usize]).collect();
+                for qi in members {
+                    let st = &mut states[qi];
+                    st.parked = NIL;
+                    self.scan_leaf(st, &queries[qi], bucket, &cands, &mut verdicts);
+                    if !st.done {
+                        self.advance(st, &queries[qi]);
+                    }
+                }
+            }
+        }
+
+        states
+            .into_iter()
+            .map(|st| {
+                st.tally.flush(&self.obs);
+                st.heap.into_sorted()
+            })
+            .collect()
+    }
+
+    /// Pop frames until the query parks at a leaf or finishes. Mirrors
+    /// `search_rec` exactly: band tests use the live τ at pop time,
+    /// which is when the recursion would evaluate them (the first child
+    /// is popped immediately after its parent; the second only after the
+    /// first subtree completed).
+    fn advance(&self, st: &mut QueryState, query: &P) {
+        while let Some(fr) = st.stack.pop() {
+            if !fr.root {
+                if fr.node == NIL {
+                    continue;
+                }
+                if !Self::band_intersects(fr.d, st.heap.tau(), fr.bounds) {
+                    continue;
+                }
+            }
+            if st.budget == 0 {
+                st.exhaust();
+                return;
+            }
+            st.tally.nodes_visited += 1;
+            match &self.nodes[fr.node as usize] {
+                Node::Leaf { .. } => {
+                    st.tally.leaf_scans += 1;
+                    st.parked = fr.node;
+                    return;
+                }
+                Node::Internal {
+                    vantage,
+                    radius,
+                    left,
+                    right,
+                    left_bounds,
+                    right_bounds,
+                } => {
+                    let tau = st.heap.tau();
+                    let vantage_bound = if tau.is_infinite() {
+                        f32::INFINITY
+                    } else {
+                        tau + left_bounds.1.max(right_bounds.1)
+                    };
+                    let bounded = self.metric.dist_bounded(
+                        query,
+                        &self.points[*vantage as usize],
+                        vantage_bound,
+                    );
+                    st.budget -= 1;
+                    st.tally.dist_calls += 1;
+                    let Some(d) = bounded else {
+                        st.tally.early_abandons += 1;
+                        continue;
+                    };
+                    st.heap.offer(*vantage, d);
+                    let (first, second, fb, sb) = if d <= *radius {
+                        (*left, *right, *left_bounds, *right_bounds)
+                    } else {
+                        (*right, *left, *right_bounds, *left_bounds)
+                    };
+                    st.stack.push(Frame {
+                        node: second,
+                        d,
+                        bounds: sb,
+                        root: false,
+                    });
+                    st.stack.push(Frame {
+                        node: first,
+                        d,
+                        bounds: fb,
+                        root: false,
+                    });
+                }
+            }
+        }
+        st.done = true;
+    }
+
+    /// τ-staged batched leaf scan (module docs): evaluate candidate
+    /// chunks through the multi-candidate kernel under the chunk-start
+    /// τ, then replay verdicts in bucket order against the live τ.
+    fn scan_leaf(
+        &self,
+        st: &mut QueryState,
+        query: &P,
+        bucket: &[u32],
+        cands: &[&P],
+        verdicts: &mut Vec<Option<f32>>,
+    ) {
+        let mut i = 0;
+        while i < bucket.len() {
+            if st.budget == 0 {
+                st.exhaust();
+                return;
+            }
+            let hi = (i + LEAF_CHUNK).min(bucket.len());
+            let chunk_tau = st.heap.tau();
+            self.metric
+                .dist_bounded_many(query, &cands[i..hi], chunk_tau, verdicts);
+            for (j, verdict) in (i..hi).zip(verdicts.iter()) {
+                if st.budget == 0 {
+                    st.exhaust();
+                    return;
+                }
+                st.budget -= 1;
+                st.tally.dist_calls += 1;
+                match verdict {
+                    Some(d) if *d <= st.heap.tau() => st.heap.offer(bucket[j], *d),
+                    _ => st.tally.early_abandons += 1,
+                }
+            }
+            i = hi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SearchMetrics;
+    use mendel_obs::Registry;
+    use mendel_seq::{Alphabet, BlockDistance, MatrixDistance, Unbounded};
+
+    fn lcg_windows(count: usize, len: usize, alpha: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as usize % alpha) as u8
+        };
+        (0..count)
+            .map(|_| (0..len).map(|_| next()).collect())
+            .collect()
+    }
+
+    fn counters(reg: &Registry) -> [u64; 4] {
+        let snap = reg.snapshot();
+        [
+            snap.counter("mendel.vptree.dist_calls"),
+            snap.counter("mendel.vptree.early_abandons"),
+            snap.counter("mendel.vptree.nodes_visited"),
+            snap.counter("mendel.vptree.leaf_scans"),
+        ]
+    }
+
+    /// Core bit-identity property: results and counter totals of the
+    /// batched search equal the sequential search, across metrics, k,
+    /// budgets, and batch shapes.
+    #[test]
+    fn knn_batch_is_bit_identical_to_sequential() {
+        let matrix = MatrixDistance::mendel(&mendel_seq::ScoringMatrix::blosum62());
+        for (alpha, tree_seed) in [(24usize, 7u64), (24, 99), (4, 13)] {
+            let points = lcg_windows(300, 16, alpha, tree_seed);
+            let queries = lcg_windows(33, 16, alpha, tree_seed ^ 0xFFFF);
+            let metric = BlockDistance::new(matrix.clone());
+            let seq_reg = Registry::new();
+            let batch_reg = Registry::new();
+            let mut seq_tree = VpTree::build(points.clone(), metric.clone(), 8, tree_seed);
+            seq_tree.set_metrics(SearchMetrics::registered(&seq_reg));
+            let mut batch_tree = VpTree::build(points, metric, 8, tree_seed);
+            batch_tree.set_metrics(SearchMetrics::registered(&batch_reg));
+            for (k, budget) in [(1usize, usize::MAX), (4, usize::MAX), (4, 37), (8, 120)] {
+                let expected: Vec<Vec<Neighbor>> = queries
+                    .iter()
+                    .map(|q| seq_tree.knn_with_budget(q, k, budget))
+                    .collect();
+                let got = batch_tree.knn_batch(&queries, k, budget);
+                for (qi, (e, g)) in expected.iter().zip(&got).enumerate() {
+                    assert_eq!(e.len(), g.len(), "k {k} budget {budget} query {qi}");
+                    for (en, gn) in e.iter().zip(g) {
+                        assert_eq!(en.index, gn.index, "k {k} budget {budget} query {qi}");
+                        assert_eq!(
+                            en.dist.to_bits(),
+                            gn.dist.to_bits(),
+                            "k {k} budget {budget} query {qi}"
+                        );
+                    }
+                }
+                assert_eq!(
+                    counters(&seq_reg),
+                    counters(&batch_reg),
+                    "counter totals diverged at k {k} budget {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_batch_matches_sequential_under_unbounded_metric() {
+        let points = lcg_windows(150, 12, 4, 21);
+        let queries = lcg_windows(17, 12, 4, 22);
+        let tree = VpTree::build(
+            points,
+            Unbounded(BlockDistance::new(MatrixDistance::unit(Alphabet::Dna))),
+            6,
+            21,
+        );
+        let got = tree.knn_batch(&queries, 5, usize::MAX);
+        for (q, g) in queries.iter().zip(&got) {
+            let e = tree.knn_with_budget(q, 5, usize::MAX);
+            assert_eq!(e, *g);
+        }
+    }
+
+    #[test]
+    fn knn_batch_degenerate_inputs() {
+        let points = lcg_windows(40, 8, 4, 3);
+        let tree = VpTree::build(
+            points,
+            BlockDistance::new(MatrixDistance::unit(Alphabet::Dna)),
+            4,
+            3,
+        );
+        assert!(tree.knn_batch(&[], 4, usize::MAX).is_empty());
+        let queries = lcg_windows(3, 8, 4, 5);
+        assert_eq!(tree.knn_batch(&queries, 0, usize::MAX), vec![vec![]; 3]);
+        assert_eq!(tree.knn_batch(&queries, 4, 0), vec![vec![]; 3]);
+        // Budget 1 spends the single call on the root vantage.
+        for (q, g) in queries.iter().zip(tree.knn_batch(&queries, 4, 1)) {
+            assert_eq!(tree.knn_with_budget(q, 4, 1), g);
+        }
+    }
+}

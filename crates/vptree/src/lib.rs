@@ -19,6 +19,7 @@
 //! DNA blocks under Hamming distance and protein blocks under the Mendel
 //! BLOSUM62-derived distance.
 
+pub mod batch;
 pub mod dynamic;
 pub mod knn;
 pub mod metrics;

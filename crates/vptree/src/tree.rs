@@ -538,7 +538,7 @@ impl<P, M: Metric<P>> VpTree<P, M> {
     /// ball `[d−τ, d+τ]` intersects the child's distance band `[lo, hi]`
     /// as seen from the vantage point.
     #[inline]
-    fn band_intersects(d: f32, tau: f32, (lo, hi): (f32, f32)) -> bool {
+    pub(crate) fn band_intersects(d: f32, tau: f32, (lo, hi): (f32, f32)) -> bool {
         if tau.is_infinite() {
             return true;
         }

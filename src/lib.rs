@@ -7,6 +7,7 @@ pub use mendel_blast as blast;
 pub use mendel_dht as dht;
 pub use mendel_net as net;
 pub use mendel_obs as obs;
+pub use mendel_sched as sched;
 pub use mendel_seq as seq;
 pub use mendel_store as store;
 pub use mendel_vptree as vptree;

@@ -1,0 +1,207 @@
+//! Multi-query batching property suite (DESIGN.md §15): for random
+//! batches of random queries, under both metrics (protein/MatrixDistance
+//! and DNA/Hamming) and both storage backends (memory and durable),
+//! `MendelCluster::query_batch` returns hits **bit-identical** to the
+//! sequential `query` path — the batched vp-tree traversal replays every
+//! sequential search decision exactly.
+
+use mendel_suite::core::{
+    ClusterConfig, MendelCluster, MendelError, MendelHit, QueryParams, StorageBackend,
+};
+use mendel_suite::seq::gen::{NrLikeSpec, QuerySetSpec};
+use mendel_suite::seq::Alphabet;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// One pre-built cluster plus a pool of realistic queries against it.
+struct World {
+    cluster: MendelCluster,
+    pool: Vec<Vec<u8>>,
+}
+
+fn build_world(alphabet: Alphabet, backend: StorageBackend, seed: u64) -> World {
+    let db = Arc::new(
+        NrLikeSpec {
+            alphabet,
+            families: 10,
+            members_per_family: 2,
+            length_range: (100, 200),
+            seed,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap(),
+    );
+    let base = match alphabet {
+        Alphabet::Protein => ClusterConfig::small_protein(),
+        Alphabet::Dna => ClusterConfig::small_dna(),
+    };
+    let cluster = MendelCluster::build(
+        ClusterConfig {
+            storage: backend,
+            ..base
+        },
+        db.clone(),
+    )
+    .unwrap();
+    // Query pool: mutated windows (80% identity) plus raw subsequences.
+    let mut pool: Vec<Vec<u8>> = QuerySetSpec {
+        count: 8,
+        length: 80,
+        identity: 0.8,
+        seed: seed ^ 0x9E37,
+    }
+    .generate(&db)
+    .unwrap()
+    .into_iter()
+    .map(|q| q.query.residues)
+    .collect();
+    for i in 0..4 {
+        let s = &db.iter().nth(i * 3).unwrap().residues;
+        pool.push(s[..s.len().min(120)].to_vec());
+    }
+    World { cluster, pool }
+}
+
+fn world(alphabet: Alphabet, durable: bool) -> &'static World {
+    static WORLDS: [OnceLock<World>; 4] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    let idx = (matches!(alphabet, Alphabet::Dna) as usize) * 2 + durable as usize;
+    WORLDS[idx].get_or_init(|| {
+        let backend = if durable {
+            StorageBackend::durable()
+        } else {
+            StorageBackend::Memory
+        };
+        build_world(alphabet, backend, 0xBA7C + idx as u64)
+    })
+}
+
+/// Every field of a hit, floats as raw bit patterns.
+#[allow(clippy::type_complexity)]
+fn hit_bits(h: &MendelHit) -> (u32, i32, u64, u64, usize, usize, usize, usize, u32) {
+    (
+        h.subject.0,
+        h.score,
+        h.bits.to_bits(),
+        h.evalue.to_bits(),
+        h.query_start,
+        h.query_end,
+        h.subject_start,
+        h.subject_end,
+        h.identity.to_bits(),
+    )
+}
+
+fn assert_batch_matches(world: &World, picks: &[usize], k: usize) {
+    let mut params = match world.cluster.config().alphabet {
+        Alphabet::Protein => QueryParams::protein(),
+        Alphabet::Dna => QueryParams::dna(),
+    };
+    params.k = k;
+    let queries: Vec<Vec<u8>> = picks.iter().map(|&i| world.pool[i].clone()).collect();
+    let batch = world.cluster.query_batch(&queries, &params);
+    assert_eq!(batch.len(), queries.len());
+    for (q, r) in queries.iter().zip(&batch) {
+        let sequential = world.cluster.query(q, &params).unwrap();
+        let batched = r.as_ref().unwrap();
+        let a: Vec<_> = batched.hits.iter().map(hit_bits).collect();
+        let b: Vec<_> = sequential.hits.iter().map(hit_bits).collect();
+        assert_eq!(a, b, "batched hits must be bit-identical to sequential");
+        assert_eq!(batched.stats.candidates, sequential.stats.candidates);
+        assert_eq!(batched.stats.anchors, sequential.stats.anchors);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Memory backend, protein cluster (MatrixDistance bounded kernel).
+    #[test]
+    fn protein_memory_batch_is_bit_identical(
+        picks in proptest::collection::vec(0usize..12, 1..64),
+        k in 1usize..4,
+    ) {
+        assert_batch_matches(world(Alphabet::Protein, false), &picks, k);
+    }
+
+    /// Memory backend, DNA cluster (Hamming SIMD kernel).
+    #[test]
+    fn dna_memory_batch_is_bit_identical(
+        picks in proptest::collection::vec(0usize..12, 1..64),
+        k in 1usize..4,
+    ) {
+        assert_batch_matches(world(Alphabet::Dna, false), &picks, k);
+    }
+}
+
+proptest! {
+    // The durable clusters pay WAL + recovery machinery per build; a few
+    // cases over the same worlds still sweep batch sizes and k.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Durable backend, protein cluster.
+    #[test]
+    fn protein_durable_batch_is_bit_identical(
+        picks in proptest::collection::vec(0usize..12, 1..48),
+        k in 1usize..4,
+    ) {
+        assert_batch_matches(world(Alphabet::Protein, true), &picks, k);
+    }
+
+    /// Durable backend, DNA cluster.
+    #[test]
+    fn dna_durable_batch_is_bit_identical(
+        picks in proptest::collection::vec(0usize..12, 1..48),
+        k in 1usize..4,
+    ) {
+        assert_batch_matches(world(Alphabet::Dna, true), &picks, k);
+    }
+}
+
+/// Duplicate queries inside one batch each get the full, identical answer
+/// (regression guard for leaf-group bookkeeping keyed by query index).
+#[test]
+fn duplicate_queries_in_one_batch_agree() {
+    let w = world(Alphabet::Protein, false);
+    let q = w.pool[0].clone();
+    let params = QueryParams::protein();
+    let batch = w.cluster.query_batch(&[q.clone(), q.clone(), q], &params);
+    let first: Vec<_> = batch[0]
+        .as_ref()
+        .unwrap()
+        .hits
+        .iter()
+        .map(hit_bits)
+        .collect();
+    for r in &batch {
+        let bits: Vec<_> = r.as_ref().unwrap().hits.iter().map(hit_bits).collect();
+        assert_eq!(bits, first);
+    }
+}
+
+/// A shed query errors without contaminating its batch-mates.
+#[test]
+fn shed_query_leaves_batch_mates_bit_identical() {
+    let w = world(Alphabet::Dna, false);
+    let cluster = MendelCluster::build(ClusterConfig::small_dna(), w.cluster.db())
+        .unwrap()
+        .with_scheduler(mendel_suite::sched::SchedConfig {
+            workers: 2,
+            max_in_flight: 2,
+        });
+    let params = QueryParams::dna();
+    let queries: Vec<Vec<u8>> = w.pool[..3].to_vec();
+    let results = cluster.query_batch(&queries, &params);
+    assert!(matches!(results[2], Err(MendelError::Shed { .. })));
+    for (q, r) in queries[..2].iter().zip(&results[..2]) {
+        let seq = cluster.query(q, &params).unwrap();
+        let a: Vec<_> = r.as_ref().unwrap().hits.iter().map(hit_bits).collect();
+        let b: Vec<_> = seq.hits.iter().map(hit_bits).collect();
+        assert_eq!(a, b);
+    }
+}

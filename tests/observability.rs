@@ -256,7 +256,13 @@ fn identical_serial_runs_produce_identical_counter_deltas() {
         for i in 0..4u32 {
             let query = db.get(SeqId(i * 3)).unwrap().residues.clone();
             let report = cluster.query(&query, &params).unwrap();
-            deltas.push(report.metrics.counters);
+            // The `*_nanos` counters meter real (wall-clock) compute time
+            // for the qps bench; they are the one family that legitimately
+            // varies between identical seeded runs, so they are excluded
+            // from the determinism assertion.
+            let mut counters = report.metrics.counters;
+            counters.retain(|name, _| !name.ends_with("_nanos"));
+            deltas.push(counters);
         }
         deltas
     };
