@@ -156,6 +156,27 @@ if [ "$MODE" != "quick" ]; then
         cargo run --release -q -p mendel-bench --bin durability_bench -- --smoke
 fi
 
+# 14. Real serving layer (DESIGN.md §16): frame-codec hostile-input +
+#    property tests, transport conformance against both the simulated
+#    and TCP backends, then the multi-process loopback cluster — three
+#    `mendel serve` OS processes, HTTP-ingested, answering byte-identical
+#    to the in-process twin, with SIGKILL degradation matching
+#    fail_node. The suite skips itself with a notice when the sandbox
+#    forbids loopback sockets and retries spawn rounds on port
+#    collisions; a hard timeout keeps a wedged child from hanging the
+#    gate.
+step "frame codec + transport conformance" \
+    cargo test -p mendel-net --test frame_props --test transport_conformance -q
+if [ "$MODE" != "quick" ]; then
+    if command -v timeout >/dev/null 2>&1; then
+        step "multi-process serve suite (loopback)" \
+            timeout --kill-after=30 300 cargo test -p mendel-cli --test serve -q
+    else
+        step "multi-process serve suite (loopback)" \
+            cargo test -p mendel-cli --test serve -q
+    fi
+fi
+
 echo
 if [ "$FAILED" -ne 0 ]; then
     echo "CI gate FAILED"

@@ -45,7 +45,7 @@ const GUARD_METHODS: [&str; 3] = ["lock", "read", "write"];
 /// Calls that block or perform I/O; making one while a guard is live is
 /// the `guard-across-io` smell (waivable via
 /// `audit:allow(guard-across-io): <reason>`).
-const IO_CALLS: [&str; 17] = [
+const IO_CALLS: [&str; 21] = [
     "send",
     "send_traced",
     "recv",
@@ -65,6 +65,12 @@ const IO_CALLS: [&str; 17] = [
     "write_all",
     "create",
     "read_to_end",
+    // Socket I/O (the TCP transport and HTTP front-end): connects and
+    // blocking reads can stall for a full timeout.
+    "connect",
+    "connect_timeout",
+    "accept",
+    "read_exact",
 ];
 
 /// One lock acquisition site.

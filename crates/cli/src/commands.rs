@@ -628,6 +628,7 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         "durability" => cmd_durability(&args),
         "trace-dump" => cmd_trace_dump(&args),
         "bench-qps" => cmd_bench_qps(&args),
+        "serve" => crate::serve::cmd_serve(&args),
         "trace" => Err(CliError::UnknownCommand(
             "trace (did you mean `mendel trace dump`?)".into(),
         )),

@@ -1,0 +1,375 @@
+//! A minimal HTTP/1.1 front-end for `mendel serve`.
+//!
+//! Small on purpose: the serve node needs exactly four routes (`POST
+//! /ingest`, `POST /query`, `GET /metrics`, `GET /healthz`) plus an
+//! orderly shutdown, and the workspace vendors no HTTP stack — so this
+//! is a from-scratch, thread-per-connection server over
+//! `std::net::TcpListener`. Every connection carries one request
+//! (`Connection: close`), which keeps parsing trivial and is plenty for
+//! a control/query plane measured in requests per second, not
+//! thousands.
+//!
+//! Hostile-input posture mirrors the frame codec: requests are parsed
+//! into a typed [`Request`] or rejected with a 4xx, bodies above
+//! [`MAX_BODY`] are refused before allocation, and a malformed preamble
+//! never panics the acceptor.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard ceiling on a request body (FASTA ingests are the largest
+/// legitimate payload). Larger Content-Lengths are rejected with 413
+/// before any buffer is allocated.
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Per-connection socket timeouts so a stalled client cannot pin a
+/// handler thread forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercased).
+    pub method: String,
+    /// The path component, query string stripped.
+    pub path: String,
+    /// The body (empty when no Content-Length was sent).
+    pub body: Vec<u8>,
+}
+
+/// One response; the server adds Content-Length and Connection headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Content-Type header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Request handler: pure function from request to response. Handler
+/// panics are caught per connection and answered as 500 so one bad
+/// query cannot take the server down.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// The server: an acceptor thread plus one short-lived thread per
+/// connection. [`HttpServer::shutdown`] (also run on drop) stops the
+/// acceptor and joins it; in-flight handler threads finish their one
+/// request and exit.
+pub struct HttpServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (port 0 allowed) and start serving `handler`.
+    pub fn bind(addr: SocketAddr, handler: Handler) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("mendel-http-accept".into())
+                .spawn(move || accept_loop(&listener, &handler, &stop))?
+        };
+        Ok(HttpServer {
+            local,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The socket actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Stop accepting and join the acceptor. Idempotent.
+    pub fn shutdown(&mut self) {
+        // audit:ordering(Relaxed): best-effort stop flag; the wake-up connection below does the real unblocking
+        if self.stop.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.local, Duration::from_millis(200));
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, handler: &Handler, stop: &Arc<AtomicBool>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                // audit:ordering(Relaxed): best-effort stop flag re-check
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+        };
+        // audit:ordering(Relaxed): best-effort stop flag re-check
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let handler = handler.clone();
+        let _ = std::thread::Builder::new()
+            .name("mendel-http-conn".into())
+            .spawn(move || serve_connection(stream, &handler));
+    }
+}
+
+fn serve_connection(stream: TcpStream, handler: &Handler) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let response = match read_request(&stream) {
+        Ok(req) => {
+            // A panicking handler answers 500 instead of killing the
+            // connection silently (the thread is already isolated).
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&req))) {
+                Ok(resp) => resp,
+                Err(_) => Response::json(500, "{\"error\":\"internal handler failure\"}"),
+            }
+        }
+        Err(status) => Response::json(status, format!("{{\"error\":{:?}}}", status_reason(status))),
+    };
+    let _ = write_response(&stream, &response);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Parse one request off the stream; `Err` is the status to answer.
+fn read_request(stream: &TcpStream) -> Result<Request, u16> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|_| 400u16)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(400u16)?.to_ascii_uppercase();
+    let target = parts.next().ok_or(400u16)?;
+    let version = parts.next().ok_or(400u16)?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(400);
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    // Headers: only Content-Length matters to us.
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).map_err(|_| 400u16)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| 400u16)?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(413);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|_| 400u16)?;
+    Ok(Request { method, path, body })
+}
+
+fn write_response(mut stream: &TcpStream, resp: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        status_reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)
+}
+
+/// Blocking one-shot HTTP client, for tests and the multi-process
+/// harness: one request per connection, mirroring the server.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = None;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> HttpServer {
+        let handler: Handler =
+            Arc::new(
+                |req: &Request| match (req.method.as_str(), req.path.as_str()) {
+                    ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
+                    ("POST", "/echo") => Response::text(200, req.body.clone()),
+                    ("GET", "/boom") => panic!("handler blew up"),
+                    _ => Response::json(404, "{\"error\":\"no such route\"}"),
+                },
+            );
+        HttpServer::bind("127.0.0.1:0".parse().expect("loopback"), handler).expect("bind")
+    }
+
+    #[test]
+    fn routes_get_and_post() {
+        let server = echo_server();
+        let (status, body) =
+            http_request(server.local_addr(), "GET", "/healthz", b"").expect("get");
+        assert_eq!(status, 200);
+        assert_eq!(body, b"{\"status\":\"ok\"}");
+        let (status, body) =
+            http_request(server.local_addr(), "POST", "/echo", b"MKTAYIAK").expect("post");
+        assert_eq!(status, 200);
+        assert_eq!(body, b"MKTAYIAK");
+        let (status, _) = http_request(server.local_addr(), "GET", "/nope", b"").expect("404");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn query_strings_are_stripped() {
+        let server = echo_server();
+        let (status, _) =
+            http_request(server.local_addr(), "GET", "/healthz?verbose=1", b"").expect("get");
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn handler_panic_is_a_500_and_server_survives() {
+        let server = echo_server();
+        let (status, _) = http_request(server.local_addr(), "GET", "/boom", b"").expect("500");
+        assert_eq!(status, 500);
+        let (status, _) = http_request(server.local_addr(), "GET", "/healthz", b"").expect("alive");
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn garbage_preamble_is_rejected_not_fatal() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .write_all(b"\x00\x01\x02 not http at all\r\n\r\n")
+            .expect("write");
+        let mut out = String::new();
+        let mut reader = BufReader::new(&stream);
+        let _ = reader.read_line(&mut out);
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        // And the server still answers real requests.
+        let (status, _) = http_request(server.local_addr(), "GET", "/healthz", b"").expect("alive");
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn oversized_content_length_is_413_before_allocation() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let head = format!(
+            "POST /echo HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        stream.write_all(head.as_bytes()).expect("write");
+        let mut out = String::new();
+        let mut reader = BufReader::new(&stream);
+        let _ = reader.read_line(&mut out);
+        assert!(out.starts_with("HTTP/1.1 413"), "{out}");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins() {
+        let mut server = echo_server();
+        server.shutdown();
+        server.shutdown();
+        assert!(http_request(server.local_addr(), "GET", "/healthz", b"").is_err());
+    }
+}

@@ -9,6 +9,8 @@
 //! mendel metrics  --index db.mendel --db db.fasta [--query q.fasta] [--format json]
 //! mendel trace dump --index db.mendel --db db.fasta --query q.fasta [--format tree]
 //! mendel bench qps --index db.mendel --db db.fasta --query q.fasta [--batch 32]
+//! mendel serve    --node 0 --listen 127.0.0.1:7701 --http 127.0.0.1:8701
+//!                 --peers 1=127.0.0.1:7702,2=127.0.0.1:7703 [--config serve.toml]
 //! mendel help
 //! ```
 //!
@@ -17,9 +19,12 @@
 
 pub mod args;
 pub mod commands;
+pub mod http;
+pub mod serve;
 
 pub use args::{ArgError, Args};
 pub use commands::{run, CliError};
+pub use serve::{render_outcome_json, ServeConfig};
 
 /// Usage text for `mendel help` and errors.
 pub const USAGE: &str = "\
@@ -43,5 +48,9 @@ USAGE:
                   [--format chrome|tree] [--out <path>]
   mendel bench qps --index <snapshot> --db <fasta> --query <fasta>
                   [--batch N]
+  mendel serve    --node N --listen <host:port> --http <host:port>
+                  [--peers N=host:port,...] [--config <toml>] [--db <fasta>]
+                  [--nodes N] [--groups N] [--replication N] [--seed N] [--dna]
+                  [--data-dir <dir>] [--rpc-timeout-ms N] [--member-timeout-ms N]
   mendel help
 ";

@@ -1,0 +1,664 @@
+//! `mendel serve` — run one storage node as a real OS process.
+//!
+//! Each process builds its [`MendelCluster`] control plane
+//! deterministically from the ingested corpus (same FASTA + same
+//! cluster parameters ⇒ same routing tables and block placement in
+//! every process), serves its node's share of query traffic over a
+//! [`mendel::NodeServer`] TCP transport, and exposes a small HTTP/JSON
+//! front-end:
+//!
+//! * `POST /ingest`  — body: FASTA; builds the cluster and starts
+//!   serving (idempotent: re-ingesting replaces the cluster).
+//! * `POST /query`   — body: residues (raw or FASTA); answers with
+//!   hits + coverage JSON rendered by [`render_outcome_json`].
+//! * `GET  /metrics` — Prometheus text exposition (cluster + transport).
+//! * `GET  /healthz` — liveness + whether the node is serving yet.
+//! * `POST /shutdown` — orderly exit (tests also just SIGKILL).
+//!
+//! Configuration comes from a TOML-subset file (`--config serve.toml`)
+//! and/or flags, flags winning:
+//!
+//! ```toml
+//! node = 0
+//! listen = "127.0.0.1:7701"          # node-to-node TCP transport
+//! http = "127.0.0.1:8701"            # HTTP front-end
+//! peers = "1=127.0.0.1:7702,2=127.0.0.1:7703"
+//! nodes = 3
+//! groups = 1
+//! replication = 1
+//! data-dir = "/var/lib/mendel/node0" # durable backend over RealVfs
+//! rpc-timeout-ms = 2000
+//! member-timeout-ms = 500
+//! ```
+//!
+//! The supported TOML subset is flat `key = value` lines (quoted
+//! strings, bare integers/booleans) plus comments — enough for a node
+//! config file while keeping the parser dependency-free and fully
+//! tested.
+
+use crate::args::{ArgError, Args};
+use crate::commands::CliError;
+use crate::http::{Handler, HttpServer, Request, Response};
+use mendel::store::RealVfs;
+use mendel::{
+    ClusterConfig, CoverageReport, MendelCluster, MendelError, MendelHit, MonotonicClock,
+    NodeServer, QueryParams, StorageBackend, TcpFrontEnd, WireTimeouts,
+};
+use mendel_dht::NodeId;
+use mendel_net::mailbox::NodeAddr;
+use mendel_net::tcp::TcpConfig;
+use mendel_net::TransportMetrics;
+use mendel_seq::{parse_fasta_sequences, Alphabet, SeqStore};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything a serve process needs to know, after merging config file
+/// and flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// This process's node id (0-based, must be `< nodes`).
+    pub node: u16,
+    /// Node-to-node transport listen address.
+    pub listen: SocketAddr,
+    /// HTTP front-end listen address.
+    pub http: SocketAddr,
+    /// Other nodes' transport addresses: `node-id=host:port,...`.
+    pub peers: Vec<(u16, SocketAddr)>,
+    /// Optional FASTA to ingest at startup (otherwise `POST /ingest`).
+    pub db: Option<String>,
+    /// DNA alphabet instead of protein.
+    pub dna: bool,
+    /// Cluster shape (must match every peer process).
+    pub nodes: usize,
+    /// Group count.
+    pub groups: usize,
+    /// Block length override (0 = alphabet default).
+    pub block_len: usize,
+    /// Replication degree.
+    pub replication: usize,
+    /// Placement/index seed (must match every peer process).
+    pub seed: u64,
+    /// Durable storage root; `None` runs RAM-only.
+    pub data_dir: Option<String>,
+    /// Wire deadlines.
+    pub timeouts: WireTimeouts,
+}
+
+fn bad(key: &str, value: &str, expected: &'static str) -> CliError {
+    CliError::Args(ArgError::BadValue {
+        key: key.into(),
+        value: value.into(),
+        expected,
+    })
+}
+
+/// Parse the supported TOML subset: `key = value` lines, `#` comments,
+/// quoted strings, bare scalars. Keys are normalised (`_` → `-`).
+/// Sections, arrays, and multi-line values are rejected loudly rather
+/// than misread.
+pub fn parse_toml_subset(text: &str) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {}: sections are not supported in the serve config subset",
+                lineno + 1
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `key = value`", lineno + 1));
+        };
+        let key = key.trim().replace('_', "-");
+        let mut value = value.trim();
+        // Strip a trailing comment from bare scalars (quoted strings
+        // keep their content verbatim).
+        let value = if let Some(stripped) = value.strip_prefix('"') {
+            let Some(end) = stripped.find('"') else {
+                return Err(format!("line {}: unterminated string", lineno + 1));
+            };
+            stripped[..end].to_string()
+        } else {
+            if let Some(hash) = value.find('#') {
+                value = value[..hash].trim_end();
+            }
+            if value.is_empty() || value.contains(char::is_whitespace) {
+                return Err(format!(
+                    "line {}: bare values cannot be empty or contain spaces",
+                    lineno + 1
+                ));
+            }
+            value.to_string()
+        };
+        if out.insert(key.clone(), value).is_some() {
+            return Err(format!("line {}: duplicate key {key:?}", lineno + 1));
+        }
+    }
+    Ok(out)
+}
+
+/// Parse `node-id=host:port,...`.
+fn parse_peers(raw: &str) -> Result<Vec<(u16, SocketAddr)>, CliError> {
+    let mut out = Vec::new();
+    for part in raw.split(',').filter(|p| !p.trim().is_empty()) {
+        let Some((id, addr)) = part.trim().split_once('=') else {
+            return Err(bad("peers", raw, "node-id=host:port,..."));
+        };
+        let id: u16 = id
+            .trim()
+            .parse()
+            .map_err(|_| bad("peers", raw, "node-id=host:port,..."))?;
+        let addr: SocketAddr = addr
+            .trim()
+            .parse()
+            .map_err(|_| bad("peers", raw, "node-id=host:port,..."))?;
+        out.push((id, addr));
+    }
+    Ok(out)
+}
+
+impl ServeConfig {
+    /// Merge `--config <toml>` (if given) with flags; flags win.
+    pub fn from_args(args: &Args) -> Result<ServeConfig, CliError> {
+        let mut merged: HashMap<String, String> = HashMap::new();
+        if let Some(path) = args.get("config") {
+            let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.into(), e))?;
+            merged = parse_toml_subset(&text).map_err(|msg| {
+                CliError::Io(
+                    path.into(),
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, msg),
+                )
+            })?;
+        }
+        let pick = |key: &str| -> Option<String> {
+            args.get(key)
+                .map(str::to_string)
+                .or_else(|| merged.get(key).cloned())
+        };
+        let parse_num = |key: &str, default: u64| -> Result<u64, CliError> {
+            match pick(key) {
+                None => Ok(default),
+                Some(raw) => raw.parse().map_err(|_| bad(key, &raw, "integer")),
+            }
+        };
+        let parse_sock = |key: &str| -> Result<SocketAddr, CliError> {
+            let raw =
+                pick(key).ok_or_else(|| CliError::Args(ArgError::MissingOption(key.into())))?;
+            raw.parse().map_err(|_| bad(key, &raw, "host:port"))
+        };
+        let dna = args.flag("dna") || merged.get("dna").is_some_and(|v| v == "true" || v == "1");
+        let base = if dna {
+            ClusterConfig::small_dna()
+        } else {
+            ClusterConfig::small_protein()
+        };
+        let timeouts = WireTimeouts {
+            rpc: Duration::from_millis(parse_num("rpc-timeout-ms", 30_000)?),
+            member: Duration::from_millis(parse_num("member-timeout-ms", 15_000)?),
+        };
+        Ok(ServeConfig {
+            node: parse_num("node", 0)? as u16,
+            listen: parse_sock("listen")?,
+            http: parse_sock("http")?,
+            peers: parse_peers(&pick("peers").unwrap_or_default())?,
+            db: pick("db"),
+            dna,
+            nodes: parse_num("nodes", base.nodes as u64)? as usize,
+            groups: parse_num("groups", base.groups as u64)? as usize,
+            block_len: parse_num("block-len", base.block_len as u64)? as usize,
+            replication: parse_num("replication", base.replication as u64)? as usize,
+            seed: parse_num("seed", base.seed)?,
+            data_dir: pick("data-dir"),
+            timeouts,
+        })
+    }
+
+    fn alphabet(&self) -> Alphabet {
+        if self.dna {
+            Alphabet::Dna
+        } else {
+            Alphabet::Protein
+        }
+    }
+
+    fn cluster_config(&self) -> ClusterConfig {
+        let base = if self.dna {
+            ClusterConfig::small_dna()
+        } else {
+            ClusterConfig::small_protein()
+        };
+        ClusterConfig {
+            nodes: self.nodes,
+            groups: self.groups,
+            block_len: self.block_len,
+            replication: self.replication,
+            seed: self.seed,
+            storage: if self.data_dir.is_some() {
+                StorageBackend::durable()
+            } else {
+                StorageBackend::Memory
+            },
+            ..base
+        }
+    }
+
+    fn query_params(&self) -> QueryParams {
+        if self.dna {
+            QueryParams::dna()
+        } else {
+            QueryParams::protein()
+        }
+    }
+}
+
+/// Render hits + coverage as deterministic JSON. The multi-process
+/// twin test renders the in-process outcome with this same function and
+/// asserts byte equality with the HTTP body, so keep every float
+/// formatted by Rust's shortest-roundtrip `Display`.
+pub fn render_outcome_json(
+    db: &SeqStore,
+    hits: &[MendelHit],
+    coverage: &CoverageReport,
+    unreachable: &[NodeId],
+) -> String {
+    let mut out = String::from("{\"hits\":[");
+    for (i, h) in hits.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let name = db
+            .get(h.subject)
+            .map(|s| s.name.clone())
+            .unwrap_or_default();
+        let _ = write!(
+            out,
+            "{{\"subject\":{},\"name\":{name:?},\"score\":{},\"bits\":{},\"evalue\":{},\
+             \"identity\":{},\"query_start\":{},\"query_end\":{},\"subject_start\":{},\
+             \"subject_end\":{}}}",
+            h.subject.0,
+            h.score,
+            h.bits,
+            h.evalue,
+            h.identity,
+            h.query_start,
+            h.query_end,
+            h.subject_start,
+            h.subject_end,
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"coverage\":{{\"blocks_expected\":{},\"blocks_reachable\":{},\"degraded\":{},\
+         \"unreachable\":[",
+        coverage.blocks_expected, coverage.blocks_reachable, coverage.degraded,
+    );
+    for (i, n) in unreachable.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", n.0);
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// A serving node: cluster replica + TCP node server + query front-end.
+struct Serving {
+    cluster: Arc<MendelCluster>,
+    /// Held for its Drop: owns the bound transport + serving thread.
+    _node_server: NodeServer,
+    front: TcpFrontEnd,
+    sequences: usize,
+}
+
+struct State {
+    cfg: ServeConfig,
+    serving: Mutex<Option<Serving>>,
+    stop: AtomicBool,
+}
+
+impl State {
+    /// Build the cluster from FASTA text and start (or restart) the
+    /// node server and front-end.
+    fn ingest(&self, fasta: &str) -> Result<(usize, usize), CliError> {
+        let alphabet = self.cfg.alphabet();
+        let mut store = SeqStore::new();
+        for s in parse_fasta_sequences(fasta, alphabet)? {
+            store.insert(s);
+        }
+        let sequences = store.len();
+        let db = Arc::new(store);
+        let config = self.cfg.cluster_config();
+        let cluster = Arc::new(match &self.cfg.data_dir {
+            None => MendelCluster::build(config, db)?,
+            Some(dir) => {
+                let vfs = RealVfs::new(dir).map_err(|e| {
+                    CliError::Mendel(MendelError::Store(format!("data dir {dir}: {e}")))
+                })?;
+                MendelCluster::build_with_storage(
+                    config,
+                    db,
+                    Arc::new(MonotonicClock::new()),
+                    Some(Arc::new(vfs)),
+                )?
+            }
+        });
+        let me = NodeId(self.cfg.node);
+        let peer_addrs: Vec<(NodeAddr, SocketAddr)> = self
+            .cfg
+            .peers
+            .iter()
+            .map(|&(id, sock)| (NodeAddr(id + 1), sock))
+            .collect();
+        // Tear the previous incarnation down before rebinding the port.
+        *self.serving.lock() = None;
+        let node_server = NodeServer::start(
+            cluster.clone(),
+            me,
+            self.cfg.listen,
+            &peer_addrs,
+            TcpConfig::default(),
+            TransportMetrics::detached(),
+            self.cfg.timeouts,
+        )
+        .map_err(|e| CliError::Io(self.cfg.listen.to_string(), e))?;
+        let mut front_peers = peer_addrs.clone();
+        if let Some(sock) = node_server.local_socket_addr() {
+            front_peers.push((NodeAddr(me.0 + 1), sock));
+        }
+        let front = TcpFrontEnd::connect(
+            cluster.clone(),
+            self.cfg.node,
+            &front_peers,
+            TcpConfig::default(),
+            TransportMetrics::detached(),
+            self.cfg.timeouts,
+        );
+        let blocks = cluster.total_blocks();
+        *self.serving.lock() = Some(Serving {
+            cluster,
+            _node_server: node_server,
+            front,
+            sequences,
+        });
+        Ok((sequences, blocks))
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => {
+                let serving = self.serving.lock().is_some();
+                Response::json(
+                    200,
+                    format!(
+                        "{{\"status\":\"ok\",\"node\":{},\"serving\":{serving}}}",
+                        self.cfg.node
+                    ),
+                )
+            }
+            ("POST", "/ingest") => {
+                let Ok(text) = std::str::from_utf8(&req.body) else {
+                    return Response::json(400, "{\"error\":\"ingest body must be UTF-8 FASTA\"}");
+                };
+                match self.ingest(text) {
+                    Ok((sequences, blocks)) => Response::json(
+                        200,
+                        format!(
+                            "{{\"ingested\":true,\"sequences\":{sequences},\"blocks\":{blocks}}}"
+                        ),
+                    ),
+                    Err(e) => Response::json(400, format!("{{\"error\":{:?}}}", e.to_string())),
+                }
+            }
+            ("POST", "/query") => {
+                let Ok(text) = std::str::from_utf8(&req.body) else {
+                    return Response::json(400, "{\"error\":\"query body must be UTF-8\"}");
+                };
+                let residues = match extract_query(text, self.cfg.alphabet()) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        return Response::json(400, format!("{{\"error\":{:?}}}", e.to_string()))
+                    }
+                };
+                let guard = self.serving.lock();
+                let Some(serving) = guard.as_ref() else {
+                    return Response::json(503, "{\"error\":\"no corpus ingested yet\"}");
+                };
+                match serving.front.query(&residues, &self.cfg.query_params()) {
+                    Ok(outcome) => Response::json(
+                        200,
+                        render_outcome_json(
+                            &serving.cluster.db(),
+                            &outcome.hits,
+                            &outcome.coverage,
+                            &outcome.unreachable,
+                        ),
+                    ),
+                    Err(e) => Response::json(400, format!("{{\"error\":{:?}}}", e.to_string())),
+                }
+            }
+            ("GET", "/metrics") => {
+                let guard = self.serving.lock();
+                let Some(serving) = guard.as_ref() else {
+                    return Response::text(200, "# no corpus ingested yet\n");
+                };
+                Response::text(200, serving.cluster.metrics_snapshot().to_prometheus())
+            }
+            ("POST", "/shutdown") => {
+                // audit:ordering(Relaxed): best-effort stop flag; the serve loop polls it
+                self.stop.store(true, Ordering::Relaxed);
+                Response::json(200, "{\"shutting_down\":true}")
+            }
+            _ => Response::json(404, "{\"error\":\"no such route\"}"),
+        }
+    }
+}
+
+/// Accept a raw residue string or a FASTA record (first sequence).
+fn extract_query(text: &str, alphabet: Alphabet) -> Result<Vec<u8>, CliError> {
+    let trimmed = text.trim();
+    if trimmed.starts_with('>') {
+        let mut seqs = parse_fasta_sequences(trimmed, alphabet)?;
+        if seqs.is_empty() {
+            return Err(bad("query", "<empty fasta>", "FASTA with one sequence"));
+        }
+        return Ok(seqs.remove(0).residues);
+    }
+    let cleaned: String = trimmed.chars().filter(|c| !c.is_whitespace()).collect();
+    let seqs = parse_fasta_sequences(&format!(">query\n{cleaned}\n"), alphabet)?;
+    Ok(seqs
+        .into_iter()
+        .next()
+        .map(|s| s.residues)
+        .unwrap_or_default())
+}
+
+/// Readiness marker for process harnesses: printed exactly once, after
+/// the HTTP socket is live. `cmd_serve` blocks until shutdown, so this
+/// cannot be returned through `run()` like other command output.
+#[allow(clippy::print_stdout)]
+fn announce_ready(node: u16, http: SocketAddr) {
+    // audit:allow(println): serve readiness marker; the command blocks until shutdown
+    println!("mendel serve: node {node} http {http} ready");
+}
+
+/// `mendel serve` — blocks until `POST /shutdown` (or the process is
+/// killed). Returns a one-line summary for tests that exercise the
+/// orderly path.
+pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let cfg = ServeConfig::from_args(args)?;
+    let state = Arc::new(State {
+        cfg: cfg.clone(),
+        serving: Mutex::new(None),
+        stop: AtomicBool::new(false),
+    });
+    if let Some(db_path) = &cfg.db {
+        let text =
+            std::fs::read_to_string(db_path).map_err(|e| CliError::Io(db_path.clone(), e))?;
+        state.ingest(&text)?;
+    }
+    let handler: Handler = {
+        let state = state.clone();
+        Arc::new(move |req: &Request| state.handle(req))
+    };
+    let mut http =
+        HttpServer::bind(cfg.http, handler).map_err(|e| CliError::Io(cfg.http.to_string(), e))?;
+    announce_ready(cfg.node, http.local_addr());
+    // audit:ordering(Relaxed): best-effort stop flag; polling loop
+    while !state.stop.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    http.shutdown();
+    let served = state
+        .serving
+        .lock()
+        .as_ref()
+        .map(|s| s.sequences)
+        .unwrap_or(0);
+    *state.serving.lock() = None;
+    Ok(format!(
+        "node {} stopped; last corpus had {served} sequences\n",
+        cfg.node
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn toml_subset_parses_flat_keys() {
+        let parsed = parse_toml_subset(
+            "# node zero\nnode = 0\nlisten = \"127.0.0.1:7701\"\npeers = \"1=127.0.0.1:7702\"\n\
+             replication = 2 # with a comment\ndna = true\n",
+        )
+        .unwrap();
+        assert_eq!(parsed.get("node").map(String::as_str), Some("0"));
+        assert_eq!(
+            parsed.get("listen").map(String::as_str),
+            Some("127.0.0.1:7701")
+        );
+        assert_eq!(parsed.get("replication").map(String::as_str), Some("2"));
+        assert_eq!(parsed.get("dna").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn toml_subset_rejects_sections_and_garbage() {
+        assert!(parse_toml_subset("[node]\n")
+            .unwrap_err()
+            .contains("section"));
+        assert!(parse_toml_subset("node 0\n")
+            .unwrap_err()
+            .contains("key = value"));
+        assert!(parse_toml_subset("s = \"open\n")
+            .unwrap_err()
+            .contains("unterminated"));
+        assert!(parse_toml_subset("a = 1\na = 2\n")
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(parse_toml_subset("a = one two\n")
+            .unwrap_err()
+            .contains("spaces"));
+    }
+
+    #[test]
+    fn flags_override_config_file() {
+        let dir = std::env::temp_dir().join("mendel-serve-cfg-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.toml");
+        std::fs::write(
+            &path,
+            "node = 1\nlisten = \"127.0.0.1:7701\"\nhttp = \"127.0.0.1:8701\"\n\
+             nodes = 6\ngroups = 2\nrpc-timeout-ms = 1234\n",
+        )
+        .unwrap();
+        let args = Args::parse(&toks(&format!(
+            "serve --config {} --node 2 --groups 3",
+            path.display()
+        )))
+        .unwrap();
+        let cfg = ServeConfig::from_args(&args).unwrap();
+        assert_eq!(cfg.node, 2, "flag beats file");
+        assert_eq!(cfg.groups, 3, "flag beats file");
+        assert_eq!(cfg.nodes, 6, "file fills the rest");
+        assert_eq!(cfg.timeouts.rpc, Duration::from_millis(1234));
+        assert_eq!(cfg.listen, "127.0.0.1:7701".parse().unwrap());
+    }
+
+    #[test]
+    fn missing_listen_is_reported() {
+        let args = Args::parse(&toks("serve --node 0 --http 127.0.0.1:0")).unwrap();
+        let err = ServeConfig::from_args(&args).unwrap_err();
+        assert!(err.to_string().contains("listen"), "{err}");
+    }
+
+    #[test]
+    fn peers_parse_and_reject() {
+        assert_eq!(
+            parse_peers("1=127.0.0.1:7702, 2=127.0.0.1:7703").unwrap(),
+            vec![
+                (1u16, "127.0.0.1:7702".parse().unwrap()),
+                (2u16, "127.0.0.1:7703".parse().unwrap()),
+            ]
+        );
+        assert!(parse_peers("x=1").is_err());
+        assert!(parse_peers("1:no-equals").is_err());
+        assert!(parse_peers("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn render_outcome_json_is_deterministic_and_wellformed() {
+        let db = SeqStore::new();
+        let hits = vec![MendelHit {
+            subject: mendel_seq::SeqId(3),
+            score: 120,
+            bits: 50.25,
+            evalue: 1.5e-20,
+            query_start: 0,
+            query_end: 99,
+            subject_start: 4,
+            subject_end: 103,
+            identity: 0.875,
+        }];
+        let coverage = CoverageReport {
+            blocks_expected: 10,
+            blocks_reachable: 8,
+            per_group: Vec::new(),
+            degraded: true,
+        };
+        let a = render_outcome_json(&db, &hits, &coverage, &[NodeId(2)]);
+        let b = render_outcome_json(&db, &hits, &coverage, &[NodeId(2)]);
+        assert_eq!(a, b);
+        assert!(a.contains("\"subject\":3"));
+        assert!(a.contains("\"bits\":50.25"));
+        assert!(a.contains("\"degraded\":true"));
+        assert!(a.contains("\"unreachable\":[2]"));
+        assert!(a.starts_with('{') && a.ends_with('}'));
+    }
+
+    #[test]
+    fn extract_query_accepts_raw_and_fasta() {
+        let raw = extract_query("MKTAYIAKQR", Alphabet::Protein).unwrap();
+        let fasta = extract_query(">q\nMKTAYIAKQR\n", Alphabet::Protein).unwrap();
+        assert_eq!(raw, fasta);
+        assert!(!raw.is_empty());
+        assert!(
+            extract_query(">empty\n", Alphabet::Protein).is_err()
+                || extract_query(">empty\n", Alphabet::Protein)
+                    .map(|r| r.is_empty())
+                    .unwrap_or(false)
+        );
+    }
+}

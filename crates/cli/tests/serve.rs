@@ -1,0 +1,294 @@
+//! Multi-process serving suite: a real 3-node `mendel serve` cluster on
+//! loopback, answered over HTTP, must be hit-for-hit identical to an
+//! in-process twin built from the same corpus and seed — including the
+//! degraded answer after one node is SIGKILLed.
+//!
+//! Environment posture: if the sandbox forbids loopback sockets the
+//! suite skips with a notice instead of failing; transient port
+//! collisions (ports are probed, released, then rebound by children)
+//! retry the whole spawn round.
+
+use mendel::{ClusterConfig, MendelCluster, QueryParams};
+use mendel_cli::http::http_request;
+use mendel_cli::render_outcome_json;
+use mendel_seq::gen::NrLikeSpec;
+use mendel_seq::{parse_fasta_sequences, write_fasta, Alphabet, SeqId, SeqStore};
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NODES: usize = 3;
+
+/// The cluster shape every process is launched with; the twin must use
+/// the exact same config for bit-identical placement and routing.
+fn shape() -> ClusterConfig {
+    ClusterConfig {
+        nodes: NODES,
+        groups: 1,
+        replication: 1,
+        ..ClusterConfig::small_protein()
+    }
+}
+
+fn corpus_fasta() -> String {
+    let store = NrLikeSpec {
+        families: 6,
+        members_per_family: 2,
+        length_range: (100, 160),
+        seed: 0x77,
+        ..Default::default()
+    }
+    .generate()
+    .expect("generate corpus");
+    write_fasta(store.iter(), 60)
+}
+
+/// Parse the corpus exactly the way each serve process does, so names
+/// and ids line up byte-for-byte.
+fn corpus_store(fasta: &str) -> SeqStore {
+    let mut store = SeqStore::new();
+    for s in parse_fasta_sequences(fasta, Alphabet::Protein).expect("parse corpus") {
+        store.insert(s);
+    }
+    store
+}
+
+/// One spawned serve process; killed (best effort) on drop so a failed
+/// assertion never leaks children.
+struct Proc {
+    node: u16,
+    http: SocketAddr,
+    child: Child,
+}
+
+impl Drop for Proc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Probe `n` free loopback ports. The listeners are dropped before the
+/// children bind, so a collision is possible — the caller retries.
+fn probe_ports(n: usize) -> std::io::Result<Vec<u16>> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<Result<_, _>>()?;
+    listeners
+        .iter()
+        .map(|l| Ok(l.local_addr()?.port()))
+        .collect()
+}
+
+fn spawn_node(node: u16, listen: u16, http: u16, peers: &str) -> std::io::Result<Proc> {
+    let child = Command::new(env!("CARGO_BIN_EXE_mendel"))
+        .args([
+            "serve",
+            "--node",
+            &node.to_string(),
+            "--listen",
+            &format!("127.0.0.1:{listen}"),
+            "--http",
+            &format!("127.0.0.1:{http}"),
+            "--peers",
+            peers,
+            "--nodes",
+            &NODES.to_string(),
+            "--groups",
+            "1",
+            "--replication",
+            "1",
+            "--rpc-timeout-ms",
+            "3000",
+            "--member-timeout-ms",
+            "500",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    Ok(Proc {
+        node,
+        http: format!("127.0.0.1:{http}").parse().expect("socket addr"),
+        child,
+    })
+}
+
+/// Spawn the whole cluster and wait for every node's `/healthz`.
+/// `None` means a child died or never came up (port collision) — retry.
+fn spawn_cluster() -> std::io::Result<Option<Vec<Proc>>> {
+    let ports = probe_ports(2 * NODES)?;
+    let (listen, http) = ports.split_at(NODES);
+    let peers = (0..NODES)
+        .map(|i| format!("{i}=127.0.0.1:{}", listen[i]))
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut procs = Vec::new();
+    for i in 0..NODES {
+        procs.push(spawn_node(i as u16, listen[i], http[i], &peers)?);
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    for p in &mut procs {
+        loop {
+            if let Ok((200, _)) = http_request(p.http, "GET", "/healthz", b"") {
+                break;
+            }
+            if p.child.try_wait()?.is_some() || Instant::now() > deadline {
+                return Ok(None); // died (port collision) or wedged
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    Ok(Some(procs))
+}
+
+/// Wait for an orderly exit, bounded.
+fn wait_exit(p: &mut Proc, within: Duration) -> Option<std::process::ExitStatus> {
+    let deadline = Instant::now() + within;
+    loop {
+        if let Ok(Some(status)) = p.child.try_wait() {
+            return Some(status);
+        }
+        if Instant::now() > deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn three_process_cluster_matches_in_process_twin() {
+    // Skip (loudly) where the sandbox forbids loopback sockets.
+    if let Err(e) = TcpListener::bind("127.0.0.1:0") {
+        eprintln!("SKIPPED: loopback sockets unavailable in this environment: {e}");
+        return;
+    }
+
+    let fasta = corpus_fasta();
+    let mut procs = None;
+    for attempt in 0..3 {
+        match spawn_cluster().expect("spawn serve processes") {
+            Some(p) => {
+                procs = Some(p);
+                break;
+            }
+            None => eprintln!("spawn round {attempt} lost a port race; retrying"),
+        }
+    }
+    let mut procs = procs.expect("cluster up within 3 spawn rounds");
+
+    // Ingest the same corpus into every process; each builds the same
+    // control plane from it.
+    for p in &procs {
+        let (status, body) =
+            http_request(p.http, "POST", "/ingest", fasta.as_bytes()).expect("ingest request");
+        assert_eq!(
+            status,
+            200,
+            "ingest on node {}: {}",
+            p.node,
+            String::from_utf8_lossy(&body)
+        );
+    }
+
+    // The in-process twin: same parse, same config, same seed.
+    let twin = MendelCluster::build(shape(), Arc::new(corpus_store(&fasta))).expect("twin");
+    let params = QueryParams::protein();
+
+    // Healthy cluster: every node's HTTP answer must be byte-identical
+    // to the twin rendered through the same JSON writer.
+    for (p, seq) in procs.iter().zip([0u32, 3, 9]) {
+        let record = twin.db().get(SeqId(seq)).expect("corpus seq").clone();
+        let report = twin.query(&record.residues, &params).expect("twin query");
+        let want = render_outcome_json(&twin.db(), &report.hits, &twin.coverage(), &[]);
+        let (status, body) = http_request(p.http, "POST", "/query", record.to_ascii().as_bytes())
+            .expect("query request");
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        assert_eq!(
+            String::from_utf8_lossy(&body),
+            want,
+            "node {} HTTP answer matches the in-process twin byte-for-byte (seq {seq})",
+            p.node
+        );
+        let (status, metrics) = http_request(p.http, "GET", "/metrics", b"").expect("metrics");
+        assert_eq!(status, 200);
+        assert!(!metrics.is_empty(), "metrics exposition is non-empty");
+    }
+
+    // SIGKILL a non-entry-point member of the (only) group, then query
+    // through a surviving front-end: the degraded answer must match the
+    // twin's fail_node semantics (PR 2 failover) exactly.
+    let topo = twin.topology();
+    let group = topo.group_ids().next().expect("a group");
+    let victim = topo.group_members(group)[1];
+    let vpos = procs
+        .iter()
+        .position(|p| p.node == victim.0)
+        .expect("victim process");
+    procs[vpos].child.kill().expect("SIGKILL victim");
+    let _ = procs[vpos].child.wait();
+
+    let degraded_twin =
+        MendelCluster::build(shape(), Arc::new(corpus_store(&fasta))).expect("twin");
+    degraded_twin.fail_node(victim).expect("fail victim");
+    let record = degraded_twin
+        .db()
+        .get(SeqId(0))
+        .expect("corpus seq")
+        .clone();
+    let report = degraded_twin
+        .query(&record.residues, &params)
+        .expect("degraded twin query");
+    let want = render_outcome_json(
+        &degraded_twin.db(),
+        &report.hits,
+        &degraded_twin.coverage(),
+        &[victim],
+    );
+    let survivor = procs
+        .iter()
+        .find(|p| p.node != victim.0)
+        .expect("a survivor");
+    let (status, body) = http_request(
+        survivor.http,
+        "POST",
+        "/query",
+        record.to_ascii().as_bytes(),
+    )
+    .expect("degraded query");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(
+        String::from_utf8_lossy(&body),
+        want,
+        "degraded HTTP answer matches the fail_node twin byte-for-byte"
+    );
+
+    // Orderly shutdown of the survivors.
+    for p in &mut procs {
+        if p.node == victim.0 {
+            continue;
+        }
+        let (status, _) = http_request(p.http, "POST", "/shutdown", b"").expect("shutdown");
+        assert_eq!(status, 200);
+        let exit = wait_exit(p, Duration::from_secs(10)).expect("orderly exit");
+        assert!(exit.success(), "node {} exits cleanly: {exit:?}", p.node);
+    }
+}
+
+/// `serve` argument errors are reported without touching the network.
+#[test]
+fn serve_arg_errors_are_reported() {
+    let toks: Vec<String> = ["serve", "--node", "0"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let err = mendel_cli::run(&toks).unwrap_err();
+    assert!(err.to_string().contains("listen"), "{err}");
+
+    let toks: Vec<String> = ["serve", "--listen", "not-an-addr", "--http", "127.0.0.1:0"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let err = mendel_cli::run(&toks).unwrap_err();
+    assert!(err.to_string().contains("listen"), "{err}");
+}

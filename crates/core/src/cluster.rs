@@ -1211,6 +1211,17 @@ impl MendelCluster {
     /// `degraded` means some placed block has no live replica and query
     /// answers may be incomplete.
     pub fn coverage(&self) -> CoverageReport {
+        self.coverage_with_down(&[])
+    }
+
+    /// [`Self::coverage`], additionally treating every node in `down`
+    /// as failed. This is how a wire front-end reports availability:
+    /// nodes it observed unreachable during a query (silent entry
+    /// points, members missing from group replies) fold into the same
+    /// report shape the control plane produces for `fail_node`, so a
+    /// real-process cluster and its simulated twin emit identical
+    /// degraded-coverage answers.
+    pub fn coverage_with_down(&self, down: &[NodeId]) -> CoverageReport {
         let topo = self.topology.read().clone();
         let nodes = self.nodes.read();
         let failed = self.failed.read();
@@ -1221,7 +1232,7 @@ impl MendelCluster {
             let mut live_members = 0;
             for &m in topo.group_members(g) {
                 let keys = nodes[m.0 as usize].read().block_keys();
-                let is_live = !failed.contains_key(&m);
+                let is_live = !failed.contains_key(&m) && !down.contains(&m);
                 if is_live {
                     live_members += 1;
                     reachable.extend(keys.iter().copied());

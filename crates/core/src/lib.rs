@@ -46,6 +46,7 @@ pub mod node;
 pub mod params;
 pub mod query;
 pub mod report;
+pub mod serve;
 pub mod snapshot;
 pub mod wire;
 
@@ -54,11 +55,12 @@ pub use cluster::{FailoverDelta, MendelCluster, RepairReport};
 pub use config::{ClusterConfig, MetricKind, StorageBackend};
 pub use error::MendelError;
 pub use mendel_obs::{
-    chrome_trace_json, CriticalHop, MetricsSnapshot, Registry as MetricsRegistry, SpanRecord,
-    TraceCollector, TraceId, TraceTree,
+    chrome_trace_json, Clock, CriticalHop, MetricsSnapshot, MonotonicClock,
+    Registry as MetricsRegistry, SpanRecord, TraceCollector, TraceId, TraceTree,
 };
 pub use mendel_store as store;
 pub use metric::BlockMetric;
 pub use params::QueryParams;
 pub use report::{CoverageReport, GroupCoverage, MendelHit, QueryReport, StageTimings};
-pub use wire::WireCluster;
+pub use serve::{NodeServer, TcpFrontEnd, FRONT_END_ADDR_BASE};
+pub use wire::{node_serve_loop, query_via, WireCluster, WireQueryOutcome, WireTimeouts};

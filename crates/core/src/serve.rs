@@ -1,0 +1,357 @@
+//! Real-process serving: a storage node (or query front-end) backed by
+//! [`TcpTransport`] instead of the simulated network.
+//!
+//! This is the thin ownership layer between the transport-generic wire
+//! machinery ([`crate::wire`]) and an OS process. A `mendel serve`
+//! process builds its [`MendelCluster`] control plane deterministically
+//! from the shared corpus (every process derives the same routing
+//! tables and block placement from the same seed), binds a
+//! [`TcpTransport`] at its node's address, and runs
+//! [`node_serve_loop`](crate::wire::node_serve_loop) on a thread; a
+//! front-end dials the same peers with [`TcpTransport::connect_only`]
+//! and evaluates queries through [`query_via`](crate::wire::query_via).
+//! The bytes on the loopback wire are exactly the bytes the simulated
+//! mailboxes account for, so a real cluster and its in-process twin
+//! return identical hits — asserted end-to-end by `tests/serve.rs` and
+//! the multi-process suite in `mendel-cli`.
+//!
+//! Addressing convention (shared with the sim): storage node `i`
+//! listens as `NodeAddr(i + 1)`; front-ends use
+//! [`FRONT_END_ADDR_BASE`]` + front_end_id` so reply routes learned at
+//! entry points never collide with node addresses. Each front-end
+//! handle serializes its own queries (one in flight per transport
+//! address).
+
+use crate::cluster::MendelCluster;
+use crate::error::MendelError;
+use crate::params::QueryParams;
+use crate::wire::{node_addr, node_serve_loop, query_via, WireQueryOutcome, WireTimeouts};
+use mendel_dht::NodeId;
+use mendel_net::mailbox::NodeAddr;
+use mendel_net::tcp::{TcpConfig, TcpTransport};
+use mendel_net::TransportMetrics;
+use parking_lot::Mutex;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// First transport address reserved for query front-ends. Node `i`
+/// occupies `i + 1`, so any cluster with fewer than ~64k nodes leaves
+/// this range free.
+pub const FRONT_END_ADDR_BASE: u16 = 60_000;
+
+/// One storage node served over TCP: owns the bound transport and the
+/// serving thread. Dropping (or [`NodeServer::shutdown`]) stops the
+/// loop and joins the thread.
+pub struct NodeServer {
+    node: NodeId,
+    transport: Arc<TcpTransport>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl NodeServer {
+    /// Bind `node`'s transport at `listen` and start serving queries
+    /// from `cluster`'s replica of the node's data.
+    ///
+    /// `peers` maps the *other* nodes' transport addresses; more can be
+    /// added later through [`NodeServer::transport`] as their processes
+    /// come up.
+    pub fn start(
+        cluster: Arc<MendelCluster>,
+        node: NodeId,
+        listen: SocketAddr,
+        peers: &[(NodeAddr, SocketAddr)],
+        cfg: TcpConfig,
+        metrics: TransportMetrics,
+        timeouts: WireTimeouts,
+    ) -> io::Result<NodeServer> {
+        let transport = Arc::new(TcpTransport::bind(
+            node_addr(node),
+            listen,
+            peers,
+            cfg,
+            metrics,
+        )?);
+        let stop = Arc::new(AtomicBool::new(false));
+        let topo = cluster.topology();
+        let handle = {
+            let transport = transport.clone();
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name(format!("mendel-serve-{}", node.0))
+                .spawn(move || {
+                    node_serve_loop(&cluster, &topo, node, &transport, &timeouts, &stop);
+                })?
+        };
+        Ok(NodeServer {
+            node,
+            transport,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The node this server answers for.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The socket the transport actually bound (resolves port 0).
+    pub fn local_socket_addr(&self) -> Option<SocketAddr> {
+        self.transport.local_socket_addr()
+    }
+
+    /// The underlying transport, e.g. to register late-joining peers.
+    pub fn transport(&self) -> &Arc<TcpTransport> {
+        &self.transport
+    }
+
+    /// Stop serving, close the transport, and join the thread.
+    /// Idempotent; also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        // audit:ordering(Relaxed): best-effort stop flag; the closed transport below wakes the serving loop
+        self.stop.store(true, Ordering::Relaxed);
+        self.transport.shutdown();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NodeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A query front-end over TCP: dials the storage nodes (no listener of
+/// its own — replies ride the request connections back) and evaluates
+/// queries through the same [`query_via`] pipeline the simulated client
+/// uses.
+pub struct TcpFrontEnd {
+    cluster: Arc<MendelCluster>,
+    transport: TcpTransport,
+    timeouts: WireTimeouts,
+    /// One query in flight per front-end: `query_via` owns the
+    /// transport inbox for the duration of a call.
+    in_flight: Mutex<()>,
+}
+
+impl TcpFrontEnd {
+    /// Connect a front-end with id `front_end_id` (distinct per
+    /// process/handle so reply routes at shared entry points never
+    /// collide) to the given node listen addresses.
+    pub fn connect(
+        cluster: Arc<MendelCluster>,
+        front_end_id: u16,
+        peers: &[(NodeAddr, SocketAddr)],
+        cfg: TcpConfig,
+        metrics: TransportMetrics,
+        timeouts: WireTimeouts,
+    ) -> TcpFrontEnd {
+        let me = NodeAddr(FRONT_END_ADDR_BASE.saturating_add(front_end_id));
+        let transport = TcpTransport::connect_only(me, peers, cfg, metrics);
+        TcpFrontEnd {
+            cluster,
+            transport,
+            timeouts,
+            in_flight: Mutex::new(()),
+        }
+    }
+
+    /// Register (or update) a storage node's listen address.
+    pub fn add_node(&self, node: NodeId, socket: SocketAddr) {
+        self.transport.add_peer(node_addr(node), socket);
+    }
+
+    /// The control-plane replica this front-end routes with.
+    pub fn cluster(&self) -> &Arc<MendelCluster> {
+        &self.cluster
+    }
+
+    /// Evaluate one query against the real cluster. Identical hits to
+    /// [`MendelCluster::query`] on the same corpus; nodes observed
+    /// unreachable degrade the outcome's coverage exactly like
+    /// `fail_node` does in-process.
+    pub fn query(
+        &self,
+        query: &[u8],
+        params: &QueryParams,
+    ) -> Result<WireQueryOutcome, MendelError> {
+        let _guard = self.in_flight.lock();
+        query_via(
+            &self.cluster,
+            &self.transport,
+            query,
+            params,
+            &self.timeouts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use mendel_seq::gen::NrLikeSpec;
+    use mendel_seq::SeqId;
+    use std::time::Duration;
+
+    fn cluster() -> Arc<MendelCluster> {
+        let db = Arc::new(
+            NrLikeSpec {
+                families: 8,
+                members_per_family: 2,
+                length_range: (120, 200),
+                seed: 0x51,
+                ..Default::default()
+            }
+            .generate()
+            .unwrap(),
+        );
+        Arc::new(MendelCluster::build(ClusterConfig::small_protein(), db).unwrap())
+    }
+
+    fn timeouts() -> WireTimeouts {
+        WireTimeouts {
+            rpc: Duration::from_secs(5),
+            member: Duration::from_secs(2),
+        }
+    }
+
+    /// Full in-process TCP cluster: every node a NodeServer on
+    /// loopback, a front-end dialing them, hits identical to the
+    /// in-process twin.
+    #[test]
+    fn tcp_cluster_matches_in_process_twin() {
+        let cluster = cluster();
+        let any: SocketAddr = "127.0.0.1:0".parse().expect("loopback");
+        let mut servers: Vec<NodeServer> = cluster
+            .topology()
+            .nodes()
+            .map(|n| {
+                NodeServer::start(
+                    cluster.clone(),
+                    n,
+                    any,
+                    &[],
+                    TcpConfig::default(),
+                    TransportMetrics::detached(),
+                    timeouts(),
+                )
+                .expect("bind node server")
+            })
+            .collect();
+        let addrs: Vec<(NodeAddr, SocketAddr)> = servers
+            .iter()
+            .map(|s| (node_addr(s.node()), s.local_socket_addr().expect("bound")))
+            .collect();
+        for s in &servers {
+            for &(peer, sock) in &addrs {
+                s.transport().add_peer(peer, sock);
+            }
+        }
+        let fe = TcpFrontEnd::connect(
+            cluster.clone(),
+            0,
+            &addrs,
+            TcpConfig::default(),
+            TransportMetrics::detached(),
+            timeouts(),
+        );
+        let params = QueryParams::protein();
+        for id in [0u32, 3, 9] {
+            let q = cluster.db().get(SeqId(id)).unwrap().residues.clone();
+            let want = cluster.query(&q, &params).unwrap().hits;
+            let got = fe.query(&q, &params).unwrap();
+            assert_eq!(got.hits, want, "TCP and in-process agree on seq {id}");
+            assert!(got.unreachable.is_empty());
+            assert!(!got.coverage.degraded);
+        }
+        for s in &mut servers {
+            s.shutdown();
+        }
+    }
+
+    /// Killing one node's server degrades the TCP answer exactly like
+    /// `fail_node` degrades the in-process twin.
+    #[test]
+    fn killed_node_server_degrades_like_fail_node() {
+        let cluster = cluster();
+        let any: SocketAddr = "127.0.0.1:0".parse().expect("loopback");
+        let fast = WireTimeouts {
+            rpc: Duration::from_secs(2),
+            member: Duration::from_millis(400),
+        };
+        let mut servers: Vec<NodeServer> = cluster
+            .topology()
+            .nodes()
+            .map(|n| {
+                NodeServer::start(
+                    cluster.clone(),
+                    n,
+                    any,
+                    &[],
+                    TcpConfig::default(),
+                    TransportMetrics::detached(),
+                    fast,
+                )
+                .expect("bind node server")
+            })
+            .collect();
+        let addrs: Vec<(NodeAddr, SocketAddr)> = servers
+            .iter()
+            .map(|s| (node_addr(s.node()), s.local_socket_addr().expect("bound")))
+            .collect();
+        for s in &servers {
+            for &(peer, sock) in &addrs {
+                s.transport().add_peer(peer, sock);
+            }
+        }
+        // Kill a non-entry-point member so its group's entry point must
+        // time it out mid-gather.
+        let topo = cluster.topology();
+        let victim = topo
+            .group_ids()
+            .filter_map(|g| topo.group_members(g).get(1).copied())
+            .next()
+            .expect("a group with two members");
+        let pos = servers
+            .iter()
+            .position(|s| s.node() == victim)
+            .expect("victim serves");
+        servers[pos].shutdown();
+
+        let fe = TcpFrontEnd::connect(
+            cluster.clone(),
+            1,
+            &addrs,
+            TcpConfig::default(),
+            TransportMetrics::detached(),
+            fast,
+        );
+        let q = cluster.db().get(SeqId(0)).unwrap().residues.clone();
+        let outcome = fe.query(&q, &QueryParams::protein()).unwrap();
+
+        let twin = self::cluster();
+        twin.fail_node(victim).unwrap();
+        let want = twin.query(&q, &QueryParams::protein()).unwrap().hits;
+        assert_eq!(outcome.hits, want, "degraded hits match fail_node twin");
+        if outcome
+            .responded
+            .keys()
+            .any(|&g| topo.group_members(g).contains(&victim))
+        {
+            assert!(outcome.unreachable.contains(&victim));
+            let twin_cov = twin.coverage();
+            assert_eq!(outcome.coverage.degraded, twin_cov.degraded);
+            assert_eq!(outcome.coverage.per_group, twin_cov.per_group);
+        }
+        for s in &mut servers {
+            s.shutdown();
+        }
+    }
+}

@@ -3,14 +3,13 @@
 //!
 //! [`crate::MendelCluster::query`] computes the distributed pipeline
 //! in-process (with a simulated cluster clock). This module runs the
-//! *same* pipeline the way a deployment would: one thread per storage
-//! node, every node owning only its endpoint, and every subquery and
-//! anchor crossing node boundaries as encoded bytes over
-//! `mendel-net` mailboxes:
+//! *same* pipeline the way a deployment would: every node owning only
+//! its transport endpoint, and every subquery and anchor crossing node
+//! boundaries as encoded bytes:
 //!
 //! ```text
 //! client ──GroupQuery──▶ group entry point ──NodeQuery──▶ members
-//!        ◀──merged anchors──            ◀──anchor sets──
+//!        ◀──group reply──            ◀──anchor sets──
 //! ```
 //!
 //! The client (system entry point) performs decomposition/routing and
@@ -18,32 +17,74 @@
 //! in-process path — so the two paths must return identical hits, which
 //! the tests assert.
 //!
-//! Scope: one query in flight per [`WireCluster`]. A group entry point
-//! awaiting member responses does not re-enter to serve another group
-//! query (correlation spaces would need per-query partitioning); issue
-//! concurrent queries through multiple `WireCluster`s or the in-process
-//! [`MendelCluster::query_many`].
+//! Everything here is generic over [`Transport`]: [`WireCluster`] runs
+//! the node loops as threads over the simulated network, and
+//! [`crate::serve`] runs the *same* [`node_serve_loop`] /
+//! [`query_via`] over [`mendel_net::TcpTransport`] so a cluster of real
+//! OS processes executes byte-identical traffic.
+//!
+//! Failure semantics (mirroring the in-process failover of
+//! `fail_node`): a group entry point that cannot hear a member within
+//! [`WireTimeouts::member`] answers with whoever responded; the client
+//! retries a silent entry point through the group's remaining members,
+//! and folds every node observed unreachable into a
+//! [`CoverageReport`] via [`MendelCluster::coverage_with_down`] — the
+//! same degraded-coverage shape the simulated path reports.
 
 use crate::cluster::MendelCluster;
 use crate::error::MendelError;
 use crate::params::QueryParams;
-use crate::report::MendelHit;
+use crate::report::{CoverageReport, MendelHit};
 use bytes::{Bytes, BytesMut};
 use mendel_align::Hsp;
-use mendel_dht::{GroupId, NodeId};
+use mendel_dht::{GroupId, NodeId, Topology};
 use mendel_net::codec::{Decode, DecodeError, Encode};
-use mendel_net::mailbox::{Endpoint, Network};
-use std::collections::HashMap;
+use mendel_net::heartbeat::HEARTBEAT_CORRELATION;
+use mendel_net::mailbox::{Endpoint, Envelope, Network, NodeAddr, RecvError};
+use mendel_net::transport::Transport;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-const TAG_NODE_QUERY: u8 = 1;
-const TAG_GROUP_QUERY: u8 = 2;
-const TAG_SHUTDOWN: u8 = 3;
+pub(crate) const TAG_NODE_QUERY: u8 = 1;
+pub(crate) const TAG_GROUP_QUERY: u8 = 2;
+pub(crate) const TAG_SHUTDOWN: u8 = 3;
 
-/// Default per-request deadline.
-const RPC_TIMEOUT: Duration = Duration::from_secs(30);
+/// Correlation base for a group entry point's member scatter.
+const MEMBER_CORR_BASE: u64 = 1_000_000;
+
+/// Poll interval for serving loops checking their stop flag.
+const SERVE_POLL: Duration = Duration::from_millis(100);
+
+/// Wire-path deadlines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTimeouts {
+    /// Client-side deadline for one group entry point's reply. Must
+    /// exceed [`Self::member`] (the entry point waits that long for its
+    /// slowest member before answering), or live entry points get
+    /// misclassified as dead.
+    pub rpc: Duration,
+    /// Entry-point-side deadline for member anchor sets; members silent
+    /// past it are reported unresponsive instead of stalling the query.
+    pub member: Duration,
+}
+
+impl Default for WireTimeouts {
+    fn default() -> Self {
+        WireTimeouts {
+            rpc: Duration::from_secs(30),
+            member: Duration::from_secs(15),
+        }
+    }
+}
+
+/// Transport address of a storage node: `NodeId + 1` (address 0 is the
+/// conventional simulated client; real front-ends pick high addresses).
+pub fn node_addr(node: NodeId) -> NodeAddr {
+    NodeAddr(node.0 + 1)
+}
 
 /// The subset of [`QueryParams`] a storage node needs, in wire form.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,41 +182,97 @@ impl Decode for QueryMsg {
 
 fn encode_hsps(hsps: &[Hsp]) -> Bytes {
     let mut buf = BytesMut::new();
-    (hsps.len() as u32).encode(&mut buf);
-    for h in hsps {
-        h.subject_id.encode(&mut buf);
-        h.query_start.encode(&mut buf);
-        h.query_end.encode(&mut buf);
-        h.subject_start.encode(&mut buf);
-        h.score.encode(&mut buf);
-    }
+    encode_hsps_into(hsps, &mut buf);
     buf.freeze()
 }
 
-fn decode_hsps(bytes: &Bytes) -> Result<Vec<Hsp>, DecodeError> {
-    let mut buf = bytes.clone();
-    let n = u32::decode(&mut buf)? as usize;
+fn encode_hsps_into(hsps: &[Hsp], buf: &mut BytesMut) {
+    (hsps.len() as u32).encode(buf);
+    for h in hsps {
+        h.subject_id.encode(buf);
+        h.query_start.encode(buf);
+        h.query_end.encode(buf);
+        h.subject_start.encode(buf);
+        h.score.encode(buf);
+    }
+}
+
+fn decode_hsps_from(buf: &mut Bytes) -> Result<Vec<Hsp>, DecodeError> {
+    let n = u32::decode(buf)? as usize;
     let mut out = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         out.push(Hsp {
-            subject_id: u32::decode(&mut buf)?,
-            query_start: usize::decode(&mut buf)?,
-            query_end: usize::decode(&mut buf)?,
-            subject_start: usize::decode(&mut buf)?,
-            score: i32::decode(&mut buf)?,
+            subject_id: u32::decode(buf)?,
+            query_start: usize::decode(buf)?,
+            query_end: usize::decode(buf)?,
+            subject_start: usize::decode(buf)?,
+            score: i32::decode(buf)?,
         });
     }
     Ok(out)
 }
 
+fn decode_hsps(bytes: &Bytes) -> Result<Vec<Hsp>, DecodeError> {
+    let mut buf = bytes.clone();
+    decode_hsps_from(&mut buf)
+}
+
+/// A group entry point's reply: which members contributed anchor sets
+/// (entry point included), and the group-merged anchors.
+#[derive(Debug, Clone, PartialEq)]
+struct GroupReply {
+    responded: Vec<u16>,
+    hsps: Vec<Hsp>,
+}
+
+impl Encode for GroupReply {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.responded.encode(buf);
+        encode_hsps_into(&self.hsps, buf);
+    }
+}
+
+impl Decode for GroupReply {
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(GroupReply {
+            responded: Vec::decode(buf)?,
+            hsps: decode_hsps_from(buf)?,
+        })
+    }
+}
+
+/// What a wire query learned beyond the hits themselves.
+#[derive(Debug, Clone)]
+pub struct WireQueryOutcome {
+    /// Ranked alignments, identical to the in-process path over the
+    /// same reachable nodes.
+    pub hits: Vec<MendelHit>,
+    /// Members that contributed per queried group.
+    pub responded: BTreeMap<GroupId, Vec<NodeId>>,
+    /// Nodes observed unreachable during this query (silent entry
+    /// points and members missing from group replies), ascending.
+    pub unreachable: Vec<NodeId>,
+    /// Cluster-wide block availability treating [`Self::unreachable`]
+    /// (plus anything already failed in the control plane) as down —
+    /// the same shape the in-process failover path reports.
+    pub coverage: CoverageReport,
+}
+
 /// A cluster whose storage nodes run as threads and communicate only
-/// through encoded messages. Wraps an indexed [`MendelCluster`] (the
-/// control plane: routing tables and node-local state); all data-plane
-/// traffic is real bytes on the [`Network`].
+/// through encoded messages over the simulated network. Wraps an
+/// indexed [`MendelCluster`] (the control plane: routing tables and
+/// node-local state); all data-plane traffic is real bytes on the
+/// [`Network`].
+///
+/// This is the [`mendel_net::SimTransport`] instantiation of the
+/// generic wire machinery; `mendel serve` is the TCP one. Scope: one
+/// query in flight per `WireCluster` client handle.
 pub struct WireCluster {
     cluster: Arc<MendelCluster>,
     network: Network,
     client: Endpoint,
+    timeouts: WireTimeouts,
+    stop: Arc<AtomicBool>,
     /// Node address = NodeId.0 + 1 (the client takes address 0).
     handles: Vec<JoinHandle<()>>,
 }
@@ -183,24 +280,43 @@ pub struct WireCluster {
 impl WireCluster {
     /// Spawn one serving thread per live node of `cluster`.
     pub fn serve(cluster: Arc<MendelCluster>) -> Self {
+        Self::serve_with(cluster, &[], WireTimeouts::default())
+    }
+
+    /// [`Self::serve`] with explicit deadlines (client and node side),
+    /// and with the nodes in `dead` never starting to serve — their
+    /// mailboxes exist and silently swallow traffic, which is how a
+    /// crashed process looks to its peers. For failover tests.
+    pub fn serve_with(
+        cluster: Arc<MendelCluster>,
+        dead: &[NodeId],
+        timeouts: WireTimeouts,
+    ) -> Self {
         let network = Network::new();
         let client = network.join();
         debug_assert_eq!(client.addr().0, 0);
         let topo = cluster.topology();
+        let stop = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::new();
         for node in topo.nodes() {
             let endpoint = network.join();
-            debug_assert_eq!(endpoint.addr().0, node.0 + 1);
+            debug_assert_eq!(endpoint.addr(), node_addr(node));
+            if dead.contains(&node) {
+                continue;
+            }
             let cluster = cluster.clone();
             let topo = topo.clone();
+            let stop = stop.clone();
             handles.push(std::thread::spawn(move || {
-                node_loop(cluster, topo, node, endpoint);
+                node_serve_loop(&cluster, &topo, node, &endpoint, &timeouts, &stop);
             }));
         }
         WireCluster {
             cluster,
             network,
             client,
+            timeouts,
+            stop,
             handles,
         }
     }
@@ -220,79 +336,28 @@ impl WireCluster {
     /// points, node-local search on each member's thread. Returns the
     /// same ranked hits as [`MendelCluster::query`].
     pub fn query(&self, query: &[u8], params: &QueryParams) -> Result<Vec<MendelHit>, MendelError> {
-        params.validate()?;
-        let block_len = self.cluster.config().block_len;
-        if query.len() < block_len {
-            return Err(MendelError::Query("query shorter than block length".into()));
-        }
-        // Resolve early so bad params fail before any traffic.
-        let matrix = self.cluster.resolve_matrix(&params.m)?;
-        let topo = self.cluster.topology();
+        Ok(self.query_outcome(query, params)?.hits)
+    }
 
-        // Stage 1: decompose + route (system entry point).
-        let offsets = crate::query::subquery_offsets(query.len(), block_len, params.k);
-        let mut group_offsets: HashMap<GroupId, Vec<usize>> = HashMap::new();
-        for &off in &offsets {
-            for g in self
-                .cluster
-                .groups_of_window(&query[off..off + block_len], params.group_tolerance)
-            {
-                group_offsets.entry(g).or_default().push(off);
-            }
-        }
-
-        // Stage 2+3: scatter GroupQuery to each group entry point.
-        let wire_params = WireParams::of(params);
-        let mut pending: HashMap<u64, GroupId> = HashMap::new();
-        let mut corr = 1u64;
-        for (g, offs) in &group_offsets {
-            let members = topo.group_members(*g);
-            if members.is_empty() {
-                continue;
-            }
-            let gep = members[0];
-            let msg = QueryMsg {
-                tag: TAG_GROUP_QUERY,
-                query: query.to_vec(),
-                offsets: offs.clone(),
-                params: wire_params.clone(),
-            };
-            self.client
-                .send(mendel_net::NodeAddr(gep.0 + 1), corr, msg.to_bytes());
-            pending.insert(corr, *g);
-            corr += 1;
-        }
-
-        // Stage 4: gather merged anchor sets.
-        let mut anchors: Vec<Hsp> = Vec::new();
-        while !pending.is_empty() {
-            let env = self
-                .client
-                .recv_timeout(RPC_TIMEOUT)
-                .map_err(|e| MendelError::Query(format!("wire gather failed: {e}")))?;
-            if pending.remove(&env.correlation).is_some() {
-                anchors.extend(
-                    decode_hsps(&env.payload).map_err(|e| MendelError::Snapshot(e.to_string()))?,
-                );
-            }
-        }
-
-        // Stage 5: system-level merge + gapped extension + ranking,
-        // identical to the in-process path.
-        let merged = mendel_align::hsp::merge_overlapping(anchors);
-        Ok(self.cluster.finalize(query, merged, params, &matrix))
+    /// [`Self::query`] plus the responded/unreachable/coverage detail.
+    pub fn query_outcome(
+        &self,
+        query: &[u8],
+        params: &QueryParams,
+    ) -> Result<WireQueryOutcome, MendelError> {
+        query_via(&self.cluster, &self.client, query, params, &self.timeouts)
     }
 }
 
 impl Drop for WireCluster {
     fn drop(&mut self) {
         // Broadcast shutdown and join every node thread.
+        self.stop.store(true, Ordering::Relaxed); // audit:ordering(Relaxed): best-effort stop flag; node loops re-check it on their poll tick
         let mut buf = BytesMut::new();
         TAG_SHUTDOWN.encode(&mut buf);
         let payload = buf.freeze();
-        for h in 1..=self.handles.len() as u16 {
-            self.client
-                .send(mendel_net::NodeAddr(h), 0, payload.clone());
+        for h in 1..=self.network.len().saturating_sub(1) as u16 {
+            self.client.send(NodeAddr(h), 0, payload.clone());
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -300,70 +365,280 @@ impl Drop for WireCluster {
     }
 }
 
-/// The per-node serving loop.
-fn node_loop(
-    cluster: Arc<MendelCluster>,
-    topo: mendel_dht::Topology,
+/// Evaluate one query through `client` against a cluster of serving
+/// nodes reachable over any [`Transport`].
+///
+/// The control-plane `cluster` supplies routing (vp-prefix → groups)
+/// and the final aggregation; all anchor traffic crosses the transport.
+/// Group entry points are tried in member order: a silent candidate is
+/// recorded unreachable and the next member gets the group query, so a
+/// dead entry point degrades the answer exactly like the in-process
+/// failover path (anchors from live members only) instead of losing the
+/// whole group.
+pub fn query_via<T: Transport>(
+    cluster: &MendelCluster,
+    client: &T,
+    query: &[u8],
+    params: &QueryParams,
+    timeouts: &WireTimeouts,
+) -> Result<WireQueryOutcome, MendelError> {
+    params.validate()?;
+    let block_len = cluster.config().block_len;
+    if query.len() < block_len {
+        return Err(MendelError::Query("query shorter than block length".into()));
+    }
+    // Resolve early so bad params fail before any traffic.
+    let matrix = cluster.resolve_matrix(&params.m)?;
+    let topo = cluster.topology();
+
+    // Stage 1: decompose + route (system entry point).
+    let offsets = crate::query::subquery_offsets(query.len(), block_len, params.k);
+    let mut group_offsets: HashMap<GroupId, Vec<usize>> = HashMap::new();
+    for &off in &offsets {
+        for g in cluster.groups_of_window(&query[off..off + block_len], params.group_tolerance) {
+            group_offsets.entry(g).or_default().push(off);
+        }
+    }
+
+    // Stage 2–4: scatter GroupQuery to each group's entry point and
+    // gather replies, retrying silent entry points through the group's
+    // remaining members.
+    let wire_params = WireParams::of(params);
+    let mut anchors: Vec<Hsp> = Vec::new();
+    let mut responded: BTreeMap<GroupId, Vec<NodeId>> = BTreeMap::new();
+    let mut down: BTreeSet<NodeId> = BTreeSet::new();
+    let mut corr = 1u64;
+    // (group, candidate entry-point index) still needing an answer.
+    let mut round: Vec<(GroupId, usize)> = group_offsets.keys().map(|&g| (g, 0)).collect();
+    round.sort_unstable_by_key(|&(g, _)| g);
+    while !round.is_empty() {
+        let batch: Vec<(GroupId, usize)> = std::mem::take(&mut round);
+        let mut pending: HashMap<u64, (GroupId, usize)> = HashMap::new();
+        for (g, mut idx) in batch {
+            let members = topo.group_members(g);
+            // Skip candidates another group's gather already proved dead.
+            while members.get(idx).is_some_and(|m| down.contains(m)) {
+                idx += 1;
+            }
+            let Some(&gep) = members.get(idx) else {
+                // Every member tried and silent: the group contributes
+                // nothing; coverage already records its members down.
+                continue;
+            };
+            let msg = QueryMsg {
+                tag: TAG_GROUP_QUERY,
+                query: query.to_vec(),
+                offsets: group_offsets.get(&g).cloned().unwrap_or_default(),
+                params: wire_params.clone(),
+            };
+            if client.send(node_addr(gep), corr, msg.to_bytes()) {
+                pending.insert(corr, (g, idx));
+            } else {
+                // Dead letter: the entry point is unreachable right now.
+                down.insert(gep);
+                round.push((g, idx + 1));
+            }
+            corr += 1;
+        }
+        if pending.is_empty() {
+            continue;
+        }
+        let start = Instant::now(); // audit:allow(instant-now): wire-path RPC deadline bounds a real recv_timeout; virtual time cannot wake it
+        loop {
+            let waited = start.elapsed();
+            if waited >= timeouts.rpc || pending.is_empty() {
+                break;
+            }
+            match client.recv_timeout(timeouts.rpc - waited) {
+                Ok(env) => {
+                    let Some((g, _idx)) = pending.remove(&env.correlation) else {
+                        continue; // stray or late reply
+                    };
+                    let Ok(reply) = GroupReply::from_bytes(&env.payload) else {
+                        continue;
+                    };
+                    let members = topo.group_members(g);
+                    let answered: Vec<NodeId> =
+                        reply.responded.iter().map(|&r| NodeId(r)).collect();
+                    for &m in members {
+                        if !answered.contains(&m) {
+                            down.insert(m);
+                        }
+                    }
+                    anchors.extend(reply.hsps);
+                    responded.insert(g, answered);
+                }
+                Err(RecvError::Timeout) => break,
+                Err(RecvError::Disconnected) => {
+                    return Err(MendelError::Query(
+                        "wire gather failed: disconnected".into(),
+                    ))
+                }
+            }
+        }
+        // Whatever is still pending timed out: mark the candidate entry
+        // point down and move each group to its next member.
+        for (_, (g, idx)) in pending.drain() {
+            if let Some(&gep) = topo.group_members(g).get(idx) {
+                down.insert(gep);
+            }
+            round.push((g, idx + 1));
+        }
+        round.sort_unstable_by_key(|&(g, _)| g);
+    }
+
+    // Stage 5: system-level merge + gapped extension + ranking,
+    // identical to the in-process path.
+    let merged = mendel_align::hsp::merge_overlapping(anchors);
+    let hits = cluster.finalize(query, merged, params, &matrix);
+    let unreachable: Vec<NodeId> = down.iter().copied().collect();
+    let coverage = cluster.coverage_with_down(&unreachable);
+    Ok(WireQueryOutcome {
+        hits,
+        responded,
+        unreachable,
+        coverage,
+    })
+}
+
+/// The per-node serving loop, generic over the transport carrying it.
+///
+/// Serves until `stop` is set, the transport disconnects, or a
+/// [`TAG_SHUTDOWN`] envelope arrives. Envelopes that arrive while the
+/// node is mid-gather as a group entry point are backlogged and served
+/// afterwards, so interleaved queries from multiple front-ends are
+/// reordered rather than dropped.
+pub fn node_serve_loop<T: Transport>(
+    cluster: &Arc<MendelCluster>,
+    topo: &Topology,
     me: NodeId,
-    endpoint: Endpoint,
+    transport: &T,
+    timeouts: &WireTimeouts,
+    stop: &AtomicBool,
 ) {
-    while let Ok(env) = endpoint.recv() {
+    let mut backlog: VecDeque<Envelope> = VecDeque::new();
+    loop {
+        // audit:ordering(Relaxed): best-effort stop flag; the loop body only touches channel/socket state, which has its own happens-before
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let env = match backlog.pop_front() {
+            Some(env) => env,
+            None => match transport.recv_timeout(SERVE_POLL) {
+                Ok(env) => env,
+                Err(RecvError::Timeout) => continue,
+                Err(RecvError::Disconnected) => return,
+            },
+        };
+        if env.correlation == HEARTBEAT_CORRELATION {
+            continue; // liveness traffic is the monitor's business
+        }
         let Some(&tag) = env.payload.first() else {
             continue;
         };
         match tag {
-            TAG_SHUTDOWN => break,
+            TAG_SHUTDOWN => return,
             TAG_NODE_QUERY => {
                 let Ok(msg) = QueryMsg::from_bytes(&env.payload) else {
                     continue;
                 };
-                let anchors = eval_local(&cluster, me, &msg);
-                endpoint.send(env.from, env.correlation, encode_hsps(&anchors));
+                let anchors = eval_local(cluster, me, &msg);
+                transport.send(env.from, env.correlation, encode_hsps(&anchors));
             }
             TAG_GROUP_QUERY => {
                 let Ok(msg) = QueryMsg::from_bytes(&env.payload) else {
                     continue;
                 };
-                // I am this group's entry point: replicate to the other
-                // members, evaluate my own share, gather, merge, reply.
-                let g = topo.node_group(me).expect("serving node is a member"); // audit:allow(expect): topology invariant; every serving node belongs to exactly one group
-                let peers: Vec<NodeId> = topo
-                    .group_members(g)
-                    .iter()
-                    .copied()
-                    .filter(|&n| n != me)
-                    .collect();
-                let sub = QueryMsg {
-                    tag: TAG_NODE_QUERY,
-                    ..msg.clone()
-                };
-                let sub_bytes = sub.to_bytes();
-                let mut pending = std::collections::HashSet::new();
-                for (i, peer) in peers.iter().enumerate() {
-                    let corr = 1_000_000 + i as u64;
-                    endpoint.send(mendel_net::NodeAddr(peer.0 + 1), corr, sub_bytes.clone());
-                    pending.insert(corr);
-                }
-                let mut anchors = eval_local(&cluster, me, &msg);
-                while !pending.is_empty() {
-                    match endpoint.recv_timeout(RPC_TIMEOUT) {
-                        Ok(resp) if pending.remove(&resp.correlation) => {
-                            if let Ok(more) = decode_hsps(&resp.payload) {
-                                anchors.extend(more);
-                            }
-                        }
-                        Ok(_) => {} // stray message; single query in flight
-                        Err(_) => break,
-                    }
-                }
-                // First aggregation stage (§V-B): merge overlapping
-                // anchors on the same diagonal at the group entry point.
-                let merged = mendel_align::hsp::merge_overlapping(anchors);
-                endpoint.send(env.from, env.correlation, encode_hsps(&merged));
+                serve_group_query(
+                    cluster,
+                    topo,
+                    me,
+                    transport,
+                    timeouts,
+                    &env,
+                    &msg,
+                    &mut backlog,
+                );
             }
             _ => {}
         }
     }
+}
+
+/// Entry-point duty: replicate the subqueries to the other members,
+/// evaluate the local share, gather member anchor sets under the member
+/// deadline, merge, and reply with who contributed.
+#[allow(clippy::too_many_arguments)] // audit:allow(too-many-arguments): serving-context plumbing; bundling into a struct would be pure ceremony
+fn serve_group_query<T: Transport>(
+    cluster: &Arc<MendelCluster>,
+    topo: &Topology,
+    me: NodeId,
+    transport: &T,
+    timeouts: &WireTimeouts,
+    env: &Envelope,
+    msg: &QueryMsg,
+    backlog: &mut VecDeque<Envelope>,
+) {
+    let Some(g) = topo.node_group(me) else {
+        return; // not a member of any group: nothing to serve
+    };
+    let peers: Vec<NodeId> = topo
+        .group_members(g)
+        .iter()
+        .copied()
+        .filter(|&n| n != me)
+        .collect();
+    let sub = QueryMsg {
+        tag: TAG_NODE_QUERY,
+        ..msg.clone()
+    };
+    let sub_bytes = sub.to_bytes();
+    let mut pending: HashMap<u64, NodeId> = HashMap::new();
+    for (i, &peer) in peers.iter().enumerate() {
+        let corr = MEMBER_CORR_BASE + i as u64;
+        if transport.send(node_addr(peer), corr, sub_bytes.clone()) {
+            pending.insert(corr, peer);
+        }
+        // A dead-letter send is simply a member that will not respond.
+    }
+    let mut anchors = eval_local(cluster, me, msg);
+    let mut answered = vec![me];
+    let start = Instant::now(); // audit:allow(instant-now): member-gather deadline bounds a real recv_timeout; virtual time cannot wake it
+    while !pending.is_empty() {
+        let waited = start.elapsed();
+        if waited >= timeouts.member {
+            break;
+        }
+        match transport.recv_timeout(timeouts.member - waited) {
+            Ok(resp) => match pending.remove(&resp.correlation) {
+                Some(peer) if resp.from == node_addr(peer) => {
+                    if let Ok(more) = decode_hsps(&resp.payload) {
+                        anchors.extend(more);
+                        answered.push(peer);
+                    }
+                }
+                Some(peer) => {
+                    // Correlation collision from a different sender:
+                    // restore the pending slot and backlog the envelope.
+                    pending.insert(resp.correlation, peer);
+                    backlog.push_back(resp);
+                }
+                None if resp.correlation == HEARTBEAT_CORRELATION => {}
+                None => backlog.push_back(resp),
+            },
+            Err(RecvError::Timeout) => break,
+            Err(RecvError::Disconnected) => break,
+        }
+    }
+    answered.sort_unstable();
+    // First aggregation stage (§V-B): merge overlapping anchors on the
+    // same diagonal at the group entry point.
+    let merged = mendel_align::hsp::merge_overlapping(anchors);
+    let reply = GroupReply {
+        responded: answered.iter().map(|n| n.0).collect(),
+        hsps: merged,
+    };
+    transport.send(env.from, env.correlation, reply.to_bytes());
 }
 
 fn eval_local(cluster: &MendelCluster, me: NodeId, msg: &QueryMsg) -> Vec<Hsp> {
@@ -461,5 +736,114 @@ mod tests {
         let cluster = cluster();
         let wire = WireCluster::serve(cluster.clone());
         drop(wire); // must not hang
+    }
+
+    #[test]
+    fn full_coverage_when_everyone_answers() {
+        let cluster = cluster();
+        let wire = WireCluster::serve(cluster.clone());
+        let q = cluster.db().get(SeqId(1)).unwrap().residues.clone();
+        let outcome = wire.query_outcome(&q, &QueryParams::protein()).unwrap();
+        assert!(outcome.unreachable.is_empty());
+        assert!(!outcome.coverage.degraded);
+        assert_eq!(
+            outcome.coverage.blocks_expected,
+            outcome.coverage.blocks_reachable
+        );
+        for (g, answered) in &outcome.responded {
+            assert_eq!(
+                answered.len(),
+                cluster.topology().group_members(*g).len(),
+                "every member of group {g:?} contributed"
+            );
+        }
+    }
+
+    /// A never-started node (a crashed process, as seen by peers) must
+    /// degrade the wire answer exactly like the in-process failover
+    /// path: hits from live members only, and the same coverage report
+    /// `fail_node` produces on a twin cluster.
+    #[test]
+    fn dead_member_degrades_like_in_process_failover() {
+        let cluster = cluster();
+        let topo = cluster.topology();
+        // Kill a non-entry-point member of the group serving seq 0's
+        // windows, so the entry point must time the member out.
+        let q = cluster.db().get(SeqId(0)).unwrap().residues.clone();
+        let victim = topo
+            .group_ids()
+            .filter_map(|g| topo.group_members(g).get(1).copied())
+            .next()
+            .expect("a group with two members");
+        let fast = WireTimeouts {
+            rpc: Duration::from_secs(5),
+            member: Duration::from_millis(400),
+        };
+        let wire = WireCluster::serve_with(cluster.clone(), &[victim], fast);
+        let outcome = wire.query_outcome(&q, &QueryParams::protein()).unwrap();
+
+        // Twin: same build, in-process failover of the same node.
+        let twin = self::cluster();
+        twin.fail_node(victim).unwrap();
+        let expected_hits = twin.query(&q, &QueryParams::protein()).unwrap().hits;
+        assert_eq!(outcome.hits, expected_hits, "hits match simulated failover");
+        let twin_cov = twin.coverage();
+        let wire_cov = &outcome.coverage;
+        // The victim served no query traffic, so if its group was
+        // queried it must be reported unreachable with twin-identical
+        // coverage.
+        if outcome
+            .responded
+            .keys()
+            .any(|&g| topo.group_members(g).contains(&victim))
+        {
+            assert!(outcome.unreachable.contains(&victim));
+            assert_eq!(wire_cov.blocks_expected, twin_cov.blocks_expected);
+            assert_eq!(wire_cov.blocks_reachable, twin_cov.blocks_reachable);
+            assert_eq!(wire_cov.degraded, twin_cov.degraded);
+            assert_eq!(wire_cov.per_group, twin_cov.per_group);
+        }
+    }
+
+    /// A dead group entry point: the client retries through the next
+    /// member, so the group still answers (minus the dead node's
+    /// anchors), matching in-process failover on a twin.
+    #[test]
+    fn dead_entry_point_fails_over_to_next_member() {
+        let cluster = cluster();
+        let topo = cluster.topology();
+        let q = cluster.db().get(SeqId(4)).unwrap().residues.clone();
+        let victim = topo
+            .group_ids()
+            .filter_map(|g| {
+                let m = topo.group_members(g);
+                (m.len() >= 2).then(|| m[0])
+            })
+            .next()
+            .expect("a group with two members");
+        let fast = WireTimeouts {
+            rpc: Duration::from_millis(900),
+            member: Duration::from_millis(300),
+        };
+        let wire = WireCluster::serve_with(cluster.clone(), &[victim], fast);
+        let outcome = wire.query_outcome(&q, &QueryParams::protein()).unwrap();
+        let twin = self::cluster();
+        twin.fail_node(victim).unwrap();
+        // The failed node cannot be the twin's entry point; any live
+        // node yields identical results (§V-B).
+        let entry = topo.nodes().find(|&n| n != victim).expect("a live node");
+        let expected_hits = twin
+            .query_from(entry, &q, &QueryParams::protein())
+            .unwrap()
+            .hits;
+        assert_eq!(outcome.hits, expected_hits, "failover hits match");
+        if outcome
+            .responded
+            .keys()
+            .any(|&g| topo.group_members(g).first() == Some(&victim))
+        {
+            assert!(outcome.unreachable.contains(&victim));
+            assert_eq!(outcome.coverage.degraded, twin.coverage().degraded);
+        }
     }
 }

@@ -9,7 +9,8 @@
 //! never as ground truth, which is exactly how `fail_node`/`recover_node`
 //! are shaped.
 
-use crate::mailbox::{Endpoint, NodeAddr};
+use crate::mailbox::NodeAddr;
+use crate::transport::Transport;
 use bytes::Bytes;
 use mendel_obs::Counter;
 use std::collections::{HashMap, HashSet};
@@ -69,7 +70,7 @@ impl HeartbeatMonitor {
     /// Drain an endpoint's pending heartbeats into the monitor. Returns
     /// how many were absorbed; non-heartbeat envelopes are *not*
     /// consumed-silently — they are returned to the caller.
-    pub fn drain(&mut self, endpoint: &Endpoint) -> (usize, Vec<crate::mailbox::Envelope>) {
+    pub fn drain<T: Transport>(&mut self, endpoint: &T) -> (usize, Vec<crate::mailbox::Envelope>) {
         let mut beats = 0;
         let mut other = Vec::new();
         while let Some(env) = endpoint.try_recv() {
@@ -91,7 +92,11 @@ impl HeartbeatMonitor {
         let mut out: Vec<NodeAddr> = self
             .last_seen
             .iter()
-            .filter(|(_, &seen)| now.duration_since(seen) > self.timeout)
+            // Saturating on purpose: on the real-clock TCP path a beat
+            // can be observed (on the drain thread) *after* the `now` a
+            // poller captured, so `seen > now` is a legal race — it
+            // must read as "just beat", never underflow.
+            .filter(|(_, &seen)| now.saturating_duration_since(seen) > self.timeout)
             .map(|(&addr, _)| addr)
             .collect();
         out.sort_unstable();
@@ -116,7 +121,7 @@ impl HeartbeatMonitor {
         let mut out: Vec<NodeAddr> = self
             .last_seen
             .iter()
-            .filter(|(_, &seen)| now.duration_since(seen) <= self.timeout)
+            .filter(|(_, &seen)| now.saturating_duration_since(seen) <= self.timeout)
             .map(|(&addr, _)| addr)
             .collect();
         out.sort_unstable();
@@ -126,8 +131,8 @@ impl HeartbeatMonitor {
 
 /// Node-side loop: beat to `monitor` every `period` until `stop` is set.
 /// Run on the node's own thread; returns the number of beats sent.
-pub fn beat_until_stopped(
-    endpoint: &Endpoint,
+pub fn beat_until_stopped<T: Transport>(
+    endpoint: &T,
     monitor: NodeAddr,
     period: Duration,
     stop: &Arc<AtomicBool>,

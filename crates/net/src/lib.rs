@@ -23,16 +23,22 @@
 
 pub mod codec;
 pub mod fault;
+pub mod frame;
 pub mod heartbeat;
 pub mod latency;
 pub mod mailbox;
 pub mod metrics;
 pub mod rpc;
+pub mod tcp;
+pub mod transport;
 
 pub use codec::{Decode, DecodeError, Encode};
 pub use fault::{FaultConfig, FaultEvent, FaultEventKind, FaultPlan, Verdict, XorShift64};
+pub use frame::{FrameError, FRAME_MAGIC, MAX_FRAME};
 pub use heartbeat::HeartbeatMonitor;
 pub use latency::{LatencyModel, NodeSpeed, SimSpan};
 pub use mailbox::{Endpoint, Envelope, Network, NetworkStats, NodeAddr, RecvError};
-pub use metrics::{NetMetrics, RpcMetrics};
+pub use metrics::{NetMetrics, RpcMetrics, TransportMetrics};
 pub use rpc::{RetryPolicy, RpcClient, RpcError};
+pub use tcp::{TcpConfig, TcpTransport};
+pub use transport::{SimTransport, Transport};

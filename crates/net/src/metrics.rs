@@ -17,7 +17,7 @@
 //! installs one.
 
 use crate::mailbox::NodeAddr;
-use mendel_obs::{Counter, Registry};
+use mendel_obs::{Counter, Gauge, Registry};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -124,9 +124,80 @@ impl RpcMetrics {
     }
 }
 
+/// Carrier-level counters for one [`crate::tcp::TcpTransport`], under
+/// `mendel.net.transport.*` when registered.
+///
+/// These count *wire* activity (frames and framed bytes, including the
+/// 4-byte length prefix and envelope header), unlike [`NetMetrics`]
+/// which counts payload bytes at the simulated delivery point — the two
+/// views deliberately measure different layers.
+#[derive(Debug, Clone, Default)]
+pub struct TransportMetrics {
+    /// Frames successfully written to a peer.
+    pub frames_sent: Arc<Counter>,
+    /// Frames successfully read from any connection.
+    pub frames_received: Arc<Counter>,
+    /// Bytes written, including frame prefixes.
+    pub bytes_sent: Arc<Counter>,
+    /// Bytes read, including frame prefixes.
+    pub bytes_received: Arc<Counter>,
+    /// Outbound dials that completed a handshake.
+    pub connects: Arc<Counter>,
+    /// Inbound connections that completed a handshake.
+    pub accepts: Arc<Counter>,
+    /// Dials performed after a previously-working connection failed.
+    pub reconnects: Arc<Counter>,
+    /// Sends abandoned after exhausting dial/write attempts.
+    pub dead_letters: Arc<Counter>,
+    /// Connections torn down on a frame protocol error (bad magic,
+    /// oversized prefix, undecodable body, truncation).
+    pub frame_errors: Arc<Counter>,
+    /// Idle pooled outbound connections, across all peers.
+    pub pool_size: Arc<Gauge>,
+}
+
+impl TransportMetrics {
+    /// Detached counters (registered nowhere).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Counters registered under `mendel.net.transport.*` in `registry`.
+    pub fn registered(registry: &Registry) -> Self {
+        let scope = registry.scoped("mendel.net.transport");
+        TransportMetrics {
+            frames_sent: scope.counter("frames_sent"),
+            frames_received: scope.counter("frames_received"),
+            bytes_sent: scope.counter("bytes_sent"),
+            bytes_received: scope.counter("bytes_received"),
+            connects: scope.counter("connects"),
+            accepts: scope.counter("accepts"),
+            reconnects: scope.counter("reconnects"),
+            dead_letters: scope.counter("dead_letters"),
+            frame_errors: scope.counter("frame_errors"),
+            pool_size: scope.gauge("pool_size"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transport_metrics_register_under_transport_scope() {
+        let r = Registry::new();
+        let m = TransportMetrics::registered(&r);
+        m.frames_sent.inc();
+        m.bytes_sent.add(42);
+        m.reconnects.inc();
+        m.pool_size.set(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("mendel.net.transport.frames_sent"), 1);
+        assert_eq!(snap.counter("mendel.net.transport.bytes_sent"), 42);
+        assert_eq!(snap.counter("mendel.net.transport.reconnects"), 1);
+        assert_eq!(snap.gauge("mendel.net.transport.pool_size"), 3);
+    }
 
     #[test]
     fn delivery_splits_bytes_between_sender_and_receiver() {

@@ -11,6 +11,7 @@ use crate::codec::{Decode, Encode};
 use crate::fault::XorShift64;
 use crate::mailbox::{Endpoint, Envelope, NodeAddr, RecvError};
 use crate::metrics::RpcMetrics;
+use crate::transport::{SimTransport, Transport};
 use mendel_obs::{ActiveSpan, TraceContext, Tracer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -125,9 +126,27 @@ impl RetryPolicy {
     }
 }
 
-/// Request/response client wrapping an [`Endpoint`].
-pub struct RpcClient {
-    endpoint: Endpoint,
+/// Upper bound substituted for a per-call timeout too large to add to
+/// `Instant::now()`. On the simulated path timeouts are small and this
+/// never engages; on the real-clock TCP path a caller passing
+/// `Duration::MAX` (or similar "wait forever" sentinel) must get a far
+/// deadline, not an arithmetic panic.
+const FAR_FUTURE: Duration = Duration::from_secs(30 * 365 * 24 * 3600);
+
+/// `start + timeout` without the overflow panic of `Instant + Duration`:
+/// saturates to a deadline ~30 years out when the sum is unrepresentable.
+fn deadline_after(start: Instant, timeout: Duration) -> Instant {
+    start
+        .checked_add(timeout)
+        .or_else(|| start.checked_add(FAR_FUTURE))
+        .unwrap_or(start)
+}
+
+/// Request/response client over any [`Transport`]; defaults to the
+/// simulated backend, so `RpcClient::new(endpoint)` keeps meaning what
+/// it always has.
+pub struct RpcClient<T: Transport = SimTransport> {
+    endpoint: T,
     next_correlation: AtomicU64,
     /// Responses that arrived while we were waiting for a different id,
     /// stamped with their arrival time for TTL eviction.
@@ -145,9 +164,21 @@ pub struct RpcClient {
     tracer: Option<Tracer>,
 }
 
-impl RpcClient {
-    /// Wrap an endpoint.
+impl RpcClient<SimTransport> {
+    /// Wrap a simulated-network endpoint.
     pub fn new(endpoint: Endpoint) -> Self {
+        RpcClient::over(endpoint)
+    }
+
+    /// Borrow the wrapped endpoint (e.g. to serve incoming requests).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+}
+
+impl<T: Transport> RpcClient<T> {
+    /// Wrap any transport backend.
+    pub fn over(endpoint: T) -> Self {
         RpcClient {
             endpoint,
             next_correlation: AtomicU64::new(1),
@@ -218,8 +249,9 @@ impl RpcClient {
         self.endpoint.addr()
     }
 
-    /// Borrow the wrapped endpoint (e.g. to serve incoming requests).
-    pub fn endpoint(&self) -> &Endpoint {
+    /// Borrow the underlying transport (e.g. to serve incoming
+    /// requests or reach backend-specific controls).
+    pub fn transport(&self) -> &T {
         &self.endpoint
     }
 
@@ -345,7 +377,7 @@ impl RpcClient {
             }
             correlations.push(corr);
         }
-        let deadline = Instant::now() + timeout; // audit:allow(instant-now): RPC deadline bounds a real crossbeam recv_timeout; virtual time cannot wake it
+        let deadline = deadline_after(Instant::now(), timeout); // audit:allow(instant-now): RPC deadline bounds a real recv_timeout; virtual time cannot wake it
         correlations
             .into_iter()
             .map(|corr| {
@@ -378,7 +410,7 @@ impl RpcClient {
                 }
             })
             .collect();
-        let deadline = Instant::now() + timeout; // audit:allow(instant-now): RPC deadline bounds a real crossbeam recv_timeout; virtual time cannot wake it
+        let deadline = deadline_after(Instant::now(), timeout); // audit:allow(instant-now): RPC deadline bounds a real recv_timeout; virtual time cannot wake it
         sent.into_iter()
             .map(|slot| {
                 let corr = slot?;
@@ -404,7 +436,7 @@ impl RpcClient {
             self.close(correlation, start);
             return Ok(env);
         }
-        let deadline = start + timeout;
+        let deadline = deadline_after(start, timeout);
         loop {
             let now = Instant::now(); // audit:allow(instant-now): RPC deadline bounds a real crossbeam recv_timeout; virtual time cannot wake it
             let remaining = deadline.saturating_duration_since(now);
@@ -447,11 +479,20 @@ pub fn serve_one<Req: Decode, Resp: Encode>(
     timeout: Duration,
     handler: impl FnOnce(NodeAddr, Req) -> Resp,
 ) -> Result<bool, RpcError> {
-    match endpoint.recv_timeout(timeout) {
+    serve_one_on(endpoint, timeout, handler)
+}
+
+/// [`serve_one`] over any [`Transport`] backend.
+pub fn serve_one_on<T: Transport, Req: Decode, Resp: Encode>(
+    transport: &T,
+    timeout: Duration,
+    handler: impl FnOnce(NodeAddr, Req) -> Resp,
+) -> Result<bool, RpcError> {
+    match transport.recv_timeout(timeout) {
         Ok(env) => {
             let req = Req::from_bytes(&env.payload).map_err(|e| RpcError::Decode(e.to_string()))?;
             let resp = handler(env.from, req);
-            endpoint.send(env.from, env.correlation, resp.to_bytes());
+            transport.send(env.from, env.correlation, resp.to_bytes());
             Ok(true)
         }
         Err(RecvError::Timeout) => Ok(false),

@@ -104,6 +104,30 @@ pub mod strategy {
 
         /// Produce one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Derive a strategy for a new type by mapping generated values
+        /// (upstream proptest's `prop_map`).
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
