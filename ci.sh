@@ -177,6 +177,24 @@ if [ "$MODE" != "quick" ]; then
     fi
 fi
 
+# 15. Cross-process tracing + live telemetry (DESIGN.md §17): a traced
+#    query against the real 3-process loopback cluster must stitch
+#    node-side spans from every process into one Perfetto-loadable
+#    chrome JSON with resolving parent links, and the slowlog, federated
+#    metrics, and verbose healthz surfaces must answer. (obs_bench's
+#    smoke run in step 10 self-checks the tracing-over-TCP ≤5% budget.)
+if [ "$MODE" != "quick" ]; then
+    if command -v timeout >/dev/null 2>&1; then
+        step "multi-process trace smoke (loopback)" \
+            timeout --kill-after=30 300 cargo test -p mendel-cli --test serve -q \
+            traced_query_stitches_spans_from_all_three_processes
+    else
+        step "multi-process trace smoke (loopback)" \
+            cargo test -p mendel-cli --test serve -q \
+            traced_query_stitches_spans_from_all_three_processes
+    fi
+fi
+
 echo
 if [ "$FAILED" -ne 0 ]; then
     echo "CI gate FAILED"

@@ -26,13 +26,19 @@
 // Benchmark reports go to stdout by design.
 #![allow(clippy::print_stdout)]
 
+use mendel::{NodeServer, TcpFrontEnd, WireTimeouts};
 use mendel_bench::{
     bench_params, cluster_with, clustered_windows, figure_header, protein_db, query_set, DB_SEED,
 };
+use mendel_net::mailbox::NodeAddr;
+use mendel_net::tcp::TcpConfig;
+use mendel_net::TransportMetrics;
 use mendel_obs::Registry;
 use mendel_seq::{BlockDistance, MatrixDistance, Metric, ScoringMatrix};
 use mendel_vptree::knn::KnnHeap;
 use mendel_vptree::Neighbor;
+use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Scale {
@@ -239,6 +245,135 @@ fn main() {
             trace_overhead * 100.0
         );
     }
+
+    // ---- PR 10: tracing over TCP on the real serving stack.
+    // The trace context rides every MDL1 frame as the 17-byte envelope
+    // tail and node-side span trees ride group replies home, so the
+    // whole distributed path — context propagation, remote span
+    // records, clock re-anchoring, stitching, critical-path extraction
+    // — must fit the same ≤5% budget (DESIGN.md §17). Loopback
+    // NodeServers + a TcpFrontEnd put real frames on real sockets.
+    let mut dist_trace_json = String::from("\"skipped\": true");
+    if std::net::TcpListener::bind("127.0.0.1:0").is_ok() {
+        let (tcp_residues, tcp_queries) = if smoke { (20_000, 4) } else { (120_000, 12) };
+        let tcp_db = protein_db(tcp_residues);
+        let tcp_cluster = Arc::new(cluster_with(&tcp_db, 3, 1));
+        let tcp_qs = query_set(&tcp_db, tcp_queries, 200, 0.9);
+        // audit:allow(expect): constant loopback literal always parses.
+        let any: SocketAddr = "127.0.0.1:0".parse().expect("loopback");
+        let timeouts = WireTimeouts {
+            rpc: Duration::from_secs(10),
+            member: Duration::from_secs(5),
+        };
+        let servers: Vec<NodeServer> = tcp_cluster
+            .topology()
+            .nodes()
+            .map(|n| {
+                NodeServer::start(
+                    tcp_cluster.clone(),
+                    n,
+                    any,
+                    &[],
+                    TcpConfig::default(),
+                    TransportMetrics::detached(),
+                    timeouts,
+                )
+                .expect("bind bench node server") // audit:allow(expect): bench binary; loopback bind was probed above.
+            })
+            .collect();
+        // Node `i` listens as transport address `i + 1` (the serving
+        // convention); wire every node to every other.
+        let addrs: Vec<(NodeAddr, SocketAddr)> = servers
+            .iter()
+            .map(|s| {
+                let sock = s.local_socket_addr().expect("bound"); // audit:allow(expect): bench binary; server just bound.
+                (NodeAddr(s.node().0 + 1), sock)
+            })
+            .collect();
+        for s in &servers {
+            for &(peer, sock) in &addrs {
+                s.transport().add_peer(peer, sock);
+            }
+        }
+        let fe = TcpFrontEnd::connect(
+            tcp_cluster.clone(),
+            0,
+            &addrs,
+            TcpConfig::default(),
+            TransportMetrics::detached(),
+            timeouts,
+        );
+        let run_tcp = || -> usize {
+            tcp_qs
+                .iter()
+                .map(|q| {
+                    fe.query(&q.query.residues, &params)
+                        .expect("bench tcp query runs") // audit:allow(expect): bench binary; a failing query should abort the run.
+                        .hits
+                        .len()
+                })
+                .sum()
+        };
+        tcp_cluster.set_tracing(false);
+        let (tcp_off_t, tcp_off_hits) = time_best(scale.reps, run_tcp);
+        tcp_cluster.set_tracing(true);
+        tcp_cluster.set_trace_sampling(1);
+        let (tcp_on_t, tcp_on_hits) = time_best(scale.reps, run_tcp);
+        assert_eq!(
+            tcp_off_hits, tcp_on_hits,
+            "tracing over TCP changed query results"
+        );
+        assert!(
+            !tcp_cluster.trace_records().is_empty(),
+            "traced TCP runs left no spans in the flight recorders"
+        );
+        let dist_overhead = tcp_on_t.as_secs_f64() / tcp_off_t.as_secs_f64().max(1e-12) - 1.0;
+        let dist_within_budget = dist_overhead <= 0.05;
+        println!(
+            "\ntcp serving stack ({} residues, {} queries, 3 nodes, best of {}):",
+            tcp_db.total_residues(),
+            tcp_qs.len(),
+            scale.reps
+        );
+        println!(
+            "  tracing off {:8.2} ms   tracing on {:8.2} ms ({:+.1}%)",
+            tcp_off_t.as_secs_f64() * 1e3,
+            tcp_on_t.as_secs_f64() * 1e3,
+            dist_overhead * 100.0,
+        );
+        if !dist_within_budget {
+            println!(
+                "WARNING: TCP tracing overhead {:.1}% exceeds the 5% budget",
+                dist_overhead * 100.0
+            );
+        }
+        dist_trace_json = format!(
+            "\"db_residues\": {}, \"queries\": {}, \"nodes\": 3, \"reps\": {},\n    \
+             \"untraced_ms\": {:.3}, \"traced_ms\": {:.3},\n    \
+             \"trace_overhead\": {dist_overhead:.4},\n    \
+             \"overhead_budget\": 0.05, \"within_budget\": {dist_within_budget},\n    \
+             \"results_identical\": true",
+            tcp_db.total_residues(),
+            tcp_qs.len(),
+            scale.reps,
+            tcp_off_t.as_secs_f64() * 1e3,
+            tcp_on_t.as_secs_f64() * 1e3,
+        );
+    } else {
+        println!("\ntcp serving stack: SKIPPED (loopback sockets unavailable)");
+    }
+    let dist_report = format!(
+        "{{\n  \"bench\": \"pr10_dist_trace\",\n  \"mode\": \"{}\",\n  \"tcp_tracing\": {{\n    {dist_trace_json}\n  }}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+    );
+    let dist_path = if smoke {
+        std::env::temp_dir().join("BENCH_pr10_dist_trace.smoke.json")
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr10_dist_trace.json")
+    };
+    // audit:allow(expect): bench binary; an unwritable report path should abort the run.
+    std::fs::write(&dist_path, &dist_report).expect("write distributed-tracing report");
+    println!("report: {}", dist_path.display());
 
     let json = format!(
         "{{\n  \"bench\": \"pr4_obs\",\n  \"mode\": \"{}\",\n  \"leaf_scan\": {{\n    \"points\": {}, \"queries\": {}, \"k\": {K}, \"window_len\": {WINDOW_LEN}, \"reps\": {},\n    \"uncounted_ms\": {:.3}, \"tally_ms\": {:.3}, \"atomic_ms\": {:.3},\n    \"tally_overhead\": {overhead:.4}, \"atomic_overhead\": {atomic_overhead:.4},\n    \"overhead_budget\": 0.05, \"within_budget\": {within_budget},\n    \"dist_calls_per_pass\": {per_pass}, \"results_identical\": true\n  }},\n  \"tracing\": {{\n    \"db_residues\": {}, \"queries\": {}, \"reps\": {},\n    \"untraced_ms\": {:.3}, \"traced_ms\": {:.3},\n    \"trace_overhead\": {trace_overhead:.4},\n    \"overhead_budget\": 0.05, \"within_budget\": {trace_within_budget},\n    \"results_identical\": true\n  }}\n}}\n",

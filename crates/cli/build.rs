@@ -1,0 +1,20 @@
+//! Bake the git revision into the binary so `/healthz?verbose=1` can
+//! report which build is serving. Falls back to `"unknown"` outside a
+//! git checkout (e.g. a source tarball) rather than failing the build.
+
+use std::process::Command;
+
+fn main() {
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    println!("cargo:rustc-env=MENDEL_GIT_SHA={sha}");
+    // Rebuild when HEAD moves so the sha stays honest.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

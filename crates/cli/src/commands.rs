@@ -449,6 +449,104 @@ pub fn cmd_durability(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parse `host:port` for the live-node HTTP commands.
+fn http_addr(key: &str, raw: &str) -> Result<std::net::SocketAddr, CliError> {
+    raw.parse().map_err(|_| {
+        CliError::Args(ArgError::BadValue {
+            key: key.into(),
+            value: raw.into(),
+            expected: "host:port",
+        })
+    })
+}
+
+/// One-shot GET against a live node's HTTP front-end; non-200 is an
+/// error carrying the node's own message.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> Result<String, CliError> {
+    let (status, body) = crate::http::http_request(addr, "GET", path, b"")
+        .map_err(|e| CliError::Io(format!("http://{addr}{path}"), e))?;
+    let body = String::from_utf8_lossy(&body).into_owned();
+    if status != 200 {
+        return Err(CliError::Mendel(MendelError::Query(format!(
+            "GET {path} returned {status}: {}",
+            body.trim()
+        ))));
+    }
+    Ok(body)
+}
+
+/// Pull the trace ids a live node knows about (`/debug/traces` returns
+/// `{"traces":[1,2,...]}` — parsed by hand, the workspace has no JSON
+/// parser).
+fn remote_trace_ids(addr: std::net::SocketAddr) -> Result<Vec<u64>, CliError> {
+    let body = http_get(addr, "/debug/traces")?;
+    let inner = body
+        .split_once('[')
+        .and_then(|(_, rest)| rest.split_once(']'))
+        .map(|(ids, _)| ids)
+        .unwrap_or("");
+    Ok(inner
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect())
+}
+
+/// `mendel trace dump --addr <host:port>` — pull a stitched trace from
+/// a live node over HTTP instead of replaying queries locally. Without
+/// `--trace <id>` the most recent trace is dumped.
+fn trace_dump_remote(args: &Args, addr_raw: &str) -> Result<String, CliError> {
+    let addr = http_addr("addr", addr_raw)?;
+    let format = match args.get("format").unwrap_or("chrome") {
+        "chrome" | "json" => "chrome",
+        "tree" | "text" => "tree",
+        "records" => "records",
+        "path" => "path",
+        other => {
+            return Err(CliError::Args(ArgError::BadValue {
+                key: "format".into(),
+                value: other.into(),
+                expected: "chrome|tree|records|path",
+            }))
+        }
+    };
+    let id: u64 = match args.get("trace") {
+        Some(raw) => raw.parse().map_err(|_| {
+            CliError::Args(ArgError::BadValue {
+                key: "trace".into(),
+                value: raw.into(),
+                expected: "decimal trace id",
+            })
+        })?,
+        None => *remote_trace_ids(addr)?.last().ok_or_else(|| {
+            CliError::Mendel(MendelError::Query(format!(
+                "node at {addr} has no recorded traces (is tracing enabled?)"
+            )))
+        })?,
+    };
+    let artifact = http_get(addr, &format!("/trace/{id}?format={format}&scope=cluster"))?;
+    match args.get("out") {
+        Some(path) => {
+            write_file(path, artifact.as_bytes())?;
+            Ok(format!(
+                "trace {id}: wrote {} bytes to {path}\n",
+                artifact.len()
+            ))
+        }
+        None => Ok(artifact),
+    }
+}
+
+/// `mendel trace slowlog --addr <host:port>` — dump a live node's
+/// structured slow-query log (ring-buffered JSON; DESIGN.md §17).
+pub fn cmd_trace_slowlog(args: &Args) -> Result<String, CliError> {
+    let addr = http_addr("addr", args.require("addr")?)?;
+    let mut body = http_get(addr, "/debug/slowlog")?;
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    Ok(body)
+}
+
 /// `mendel trace dump` — run queries with causal tracing on and dump
 /// the per-node flight recorders (DESIGN.md §12).
 ///
@@ -456,8 +554,12 @@ pub fn cmd_durability(args: &Args) -> Result<String, CliError> {
 /// at ui.perfetto.dev or chrome://tracing; `--format tree` renders each
 /// query's trace tree plus its critical path as plain text. With
 /// `--out <path>` the artifact goes to a file and a one-line summary is
-/// printed instead.
+/// printed instead. With `--addr <host:port>` the trace is pulled from
+/// a live node instead (no local replay; see DESIGN.md §17).
 pub fn cmd_trace_dump(args: &Args) -> Result<String, CliError> {
+    if let Some(addr) = args.get("addr") {
+        return trace_dump_remote(args, addr);
+    }
     let (cluster, alphabet) = restore_cluster(args)?;
     cluster.set_tracing(true);
     let params = query_params(args, alphabet)?;
@@ -601,6 +703,180 @@ pub fn cmd_bench_qps(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// One Prometheus text sample: metric name, labels, value.
+type PromSample = (String, Vec<(String, String)>, f64);
+
+/// Minimal Prometheus text parser for `mendel top` (the workspace has
+/// no metrics client): `name{k="v",...} value` lines; comments and
+/// anything unparsable are skipped.
+fn parse_prom_samples(text: &str) -> Vec<PromSample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((head, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            continue;
+        };
+        let (name, labels) = match head.split_once('{') {
+            None => (head.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let rest = rest.strip_suffix('}').unwrap_or(rest);
+                let labels = rest
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .filter_map(|pair| {
+                        let (k, v) = pair.split_once('=')?;
+                        Some((k.to_string(), v.trim_matches('"').to_string()))
+                    })
+                    .collect();
+                (name.to_string(), labels)
+            }
+        };
+        out.push((name, labels, value));
+    }
+    out
+}
+
+fn prom_label<'a>(labels: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    labels
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Sum a metric across every node label.
+fn sum_samples(samples: &[PromSample], name: &str) -> f64 {
+    samples
+        .iter()
+        .filter(|(n, _, _)| n == name)
+        .map(|(_, _, v)| v)
+        .sum()
+}
+
+/// Approximate quantile (ms) from `<name>_bucket` lines, cumulative
+/// counts merged across nodes (every process shares the same log-spaced
+/// boundaries). Returns the smallest bucket bound covering `q`; when
+/// the mass sits in the +Inf bucket the largest finite bound is a lower
+/// estimate.
+fn quantile_ms(samples: &[PromSample], name: &str, q: f64) -> Option<f64> {
+    let bucket = format!("{name}_bucket");
+    let mut acc: Vec<(f64, f64)> = Vec::new();
+    for (n, labels, v) in samples {
+        if *n != bucket {
+            continue;
+        }
+        let le = match prom_label(labels, "le") {
+            Some("+Inf") => f64::INFINITY,
+            Some(s) => match s.parse() {
+                Ok(le) => le,
+                Err(_) => continue,
+            },
+            None => continue,
+        };
+        match acc.iter_mut().find(|(l, _)| *l == le) {
+            Some((_, c)) => *c += v,
+            None => acc.push((le, *v)),
+        }
+    }
+    acc.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let total = acc.last()?.1;
+    if total <= 0.0 {
+        return None;
+    }
+    let target = q * total;
+    let hit = acc.iter().find(|(_, c)| *c >= target)?.0;
+    if hit.is_finite() {
+        return Some(hit * 1e3);
+    }
+    acc.iter()
+        .rev()
+        .find(|(le, _)| le.is_finite())
+        .map(|(le, _)| le * 1e3)
+}
+
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.2}GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2}MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1}KB", b / 1e3)
+    } else {
+        format!("{}B", b as u64)
+    }
+}
+
+/// `mendel top` — live cluster overview from the federated metrics
+/// exposition (`/metrics?scope=cluster`): cluster QPS, turnaround
+/// percentiles, shed and degraded-coverage counts, and per-node query
+/// and wire-byte totals. Renders one frame per poll, `--iterations`
+/// times (default 3), sleeping `--interval-ms` (default 1000) between
+/// polls; QPS is the counter delta between consecutive frames.
+pub fn cmd_top(args: &Args) -> Result<String, CliError> {
+    let addr = http_addr("addr", args.require("addr")?)?;
+    let iterations: usize = args.get_parsed("iterations", 3, "positive integer")?;
+    let interval_ms: u64 = args.get_parsed("interval-ms", 1000, "integer")?;
+    let mut out = String::new();
+    let mut prev: Option<(std::time::Instant, f64)> = None;
+    for i in 0..iterations.max(1) {
+        if i > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+        let text = http_get(addr, "/metrics?scope=cluster")?;
+        let now = std::time::Instant::now();
+        let samples = parse_prom_samples(&text);
+        let total_q = sum_samples(&samples, "mendel_query_count");
+        let qps = match prev {
+            Some((t0, q0)) => {
+                let dt = now.duration_since(t0).as_secs_f64().max(1e-9);
+                format!("{:.1}", (total_q - q0).max(0.0) / dt)
+            }
+            None => "-".to_string(),
+        };
+        prev = Some((now, total_q));
+        let fmt_ms = |v: Option<f64>| v.map_or("-".to_string(), |ms| format!("{ms:.2}ms"));
+        let mut nodes: Vec<u64> = samples
+            .iter()
+            .filter_map(|(_, l, _)| prom_label(l, "node")?.parse().ok())
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let _ = writeln!(
+            out,
+            "mendel top @ {addr}  nodes {}  queries {}  qps {qps}  p50 {}  p99 {}  shed {}  degraded {}",
+            nodes.len(),
+            total_q as u64,
+            fmt_ms(quantile_ms(&samples, "mendel_query_turnaround_seconds", 0.50)),
+            fmt_ms(quantile_ms(&samples, "mendel_query_turnaround_seconds", 0.99)),
+            sum_samples(&samples, "mendel_sched_shed") as u64,
+            sum_samples(&samples, "mendel_query_degraded") as u64,
+        );
+        for n in &nodes {
+            let ns = n.to_string();
+            let of_node = |name: &str| -> f64 {
+                samples
+                    .iter()
+                    .filter(|(nm, l, _)| nm == name && prom_label(l, "node") == Some(ns.as_str()))
+                    .map(|(_, _, v)| v)
+                    .sum()
+            };
+            let _ = writeln!(
+                out,
+                "  node {n}: queries {}  tx {}  rx {}  dead-letters {}",
+                of_node("mendel_query_count") as u64,
+                fmt_bytes(of_node("mendel_net_transport_bytes_sent")),
+                fmt_bytes(of_node("mendel_net_transport_bytes_received")),
+                of_node("mendel_net_transport_dead_letters") as u64,
+            );
+        }
+    }
+    Ok(out)
+}
+
 /// Dispatch a raw argv (without program name) to its command.
 pub fn run(tokens: &[String]) -> Result<String, CliError> {
     // `mendel trace dump` / `mendel bench qps` are two-word subcommands;
@@ -611,6 +887,11 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         && tokens.get(1).map(String::as_str) == Some("dump")
     {
         tokens.splice(0..2, ["trace-dump".to_string()]);
+    }
+    if tokens.first().map(String::as_str) == Some("trace")
+        && tokens.get(1).map(String::as_str) == Some("slowlog")
+    {
+        tokens.splice(0..2, ["trace-slowlog".to_string()]);
     }
     if tokens.first().map(String::as_str) == Some("bench")
         && tokens.get(1).map(String::as_str) == Some("qps")
@@ -627,10 +908,12 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         "metrics" => cmd_metrics(&args),
         "durability" => cmd_durability(&args),
         "trace-dump" => cmd_trace_dump(&args),
+        "trace-slowlog" => cmd_trace_slowlog(&args),
         "bench-qps" => cmd_bench_qps(&args),
+        "top" => cmd_top(&args),
         "serve" => crate::serve::cmd_serve(&args),
         "trace" => Err(CliError::UnknownCommand(
-            "trace (did you mean `mendel trace dump`?)".into(),
+            "trace (did you mean `mendel trace dump` or `mendel trace slowlog`?)".into(),
         )),
         "bench" => Err(CliError::UnknownCommand(
             "bench (did you mean `mendel bench qps`?)".into(),
@@ -729,6 +1012,52 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.to_string().contains("prometheus|json"), "{err}");
+    }
+
+    #[test]
+    fn prom_parser_reads_federated_samples() {
+        let text = "# TYPE mendel_query_count counter\n\
+                    mendel_query_count{node=\"0\"} 3\n\
+                    mendel_query_count{node=\"1\"} 5\n\
+                    mendel_query_turnaround_seconds_bucket{node=\"0\",le=\"0.001\"} 2\n\
+                    mendel_query_turnaround_seconds_bucket{node=\"0\",le=\"+Inf\"} 3\n\
+                    mendel_query_turnaround_seconds_bucket{node=\"1\",le=\"0.001\"} 4\n\
+                    mendel_query_turnaround_seconds_bucket{node=\"1\",le=\"+Inf\"} 5\n\
+                    not a sample\n";
+        let samples = parse_prom_samples(text);
+        assert_eq!(sum_samples(&samples, "mendel_query_count"), 8.0);
+        let s = samples
+            .iter()
+            .find(|(n, l, _)| n == "mendel_query_count" && prom_label(l, "node") == Some("1"))
+            .unwrap();
+        assert_eq!(s.2, 5.0);
+        // 6/8 of the mass is ≤ 1ms → p50 resolves to the 1ms bound.
+        assert_eq!(
+            quantile_ms(&samples, "mendel_query_turnaround_seconds", 0.50),
+            Some(1.0)
+        );
+        // p99 spills into +Inf → largest finite bound as lower estimate.
+        assert_eq!(
+            quantile_ms(&samples, "mendel_query_turnaround_seconds", 0.99),
+            Some(1.0)
+        );
+        assert_eq!(quantile_ms(&samples, "missing_metric", 0.5), None);
+    }
+
+    #[test]
+    fn fmt_bytes_scales_units() {
+        assert_eq!(fmt_bytes(512.0), "512B");
+        assert_eq!(fmt_bytes(2_048.0), "2.0KB");
+        assert_eq!(fmt_bytes(3_500_000.0), "3.50MB");
+        assert_eq!(fmt_bytes(7_250_000_000.0), "7.25GB");
+    }
+
+    #[test]
+    fn top_and_slowlog_require_addr() {
+        let err = run(&toks("top")).unwrap_err();
+        assert!(err.to_string().contains("addr"), "{err}");
+        let err = run(&toks("trace slowlog")).unwrap_err();
+        assert!(err.to_string().contains("addr"), "{err}");
     }
 
     #[test]

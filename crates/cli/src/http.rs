@@ -37,8 +37,22 @@ pub struct Request {
     pub method: String,
     /// The path component, query string stripped.
     pub path: String,
+    /// The raw query string (no leading `?`; empty when absent).
+    pub query: String,
     /// The body (empty when no Content-Length was sent).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of query parameter `key` (`k=v` pairs split on `&`;
+    /// no percent-decoding — the operational surface uses plain
+    /// alphanumeric values). A bare `key` with no `=` reads as `""`.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
 }
 
 /// One response; the server adds Content-Length and Connection headers.
@@ -197,7 +211,10 @@ fn read_request(stream: &TcpStream) -> Result<Request, u16> {
     if !version.starts_with("HTTP/1.") {
         return Err(400);
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     // Headers: only Content-Length matters to us.
     let mut content_length = 0usize;
     loop {
@@ -218,7 +235,12 @@ fn read_request(stream: &TcpStream) -> Result<Request, u16> {
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(|_| 400u16)?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
 }
 
 fn write_response(mut stream: &TcpStream, resp: &Response) -> io::Result<()> {
@@ -323,6 +345,25 @@ mod tests {
         let (status, _) =
             http_request(server.local_addr(), "GET", "/healthz?verbose=1", b"").expect("get");
         assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn query_params_parse() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/trace/7".into(),
+            query: "format=chrome&scope=cluster&bare".into(),
+            body: Vec::new(),
+        };
+        assert_eq!(req.query_param("format"), Some("chrome"));
+        assert_eq!(req.query_param("scope"), Some("cluster"));
+        assert_eq!(req.query_param("bare"), Some(""));
+        assert_eq!(req.query_param("missing"), None);
+        let empty = Request {
+            query: String::new(),
+            ..req
+        };
+        assert_eq!(empty.query_param("format"), None);
     }
 
     #[test]

@@ -46,11 +46,18 @@ USAGE:
                   [--memtable N] [--families N] [--members N] [--seed N] [--dna]
   mendel trace dump --index <snapshot> --db <fasta> --query <fasta>
                   [--format chrome|tree] [--out <path>]
+  mendel trace dump --addr <host:port> [--trace N]
+                  [--format chrome|tree|records|path] [--out <path>]
+  mendel trace slowlog --addr <host:port>
+  mendel top      --addr <host:port> [--iterations N] [--interval-ms N]
   mendel bench qps --index <snapshot> --db <fasta> --query <fasta>
                   [--batch N]
   mendel serve    --node N --listen <host:port> --http <host:port>
-                  [--peers N=host:port,...] [--config <toml>] [--db <fasta>]
+                  [--peers N=host:port,...] [--http-peers N=host:port,...]
+                  [--config <toml>] [--db <fasta>]
                   [--nodes N] [--groups N] [--replication N] [--seed N] [--dna]
                   [--data-dir <dir>] [--rpc-timeout-ms N] [--member-timeout-ms N]
+                  [--tracing true|false] [--trace-sample N]
+                  [--slowlog-threshold-ms N] [--slowlog-sample N]
   mendel help
 ";

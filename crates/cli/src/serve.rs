@@ -11,8 +11,21 @@
 //!   serving (idempotent: re-ingesting replaces the cluster).
 //! * `POST /query`   — body: residues (raw or FASTA); answers with
 //!   hits + coverage JSON rendered by [`render_outcome_json`].
+//!   `?trace=1` appends the query's trace id and critical path (the
+//!   plain body stays byte-identical to the untraced rendering).
 //! * `GET  /metrics` — Prometheus text exposition (cluster + transport).
+//!   `?scope=cluster` scrapes every `http-peers` member and merges the
+//!   texts with `node="N"` labels ([`federate_prometheus`]).
 //! * `GET  /healthz` — liveness + whether the node is serving yet.
+//!   `?verbose=1` adds build info (version, git sha), uptime, and the
+//!   active SIMD kernel.
+//! * `GET  /trace/<id>` — span records for one trace; `format=`
+//!   `chrome` (default, Perfetto-loadable) | `records` | `tree` |
+//!   `path`; `scope=cluster` (default) stitches fragments scraped from
+//!   every peer's `/trace/<id>?scope=local` into one merged tree.
+//! * `GET  /debug/traces` — trace ids this node has records for.
+//! * `GET  /debug/flight` — flight-recorder ring dump.
+//! * `GET  /debug/slowlog` — structured slow-query log (JSON).
 //! * `POST /shutdown` — orderly exit (tests also just SIGKILL).
 //!
 //! Configuration comes from a TOML-subset file (`--config serve.toml`)
@@ -23,12 +36,17 @@
 //! listen = "127.0.0.1:7701"          # node-to-node TCP transport
 //! http = "127.0.0.1:8701"            # HTTP front-end
 //! peers = "1=127.0.0.1:7702,2=127.0.0.1:7703"
+//! http-peers = "1=127.0.0.1:8702,2=127.0.0.1:8703"
 //! nodes = 3
 //! groups = 1
 //! replication = 1
 //! data-dir = "/var/lib/mendel/node0" # durable backend over RealVfs
 //! rpc-timeout-ms = 2000
 //! member-timeout-ms = 500
+//! tracing = true                     # distributed tracing (DESIGN.md §17)
+//! trace-sample = 1                   # trace every Nth query
+//! slowlog-threshold-ms = 500         # slow-query log admission
+//! slowlog-sample = 0                 # plus every Nth query (0 = off)
 //! ```
 //!
 //! The supported TOML subset is flat `key = value` lines (quoted
@@ -38,11 +56,13 @@
 
 use crate::args::{ArgError, Args};
 use crate::commands::CliError;
-use crate::http::{Handler, HttpServer, Request, Response};
+use crate::http::{http_request, Handler, HttpServer, Request, Response};
 use mendel::store::RealVfs;
 use mendel::{
-    ClusterConfig, CoverageReport, MendelCluster, MendelError, MendelHit, MonotonicClock,
-    NodeServer, QueryParams, StorageBackend, TcpFrontEnd, WireTimeouts,
+    chrome_trace_json, parse_records_text, render_records_text, Clock, ClusterConfig,
+    CoverageReport, MendelCluster, MendelError, MendelHit, MonotonicClock, NodeServer, QueryParams,
+    SlowLogConfig, StorageBackend, TcpFrontEnd, TraceCollector, TraceId, WireQueryOutcome,
+    WireTimeouts,
 };
 use mendel_dht::NodeId;
 use mendel_net::mailbox::NodeAddr;
@@ -87,6 +107,17 @@ pub struct ServeConfig {
     pub data_dir: Option<String>,
     /// Wire deadlines.
     pub timeouts: WireTimeouts,
+    /// Other nodes' *HTTP* addresses, for trace stitching and metrics
+    /// federation: `node-id=host:port,...`.
+    pub http_peers: Vec<(u16, SocketAddr)>,
+    /// Distributed tracing on/off (DESIGN.md §17).
+    pub tracing: bool,
+    /// Trace every Nth query (deterministic counter modulus, ≥ 1).
+    pub trace_sample: u64,
+    /// Slow-query log admission threshold.
+    pub slowlog_threshold: Duration,
+    /// Also admit every Nth query to the slowlog (0 = off).
+    pub slowlog_sample: u64,
 }
 
 fn bad(key: &str, value: &str, expected: &'static str) -> CliError {
@@ -195,6 +226,16 @@ impl ServeConfig {
             raw.parse().map_err(|_| bad(key, &raw, "host:port"))
         };
         let dna = args.flag("dna") || merged.get("dna").is_some_and(|v| v == "true" || v == "1");
+        let parse_bool = |key: &str, default: bool| -> Result<bool, CliError> {
+            match pick(key) {
+                None => Ok(default),
+                Some(raw) => match raw.as_str() {
+                    "true" | "1" => Ok(true),
+                    "false" | "0" => Ok(false),
+                    _ => Err(bad(key, &raw, "true or false")),
+                },
+            }
+        };
         let base = if dna {
             ClusterConfig::small_dna()
         } else {
@@ -218,6 +259,11 @@ impl ServeConfig {
             seed: parse_num("seed", base.seed)?,
             data_dir: pick("data-dir"),
             timeouts,
+            http_peers: parse_peers(&pick("http-peers").unwrap_or_default())?,
+            tracing: parse_bool("tracing", true)?,
+            trace_sample: parse_num("trace-sample", 1)?.max(1),
+            slowlog_threshold: Duration::from_millis(parse_num("slowlog-threshold-ms", 500)?),
+            slowlog_sample: parse_num("slowlog-sample", 0)?,
         })
     }
 
@@ -323,6 +369,8 @@ struct State {
     cfg: ServeConfig,
     serving: Mutex<Option<Serving>>,
     stop: AtomicBool,
+    /// Anchored at process start; `/healthz?verbose=1` reports its age.
+    uptime: MonotonicClock,
 }
 
 impl State {
@@ -351,6 +399,20 @@ impl State {
                 )?
             }
         });
+        // Span ids minted here must never collide with a peer process's
+        // once the fragments are stitched into one tree: give each node
+        // its own id plane (top 16 bits). The counter is monotone, so
+        // re-ingesting never rewinds it.
+        cluster
+            .metrics_registry()
+            .seed_trace_ids(((self.cfg.node as u64 + 1) << 48) | 1);
+        cluster.set_tracing(self.cfg.tracing);
+        cluster.set_trace_sampling(self.cfg.trace_sample);
+        cluster.set_slowlog_config(SlowLogConfig {
+            threshold: self.cfg.slowlog_threshold,
+            sample_every: self.cfg.slowlog_sample,
+            ..SlowLogConfig::default()
+        });
         let me = NodeId(self.cfg.node);
         let peer_addrs: Vec<(NodeAddr, SocketAddr)> = self
             .cfg
@@ -366,7 +428,10 @@ impl State {
             self.cfg.listen,
             &peer_addrs,
             TcpConfig::default(),
-            TransportMetrics::detached(),
+            // Registered (not detached): `mendel top` reads wire bytes
+            // from the federated exposition. Node server and front-end
+            // share the scope, so the counters aggregate both roles.
+            TransportMetrics::registered(cluster.metrics_registry()),
             self.cfg.timeouts,
         )
         .map_err(|e| CliError::Io(self.cfg.listen.to_string(), e))?;
@@ -379,7 +444,7 @@ impl State {
             self.cfg.node,
             &front_peers,
             TcpConfig::default(),
-            TransportMetrics::detached(),
+            TransportMetrics::registered(cluster.metrics_registry()),
             self.cfg.timeouts,
         );
         let blocks = cluster.total_blocks();
@@ -392,17 +457,36 @@ impl State {
         Ok((sequences, blocks))
     }
 
+    /// The serving cluster handle, with the serving mutex *released*:
+    /// routes that go on to scrape peer HTTP endpoints must never do
+    /// that socket I/O under the lock.
+    fn cluster(&self) -> Option<Arc<MendelCluster>> {
+        self.serving.lock().as_ref().map(|s| s.cluster.clone())
+    }
+
     fn handle(&self, req: &Request) -> Response {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => {
                 let serving = self.serving.lock().is_some();
-                Response::json(
-                    200,
-                    format!(
-                        "{{\"status\":\"ok\",\"node\":{},\"serving\":{serving}}}",
-                        self.cfg.node
-                    ),
-                )
+                let mut body = format!(
+                    "{{\"status\":\"ok\",\"node\":{},\"serving\":{serving}",
+                    self.cfg.node
+                );
+                if req.query_param("verbose").is_some_and(|v| v != "0") {
+                    let _ = write!(
+                        body,
+                        ",\"version\":{:?},\"git_sha\":{:?},\"uptime_seconds\":{},\
+                         \"kernel\":{:?},\"tracing\":{},\"trace_sample\":{}",
+                        env!("CARGO_PKG_VERSION"),
+                        env!("MENDEL_GIT_SHA"),
+                        self.uptime.now().as_secs(),
+                        mendel_seq::simd::active_kernel(),
+                        self.cfg.tracing,
+                        self.cfg.trace_sample,
+                    );
+                }
+                body.push('}');
+                Response::json(200, body)
             }
             ("POST", "/ingest") => {
                 let Ok(text) = std::str::from_utf8(&req.body) else {
@@ -433,25 +517,73 @@ impl State {
                     return Response::json(503, "{\"error\":\"no corpus ingested yet\"}");
                 };
                 match serving.front.query(&residues, &self.cfg.query_params()) {
-                    Ok(outcome) => Response::json(
-                        200,
-                        render_outcome_json(
+                    Ok(outcome) => {
+                        let mut body = render_outcome_json(
                             &serving.cluster.db(),
                             &outcome.hits,
                             &outcome.coverage,
                             &outcome.unreachable,
-                        ),
-                    ),
+                        );
+                        // `?trace=1` appends trace fields; the plain
+                        // body must stay byte-identical to PR 9 (the
+                        // multi-process twin test asserts equality).
+                        if req.query_param("trace").is_some_and(|v| v != "0") {
+                            body.pop();
+                            body.push_str(&render_trace_suffix(&outcome));
+                            body.push('}');
+                        }
+                        Response::json(200, body)
+                    }
                     Err(e) => Response::json(400, format!("{{\"error\":{:?}}}", e.to_string())),
                 }
             }
             ("GET", "/metrics") => {
-                let guard = self.serving.lock();
-                let Some(serving) = guard.as_ref() else {
+                let Some(cluster) = self.cluster() else {
                     return Response::text(200, "# no corpus ingested yet\n");
                 };
-                Response::text(200, serving.cluster.metrics_snapshot().to_prometheus())
+                let local = cluster.metrics_snapshot().to_prometheus();
+                if req.query_param("scope") != Some("cluster") {
+                    return Response::text(200, local);
+                }
+                // Serving lock already released: scraping peers is
+                // socket I/O and must run lock-free.
+                let mut parts = vec![(self.cfg.node, local)];
+                for &(node, http) in &self.cfg.http_peers {
+                    if let Some(text) = scrape_peer(http, "/metrics") {
+                        parts.push((node, text));
+                    }
+                }
+                Response::text(200, federate_prometheus(&parts))
             }
+            ("GET", "/debug/traces") => {
+                let Some(cluster) = self.cluster() else {
+                    return Response::json(503, "{\"error\":\"no corpus ingested yet\"}");
+                };
+                let mut collector = TraceCollector::new();
+                collector.ingest(cluster.trace_records());
+                let ids: Vec<String> = collector
+                    .trace_ids()
+                    .iter()
+                    .map(|t| t.0.to_string())
+                    .collect();
+                Response::json(200, format!("{{\"traces\":[{}]}}", ids.join(",")))
+            }
+            ("GET", "/debug/flight") => {
+                let Some(cluster) = self.cluster() else {
+                    return Response::json(503, "{\"error\":\"no corpus ingested yet\"}");
+                };
+                Response::text(200, cluster.flight_recorder_dump())
+            }
+            ("GET", "/debug/slowlog") => {
+                let Some(cluster) = self.cluster() else {
+                    return Response::json(503, "{\"error\":\"no corpus ingested yet\"}");
+                };
+                // `render_json` clones entries out under the ring lock
+                // and renders after — nothing here holds a lock across
+                // the socket write.
+                Response::json(200, cluster.slowlog().render_json())
+            }
+            ("GET", path) if path.starts_with("/trace/") => self.trace_response(req),
             ("POST", "/shutdown") => {
                 // audit:ordering(Relaxed): best-effort stop flag; the serve loop polls it
                 self.stop.store(true, Ordering::Relaxed);
@@ -460,6 +592,165 @@ impl State {
             _ => Response::json(404, "{\"error\":\"no such route\"}"),
         }
     }
+
+    /// `GET /trace/<id>` — one trace's span records, stitched across
+    /// the cluster unless `scope=local`. Local records are ingested
+    /// first so the in-band copies (which rode home in reply tails,
+    /// already re-anchored onto this node's clock) win under
+    /// dedup-keeps-first over raw peer-clock copies scraped via HTTP.
+    fn trace_response(&self, req: &Request) -> Response {
+        let id_raw = &req.path["/trace/".len()..];
+        let Ok(id) = id_raw.parse::<u64>() else {
+            return Response::json(400, "{\"error\":\"trace id must be a decimal u64\"}");
+        };
+        let trace = TraceId(id);
+        let Some(cluster) = self.cluster() else {
+            return Response::json(503, "{\"error\":\"no corpus ingested yet\"}");
+        };
+        let mut collector = TraceCollector::new();
+        collector.ingest(
+            cluster
+                .trace_records()
+                .into_iter()
+                .filter(|r| r.trace == trace),
+        );
+        if req.query_param("scope").unwrap_or("cluster") == "cluster" {
+            // Peers are asked for `scope=local` — no scrape cycles —
+            // and the serving lock is already released (socket I/O must
+            // run lock-free; the audit's lock-order graph stays flat).
+            for &(_, http) in &self.cfg.http_peers {
+                let path = format!("/trace/{id}?scope=local&format=records");
+                if let Some(text) = scrape_peer(http, &path) {
+                    if let Ok(records) = parse_records_text(&text) {
+                        collector.ingest(records.into_iter().filter(|r| r.trace == trace));
+                    }
+                }
+            }
+        }
+        collector.dedup();
+        if collector.records().is_empty() {
+            return Response::json(404, "{\"error\":\"no records for that trace\"}");
+        }
+        match req.query_param("format").unwrap_or("chrome") {
+            "chrome" | "json" => Response::json(200, chrome_trace_json(collector.records())),
+            "records" | "text" => Response::text(200, render_records_text(collector.records())),
+            "tree" => match collector.tree(trace) {
+                Some(tree) => Response::text(200, tree.render()),
+                None => Response::json(404, "{\"error\":\"no records for that trace\"}"),
+            },
+            "path" => match collector.tree(trace) {
+                Some(tree) => {
+                    let mut out = String::new();
+                    for hop in tree.critical_path() {
+                        let _ = writeln!(
+                            out,
+                            "{}\tnode{}\t{}us",
+                            hop.name,
+                            hop.node,
+                            hop.duration.as_micros()
+                        );
+                    }
+                    Response::text(200, out)
+                }
+                None => Response::json(404, "{\"error\":\"no records for that trace\"}"),
+            },
+            other => Response::json(
+                400,
+                format!("{{\"error\":\"unknown format {other:?} (chrome|records|tree|path)\"}}"),
+            ),
+        }
+    }
+}
+
+/// One-shot GET against a peer front-end; `None` on any transport or
+/// non-200 outcome (federation degrades to the reachable subset rather
+/// than failing the whole request).
+fn scrape_peer(addr: SocketAddr, path: &str) -> Option<String> {
+    let (status, body) = http_request(addr, "GET", path, b"").ok()?;
+    (status == 200).then(|| String::from_utf8_lossy(&body).into_owned())
+}
+
+/// The `?trace=1` JSON tail appended to a query response (without the
+/// surrounding braces): trace id plus the critical path through the
+/// stitched cross-process span tree.
+fn render_trace_suffix(outcome: &WireQueryOutcome) -> String {
+    let mut out = String::new();
+    match outcome.trace {
+        None => out.push_str(",\"trace\":null,\"critical_path\":[]"),
+        Some(t) => {
+            let _ = write!(out, ",\"trace\":{},\"critical_path\":[", t.0);
+            for (i, hop) in outcome.critical_path.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\":{:?},\"node\":{},\"duration_us\":{}}}",
+                    hop.name,
+                    hop.node,
+                    hop.duration.as_micros()
+                );
+            }
+            out.push(']');
+        }
+    }
+    out
+}
+
+/// Merge per-node Prometheus expositions into one cluster-scope text:
+/// every sample line gains a leading `node="N"` label; `# TYPE` lines
+/// are kept once (first node wins — the metric vocabulary is identical
+/// across processes); other comment lines are dropped.
+pub fn federate_prometheus(parts: &[(u16, String)]) -> String {
+    let mut out = String::new();
+    let mut typed: Vec<String> = Vec::new();
+    for (node, text) in parts {
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                if !typed.iter().any(|n| n == name) {
+                    typed.push(name.to_string());
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            match line.find('{') {
+                Some(brace) if !line[brace + 1..].starts_with('}') => {
+                    let _ = writeln!(
+                        out,
+                        "{}{{node=\"{node}\",{}",
+                        &line[..brace],
+                        &line[brace + 1..]
+                    );
+                }
+                Some(brace) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{{node=\"{node}\"{}",
+                        &line[..brace],
+                        &line[brace + 1..]
+                    );
+                }
+                None => match line.split_once(' ') {
+                    Some((name, rest)) => {
+                        let _ = writeln!(out, "{name}{{node=\"{node}\"}} {rest}");
+                    }
+                    None => {
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                },
+            }
+        }
+    }
+    out
 }
 
 /// Accept a raw residue string or a FASTA record (first sequence).
@@ -499,6 +790,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
         cfg: cfg.clone(),
         serving: Mutex::new(None),
         stop: AtomicBool::new(false),
+        uptime: MonotonicClock::new(),
     });
     if let Some(db_path) = &cfg.db {
         let text =
@@ -646,6 +938,79 @@ mod tests {
         assert!(a.contains("\"degraded\":true"));
         assert!(a.contains("\"unreachable\":[2]"));
         assert!(a.starts_with('{') && a.ends_with('}'));
+    }
+
+    #[test]
+    fn serve_config_parses_observability_keys() {
+        let args = Args::parse(&toks(
+            "serve --listen 127.0.0.1:0 --http 127.0.0.1:0 \
+             --http-peers 1=127.0.0.1:8702,2=127.0.0.1:8703 \
+             --tracing false --trace-sample 4 \
+             --slowlog-threshold-ms 25 --slowlog-sample 16",
+        ))
+        .unwrap();
+        let cfg = ServeConfig::from_args(&args).unwrap();
+        assert_eq!(cfg.http_peers.len(), 2);
+        assert_eq!(cfg.http_peers[0], (1, "127.0.0.1:8702".parse().unwrap()));
+        assert!(!cfg.tracing);
+        assert_eq!(cfg.trace_sample, 4);
+        assert_eq!(cfg.slowlog_threshold, Duration::from_millis(25));
+        assert_eq!(cfg.slowlog_sample, 16);
+        // Defaults: tracing on, every query sampled, 500ms threshold.
+        let args = Args::parse(&toks("serve --listen 127.0.0.1:0 --http 127.0.0.1:0")).unwrap();
+        let cfg = ServeConfig::from_args(&args).unwrap();
+        assert!(cfg.tracing);
+        assert_eq!(cfg.trace_sample, 1);
+        assert_eq!(cfg.slowlog_threshold, Duration::from_millis(500));
+        assert_eq!(cfg.slowlog_sample, 0);
+        assert!(cfg.http_peers.is_empty());
+    }
+
+    #[test]
+    fn federate_prometheus_labels_samples_and_dedups_types() {
+        let n0 = "# HELP mendel_q queries\n# TYPE mendel_q counter\nmendel_q 3\n\
+                  # TYPE mendel_lat histogram\nmendel_lat_bucket{le=\"0.1\"} 2\nmendel_lat_count 2\n";
+        let n1 = "# TYPE mendel_q counter\nmendel_q 5\nmendel_empty{} 1\n";
+        let merged = federate_prometheus(&[(0, n0.to_string()), (1, n1.to_string())]);
+        assert!(merged.contains("mendel_q{node=\"0\"} 3\n"), "{merged}");
+        assert!(merged.contains("mendel_q{node=\"1\"} 5\n"), "{merged}");
+        assert!(
+            merged.contains("mendel_lat_bucket{node=\"0\",le=\"0.1\"} 2\n"),
+            "{merged}"
+        );
+        assert!(merged.contains("mendel_empty{node=\"1\"} 1\n"), "{merged}");
+        assert_eq!(
+            merged.matches("# TYPE mendel_q counter").count(),
+            1,
+            "{merged}"
+        );
+        assert!(!merged.contains("# HELP"), "{merged}");
+    }
+
+    #[test]
+    fn trace_suffix_renders_null_and_hops() {
+        let untraced = WireQueryOutcome {
+            trace: None,
+            ..Default::default()
+        };
+        assert_eq!(
+            render_trace_suffix(&untraced),
+            ",\"trace\":null,\"critical_path\":[]"
+        );
+        let traced = WireQueryOutcome {
+            trace: Some(TraceId(9)),
+            critical_path: vec![mendel::CriticalHop {
+                name: "query".into(),
+                node: 60_000,
+                duration: Duration::from_micros(1500),
+            }],
+            ..Default::default()
+        };
+        let suffix = render_trace_suffix(&traced);
+        assert_eq!(
+            suffix,
+            ",\"trace\":9,\"critical_path\":[{\"name\":\"query\",\"node\":60000,\"duration_us\":1500}]"
+        );
     }
 
     #[test]

@@ -81,29 +81,40 @@ fn probe_ports(n: usize) -> std::io::Result<Vec<u16>> {
         .collect()
 }
 
-fn spawn_node(node: u16, listen: u16, http: u16, peers: &str) -> std::io::Result<Proc> {
+fn spawn_node(
+    node: u16,
+    listen: u16,
+    http: u16,
+    peers: &str,
+    extra: &[String],
+) -> std::io::Result<Proc> {
+    let mut args: Vec<String> = [
+        "serve",
+        "--node",
+        &node.to_string(),
+        "--listen",
+        &format!("127.0.0.1:{listen}"),
+        "--http",
+        &format!("127.0.0.1:{http}"),
+        "--peers",
+        peers,
+        "--nodes",
+        &NODES.to_string(),
+        "--groups",
+        "1",
+        "--replication",
+        "1",
+        "--rpc-timeout-ms",
+        "3000",
+        "--member-timeout-ms",
+        "500",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    args.extend(extra.iter().cloned());
     let child = Command::new(env!("CARGO_BIN_EXE_mendel"))
-        .args([
-            "serve",
-            "--node",
-            &node.to_string(),
-            "--listen",
-            &format!("127.0.0.1:{listen}"),
-            "--http",
-            &format!("127.0.0.1:{http}"),
-            "--peers",
-            peers,
-            "--nodes",
-            &NODES.to_string(),
-            "--groups",
-            "1",
-            "--replication",
-            "1",
-            "--rpc-timeout-ms",
-            "3000",
-            "--member-timeout-ms",
-            "500",
-        ])
+        .args(&args)
         .stdout(Stdio::null())
         .stderr(Stdio::inherit())
         .spawn()?;
@@ -116,7 +127,11 @@ fn spawn_node(node: u16, listen: u16, http: u16, peers: &str) -> std::io::Result
 
 /// Spawn the whole cluster and wait for every node's `/healthz`.
 /// `None` means a child died or never came up (port collision) — retry.
-fn spawn_cluster() -> std::io::Result<Option<Vec<Proc>>> {
+/// `extra_for(node, http_ports)` appends per-node flags (e.g. each
+/// node's view of the peer HTTP addresses).
+fn spawn_cluster_with(
+    extra_for: impl Fn(u16, &[u16]) -> Vec<String>,
+) -> std::io::Result<Option<Vec<Proc>>> {
     let ports = probe_ports(2 * NODES)?;
     let (listen, http) = ports.split_at(NODES);
     let peers = (0..NODES)
@@ -125,7 +140,8 @@ fn spawn_cluster() -> std::io::Result<Option<Vec<Proc>>> {
         .join(",");
     let mut procs = Vec::new();
     for i in 0..NODES {
-        procs.push(spawn_node(i as u16, listen[i], http[i], &peers)?);
+        let extra = extra_for(i as u16, http);
+        procs.push(spawn_node(i as u16, listen[i], http[i], &peers, &extra)?);
     }
     let deadline = Instant::now() + Duration::from_secs(20);
     for p in &mut procs {
@@ -140,6 +156,21 @@ fn spawn_cluster() -> std::io::Result<Option<Vec<Proc>>> {
         }
     }
     Ok(Some(procs))
+}
+
+fn spawn_cluster() -> std::io::Result<Option<Vec<Proc>>> {
+    spawn_cluster_with(|_, _| Vec::new())
+}
+
+/// Retry the spawn round against port races, like the twin test does.
+fn spawn_cluster_retrying(extra_for: impl Fn(u16, &[u16]) -> Vec<String>) -> Vec<Proc> {
+    for attempt in 0..3 {
+        match spawn_cluster_with(&extra_for).expect("spawn serve processes") {
+            Some(p) => return p,
+            None => eprintln!("spawn round {attempt} lost a port race; retrying"),
+        }
+    }
+    panic!("cluster up within 3 spawn rounds");
 }
 
 /// Wait for an orderly exit, bounded.
@@ -268,6 +299,228 @@ fn three_process_cluster_matches_in_process_twin() {
         if p.node == victim.0 {
             continue;
         }
+        let (status, _) = http_request(p.http, "POST", "/shutdown", b"").expect("shutdown");
+        assert_eq!(status, 200);
+        let exit = wait_exit(p, Duration::from_secs(10)).expect("orderly exit");
+        assert!(exit.success(), "node {} exits cleanly: {exit:?}", p.node);
+    }
+}
+
+/// Cross-process distributed tracing (DESIGN.md §17): a traced query
+/// against a real 3-process cluster yields one merged Perfetto-loadable
+/// chrome JSON with node-side spans from every contacted process and
+/// fully-resolving parent links; the federated metrics, slowlog, and
+/// verbose healthz surfaces ride along.
+#[test]
+fn traced_query_stitches_spans_from_all_three_processes() {
+    if let Err(e) = TcpListener::bind("127.0.0.1:0") {
+        eprintln!("SKIPPED: loopback sockets unavailable in this environment: {e}");
+        return;
+    }
+
+    let fasta = corpus_fasta();
+    // Every node learns every other node's HTTP address, samples every
+    // query's trace, and admits every query to the slowlog.
+    let mut procs = spawn_cluster_retrying(|node, http_ports| {
+        let http_peers = (0..NODES)
+            .filter(|&i| i != node as usize)
+            .map(|i| format!("{i}=127.0.0.1:{}", http_ports[i]))
+            .collect::<Vec<_>>()
+            .join(",");
+        vec![
+            "--http-peers".into(),
+            http_peers,
+            "--trace-sample".into(),
+            "1".into(),
+            "--slowlog-threshold-ms".into(),
+            "0".into(),
+        ]
+    });
+    for p in &procs {
+        let (status, body) =
+            http_request(p.http, "POST", "/ingest", fasta.as_bytes()).expect("ingest request");
+        assert_eq!(
+            status,
+            200,
+            "ingest on node {}: {}",
+            p.node,
+            String::from_utf8_lossy(&body)
+        );
+    }
+
+    // Verbose healthz: build info, uptime, active kernel.
+    let entry = procs[0].http;
+    let (status, health) =
+        http_request(entry, "GET", "/healthz?verbose=1", b"").expect("verbose healthz");
+    assert_eq!(status, 200);
+    let health = String::from_utf8_lossy(&health).into_owned();
+    for key in [
+        "\"version\":",
+        "\"git_sha\":",
+        "\"uptime_seconds\":",
+        "\"kernel\":",
+        "\"tracing\":true",
+    ] {
+        assert!(health.contains(key), "healthz missing {key}: {health}");
+    }
+
+    // A traced query through node 0's front-end. The plain body must be
+    // untouched; `?trace=1` appends the trace id and critical path.
+    let twin = MendelCluster::build(shape(), Arc::new(corpus_store(&fasta))).expect("twin");
+    let record = twin.db().get(SeqId(2)).expect("corpus seq").clone();
+    let (status, plain) =
+        http_request(entry, "POST", "/query", record.to_ascii().as_bytes()).expect("plain query");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&plain));
+    let (status, traced) = http_request(
+        entry,
+        "POST",
+        "/query?trace=1",
+        record.to_ascii().as_bytes(),
+    )
+    .expect("traced query");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&traced));
+    let traced = String::from_utf8_lossy(&traced).into_owned();
+    let plain = String::from_utf8_lossy(&plain).into_owned();
+    assert!(
+        traced.starts_with(plain.trim_end_matches('}')),
+        "traced body extends the plain body:\n{plain}\n{traced}"
+    );
+    assert!(traced.contains("\"critical_path\":["), "{traced}");
+    let trace_id: u64 = traced
+        .split("\"trace\":")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|id| id.trim().parse().ok())
+        .expect("traced response carries a numeric trace id");
+
+    // The stitched chrome JSON merges spans from all three processes:
+    // front-end spans (query/decompose/group_rpc) plus the group span
+    // and a node/<id> evaluation span from every storage process.
+    let (status, chrome) = http_request(
+        entry,
+        "GET",
+        &format!("/trace/{trace_id}?format=chrome&scope=cluster"),
+        b"",
+    )
+    .expect("stitched chrome trace");
+    assert_eq!(status, 200);
+    let chrome = String::from_utf8_lossy(&chrome).into_owned();
+    assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+    assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+    for name in [
+        "\"name\":\"query\"",
+        "\"name\":\"decompose\"",
+        "\"name\":\"group_rpc/",
+        "\"name\":\"group/",
+        "\"name\":\"node/0\"",
+        "\"name\":\"node/1\"",
+        "\"name\":\"node/2\"",
+    ] {
+        assert!(
+            chrome.contains(name),
+            "chrome JSON missing {name}: {chrome}"
+        );
+    }
+
+    // Records format: every parent link resolves inside the merged set
+    // and at least three distinct node ids contributed spans.
+    let (status, records) = http_request(
+        entry,
+        "GET",
+        &format!("/trace/{trace_id}?format=records&scope=cluster"),
+        b"",
+    )
+    .expect("stitched records");
+    assert_eq!(status, 200);
+    let records =
+        mendel::parse_records_text(&String::from_utf8_lossy(&records)).expect("records parse back");
+    assert!(
+        records.len() >= 7,
+        "expected a full span tree, got {records:?}"
+    );
+    let spans: std::collections::HashSet<u64> = records.iter().map(|r| r.span.0).collect();
+    let mut roots = 0;
+    for r in &records {
+        match r.parent {
+            None => roots += 1,
+            Some(p) => assert!(
+                spans.contains(&p.0),
+                "span {:?} has dangling parent {p:?}",
+                r.name
+            ),
+        }
+    }
+    assert_eq!(roots, 1, "exactly one root span: {records:?}");
+    let nodes: std::collections::HashSet<u32> = records.iter().map(|r| r.node).collect();
+    assert!(
+        nodes.len() >= 3,
+        "spans from at least 3 distinct node id planes: {nodes:?}"
+    );
+
+    // Critical path over the merged tree starts at the root query span.
+    let (status, path) = http_request(
+        entry,
+        "GET",
+        &format!("/trace/{trace_id}?format=path&scope=cluster"),
+        b"",
+    )
+    .expect("critical path");
+    assert_eq!(status, 200);
+    let path = String::from_utf8_lossy(&path).into_owned();
+    assert!(path.starts_with("query\t"), "critical path root: {path}");
+    assert!(path.lines().count() >= 2, "multi-hop critical path: {path}");
+
+    // Slowlog (threshold 0 ⇒ every query admitted) and federation.
+    let (status, slowlog) = http_request(entry, "GET", "/debug/slowlog", b"").expect("slowlog");
+    assert_eq!(status, 200);
+    let slowlog = String::from_utf8_lossy(&slowlog).into_owned();
+    assert!(
+        slowlog.contains("\"entries\":[{"),
+        "slowlog has entries: {slowlog}"
+    );
+    assert!(slowlog.contains("\"reason\":\"slow\""), "{slowlog}");
+
+    let (status, metrics) =
+        http_request(entry, "GET", "/metrics?scope=cluster", b"").expect("federated metrics");
+    assert_eq!(status, 200);
+    let metrics = String::from_utf8_lossy(&metrics).into_owned();
+    for label in ["node=\"0\"", "node=\"1\"", "node=\"2\""] {
+        assert!(metrics.contains(label), "federated metrics missing {label}");
+    }
+    assert_eq!(
+        metrics.matches("# TYPE mendel_query_count counter").count(),
+        1,
+        "TYPE lines deduped across nodes:\n{metrics}"
+    );
+
+    // The live-node CLI commands ride the same surfaces.
+    let addr = entry.to_string();
+    let top = mendel_cli::run(&[
+        "top".into(),
+        "--addr".into(),
+        addr.clone(),
+        "--iterations".into(),
+        "1".into(),
+    ])
+    .expect("mendel top against the live cluster");
+    assert!(top.contains("mendel top @"), "{top}");
+    assert!(top.contains("node 0:"), "{top}");
+    let dump = mendel_cli::run(&[
+        "trace".into(),
+        "dump".into(),
+        "--addr".into(),
+        addr.clone(),
+        "--trace".into(),
+        trace_id.to_string(),
+    ])
+    .expect("mendel trace dump --addr");
+    assert!(dump.contains("\"name\":\"node/1\""), "{dump}");
+    let slow = mendel_cli::run(&["trace".into(), "slowlog".into(), "--addr".into(), addr])
+        .expect("mendel trace slowlog --addr");
+    assert!(slow.contains("\"seen\":"), "{slow}");
+
+    // Orderly shutdown.
+    for p in &mut procs {
         let (status, _) = http_request(p.http, "POST", "/shutdown", b"").expect("shutdown");
         assert_eq!(status, 200);
         let exit = wait_exit(p, Duration::from_secs(10)).expect("orderly exit");

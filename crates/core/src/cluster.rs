@@ -20,8 +20,8 @@ use mendel_dht::{FlatPlacement, GroupId, LoadReport, NodeId, Topology};
 use mendel_net::latency::parallel_max;
 use mendel_net::{HeartbeatMonitor, NodeSpeed};
 use mendel_obs::{
-    Clock, MetricsSnapshot, MonotonicClock, Registry, SpanId, SpanRecord, TraceCollector, TraceId,
-    TraceTree,
+    Clock, MetricsSnapshot, MonotonicClock, QueryObservation, Registry, SlowLogConfig,
+    SlowQueryLog, SpanId, SpanRecord, TraceCollector, TraceId, TraceTree,
 };
 use mendel_sched::{SchedConfig, Scheduler};
 use mendel_seq::{Alphabet, ScoringMatrix, SeqId, SeqStore, WindowView};
@@ -120,6 +120,14 @@ pub struct MendelCluster {
     /// (DESIGN.md §12). Off by default: tracing costs a few span
     /// records per query.
     tracing: AtomicBool,
+    /// Deterministic 1-in-N trace sampling (DESIGN.md §17): with tracing
+    /// on, every `trace_sample`-th query is sampled. 1 = every query.
+    trace_sample: AtomicU64,
+    /// Query counter driving the sampling modulus.
+    trace_seq: AtomicU64,
+    /// Structured slow-query log (DESIGN.md §17); served at
+    /// `/debug/slowlog` by `mendel serve`.
+    slowlog: SlowQueryLog,
     db: DbCell,
     karlin: KarlinParams,
     index_elapsed: Duration,
@@ -216,6 +224,9 @@ impl MendelCluster {
             repair_moves: AtomicU64::new(0),
             obs,
             tracing: AtomicBool::new(false),
+            trace_sample: AtomicU64::new(1),
+            trace_seq: AtomicU64::new(0),
+            slowlog: SlowQueryLog::default(),
             db,
             karlin,
             index_elapsed: Duration::ZERO,
@@ -637,8 +648,7 @@ impl MendelCluster {
         };
         self.record_stage_timings(&timings);
 
-        // audit:ordering(Relaxed): advisory tracing flag; a racing toggle only decides whether this query carries a trace, no shared data hangs off the value
-        let (trace, critical_path) = if self.tracing.load(Ordering::Relaxed) {
+        let (trace, critical_path) = if self.trace_query_sampled() {
             // Assemble the causal trace serially from the simulated
             // timeline (base instant 0). Minting ids after the rayon
             // group phase keeps them — and hence the chrome export —
@@ -766,11 +776,26 @@ impl MendelCluster {
             (None, Vec::new())
         };
 
+        let coverage = self.coverage();
+        if coverage.degraded {
+            // `mendel top` surfaces degraded-coverage queries from the
+            // federated exposition; the slowlog keeps the details.
+            self.obs.counter("mendel.query.degraded").inc();
+        }
+        self.slowlog.observe(QueryObservation {
+            at: clock.now(),
+            duration: timings.total(),
+            trace,
+            query_len: query.len(),
+            hits: hits.len(),
+            groups: stats.groups_contacted,
+            degraded: coverage.degraded,
+        });
         Ok(QueryReport {
             hits,
             timings,
             stats,
-            coverage: self.coverage(),
+            coverage,
             metrics: self.obs.snapshot().since(&before),
             trace,
             critical_path,
@@ -820,6 +845,41 @@ impl MendelCluster {
     /// Whether queries currently record causal traces.
     pub fn tracing_enabled(&self) -> bool {
         self.tracing.load(Ordering::Relaxed) // audit:ordering(Relaxed): advisory flag read for introspection
+    }
+
+    /// Set the deterministic 1-in-N trace sampling rate (DESIGN.md §17):
+    /// with tracing on, every `every`-th query gets a sampled trace.
+    /// Clamped to ≥ 1 (1 = trace every query, the default).
+    pub fn set_trace_sampling(&self, every: u64) {
+        // audit:ordering(Relaxed): advisory sampling knob; readers tolerate either the old or new rate
+        self.trace_sample.store(every.max(1), Ordering::Relaxed);
+    }
+
+    /// Draw one sampling decision: true when tracing is on *and* this
+    /// query's sequence number falls on the 1-in-N grid. Consumes one
+    /// tick of the sampling counter, so call exactly once per query.
+    pub fn trace_query_sampled(&self) -> bool {
+        // audit:ordering(Relaxed): advisory tracing flag; a racing toggle only decides whether this query carries a trace, no shared data hangs off the value
+        if !self.tracing.load(Ordering::Relaxed) {
+            return false;
+        }
+        // audit:ordering(Relaxed): advisory sampling knob read; any recent value is acceptable
+        let every = self.trace_sample.load(Ordering::Relaxed).max(1);
+        // audit:ordering(Relaxed): deterministic per-cluster sequence; fetch_add atomicity alone yields distinct, gapless ticks
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        seq % every == 0
+    }
+
+    /// The structured slow-query log (DESIGN.md §17). Both query paths
+    /// (simulated and wire) feed it; `mendel serve` dumps it at
+    /// `/debug/slowlog`.
+    pub fn slowlog(&self) -> &SlowQueryLog {
+        &self.slowlog
+    }
+
+    /// Replace the slow-query log's admission policy.
+    pub fn set_slowlog_config(&self, cfg: SlowLogConfig) {
+        self.slowlog.set_config(cfg);
     }
 
     /// Every span currently held in the per-node flight recorders,
@@ -1942,6 +2002,9 @@ impl MendelCluster {
             repair_moves: AtomicU64::new(0),
             obs,
             tracing: AtomicBool::new(false),
+            trace_sample: AtomicU64::new(1),
+            trace_seq: AtomicU64::new(0),
+            slowlog: SlowQueryLog::default(),
             db,
             karlin,
             index_elapsed: Duration::ZERO,

@@ -55,8 +55,9 @@ pub use cluster::{FailoverDelta, MendelCluster, RepairReport};
 pub use config::{ClusterConfig, MetricKind, StorageBackend};
 pub use error::MendelError;
 pub use mendel_obs::{
-    chrome_trace_json, Clock, CriticalHop, MetricsSnapshot, MonotonicClock,
-    Registry as MetricsRegistry, SpanRecord, TraceCollector, TraceId, TraceTree,
+    chrome_trace_json, parse_records_text, render_records_text, Clock, CriticalHop,
+    MetricsSnapshot, MonotonicClock, Registry as MetricsRegistry, SlowLogConfig, SlowQueryLog,
+    SpanRecord, TraceCollector, TraceId, TraceTree,
 };
 pub use mendel_store as store;
 pub use metric::BlockMetric;

@@ -42,6 +42,10 @@ use mendel_net::codec::{Decode, DecodeError, Encode};
 use mendel_net::heartbeat::HEARTBEAT_CORRELATION;
 use mendel_net::mailbox::{Endpoint, Envelope, Network, NodeAddr, RecvError};
 use mendel_net::transport::Transport;
+use mendel_obs::{
+    ActiveSpan, CriticalHop, QueryObservation, SpanId, SpanRecord, TraceCollector, TraceContext,
+    TraceId, Tracer,
+};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -212,37 +216,146 @@ fn decode_hsps_from(buf: &mut Bytes) -> Result<Vec<Hsp>, DecodeError> {
     Ok(out)
 }
 
-fn decode_hsps(bytes: &Bytes) -> Result<Vec<Hsp>, DecodeError> {
+/// Span records in wire form (DESIGN.md §17): count-prefixed, each
+/// `trace:u64 · span:u64 · parent:Option<u64> · node:u32 · start_ns:u64
+/// · end_ns:u64 · name · tags`. Only ever appended as an *optional*
+/// tail — untraced messages never carry it, keeping their bytes
+/// identical to the pre-tracing encodings.
+fn encode_spans_into(spans: &[SpanRecord], buf: &mut BytesMut) {
+    (spans.len() as u32).encode(buf);
+    for s in spans {
+        s.trace.0.encode(buf);
+        s.span.0.encode(buf);
+        s.parent.map(|p| p.0).encode(buf);
+        s.node.encode(buf);
+        (s.start.as_nanos() as u64).encode(buf);
+        (s.end.as_nanos() as u64).encode(buf);
+        s.name.encode(buf);
+        (s.tags.len() as u32).encode(buf);
+        for (k, v) in &s.tags {
+            k.encode(buf);
+            v.encode(buf);
+        }
+    }
+}
+
+fn decode_spans_from(buf: &mut Bytes) -> Result<Vec<SpanRecord>, DecodeError> {
+    let n = u32::decode(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let trace = TraceId(u64::decode(buf)?);
+        let span = SpanId(u64::decode(buf)?);
+        let parent = Option::<u64>::decode(buf)?.map(SpanId);
+        let node = u32::decode(buf)?;
+        let start = Duration::from_nanos(u64::decode(buf)?);
+        let end = Duration::from_nanos(u64::decode(buf)?);
+        let name = String::decode(buf)?;
+        let tag_count = u32::decode(buf)? as usize;
+        let mut tags = Vec::with_capacity(tag_count.min(64));
+        for _ in 0..tag_count {
+            tags.push((String::decode(buf)?, String::decode(buf)?));
+        }
+        out.push(SpanRecord {
+            trace,
+            span,
+            parent,
+            node,
+            name,
+            start,
+            end: end.max(start),
+            tags,
+        });
+    }
+    Ok(out)
+}
+
+/// Decode a member's anchor-set reply: the hsps, plus the optional
+/// span-record tail a traced member appends. An exhausted buffer after
+/// the hsps means "untraced" — the tail's absence *is* the encoding, so
+/// untraced replies stay byte-identical to the pre-tracing format.
+fn decode_hsps_and_spans(bytes: &Bytes) -> Result<(Vec<Hsp>, Vec<SpanRecord>), DecodeError> {
     let mut buf = bytes.clone();
-    decode_hsps_from(&mut buf)
+    let hsps = decode_hsps_from(&mut buf)?;
+    let spans = if buf.is_empty() {
+        Vec::new()
+    } else {
+        decode_spans_from(&mut buf)?
+    };
+    Ok((hsps, spans))
+}
+
+/// Shift a remote hop's span records onto the local timeline.
+///
+/// Nodes stamp spans with their own process clock; there is no clock
+/// synchronisation. What the caller *does* know is its own send and
+/// receive instants for the hop. The remote root span (the
+/// earliest-starting record, smallest id on ties) is re-anchored so its
+/// midpoint sits at the midpoint of the observed `[sent, received]`
+/// window — splitting the network round trip evenly around the remote
+/// work — and every other record moves by the same shift, preserving
+/// all intra-hop structure. Parent links are by span id, so tree shape
+/// and critical-path extraction are exact; only absolute placement is
+/// an estimate bounded by the one-way latency asymmetry (DESIGN.md §17).
+fn reanchor_spans(spans: &mut [SpanRecord], sent: Duration, received: Duration) {
+    let Some((root_start, _, root_dur)) = spans
+        .iter()
+        .map(|r| (r.start, r.span.0, r.duration()))
+        .min()
+    else {
+        return;
+    };
+    let window = received.saturating_sub(sent);
+    let target = sent + window.saturating_sub(root_dur) / 2;
+    for r in spans.iter_mut() {
+        let offset = r.start.saturating_sub(root_start);
+        let dur = r.duration();
+        r.start = target + offset;
+        r.end = r.start + dur;
+    }
 }
 
 /// A group entry point's reply: which members contributed anchor sets
-/// (entry point included), and the group-merged anchors.
+/// (entry point included), the group-merged anchors, and — for traced
+/// queries only — the node-side span tree riding home as an optional
+/// tail (same trick as the envelope trace tail: absence is the
+/// untraced encoding, so untraced replies are byte-identical to the
+/// pre-tracing format).
 #[derive(Debug, Clone, PartialEq)]
 struct GroupReply {
     responded: Vec<u16>,
     hsps: Vec<Hsp>,
+    spans: Vec<SpanRecord>,
 }
 
 impl Encode for GroupReply {
     fn encode(&self, buf: &mut BytesMut) {
         self.responded.encode(buf);
         encode_hsps_into(&self.hsps, buf);
+        if !self.spans.is_empty() {
+            encode_spans_into(&self.spans, buf);
+        }
     }
 }
 
 impl Decode for GroupReply {
     fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let responded = Vec::decode(buf)?;
+        let hsps = decode_hsps_from(buf)?;
+        let spans = if buf.is_empty() {
+            Vec::new()
+        } else {
+            decode_spans_from(buf)?
+        };
         Ok(GroupReply {
-            responded: Vec::decode(buf)?,
-            hsps: decode_hsps_from(buf)?,
+            responded,
+            hsps,
+            spans,
         })
     }
 }
 
 /// What a wire query learned beyond the hits themselves.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct WireQueryOutcome {
     /// Ranked alignments, identical to the in-process path over the
     /// same reachable nodes.
@@ -256,6 +369,11 @@ pub struct WireQueryOutcome {
     /// (plus anything already failed in the control plane) as down —
     /// the same shape the in-process failover path reports.
     pub coverage: CoverageReport,
+    /// Trace id when this query drew a sampled trace (DESIGN.md §17).
+    pub trace: Option<TraceId>,
+    /// Critical path through the stitched cross-process span tree;
+    /// empty when untraced.
+    pub critical_path: Vec<CriticalHop>,
 }
 
 /// A cluster whose storage nodes run as threads and communicate only
@@ -390,14 +508,33 @@ pub fn query_via<T: Transport>(
     // Resolve early so bad params fail before any traffic.
     let matrix = cluster.resolve_matrix(&params.m)?;
     let topo = cluster.topology();
+    let clock = cluster.metrics_registry().clock();
+    let q_start = clock.now();
+
+    // Distributed tracing (DESIGN.md §17): the sampling decision is
+    // made once here at the system entry point and rides in every
+    // envelope's trace tail; remote span trees come home in reply tails.
+    let tracer: Option<Tracer> = cluster
+        .trace_query_sampled()
+        .then(|| cluster.metrics_registry().tracer(client.addr().0 as u32));
+    let mut root: Option<ActiveSpan> = tracer.as_ref().map(|t| t.start_trace("query"));
 
     // Stage 1: decompose + route (system entry point).
+    let decompose_span = tracer
+        .as_ref()
+        .zip(root.as_ref())
+        .map(|(t, r)| t.child("decompose", r.context()));
     let offsets = crate::query::subquery_offsets(query.len(), block_len, params.k);
     let mut group_offsets: HashMap<GroupId, Vec<usize>> = HashMap::new();
     for &off in &offsets {
         for g in cluster.groups_of_window(&query[off..off + block_len], params.group_tolerance) {
             group_offsets.entry(g).or_default().push(off);
         }
+    }
+    if let Some(mut s) = decompose_span {
+        s.tag("subqueries", offsets.len());
+        s.tag("groups", group_offsets.len());
+        s.finish();
     }
 
     // Stage 2–4: scatter GroupQuery to each group's entry point and
@@ -411,6 +548,10 @@ pub fn query_via<T: Transport>(
     // (group, candidate entry-point index) still needing an answer.
     let mut round: Vec<(GroupId, usize)> = group_offsets.keys().map(|&g| (g, 0)).collect();
     round.sort_unstable_by_key(|&(g, _)| g);
+    // Open per-group RPC spans as the scatter sends them; each is
+    // finished when its reply (or timeout) resolves, with the remote
+    // span tree re-anchored into this timeline on receipt.
+    let mut rpc_spans: HashMap<u64, (ActiveSpan, Duration)> = HashMap::new();
     while !round.is_empty() {
         let batch: Vec<(GroupId, usize)> = std::mem::take(&mut round);
         let mut pending: HashMap<u64, (GroupId, usize)> = HashMap::new();
@@ -431,12 +572,25 @@ pub fn query_via<T: Transport>(
                 offsets: group_offsets.get(&g).cloned().unwrap_or_default(),
                 params: wire_params.clone(),
             };
-            if client.send(node_addr(gep), corr, msg.to_bytes()) {
+            let mut span_entry = tracer.as_ref().zip(root.as_ref()).map(|(t, r)| {
+                let mut span = t.child(&format!("group_rpc/{}", g.0), r.context());
+                span.tag("entry", gep.0);
+                (span, t.clock().now())
+            });
+            let ctx = span_entry.as_ref().map(|(span, _)| span.context());
+            if client.send_traced(node_addr(gep), corr, msg.to_bytes(), ctx) {
                 pending.insert(corr, (g, idx));
+                if let Some(entry) = span_entry {
+                    rpc_spans.insert(corr, entry);
+                }
             } else {
                 // Dead letter: the entry point is unreachable right now.
                 down.insert(gep);
                 round.push((g, idx + 1));
+                if let Some((mut span, _)) = span_entry.take() {
+                    span.tag("error", "dead-letter");
+                    span.finish();
+                }
             }
             corr += 1;
         }
@@ -465,6 +619,19 @@ pub fn query_via<T: Transport>(
                             down.insert(m);
                         }
                     }
+                    if let Some((mut span, sent)) = rpc_spans.remove(&env.correlation) {
+                        if let Some(t) = tracer.as_ref() {
+                            let received = t.clock().now();
+                            let mut remote = reply.spans;
+                            reanchor_spans(&mut remote, sent, received);
+                            for r in remote {
+                                cluster.metrics_registry().tracer(r.node).record(r);
+                            }
+                        }
+                        span.tag("members", answered.len());
+                        span.tag("anchors", reply.hsps.len());
+                        span.finish();
+                    }
                     anchors.extend(reply.hsps);
                     responded.insert(g, answered);
                 }
@@ -478,26 +645,87 @@ pub fn query_via<T: Transport>(
         }
         // Whatever is still pending timed out: mark the candidate entry
         // point down and move each group to its next member.
-        for (_, (g, idx)) in pending.drain() {
+        for (corr_id, (g, idx)) in pending.drain() {
             if let Some(&gep) = topo.group_members(g).get(idx) {
                 down.insert(gep);
             }
             round.push((g, idx + 1));
+            if let Some((mut span, _)) = rpc_spans.remove(&corr_id) {
+                span.tag("error", "timeout");
+                span.finish();
+            }
         }
         round.sort_unstable_by_key(|&(g, _)| g);
     }
 
     // Stage 5: system-level merge + gapped extension + ranking,
     // identical to the in-process path.
+    let finalize_span = tracer
+        .as_ref()
+        .zip(root.as_ref())
+        .map(|(t, r)| t.child("finalize", r.context()));
     let merged = mendel_align::hsp::merge_overlapping(anchors);
     let hits = cluster.finalize(query, merged, params, &matrix);
+    if let Some(s) = finalize_span {
+        s.finish();
+    }
     let unreachable: Vec<NodeId> = down.iter().copied().collect();
     let coverage = cluster.coverage_with_down(&unreachable);
+
+    // Close the root span, then stitch every record this trace produced
+    // (local spans + re-anchored remote trees) into the critical path.
+    let (trace, critical_path) = match root.take() {
+        Some(mut span) => {
+            let trace = span.trace();
+            span.tag("groups", responded.len());
+            span.tag("hits", hits.len());
+            if coverage.degraded {
+                span.tag("degraded", true);
+            }
+            span.finish();
+            let mut collector = TraceCollector::new();
+            collector.ingest(
+                cluster
+                    .metrics_registry()
+                    .trace_records()
+                    .into_iter()
+                    .filter(|r| r.trace == trace),
+            );
+            collector.dedup();
+            let path = collector
+                .tree(trace)
+                .map(|t| t.critical_path())
+                .unwrap_or_default();
+            (Some(trace), path)
+        }
+        None => (None, Vec::new()),
+    };
+    // Same names the in-process path uses, so `mendel top` and the
+    // federated exposition see front-end traffic too.
+    let registry = cluster.metrics_registry();
+    registry.counter("mendel.query.count").inc();
+    registry
+        .histogram("mendel.query.turnaround.seconds")
+        .record(clock.now().saturating_sub(q_start).as_secs_f64());
+    if coverage.degraded {
+        registry.counter("mendel.query.degraded").inc();
+    }
+    cluster.slowlog().observe(QueryObservation {
+        at: clock.now(),
+        duration: clock.now().saturating_sub(q_start),
+        trace,
+        query_len: query.len(),
+        hits: hits.len(),
+        groups: responded.len(),
+        degraded: coverage.degraded,
+    });
     Ok(WireQueryOutcome {
         hits,
         responded,
         unreachable,
         coverage,
+        trace,
+        critical_path,
     })
 }
 
@@ -542,8 +770,35 @@ pub fn node_serve_loop<T: Transport>(
                 let Ok(msg) = QueryMsg::from_bytes(&env.payload) else {
                     continue;
                 };
-                let anchors = eval_local(cluster, me, &msg);
-                transport.send(env.from, env.correlation, encode_hsps(&anchors));
+                // Sampled trace context on the envelope: time the local
+                // search and ship the span home as a reply tail.
+                match env.trace.filter(|c| c.sampled) {
+                    Some(ctx) => {
+                        let tracer = cluster.metrics_registry().tracer(me.0 as u32);
+                        let t0 = tracer.clock().now();
+                        let anchors = eval_local(cluster, me, &msg);
+                        let t1 = tracer.clock().now();
+                        let rec = SpanRecord {
+                            trace: ctx.trace,
+                            span: SpanId(tracer.next_id()),
+                            parent: Some(ctx.parent),
+                            node: me.0 as u32,
+                            name: format!("node/{}", me.0),
+                            start: t0,
+                            end: t1.max(t0),
+                            tags: vec![("anchors".into(), anchors.len().to_string())],
+                        };
+                        tracer.record(rec.clone());
+                        let mut buf = BytesMut::new();
+                        encode_hsps_into(&anchors, &mut buf);
+                        encode_spans_into(&[rec], &mut buf);
+                        transport.send(env.from, env.correlation, buf.freeze());
+                    }
+                    None => {
+                        let anchors = eval_local(cluster, me, &msg);
+                        transport.send(env.from, env.correlation, encode_hsps(&anchors));
+                    }
+                }
             }
             TAG_GROUP_QUERY => {
                 let Ok(msg) = QueryMsg::from_bytes(&env.payload) else {
@@ -582,6 +837,22 @@ fn serve_group_query<T: Transport>(
     let Some(g) = topo.node_group(me) else {
         return; // not a member of any group: nothing to serve
     };
+    // Sampled trace context: open a group span now (its id parents all
+    // member subqueries and the local eval), collect every member's
+    // span tree from the reply tails, and ship the lot home.
+    let trace_ctx = env.trace.filter(|c| c.sampled);
+    let tracer = trace_ctx.map(|_| cluster.metrics_registry().tracer(me.0 as u32));
+    let group_span = trace_ctx
+        .as_ref()
+        .zip(tracer.as_ref())
+        .map(|(ctx, t)| (SpanId(t.next_id()), t.clock().now(), *ctx));
+    let member_ctx = group_span.map(|(span, _, ctx)| TraceContext {
+        trace: ctx.trace,
+        parent: span,
+        sampled: true,
+    });
+    let mut shipped: Vec<SpanRecord> = Vec::new();
+
     let peers: Vec<NodeId> = topo
         .group_members(g)
         .iter()
@@ -594,14 +865,33 @@ fn serve_group_query<T: Transport>(
     };
     let sub_bytes = sub.to_bytes();
     let mut pending: HashMap<u64, NodeId> = HashMap::new();
+    let mut sent_at: HashMap<u64, Duration> = HashMap::new();
     for (i, &peer) in peers.iter().enumerate() {
         let corr = MEMBER_CORR_BASE + i as u64;
-        if transport.send(node_addr(peer), corr, sub_bytes.clone()) {
+        if let Some(t) = tracer.as_ref() {
+            sent_at.insert(corr, t.clock().now());
+        }
+        if transport.send_traced(node_addr(peer), corr, sub_bytes.clone(), member_ctx) {
             pending.insert(corr, peer);
         }
         // A dead-letter send is simply a member that will not respond.
     }
+    let eval_start = tracer.as_ref().map(|t| t.clock().now());
     let mut anchors = eval_local(cluster, me, msg);
+    if let (Some(t), Some(t0), Some((gspan, _, ctx))) = (&tracer, eval_start, group_span) {
+        let rec = SpanRecord {
+            trace: ctx.trace,
+            span: SpanId(t.next_id()),
+            parent: Some(gspan),
+            node: me.0 as u32,
+            name: format!("node/{}", me.0),
+            start: t0,
+            end: t.clock().now().max(t0),
+            tags: vec![("anchors".into(), anchors.len().to_string())],
+        };
+        t.record(rec.clone());
+        shipped.push(rec);
+    }
     let mut answered = vec![me];
     let start = Instant::now(); // audit:allow(instant-now): member-gather deadline bounds a real recv_timeout; virtual time cannot wake it
     while !pending.is_empty() {
@@ -612,9 +902,17 @@ fn serve_group_query<T: Transport>(
         match transport.recv_timeout(timeouts.member - waited) {
             Ok(resp) => match pending.remove(&resp.correlation) {
                 Some(peer) if resp.from == node_addr(peer) => {
-                    if let Ok(more) = decode_hsps(&resp.payload) {
+                    if let Ok((more, remote)) = decode_hsps_and_spans(&resp.payload) {
                         anchors.extend(more);
                         answered.push(peer);
+                        if let (Some(t), Some(&sent)) = (&tracer, sent_at.get(&resp.correlation)) {
+                            let mut remote = remote;
+                            reanchor_spans(&mut remote, sent, t.clock().now());
+                            for r in &remote {
+                                cluster.metrics_registry().tracer(r.node).record(r.clone());
+                            }
+                            shipped.extend(remote);
+                        }
                     }
                 }
                 Some(peer) => {
@@ -633,10 +931,43 @@ fn serve_group_query<T: Transport>(
     answered.sort_unstable();
     // First aggregation stage (§V-B): merge overlapping anchors on the
     // same diagonal at the group entry point.
+    let merge_start = tracer.as_ref().map(|t| t.clock().now());
     let merged = mendel_align::hsp::merge_overlapping(anchors);
+    if let (Some(t), Some(t0), Some((gspan, _, ctx))) = (&tracer, merge_start, group_span) {
+        let rec = SpanRecord {
+            trace: ctx.trace,
+            span: SpanId(t.next_id()),
+            parent: Some(gspan),
+            node: me.0 as u32,
+            name: "merge".into(),
+            start: t0,
+            end: t.clock().now().max(t0),
+            tags: Vec::new(),
+        };
+        t.record(rec.clone());
+        shipped.push(rec);
+    }
+    // Close the group span last so it brackets everything above, then
+    // put it first in the tail: the re-anchoring at the receiving side
+    // keys off the earliest-starting record as the hop's root.
+    if let (Some(t), Some((gspan, t0, ctx))) = (&tracer, group_span) {
+        let rec = SpanRecord {
+            trace: ctx.trace,
+            span: gspan,
+            parent: Some(ctx.parent),
+            node: me.0 as u32,
+            name: format!("group/{}", g.0),
+            start: t0,
+            end: t.clock().now().max(t0),
+            tags: vec![("members".into(), answered.len().to_string())],
+        };
+        t.record(rec.clone());
+        shipped.insert(0, rec);
+    }
     let reply = GroupReply {
         responded: answered.iter().map(|n| n.0).collect(),
         hsps: merged,
+        spans: shipped,
     };
     transport.send(env.from, env.correlation, reply.to_bytes());
 }
@@ -718,6 +1049,189 @@ mod tests {
                 .unwrap();
             assert!(hits.iter().any(|h| h.subject == q.source));
         }
+    }
+
+    #[test]
+    fn untraced_group_reply_is_byte_identical_to_pre_tracing_encoding() {
+        let reply = GroupReply {
+            responded: vec![0, 3, 7],
+            hsps: vec![Hsp {
+                subject_id: 9,
+                query_start: 4,
+                query_end: 40,
+                subject_start: 11,
+                score: 55,
+            }],
+            spans: Vec::new(),
+        };
+        // Hand-build the PR 9 encoding: responded vec + hsps, no tail.
+        let mut legacy = BytesMut::new();
+        reply.responded.encode(&mut legacy);
+        encode_hsps_into(&reply.hsps, &mut legacy);
+        assert_eq!(reply.to_bytes(), legacy.freeze());
+        // And it round-trips to an empty span set.
+        let back = GroupReply::from_bytes(&reply.to_bytes()).unwrap();
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn traced_group_reply_roundtrips_span_tail() {
+        let reply = GroupReply {
+            responded: vec![1],
+            hsps: Vec::new(),
+            spans: vec![SpanRecord {
+                trace: TraceId(500),
+                span: SpanId(501),
+                parent: Some(SpanId(7)),
+                node: 1,
+                name: "group/0".into(),
+                start: Duration::from_nanos(100),
+                end: Duration::from_nanos(900),
+                tags: vec![("members".into(), "2".into())],
+            }],
+        };
+        assert_eq!(GroupReply::from_bytes(&reply.to_bytes()).unwrap(), reply);
+        let (hsps, spans) = {
+            let mut buf = BytesMut::new();
+            encode_hsps_into(&reply.hsps, &mut buf);
+            encode_spans_into(&reply.spans, &mut buf);
+            decode_hsps_and_spans(&buf.freeze()).unwrap()
+        };
+        assert_eq!(hsps, reply.hsps);
+        assert_eq!(spans, reply.spans);
+    }
+
+    #[test]
+    fn reanchoring_centers_the_remote_root_in_the_rpc_window() {
+        let us = Duration::from_micros;
+        let mut spans = vec![
+            SpanRecord {
+                trace: TraceId(1),
+                span: SpanId(10),
+                parent: None,
+                node: 2,
+                name: "group/0".into(),
+                start: us(5_000), // remote clock origin is unrelated
+                end: us(5_400),
+                tags: Vec::new(),
+            },
+            SpanRecord {
+                trace: TraceId(1),
+                span: SpanId(11),
+                parent: Some(SpanId(10)),
+                node: 2,
+                name: "node/2".into(),
+                start: us(5_100),
+                end: us(5_300),
+                tags: Vec::new(),
+            },
+        ];
+        // Local window [1000us, 2000us]: 1000us round trip around a
+        // 400us remote root → anchored at 1000 + (1000-400)/2 = 1300.
+        reanchor_spans(&mut spans, us(1_000), us(2_000));
+        assert_eq!(spans[0].start, us(1_300));
+        assert_eq!(spans[0].end, us(1_700));
+        // The child keeps its offset and duration relative to the root.
+        assert_eq!(spans[1].start, us(1_400));
+        assert_eq!(spans[1].end, us(1_600));
+    }
+
+    /// The tentpole acceptance scenario at sim scale: a traced query
+    /// over the wire produces one stitched span tree whose parent links
+    /// cross node boundaries, and critical-path extraction works on it.
+    #[test]
+    fn traced_wire_query_stitches_cross_node_span_tree() {
+        let cluster = cluster();
+        cluster.set_tracing(true);
+        let wire = WireCluster::serve(cluster.clone());
+        let q = cluster.db().get(SeqId(3)).unwrap().residues.clone();
+        let outcome = wire.query_outcome(&q, &QueryParams::protein()).unwrap();
+        let trace = outcome.trace.expect("sampled trace id");
+        assert!(
+            !outcome.critical_path.is_empty(),
+            "critical path extracted from the stitched tree"
+        );
+        assert_eq!(outcome.critical_path[0].name, "query");
+
+        let records: Vec<SpanRecord> = cluster
+            .trace_records()
+            .into_iter()
+            .filter(|r| r.trace == trace)
+            .collect();
+        let by_name = |n: &str| records.iter().filter(|r| r.name.starts_with(n)).count();
+        assert!(by_name("query") >= 1);
+        assert!(by_name("decompose") >= 1);
+        assert!(by_name("group_rpc/") >= 1, "client-side rpc spans");
+        assert!(by_name("group/") >= 1, "entry-point spans rode home");
+        assert!(by_name("node/") >= 1, "member spans rode home");
+        // Every parent link resolves within the trace, and remote spans
+        // hang off client spans (cross-process stitching).
+        let ids: std::collections::HashSet<SpanId> = records.iter().map(|r| r.span).collect();
+        for r in &records {
+            if let Some(p) = r.parent {
+                assert!(ids.contains(&p), "dangling parent {p} on {}", r.name);
+            }
+        }
+        let group_rec = records
+            .iter()
+            .find(|r| r.name.starts_with("group/"))
+            .unwrap();
+        let parent = records
+            .iter()
+            .find(|r| Some(r.span) == group_rec.parent)
+            .unwrap();
+        assert!(parent.name.starts_with("group_rpc/"), "{}", parent.name);
+        // The tree reassembles and its chrome export is loadable.
+        let mut c = TraceCollector::new();
+        c.ingest(records.clone());
+        c.dedup();
+        let tree = c.tree(trace).expect("tree");
+        assert_eq!(tree.root.record.name, "query");
+        let json = mendel_obs::chrome_trace_json(&records);
+        assert!(json.contains("\"ph\":\"X\""));
+
+        // Hits are unaffected by tracing.
+        let untraced = self::cluster();
+        let wire2 = WireCluster::serve(untraced.clone());
+        assert_eq!(
+            wire2.query(&q, &QueryParams::protein()).unwrap(),
+            outcome.hits
+        );
+    }
+
+    #[test]
+    fn wire_trace_sampling_is_deterministic_one_in_n() {
+        let cluster = cluster();
+        cluster.set_tracing(true);
+        cluster.set_trace_sampling(3);
+        let wire = WireCluster::serve(cluster.clone());
+        let q = cluster.db().get(SeqId(1)).unwrap().residues.clone();
+        let sampled: Vec<bool> = (0..6)
+            .map(|_| {
+                wire.query_outcome(&q, &QueryParams::protein())
+                    .unwrap()
+                    .trace
+                    .is_some()
+            })
+            .collect();
+        assert_eq!(sampled, vec![true, false, false, true, false, false]);
+    }
+
+    #[test]
+    fn wire_queries_feed_the_slow_query_log() {
+        let cluster = cluster();
+        cluster.set_slowlog_config(mendel_obs::SlowLogConfig {
+            threshold: Duration::ZERO, // log everything
+            sample_every: 0,
+            capacity: 16,
+        });
+        let wire = WireCluster::serve(cluster.clone());
+        let q = cluster.db().get(SeqId(2)).unwrap().residues.clone();
+        let _ = wire.query(&q, &QueryParams::protein()).unwrap();
+        let entries = cluster.slowlog().entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].query.query_len, q.len());
+        assert!(entries[0].query.groups > 0);
     }
 
     #[test]

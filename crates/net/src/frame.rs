@@ -212,10 +212,7 @@ mod tests {
             to: NodeAddr(9),
             correlation: 0xDEAD_BEEF,
             payload: Bytes::from_static(b"anchors"),
-            trace: trace.then_some(TraceContext {
-                trace: TraceId(77),
-                parent: SpanId(5),
-            }),
+            trace: trace.then_some(TraceContext::new(TraceId(77), SpanId(5))),
         }
     }
 

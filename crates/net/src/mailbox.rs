@@ -45,12 +45,16 @@ pub struct Envelope {
 }
 
 /// Wire format: `from:u16 · to:u16 · correlation:u64 · len:u32 ·
-/// payload`, optionally followed by a trace tail `1:u8 · trace:u64 ·
-/// parent:u64`. An untraced envelope writes **no** tail, so its bytes
-/// are identical to the pre-tracing format; the decoder treats an
-/// exhausted buffer after the payload as "no trace context", which is
-/// how old frames stay decodable (and old decoders never see a tail
-/// from untraced senders).
+/// payload`, optionally followed by a trace tail `tag:u8 · trace:u64 ·
+/// parent:u64` where the tag doubles as the Dapper-style sampling flag
+/// (`1` = sampled, `2` = traced-but-unsampled). An untraced envelope
+/// writes **no** tail, so its bytes are identical to the pre-tracing
+/// format; the decoder treats an exhausted buffer after the payload as
+/// "no trace context", which is how old frames stay decodable (and old
+/// decoders never see a tail from untraced senders). A sampled tail is
+/// byte-identical to the pre-sampling-flag tail (tag `1`), so traced
+/// frames from older peers decode as sampled — the only behavior they
+/// could have meant.
 impl Encode for Envelope {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u16_le(self.from.0);
@@ -60,7 +64,7 @@ impl Encode for Envelope {
         buf.put_u32_le(self.payload.len() as u32);
         buf.put_slice(&self.payload);
         if let Some(ctx) = &self.trace {
-            buf.put_u8(1);
+            buf.put_u8(if ctx.sampled { 1 } else { 2 });
             buf.put_u64_le(ctx.trace.0);
             buf.put_u64_le(ctx.parent.0);
         }
@@ -92,9 +96,10 @@ impl Decode for Envelope {
             None
         } else {
             match u8::decode(buf)? {
-                1 => Some(TraceContext {
+                tag @ (1 | 2) => Some(TraceContext {
                     trace: TraceId(u64::decode(buf)?),
                     parent: SpanId(u64::decode(buf)?),
+                    sampled: tag == 1,
                 }),
                 t => return Err(DecodeError::BadTag(t)),
             }
@@ -628,10 +633,7 @@ mod tests {
         assert_eq!(bytes.len(), base.encoded_len());
         assert_eq!(Envelope::from_bytes(&bytes).unwrap(), base);
         let traced = Envelope {
-            trace: Some(TraceContext {
-                trace: TraceId(11),
-                parent: SpanId(12),
-            }),
+            trace: Some(TraceContext::new(TraceId(11), SpanId(12))),
             ..base.clone()
         };
         let tbytes = traced.to_bytes();
@@ -641,6 +643,22 @@ mod tests {
         // The untraced encoding is exactly the legacy frame: the traced
         // one is a pure suffix extension.
         assert_eq!(&tbytes[..bytes.len()], &bytes[..]);
+        // A sampled tail carries tag 1 — byte-identical to the
+        // pre-sampling-flag encoding; unsampled flips only that byte.
+        assert_eq!(tbytes[bytes.len()], 1);
+        let unsampled = Envelope {
+            trace: Some(TraceContext {
+                sampled: false,
+                ..TraceContext::new(TraceId(11), SpanId(12))
+            }),
+            ..base.clone()
+        };
+        let ubytes = unsampled.to_bytes();
+        assert_eq!(ubytes.len(), tbytes.len());
+        assert_eq!(ubytes[bytes.len()], 2);
+        assert_eq!(&ubytes[..bytes.len()], &tbytes[..bytes.len()]);
+        assert_eq!(&ubytes[bytes.len() + 1..], &tbytes[bytes.len() + 1..]);
+        assert_eq!(Envelope::from_bytes(&ubytes).unwrap(), unsampled);
     }
 
     #[test]
@@ -675,10 +693,7 @@ mod tests {
         net.set_trace_registry(&registry);
         let a = net.join();
         let b = net.join();
-        let ctx = TraceContext {
-            trace: TraceId(21),
-            parent: SpanId(22),
-        };
+        let ctx = TraceContext::new(TraceId(21), SpanId(22));
         // Certain drop: the sender's recorder gets a net.drop event.
         net.set_fault_plan(Some(Arc::new(FaultPlan::new(FaultConfig::drops(3, 1.0)))));
         assert!(a.send_traced(b.addr(), 40, Bytes::from_static(b"lost"), Some(ctx)));

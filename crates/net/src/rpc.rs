@@ -841,10 +841,7 @@ mod tests {
         let net = Network::new();
         let mut client = RpcClient::new(net.join());
         let silent = net.join();
-        let ctx = TraceContext {
-            trace: TraceId(1),
-            parent: SpanId(2),
-        };
+        let ctx = TraceContext::new(TraceId(1), SpanId(2));
         // Context but no tracer: the envelope still carries the context.
         let _ = client.call_with_retry_traced::<u32, u32>(
             silent.addr(),

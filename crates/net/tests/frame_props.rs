@@ -15,25 +15,49 @@ use proptest::prelude::*;
 use std::io::Cursor;
 
 /// Arbitrary envelope: any addresses, correlation, payload, and an
-/// optional trace tail.
+/// optional trace tail covering both the sampled and unsampled flavor.
 fn arb_envelope() -> impl Strategy<Value = Envelope> {
     (
         any::<u16>(),
         any::<u16>(),
         any::<u64>(),
         proptest::collection::vec(any::<u8>(), 0..256),
-        proptest::option::of((any::<u64>(), any::<u64>())),
+        proptest::option::of((any::<u64>(), any::<u64>(), any::<bool>())),
     )
         .prop_map(|(from, to, correlation, payload, trace)| Envelope {
             from: NodeAddr(from),
             to: NodeAddr(to),
             correlation,
             payload: Bytes::from(payload),
-            trace: trace.map(|(t, p)| TraceContext {
+            trace: trace.map(|(t, p, sampled)| TraceContext {
                 trace: TraceId(t),
                 parent: SpanId(p),
+                sampled,
             }),
         })
+}
+
+/// The pre-tracing (and pre-sampling-flag) frame layout, built by hand:
+/// `len:u32 LE · from:u16 LE · to:u16 LE · correlation:u64 LE ·
+/// payload_len:u32 LE · payload`. Untraced frames must still encode to
+/// exactly these bytes, and a *sampled* trace tail must be exactly the
+/// legacy 17-byte tag-1 tail — the compatibility promise that lets old
+/// and new nodes interoperate.
+fn legacy_frame_bytes(env: &Envelope) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&env.from.0.to_le_bytes());
+    body.extend_from_slice(&env.to.0.to_le_bytes());
+    body.extend_from_slice(&env.correlation.to_le_bytes());
+    body.extend_from_slice(&(env.payload.len() as u32).to_le_bytes());
+    body.extend_from_slice(&env.payload);
+    if let Some(ctx) = &env.trace {
+        body.push(1); // legacy frames knew only the sampled flavor
+        body.extend_from_slice(&ctx.trace.0.to_le_bytes());
+        body.extend_from_slice(&ctx.parent.0.to_le_bytes());
+    }
+    let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(&body);
+    wire
 }
 
 proptest! {
@@ -49,6 +73,30 @@ proptest! {
         let (back, read) = read_frame(&mut Cursor::new(&wire)).unwrap();
         prop_assert_eq!(back, env);
         prop_assert_eq!(read, wrote);
+    }
+
+    /// Untraced frames (and sampled trace tails) are byte-identical to
+    /// the hand-built legacy layout — adding the sampling flag must not
+    /// have moved a single untraced byte.
+    #[test]
+    fn untraced_and_sampled_frames_match_legacy_bytes(env in arb_envelope()) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &env).unwrap();
+        match &env.trace {
+            None => prop_assert_eq!(&wire, &legacy_frame_bytes(&env)),
+            Some(ctx) if ctx.sampled => {
+                prop_assert_eq!(&wire, &legacy_frame_bytes(&env))
+            }
+            Some(_) => {
+                // Unsampled: same length, same bytes except the tag.
+                let legacy = legacy_frame_bytes(&env);
+                prop_assert_eq!(wire.len(), legacy.len());
+                let tag_at = wire.len() - 17;
+                prop_assert_eq!(&wire[..tag_at], &legacy[..tag_at]);
+                prop_assert_eq!(wire[tag_at], 2);
+                prop_assert_eq!(&wire[tag_at + 1..], &legacy[tag_at + 1..]);
+            }
+        }
     }
 
     /// A stream of several frames reads back in order, then reports an

@@ -33,6 +33,7 @@ pub mod histogram;
 pub mod metric;
 pub mod recorder;
 pub mod registry;
+pub mod slowlog;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
@@ -42,9 +43,10 @@ pub use histogram::{Histogram, HistogramError};
 pub use metric::{Counter, Gauge};
 pub use recorder::FlightRecorder;
 pub use registry::{Registry, ScopedRegistry};
+pub use slowlog::{QueryObservation, SlowLogConfig, SlowLogEntry, SlowLogReason, SlowQueryLog};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
 pub use span::Span;
 pub use trace::{
-    chrome_trace_json, ActiveSpan, CriticalHop, SpanId, SpanRecord, TraceCollector, TraceContext,
-    TraceId, TraceNode, TraceTree, Tracer,
+    chrome_trace_json, parse_records_text, render_records_text, ActiveSpan, CriticalHop, SpanId,
+    SpanRecord, TraceCollector, TraceContext, TraceId, TraceNode, TraceTree, Tracer,
 };

@@ -70,6 +70,21 @@ impl Registry {
         self.inner.clock.clone()
     }
 
+    /// Rebase the shared trace/span id counter to `max(current, base)`.
+    ///
+    /// In-process, one registry mints all ids and uniqueness is free.
+    /// Across *processes* each registry counts independently, so two
+    /// nodes would mint colliding span ids for the same trace; a
+    /// `mendel serve` process therefore salts its id space with
+    /// `(node + 1) << 48` before serving (DESIGN.md §17). Monotone
+    /// (never lowers the counter), so late or repeated calls cannot
+    /// reissue ids.
+    pub fn seed_trace_ids(&self, base: u64) {
+        let ids = &self.inner.trace_ids;
+        // audit:ordering(Relaxed): fetch_max atomicity alone guarantees the counter never goes backwards; no other data is published
+        ids.fetch_max(base, std::sync::atomic::Ordering::Relaxed);
+    }
+
     /// Get or create the counter `name`. If the name is already taken
     /// by a different metric kind, a detached counter is returned (it
     /// works, but never appears in snapshots) — name kinds are stable
@@ -324,6 +339,21 @@ mod tests {
         assert_eq!(records.len(), 2);
         // Same node → same recorder instance.
         assert_eq!(r.tracer(0).recorder().len(), 1);
+    }
+
+    #[test]
+    fn seed_trace_ids_is_monotone() {
+        let r = Registry::new();
+        let t = r.tracer(0);
+        assert_eq!(t.next_id(), 1);
+        r.seed_trace_ids((3u64 << 48) | 1);
+        assert_eq!(t.next_id(), (3u64 << 48) | 1, "counter jumped to the base");
+        r.seed_trace_ids(5);
+        assert_eq!(
+            t.next_id(),
+            (3u64 << 48) | 2,
+            "a lower base never rewinds the counter"
+        );
     }
 
     #[test]

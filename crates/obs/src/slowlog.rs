@@ -1,0 +1,326 @@
+//! Structured slow-query log: a bounded ring of the queries worth a
+//! second look.
+//!
+//! Two admission rules, both deterministic (DESIGN.md §17):
+//!
+//! * **threshold** — any query at or above [`SlowLogConfig::threshold`]
+//!   is logged (the operator's "why was that slow" trail);
+//! * **1-in-N sampling** — every `sample_every`-th observation is
+//!   logged regardless of duration, giving a baseline to compare the
+//!   slow tail against. The decision is a counter modulus, not a coin
+//!   flip, so a replayed workload logs the same entries.
+//!
+//! Lock discipline: entries are fully built *before* the ring mutex is
+//! taken, and rendering clones the entries out under the lock and
+//! formats after releasing it — the ring lock is never held across
+//! socket I/O (the `/debug/slowlog` handler writes the rendered string
+//! only after this module has let go of everything).
+
+use crate::trace::TraceId;
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Admission policy and retention for a [`SlowQueryLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowLogConfig {
+    /// Queries at or above this duration are always logged. `ZERO`
+    /// logs every query (useful in tests; ruinous in production).
+    pub threshold: Duration,
+    /// Log every Nth observation regardless of duration; `0` disables
+    /// baseline sampling.
+    pub sample_every: u64,
+    /// Ring capacity; the oldest entry is evicted (and counted) when
+    /// full.
+    pub capacity: usize,
+}
+
+impl Default for SlowLogConfig {
+    fn default() -> Self {
+        SlowLogConfig {
+            threshold: Duration::from_millis(500),
+            sample_every: 0,
+            capacity: 256,
+        }
+    }
+}
+
+/// Why an entry was admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowLogReason {
+    /// Duration cleared the threshold.
+    Slow,
+    /// Deterministic 1-in-N baseline sample.
+    Sampled,
+}
+
+impl SlowLogReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            SlowLogReason::Slow => "slow",
+            SlowLogReason::Sampled => "sampled",
+        }
+    }
+}
+
+/// One observed query, as the query paths report it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryObservation {
+    /// Clock offset when the query finished.
+    pub at: Duration,
+    /// End-to-end duration.
+    pub duration: Duration,
+    /// Trace id, when the query was traced (correlates the entry with
+    /// `/trace/{id}`).
+    pub trace: Option<TraceId>,
+    /// Query length in residues.
+    pub query_len: usize,
+    /// Ranked hits returned.
+    pub hits: usize,
+    /// Groups contacted.
+    pub groups: usize,
+    /// Whether coverage was degraded (nodes unreachable).
+    pub degraded: bool,
+}
+
+/// One retained log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowLogEntry {
+    /// 0-based observation index (the sampling counter's value).
+    pub seq: u64,
+    /// Why this entry was admitted.
+    pub reason: SlowLogReason,
+    /// The observation itself.
+    pub query: QueryObservation,
+}
+
+/// The bounded, deterministic slow-query ring.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    cfg: RwLock<SlowLogConfig>,
+    seen: AtomicU64,
+    evicted: AtomicU64,
+    ring: Mutex<VecDeque<SlowLogEntry>>,
+}
+
+impl SlowQueryLog {
+    /// A log under the given policy.
+    pub fn new(cfg: SlowLogConfig) -> Self {
+        SlowQueryLog {
+            cfg: RwLock::new(cfg),
+            seen: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The current policy.
+    pub fn config(&self) -> SlowLogConfig {
+        *self.cfg.read()
+    }
+
+    /// Replace the policy (entries already retained are kept; the
+    /// observation counter keeps running, so sampling stays aligned).
+    pub fn set_config(&self, cfg: SlowLogConfig) {
+        *self.cfg.write() = cfg;
+    }
+
+    /// Observe one finished query; returns `true` when it was logged.
+    pub fn observe(&self, query: QueryObservation) -> bool {
+        let cfg = self.config();
+        // audit:ordering(Relaxed): deterministic per-log sequence; fetch_add atomicity alone yields distinct, gapless indices
+        let seq = self.seen.fetch_add(1, Ordering::Relaxed);
+        let slow = query.duration >= cfg.threshold;
+        let sampled = cfg.sample_every > 0 && seq % cfg.sample_every == 0;
+        if !slow && !sampled {
+            return false;
+        }
+        let entry = SlowLogEntry {
+            seq,
+            reason: if slow {
+                SlowLogReason::Slow
+            } else {
+                SlowLogReason::Sampled
+            },
+            query,
+        };
+        // The entry is fully built: the lock now guards only the push.
+        let mut ring = self.ring.lock();
+        while ring.len() >= cfg.capacity.max(1) {
+            ring.pop_front();
+            // audit:ordering(Relaxed): statistics counter bumped under the ring mutex; the racy read side needs only atomicity
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(entry);
+        true
+    }
+
+    /// Total queries observed (logged or not).
+    pub fn seen(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed) // audit:ordering(Relaxed): statistics read; may trail concurrent observations by design
+    }
+
+    /// Entries evicted by the ring bound so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed) // audit:ordering(Relaxed): statistics read; may trail concurrent evictions by design
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowLogEntry> {
+        self.ring.lock().iter().copied().collect()
+    }
+
+    /// Deterministic JSON dump (hand-rendered; the workspace has no
+    /// JSON serializer). All numbers derive from integers. The ring
+    /// lock is released before any formatting happens.
+    pub fn render_json(&self) -> String {
+        let entries = self.entries();
+        let cfg = self.config();
+        let mut out = format!(
+            "{{\"seen\":{},\"evicted\":{},\"threshold_us\":{},\"sample_every\":{},\"entries\":[",
+            self.seen(),
+            self.evicted(),
+            cfg.threshold.as_micros(),
+            cfg.sample_every,
+        );
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let q = &e.query;
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"reason\":\"{}\",\"at_us\":{},\"duration_us\":{},\"trace\":{},\
+                 \"query_len\":{},\"hits\":{},\"groups\":{},\"degraded\":{}}}",
+                e.seq,
+                e.reason.as_str(),
+                q.at.as_micros(),
+                q.duration.as_micros(),
+                q.trace
+                    .map_or_else(|| "null".to_string(), |t| t.0.to_string()),
+                q.query_len,
+                q.hits,
+                q.groups,
+                q.degraded,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Default for SlowQueryLog {
+    fn default() -> Self {
+        Self::new(SlowLogConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(ms: u64) -> QueryObservation {
+        QueryObservation {
+            duration: Duration::from_millis(ms),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn threshold_admits_only_slow_queries() {
+        let log = SlowQueryLog::new(SlowLogConfig {
+            threshold: Duration::from_millis(100),
+            sample_every: 0,
+            capacity: 8,
+        });
+        assert!(!log.observe(obs(5)));
+        assert!(log.observe(obs(100)), "boundary is inclusive");
+        assert!(log.observe(obs(500)));
+        assert_eq!(log.seen(), 3);
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().all(|e| e.reason == SlowLogReason::Slow));
+    }
+
+    #[test]
+    fn one_in_n_sampling_is_deterministic() {
+        let log = SlowQueryLog::new(SlowLogConfig {
+            threshold: Duration::from_secs(3600),
+            sample_every: 3,
+            capacity: 64,
+        });
+        for _ in 0..10 {
+            log.observe(obs(1));
+        }
+        let seqs: Vec<u64> = log.entries().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 3, 6, 9], "every 3rd observation, from 0");
+        assert!(log
+            .entries()
+            .iter()
+            .all(|e| e.reason == SlowLogReason::Sampled));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let log = SlowQueryLog::new(SlowLogConfig {
+            threshold: Duration::ZERO,
+            sample_every: 0,
+            capacity: 2,
+        });
+        for ms in [1, 2, 3] {
+            log.observe(obs(ms));
+        }
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].seq, 1, "oldest entry was evicted");
+        assert_eq!(log.evicted(), 1);
+    }
+
+    #[test]
+    fn reconfigure_keeps_the_sequence_running() {
+        let log = SlowQueryLog::default();
+        assert_eq!(log.config().threshold, Duration::from_millis(500));
+        log.observe(obs(1));
+        log.set_config(SlowLogConfig {
+            threshold: Duration::ZERO,
+            sample_every: 0,
+            capacity: 4,
+        });
+        assert!(log.observe(obs(1)));
+        assert_eq!(log.entries()[0].seq, 1, "counter did not reset");
+    }
+
+    #[test]
+    fn json_dump_is_deterministic_and_balanced() {
+        let log = SlowQueryLog::new(SlowLogConfig {
+            threshold: Duration::ZERO,
+            sample_every: 2,
+            capacity: 8,
+        });
+        log.observe(QueryObservation {
+            at: Duration::from_micros(10),
+            duration: Duration::from_micros(1500),
+            trace: Some(TraceId(42)),
+            query_len: 120,
+            hits: 3,
+            groups: 2,
+            degraded: true,
+        });
+        log.observe(obs(0));
+        let a = log.render_json();
+        assert_eq!(a, log.render_json());
+        assert!(a.contains("\"trace\":42"));
+        assert!(a.contains("\"trace\":null"));
+        assert!(a.contains("\"reason\":\"slow\""));
+        assert!(a.contains("\"duration_us\":1500"));
+        assert!(a.contains("\"degraded\":true"));
+        let depth = a.chars().fold(0i32, |d, ch| match ch {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+}

@@ -40,13 +40,29 @@ impl std::fmt::Display for SpanId {
 }
 
 /// The causal context a message carries across node boundaries: which
-/// trace it belongs to and which span caused it.
+/// trace it belongs to, which span caused it, and whether the receiver
+/// should spend memory recording spans for it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceContext {
     /// The request this work belongs to.
     pub trace: TraceId,
     /// The span that caused this work (parent for any child spans).
     pub parent: SpanId,
+    /// Dapper-style sampling decision, made once at the trace root and
+    /// propagated verbatim: when `false` the ids still flow (so log
+    /// lines can be correlated) but downstream nodes record no spans.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// A sampled context (the common case: record everything).
+    pub fn new(trace: TraceId, parent: SpanId) -> Self {
+        TraceContext {
+            trace,
+            parent,
+            sampled: true,
+        }
+    }
 }
 
 /// One finished span: a named, tagged `[start, end)` interval on a node.
@@ -128,23 +144,31 @@ impl Tracer {
     }
 
     /// Start a new trace: mints a fresh [`TraceId`] and opens its root
-    /// span.
+    /// span (sampled: the caller decided to trace by calling this).
     pub fn start_trace(&self, name: &str) -> ActiveSpan {
         let trace = TraceId(self.next_id());
-        self.span_inner(name, trace, None)
+        self.span_inner(name, trace, None, true)
     }
 
-    /// Open a child span of `ctx`, starting now.
+    /// Open a child span of `ctx`, starting now. The child inherits the
+    /// context's sampling decision.
     pub fn child(&self, name: &str, ctx: TraceContext) -> ActiveSpan {
-        self.span_inner(name, ctx.trace, Some(ctx.parent))
+        self.span_inner(name, ctx.trace, Some(ctx.parent), ctx.sampled)
     }
 
-    fn span_inner(&self, name: &str, trace: TraceId, parent: Option<SpanId>) -> ActiveSpan {
+    fn span_inner(
+        &self,
+        name: &str,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        sampled: bool,
+    ) -> ActiveSpan {
         ActiveSpan {
             tracer: self.clone(),
             trace,
             span: SpanId(self.next_id()),
             parent,
+            sampled,
             name: name.to_string(),
             start: self.clock.now(),
             tags: Vec::new(),
@@ -152,8 +176,12 @@ impl Tracer {
     }
 
     /// Record an instantaneous (zero-length) event under `ctx` at the
-    /// current clock reading.
+    /// current clock reading. Unsampled contexts record nothing — the
+    /// Dapper-style decision travels with the context.
     pub fn event(&self, name: &str, ctx: TraceContext, tags: Vec<(String, String)>) {
+        if !ctx.sampled {
+            return;
+        }
         let now = self.clock.now();
         self.record(SpanRecord {
             trace: ctx.trace,
@@ -183,6 +211,7 @@ pub struct ActiveSpan {
     trace: TraceId,
     span: SpanId,
     parent: Option<SpanId>,
+    sampled: bool,
     name: String,
     start: Duration,
     tags: Vec<(String, String)>,
@@ -200,11 +229,12 @@ impl ActiveSpan {
     }
 
     /// The context to propagate to work this span causes: same trace,
-    /// this span as parent.
+    /// this span as parent, same sampling decision.
     pub fn context(&self) -> TraceContext {
         TraceContext {
             trace: self.trace,
             parent: self.span,
+            sampled: self.sampled,
         }
     }
 
@@ -214,7 +244,8 @@ impl ActiveSpan {
     }
 
     /// Close the span at the current clock reading, push its record into
-    /// the flight recorder, and return the elapsed time.
+    /// the flight recorder (unless the trace is unsampled — timing still
+    /// comes back, memory is not spent), and return the elapsed time.
     pub fn finish(self) -> Duration {
         let end = self.tracer.clock.now();
         let record = SpanRecord {
@@ -228,7 +259,9 @@ impl ActiveSpan {
             tags: self.tags,
         };
         let elapsed = record.duration();
-        self.tracer.record(record);
+        if self.sampled {
+            self.tracer.record(record);
+        }
         elapsed
     }
 }
@@ -358,6 +391,16 @@ impl TraceCollector {
         &self.records
     }
 
+    /// Drop duplicate records (same `(node, span)` identity), keeping
+    /// the first occurrence. Cross-process stitching can legitimately
+    /// see a span twice — once riding home in a reply tail and once
+    /// scraped over HTTP — so ingest the authoritative copy first and
+    /// dedup before building trees.
+    pub fn dedup(&mut self) {
+        let mut seen = std::collections::HashSet::new();
+        self.records.retain(|r| seen.insert((r.node, r.span)));
+    }
+
     /// Distinct trace ids seen, ascending.
     pub fn trace_ids(&self) -> Vec<TraceId> {
         let mut ids: Vec<TraceId> = self.records.iter().map(|r| r.trace).collect();
@@ -399,6 +442,122 @@ impl TraceCollector {
             root: build(root, &of_trace),
         })
     }
+}
+
+fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '=' => out.push_str("\\e"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_field(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('e') => out.push('='),
+            other => return Err(format!("bad escape \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Render span records as the line-oriented interchange format nodes
+/// serve at `/trace/{id}?format=records`: one record per line,
+/// tab-separated `trace span parent node start_ns end_ns name tag=value...`
+/// with `-` for a missing parent and backslash escapes in names/tags.
+/// The workspace has no JSON parser, so cross-process trace stitching
+/// federates through this format instead; [`parse_records_text`] is the
+/// exact inverse.
+pub fn render_records_text(records: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let _ = write!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.trace.0,
+            r.span.0,
+            r.parent
+                .map_or_else(|| "-".to_string(), |p| p.0.to_string()),
+            r.node,
+            r.start.as_nanos(),
+            r.end.as_nanos(),
+            escape_field(&r.name),
+        );
+        for (k, v) in &r.tags {
+            let _ = write!(out, "\t{}={}", escape_field(k), escape_field(v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse [`render_records_text`] output. Hostile-input posture: any
+/// malformed line is an error naming the line, never a panic.
+pub fn parse_records_text(text: &str) -> Result<Vec<SpanRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}", lineno + 1);
+        let mut fields = line.split('\t');
+        let mut next = |what: &'static str| fields.next().ok_or_else(|| err(what));
+        let trace: u64 = next("missing trace id")?
+            .parse()
+            .map_err(|_| err("bad trace id"))?;
+        let span: u64 = next("missing span id")?
+            .parse()
+            .map_err(|_| err("bad span id"))?;
+        let parent = match next("missing parent")? {
+            "-" => None,
+            raw => Some(SpanId(raw.parse().map_err(|_| err("bad parent id"))?)),
+        };
+        let node: u32 = next("missing node")?.parse().map_err(|_| err("bad node"))?;
+        let start: u64 = next("missing start")?
+            .parse()
+            .map_err(|_| err("bad start"))?;
+        let end: u64 = next("missing end")?.parse().map_err(|_| err("bad end"))?;
+        let name = unescape_field(next("missing name")?).map_err(|e| err(&e))?;
+        let mut tags = Vec::new();
+        for field in fields {
+            let Some((k, v)) = field.split_once('=') else {
+                return Err(err("tag without `=`"));
+            };
+            tags.push((
+                unescape_field(k).map_err(|e| err(&e))?,
+                unescape_field(v).map_err(|e| err(&e))?,
+            ));
+        }
+        out.push(SpanRecord {
+            trace: TraceId(trace),
+            span: SpanId(span),
+            parent,
+            node,
+            name,
+            start: Duration::from_nanos(start),
+            end: Duration::from_nanos(end.max(start)),
+            tags,
+        });
+    }
+    Ok(out)
 }
 
 /// Duration as fractional microseconds (`ts`/`dur` units of the Chrome
@@ -640,6 +799,94 @@ mod tests {
             prev_backslash = ch == '\\' && !prev_backslash;
         }
         assert_eq!(quotes % 2, 0);
+    }
+
+    #[test]
+    fn records_text_roundtrips_hostile_names_and_tags() {
+        let records = vec![
+            SpanRecord {
+                trace: TraceId(7),
+                span: SpanId(8),
+                parent: None,
+                node: 2,
+                name: "que\try\n\\weird=name".into(),
+                start: Duration::from_nanos(1_234),
+                end: Duration::from_nanos(9_999),
+                tags: vec![("k=ey\t".into(), "v\\al\nue".into())],
+            },
+            SpanRecord {
+                trace: TraceId(7),
+                span: SpanId(9),
+                parent: Some(SpanId(8)),
+                node: 3,
+                name: "node/3".into(),
+                start: Duration::ZERO,
+                end: Duration::from_secs(2),
+                tags: Vec::new(),
+            },
+        ];
+        let text = render_records_text(&records);
+        assert_eq!(parse_records_text(&text).unwrap(), records);
+        // Round-trip is a fixed point.
+        assert_eq!(
+            render_records_text(&parse_records_text(&text).unwrap()),
+            text
+        );
+    }
+
+    #[test]
+    fn records_text_rejects_garbage_without_panicking() {
+        assert!(parse_records_text("not\ta\trecord\n").is_err());
+        assert!(parse_records_text("1\t2\t-\t0\t5\t9\tname\tno-equals\n").is_err());
+        assert!(parse_records_text("1\t2\t-\t0\t5\t9\tbad\\escape\\q\n").is_err());
+        assert!(parse_records_text("1\t2\t-\t0\t5\n").is_err(), "short line");
+        assert!(parse_records_text("").unwrap().is_empty());
+        // An end before its start is clamped, not trusted.
+        let r = parse_records_text("1\t2\t-\t0\t50\t10\tclamped\n").unwrap();
+        assert_eq!(r[0].start, r[0].end);
+    }
+
+    #[test]
+    fn collector_dedup_keeps_first_copy_per_node_span() {
+        let mut c = TraceCollector::new();
+        let mk = |span: u64, node: u32, end_us: u64| SpanRecord {
+            trace: TraceId(1),
+            span: SpanId(span),
+            parent: None,
+            node,
+            name: "x".into(),
+            start: Duration::ZERO,
+            end: Duration::from_micros(end_us),
+            tags: Vec::new(),
+        };
+        c.add(mk(5, 1, 10)); // authoritative copy
+        c.add(mk(5, 1, 99)); // federated duplicate
+        c.add(mk(5, 2, 10)); // same span id, different node: kept
+        c.dedup();
+        assert_eq!(c.records().len(), 2);
+        assert_eq!(c.records()[0].end, Duration::from_micros(10));
+    }
+
+    #[test]
+    fn context_propagates_sampling_flag() {
+        let (_clock, t) = tracer();
+        let root = t.start_trace("query");
+        assert!(root.context().sampled, "explicit traces are sampled");
+        let mut unsampled = root.context();
+        unsampled.sampled = false;
+        let child = t.child("hop", unsampled);
+        assert!(!child.context().sampled, "children inherit the decision");
+        t.event("dropped", unsampled, Vec::new());
+        child.finish();
+        root.finish();
+        let names: Vec<String> = t
+            .recorder()
+            .records()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        assert_eq!(names, vec!["query"], "unsampled work records nothing");
+        assert!(TraceContext::new(TraceId(1), SpanId(2)).sampled);
     }
 
     #[test]

@@ -259,16 +259,17 @@ proptest! {
         to in 0u16..64,
         correlation in any::<u64>(),
         payload in proptest::collection::vec(any::<u8>(), 0..128),
-        ctx in proptest::option::of((1u64..1 << 48, 1u64..1 << 48)),
+        ctx in proptest::option::of((1u64..1 << 48, 1u64..1 << 48, any::<bool>())),
     ) {
         let env = Envelope {
             from: NodeAddr(from),
             to: NodeAddr(to),
             correlation,
             payload: Bytes::from(payload.clone()),
-            trace: ctx.map(|(t, p)| TraceContext {
+            trace: ctx.map(|(t, p, sampled)| TraceContext {
                 trace: TraceId(t),
                 parent: SpanId(p),
+                sampled,
             }),
         };
         let wire = env.to_bytes();
